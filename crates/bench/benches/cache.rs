@@ -1,0 +1,67 @@
+//! Cache-simulator micro-benchmarks: raw LRU operations, PCV request
+//! handling, and the full per-cluster trace replay.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use netclust_cachesim::{simulate, Entry, LruCache, PcvProxy, ResourceModel, SimConfig};
+use netclust_core::Clustering;
+use netclust_netgen::{standard_merged, Universe, UniverseConfig};
+use netclust_weblog::{generate, LogSpec, ZipfSampler};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_lru(c: &mut Criterion) {
+    let zipf = ZipfSampler::new(5_000, 0.9);
+    let mut rng = StdRng::seed_from_u64(3);
+    let ops: Vec<u32> = (0..100_000).map(|_| zipf.sample(&mut rng) as u32).collect();
+
+    let mut group = c.benchmark_group("cache_ops");
+    group.throughput(Throughput::Elements(ops.len() as u64));
+    group.bench_function("lru_get_insert", |b| {
+        b.iter(|| {
+            let mut cache = LruCache::new(4 << 20);
+            let mut hits = 0u64;
+            for (i, &url) in ops.iter().enumerate() {
+                if cache.get(url).is_some() {
+                    hits += 1;
+                } else {
+                    cache.insert(
+                        url,
+                        Entry { size: 4096, cached_at: i as u32, validated_at: i as u32, version: 0 },
+                    );
+                }
+            }
+            hits
+        })
+    });
+    group.bench_function("pcv_request", |b| {
+        b.iter(|| {
+            let mut proxy = PcvProxy::new(4 << 20, 3_600, ResourceModel::default_web(1));
+            for (i, &url) in ops.iter().enumerate() {
+                proxy.request(url, 4096, i as u32);
+            }
+            proxy.stats().hits
+        })
+    });
+    group.finish();
+}
+
+fn bench_trace_replay(c: &mut Criterion) {
+    let universe = Universe::generate(UniverseConfig { seed: 7, ..UniverseConfig::default() });
+    let merged = standard_merged(&universe, 0);
+    let mut spec = LogSpec::tiny("bench", 5);
+    spec.total_requests = 150_000;
+    spec.target_clients = 3_000;
+    let log = generate(&universe, &spec);
+    let clustering = Clustering::network_aware(&log, &merged);
+
+    let mut group = c.benchmark_group("trace_replay");
+    group.throughput(Throughput::Elements(log.requests.len() as u64));
+    group.sample_size(10);
+    group.bench_function("per_cluster_proxies_1MB", |b| {
+        b.iter(|| simulate(&log, &clustering, &SimConfig::paper(1 << 20)).server_hit_ratio())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lru, bench_trace_replay);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! End-to-end clustering throughput: how fast a server log's clients are
+//! grouped by each method. The paper stresses the pipeline is
+//! "computationally non-intensive" — this bench quantifies that.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use netclust_core::Clustering;
+use netclust_netgen::{standard_merged, Universe, UniverseConfig};
+use netclust_weblog::{generate, LogSpec};
+
+fn bench_clustering(c: &mut Criterion) {
+    let universe = Universe::generate(UniverseConfig { seed: 7, ..UniverseConfig::default() });
+    let merged = standard_merged(&universe, 0);
+    let mut spec = LogSpec::tiny("bench", 3);
+    spec.total_requests = 200_000;
+    spec.target_clients = 4_000;
+    let log = generate(&universe, &spec);
+
+    let mut group = c.benchmark_group("clustering");
+    group.throughput(Throughput::Elements(log.requests.len() as u64));
+    group.sample_size(20);
+    group.bench_function("network_aware", |b| {
+        b.iter(|| Clustering::network_aware(&log, &merged).len())
+    });
+    group.bench_function("simple24", |b| b.iter(|| Clustering::simple24(&log).len()));
+    group.bench_function("classful", |b| b.iter(|| Clustering::classful(&log).len()));
+    group.finish();
+
+    // Table merging itself.
+    let tables = netclust_netgen::standard_collection(&universe, 0, 0);
+    let total: usize = tables.iter().map(|t| t.len()).sum();
+    let mut group = c.benchmark_group("table_merge");
+    group.throughput(Throughput::Elements(total as u64));
+    group.bench_function("merge_14_tables", |b| {
+        b.iter(|| netclust_rtable::MergedTable::merge(tables.iter()).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_clustering);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Workload-generation and parsing throughput: synthetic log generation,
+//! CLF serialization and CLF parsing rates.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use netclust_netgen::{snapshot, Universe, UniverseConfig, VantageSpec};
+use netclust_weblog::{clf, generate, LogSpec};
+
+fn bench_loggen(c: &mut Criterion) {
+    let universe = Universe::generate(UniverseConfig { seed: 7, ..UniverseConfig::default() });
+    let mut spec = LogSpec::tiny("bench", 9);
+    spec.total_requests = 100_000;
+    spec.target_clients = 2_000;
+
+    let mut group = c.benchmark_group("loggen");
+    group.throughput(Throughput::Elements(spec.total_requests));
+    group.sample_size(10);
+    group.bench_function("generate_100k", |b| {
+        b.iter(|| generate(&universe, &spec).requests.len())
+    });
+    group.finish();
+
+    let log = generate(&universe, &spec);
+    let text = clf::to_clf(&log);
+    let mut group = c.benchmark_group("clf");
+    group.throughput(Throughput::Bytes(text.len() as u64));
+    group.sample_size(10);
+    group.bench_function("serialize", |b| b.iter(|| clf::to_clf(&log).len()));
+    group.bench_function("parse", |b| b.iter(|| clf::from_clf("bench", &text).0.requests.len()));
+    group.finish();
+
+    let mut group = c.benchmark_group("netgen");
+    group.sample_size(10);
+    group.bench_function("vantage_snapshot", |b| {
+        b.iter(|| snapshot(&universe, &VantageSpec::new("OREGON", 0.94, 0.03), 0, 0).len())
+    });
+    group.bench_function("universe_small", |b| {
+        b.iter(|| Universe::generate(UniverseConfig::small(3)).orgs().len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_loggen);
+criterion_main!(benches);

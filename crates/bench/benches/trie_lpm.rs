@@ -1,0 +1,87 @@
+//! Longest-prefix-match micro-benchmarks and data-structure ablation:
+//! radix trie vs per-length hash maps vs linear scan, plus build cost.
+//!
+//! The trie is the workhorse of the clustering pipeline (§3.2.1 matches
+//! every client "similar to what IP routers do"); this bench justifies it
+//! over the simpler alternatives DESIGN.md lists.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use netclust_bench::{ByLengthLpm, LinearLpm};
+use netclust_netgen::{snapshot, Universe, UniverseConfig, VantageSpec};
+use netclust_prefix::Ipv4Net;
+use netclust_rtable::PrefixTrie;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn setup(n_ases: usize) -> (Vec<Ipv4Net>, Vec<u32>) {
+    let universe = Universe::generate(UniverseConfig {
+        seed: 7,
+        num_ases: n_ases,
+        ..UniverseConfig::default()
+    });
+    let table = snapshot(&universe, &VantageSpec::new("BENCH", 0.9, 0.05), 0, 0);
+    let prefixes = table.prefixes().to_vec();
+    // Probe addresses: real hosts (hits) mixed with random space (misses).
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut probes = Vec::with_capacity(10_000);
+    for i in 0..10_000u32 {
+        if i % 4 == 0 {
+            probes.push(rng.gen::<u32>());
+        } else {
+            let org = &universe.orgs()[rng.gen_range(0..universe.orgs().len())];
+            probes.push(u32::from(org.host_addr(0).expect("active host")));
+        }
+    }
+    (prefixes, probes)
+}
+
+fn bench_lpm(c: &mut Criterion) {
+    let (prefixes, probes) = setup(220);
+    let trie: PrefixTrie<()> = prefixes.iter().map(|&n| (n, ())).collect();
+    let bylen = ByLengthLpm::new(&prefixes);
+    let linear = LinearLpm::new(prefixes.clone());
+
+    let mut group = c.benchmark_group("lpm_lookup");
+    group.throughput(Throughput::Elements(probes.len() as u64));
+    group.bench_function(BenchmarkId::new("radix_trie", prefixes.len()), |b| {
+        b.iter(|| {
+            probes
+                .iter()
+                .filter(|&&a| trie.longest_match_u32(a).is_some())
+                .count()
+        })
+    });
+    group.bench_function(BenchmarkId::new("bylen_hashmaps", prefixes.len()), |b| {
+        b.iter(|| probes.iter().filter(|&&a| bylen.lookup(a).is_some()).count())
+    });
+    group.finish();
+
+    // Linear scan over thousands of prefixes is orders slower; probe fewer
+    // (and account throughput for exactly those probes).
+    let few = &probes[..200];
+    let mut group = c.benchmark_group("lpm_lookup_linear");
+    group.throughput(Throughput::Elements(few.len() as u64));
+    group.bench_function(BenchmarkId::new("linear_scan", prefixes.len()), |b| {
+        b.iter(|| few.iter().filter(|&&a| linear.lookup(a).is_some()).count())
+    });
+    group.finish();
+}
+
+fn bench_build(c: &mut Criterion) {
+    let (prefixes, _) = setup(220);
+    let mut group = c.benchmark_group("lpm_build");
+    group.throughput(Throughput::Elements(prefixes.len() as u64));
+    group.bench_function("radix_trie", |b| {
+        b.iter(|| {
+            let trie: PrefixTrie<()> = prefixes.iter().map(|&n| (n, ())).collect();
+            trie.len()
+        })
+    });
+    group.bench_function("bylen_hashmaps", |b| {
+        b.iter(|| ByLengthLpm::new(&prefixes))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lpm, bench_build);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! AS-level BGP route propagation simulator.
+//!
+//! `netclust-netgen`'s vantage snapshots model route visibility
+//! *statistically* (each site sees each route with a calibrated
+//! probability). This crate models it *structurally*: a three-tier
+//! provider/customer/peer [`Topology`] over the universe's autonomous
+//! systems, valley-free Gao-Rexford propagation per prefix
+//! ([`PropagationModel::propagate`]), day-scale link failures, and
+//! materialized per-vantage routing tables
+//! ([`PropagationModel::vantage_tables`]).
+//!
+//! The two models are interchangeable inputs to the clustering pipeline;
+//! the `ablation_bgp_propagation` experiment compares them. Structural
+//! propagation reproduces effects sampling cannot: single-homed stubs
+//! going dark when their transit link fails, multihomed ASes rerouting,
+//! and visibility correlated across prefixes of the same origin.
+
+#![warn(missing_docs)]
+
+mod propagate;
+mod topology;
+
+pub use propagate::{PropagationModel, RouteClass, RouteEntry};
+pub use topology::{Relation, Topology};

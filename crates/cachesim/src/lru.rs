@@ -1,0 +1,329 @@
+//! A byte-capacity LRU cache over URL ids.
+//!
+//! The paper's caching simulation uses "LRU as the cache replacement
+//! policy" with proxy cache sizes swept from 100 KB to 100 MB (and an
+//! infinite setting for the per-proxy study). Entries carry the metadata
+//! the Piggyback Cache Validation layer needs: when the copy was fetched,
+//! when it was last validated, and which server-side version it is.
+
+use std::collections::HashMap;
+
+/// Cached-copy metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Entry {
+    /// Resource size in bytes.
+    pub size: u32,
+    /// Simulation time the copy was fetched.
+    pub cached_at: u32,
+    /// Simulation time of the last freshness confirmation.
+    pub validated_at: u32,
+    /// Server-side version this copy corresponds to.
+    pub version: u64,
+}
+
+const NIL: usize = usize::MAX;
+
+struct Node {
+    url: u32,
+    entry: Entry,
+    prev: usize,
+    next: usize,
+}
+
+/// LRU cache keyed by URL id with a byte-capacity bound.
+///
+/// `get` refreshes recency; `insert` evicts least-recently-used entries
+/// until the new object fits. Objects larger than the whole capacity are
+/// rejected.
+pub struct LruCache {
+    capacity: u64,
+    used: u64,
+    map: HashMap<u32, usize>,
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    /// Most recently used.
+    head: usize,
+    /// Least recently used.
+    tail: usize,
+}
+
+impl LruCache {
+    /// Creates a cache bounded to `capacity` bytes. Use
+    /// [`LruCache::unbounded`] for the paper's infinite-cache runs.
+    pub fn new(capacity: u64) -> Self {
+        LruCache {
+            capacity,
+            used: 0,
+            map: HashMap::new(),
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    /// A cache that never evicts.
+    pub fn unbounded() -> Self {
+        Self::new(u64::MAX)
+    }
+
+    /// Bytes currently cached.
+    pub fn used_bytes(&self) -> u64 {
+        self.used
+    }
+
+    /// Configured capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Number of cached objects.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    fn detach(&mut self, idx: usize) {
+        let (prev, next) = (self.nodes[idx].prev, self.nodes[idx].next);
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn attach_front(&mut self, idx: usize) {
+        self.nodes[idx].prev = NIL;
+        self.nodes[idx].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// Looks up a cached copy, marking it most recently used.
+    pub fn get(&mut self, url: u32) -> Option<Entry> {
+        let idx = *self.map.get(&url)?;
+        self.detach(idx);
+        self.attach_front(idx);
+        Some(self.nodes[idx].entry)
+    }
+
+    /// Looks up without touching recency (for inspection).
+    pub fn peek(&self, url: u32) -> Option<Entry> {
+        self.map.get(&url).map(|&idx| self.nodes[idx].entry)
+    }
+
+    /// Updates the metadata of a cached copy in place (no recency change,
+    /// no size accounting change). Returns `false` when absent.
+    pub fn update(&mut self, url: u32, entry: Entry) -> bool {
+        match self.map.get(&url) {
+            Some(&idx) => {
+                debug_assert_eq!(self.nodes[idx].entry.size, entry.size, "use insert to resize");
+                self.nodes[idx].entry = entry;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Inserts (or replaces) a copy, evicting LRU entries as needed.
+    /// Returns the evicted URL ids. Objects larger than the capacity are
+    /// not cached (and nothing is evicted for them).
+    pub fn insert(&mut self, url: u32, entry: Entry) -> Vec<u32> {
+        if let Some(&idx) = self.map.get(&url) {
+            // Replace in place, adjusting byte accounting.
+            self.used = self.used - self.nodes[idx].entry.size as u64 + entry.size as u64;
+            self.nodes[idx].entry = entry;
+            self.detach(idx);
+            self.attach_front(idx);
+            // Replacement may overflow capacity; evict colder entries.
+            return self.evict_to_fit(url);
+        }
+        if entry.size as u64 > self.capacity {
+            return Vec::new();
+        }
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                self.nodes[idx] = Node { url, entry, prev: NIL, next: NIL };
+                idx
+            }
+            None => {
+                self.nodes.push(Node { url, entry, prev: NIL, next: NIL });
+                self.nodes.len() - 1
+            }
+        };
+        self.map.insert(url, idx);
+        self.attach_front(idx);
+        self.used += entry.size as u64;
+        self.evict_to_fit(url)
+    }
+
+    fn evict_to_fit(&mut self, protect: u32) -> Vec<u32> {
+        let mut evicted = Vec::new();
+        while self.used > self.capacity {
+            let tail = self.tail;
+            debug_assert_ne!(tail, NIL, "over capacity with empty cache");
+            let url = self.nodes[tail].url;
+            if url == protect {
+                // The protected entry alone exceeds capacity: drop it too.
+                // (Only reachable via replace-with-larger.)
+            }
+            self.remove(url);
+            evicted.push(url);
+        }
+        evicted
+    }
+
+    /// Removes a copy, returning its entry.
+    pub fn remove(&mut self, url: u32) -> Option<Entry> {
+        let idx = self.map.remove(&url)?;
+        self.detach(idx);
+        let entry = self.nodes[idx].entry;
+        self.used -= entry.size as u64;
+        self.free.push(idx);
+        Some(entry)
+    }
+}
+
+impl std::fmt::Debug for LruCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LruCache")
+            .field("capacity", &self.capacity)
+            .field("used", &self.used)
+            .field("objects", &self.map.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(size: u32) -> Entry {
+        Entry { size, cached_at: 0, validated_at: 0, version: 0 }
+    }
+
+    #[test]
+    fn insert_get_basic() {
+        let mut c = LruCache::new(1000);
+        assert!(c.insert(1, entry(100)).is_empty());
+        assert!(c.insert(2, entry(200)).is_empty());
+        assert_eq!(c.used_bytes(), 300);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(1).unwrap().size, 100);
+        assert!(c.get(3).is_none());
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(300);
+        c.insert(1, entry(100));
+        c.insert(2, entry(100));
+        c.insert(3, entry(100));
+        // Touch 1 so 2 becomes LRU.
+        c.get(1);
+        let evicted = c.insert(4, entry(100));
+        assert_eq!(evicted, vec![2]);
+        assert!(c.peek(1).is_some());
+        assert!(c.peek(2).is_none());
+        assert_eq!(c.used_bytes(), 300);
+    }
+
+    #[test]
+    fn eviction_cascades() {
+        let mut c = LruCache::new(300);
+        c.insert(1, entry(100));
+        c.insert(2, entry(100));
+        c.insert(3, entry(100));
+        let evicted = c.insert(4, entry(150));
+        assert_eq!(evicted, vec![1, 2]);
+        assert_eq!(c.used_bytes(), 100 + 150);
+    }
+
+    #[test]
+    fn oversized_objects_not_cached() {
+        let mut c = LruCache::new(100);
+        c.insert(1, entry(50));
+        let evicted = c.insert(2, entry(500));
+        assert!(evicted.is_empty());
+        assert!(c.peek(2).is_none());
+        assert!(c.peek(1).is_some(), "existing entries survive");
+    }
+
+    #[test]
+    fn replace_adjusts_bytes() {
+        let mut c = LruCache::new(1000);
+        c.insert(1, entry(100));
+        c.insert(1, entry(300));
+        assert_eq!(c.used_bytes(), 300);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.peek(1).unwrap().size, 300);
+    }
+
+    #[test]
+    fn replace_larger_can_evict_others() {
+        let mut c = LruCache::new(300);
+        c.insert(1, entry(100));
+        c.insert(2, entry(100));
+        let evicted = c.insert(2, entry(250));
+        assert_eq!(evicted, vec![1]);
+        assert_eq!(c.used_bytes(), 250);
+    }
+
+    #[test]
+    fn remove_and_reuse_slots() {
+        let mut c = LruCache::new(1000);
+        c.insert(1, entry(100));
+        assert_eq!(c.remove(1).unwrap().size, 100);
+        assert_eq!(c.used_bytes(), 0);
+        assert!(c.remove(1).is_none());
+        // Arena slot is reused.
+        c.insert(2, entry(50));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(2).unwrap().size, 50);
+    }
+
+    #[test]
+    fn update_metadata_in_place() {
+        let mut c = LruCache::new(1000);
+        c.insert(1, Entry { size: 100, cached_at: 5, validated_at: 5, version: 1 });
+        assert!(c.update(1, Entry { size: 100, cached_at: 5, validated_at: 99, version: 1 }));
+        assert_eq!(c.peek(1).unwrap().validated_at, 99);
+        assert!(!c.update(9, entry(10)));
+    }
+
+    #[test]
+    fn unbounded_never_evicts() {
+        let mut c = LruCache::unbounded();
+        for i in 0..10_000u32 {
+            assert!(c.insert(i, entry(1_000_000)).is_empty());
+        }
+        assert_eq!(c.len(), 10_000);
+    }
+
+    #[test]
+    fn recency_order_after_many_ops() {
+        let mut c = LruCache::new(250);
+        c.insert(1, entry(100));
+        c.insert(2, entry(100));
+        c.get(1);
+        c.get(2);
+        c.get(1); // order (MRU→LRU): 1, 2
+        let evicted = c.insert(3, entry(100));
+        assert_eq!(evicted, vec![2]);
+    }
+}

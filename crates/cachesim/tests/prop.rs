@@ -1,0 +1,150 @@
+//! Property-based tests: the LRU cache agrees with a naive reference
+//! model, and PCV/proxy invariants hold under arbitrary workloads.
+
+use std::collections::VecDeque;
+
+use netclust_cachesim::{Entry, LruCache, PcvProxy, ResourceModel, Served};
+use proptest::prelude::*;
+
+/// Naive reference LRU: a deque of (url, size), most recent at front.
+struct RefLru {
+    capacity: u64,
+    items: VecDeque<(u32, u32)>,
+}
+
+impl RefLru {
+    fn new(capacity: u64) -> Self {
+        RefLru { capacity, items: VecDeque::new() }
+    }
+
+    fn used(&self) -> u64 {
+        self.items.iter().map(|&(_, s)| s as u64).sum()
+    }
+
+    fn get(&mut self, url: u32) -> bool {
+        if let Some(pos) = self.items.iter().position(|&(u, _)| u == url) {
+            let item = self.items.remove(pos).expect("position valid");
+            self.items.push_front(item);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn insert(&mut self, url: u32, size: u32) {
+        if let Some(pos) = self.items.iter().position(|&(u, _)| u == url) {
+            self.items.remove(pos);
+        }
+        if size as u64 > self.capacity {
+            return;
+        }
+        self.items.push_front((url, size));
+        while self.used() > self.capacity {
+            self.items.pop_back();
+        }
+    }
+}
+
+/// One randomized cache operation.
+#[derive(Debug, Clone)]
+enum Op {
+    Get(u32),
+    Insert(u32, u32),
+    Remove(u32),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u32..40).prop_map(Op::Get),
+        (0u32..40, 1u32..600).prop_map(|(u, s)| Op::Insert(u, s)),
+        (0u32..40).prop_map(Op::Remove),
+    ]
+}
+
+proptest! {
+    /// The arena LRU and the reference deque agree on membership, byte
+    /// accounting and eviction order for arbitrary operation sequences.
+    #[test]
+    fn lru_matches_reference(ops in proptest::collection::vec(arb_op(), 1..200)) {
+        let capacity = 2_000u64;
+        let mut lru = LruCache::new(capacity);
+        let mut reference = RefLru::new(capacity);
+        for op in ops {
+            match op {
+                Op::Get(u) => {
+                    prop_assert_eq!(lru.get(u).is_some(), reference.get(u));
+                }
+                Op::Insert(u, s) => {
+                    lru.insert(u, Entry { size: s, cached_at: 0, validated_at: 0, version: 0 });
+                    reference.insert(u, s);
+                }
+                Op::Remove(u) => {
+                    let was = reference.items.iter().position(|&(x, _)| x == u);
+                    if let Some(pos) = was {
+                        reference.items.remove(pos);
+                        prop_assert!(lru.remove(u).is_some());
+                    } else {
+                        prop_assert!(lru.remove(u).is_none());
+                    }
+                }
+            }
+            prop_assert_eq!(lru.used_bytes(), reference.used(), "byte accounting");
+            prop_assert_eq!(lru.len(), reference.items.len(), "object count");
+            prop_assert!(lru.used_bytes() <= capacity, "capacity bound");
+            // Membership agrees for every key.
+            for u in 0u32..40 {
+                prop_assert_eq!(
+                    lru.peek(u).is_some(),
+                    reference.items.iter().any(|&(x, _)| x == u),
+                    "membership of {}", u
+                );
+            }
+        }
+    }
+
+    /// PCV proxy stats are internally consistent for arbitrary workloads:
+    /// hits+validated+misses == requests, byte totals match outcomes, and
+    /// ratios stay in [0, 1].
+    #[test]
+    fn pcv_stats_consistent(
+        reqs in proptest::collection::vec((0u32..60, 500u32..5_000, 0u32..200_000), 1..300),
+        ttl in 60u32..7_200,
+        capacity in prop_oneof![Just(u64::MAX), (10_000u64..200_000)],
+    ) {
+        let mut sorted = reqs.clone();
+        sorted.sort_by_key(|&(_, _, t)| t);
+        let mut proxy = PcvProxy::new(capacity, ttl, ResourceModel::default_web(1));
+        let mut expect_miss_bytes = 0u64;
+        for &(url, size, t) in &sorted {
+            if proxy.request(url, size, t) == Served::Miss {
+                expect_miss_bytes += size as u64;
+            }
+        }
+        let s = proxy.stats();
+        prop_assert_eq!(s.requests, sorted.len() as u64);
+        prop_assert_eq!(s.hits + s.validated_hits + s.misses, s.requests);
+        prop_assert_eq!(s.bytes_miss, expect_miss_bytes);
+        prop_assert!((0.0..=1.0).contains(&s.hit_ratio()));
+        prop_assert!((0.0..=1.0).contains(&s.byte_hit_ratio()));
+        // Server messages: every miss costs one, every validated hit one.
+        prop_assert!(s.server_messages >= s.misses + s.validated_hits);
+    }
+
+    /// With an immutable model and infinite cache, every repeat access to
+    /// a URL is served locally (hit or validated hit) — no repeat misses.
+    #[test]
+    fn immutable_infinite_cache_never_remisses(
+        urls in proptest::collection::vec(0u32..30, 2..200),
+    ) {
+        let mut proxy = PcvProxy::new(u64::MAX, 600, ResourceModel::immutable());
+        let mut seen = std::collections::HashSet::new();
+        for (i, &url) in urls.iter().enumerate() {
+            let outcome = proxy.request(url, 1_000, (i as u32) * 100);
+            if seen.contains(&url) {
+                prop_assert_ne!(outcome, Served::Miss, "repeat miss on {}", url);
+            }
+            seen.insert(url);
+        }
+        prop_assert_eq!(proxy.stats().misses as usize, seen.len());
+    }
+}

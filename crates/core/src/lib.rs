@@ -1,0 +1,53 @@
+//! Network-aware clustering of Web clients — the paper's contribution.
+//!
+//! This crate implements the full pipeline of *On Network-Aware Clustering
+//! of Web Clients* (Krishnamurthy & Wang, SIGCOMM 2000) on top of the
+//! substrate crates:
+//!
+//! * [`Clustering`] — longest-prefix-match clustering against a merged
+//!   BGP/registry table, plus the simple `/24` and classful baselines (§2,
+//!   §3.2),
+//! * [`Distributions`], [`cdf`] — the per-cluster client/request/URL
+//!   metrics of Figures 3–7,
+//! * [`validate`] — sampled nslookup/traceroute validation (§3.3, Table 3),
+//! * [`dynamics_analysis`] — the effect of BGP churn (§3.4, Table 4),
+//! * [`self_correct`] — merge/split/absorb repair via traceroute sampling
+//!   (§3.5),
+//! * [`detect`] — spider and proxy identification (§4.1.2, Figures 9–10),
+//! * [`threshold_busy`] — busy-cluster selection (§4.1.3, Table 5),
+//! * [`network_clusters`] — second-level clustering and
+//!   [`session_report`] — time-partitioned stability (§3.6).
+//!
+//! The Web-caching simulation the clusters feed (§4.1.5, Figures 11–12)
+//! lives in `netclust-cachesim`.
+
+#![warn(missing_docs)]
+
+mod anomaly;
+mod cluster;
+mod dynamics;
+mod metrics;
+mod netcluster;
+mod ongoing;
+mod selfcorrect;
+mod sessions;
+mod stream;
+mod threshold;
+mod validation;
+
+pub use anomaly::{
+    cluster_request_distribution, correlation, detect, hourly_histogram, strip_clients,
+    AnomalyConfig, ClientClass, Detection,
+};
+pub use cluster::{ClientStats, Cluster, Clustering};
+pub use dynamics::{dynamics_analysis, DynamicsRow, LogDynamics, LogUnderStudy};
+pub use metrics::{cdf, cdf_at, Distributions, Summary};
+pub use netcluster::{network_clusters, NetworkCluster};
+pub use ongoing::{
+    merge_by_name_suffix, selective_validate, MergeReport, SelectiveMode, SelectiveReport,
+};
+pub use stream::{StreamStats, StreamingClustering};
+pub use selfcorrect::{org_purity, self_correct, CorrectionConfig, CorrectionReport};
+pub use sessions::{session_report, SessionReport, SessionStats};
+pub use threshold::{threshold_busy, ThresholdReport};
+pub use validation::{validate, SamplePlan, TestCounts, ValidationReport};

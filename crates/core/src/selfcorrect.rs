@@ -1,0 +1,284 @@
+//! Self-correction and adaptation (§3.5).
+//!
+//! Periodic traceroute sampling repairs the three residual defects of the
+//! initial clustering:
+//!
+//! 1. **Unidentified clients** (~0.1 %): each starts as a singleton and is
+//!    merged into the cluster whose traceroute signature it shares.
+//! 2. **Too-small clusters** (case i): clusters with the same signature —
+//!    e.g. the two halves of an org that announces more-specifics — are
+//!    merged, and the identifying prefix/netmask recomputed as the common
+//!    supernet.
+//! 3. **Too-large clusters** (case ii): a cluster whose sampled clients
+//!    disagree is re-traced in full and partitioned by signature.
+//!
+//! The *signature* of a client is the last-two-hop suffix of the optimized
+//! traceroute toward it, which in the synthetic universe (noise-free
+//! probing) pins down the owning organization exactly; real deployments
+//! would see residual error from unresponsive or load-balanced routers.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use netclust_netgen::{stream_rng, Universe};
+use netclust_prefix::Ipv4Net;
+use netclust_probe::Traceroute;
+use netclust_weblog::Log;
+use rand::seq::SliceRandom;
+
+use crate::cluster::Clustering;
+
+/// Self-correction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct CorrectionConfig {
+    /// Clients sampled per cluster when probing for homogeneity (`r`).
+    pub samples_per_cluster: usize,
+    /// Sampling seed.
+    pub seed: u64,
+}
+
+impl Default for CorrectionConfig {
+    fn default() -> Self {
+        CorrectionConfig { samples_per_cluster: 3, seed: 0xC0 }
+    }
+}
+
+/// What self-correction did, plus the corrected clustering.
+#[derive(Debug)]
+pub struct CorrectionReport {
+    /// Unclustered clients absorbed into existing clusters.
+    pub absorbed: usize,
+    /// Unclustered clients that formed new clusters.
+    pub new_from_unclustered: usize,
+    /// Clusters that disappeared by merging into another.
+    pub merged_away: usize,
+    /// Clusters partitioned because their members disagreed.
+    pub split: usize,
+    /// Probes spent.
+    pub probe_stats: netclust_probe::ProbeStats,
+    /// The corrected clustering.
+    pub clustering: Clustering,
+}
+
+/// Fraction of clusters all of whose members belong to one administrative
+/// entity (an org, or a delegated customer inside ISP space) — the
+/// ground-truth accuracy measure self-correction should improve.
+pub fn org_purity(universe: &Universe, clustering: &Clustering) -> f64 {
+    if clustering.clusters.is_empty() {
+        return 0.0;
+    }
+    let pure = clustering
+        .clusters
+        .iter()
+        .filter(|c| {
+            let mut keys = c.clients.iter().map(|cl| universe.admin_key(cl.addr));
+            let first = keys.next().expect("clusters are non-empty");
+            keys.all(|k| k == first)
+        })
+        .count();
+    pure as f64 / clustering.clusters.len() as f64
+}
+
+/// Runs self-correction over a clustering of `log`.
+pub fn self_correct(
+    universe: &Universe,
+    log: &Log,
+    clustering: &Clustering,
+    config: &CorrectionConfig,
+) -> CorrectionReport {
+    let mut tracer = Traceroute::optimized(universe);
+    let mut rng = stream_rng(config.seed, &[0x5E1F]);
+    let sig_of = |tr: &mut Traceroute<'_>, addr: Ipv4Addr| -> String {
+        tr.trace(addr).path_suffix(2).join(">")
+    };
+
+    // Group membership: signature → (member addresses, original prefixes).
+    let mut groups: HashMap<String, (Vec<Ipv4Addr>, Vec<Ipv4Net>)> = HashMap::new();
+    let mut split = 0usize;
+    for cluster in &clustering.clusters {
+        let mut sample: Vec<Ipv4Addr> = cluster.clients.iter().map(|c| c.addr).collect();
+        sample.shuffle(&mut rng);
+        sample.truncate(config.samples_per_cluster.max(1));
+        let sigs: std::collections::BTreeSet<String> =
+            sample.iter().map(|&a| sig_of(&mut tracer, a)).collect();
+        if sigs.len() <= 1 {
+            // Homogeneous (as far as the sample shows): whole cluster keeps
+            // one signature.
+            let sig = sigs.into_iter().next().expect("sampled at least one client");
+            let entry = groups.entry(sig).or_default();
+            entry.0.extend(cluster.clients.iter().map(|c| c.addr));
+            entry.1.push(cluster.prefix);
+        } else {
+            // Mixed: trace everyone and partition by signature.
+            split += 1;
+            for client in &cluster.clients {
+                let sig = sig_of(&mut tracer, client.addr);
+                groups.entry(sig).or_default().0.push(client.addr);
+            }
+        }
+    }
+
+    // Absorb unclustered clients.
+    let mut absorbed = 0usize;
+    let mut new_groups = 0usize;
+    for client in &clustering.unclustered {
+        let sig = sig_of(&mut tracer, client.addr);
+        match groups.get_mut(&sig) {
+            Some(entry) => {
+                entry.0.push(client.addr);
+                absorbed += 1;
+            }
+            None => {
+                groups.insert(sig, (vec![client.addr], Vec::new()));
+                new_groups += 1;
+            }
+        }
+    }
+
+    // Merge accounting: groups fed by more than one original prefix.
+    let merged_away: usize = groups
+        .values()
+        .map(|(_, prefixes)| prefixes.len().saturating_sub(1))
+        .sum();
+
+    // Identifying prefix per group: the common supernet of the original
+    // prefixes when any exist, else of the member host routes.
+    let mut assign: HashMap<u32, Ipv4Net> = HashMap::new();
+    for (_, (members, prefixes)) in groups {
+        let prefix = if prefixes.is_empty() {
+            members
+                .iter()
+                .map(|&a| Ipv4Net::host(a))
+                .reduce(|a, b| a.common_supernet(b))
+                .expect("groups are non-empty")
+        } else {
+            prefixes
+                .iter()
+                .copied()
+                .reduce(|a, b| a.common_supernet(b))
+                .expect("non-empty prefix list")
+        };
+        for addr in members {
+            assign.insert(u32::from(addr), prefix);
+        }
+    }
+
+    let corrected = Clustering::build(log, format!("{}+corrected", clustering.method), |a| {
+        assign.get(&u32::from(a)).copied()
+    });
+
+    CorrectionReport {
+        absorbed,
+        new_from_unclustered: new_groups,
+        merged_away,
+        split,
+        probe_stats: tracer.stats(),
+        clustering: corrected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netclust_netgen::UniverseConfig;
+    use netclust_weblog::{generate, LogSpec};
+
+    fn setup() -> (Universe, Log, Clustering) {
+        let u = Universe::generate(UniverseConfig::small(7));
+        let mut spec = LogSpec::tiny("sc", 17);
+        spec.target_clients = 500;
+        spec.total_requests = 15_000;
+        let log = generate(&u, &spec);
+        let merged = netclust_netgen::standard_merged(&u, 0);
+        let clustering = Clustering::network_aware(&log, &merged);
+        (u, log, clustering)
+    }
+
+    #[test]
+    fn correction_improves_purity_and_coverage() {
+        let (u, log, clustering) = setup();
+        let before_purity = org_purity(&u, &clustering);
+        let report = self_correct(&u, &log, &clustering, &CorrectionConfig::default());
+        let after_purity = org_purity(&u, &report.clustering);
+        assert!(
+            after_purity >= before_purity,
+            "purity {before_purity} -> {after_purity}"
+        );
+        // Noise-free probing pins sampled clients to their org; only mixed
+        // clusters the r-sample missed can stay impure.
+        assert!(after_purity > 0.95, "after purity {after_purity}");
+        // Everything is clustered afterwards.
+        assert!(report.clustering.unclustered.is_empty());
+        assert!((report.clustering.coverage() - 1.0).abs() < 1e-12);
+        // Client conservation.
+        assert_eq!(report.clustering.client_count(), clustering.client_count());
+        assert_eq!(
+            report.absorbed + report.new_from_unclustered,
+            clustering.unclustered.len()
+        );
+    }
+
+    #[test]
+    fn merges_fragmented_orgs() {
+        // An org announcing more-specifics yields several clusters for one
+        // administrative entity; self-correction should reduce such
+        // fragmentation (pure clusters of the same org share a signature).
+        let (u, log, clustering) = setup();
+        let fragmented = |cl: &Clustering| -> usize {
+            // Administrative entities owning more than one *pure* cluster.
+            let mut per_entity: std::collections::HashMap<u64, usize> =
+                std::collections::HashMap::new();
+            for c in &cl.clusters {
+                let keys: std::collections::BTreeSet<_> =
+                    c.clients.iter().map(|cc| u.admin_key(cc.addr)).collect();
+                if keys.len() == 1 {
+                    if let Some(key) = keys.into_iter().next().flatten() {
+                        *per_entity.entry(key).or_default() += 1;
+                    }
+                }
+            }
+            per_entity.values().filter(|&&n| n > 1).count()
+        };
+        let before = fragmented(&clustering);
+        let report = self_correct(&u, &log, &clustering, &CorrectionConfig::default());
+        let after = fragmented(&report.clustering);
+        assert!(after <= before, "fragmented orgs {before} -> {after}");
+        if before > 0 {
+            assert!(report.merged_away > 0, "expected merges for {before} fragmented orgs");
+            assert_eq!(after, 0, "all fragmentation should be repaired");
+        }
+    }
+
+    #[test]
+    fn splits_mixed_clusters() {
+        let (u, log, clustering) = setup();
+        // Count impure clusters before.
+        let impure = |cl: &Clustering| {
+            cl.clusters
+                .iter()
+                .filter(|c| {
+                    let set: std::collections::BTreeSet<_> =
+                        c.clients.iter().map(|cc| u.admin_key(cc.addr)).collect();
+                    set.len() > 1
+                })
+                .count()
+        };
+        let impure_before = impure(&clustering);
+        let report = self_correct(&u, &log, &clustering, &CorrectionConfig::default());
+        if impure_before > 0 {
+            assert!(report.split > 0, "expected splits for {impure_before} impure clusters");
+        }
+        let impure_after = impure(&report.clustering);
+        assert!(impure_after <= impure_before);
+    }
+
+    #[test]
+    fn deterministic() {
+        let (u, log, clustering) = setup();
+        let a = self_correct(&u, &log, &clustering, &CorrectionConfig::default());
+        let b = self_correct(&u, &log, &clustering, &CorrectionConfig::default());
+        assert_eq!(a.clustering.len(), b.clustering.len());
+        assert_eq!(a.merged_away, b.merged_away);
+        assert_eq!(a.split, b.split);
+    }
+}

@@ -1,0 +1,252 @@
+//! Real-time (streaming) cluster identification (§4).
+//!
+//! "The real-time client clustering information ... gives the service
+//! provider a global view of where their customers are located and how
+//! their demands change from time to time." [`StreamingClustering`]
+//! consumes requests one at a time, maintains per-cluster aggregates
+//! incrementally, and supports swapping in a fresh routing table
+//! ([`StreamingClustering::swap_table`]) so the view adapts to routing
+//! dynamics without replaying the past — the paper's "real-time cluster
+//! identifying ... using real-time routing information".
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use netclust_prefix::Ipv4Net;
+use netclust_rtable::MergedTable;
+use netclust_weblog::Request;
+
+/// Incremental per-cluster aggregates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Distinct clients seen.
+    pub clients: u64,
+    /// Requests seen.
+    pub requests: u64,
+    /// Bytes served.
+    pub bytes: u64,
+}
+
+/// An incrementally-maintained clustering over a request stream.
+pub struct StreamingClustering {
+    table: MergedTable,
+    /// Per-cluster aggregates.
+    clusters: HashMap<Ipv4Net, StreamStats>,
+    /// Per-client totals (kept so a table swap can rebuild assignments
+    /// without replaying the stream).
+    per_client: HashMap<u32, (u64, u64)>,
+    /// Memoized client → prefix assignment under the current table.
+    assignment: HashMap<u32, Option<Ipv4Net>>,
+    /// Requests from unclusterable clients.
+    unclustered_requests: u64,
+    total_requests: u64,
+}
+
+impl StreamingClustering {
+    /// Creates an empty streaming clustering over `table`.
+    pub fn new(table: MergedTable) -> Self {
+        StreamingClustering {
+            table,
+            clusters: HashMap::new(),
+            per_client: HashMap::new(),
+            assignment: HashMap::new(),
+            unclustered_requests: 0,
+            total_requests: 0,
+        }
+    }
+
+    /// Feeds one request.
+    pub fn push(&mut self, request: &Request) {
+        self.total_requests += 1;
+        let entry = self.per_client.entry(request.client).or_insert((0, 0));
+        let is_new_client = entry.0 == 0;
+        entry.0 += 1;
+        entry.1 += request.bytes as u64;
+        let prefix = *self
+            .assignment
+            .entry(request.client)
+            .or_insert_with(|| {
+                self.table.lookup_u32(request.client).map(|(net, _)| net)
+            });
+        match prefix {
+            Some(net) => {
+                let stats = self.clusters.entry(net).or_default();
+                if is_new_client {
+                    stats.clients += 1;
+                }
+                stats.requests += 1;
+                stats.bytes += request.bytes as u64;
+            }
+            None => self.unclustered_requests += 1,
+        }
+    }
+
+    /// Number of clusters with at least one request.
+    pub fn len(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// `true` before any clustered request arrives.
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+
+    /// Total requests consumed.
+    pub fn total_requests(&self) -> u64 {
+        self.total_requests
+    }
+
+    /// Aggregates for one cluster prefix.
+    pub fn stats(&self, prefix: Ipv4Net) -> Option<StreamStats> {
+        self.clusters.get(&prefix).copied()
+    }
+
+    /// The cluster a client currently maps to.
+    pub fn cluster_of(&self, addr: Ipv4Addr) -> Option<Ipv4Net> {
+        self.assignment.get(&u32::from(addr)).copied().flatten()
+    }
+
+    /// Fraction of requests that were clusterable.
+    pub fn coverage(&self) -> f64 {
+        if self.total_requests == 0 {
+            0.0
+        } else {
+            1.0 - self.unclustered_requests as f64 / self.total_requests as f64
+        }
+    }
+
+    /// The current top-`k` clusters by request count (ties broken by
+    /// prefix for determinism).
+    pub fn top_k(&self, k: usize) -> Vec<(Ipv4Net, StreamStats)> {
+        let mut v: Vec<(Ipv4Net, StreamStats)> =
+            self.clusters.iter().map(|(&p, &s)| (p, s)).collect();
+        v.sort_by(|a, b| b.1.requests.cmp(&a.1.requests).then(a.0.cmp(&b.0)));
+        v.truncate(k);
+        v
+    }
+
+    /// Swaps in a fresh routing table (adaptation to routing dynamics) and
+    /// rebuilds the cluster view from the retained per-client totals —
+    /// no stream replay needed.
+    pub fn swap_table(&mut self, table: MergedTable) {
+        self.table = table;
+        self.assignment.clear();
+        self.clusters.clear();
+        self.unclustered_requests = 0;
+        for (&client, &(requests, bytes)) in &self.per_client {
+            let prefix = self.table.lookup_u32(client).map(|(net, _)| net);
+            self.assignment.insert(client, prefix);
+            match prefix {
+                Some(net) => {
+                    let stats = self.clusters.entry(net).or_default();
+                    stats.clients += 1;
+                    stats.requests += requests;
+                    stats.bytes += bytes;
+                }
+                None => self.unclustered_requests += requests,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::Clustering;
+    use netclust_netgen::{standard_merged, Universe, UniverseConfig};
+    use netclust_weblog::{generate, LogSpec};
+
+    fn setup() -> (Universe, netclust_weblog::Log) {
+        let u = Universe::generate(UniverseConfig::small(7));
+        let mut spec = LogSpec::tiny("st", 13);
+        spec.total_requests = 8_000;
+        spec.target_clients = 300;
+        let log = generate(&u, &spec);
+        (u, log)
+    }
+
+    #[test]
+    fn streaming_matches_batch() {
+        let (u, log) = setup();
+        let merged = standard_merged(&u, 0);
+        let batch = Clustering::network_aware(&log, &merged);
+        let mut stream = StreamingClustering::new(standard_merged(&u, 0));
+        for r in &log.requests {
+            stream.push(r);
+        }
+        assert_eq!(stream.len(), batch.len());
+        assert_eq!(stream.total_requests(), log.requests.len() as u64);
+        for cluster in &batch.clusters {
+            let s = stream.stats(cluster.prefix).expect("cluster present");
+            assert_eq!(s.requests, cluster.requests, "{}", cluster.prefix);
+            assert_eq!(s.clients, cluster.client_count() as u64);
+            assert_eq!(s.bytes, cluster.bytes);
+        }
+        // Coverage agrees (request-weighted vs client-weighted differ, so
+        // compare against the request tally directly).
+        let unclustered_reqs: u64 = batch.unclustered.iter().map(|c| c.requests).sum();
+        let expect = 1.0 - unclustered_reqs as f64 / log.requests.len() as f64;
+        assert!((stream.coverage() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_k_tracks_busiest() {
+        let (u, log) = setup();
+        let mut stream = StreamingClustering::new(standard_merged(&u, 0));
+        for r in &log.requests {
+            stream.push(r);
+        }
+        let top = stream.top_k(5);
+        assert_eq!(top.len(), 5.min(stream.len()));
+        assert!(top.windows(2).all(|w| w[0].1.requests >= w[1].1.requests));
+        // The top cluster matches the batch busiest.
+        let merged = standard_merged(&u, 0);
+        let batch = Clustering::network_aware(&log, &merged);
+        assert_eq!(top[0].1.requests, batch.busiest().unwrap().requests);
+    }
+
+    #[test]
+    fn table_swap_rebuilds_consistently() {
+        let (u, log) = setup();
+        let mut stream = StreamingClustering::new(standard_merged(&u, 0));
+        for r in &log.requests {
+            stream.push(r);
+        }
+        let before_total = stream.total_requests();
+        // Swap to day 7's table: the view must equal a batch clustering
+        // against that table.
+        stream.swap_table(standard_merged(&u, 7));
+        assert_eq!(stream.total_requests(), before_total);
+        let batch = Clustering::network_aware(&log, &standard_merged(&u, 7));
+        assert_eq!(stream.len(), batch.len());
+        for cluster in &batch.clusters {
+            let s = stream.stats(cluster.prefix).expect("present after swap");
+            assert_eq!(s.requests, cluster.requests);
+        }
+    }
+
+    #[test]
+    fn incremental_queries_mid_stream() {
+        let (u, log) = setup();
+        let mut stream = StreamingClustering::new(standard_merged(&u, 0));
+        assert!(stream.is_empty());
+        assert_eq!(stream.coverage(), 0.0);
+        let half = log.requests.len() / 2;
+        for r in &log.requests[..half] {
+            stream.push(r);
+        }
+        let mid = stream.top_k(3);
+        assert!(!mid.is_empty());
+        for r in &log.requests[half..] {
+            stream.push(r);
+        }
+        let end = stream.top_k(3);
+        assert!(end[0].1.requests >= mid[0].1.requests);
+        // cluster_of answers for seen clients.
+        let client = log.requests[0].client_addr();
+        assert_eq!(
+            stream.cluster_of(client).is_some(),
+            standard_merged(&u, 0).lookup(client).is_some()
+        );
+    }
+}

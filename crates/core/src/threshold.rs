@@ -1,0 +1,190 @@
+//! Busy-cluster thresholding (§4.1.3, Table 5).
+//!
+//! After removing spiders and proxies, the paper keeps only *busy* client
+//! clusters: the smallest set of top clusters (by request count) whose
+//! requests add up to at least a target fraction (70 %) of all requests in
+//! the log. Table 5 reports the resulting threshold and the client/request
+//! ranges of the kept and filtered clusters.
+
+use crate::cluster::Clustering;
+
+/// Outcome of thresholding one clustering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThresholdReport {
+    /// Total clusters before thresholding.
+    pub total_clusters: usize,
+    /// Requests-per-cluster of the smallest kept cluster (Table 5's
+    /// "Threshold" row).
+    pub threshold: u64,
+    /// Indices (into `Clustering::clusters`) of busy clusters, descending
+    /// by requests.
+    pub busy: Vec<usize>,
+    /// Clients across busy clusters.
+    pub busy_clients: u64,
+    /// Requests across busy clusters.
+    pub busy_requests: u64,
+    /// Request range (min, max) among busy clusters.
+    pub busy_request_range: (u64, u64),
+    /// Client-count range among busy clusters.
+    pub busy_client_range: (u64, u64),
+    /// Request range among filtered (less-busy) clusters.
+    pub lessbusy_request_range: (u64, u64),
+    /// Client-count range among filtered clusters.
+    pub lessbusy_client_range: (u64, u64),
+}
+
+/// Selects busy clusters covering `fraction` of the clustering's clustered
+/// requests.
+///
+/// # Panics
+///
+/// Panics unless `0.0 < fraction <= 1.0`.
+pub fn threshold_busy(clustering: &Clustering, fraction: f64) -> ThresholdReport {
+    assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0, 1]");
+    let mut order: Vec<usize> = (0..clustering.clusters.len()).collect();
+    order.sort_by(|&a, &b| {
+        clustering.clusters[b]
+            .requests
+            .cmp(&clustering.clusters[a].requests)
+            .then(a.cmp(&b))
+    });
+    let clustered_total: u64 = clustering.clusters.iter().map(|c| c.requests).sum();
+    let target = (clustered_total as f64 * fraction).ceil() as u64;
+
+    let mut busy = Vec::new();
+    let mut acc = 0u64;
+    for &idx in &order {
+        if acc >= target {
+            break;
+        }
+        acc += clustering.clusters[idx].requests;
+        busy.push(idx);
+    }
+
+    let range = |indices: &[usize], f: &dyn Fn(usize) -> u64| -> (u64, u64) {
+        let mut lo = u64::MAX;
+        let mut hi = 0u64;
+        for &i in indices {
+            let v = f(i);
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        if lo == u64::MAX {
+            (0, 0)
+        } else {
+            (lo, hi)
+        }
+    };
+    let lessbusy: Vec<usize> = order[busy.len()..].to_vec();
+    let req = |i: usize| clustering.clusters[i].requests;
+    let cli = |i: usize| clustering.clusters[i].client_count() as u64;
+    let busy_clients: u64 = busy.iter().map(|&i| cli(i)).sum();
+
+    ThresholdReport {
+        total_clusters: clustering.clusters.len(),
+        threshold: busy.last().map(|&i| req(i)).unwrap_or(0),
+        busy_requests: acc,
+        busy_request_range: range(&busy, &req),
+        busy_client_range: range(&busy, &cli),
+        lessbusy_request_range: range(&lessbusy, &req),
+        lessbusy_client_range: range(&lessbusy, &cli),
+        busy_clients,
+        busy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::Clustering;
+    use netclust_weblog::{Log, LogTruth, Request, UrlMeta};
+
+    /// Clusters with requests 1000, 500, 300, 100, 50 (five /24s).
+    fn log() -> Log {
+        let volumes = [1000u64, 500, 300, 100, 50];
+        let mut requests = Vec::new();
+        for (i, &n) in volumes.iter().enumerate() {
+            // Two clients per cluster, splitting the volume 70/30.
+            for (c, share) in [(1u8, 7u64), (2, 3)] {
+                let addr = u32::from_be_bytes([10, 0, i as u8, c]);
+                for j in 0..(n * share / 10) {
+                    requests.push(Request {
+                        time: j as u32 % 100,
+                        client: addr,
+                        url: 0,
+                        bytes: 1,
+                        status: 200,
+                        ua: 0,
+                    });
+                }
+            }
+        }
+        requests.sort_by_key(|r| r.time);
+        Log {
+            name: "t".into(),
+            requests,
+            urls: vec![UrlMeta { path: "/".into(), size: 1 }],
+            user_agents: vec!["UA".into()],
+            start_time: 0,
+            duration_s: 100,
+            truth: LogTruth::default(),
+        }
+    }
+
+    #[test]
+    fn seventy_percent_rule() {
+        let clustering = Clustering::simple24(&log());
+        let report = threshold_busy(&clustering, 0.7);
+        // Total 1950; 70 % = 1365; clusters 1000 + 500 = 1500 suffice.
+        assert_eq!(report.busy.len(), 2);
+        assert_eq!(report.busy_requests, 1500);
+        assert_eq!(report.threshold, 500);
+        assert_eq!(report.busy_request_range, (500, 1000));
+        assert_eq!(report.busy_client_range, (2, 2));
+        assert_eq!(report.busy_clients, 4);
+        assert_eq!(report.lessbusy_request_range, (50, 300));
+        assert_eq!(report.total_clusters, 5);
+    }
+
+    #[test]
+    fn full_fraction_keeps_everything() {
+        let clustering = Clustering::simple24(&log());
+        let report = threshold_busy(&clustering, 1.0);
+        assert_eq!(report.busy.len(), 5);
+        assert_eq!(report.threshold, 50);
+        assert_eq!(report.lessbusy_request_range, (0, 0));
+    }
+
+    #[test]
+    fn busy_order_is_descending() {
+        let clustering = Clustering::simple24(&log());
+        let report = threshold_busy(&clustering, 0.9);
+        let reqs: Vec<u64> =
+            report.busy.iter().map(|&i| clustering.clusters[i].requests).collect();
+        assert!(reqs.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn bad_fraction_panics() {
+        let clustering = Clustering::simple24(&log());
+        let _ = threshold_busy(&clustering, 0.0);
+    }
+
+    #[test]
+    fn empty_clustering() {
+        let empty = Log {
+            name: "e".into(),
+            requests: vec![],
+            urls: vec![],
+            user_agents: vec!["UA".into()],
+            start_time: 0,
+            duration_s: 0,
+            truth: LogTruth::default(),
+        };
+        let clustering = Clustering::simple24(&empty);
+        let report = threshold_busy(&clustering, 0.7);
+        assert!(report.busy.is_empty());
+        assert_eq!(report.threshold, 0);
+    }
+}

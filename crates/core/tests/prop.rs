@@ -1,0 +1,161 @@
+//! Property-based tests on clustering invariants.
+
+use std::collections::BTreeSet;
+use std::net::Ipv4Addr;
+
+use netclust_core::{cdf, cdf_at, threshold_busy, Clustering, Distributions, Summary};
+use netclust_prefix::Ipv4Net;
+use netclust_weblog::{Log, LogTruth, Request, UrlMeta};
+use proptest::prelude::*;
+
+/// Builds a log from arbitrary (client, url, time) triples.
+fn log_from(reqs: &[(u32, u8, u16)]) -> Log {
+    let mut requests: Vec<Request> = reqs
+        .iter()
+        .map(|&(client, url, time)| Request {
+            time: time as u32,
+            client,
+            url: url as u32,
+            bytes: 100 + url as u32,
+            status: 200,
+            ua: 0,
+        })
+        .collect();
+    requests.sort_by_key(|r| r.time);
+    Log {
+        name: "prop".into(),
+        requests,
+        urls: (0..=255).map(|i| UrlMeta { path: format!("/{i}"), size: 100 + i }).collect(),
+        user_agents: vec!["UA".into()],
+        start_time: 0,
+        duration_s: u16::MAX as u32,
+        truth: LogTruth::default(),
+    }
+}
+
+fn arb_reqs() -> impl Strategy<Value = Vec<(u32, u8, u16)>> {
+    proptest::collection::vec((any::<u32>(), any::<u8>(), any::<u16>()), 1..300)
+}
+
+proptest! {
+    /// Clustering is a partition: every client lands in exactly one
+    /// cluster (or unclustered), and aggregates add up to log totals.
+    #[test]
+    fn clustering_partitions_clients(reqs in arb_reqs(), modulus in 1u32..5) {
+        let log = log_from(&reqs);
+        // An arbitrary assigner: cluster by client % modulus, with one
+        // residue class unclusterable.
+        let clustering = Clustering::build(&log, "prop", |addr| {
+            let r = u32::from(addr) % (modulus + 1);
+            if r == modulus {
+                None
+            } else {
+                Some(Ipv4Net::new(r << 8, 24).unwrap())
+            }
+        });
+        // Client partition.
+        let mut seen: BTreeSet<Ipv4Addr> = BTreeSet::new();
+        for cluster in &clustering.clusters {
+            prop_assert!(!cluster.clients.is_empty(), "no empty clusters");
+            for c in &cluster.clients {
+                prop_assert!(seen.insert(c.addr), "client {} in two clusters", c.addr);
+            }
+        }
+        for c in &clustering.unclustered {
+            prop_assert!(seen.insert(c.addr), "unclustered client duplicated");
+        }
+        let expected: BTreeSet<Ipv4Addr> =
+            log.requests.iter().map(|r| r.client_addr()).collect();
+        prop_assert_eq!(seen, expected);
+        // Request and byte conservation.
+        let req_total: u64 = clustering.clusters.iter().map(|c| c.requests).sum::<u64>()
+            + clustering.unclustered.iter().map(|c| c.requests).sum::<u64>();
+        prop_assert_eq!(req_total, log.requests.len() as u64);
+        let byte_total: u64 = clustering.clusters.iter().map(|c| c.bytes).sum::<u64>()
+            + clustering.unclustered.iter().map(|c| c.bytes).sum::<u64>();
+        prop_assert_eq!(byte_total, log.total_bytes());
+        // unique_urls bounded by requests and by the URL space.
+        for cluster in &clustering.clusters {
+            prop_assert!(cluster.unique_urls as u64 <= cluster.requests);
+            prop_assert!(cluster.unique_urls <= 256);
+        }
+    }
+
+    /// simple24 never produces more clusters than clients and never fewer
+    /// than ceil(clients / 256); classful clusters are coarser or equal.
+    #[test]
+    fn method_granularity_bounds(reqs in arb_reqs()) {
+        let log = log_from(&reqs);
+        let clients = log.client_count();
+        let simple = Clustering::simple24(&log);
+        prop_assert!(simple.len() <= clients);
+        prop_assert!(simple.len() >= clients.div_ceil(256));
+        let classful = Clustering::classful(&log);
+        // Every classful cluster (A/B/C) covers whole /24s, so it cannot
+        // outnumber the /24 clustering plus unclustered D/E space.
+        prop_assert!(classful.len() <= simple.len());
+    }
+
+    /// Thresholding: busy set is minimal-by-construction and covers the
+    /// target fraction.
+    #[test]
+    fn threshold_covers_fraction(reqs in arb_reqs(), pct in 1u32..=100) {
+        let log = log_from(&reqs);
+        let clustering = Clustering::simple24(&log);
+        let fraction = pct as f64 / 100.0;
+        let report = threshold_busy(&clustering, fraction);
+        let total: u64 = clustering.clusters.iter().map(|c| c.requests).sum();
+        let target = (total as f64 * fraction).ceil() as u64;
+        prop_assert!(report.busy_requests >= target.min(total));
+        // Minimality: removing the last (smallest) busy cluster drops
+        // below the target.
+        if !report.busy.is_empty() {
+            prop_assert!(report.busy_requests - report.threshold < target);
+        }
+        // Ranges are consistent.
+        let (lo, hi) = report.busy_request_range;
+        prop_assert!(lo <= hi);
+        prop_assert_eq!(report.threshold, lo);
+    }
+
+    /// Distribution series and orderings are consistent with the clusters.
+    #[test]
+    fn distributions_are_consistent(reqs in arb_reqs()) {
+        let log = log_from(&reqs);
+        let clustering = Clustering::simple24(&log);
+        let d = Distributions::of(&clustering);
+        prop_assert_eq!(d.clients.len(), clustering.len());
+        // Orderings are permutations.
+        let mut a = d.by_clients.clone();
+        a.sort_unstable();
+        prop_assert_eq!(&a, &(0..clustering.len()).collect::<Vec<_>>());
+        let mut b = d.by_requests.clone();
+        b.sort_unstable();
+        prop_assert_eq!(&b, &(0..clustering.len()).collect::<Vec<_>>());
+        // Reordered series are non-increasing.
+        let by_c = Distributions::series_in(&d.clients, &d.by_clients);
+        prop_assert!(by_c.windows(2).all(|w| w[0] >= w[1]));
+        let by_r = Distributions::series_in(&d.requests, &d.by_requests);
+        prop_assert!(by_r.windows(2).all(|w| w[0] >= w[1]));
+        // Summary totals match.
+        if let Some(s) = Summary::of(&d.requests) {
+            prop_assert_eq!(s.total, clustering.clusters.iter().map(|c| c.requests).sum::<u64>());
+            prop_assert!(s.min <= s.max);
+        }
+    }
+
+    /// The CDF is a valid distribution function: non-decreasing, ends at
+    /// 1.0, and cdf_at brackets every value correctly.
+    #[test]
+    fn cdf_is_valid(values in proptest::collection::vec(0u64..1000, 1..200)) {
+        let points = cdf(&values);
+        prop_assert!((points.last().unwrap().1 - 1.0).abs() < 1e-12);
+        prop_assert!(points.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1));
+        for &v in &values {
+            let frac = cdf_at(&points, v);
+            let expect = values.iter().filter(|&&x| x <= v).count() as f64
+                / values.len() as f64;
+            prop_assert!((frac - expect).abs() < 1e-12);
+        }
+    }
+}

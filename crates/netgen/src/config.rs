@@ -1,0 +1,103 @@
+//! Universe configuration and size presets.
+
+/// Tunable parameters of the synthetic Internet.
+///
+/// Defaults are calibrated so that generated vantage-point tables reproduce
+/// the paper's Figure 1 prefix-length mix (≈50 % `/24`, more short prefixes
+/// than long among the rest) and Table 3's ≈90 % cluster-validation pass
+/// rate (mis-identification driven by route aggregation and national
+/// gateways).
+#[derive(Debug, Clone)]
+pub struct UniverseConfig {
+    /// Master seed; all randomness derives from it.
+    pub seed: u64,
+    /// Number of autonomous systems.
+    pub num_ases: usize,
+    /// Mean organizations (administrative entities) per AS.
+    pub orgs_per_as: usize,
+    /// Fraction of orgs whose specific route is *never* announced — only an
+    /// AS-level aggregate covering several orgs is visible. These produce
+    /// too-large clusters (route-aggregation mis-identification, §3.3).
+    pub aggregated_only_fraction: f64,
+    /// Fraction of ASes that are national gateways: everything behind them
+    /// is reachable only via one big aggregate (§3.3's Croatia/France/Japan
+    /// examples).
+    pub national_gateway_fraction: f64,
+    /// Fraction of orgs that announce more-specifics (their subnets) in
+    /// addition to nothing else — producing too-small clusters that the
+    /// self-correction stage (§3.5) merges.
+    pub more_specific_fraction: f64,
+    /// Probability that an org's hosts are resolvable via DNS at all
+    /// (firewalls / unregistered ISPs hide whole orgs).
+    pub org_resolvable_prob: f64,
+    /// Probability that an individual host in a resolvable org has a DNS
+    /// record (DHCP pools lack per-host records). Combined with
+    /// `org_resolvable_prob`, defaults give the paper's ≈50 % resolvability.
+    pub host_resolvable_prob: f64,
+    /// Fraction of org allocations absent from even the registry dumps —
+    /// the source of the ≈0.1 % unclusterable clients.
+    pub unregistered_fraction: f64,
+    /// Fraction of ISP organizations that delegate part of their space to
+    /// distinct *customer* organizations (provider-aggregatable space).
+    /// BGP sees one ISP route, but the hosts belong to different
+    /// administrative entities — the paper's §2 example of three /28
+    /// customers inside one /24, and a main driver of its ~10 %
+    /// validation-failure rate.
+    pub isp_customer_sharing: f64,
+}
+
+impl Default for UniverseConfig {
+    fn default() -> Self {
+        UniverseConfig {
+            seed: 0,
+            num_ases: 220,
+            orgs_per_as: 18,
+            aggregated_only_fraction: 0.045,
+            national_gateway_fraction: 0.03,
+            more_specific_fraction: 0.03,
+            org_resolvable_prob: 0.72,
+            host_resolvable_prob: 0.72,
+            unregistered_fraction: 0.0012,
+            isp_customer_sharing: 0.4,
+        }
+    }
+}
+
+impl UniverseConfig {
+    /// A small universe for fast unit tests (~hundreds of orgs).
+    pub fn small(seed: u64) -> Self {
+        UniverseConfig { seed, num_ases: 40, orgs_per_as: 8, ..Self::default() }
+    }
+
+    /// The default paper-scale universe (~4 000 orgs, enough to host
+    /// Nagano-sized logs with ~10 000 clusters).
+    pub fn paper(seed: u64) -> Self {
+        UniverseConfig { seed, num_ases: 650, orgs_per_as: 22, ..Self::default() }
+    }
+
+    /// Expected number of organizations (used for pre-allocation only).
+    pub fn expected_orgs(&self) -> usize {
+        self.num_ases * self.orgs_per_as
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_scale() {
+        let small = UniverseConfig::small(1);
+        let paper = UniverseConfig::paper(1);
+        assert!(small.expected_orgs() < paper.expected_orgs());
+        assert_eq!(small.seed, 1);
+        assert!(paper.expected_orgs() > 10_000);
+    }
+
+    #[test]
+    fn default_probabilities_give_half_resolvability() {
+        let c = UniverseConfig::default();
+        let p = c.org_resolvable_prob * c.host_resolvable_prob;
+        assert!((0.45..0.60).contains(&p), "joint resolvability {p}");
+    }
+}

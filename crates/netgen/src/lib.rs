@@ -1,0 +1,40 @@
+//! Deterministic synthetic Internet generator.
+//!
+//! The paper's pipeline consumes three external resources we cannot ship:
+//! real BGP routing-table snapshots from 12 sites, registry network dumps
+//! (ARIN/NLANR), and the live Internet (for nslookup/traceroute
+//! validation). This crate builds a seeded, reproducible substitute:
+//!
+//! * a [`Universe`] of autonomous systems and organizations with disjoint
+//!   address allocations (ground truth for "common administrative
+//!   control"), DNS names and router-level paths,
+//! * [`vantage`] — per-site BGP snapshots with partial visibility, route
+//!   aggregation, intra-day flutter and day-scale churn, plus registry
+//!   dumps, calibrated to the paper's Table 1 and Figure 1,
+//! * knobs ([`UniverseConfig`]) for every mis-identification source the
+//!   paper discusses: aggregated-only orgs, national gateways,
+//!   more-specific announcements, unresolvable hosts, and unregistered
+//!   allocations.
+//!
+//! Everything is a pure function of the seed: generating day 7's snapshot
+//! before day 3's, or querying DNS names in any order, gives identical
+//! results.
+
+#![warn(missing_docs)]
+
+mod alloc;
+mod config;
+mod names;
+mod org;
+mod rng;
+mod universe;
+pub mod vantage;
+
+pub use config::UniverseConfig;
+pub use org::{AnnouncePolicy, AutonomousSystem, Org, OrgId, OrgKind};
+pub use rng::{derive_seed, stream_rng, uniform_u64, unit_f64};
+pub use universe::{Announcement, Hop, Universe};
+pub use vantage::{
+    registry_dump, snapshot, snapshot_with_attrs, standard_collection, standard_merged,
+    standard_vantages, VantageSpec, TICKS_PER_DAY,
+};

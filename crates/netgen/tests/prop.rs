@@ -1,0 +1,73 @@
+//! Property-based tests on universe invariants.
+
+use netclust_netgen::{snapshot, Universe, UniverseConfig, VantageSpec};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// For any seed, the allocation invariants hold: disjoint org
+    /// networks, hosts bijective within their org, ground-truth ownership
+    /// consistent.
+    #[test]
+    fn universe_invariants(seed in 0u64..500) {
+        let u = Universe::generate(UniverseConfig::small(seed));
+        // Disjoint org networks.
+        let mut nets: Vec<_> = u.orgs().iter().map(|o| o.network).collect();
+        nets.sort();
+        for w in nets.windows(2) {
+            prop_assert!(u32::from(w[0].last()) < w[1].addr_u32(), "{} vs {}", w[0], w[1]);
+        }
+        for org in u.orgs().iter().take(60) {
+            // host_addr/host_idx are inverse bijections over active hosts.
+            for idx in [0, org.active_hosts / 2, org.active_hosts - 1] {
+                let addr = org.host_addr(idx).expect("in range");
+                prop_assert!(org.network.contains(addr));
+                prop_assert_eq!(org.host_idx(addr), Some(idx));
+                prop_assert_eq!(u.owner(addr), Some(org.id));
+                // admin_key is always defined for org hosts.
+                prop_assert!(u.admin_key(addr).is_some());
+            }
+            prop_assert!(org.host_addr(org.active_hosts).is_none());
+        }
+    }
+
+    /// Snapshots are subsets of what is announced (plus AS aggregates via
+    /// local aggregation) and deterministic in all parameters.
+    #[test]
+    fn snapshots_within_announcements(seed in 0u64..200, day in 0u32..10, vis in 0.1f64..1.0) {
+        let u = Universe::generate(UniverseConfig::small(seed));
+        let spec = VantageSpec::new("P", vis, 0.05);
+        let snap = snapshot(&u, &spec, day, 0);
+        let announced: std::collections::BTreeSet<_> =
+            u.announcements(day).into_iter().map(|a| a.prefix).collect();
+        let aggregates: std::collections::BTreeSet<_> =
+            u.ases().iter().map(|a| a.aggregate).collect();
+        for p in snap.prefixes() {
+            prop_assert!(
+                announced.contains(p) || aggregates.contains(p),
+                "{p} neither announced nor an aggregate"
+            );
+        }
+        let again = snapshot(&u, &spec, day, 0);
+        prop_assert_eq!(snap.prefixes(), again.prefixes());
+    }
+
+    /// DNS names, when present, parse as FQDNs whose suffix identifies a
+    /// single administrative entity.
+    #[test]
+    fn dns_names_are_wellformed(seed in 0u64..200) {
+        let u = Universe::generate(UniverseConfig::small(seed));
+        let mut seen = 0;
+        for org in u.orgs().iter().take(80) {
+            let addr = org.host_addr(0).expect("active host");
+            if let Some(name) = u.dns_name(addr) {
+                seen += 1;
+                prop_assert!(name.split('.').count() >= 3, "{name}");
+                prop_assert!(!name.contains(' '));
+                prop_assert!(name.chars().all(|c| c.is_ascii_alphanumeric() || c == '.' || c == '-'));
+            }
+        }
+        prop_assert!(seen > 0, "some hosts resolve");
+    }
+}

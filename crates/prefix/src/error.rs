@@ -1,0 +1,47 @@
+//! Error type for prefix parsing and construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when parsing or constructing IPv4 prefixes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PrefixError {
+    /// The dotted-quad address part could not be parsed.
+    InvalidAddress(String),
+    /// The prefix length is outside `0..=32`.
+    InvalidLength(u32),
+    /// A dotted netmask whose bit pattern is not contiguous ones followed by
+    /// zeroes (e.g. `255.0.255.0`).
+    NonContiguousMask(String),
+    /// The entry string has an unrecognized shape (wrong number of `/`
+    /// separators, empty components, etc.).
+    MalformedEntry(String),
+}
+
+impl fmt::Display for PrefixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrefixError::InvalidAddress(s) => write!(f, "invalid IPv4 address: {s:?}"),
+            PrefixError::InvalidLength(l) => write!(f, "invalid prefix length: {l} (must be 0..=32)"),
+            PrefixError::NonContiguousMask(s) => write!(f, "non-contiguous netmask: {s:?}"),
+            PrefixError::MalformedEntry(s) => write!(f, "malformed prefix/netmask entry: {s:?}"),
+        }
+    }
+}
+
+impl Error for PrefixError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_specific() {
+        assert!(PrefixError::InvalidAddress("x".into()).to_string().contains("x"));
+        assert!(PrefixError::InvalidLength(33).to_string().contains("33"));
+        assert!(PrefixError::NonContiguousMask("255.0.255.0".into())
+            .to_string()
+            .contains("255.0.255.0"));
+        assert!(PrefixError::MalformedEntry("a/b/c".into()).to_string().contains("a/b/c"));
+    }
+}

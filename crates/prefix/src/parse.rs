@@ -1,0 +1,237 @@
+//! Parsing and unification of routing-table prefix/netmask entry formats.
+//!
+//! §3.1.2 of the paper lists three textual formats found across the
+//! collected routing-table and registry dump files:
+//!
+//! 1. `x1.x2.x3.x4/k1.k2.k3.k4` — dotted prefix and dotted netmask, with
+//!    trailing zero octets optionally dropped (`12.65.128/255.255.224`),
+//! 2. `x1.x2.x3.x4/l` — prefix with numeric netmask length,
+//! 3. `x1.x2.x3.0` — bare address, an abbreviation for the classful
+//!    network it belongs to (Class A → `/8`, B → `/16`, C → `/24`).
+//!
+//! [`parse_table_entry`] accepts all three, and [`unify_entries`] converts a
+//! whole file's worth of lines into a deduplicated, sorted prefix list — the
+//! paper's "standard format" unification step.
+
+use std::net::Ipv4Addr;
+
+use crate::class::classful_network;
+use crate::error::PrefixError;
+use crate::net::Ipv4Net;
+
+/// Parses a single routing-table entry in any of the three formats.
+///
+/// Leading/trailing whitespace is ignored. Trailing zero octets may be
+/// dropped from both the address and a dotted netmask, as some table dumps
+/// do (`12.65.128/255.255.224` ≡ `12.65.128.0/255.255.224.0`).
+///
+/// ```
+/// use netclust_prefix::parse_table_entry;
+/// assert_eq!(
+///     parse_table_entry("12.65.128/255.255.224").unwrap().to_string(),
+///     "12.65.128.0/19"
+/// );
+/// assert_eq!(parse_table_entry("18.0.0.0").unwrap().to_string(), "18.0.0.0/8");
+/// ```
+pub fn parse_table_entry(entry: &str) -> Result<Ipv4Net, PrefixError> {
+    let entry = entry.trim();
+    if entry.is_empty() {
+        return Err(PrefixError::MalformedEntry(entry.to_string()));
+    }
+    match entry.split_once('/') {
+        None => {
+            // Format (iii): bare address, classful abbreviation.
+            let addr = parse_padded_addr(entry)?;
+            classful_network(addr)
+                .ok_or_else(|| PrefixError::MalformedEntry(entry.to_string()))
+        }
+        Some((addr_part, mask_part)) => {
+            if addr_part.is_empty() || mask_part.is_empty() {
+                return Err(PrefixError::MalformedEntry(entry.to_string()));
+            }
+            let addr = parse_padded_addr(addr_part)?;
+            let len = if mask_part.contains('.') {
+                // Format (i): dotted netmask.
+                let mask = parse_padded_addr(mask_part)?;
+                mask_to_len(mask).ok_or_else(|| {
+                    PrefixError::NonContiguousMask(mask_part.to_string())
+                })?
+            } else {
+                // Format (ii): numeric length.
+                let len: u32 = mask_part
+                    .parse()
+                    .map_err(|_| PrefixError::MalformedEntry(entry.to_string()))?;
+                if len > 32 {
+                    return Err(PrefixError::InvalidLength(len));
+                }
+                len as u8
+            };
+            Ipv4Net::from_addr(addr, len)
+        }
+    }
+}
+
+/// Parses a dotted quad that may have trailing zero octets dropped
+/// (`12.65.128` → `12.65.128.0`).
+fn parse_padded_addr(s: &str) -> Result<Ipv4Addr, PrefixError> {
+    let mut octets = [0u8; 4];
+    let mut count = 0usize;
+    for part in s.split('.') {
+        if count == 4 {
+            return Err(PrefixError::InvalidAddress(s.to_string()));
+        }
+        let value: u32 = part
+            .parse()
+            .map_err(|_| PrefixError::InvalidAddress(s.to_string()))?;
+        if value > 255 {
+            return Err(PrefixError::InvalidAddress(s.to_string()));
+        }
+        octets[count] = value as u8;
+        count += 1;
+    }
+    if count == 0 {
+        return Err(PrefixError::InvalidAddress(s.to_string()));
+    }
+    Ok(Ipv4Addr::from(octets))
+}
+
+/// Converts a dotted netmask to a prefix length, or `None` when the mask's
+/// bit pattern is not contiguous (`255.0.255.0`).
+fn mask_to_len(mask: Ipv4Addr) -> Option<u8> {
+    let m = u32::from(mask);
+    let len = m.leading_ones();
+    // Contiguous means the ones are exactly the leading `len` bits.
+    if len == 32 || m << len == 0 {
+        Some(len as u8)
+    } else {
+        None
+    }
+}
+
+/// Parses many entry lines into a deduplicated, sorted prefix table.
+///
+/// Blank lines and lines starting with `#` (comments added by our dump
+/// scripts) are skipped. Unparsable lines are returned separately rather
+/// than aborting the whole file — real table dumps contain noise, and the
+/// paper's pipeline is designed to run unattended.
+///
+/// Returns `(prefixes, bad_lines)` where `prefixes` is sorted and unique.
+pub fn unify_entries<'a, I>(lines: I) -> (Vec<Ipv4Net>, Vec<(usize, String)>)
+where
+    I: IntoIterator<Item = &'a str>,
+{
+    let mut prefixes = Vec::new();
+    let mut bad = Vec::new();
+    for (idx, line) in lines.into_iter().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        // Entries may carry extra columns (next hop, AS path); the prefix is
+        // the first whitespace-separated token.
+        let token = line.split_whitespace().next().unwrap_or("");
+        match parse_table_entry(token) {
+            Ok(net) => prefixes.push(net),
+            Err(_) => bad.push((idx, line.to_string())),
+        }
+    }
+    prefixes.sort();
+    prefixes.dedup();
+    (prefixes, bad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_formats_unify() {
+        let a = parse_table_entry("12.65.128.0/255.255.224.0").unwrap();
+        let b = parse_table_entry("12.65.128.0/19").unwrap();
+        let c = parse_table_entry("12.65.128/255.255.224").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+        assert_eq!(a.to_string(), "12.65.128.0/19");
+    }
+
+    #[test]
+    fn classful_abbreviation() {
+        assert_eq!(parse_table_entry("18.0.0.0").unwrap().to_string(), "18.0.0.0/8");
+        assert_eq!(parse_table_entry("151.198.0.0").unwrap().to_string(), "151.198.0.0/16");
+        assert_eq!(parse_table_entry("199.1.2.0").unwrap().to_string(), "199.1.2.0/24");
+        // Dropped trailing zeroes in the bare form too.
+        assert_eq!(parse_table_entry("18").unwrap().to_string(), "18.0.0.0/8");
+        // Class D/E space has no classful network.
+        assert!(parse_table_entry("224.0.0.0").is_err());
+    }
+
+    #[test]
+    fn numeric_length_bounds() {
+        assert!(parse_table_entry("1.2.3.0/32").is_ok());
+        assert!(parse_table_entry("1.2.3.0/0").is_ok());
+        assert_eq!(parse_table_entry("1.2.3.0/33"), Err(PrefixError::InvalidLength(33)));
+    }
+
+    #[test]
+    fn non_contiguous_masks_rejected() {
+        assert!(matches!(
+            parse_table_entry("1.2.3.0/255.0.255.0"),
+            Err(PrefixError::NonContiguousMask(_))
+        ));
+        assert!(matches!(
+            parse_table_entry("1.2.3.0/0.255.0.0"),
+            Err(PrefixError::NonContiguousMask(_))
+        ));
+    }
+
+    #[test]
+    fn all_contiguous_masks_roundtrip() {
+        for len in 0u8..=32 {
+            let net = Ipv4Net::new(0x0A00_0000, len).unwrap();
+            let entry = format!("10.0.0.0/{}", net.netmask());
+            assert_eq!(parse_table_entry(&entry).unwrap().len(), len, "mask {}", net.netmask());
+        }
+    }
+
+    #[test]
+    fn malformed_entries() {
+        for bad in ["", "/", "1.2.3.4/", "/8", "a.b.c.d/8", "1.2.3.4.5/8", "1.2.3.4/8/9", "256.1.1.0/24"] {
+            assert!(parse_table_entry(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn unify_dedupes_sorts_and_reports_noise() {
+        let file = "\
+# BGP snapshot, vantage X
+12.65.128.0/19  cs.cht.vbns.net  1742
+12.65.128/255.255.224
+18.0.0.0
+garbage line here
+9.0.0.0/8
+
+18.0.0.0/8";
+        let (prefixes, bad) = unify_entries(file.lines());
+        assert_eq!(
+            prefixes.iter().map(|n| n.to_string()).collect::<Vec<_>>(),
+            ["9.0.0.0/8", "12.65.128.0/19", "18.0.0.0/8"]
+        );
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].1.contains("garbage"));
+    }
+
+    #[test]
+    fn unify_takes_first_token_only() {
+        let (prefixes, bad) = unify_entries(["6.0.0.0/8 cs.ny-nap.vbns.net 7170 1455"]);
+        assert_eq!(prefixes.len(), 1);
+        assert!(bad.is_empty());
+        assert_eq!(prefixes[0].to_string(), "6.0.0.0/8");
+    }
+
+    #[test]
+    fn padded_addr_variants() {
+        assert_eq!(parse_table_entry("10/8").unwrap().to_string(), "10.0.0.0/8");
+        assert_eq!(parse_table_entry("10.1/16").unwrap().to_string(), "10.1.0.0/16");
+        assert_eq!(parse_table_entry("10.1.2/24").unwrap().to_string(), "10.1.2.0/24");
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests for prefix parsing and arithmetic.
+
+use netclust_prefix::{parse_table_entry, u32_to_addr, Ipv4Net};
+use proptest::prelude::*;
+
+fn arb_net() -> impl Strategy<Value = Ipv4Net> {
+    (any::<u32>(), 0u8..=32).prop_map(|(addr, len)| Ipv4Net::new(addr, len).unwrap())
+}
+
+proptest! {
+    /// Display → FromStr is the identity on canonical prefixes.
+    #[test]
+    fn display_parse_roundtrip(net in arb_net()) {
+        let parsed: Ipv4Net = net.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, net);
+    }
+
+    /// The dotted-netmask form parses back to the same prefix.
+    #[test]
+    fn dotted_mask_roundtrip(net in arb_net()) {
+        let entry = format!("{}/{}", net.addr(), net.netmask());
+        prop_assert_eq!(parse_table_entry(&entry).unwrap(), net);
+    }
+
+    /// Construction canonicalizes: the network address has no host bits.
+    #[test]
+    fn canonical_network_address(addr in any::<u32>(), len in 0u8..=32) {
+        let net = Ipv4Net::new(addr, len).unwrap();
+        prop_assert_eq!(net.addr_u32() & !net.netmask_u32(), 0);
+        // And contains the address it was built from.
+        prop_assert!(net.contains_u32(addr));
+    }
+
+    /// first()..=last() exactly delimits containment.
+    #[test]
+    fn bounds_match_containment(net in arb_net(), probe in any::<u32>()) {
+        let lo = u32::from(net.first());
+        let hi = u32::from(net.last());
+        prop_assert_eq!(net.contains(u32_to_addr(probe)), (lo..=hi).contains(&probe));
+    }
+
+    /// covers() is consistent with supernet chains.
+    #[test]
+    fn supernet_covers(net in arb_net()) {
+        if let Some(sup) = net.supernet() {
+            prop_assert!(sup.covers(&net));
+            prop_assert!(!net.covers(&sup) || net == sup);
+            prop_assert_eq!(sup.num_addresses(), net.num_addresses() * 2);
+        }
+    }
+
+    /// Splitting into one-bit-longer subnets partitions the address space.
+    #[test]
+    fn subnets_partition(net in arb_net()) {
+        if let Some((lo, hi)) = net.subnets() {
+            prop_assert!(net.covers(&lo) && net.covers(&hi));
+            prop_assert_eq!(lo.sibling().unwrap(), hi);
+            prop_assert_eq!(u32::from(lo.last()).wrapping_add(1), u32::from(hi.first()));
+            prop_assert_eq!(lo.first(), net.first());
+            prop_assert_eq!(hi.last(), net.last());
+        }
+    }
+
+    /// subnets_of_len covers the block exactly, in order, without overlap.
+    #[test]
+    fn subnets_of_len_partition(net in (any::<u32>(), 0u8..=24).prop_map(|(a, l)| Ipv4Net::new(a, l).unwrap()), extra in 0u8..=8) {
+        let len = net.len() + extra;
+        let subs = net.subnets_of_len(len);
+        prop_assert_eq!(subs.len() as u64, 1u64 << extra);
+        let mut expect = u32::from(net.first());
+        for s in &subs {
+            prop_assert_eq!(u32::from(s.first()), expect);
+            prop_assert_eq!(s.len(), len);
+            expect = u32::from(s.last()).wrapping_add(1);
+        }
+    }
+
+    /// Ordering is total and agrees with (addr, len) lexicographic order.
+    #[test]
+    fn ordering_is_lexicographic(a in arb_net(), b in arb_net()) {
+        let expected = (a.addr_u32(), a.len()).cmp(&(b.addr_u32(), b.len()));
+        prop_assert_eq!(a.cmp(&b), expected);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property-based tests for the probe tools.
+
+use netclust_netgen::{Universe, UniverseConfig};
+use netclust_probe::{name_suffix, Nslookup, TraceOutcome, Traceroute};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The suffix rule: output is always a suffix of the input, has the
+    /// right component count, and is idempotent.
+    #[test]
+    fn suffix_rule_properties(
+        parts in proptest::collection::vec("[a-z][a-z0-9]{0,6}", 1..7),
+    ) {
+        let name = parts.join(".");
+        let suffix = name_suffix(&name);
+        prop_assert!(name.ends_with(suffix));
+        let m = parts.len();
+        let expect = if m >= 4 { 3 } else { 2.min(m) };
+        prop_assert_eq!(suffix.split('.').count(), expect.max(1).min(m));
+    }
+
+    /// Traceroute invariants across arbitrary universe seeds: every traced
+    /// org host resolves to a name or a non-empty path; optimized never
+    /// costs more probes than classic; stats accumulate exactly.
+    #[test]
+    fn traceroute_invariants(seed in 0u64..100) {
+        let u = Universe::generate(UniverseConfig::small(seed));
+        let mut classic = Traceroute::classic(&u);
+        let mut optimized = Traceroute::optimized(&u);
+        let mut traces = 0u64;
+        for org in u.orgs().iter().take(25) {
+            let addr = org.host_addr(0).expect("active host");
+            let c = classic.trace(addr);
+            let o = optimized.trace(addr);
+            traces += 1;
+            prop_assert_eq!(c.hops(), o.hops(), "same discovered path");
+            match &o {
+                TraceOutcome::Reached { rtt_ms, hops, .. } => {
+                    prop_assert!(*rtt_ms > 0.0);
+                    prop_assert!(!hops.is_empty());
+                }
+                TraceOutcome::PathOnly { hops } => prop_assert!(!hops.is_empty()),
+                TraceOutcome::Unroutable => prop_assert!(false, "org hosts are routable"),
+            }
+        }
+        let (cs, os) = (classic.stats(), optimized.stats());
+        prop_assert_eq!(cs.traces, traces);
+        prop_assert_eq!(os.traces, traces);
+        prop_assert!(os.probes <= cs.probes, "optimized {} vs classic {}", os.probes, cs.probes);
+        prop_assert!(os.time_ms <= cs.time_ms);
+    }
+
+    /// nslookup and traceroute agree on who answers: a Reached outcome
+    /// implies host_responds, and a resolved name implies Reached.
+    #[test]
+    fn nslookup_traceroute_consistency(seed in 0u64..100) {
+        let u = Universe::generate(UniverseConfig::small(seed));
+        let mut ns = Nslookup::new(&u);
+        let mut tr = Traceroute::optimized(&u);
+        for org in u.orgs().iter().take(30) {
+            let addr = org.host_addr(0).expect("active host");
+            let name = ns.resolve(addr);
+            let outcome = tr.trace(addr);
+            if name.is_some() {
+                prop_assert!(
+                    matches!(outcome, TraceOutcome::Reached { .. }),
+                    "resolvable host must answer probes"
+                );
+                prop_assert_eq!(outcome.name(), name.as_deref());
+            }
+            prop_assert_eq!(
+                matches!(outcome, TraceOutcome::Reached { .. }),
+                u.host_responds(addr)
+            );
+        }
+    }
+}

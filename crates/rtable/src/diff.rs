@@ -1,0 +1,142 @@
+//! Snapshot differencing and BGP-dynamics measures (§3.4, Table 4).
+//!
+//! The paper studies how day-scale BGP churn affects clustering. Its key
+//! quantity is the **dynamic prefix set** over a testing period: the set of
+//! prefixes *not* present in every snapshot (union minus intersection). The
+//! **maximum effect** is the size of that set — an upper bound on how many
+//! prefixes (and hence clusters) churn could touch.
+
+use std::collections::BTreeSet;
+
+use netclust_prefix::Ipv4Net;
+
+use crate::table::RoutingTable;
+
+/// Prefix-level difference between two snapshots of the same vantage point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotDiff {
+    /// Prefixes present in the new snapshot but not the old.
+    pub added: Vec<Ipv4Net>,
+    /// Prefixes present in the old snapshot but not the new.
+    pub removed: Vec<Ipv4Net>,
+}
+
+impl SnapshotDiff {
+    /// Computes `new - old` / `old - new` (both outputs sorted).
+    pub fn between(old: &RoutingTable, new: &RoutingTable) -> Self {
+        let old_set = old.prefix_set();
+        let new_set = new.prefix_set();
+        SnapshotDiff {
+            added: new_set.difference(&old_set).copied().collect(),
+            removed: old_set.difference(&new_set).copied().collect(),
+        }
+    }
+
+    /// Total number of changed prefixes.
+    pub fn churn(&self) -> usize {
+        self.added.len() + self.removed.len()
+    }
+
+    /// `true` when the snapshots are identical.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+}
+
+/// The dynamic prefix set over a series of snapshots: prefixes that are not
+/// in the intersection of all snapshots (i.e. appear or disappear at least
+/// once during the period). Empty input yields an empty set.
+pub fn dynamic_prefix_set(snapshots: &[&RoutingTable]) -> BTreeSet<Ipv4Net> {
+    let mut iter = snapshots.iter();
+    let Some(first) = iter.next() else {
+        return BTreeSet::new();
+    };
+    let mut union = first.prefix_set();
+    let mut intersection = union.clone();
+    for snap in iter {
+        let set = snap.prefix_set();
+        union.extend(set.iter().copied());
+        intersection.retain(|p| set.contains(p));
+    }
+    union.difference(&intersection).copied().collect()
+}
+
+/// The paper's *maximum effect*: `|dynamic_prefix_set|`.
+pub fn maximum_effect(snapshots: &[&RoutingTable]) -> usize {
+    dynamic_prefix_set(snapshots).len()
+}
+
+/// Restricts a dynamic prefix set to the prefixes in `used`: the maximum
+/// effect *on a particular log*, whose clusters only use a subset of the
+/// table (Table 4's per-log "Maximum effect" rows).
+pub fn effect_on<'a, I>(dynamic: &BTreeSet<Ipv4Net>, used: I) -> usize
+where
+    I: IntoIterator<Item = &'a Ipv4Net>,
+{
+    used.into_iter().filter(|p| dynamic.contains(p)).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::TableKind;
+
+    fn table(name: &str, specs: &[&str]) -> RoutingTable {
+        RoutingTable::new(
+            name,
+            "d",
+            TableKind::Bgp,
+            specs.iter().map(|s| s.parse().unwrap()).collect(),
+        )
+    }
+
+    #[test]
+    fn diff_between_snapshots() {
+        let old = table("A", &["6.0.0.0/8", "18.0.0.0/8"]);
+        let new = table("A", &["6.0.0.0/8", "24.48.2.0/23"]);
+        let d = SnapshotDiff::between(&old, &new);
+        assert_eq!(d.added, vec!["24.48.2.0/23".parse().unwrap()]);
+        assert_eq!(d.removed, vec!["18.0.0.0/8".parse().unwrap()]);
+        assert_eq!(d.churn(), 2);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn identical_snapshots_have_empty_diff() {
+        let t = table("A", &["6.0.0.0/8"]);
+        let d = SnapshotDiff::between(&t, &t);
+        assert!(d.is_empty());
+        assert_eq!(d.churn(), 0);
+    }
+
+    #[test]
+    fn dynamic_set_is_union_minus_intersection() {
+        let d0 = table("A", &["6.0.0.0/8", "18.0.0.0/8", "24.48.2.0/23"]);
+        let d1 = table("A", &["6.0.0.0/8", "18.0.0.0/8", "12.65.128.0/19"]);
+        let d2 = table("A", &["6.0.0.0/8", "18.0.0.0/8"]);
+        let dynamic = dynamic_prefix_set(&[&d0, &d1, &d2]);
+        let expect: BTreeSet<Ipv4Net> =
+            ["24.48.2.0/23", "12.65.128.0/19"].iter().map(|s| s.parse().unwrap()).collect();
+        assert_eq!(dynamic, expect);
+        assert_eq!(maximum_effect(&[&d0, &d1, &d2]), 2);
+    }
+
+    #[test]
+    fn single_snapshot_has_no_dynamics() {
+        let d0 = table("A", &["6.0.0.0/8"]);
+        assert_eq!(maximum_effect(&[&d0]), 0);
+        assert!(dynamic_prefix_set(&[]).is_empty());
+    }
+
+    #[test]
+    fn effect_on_restricts_to_used_prefixes() {
+        let d0 = table("A", &["6.0.0.0/8", "18.0.0.0/8", "24.48.2.0/23"]);
+        let d1 = table("A", &["6.0.0.0/8"]);
+        let dynamic = dynamic_prefix_set(&[&d0, &d1]);
+        assert_eq!(dynamic.len(), 2);
+        // A log that only used 18.0.0.0/8 and 6.0.0.0/8 sees effect 1.
+        let used: Vec<Ipv4Net> =
+            vec!["18.0.0.0/8".parse().unwrap(), "6.0.0.0/8".parse().unwrap()];
+        assert_eq!(effect_on(&dynamic, used.iter()), 1);
+    }
+}

@@ -1,0 +1,24 @@
+//! Routing-table substrate: radix-trie longest-prefix match, snapshot
+//! modelling, multi-table merging, and BGP-dynamics analysis.
+//!
+//! This crate implements the paper's §3.1 (prefix extraction and table
+//! merging) and §3.4 (effect of BGP dynamics) machinery:
+//!
+//! * [`PrefixTrie`] — arena-allocated binary trie with longest-prefix match,
+//! * [`RoutingTable`] / [`MergedTable`] — named snapshots and the unified
+//!   two-tier (BGP primary / registry-dump secondary) lookup table,
+//! * [`PrefixLengthHistogram`] — Figure 1's prefix-length distribution,
+//! * [`SnapshotDiff`], [`dynamic_prefix_set`], [`maximum_effect`] — the
+//!   dynamics measures behind Table 4.
+
+#![warn(missing_docs)]
+
+mod diff;
+mod stats;
+mod table;
+mod trie;
+
+pub use diff::{dynamic_prefix_set, effect_on, maximum_effect, SnapshotDiff};
+pub use stats::PrefixLengthHistogram;
+pub use table::{MatchSource, MergedTable, RouteAttrs, RoutingTable, TableKind};
+pub use trie::{PrefixTrie, PrefixTrieIter};

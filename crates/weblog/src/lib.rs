@@ -1,0 +1,25 @@
+//! Web-server log substrate: the log model, Common Log Format I/O, and a
+//! synthetic workload generator calibrated to the paper's four evaluation
+//! logs (Nagano, Apache, EW3, Sun).
+//!
+//! * [`Log`] / [`Request`] — compact in-memory representation,
+//! * [`clf`] — Apache Common Log Format parsing and serialization,
+//! * [`LogSpec`] — generation parameters with paper presets
+//!   ([`LogSpec::nagano`] etc.) and proportional [`LogSpec::scale`],
+//! * [`generate`] — deterministic generation over a
+//!   [`netclust_netgen::Universe`], embedding spiders and proxies whose
+//!   ground truth is recorded in [`LogTruth`],
+//! * [`ZipfSampler`] / [`pareto_u64`] — the heavy-tail machinery.
+
+#![warn(missing_docs)]
+
+pub mod clf;
+mod gen;
+mod record;
+mod spec;
+mod zipf;
+
+pub use gen::generate;
+pub use record::{Log, LogTruth, Request, UaId, UrlId, UrlMeta};
+pub use spec::{LogSpec, ProxySpec, SpiderSpec};
+pub use zipf::{pareto_u64, ZipfSampler};

@@ -1,0 +1,65 @@
+//! How cluster granularity changes a Web-caching study's conclusions
+//! (§4.1.5) — plus log round-tripping through the Common Log Format.
+//!
+//! ```sh
+//! cargo run --release --example caching_study
+//! ```
+//!
+//! Runs the same trace through proxies placed per network-aware cluster,
+//! per /24, and per classful network, sweeping cache sizes. The simple
+//! approach fragments organizations, so it under-reports the benefit of
+//! caching — the paper's central warning to simulation studies.
+
+use netclust::cachesim::{sweep_cache_sizes, SimConfig};
+use netclust::core::Clustering;
+use netclust::netgen::{standard_merged, Universe, UniverseConfig};
+use netclust::weblog::clf;
+use netclust::weblog::{generate, LogSpec};
+
+fn main() {
+    let universe = Universe::generate(UniverseConfig { seed: 23, ..UniverseConfig::default() });
+    let merged = standard_merged(&universe, 0);
+    let mut spec = LogSpec::tiny("study", 29);
+    spec.total_requests = 100_000;
+    spec.target_clients = 2_000;
+    spec.num_urls = 2_000;
+    let log = generate(&universe, &spec);
+
+    // Detour: the log round-trips through the standard Apache CLF, so real
+    // logs can be ingested the same way.
+    let text = clf::to_clf(&log);
+    let (parsed, errors) = clf::from_clf("study", &text);
+    assert!(errors.is_empty());
+    assert_eq!(parsed.requests.len(), log.requests.len());
+    println!(
+        "CLF round-trip: {} lines, {} bytes, 0 parse errors",
+        parsed.requests.len(),
+        text.len()
+    );
+    let first = text.lines().next().unwrap();
+    println!("sample line: {first}");
+
+    // The study: identical trace, three clustering granularities.
+    let clusterings = [
+        Clustering::network_aware(&parsed, &merged),
+        Clustering::simple24(&parsed),
+        Clustering::classful(&parsed),
+    ];
+    let sizes: Vec<u64> = vec![256 << 10, 1 << 20, 4 << 20, 16 << 20];
+    println!("\nserver-side hit ratio by per-proxy cache size:");
+    print!("{:>16}", "method");
+    for s in &sizes {
+        print!("{:>9}", format!("{}KB", s >> 10));
+    }
+    println!();
+    for clustering in &clusterings {
+        let points = sweep_cache_sizes(&parsed, clustering, &sizes, &SimConfig::paper(0));
+        print!("{:>16}", clustering.method);
+        for (_, hit, _) in &points {
+            print!("{:>9}", format!("{:.1}%", hit * 100.0));
+        }
+        println!("   ({} proxies)", clustering.len());
+    }
+    println!("\nthe /24 grouping needs more proxies yet reports a lower hit ratio —");
+    println!("exactly the under-estimate the paper warns trace-driven studies about");
+}

@@ -1,0 +1,202 @@
+//! `netclust` — command-line interface to network-aware client clustering.
+//!
+//! ```text
+//! netclust synth --out DIR [--seed N] [--requests N] [--clients N]
+//!     Generate a demo dataset: CLF access log + routing-table dumps.
+//!
+//! netclust cluster --log FILE --table FILE[,FILE...] [--dump FILE,...]
+//!                  [--top N] [--method aware|simple|classful]
+//!     Cluster the clients of a Common Log Format file against BGP
+//!     routing-table dumps and print the busiest clusters.
+//! ```
+//!
+//! Table files accept one prefix per line in any of the three §3.1.2
+//! formats (`x.x.x.x/len`, `x.x.x.x/mask`, bare classful address); extra
+//! whitespace-separated columns are ignored, so raw `show ip bgp`-style
+//! dumps work after column trimming.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use netclust::core::{threshold_busy, Clustering, Distributions};
+use netclust::netgen::{standard_collection, Universe, UniverseConfig};
+use netclust::rtable::{MergedTable, RoutingTable, TableKind};
+use netclust::weblog::{clf, generate, LogSpec};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("synth") => cmd_synth(&args[1..]),
+        Some("cluster") => cmd_cluster(&args[1..]),
+        _ => {
+            eprintln!("usage: netclust <synth|cluster> [options]   (see --help in source header)");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Pulls `--name value` out of an option list.
+fn opt<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn cmd_synth(args: &[String]) -> ExitCode {
+    let Some(out) = opt(args, "--out") else {
+        eprintln!("synth: --out DIR is required");
+        return ExitCode::FAILURE;
+    };
+    let seed: u64 = opt(args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(42);
+    let requests: u64 =
+        opt(args, "--requests").and_then(|s| s.parse().ok()).unwrap_or(100_000);
+    let clients: u64 = opt(args, "--clients").and_then(|s| s.parse().ok()).unwrap_or(2_000);
+
+    let out = PathBuf::from(out);
+    if let Err(e) = fs::create_dir_all(&out) {
+        eprintln!("synth: cannot create {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    let universe = Universe::generate(UniverseConfig { seed, ..UniverseConfig::default() });
+    let mut spec = LogSpec::tiny("synth", seed);
+    spec.total_requests = requests;
+    spec.target_clients = clients;
+    let log = generate(&universe, &spec);
+    let log_path = out.join("access.log");
+    if let Err(e) = fs::write(&log_path, clf::to_clf(&log)) {
+        eprintln!("synth: write failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {} ({} requests, {} clients)", log_path.display(), log.requests.len(), log.client_count());
+
+    for table in standard_collection(&universe, 0, 0) {
+        let name = table.name.to_lowercase().replace(['&', '-'], "_");
+        let ext = match table.kind {
+            TableKind::Bgp => "bgp",
+            TableKind::NetworkDump => "dump",
+        };
+        let path = out.join(format!("{name}.{ext}"));
+        let body: String =
+            table.prefixes().iter().map(|p| format!("{p}\n")).collect();
+        if let Err(e) = fs::write(&path, body) {
+            eprintln!("synth: write failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {} ({} prefixes)", path.display(), table.len());
+    }
+    println!("\ntry: netclust cluster --log {}/access.log --table {}/*.bgp --dump {}/*.dump",
+        out.display(), out.display(), out.display());
+    ExitCode::SUCCESS
+}
+
+fn read_tables(list: &str, kind: TableKind) -> Result<Vec<RoutingTable>, String> {
+    let mut tables = Vec::new();
+    for path in list.split(',').filter(|s| !s.is_empty()) {
+        let text =
+            fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let (table, bad) = RoutingTable::parse(path, "file", kind, &text);
+        if bad > 0 {
+            eprintln!("note: {path}: skipped {bad} unparsable lines");
+        }
+        tables.push(table);
+    }
+    Ok(tables)
+}
+
+fn cmd_cluster(args: &[String]) -> ExitCode {
+    let Some(log_path) = opt(args, "--log") else {
+        eprintln!("cluster: --log FILE is required");
+        return ExitCode::FAILURE;
+    };
+    let method = opt(args, "--method").unwrap_or("aware");
+    let top: usize = opt(args, "--top").and_then(|s| s.parse().ok()).unwrap_or(20);
+
+    let text = match fs::read_to_string(log_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cluster: cannot read {log_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (log, errors) = clf::from_clf(log_path, &text);
+    if !errors.is_empty() {
+        eprintln!("note: {} unparsable log lines skipped", errors.len());
+    }
+    if log.requests.is_empty() {
+        eprintln!("cluster: no parsable requests in {log_path}");
+        return ExitCode::FAILURE;
+    }
+
+    let clustering = match method {
+        "simple" => Clustering::simple24(&log),
+        "classful" => Clustering::classful(&log),
+        "aware" => {
+            let bgp = match opt(args, "--table") {
+                Some(list) => match read_tables(list, TableKind::Bgp) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("cluster: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => {
+                    eprintln!("cluster: --table FILE[,FILE...] is required for method 'aware'");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let dumps = match opt(args, "--dump") {
+                Some(list) => match read_tables(list, TableKind::NetworkDump) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("cluster: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => Vec::new(),
+            };
+            let merged = MergedTable::merge(bgp.iter().chain(dumps.iter()));
+            println!(
+                "merged table: {} BGP + {} registry prefixes from {} files",
+                merged.bgp_len(),
+                merged.dump_len(),
+                merged.source_names().len()
+            );
+            Clustering::network_aware(&log, &merged)
+        }
+        other => {
+            eprintln!("cluster: unknown method {other:?} (aware|simple|classful)");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "{}: {} requests, {} clients -> {} clusters ({:.2}% clustered, {} unclustered clients)",
+        log.name,
+        log.requests.len(),
+        clustering.client_count(),
+        clustering.len(),
+        clustering.coverage() * 100.0,
+        clustering.unclustered.len()
+    );
+    let busy = threshold_busy(&clustering, 0.7);
+    println!(
+        "busy clusters covering 70% of requests: {} (threshold {} requests)",
+        busy.busy.len(),
+        busy.threshold
+    );
+    let d = Distributions::of(&clustering);
+    println!("\n{:>20} {:>8} {:>10} {:>8}", "cluster", "clients", "requests", "URLs");
+    for &idx in d.by_requests.iter().take(top) {
+        let c = &clustering.clusters[idx];
+        println!(
+            "{:>20} {:>8} {:>10} {:>8}",
+            c.prefix.to_string(),
+            c.client_count(),
+            c.requests,
+            c.unique_urls
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,109 @@
+//! End-to-end test of the `netclust` command-line binary: synthesize a
+//! dataset to disk, then cluster it back from the files — the full
+//! file-based workflow a downstream user runs.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_netclust")
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("netclust-cli-test-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn synth_then_cluster_roundtrip() {
+    let dir = tmpdir("roundtrip");
+    let out = Command::new(bin())
+        .args(["synth", "--out"])
+        .arg(&dir)
+        .args(["--seed", "9", "--requests", "20000", "--clients", "600"])
+        .output()
+        .expect("run synth");
+    assert!(out.status.success(), "synth failed: {}", String::from_utf8_lossy(&out.stderr));
+    let log = dir.join("access.log");
+    assert!(log.exists());
+    // 12 BGP tables + 2 dumps written.
+    let bgp: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.ends_with(".bgp"))
+        .collect();
+    let dumps: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.ends_with(".dump"))
+        .collect();
+    assert_eq!(bgp.len(), 12, "{bgp:?}");
+    assert_eq!(dumps.len(), 2, "{dumps:?}");
+
+    let tables = bgp
+        .iter()
+        .map(|n| dir.join(n).to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join(",");
+    let dump_list = dumps
+        .iter()
+        .map(|n| dir.join(n).to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join(",");
+    let out = Command::new(bin())
+        .args(["cluster", "--log"])
+        .arg(&log)
+        .args(["--table", &tables, "--dump", &dump_list, "--top", "5"])
+        .output()
+        .expect("run cluster");
+    assert!(out.status.success(), "cluster failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("merged table:"), "{stdout}");
+    assert!(stdout.contains("clusters"), "{stdout}");
+    assert!(stdout.contains("busy clusters covering 70%"), "{stdout}");
+    // The top-cluster table prints CIDR prefixes.
+    assert!(stdout.lines().any(|l| l.contains('/') && l.contains('.')), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cluster_simple_method_needs_no_tables() {
+    let dir = tmpdir("simple");
+    let status = Command::new(bin())
+        .args(["synth", "--out"])
+        .arg(&dir)
+        .args(["--seed", "4", "--requests", "5000", "--clients", "200"])
+        .status()
+        .expect("run synth");
+    assert!(status.success());
+    let out = Command::new(bin())
+        .args(["cluster", "--method", "simple", "--log"])
+        .arg(dir.join("access.log"))
+        .output()
+        .expect("run cluster simple");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("clusters"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bad_usage_fails_cleanly() {
+    let out = Command::new(bin()).output().expect("run bare");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+    let out = Command::new(bin())
+        .args(["cluster", "--log", "/nonexistent/file.log", "--method", "simple"])
+        .output()
+        .expect("run with missing file");
+    assert!(!out.status.success());
+    let out = Command::new(bin())
+        .args(["cluster", "--log", "x", "--method", "bogus"])
+        .output()
+        .expect("run with bad method");
+    assert!(!out.status.success());
+}
