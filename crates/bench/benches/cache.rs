@@ -26,7 +26,12 @@ fn bench_lru(c: &mut Criterion) {
                 } else {
                     cache.insert(
                         url,
-                        Entry { size: 4096, cached_at: i as u32, validated_at: i as u32, version: 0 },
+                        Entry {
+                            size: 4096,
+                            cached_at: i as u32,
+                            validated_at: i as u32,
+                            version: 0,
+                        },
                     );
                 }
             }
@@ -46,7 +51,10 @@ fn bench_lru(c: &mut Criterion) {
 }
 
 fn bench_trace_replay(c: &mut Criterion) {
-    let universe = Universe::generate(UniverseConfig { seed: 7, ..UniverseConfig::default() });
+    let universe = Universe::generate(UniverseConfig {
+        seed: 7,
+        ..UniverseConfig::default()
+    });
     let merged = standard_merged(&universe, 0);
     let mut spec = LogSpec::tiny("bench", 5);
     spec.total_requests = 150_000;

@@ -8,7 +8,10 @@ use netclust_netgen::{standard_merged, Universe, UniverseConfig};
 use netclust_weblog::{generate, LogSpec};
 
 fn bench_clustering(c: &mut Criterion) {
-    let universe = Universe::generate(UniverseConfig { seed: 7, ..UniverseConfig::default() });
+    let universe = Universe::generate(UniverseConfig {
+        seed: 7,
+        ..UniverseConfig::default()
+    });
     let merged = standard_merged(&universe, 0);
     let mut spec = LogSpec::tiny("bench", 3);
     spec.total_requests = 200_000;

@@ -6,7 +6,10 @@ use netclust_netgen::{snapshot, Universe, UniverseConfig, VantageSpec};
 use netclust_weblog::{clf, generate, LogSpec};
 
 fn bench_loggen(c: &mut Criterion) {
-    let universe = Universe::generate(UniverseConfig { seed: 7, ..UniverseConfig::default() });
+    let universe = Universe::generate(UniverseConfig {
+        seed: 7,
+        ..UniverseConfig::default()
+    });
     let mut spec = LogSpec::tiny("bench", 9);
     spec.total_requests = 100_000;
     spec.target_clients = 2_000;
@@ -25,7 +28,9 @@ fn bench_loggen(c: &mut Criterion) {
     group.throughput(Throughput::Bytes(text.len() as u64));
     group.sample_size(10);
     group.bench_function("serialize", |b| b.iter(|| clf::to_clf(&log).len()));
-    group.bench_function("parse", |b| b.iter(|| clf::from_clf("bench", &text).0.requests.len()));
+    group.bench_function("parse", |b| {
+        b.iter(|| clf::from_clf("bench", &text).0.requests.len())
+    });
     group.finish();
 
     let mut group = c.benchmark_group("netgen");

@@ -52,7 +52,12 @@ fn bench_lpm(c: &mut Criterion) {
         })
     });
     group.bench_function(BenchmarkId::new("bylen_hashmaps", prefixes.len()), |b| {
-        b.iter(|| probes.iter().filter(|&&a| bylen.lookup(a).is_some()).count())
+        b.iter(|| {
+            probes
+                .iter()
+                .filter(|&&a| bylen.lookup(a).is_some())
+                .count()
+        })
     });
     group.finish();
 
@@ -77,9 +82,7 @@ fn bench_build(c: &mut Criterion) {
             trie.len()
         })
     });
-    group.bench_function("bylen_hashmaps", |b| {
-        b.iter(|| ByLengthLpm::new(&prefixes))
-    });
+    group.bench_function("bylen_hashmaps", |b| b.iter(|| ByLengthLpm::new(&prefixes)));
     group.finish();
 }
 

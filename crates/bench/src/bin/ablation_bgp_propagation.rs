@@ -66,9 +66,10 @@ fn main() {
 
     // Downstream comparison.
     let mut rows = Vec::new();
-    for (label, merged) in
-        [("statistical", &statistical_merged), ("propagated", &propagated_merged)]
-    {
+    for (label, merged) in [
+        ("statistical", &statistical_merged),
+        ("propagated", &propagated_merged),
+    ] {
         let clustering = Clustering::network_aware(&log, merged);
         let report = validate(&universe, &clustering, &SamplePlan::default());
         rows.push(vec![
@@ -82,7 +83,14 @@ fn main() {
     }
     print_table(
         "Clustering under the two BGP substitutions (nagano)",
-        &["table model", "clusters", "coverage", "nslookup pass", "traceroute pass", "truth pass"],
+        &[
+            "table model",
+            "clusters",
+            "coverage",
+            "nslookup pass",
+            "traceroute pass",
+            "truth pass",
+        ],
         &rows,
     );
     println!("\nexpected: both models give ~99.9% coverage and >90% validation pass —");

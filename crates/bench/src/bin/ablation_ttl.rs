@@ -10,7 +10,13 @@ fn main() {
     let clustering = Clustering::network_aware(&log, &merged);
 
     let mut rows = Vec::new();
-    for (label, ttl) in [("5 min", 300u32), ("10 min", 600), ("15 min", 900), ("1 h", 3_600), ("4 h", 14_400)] {
+    for (label, ttl) in [
+        ("5 min", 300u32),
+        ("10 min", 600),
+        ("15 min", 900),
+        ("1 h", 3_600),
+        ("4 h", 14_400),
+    ] {
         let cfg = SimConfig {
             cache_bytes: 16 << 20,
             ttl_s: ttl,
@@ -30,7 +36,13 @@ fn main() {
     }
     print_table(
         "Ablation: PCV TTL sensitivity (nagano, 16MB proxies)",
-        &["ttl", "hit ratio", "byte-hit ratio", "IMS validations", "server msgs"],
+        &[
+            "ttl",
+            "hit ratio",
+            "byte-hit ratio",
+            "IMS validations",
+            "server msgs",
+        ],
         &rows,
     );
     println!("\npaper: 5/10/15-minute TTLs yield results similar to the 1-hour default;");

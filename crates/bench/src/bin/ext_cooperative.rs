@@ -37,7 +37,10 @@ fn main() {
             pct(coop.local_hit_ratio()),
             pct(coop.sibling_hits as f64 / coop.requests.max(1) as f64),
             pct(coop.total_hit_ratio()),
-            format!("{:.1}%", 100.0 * (1.0 - coop.origin_fetches as f64 / solo.origin_fetches.max(1) as f64)),
+            format!(
+                "{:.1}%",
+                100.0 * (1.0 - coop.origin_fetches as f64 / solo.origin_fetches.max(1) as f64)
+            ),
         ]);
     }
     print_table(

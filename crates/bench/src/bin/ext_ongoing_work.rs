@@ -25,9 +25,10 @@ fn main() {
     // Origin AS of a cluster prefix: exact announcement, or the covering
     // one (registry-derived prefixes are not announced verbatim).
     let origin_of = |p: Ipv4Net| -> Option<u32> {
-        origin_trie.get(p).copied().or_else(|| {
-            origin_trie.longest_match(p.addr()).map(|(_, &asn)| asn)
-        })
+        origin_trie
+            .get(p)
+            .copied()
+            .or_else(|| origin_trie.longest_match(p.addr()).map(|(_, &asn)| asn))
     };
     let unguarded = merge_by_name_suffix(
         &universe,
@@ -60,7 +61,13 @@ fn main() {
             clustering.len(),
             pct(org_purity(&universe, &clustering))
         ),
-        &["variant", "merged away", "blocked by guard", "clusters after", "purity after"],
+        &[
+            "variant",
+            "merged away",
+            "blocked by guard",
+            "clusters after",
+            "purity after",
+        ],
         &rows,
     );
     println!("unguarded merges that lower purity are name-collision errors (distinct orgs with");
@@ -87,7 +94,13 @@ fn main() {
     }
     print_table(
         "Selective-sampling validation (§3.3's threshold idea)",
-        &["tolerance", "sampled", "passed", "pass rate", "rescued vs strict"],
+        &[
+            "tolerance",
+            "sampled",
+            "passed",
+            "pass rate",
+            "rescued vs strict",
+        ],
         &rows,
     );
 

@@ -6,9 +6,7 @@
 //! Sun proxy cluster has two clients issuing 2,699 and 323,867 requests.
 
 use netclust_bench::{paper_universe, pct, print_table, scaled};
-use netclust_core::{
-    cluster_request_distribution, detect, AnomalyConfig, ClientClass, Clustering,
-};
+use netclust_core::{cluster_request_distribution, detect, AnomalyConfig, ClientClass, Clustering};
 use netclust_netgen::standard_merged;
 use netclust_weblog::{generate, LogSpec};
 
@@ -47,7 +45,10 @@ fn main() {
 
     // Detector verdicts against ground truth.
     let min_requests = (20_000.0 * netclust_bench::scale()) as u64;
-    let config = AnomalyConfig { min_requests: min_requests.max(500), ..Default::default() };
+    let config = AnomalyConfig {
+        min_requests: min_requests.max(500),
+        ..Default::default()
+    };
     let detections = detect(&log, &clustering, &config);
     let rows: Vec<Vec<String>> = detections
         .iter()
@@ -66,7 +67,16 @@ fn main() {
         .collect();
     print_table(
         "Detector verdicts (sun)",
-        &["client", "class", "requests", "cluster share", "corr", "burst", "URLs", "UAs"],
+        &[
+            "client",
+            "class",
+            "requests",
+            "cluster share",
+            "corr",
+            "burst",
+            "URLs",
+            "UAs",
+        ],
         &rows,
     );
     let found_spider = detections
@@ -75,9 +85,11 @@ fn main() {
     let found_proxy = detections
         .iter()
         .any(|d| d.class == ClientClass::SuspectedProxy && d.addr == log.truth.proxies[0]);
-    println!("ground truth: spider {spider} {}, proxy {} {}",
+    println!(
+        "ground truth: spider {spider} {}, proxy {} {}",
         if found_spider { "DETECTED" } else { "MISSED" },
         log.truth.proxies[0],
-        if found_proxy { "DETECTED" } else { "MISSED" });
+        if found_proxy { "DETECTED" } else { "MISSED" }
+    );
     println!("paper: spiders found via burstiness + dominance; proxies via UA diversity + diurnal mimicry");
 }

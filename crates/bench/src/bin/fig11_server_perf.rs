@@ -15,8 +15,10 @@ fn main() {
 
     // Eliminate spiders/proxies, as the paper does before simulation.
     let pre = Clustering::network_aware(&log, &merged);
-    let anomalous: Vec<std::net::Ipv4Addr> =
-        detect(&log, &pre, &AnomalyConfig::default()).iter().map(|d| d.addr).collect();
+    let anomalous: Vec<std::net::Ipv4Addr> = detect(&log, &pre, &AnomalyConfig::default())
+        .iter()
+        .map(|d| d.addr)
+        .collect();
     let log = strip_clients(&log, &anomalous);
 
     let aware = Clustering::network_aware(&log, &merged);

@@ -14,8 +14,10 @@ use netclust_core::{detect, strip_clients, AnomalyConfig, Clustering};
 fn main() {
     let (_u, log, merged) = nagano_env();
     let pre = Clustering::network_aware(&log, &merged);
-    let anomalous: Vec<std::net::Ipv4Addr> =
-        detect(&log, &pre, &AnomalyConfig::default()).iter().map(|d| d.addr).collect();
+    let anomalous: Vec<std::net::Ipv4Addr> = detect(&log, &pre, &AnomalyConfig::default())
+        .iter()
+        .map(|d| d.addr)
+        .collect();
     let log = strip_clients(&log, &anomalous);
 
     let aware = Clustering::network_aware(&log, &merged);
@@ -42,7 +44,13 @@ fn main() {
                 "Figure 12 [{}]: top-100 proxies, infinite cache (downsampled ranks)",
                 clustering.method
             ),
-            &["rank", "(a) requests", "(b) KB", "(c) hit ratio", "(d) byte-hit ratio"],
+            &[
+                "rank",
+                "(a) requests",
+                "(b) KB",
+                "(c) hit ratio",
+                "(d) byte-hit ratio",
+            ],
             &rows,
         );
         let top: Vec<_> = rows_all.iter().take(100).collect();

@@ -14,8 +14,16 @@ fn main() {
     let d = Distributions::of(&clustering);
 
     for (title, series, marks) in [
-        ("Figure 3(a): CDF of clients per cluster", &d.clients, vec![1u64, 2, 5, 10, 20, 50, 100, 500, 2000]),
-        ("Figure 3(b): CDF of requests per cluster", &d.requests, vec![1, 10, 100, 1_000, 10_000, 100_000]),
+        (
+            "Figure 3(a): CDF of clients per cluster",
+            &d.clients,
+            vec![1u64, 2, 5, 10, 20, 50, 100, 500, 2000],
+        ),
+        (
+            "Figure 3(b): CDF of requests per cluster",
+            &d.requests,
+            vec![1, 10, 100, 1_000, 10_000, 100_000],
+        ),
     ] {
         let points = cdf(series);
         let rows: Vec<Vec<String>> = marks

@@ -29,7 +29,10 @@ fn main() {
             format!("{:.1}", sizes.variance.sqrt()),
             largest.client_count().to_string(),
             largest.requests.to_string(),
-            format!("{:.2}%", 100.0 * largest.requests as f64 / log.requests.len() as f64),
+            format!(
+                "{:.2}%",
+                100.0 * largest.requests as f64 / log.requests.len() as f64
+            ),
             format!("{:.1}", reqs.mean),
         ]);
     }
@@ -72,7 +75,13 @@ fn main() {
         .collect();
     print_table(
         "Figure 7 series at matching rank percentiles",
-        &["rank pct", "(a) aware clients", "simple clients", "(c) aware requests", "simple requests"],
+        &[
+            "rank pct",
+            "(a) aware clients",
+            "simple clients",
+            "(c) aware requests",
+            "simple requests",
+        ],
         &rows,
     );
     println!("\npaper: simple produces ~2.4x more clusters, capped at 256 clients, with smaller means/variance");

@@ -16,7 +16,9 @@ fn bars(hist: &[u64], cols: usize) -> Vec<String> {
     let chunk = hist.len().div_ceil(cols).max(1);
     let sums: Vec<u64> = hist.chunks(chunk).map(|c| c.iter().sum()).collect();
     let max = sums.iter().copied().max().unwrap_or(1).max(1);
-    sums.iter().map(|&s| "#".repeat((s * 24 / max) as usize)).collect()
+    sums.iter()
+        .map(|&s| "#".repeat((s * 24 / max) as usize))
+        .collect()
 }
 
 fn main() {
@@ -28,12 +30,22 @@ fn main() {
     let whole = hourly_histogram(&log, |_| true);
     let proxy = u32::from(log.truth.proxies[0]);
     let spider = u32::from(log.truth.spiders[0]);
-    let proxy_cluster = clustering.cluster_of(log.truth.proxies[0]).expect("proxy clustered");
-    let spider_cluster = clustering.cluster_of(log.truth.spiders[0]).expect("spider clustered");
-    let proxy_members: std::collections::HashSet<u32> =
-        proxy_cluster.clients.iter().map(|c| u32::from(c.addr)).collect();
-    let spider_members: std::collections::HashSet<u32> =
-        spider_cluster.clients.iter().map(|c| u32::from(c.addr)).collect();
+    let proxy_cluster = clustering
+        .cluster_of(log.truth.proxies[0])
+        .expect("proxy clustered");
+    let spider_cluster = clustering
+        .cluster_of(log.truth.spiders[0])
+        .expect("spider clustered");
+    let proxy_members: std::collections::HashSet<u32> = proxy_cluster
+        .clients
+        .iter()
+        .map(|c| u32::from(c.addr))
+        .collect();
+    let spider_members: std::collections::HashSet<u32> = spider_cluster
+        .clients
+        .iter()
+        .map(|c| u32::from(c.addr))
+        .collect();
     let proxy_hist = hourly_histogram(&log, |r| proxy_members.contains(&r.client));
     let spider_hist = hourly_histogram(&log, |r| spider_members.contains(&r.client));
 
@@ -41,11 +53,23 @@ fn main() {
     let pb = bars(&proxy_hist, 28);
     let sb = bars(&spider_hist, 28);
     let rows: Vec<Vec<String>> = (0..wb.len())
-        .map(|i| vec![format!("t{}", i), wb[i].clone(), pb[i].clone(), sb[i].clone()])
+        .map(|i| {
+            vec![
+                format!("t{}", i),
+                wb[i].clone(),
+                pb[i].clone(),
+                sb[i].clone(),
+            ]
+        })
         .collect();
     print_table(
         "Figure 9: request histograms (sun) — whole log vs proxy cluster vs spider cluster",
-        &["bucket", "(a) entire log", "(b) proxy cluster", "(c) spider cluster"],
+        &[
+            "bucket",
+            "(a) entire log",
+            "(b) proxy cluster",
+            "(c) spider cluster",
+        ],
         &rows,
     );
 

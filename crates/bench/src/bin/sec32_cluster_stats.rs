@@ -16,17 +16,34 @@ fn main() {
     let (universe, log, merged) = nagano_env();
 
     let clustering = Clustering::network_aware(&log, &merged);
-    let sizes: Vec<u64> = clustering.clusters.iter().map(|c| c.client_count() as u64).collect();
+    let sizes: Vec<u64> = clustering
+        .clusters
+        .iter()
+        .map(|c| c.client_count() as u64)
+        .collect();
     let reqs: Vec<u64> = clustering.clusters.iter().map(|c| c.requests).collect();
-    let urls: Vec<u64> = clustering.clusters.iter().map(|c| c.unique_urls as u64).collect();
-    let minmax = |v: &[u64]| (v.iter().min().copied().unwrap_or(0), v.iter().max().copied().unwrap_or(0));
+    let urls: Vec<u64> = clustering
+        .clusters
+        .iter()
+        .map(|c| c.unique_urls as u64)
+        .collect();
+    let minmax = |v: &[u64]| {
+        (
+            v.iter().min().copied().unwrap_or(0),
+            v.iter().max().copied().unwrap_or(0),
+        )
+    };
 
     println!("\n== §3.2.2 cluster statistics (nagano) ==");
     println!("requests            : {}", log.requests.len());
     println!("clients             : {}", clustering.client_count());
     println!("unique URLs accessed: {}", log.accessed_url_count());
     println!("client clusters     : {}", clustering.len());
-    println!("coverage            : {} clustered ({} unclustered clients)", pct(clustering.coverage()), clustering.unclustered.len());
+    println!(
+        "coverage            : {} clustered ({} unclustered clients)",
+        pct(clustering.coverage()),
+        clustering.unclustered.len()
+    );
     let (lo, hi) = minmax(&sizes);
     println!("cluster size range  : {lo} - {hi} clients");
     let (lo, hi) = minmax(&reqs);
@@ -44,7 +61,10 @@ fn main() {
     for spec in &specs {
         tables.push(netclust_netgen::snapshot(&universe, spec, 0, 0));
         let merged_k = MergedTable::merge(tables.iter());
-        let covered = clients.iter().filter(|&&a| merged_k.lookup(a).is_some()).count();
+        let covered = clients
+            .iter()
+            .filter(|&&a| merged_k.lookup(a).is_some())
+            .count();
         rows.push(vec![
             format!("+{}", spec.name),
             merged_k.bgp_len().to_string(),
@@ -54,7 +74,10 @@ fn main() {
     for (name, coverage) in [("ARIN", 0.97), ("NLANR", 0.62)] {
         tables.push(registry_dump(&universe, name, coverage));
         let merged_k = MergedTable::merge(tables.iter());
-        let covered = clients.iter().filter(|&&a| merged_k.lookup(a).is_some()).count();
+        let covered = clients
+            .iter()
+            .filter(|&&a| merged_k.lookup(a).is_some())
+            .count();
         rows.push(vec![
             format!("+{name} (dump)"),
             (merged_k.bgp_len() + merged_k.dump_len()).to_string(),

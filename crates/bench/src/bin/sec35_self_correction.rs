@@ -12,27 +12,48 @@ fn main() {
     let clustering = Clustering::network_aware(&log, &merged);
 
     println!("== §3.5 self-correction (nagano) ==");
-    println!("before: {} clusters, {} unclustered clients, coverage {}",
-        clustering.len(), clustering.unclustered.len(), pct(clustering.coverage()));
-    println!("before: org purity {}", pct(org_purity(&universe, &clustering)));
+    println!(
+        "before: {} clusters, {} unclustered clients, coverage {}",
+        clustering.len(),
+        clustering.unclustered.len(),
+        pct(clustering.coverage())
+    );
+    println!(
+        "before: org purity {}",
+        pct(org_purity(&universe, &clustering))
+    );
 
     for r in [1usize, 3, 8] {
         let report = self_correct(
             &universe,
             &log,
             &clustering,
-            &CorrectionConfig { samples_per_cluster: r, seed: 0xC0 },
+            &CorrectionConfig {
+                samples_per_cluster: r,
+                seed: 0xC0,
+            },
         );
         println!("\n-- samples per cluster r = {r} --");
         println!("clusters after      : {}", report.clustering.len());
-        println!("coverage after      : {}", pct(report.clustering.coverage()));
-        println!("org purity after    : {}", pct(org_purity(&universe, &report.clustering)));
+        println!(
+            "coverage after      : {}",
+            pct(report.clustering.coverage())
+        );
+        println!(
+            "org purity after    : {}",
+            pct(org_purity(&universe, &report.clustering))
+        );
         println!("absorbed unclustered: {}", report.absorbed);
         println!("new singleton groups: {}", report.new_from_unclustered);
         println!("clusters merged away: {}", report.merged_away);
         println!("clusters split      : {}", report.split);
-        println!("probes spent        : {} ({} traces)", report.probe_stats.probes, report.probe_stats.traces);
+        println!(
+            "probes spent        : {} ({} traces)",
+            report.probe_stats.probes, report.probe_stats.traces
+        );
     }
-    println!("\npaper: periodic traceroute sampling fixes unidentified clients and raises accuracy;");
+    println!(
+        "\npaper: periodic traceroute sampling fixes unidentified clients and raises accuracy;"
+    );
     println!("       larger r catches more mixed clusters at higher probe cost");
 }

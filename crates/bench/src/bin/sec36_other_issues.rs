@@ -30,7 +30,11 @@ fn main() {
             ]
         })
         .collect();
-    print_table("§3.6 four 6-hour sessions (nagano)", &["session", "requests", "clusters", "clients"], &rows);
+    print_table(
+        "§3.6 four 6-hour sessions (nagano)",
+        &["session", "requests", "clusters", "clients"],
+        &rows,
+    );
     println!(
         "consecutive-session request correlations: {:?} (paper: patterns persist across sessions)",
         report
@@ -61,8 +65,7 @@ fn main() {
         let addr = std::net::Ipv4Addr::new(9, 9, (i / 250) as u8, (i % 250) as u8 + 1);
         counts.push((addr, 1, 8_000));
     }
-    let servers =
-        Clustering::from_counts(&counts, "servers", |a| merged.lookup(a).map(|(n, _)| n));
+    let servers = Clustering::from_counts(&counts, "servers", |a| merged.lookup(a).map(|(n, _)| n));
     println!("\n== §3.6 server clustering from a proxy log ==");
     println!("unique server addresses : {}", counts.len());
     println!("server clusters         : {}", servers.len());
@@ -90,7 +93,14 @@ fn main() {
     let top: Vec<String> = nets
         .iter()
         .take(5)
-        .map(|n| format!("{} members / {} reqs via {}", n.members.len(), n.requests, n.key))
+        .map(|n| {
+            format!(
+                "{} members / {} reqs via {}",
+                n.members.len(),
+                n.requests,
+                n.key
+            )
+        })
         .collect();
     println!("top groups by requests:");
     for line in top {
@@ -102,7 +112,6 @@ fn main() {
         "group count with r=1: {} vs r=2: {} (sampling barely matters: {} stable)",
         nets_r1.len(),
         nets.len(),
-        pct(1.0
-            - (nets_r1.len() as f64 - nets.len() as f64).abs() / nets.len().max(1) as f64)
+        pct(1.0 - (nets_r1.len() as f64 - nets.len() as f64).abs() / nets.len().max(1) as f64)
     );
 }

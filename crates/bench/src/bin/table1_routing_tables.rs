@@ -27,7 +27,11 @@ fn main() {
             ]
         })
         .collect();
-    print_table("Table 1: our collection of routing tables", &["name", "date", "entries", "comments"], &rows);
+    print_table(
+        "Table 1: our collection of routing tables",
+        &["name", "date", "entries", "comments"],
+        &rows,
+    );
 
     let merged = MergedTable::merge(tables.iter());
     println!(
@@ -37,7 +41,12 @@ fn main() {
         merged.dump_len(),
         merged.source_names().len(),
     );
-    let largest = tables.iter().filter(|t| t.kind == TableKind::Bgp).map(|t| t.len()).max().unwrap();
+    let largest = tables
+        .iter()
+        .filter(|t| t.kind == TableKind::Bgp)
+        .map(|t| t.len())
+        .max()
+        .unwrap();
     println!(
         "largest single BGP table: {largest} entries; union adds {} more routed prefixes",
         merged.bgp_len().saturating_sub(largest),

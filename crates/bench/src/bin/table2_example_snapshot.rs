@@ -32,6 +32,9 @@ fn main() {
         &["prefix", "prefix description", "next hop", "AS path"],
         &rows,
     );
-    println!("\n(total {} entries in this snapshot; first 12 shown)", table.len());
+    println!(
+        "\n(total {} entries in this snapshot; first 12 shown)",
+        table.len()
+    );
     println!("paper: table rows look like `12.0.48.0/20  Harvard University  cs.cht.vbns.net  1742 (IGP)`");
 }

@@ -40,24 +40,47 @@ fn main() {
         r.extend(reports.iter().map(|(_, rep)| f(rep)));
         r
     };
-    let headers: Vec<&str> =
-        std::iter::once("server log").chain(reports.iter().map(|(n, _)| n.as_str())).collect();
+    let headers: Vec<&str> = std::iter::once("server log")
+        .chain(reports.iter().map(|(n, _)| n.as_str()))
+        .collect();
     let rows = vec![
         row("total client clusters", &|r| r.total_clusters.to_string()),
-        row("sampled client clusters", &|r| r.sampled_clusters.to_string()),
+        row("sampled client clusters", &|r| {
+            r.sampled_clusters.to_string()
+        }),
         row("sampled clients", &|r| r.sampled_clients.to_string()),
-        row("prefix length range", &|r| format!("{} - {}", r.prefix_len_range.0, r.prefix_len_range.1)),
-        row("clusters of prefix length 24", &|r| r.len24_clusters.to_string()),
-        row("[nslookup] reachable clients", &|r| r.nslookup.reachable_clients.to_string()),
-        row("[nslookup] mis-identified clusters", &|r| r.nslookup.misidentified.to_string()),
-        row("[nslookup] mis-identified non-US", &|r| r.nslookup.misidentified_non_us.to_string()),
+        row("prefix length range", &|r| {
+            format!("{} - {}", r.prefix_len_range.0, r.prefix_len_range.1)
+        }),
+        row("clusters of prefix length 24", &|r| {
+            r.len24_clusters.to_string()
+        }),
+        row("[nslookup] reachable clients", &|r| {
+            r.nslookup.reachable_clients.to_string()
+        }),
+        row("[nslookup] mis-identified clusters", &|r| {
+            r.nslookup.misidentified.to_string()
+        }),
+        row("[nslookup] mis-identified non-US", &|r| {
+            r.nslookup.misidentified_non_us.to_string()
+        }),
         row("[nslookup] pass rate", &|r| pct(r.nslookup_pass_rate())),
-        row("[traceroute] reachable clients", &|r| r.traceroute.reachable_clients.to_string()),
-        row("[traceroute] mis-identified clusters", &|r| r.traceroute.misidentified.to_string()),
-        row("[traceroute] mis-identified non-US", &|r| r.traceroute.misidentified_non_us.to_string()),
+        row("[traceroute] reachable clients", &|r| {
+            r.traceroute.reachable_clients.to_string()
+        }),
+        row("[traceroute] mis-identified clusters", &|r| {
+            r.traceroute.misidentified.to_string()
+        }),
+        row("[traceroute] mis-identified non-US", &|r| {
+            r.traceroute.misidentified_non_us.to_string()
+        }),
         row("[traceroute] pass rate", &|r| pct(r.traceroute_pass_rate())),
-        row("[ground truth] mis-identified", &|r| r.truth_misidentified.to_string()),
-        row("simple approach pass rate (/24 rule)", &|r| pct(r.simple_pass_rate())),
+        row("[ground truth] mis-identified", &|r| {
+            r.truth_misidentified.to_string()
+        }),
+        row("simple approach pass rate (/24 rule)", &|r| {
+            pct(r.simple_pass_rate())
+        }),
     ];
     print_table("Table 3: client cluster validation", &headers, &rows);
     println!("\npaper: network-aware passes >90% (both tests); simple approach ~50%; nslookup resolves ~50% of clients");
@@ -82,9 +105,20 @@ fn main() {
         }
     }
     let (c, o) = (classic.stats(), optimized.stats());
-    println!("\n== Optimized traceroute savings ({} targets) ==", clients.len());
-    println!("classic  : {} probes, {:.1} s waiting", c.probes, c.time_ms / 1000.0);
-    println!("optimized: {} probes, {:.1} s waiting", o.probes, o.time_ms / 1000.0);
+    println!(
+        "\n== Optimized traceroute savings ({} targets) ==",
+        clients.len()
+    );
+    println!(
+        "classic  : {} probes, {:.1} s waiting",
+        c.probes,
+        c.time_ms / 1000.0
+    );
+    println!(
+        "optimized: {} probes, {:.1} s waiting",
+        o.probes,
+        o.time_ms / 1000.0
+    );
     println!(
         "savings  : {} of probes, {} of time (paper: ~90% probes, ~80% time)",
         pct(1.0 - o.probes as f64 / c.probes as f64),

@@ -17,7 +17,10 @@ fn main() {
     let detections = detect(&log, &clustering0, &AnomalyConfig::default());
     let anomalous: Vec<std::net::Ipv4Addr> = detections.iter().map(|d| d.addr).collect();
     let log = strip_clients(&log, &anomalous);
-    println!("eliminated {} anomalous clients before thresholding", anomalous.len());
+    println!(
+        "eliminated {} anomalous clients before thresholding",
+        anomalous.len()
+    );
 
     let aware = Clustering::network_aware(&log, &merged);
     let simple = Clustering::simple24(&log);
@@ -29,9 +32,26 @@ fn main() {
             clustering.method.clone(),
             t.total_clusters.to_string(),
             t.threshold.to_string(),
-            format!("{} ({} clients, {} reqs)", t.busy.len(), t.busy_clients, t.busy_requests),
-            format!("{} - {} ({} - {} clients)", t.busy_request_range.0, t.busy_request_range.1, t.busy_client_range.0, t.busy_client_range.1),
-            format!("{} - {} ({} - {} clients)", t.lessbusy_request_range.0, t.lessbusy_request_range.1, t.lessbusy_client_range.0, t.lessbusy_client_range.1),
+            format!(
+                "{} ({} clients, {} reqs)",
+                t.busy.len(),
+                t.busy_clients,
+                t.busy_requests
+            ),
+            format!(
+                "{} - {} ({} - {} clients)",
+                t.busy_request_range.0,
+                t.busy_request_range.1,
+                t.busy_client_range.0,
+                t.busy_client_range.1
+            ),
+            format!(
+                "{} - {} ({} - {} clients)",
+                t.lessbusy_request_range.0,
+                t.lessbusy_request_range.1,
+                t.lessbusy_client_range.0,
+                t.lessbusy_client_range.1
+            ),
         ]);
     }
     print_table(

@@ -78,8 +78,18 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
             .collect::<Vec<_>>()
             .join("  ")
     };
-    println!("{}", fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
-    println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+    println!(
+        "{}",
+        fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
+    println!(
+        "{}",
+        widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }
@@ -99,9 +109,7 @@ pub fn downsample<T: Clone>(series: &[T], n: usize) -> Vec<(usize, T)> {
     if series.len() <= n {
         return series.iter().cloned().enumerate().collect();
     }
-    let mut picks: Vec<usize> = (0..n)
-        .map(|i| i * (series.len() - 1) / (n - 1))
-        .collect();
+    let mut picks: Vec<usize> = (0..n).map(|i| i * (series.len() - 1) / (n - 1)).collect();
     picks.dedup();
     picks.into_iter().map(|i| (i, series[i].clone())).collect()
 }
@@ -152,7 +160,11 @@ impl ByLengthLpm {
             if map.is_empty() {
                 continue;
             }
-            let key = if len == 0 { 0 } else { addr & (u32::MAX << (32 - len as u32)) };
+            let key = if len == 0 {
+                0
+            } else {
+                addr & (u32::MAX << (32 - len as u32))
+            };
             if let Some(&net) = map.get(&key) {
                 return Some(net);
             }
@@ -169,12 +181,8 @@ mod tests {
     #[test]
     fn lpm_baselines_agree_with_trie() {
         let u = Universe::generate(UniverseConfig::small(3));
-        let table = netclust_netgen::snapshot(
-            &u,
-            &netclust_netgen::VantageSpec::new("X", 0.8, 0.05),
-            0,
-            0,
-        );
+        let table =
+            netclust_netgen::snapshot(&u, &netclust_netgen::VantageSpec::new("X", 0.8, 0.05), 0, 0);
         let prefixes = table.prefixes().to_vec();
         let trie: PrefixTrie<()> = prefixes.iter().map(|&n| (n, ())).collect();
         let linear = LinearLpm::new(prefixes.clone());

@@ -65,7 +65,11 @@ impl<'u> PropagationModel<'u> {
             universe.ases().len(),
             "topology must cover every AS"
         );
-        PropagationModel { universe, topology, seed }
+        PropagationModel {
+            universe,
+            topology,
+            seed,
+        }
     }
 
     /// The topology in use.
@@ -91,8 +95,11 @@ impl<'u> PropagationModel<'u> {
     pub fn propagate(&self, origin: u32, day: u32, tick: u32) -> Vec<Option<RouteEntry>> {
         let n = self.topology.len();
         let mut best: Vec<Option<RouteEntry>> = vec![None; n];
-        best[origin as usize] =
-            Some(RouteEntry { class: RouteClass::Origin, dist: 0, parent: origin });
+        best[origin as usize] = Some(RouteEntry {
+            class: RouteClass::Origin,
+            dist: 0,
+            parent: origin,
+        });
 
         // Phase 1: up along customer→provider links.
         let mut frontier = vec![origin];
@@ -121,22 +128,27 @@ impl<'u> PropagationModel<'u> {
         }
 
         // Phase 2: one peer hop from every up-reachable AS.
-        let up_reached: Vec<u32> =
-            (0..n as u32).filter(|&a| best[a as usize].is_some()).collect();
+        let up_reached: Vec<u32> = (0..n as u32)
+            .filter(|&a| best[a as usize].is_some())
+            .collect();
         for &a in &up_reached {
             let dist = best[a as usize].expect("reached").dist;
             for &q in &self.topology.peers[a as usize] {
                 if best[q as usize].is_none() {
-                    best[q as usize] =
-                        Some(RouteEntry { class: RouteClass::Peer, dist: dist + 1, parent: a });
+                    best[q as usize] = Some(RouteEntry {
+                        class: RouteClass::Peer,
+                        dist: dist + 1,
+                        parent: a,
+                    });
                 }
             }
         }
 
         // Phase 3: down along provider→customer links from everything
         // reached so far.
-        let mut frontier: Vec<u32> =
-            (0..n as u32).filter(|&a| best[a as usize].is_some()).collect();
+        let mut frontier: Vec<u32> = (0..n as u32)
+            .filter(|&a| best[a as usize].is_some())
+            .collect();
         while !frontier.is_empty() {
             let mut next = Vec::new();
             for &a in &frontier {
@@ -203,7 +215,12 @@ impl<'u> PropagationModel<'u> {
             .iter()
             .zip(per_vantage)
             .map(|((name, _, _), prefixes)| {
-                RoutingTable::new(name.clone(), format!("day{day}.t{tick}"), TableKind::Bgp, prefixes)
+                RoutingTable::new(
+                    name.clone(),
+                    format!("day{day}.t{tick}"),
+                    TableKind::Bgp,
+                    prefixes,
+                )
             })
             .collect()
     }
@@ -313,7 +330,12 @@ mod tests {
         ];
         let tables = model.vantage_tables(&vantages, 0, 0);
         assert_eq!(tables.len(), 2);
-        assert!(tables[0].len() > tables[1].len() * 2, "{} vs {}", tables[0].len(), tables[1].len());
+        assert!(
+            tables[0].len() > tables[1].len() * 2,
+            "{} vs {}",
+            tables[0].len(),
+            tables[1].len()
+        );
         // Some day within two weeks differs from day 0 (link churn plus
         // announcement births); a single-day comparison can coincide.
         let changed = (1..15).any(|day| {

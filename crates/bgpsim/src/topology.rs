@@ -74,9 +74,9 @@ impl Topology {
         let mut peers: Vec<Vec<u32>> = vec![Vec::new(); n];
         let mut customers = vec![Vec::new(); n];
         let link = |providers: &mut Vec<Vec<u32>>,
-                        customers: &mut Vec<Vec<u32>>,
-                        customer: u32,
-                        provider: u32| {
+                    customers: &mut Vec<Vec<u32>>,
+                    customer: u32,
+                    provider: u32| {
             if customer != provider && !providers[customer as usize].contains(&provider) {
                 providers[customer as usize].push(provider);
                 customers[provider as usize].push(customer);
@@ -121,7 +121,12 @@ impl Topology {
             }
         }
 
-        Topology { providers, peers, customers, tier }
+        Topology {
+            providers,
+            peers,
+            customers,
+            tier,
+        }
     }
 
     /// Verifies structural sanity: relationship symmetry and that every
@@ -139,7 +144,10 @@ impl Topology {
                 }
             }
             if self.tier[a as usize] != 1 && self.providers[a as usize].is_empty() {
-                return Err(format!("AS {a} (tier {}) has no provider", self.tier[a as usize]));
+                return Err(format!(
+                    "AS {a} (tier {}) has no provider",
+                    self.tier[a as usize]
+                ));
             }
         }
         Ok(())
@@ -172,10 +180,14 @@ mod tests {
     #[test]
     fn tier1s_form_a_clique_and_have_no_providers() {
         let t = topo();
-        let tier1: Vec<u32> =
-            (0..t.len() as u32).filter(|&a| t.tier[a as usize] == 1).collect();
+        let tier1: Vec<u32> = (0..t.len() as u32)
+            .filter(|&a| t.tier[a as usize] == 1)
+            .collect();
         for &a in &tier1 {
-            assert!(t.providers[a as usize].is_empty(), "tier-1 {a} buys transit");
+            assert!(
+                t.providers[a as usize].is_empty(),
+                "tier-1 {a} buys transit"
+            );
             for &b in &tier1 {
                 if a != b {
                     assert!(t.peers[a as usize].contains(&b), "{a} !~ {b}");

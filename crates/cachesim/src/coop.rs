@@ -134,8 +134,13 @@ pub fn simulate_cooperative(
                     // (cooperative fill), freshly validated as of now.
                     stats.sibling_hits += 1;
                     stats.bytes_sibling += entry.size as u64;
-                    caches[local as usize]
-                        .insert(r.url, Entry { validated_at: r.time, ..entry });
+                    caches[local as usize].insert(
+                        r.url,
+                        Entry {
+                            validated_at: r.time,
+                            ..entry
+                        },
+                    );
                     sibling_hit = true;
                     break;
                 }
@@ -193,7 +198,10 @@ mod tests {
         let all: Vec<usize> = (0..clustering.clusters.len()).collect();
         let coop = simulate_cooperative(&log, &clustering, &[all], &config());
         let solo = simulate_cooperative(&log, &clustering, &[], &config());
-        assert!(coop.sibling_hits > 0, "cooperation should produce sibling hits");
+        assert!(
+            coop.sibling_hits > 0,
+            "cooperation should produce sibling hits"
+        );
         assert_eq!(solo.sibling_hits, 0, "standalone proxies have no siblings");
         assert!(coop.total_hit_ratio() > solo.total_hit_ratio());
         assert!(coop.origin_fetches < solo.origin_fetches);
@@ -212,8 +220,14 @@ mod tests {
         let main = simulate(&log, &clustering, &cfg);
         let main_hits: u64 = main.proxies.iter().map(|p| p.hits).sum();
         assert_eq!(coop.local_hits, main_hits);
-        assert_eq!(main.proxies.iter().map(|p| p.validated_hits).sum::<u64>(), 0);
-        assert_eq!(coop.requests, main.proxies.iter().map(|p| p.requests).sum::<u64>());
+        assert_eq!(
+            main.proxies.iter().map(|p| p.validated_hits).sum::<u64>(),
+            0
+        );
+        assert_eq!(
+            coop.requests,
+            main.proxies.iter().map(|p| p.requests).sum::<u64>()
+        );
     }
 
     #[test]

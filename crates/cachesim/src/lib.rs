@@ -22,6 +22,4 @@ pub use coop::{simulate_cooperative, CoopStats};
 pub use lru::{Entry, LruCache};
 pub use pcv::{PcvProxy, ProxyStats, Served, DEFAULT_TTL_S, PIGGYBACK_BATCH};
 pub use resource::ResourceModel;
-pub use sim::{
-    fig11_sizes, simulate, sweep_cache_sizes, top_proxy_report, SimConfig, SimResult,
-};
+pub use sim::{fig11_sizes, simulate, sweep_cache_sizes, top_proxy_report, SimConfig, SimResult};

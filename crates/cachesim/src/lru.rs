@@ -131,7 +131,10 @@ impl LruCache {
     pub fn update(&mut self, url: u32, entry: Entry) -> bool {
         match self.map.get(&url) {
             Some(&idx) => {
-                debug_assert_eq!(self.nodes[idx].entry.size, entry.size, "use insert to resize");
+                debug_assert_eq!(
+                    self.nodes[idx].entry.size, entry.size,
+                    "use insert to resize"
+                );
                 self.nodes[idx].entry = entry;
                 true
             }
@@ -157,11 +160,21 @@ impl LruCache {
         }
         let idx = match self.free.pop() {
             Some(idx) => {
-                self.nodes[idx] = Node { url, entry, prev: NIL, next: NIL };
+                self.nodes[idx] = Node {
+                    url,
+                    entry,
+                    prev: NIL,
+                    next: NIL,
+                };
                 idx
             }
             None => {
-                self.nodes.push(Node { url, entry, prev: NIL, next: NIL });
+                self.nodes.push(Node {
+                    url,
+                    entry,
+                    prev: NIL,
+                    next: NIL,
+                });
                 self.nodes.len() - 1
             }
         };
@@ -213,7 +226,12 @@ mod tests {
     use super::*;
 
     fn entry(size: u32) -> Entry {
-        Entry { size, cached_at: 0, validated_at: 0, version: 0 }
+        Entry {
+            size,
+            cached_at: 0,
+            validated_at: 0,
+            version: 0,
+        }
     }
 
     #[test]
@@ -300,8 +318,24 @@ mod tests {
     #[test]
     fn update_metadata_in_place() {
         let mut c = LruCache::new(1000);
-        c.insert(1, Entry { size: 100, cached_at: 5, validated_at: 5, version: 1 });
-        assert!(c.update(1, Entry { size: 100, cached_at: 5, validated_at: 99, version: 1 }));
+        c.insert(
+            1,
+            Entry {
+                size: 100,
+                cached_at: 5,
+                validated_at: 5,
+                version: 1,
+            },
+        );
+        assert!(c.update(
+            1,
+            Entry {
+                size: 100,
+                cached_at: 5,
+                validated_at: 99,
+                version: 1
+            }
+        ));
         assert_eq!(c.peek(1).unwrap().validated_at, 99);
         assert!(!c.update(9, entry(10)));
     }

@@ -128,7 +128,13 @@ impl PcvProxy {
                 self.stats.server_messages += 1;
                 if self.model.version(url, now) == entry.version {
                     // 304 Not Modified: serve from cache.
-                    self.cache.update(url, Entry { validated_at: now, ..entry });
+                    self.cache.update(
+                        url,
+                        Entry {
+                            validated_at: now,
+                            ..entry
+                        },
+                    );
                     self.stats.validated_hits += 1;
                     self.stats.bytes_hit += entry.size as u64;
                     self.pending.push_back((url, now + self.ttl));
@@ -155,7 +161,15 @@ impl PcvProxy {
         self.stats.misses += 1;
         self.stats.bytes_miss += size as u64;
         let version = self.model.version(url, now);
-        self.cache.insert(url, Entry { size, cached_at: now, validated_at: now, version });
+        self.cache.insert(
+            url,
+            Entry {
+                size,
+                cached_at: now,
+                validated_at: now,
+                version,
+            },
+        );
         self.pending.push_back((url, now + self.ttl));
     }
 
@@ -179,7 +193,13 @@ impl PcvProxy {
             budget -= 1;
             self.stats.piggybacked += 1;
             if self.model.version(url, now) == entry.version {
-                self.cache.update(url, Entry { validated_at: now, ..entry });
+                self.cache.update(
+                    url,
+                    Entry {
+                        validated_at: now,
+                        ..entry
+                    },
+                );
                 self.pending.push_back((url, now + self.ttl));
             } else {
                 self.cache.remove(url);

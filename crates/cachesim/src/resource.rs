@@ -7,7 +7,7 @@
 //! modifications so far. A cached copy is out of date when the server's
 //! version exceeds the copy's.
 
-use netclust_netgen::{unit_f64, uniform_u64};
+use netclust_netgen::{uniform_u64, unit_f64};
 
 /// Deterministic per-URL modification schedule.
 #[derive(Debug, Clone, Copy)]
@@ -26,7 +26,12 @@ impl ResourceModel {
     /// `[min_period_s, max_period_s]`.
     pub fn new(seed: u64, immutable_fraction: f64, min_period_s: u32, max_period_s: u32) -> Self {
         assert!(min_period_s > 0 && min_period_s <= max_period_s);
-        ResourceModel { seed, immutable_fraction, min_period_s, max_period_s }
+        ResourceModel {
+            seed,
+            immutable_fraction,
+            min_period_s,
+            max_period_s,
+        }
     }
 
     /// The paper-era default: 20 % immutable; the rest modified every

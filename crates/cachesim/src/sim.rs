@@ -74,8 +74,7 @@ impl SimResult {
     /// Total byte-hit ratio observed at the server.
     pub fn server_byte_hit_ratio(&self) -> f64 {
         let hit: u64 = self.proxies.iter().map(|p| p.bytes_hit).sum();
-        let miss: u64 =
-            self.proxies.iter().map(|p| p.bytes_miss).sum::<u64>() + self.direct_bytes;
+        let miss: u64 = self.proxies.iter().map(|p| p.bytes_miss).sum::<u64>() + self.direct_bytes;
         let total = hit + miss;
         if total == 0 {
             0.0
@@ -93,7 +92,12 @@ pub fn simulate(log: &Log, clustering: &Clustering, config: &SimConfig) -> SimRe
         for r in &log.requests {
             counts[r.url as usize] += 1;
         }
-        Some(counts.iter().map(|&c| c >= config.min_url_accesses).collect())
+        Some(
+            counts
+                .iter()
+                .map(|&c| c >= config.min_url_accesses)
+                .collect(),
+        )
     } else {
         None
     };
@@ -150,8 +154,19 @@ pub fn sweep_cache_sizes(
     sizes
         .iter()
         .map(|&bytes| {
-            let result = simulate(log, clustering, &SimConfig { cache_bytes: bytes, ..*base });
-            (bytes, result.server_hit_ratio(), result.server_byte_hit_ratio())
+            let result = simulate(
+                log,
+                clustering,
+                &SimConfig {
+                    cache_bytes: bytes,
+                    ..*base
+                },
+            );
+            (
+                bytes,
+                result.server_hit_ratio(),
+                result.server_byte_hit_ratio(),
+            )
         })
         .collect()
 }
@@ -190,7 +205,13 @@ pub fn top_proxy_report(
         .map(|i| {
             let p = &result.proxies[i];
             let _cluster: &netclust_core::Cluster = &clustering.clusters[i];
-            (i, p.requests, (p.bytes_hit + p.bytes_miss) >> 10, p.hit_ratio(), p.byte_hit_ratio())
+            (
+                i,
+                p.requests,
+                (p.bytes_hit + p.bytes_miss) >> 10,
+                p.hit_ratio(),
+                p.byte_hit_ratio(),
+            )
         })
         .collect()
 }
@@ -247,7 +268,10 @@ mod tests {
             &[10 << 10, 1 << 20, 100 << 20],
             &config(0),
         );
-        assert!(points.windows(2).all(|w| w[1].1 >= w[0].1 - 1e-9), "{points:?}");
+        assert!(
+            points.windows(2).all(|w| w[1].1 >= w[0].1 - 1e-9),
+            "{points:?}"
+        );
         assert!(points.windows(2).all(|w| w[1].2 >= w[0].2 - 1e-9));
         // An effectively infinite cache gets a solid hit ratio on a
         // Zipf workload.

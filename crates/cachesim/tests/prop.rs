@@ -14,7 +14,10 @@ struct RefLru {
 
 impl RefLru {
     fn new(capacity: u64) -> Self {
-        RefLru { capacity, items: VecDeque::new() }
+        RefLru {
+            capacity,
+            items: VecDeque::new(),
+        }
     }
 
     fn used(&self) -> u64 {
@@ -109,7 +112,7 @@ proptest! {
     fn pcv_stats_consistent(
         reqs in proptest::collection::vec((0u32..60, 500u32..5_000, 0u32..200_000), 1..300),
         ttl in 60u32..7_200,
-        capacity in prop_oneof![Just(u64::MAX), (10_000u64..200_000)],
+        capacity in prop_oneof![Just(u64::MAX), 10_000u64..200_000],
     ) {
         let mut sorted = reqs.clone();
         sorted.sort_by_key(|&(_, _, t)| t);

@@ -182,7 +182,14 @@ pub fn detect(log: &Log, clustering: &Clustering, config: &AnomalyConfig) -> Vec
     let mut details: HashMap<u32, Detail> = candidates
         .iter()
         .map(|&c| {
-            (c, Detail { hist: vec![0; hours], urls: HashSet::new(), uas: HashSet::new() })
+            (
+                c,
+                Detail {
+                    hist: vec![0; hours],
+                    urls: HashSet::new(),
+                    uas: HashSet::new(),
+                },
+            )
         })
         .collect();
     for r in &log.requests {
@@ -200,7 +207,13 @@ pub fn detect(log: &Log, clustering: &Clustering, config: &AnomalyConfig) -> Vec
         let requests = per_client[&client];
         let cluster_share = clustering
             .cluster_of(addr)
-            .map(|cl| if cl.requests == 0 { 0.0 } else { requests as f64 / cl.requests as f64 })
+            .map(|cl| {
+                if cl.requests == 0 {
+                    0.0
+                } else {
+                    requests as f64 / cl.requests as f64
+                }
+            })
             .unwrap_or(1.0);
         if cluster_share < config.min_cluster_share {
             continue;
@@ -208,16 +221,15 @@ pub fn detect(log: &Log, clustering: &Clustering, config: &AnomalyConfig) -> Vec
         let d = &details[&client];
         let arrival_correlation = correlation(&d.hist, &log_hist);
         let burst = burst_share(&d.hist);
-        let class = if arrival_correlation < config.correlation_split
-            || burst > config.max_burst_share
-        {
-            ClientClass::Spider
-        } else if d.uas.len() >= config.min_proxy_uas {
-            ClientClass::SuspectedProxy
-        } else {
-            // Heavy, diurnal, single-UA: an enthusiastic normal client.
-            continue;
-        };
+        let class =
+            if arrival_correlation < config.correlation_split || burst > config.max_burst_share {
+                ClientClass::Spider
+            } else if d.uas.len() >= config.min_proxy_uas {
+                ClientClass::SuspectedProxy
+            } else {
+                // Heavy, diurnal, single-UA: an enthusiastic normal client.
+                continue;
+            };
         out.push(Detection {
             addr,
             class,
@@ -253,8 +265,15 @@ mod tests {
         let mut spec = LogSpec::tiny("a", 5);
         spec.total_requests = 60_000;
         spec.target_clients = 400;
-        spec.spiders = vec![SpiderSpec { requests: 12_000, unique_urls: 400, companions: 6 }];
-        spec.proxies = vec![ProxySpec { requests: 9_000, companions: 1 }];
+        spec.spiders = vec![SpiderSpec {
+            requests: 12_000,
+            unique_urls: 400,
+            companions: 6,
+        }];
+        spec.proxies = vec![ProxySpec {
+            requests: 9_000,
+            companions: 1,
+        }];
         let log = generate(&u, &spec);
         (u, log)
     }
@@ -287,15 +306,26 @@ mod tests {
         let (u, log) = setup();
         let merged = netclust_netgen::standard_merged(&u, 0);
         let clustering = Clustering::network_aware(&log, &merged);
-        let config = AnomalyConfig { min_requests: 3_000, ..Default::default() };
+        let config = AnomalyConfig {
+            min_requests: 3_000,
+            ..Default::default()
+        };
         let detections = detect(&log, &clustering, &config);
-        let spiders: Vec<_> =
-            detections.iter().filter(|d| d.class == ClientClass::Spider).collect();
-        let proxies: Vec<_> =
-            detections.iter().filter(|d| d.class == ClientClass::SuspectedProxy).collect();
+        let spiders: Vec<_> = detections
+            .iter()
+            .filter(|d| d.class == ClientClass::Spider)
+            .collect();
+        let proxies: Vec<_> = detections
+            .iter()
+            .filter(|d| d.class == ClientClass::SuspectedProxy)
+            .collect();
         assert_eq!(spiders.len(), 1, "{detections:?}");
         assert_eq!(spiders[0].addr, log.truth.spiders[0]);
-        assert!(spiders[0].cluster_share > 0.8, "{}", spiders[0].cluster_share);
+        assert!(
+            spiders[0].cluster_share > 0.8,
+            "{}",
+            spiders[0].cluster_share
+        );
         assert_eq!(proxies.len(), 1, "{detections:?}");
         assert_eq!(proxies[0].addr, log.truth.proxies[0]);
         assert!(proxies[0].unique_uas >= 4);
@@ -334,7 +364,11 @@ mod tests {
         // The spider dominates its cluster (the Sun spider issued 99.79 %;
         // companions here are ordinary heavy-tailed clients).
         let total: u64 = dist.iter().sum();
-        assert!(dist[0] as f64 / total as f64 > 0.75, "share {}", dist[0] as f64 / total as f64);
+        assert!(
+            dist[0] as f64 / total as f64 > 0.75,
+            "share {}",
+            dist[0] as f64 / total as f64
+        );
     }
 
     #[test]
@@ -342,11 +376,18 @@ mod tests {
         let (_, log) = setup();
         let spider = log.truth.spiders[0];
         let stripped = strip_clients(&log, &[spider]);
-        assert!(stripped.requests.iter().all(|r| r.client != u32::from(spider)));
+        assert!(stripped
+            .requests
+            .iter()
+            .all(|r| r.client != u32::from(spider)));
         assert_eq!(
             stripped.requests.len(),
             log.requests.len()
-                - log.requests.iter().filter(|r| r.client == u32::from(spider)).count()
+                - log
+                    .requests
+                    .iter()
+                    .filter(|r| r.client == u32::from(spider))
+                    .count()
         );
     }
 }

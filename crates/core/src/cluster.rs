@@ -17,8 +17,27 @@ use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
 use netclust_prefix::{classful_network, Ipv4Net};
-use netclust_rtable::MergedTable;
+use netclust_rtable::{CompiledMerged, MergedTable};
 use netclust_weblog::Log;
+use rayon::prelude::*;
+
+/// Below this many log requests the serial path is used outright: thread
+/// spawn plus shard-merge overhead exceeds the work itself.
+const PARALLEL_MIN_REQUESTS: usize = 1 << 15;
+
+/// Per-thread chunk granularity for request-sharded aggregation.
+const REQUEST_CHUNK: usize = 1 << 14;
+
+/// Per-thread chunk granularity for client-sharded LPM assignment.
+const CLIENT_CHUNK: usize = 1 << 12;
+
+/// Number of address-range partitions for parallel shard merging — a
+/// power of two so the partition of a client is its top address bits.
+fn merge_partitions() -> usize {
+    (rayon::current_num_threads() * 2)
+        .next_power_of_two()
+        .clamp(4, 64)
+}
 
 /// Per-client aggregates inside a cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,56 +103,118 @@ impl Clustering {
     /// Clusters `log` with an arbitrary assigner. The assigner returns the
     /// identifying prefix for an address, or `None` when the address is
     /// unclusterable.
+    ///
+    /// Large logs are sharded across threads
+    /// ([`build_parallel`](Self::build_parallel)); small ones run serially.
+    /// Both paths produce identical results — clusters sorted by prefix,
+    /// clients and unclustered sorted by address — independent of thread
+    /// count and scheduling.
     pub fn build<F>(log: &Log, method: impl Into<String>, assign: F) -> Self
+    where
+        F: Fn(Ipv4Addr) -> Option<Ipv4Net> + Sync,
+    {
+        if log.requests.len() >= PARALLEL_MIN_REQUESTS && rayon::current_num_threads() > 1 {
+            Self::build_parallel(log, method, assign)
+        } else {
+            Self::build_serial(log, method, assign)
+        }
+    }
+
+    /// Single-threaded [`build`](Self::build). Exposed so callers (and the
+    /// determinism tests) can pin the execution strategy.
+    pub fn build_serial<F>(log: &Log, method: impl Into<String>, assign: F) -> Self
     where
         F: Fn(Ipv4Addr) -> Option<Ipv4Net>,
     {
-        // Aggregate per client first (a client appears in exactly one
-        // cluster, so this is the unit of assignment).
-        let mut per_client: HashMap<u32, (u64, u64)> = HashMap::new();
-        for r in &log.requests {
-            let e = per_client.entry(r.client).or_insert((0, 0));
-            e.0 += 1;
-            e.1 += r.bytes as u64;
-        }
+        let clients = aggregate_serial(log);
+        let assignments: Vec<Option<Ipv4Net>> = clients.iter().map(|c| assign(c.addr)).collect();
+        Self::assemble(log, method, clients, assignments, false)
+    }
 
-        // Assign clients to prefixes.
+    /// Sharded [`build`](Self::build): requests are aggregated per client
+    /// in per-chunk shards merged at the end, and cluster assignment fans
+    /// out across threads. Final ordering is deterministic (see
+    /// [`build`](Self::build)).
+    pub fn build_parallel<F>(log: &Log, method: impl Into<String>, assign: F) -> Self
+    where
+        F: Fn(Ipv4Addr) -> Option<Ipv4Net> + Sync,
+    {
+        let clients = aggregate_parallel(log);
+        let assignments: Vec<Option<Ipv4Net>> = clients
+            .par_chunks(CLIENT_CHUNK)
+            .map(|chunk| chunk.iter().map(|c| assign(c.addr)).collect::<Vec<_>>())
+            .collect::<Vec<_>>()
+            .into_iter()
+            .flatten()
+            .collect();
+        Self::assemble(log, method, clients, assignments, true)
+    }
+
+    /// Shared tail of every build path: groups pre-aggregated,
+    /// address-sorted clients by their assigned prefix and materializes the
+    /// final sorted structure. `clients[i]` pairs with `assignments[i]`.
+    fn assemble(
+        log: &Log,
+        method: impl Into<String>,
+        clients: Vec<ClientStats>,
+        assignments: Vec<Option<Ipv4Net>>,
+        parallel: bool,
+    ) -> Self {
+        debug_assert_eq!(clients.len(), assignments.len());
         let mut by_prefix: HashMap<Ipv4Net, Vec<ClientStats>> = HashMap::new();
         let mut unclustered = Vec::new();
-        for (&client, &(requests, bytes)) in &per_client {
-            let addr = Ipv4Addr::from(client);
-            let stats = ClientStats { addr, requests, bytes };
-            match assign(addr) {
-                Some(prefix) => by_prefix.entry(prefix).or_default().push(stats),
-                None => unclustered.push(stats),
+        for (stats, prefix) in clients.iter().zip(&assignments) {
+            match prefix {
+                Some(prefix) => by_prefix.entry(*prefix).or_default().push(*stats),
+                None => unclustered.push(*stats),
             }
         }
-        unclustered.sort_by_key(|c| c.addr);
+        // `clients` arrives address-sorted, so per-cluster member lists and
+        // `unclustered` inherit that order without re-sorting.
 
-        // Materialize clusters, sorted by prefix, clients sorted by address.
+        // Materialize clusters, sorted by prefix.
         let mut prefixes: Vec<Ipv4Net> = by_prefix.keys().copied().collect();
         prefixes.sort();
         let mut clusters = Vec::with_capacity(prefixes.len());
-        let mut index = HashMap::with_capacity(per_client.len());
+        let mut index = HashMap::with_capacity(clients.len());
         for prefix in prefixes {
-            let mut clients = by_prefix.remove(&prefix).expect("key exists");
-            clients.sort_by_key(|c| c.addr);
+            let clients = by_prefix.remove(&prefix).expect("key exists");
             let requests = clients.iter().map(|c| c.requests).sum();
             let bytes = clients.iter().map(|c| c.bytes).sum();
             let idx = clusters.len() as u32;
             for c in &clients {
                 index.insert(u32::from(c.addr), idx);
             }
-            clusters.push(Cluster { prefix, clients, requests, bytes, unique_urls: 0 });
+            clusters.push(Cluster {
+                prefix,
+                clients,
+                requests,
+                bytes,
+                unique_urls: 0,
+            });
         }
 
         // Unique URLs per cluster via sort-dedup over (cluster, url) pairs —
         // bounded memory even for multi-million-request logs.
-        let mut pairs: Vec<(u32, u32)> = log
-            .requests
-            .iter()
-            .filter_map(|r| index.get(&r.client).map(|&idx| (idx, r.url)))
-            .collect();
+        let mut pairs: Vec<(u32, u32)> = if parallel {
+            log.requests
+                .par_chunks(REQUEST_CHUNK)
+                .map(|chunk| {
+                    chunk
+                        .iter()
+                        .filter_map(|r| index.get(&r.client).map(|&idx| (idx, r.url)))
+                        .collect::<Vec<_>>()
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .flatten()
+                .collect()
+        } else {
+            log.requests
+                .iter()
+                .filter_map(|r| index.get(&r.client).map(|&idx| (idx, r.url)))
+                .collect()
+        };
         pairs.sort_unstable();
         pairs.dedup();
         for (idx, _) in pairs {
@@ -165,7 +246,11 @@ impl Clustering {
         let mut total_requests = 0u64;
         for &(addr, requests, bytes) in counts {
             total_requests += requests;
-            let stats = ClientStats { addr, requests, bytes };
+            let stats = ClientStats {
+                addr,
+                requests,
+                bytes,
+            };
             match assign(addr) {
                 Some(prefix) => by_prefix.entry(prefix).or_default().push(stats),
                 None => unclustered.push(stats),
@@ -185,14 +270,58 @@ impl Clustering {
             for c in &clients {
                 index.insert(u32::from(c.addr), idx);
             }
-            clusters.push(Cluster { prefix, clients, requests, bytes, unique_urls: 0 });
+            clusters.push(Cluster {
+                prefix,
+                clients,
+                requests,
+                bytes,
+                unique_urls: 0,
+            });
         }
-        Clustering { method: method.into(), clusters, unclustered, total_requests, index }
+        Clustering {
+            method: method.into(),
+            clusters,
+            unclustered,
+            total_requests,
+            index,
+        }
     }
 
     /// The paper's network-aware method: LPM against the merged table.
+    ///
+    /// The table is compiled to its flat DIR-24-8 form first (see
+    /// [`CompiledMerged`]), so per-address matching is one or two array
+    /// loads instead of a trie walk. Callers clustering many logs against
+    /// one table should compile once and use
+    /// [`network_aware_compiled`](Self::network_aware_compiled).
     pub fn network_aware(log: &Log, table: &MergedTable) -> Self {
-        Self::build(log, "network-aware", |addr| table.lookup(addr).map(|(net, _)| net))
+        Self::network_aware_compiled(log, &table.compile())
+    }
+
+    /// [`network_aware`](Self::network_aware) against an already-compiled
+    /// table: per-client aggregation shards across threads, then clients
+    /// are assigned in batch LPM sweeps over the flat table.
+    pub fn network_aware_compiled(log: &Log, table: &CompiledMerged) -> Self {
+        let parallel =
+            log.requests.len() >= PARALLEL_MIN_REQUESTS && rayon::current_num_threads() > 1;
+        let clients = if parallel {
+            aggregate_parallel(log)
+        } else {
+            aggregate_serial(log)
+        };
+        let addrs: Vec<u32> = clients.iter().map(|c| u32::from(c.addr)).collect();
+        let assignments: Vec<Option<Ipv4Net>> = if parallel {
+            addrs
+                .par_chunks(CLIENT_CHUNK)
+                .map(|chunk| table.net_for_batch(chunk))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .flatten()
+                .collect()
+        } else {
+            table.net_for_batch(&addrs)
+        };
+        Self::assemble(log, "network-aware", clients, assignments, parallel)
     }
 
     /// The simple approach of §2: shared first 24 bits.
@@ -220,7 +349,9 @@ impl Clustering {
 
     /// The cluster containing `addr`, if it was clustered.
     pub fn cluster_of(&self, addr: Ipv4Addr) -> Option<&Cluster> {
-        self.index.get(&u32::from(addr)).map(|&i| &self.clusters[i as usize])
+        self.index
+            .get(&u32::from(addr))
+            .map(|&i| &self.clusters[i as usize])
     }
 
     /// Total clients (clustered + unclustered).
@@ -247,6 +378,83 @@ impl Clustering {
     pub fn busiest(&self) -> Option<&Cluster> {
         self.clusters.iter().max_by_key(|c| c.requests)
     }
+}
+
+/// Per-client aggregation, single-threaded: one hash-map pass over the
+/// requests, collected sorted by client address.
+fn aggregate_serial(log: &Log) -> Vec<ClientStats> {
+    let mut per_client: HashMap<u32, (u64, u64)> = HashMap::new();
+    for r in &log.requests {
+        let e = per_client.entry(r.client).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += r.bytes as u64;
+    }
+    finish_aggregation(per_client)
+}
+
+/// Per-client aggregation, sharded two ways: request chunks aggregate in
+/// parallel into per-chunk maps split by client address range, then one
+/// worker per address range merges its slice of every chunk. Summation is
+/// order-independent and ranges concatenate in address order, so the
+/// result is identical to [`aggregate_serial`].
+fn aggregate_parallel(log: &Log) -> Vec<ClientStats> {
+    let n_parts = merge_partitions();
+    let shift = 32 - n_parts.trailing_zeros();
+    let shards: Vec<Vec<HashMap<u32, (u64, u64)>>> = log
+        .requests
+        .par_chunks(REQUEST_CHUNK)
+        .map(|chunk| {
+            let mut local: Vec<HashMap<u32, (u64, u64)>> = vec![HashMap::new(); n_parts];
+            for r in chunk {
+                let e = local[(r.client >> shift) as usize]
+                    .entry(r.client)
+                    .or_insert((0, 0));
+                e.0 += 1;
+                e.1 += r.bytes as u64;
+            }
+            local
+        })
+        .collect();
+    let parts: Vec<usize> = (0..n_parts).collect();
+    let merged: Vec<Vec<ClientStats>> = parts
+        .par_iter()
+        .map(|&p| {
+            let mut per_client: HashMap<u32, (u64, u64)> = HashMap::new();
+            for shard in &shards {
+                for (&client, &(requests, bytes)) in &shard[p] {
+                    let e = per_client.entry(client).or_insert((0, 0));
+                    e.0 += requests;
+                    e.1 += bytes;
+                }
+            }
+            let mut clients: Vec<ClientStats> = per_client
+                .into_iter()
+                .map(|(client, (requests, bytes))| ClientStats {
+                    addr: Ipv4Addr::from(client),
+                    requests,
+                    bytes,
+                })
+                .collect();
+            clients.sort_by_key(|c| c.addr);
+            clients
+        })
+        .collect();
+    // Partition p holds exactly the clients whose top bits equal p, so the
+    // per-partition sorted runs concatenate into global address order.
+    merged.into_iter().flatten().collect()
+}
+
+fn finish_aggregation(per_client: HashMap<u32, (u64, u64)>) -> Vec<ClientStats> {
+    let mut clients: Vec<ClientStats> = per_client
+        .into_iter()
+        .map(|(client, (requests, bytes))| ClientStats {
+            addr: Ipv4Addr::from(client),
+            requests,
+            bytes,
+        })
+        .collect();
+    clients.sort_by_key(|c| c.addr);
+    clients
 }
 
 #[cfg(test)]
@@ -286,7 +494,12 @@ mod tests {
         Log {
             name: "sample".into(),
             requests,
-            urls: (0..3).map(|i| UrlMeta { path: format!("/{i}"), size: 100 }).collect(),
+            urls: (0..3)
+                .map(|i| UrlMeta {
+                    path: format!("/{i}"),
+                    size: 100,
+                })
+                .collect(),
             user_agents: vec!["UA".into()],
             start_time: 0,
             duration_s: 100,
@@ -299,7 +512,10 @@ mod tests {
             "T",
             "d0",
             TableKind::Bgp,
-            vec!["12.65.128.0/19".parse().unwrap(), "24.48.2.0/23".parse().unwrap()],
+            vec![
+                "12.65.128.0/19".parse().unwrap(),
+                "24.48.2.0/23".parse().unwrap(),
+            ],
         );
         MergedTable::merge([&bgp])
     }
@@ -326,7 +542,11 @@ mod tests {
         let log = sample_log();
         let clustering = Clustering::network_aware(&log, &merged());
         let total: u64 = clustering.clusters.iter().map(|c| c.requests).sum::<u64>()
-            + clustering.unclustered.iter().map(|c| c.requests).sum::<u64>();
+            + clustering
+                .unclustered
+                .iter()
+                .map(|c| c.requests)
+                .sum::<u64>();
         assert_eq!(total, log.requests.len() as u64);
         assert_eq!(clustering.total_requests, log.requests.len() as u64);
         // Clients 1..=4 issue 1+2+3+4 = 10 requests in the first cluster.
@@ -371,7 +591,9 @@ mod tests {
     fn cluster_of_lookup() {
         let log = sample_log();
         let clustering = Clustering::network_aware(&log, &merged());
-        let c = clustering.cluster_of("12.65.147.94".parse().unwrap()).unwrap();
+        let c = clustering
+            .cluster_of("12.65.147.94".parse().unwrap())
+            .unwrap();
         assert_eq!(c.prefix.to_string(), "12.65.128.0/19");
         assert!(clustering.cluster_of("99.1.1.1".parse().unwrap()).is_none());
         assert!(clustering.cluster_of("8.8.8.8".parse().unwrap()).is_none());
@@ -405,16 +627,61 @@ mod tests {
             ("99.1.1.1".parse().unwrap(), 1, 100),
         ];
         let table = merged();
-        let clustering = Clustering::from_counts(&counts, "servers", |a| {
-            table.lookup(a).map(|(n, _)| n)
-        });
+        let clustering =
+            Clustering::from_counts(&counts, "servers", |a| table.lookup(a).map(|(n, _)| n));
         assert_eq!(clustering.len(), 2);
         assert_eq!(clustering.clusters[0].requests, 15);
         assert_eq!(clustering.clusters[0].bytes, 1500);
         assert_eq!(clustering.unclustered.len(), 1);
         assert_eq!(clustering.total_requests, 23);
         assert_eq!(clustering.clusters[0].unique_urls, 0);
-        assert!(clustering.cluster_of("24.48.3.87".parse().unwrap()).is_some());
+        assert!(clustering
+            .cluster_of("24.48.3.87".parse().unwrap())
+            .is_some());
+    }
+
+    #[test]
+    fn parallel_build_is_deterministic() {
+        use netclust_netgen::{standard_merged, Universe, UniverseConfig};
+        use netclust_weblog::{generate, LogSpec};
+
+        let u = Universe::generate(UniverseConfig::small(11));
+        let mut spec = LogSpec::tiny("det", 17);
+        // Enough requests that the auto path would shard, with collisions
+        // across chunk boundaries.
+        spec.total_requests = 40_000;
+        spec.target_clients = 300;
+        let log = generate(&u, &spec);
+        let merged = standard_merged(&u, 0);
+        let compiled = merged.compile();
+
+        let assign = |a: Ipv4Addr| compiled.net_for_u32(u32::from(a));
+        let serial = Clustering::build_serial(&log, "m", assign);
+        let parallel = Clustering::build_parallel(&log, "m", assign);
+
+        // Byte-identical orderings: same clusters in the same order, each
+        // with identical member lists, and the same unclustered list.
+        assert_eq!(serial.clusters.len(), parallel.clusters.len());
+        for (s, p) in serial.clusters.iter().zip(&parallel.clusters) {
+            assert_eq!(s.prefix, p.prefix);
+            assert_eq!(s.clients, p.clients);
+            assert_eq!(s.requests, p.requests);
+            assert_eq!(s.bytes, p.bytes);
+            assert_eq!(s.unique_urls, p.unique_urls);
+        }
+        assert_eq!(serial.unclustered, parallel.unclustered);
+        assert_eq!(serial.total_requests, parallel.total_requests);
+
+        // The auto-dispatching entry points agree with both.
+        let auto = Clustering::build(&log, "m", assign);
+        assert_eq!(auto.unclustered, serial.unclustered);
+        assert_eq!(auto.clusters.len(), serial.clusters.len());
+        let aware = Clustering::network_aware_compiled(&log, &compiled);
+        assert_eq!(aware.clusters.len(), serial.clusters.len());
+        for (a, s) in aware.clusters.iter().zip(&serial.clusters) {
+            assert_eq!(a.prefix, s.prefix);
+            assert_eq!(a.clients, s.clients);
+        }
     }
 
     #[test]

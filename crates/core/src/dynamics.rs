@@ -89,12 +89,10 @@ pub fn dynamics_analysis(
         let logs_out = logs
             .iter()
             .map(|study| {
-                let in_table = |idx: &usize| {
-                    end_set.contains(&study.clustering.clusters[*idx].prefix)
-                };
-                let in_dynamic = |idx: &usize| {
-                    dynamic.contains(&study.clustering.clusters[*idx].prefix)
-                };
+                let in_table =
+                    |idx: &usize| end_set.contains(&study.clustering.clusters[*idx].prefix);
+                let in_dynamic =
+                    |idx: &usize| dynamic.contains(&study.clustering.clusters[*idx].prefix);
                 let all: Vec<usize> = (0..study.clustering.clusters.len()).collect();
                 LogDynamics {
                     log_name: study.name.clone(),

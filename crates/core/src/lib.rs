@@ -46,8 +46,8 @@ pub use netcluster::{network_clusters, NetworkCluster};
 pub use ongoing::{
     merge_by_name_suffix, selective_validate, MergeReport, SelectiveMode, SelectiveReport,
 };
-pub use stream::{StreamStats, StreamingClustering};
 pub use selfcorrect::{org_purity, self_correct, CorrectionConfig, CorrectionReport};
 pub use sessions::{session_report, SessionReport, SessionStats};
+pub use stream::{StreamStats, StreamingClustering};
 pub use threshold::{threshold_busy, ThresholdReport};
 pub use validation::{validate, SamplePlan, TestCounts, ValidationReport};

@@ -32,7 +32,11 @@ impl Summary {
         let total: u64 = values.iter().sum();
         let n = values.len() as f64;
         let mean = total as f64 / n;
-        let variance = values.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / n;
+        let variance = values
+            .iter()
+            .map(|&v| (v as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n;
         Some(Summary {
             min: *values.iter().min().expect("non-empty"),
             max: *values.iter().max().expect("non-empty"),
@@ -94,10 +98,17 @@ pub struct Distributions {
 impl Distributions {
     /// Computes every series for a clustering.
     pub fn of(clustering: &Clustering) -> Self {
-        let clients: Vec<u64> =
-            clustering.clusters.iter().map(|c| c.client_count() as u64).collect();
+        let clients: Vec<u64> = clustering
+            .clusters
+            .iter()
+            .map(|c| c.client_count() as u64)
+            .collect();
         let requests: Vec<u64> = clustering.clusters.iter().map(|c| c.requests).collect();
-        let urls: Vec<u64> = clustering.clusters.iter().map(|c| c.unique_urls as u64).collect();
+        let urls: Vec<u64> = clustering
+            .clusters
+            .iter()
+            .map(|c| c.unique_urls as u64)
+            .collect();
         let mut by_clients: Vec<usize> = (0..clients.len()).collect();
         by_clients.sort_by(|&a, &b| {
             clients[b]
@@ -112,7 +123,13 @@ impl Distributions {
                 .then(clients[b].cmp(&clients[a]))
                 .then(a.cmp(&b))
         });
-        Distributions { clients, requests, urls, by_clients, by_requests }
+        Distributions {
+            clients,
+            requests,
+            urls,
+            by_clients,
+            by_requests,
+        }
     }
 
     /// A series reordered by an ordering: `series_in(&d.requests,
@@ -188,7 +205,12 @@ mod tests {
         Log {
             name: "m".into(),
             requests,
-            urls: (0..4).map(|i| UrlMeta { path: format!("/{i}"), size: 10 }).collect(),
+            urls: (0..4)
+                .map(|i| UrlMeta {
+                    path: format!("/{i}"),
+                    size: 10,
+                })
+                .collect(),
             user_agents: vec!["UA".into()],
             start_time: 0,
             duration_s: 1000,

@@ -46,8 +46,12 @@ pub fn network_clusters(
     let mut rng = stream_rng(seed, &[0x2E7]);
     let mut groups: HashMap<String, NetworkCluster> = HashMap::new();
     for (idx, cluster) in clustering.clusters.iter().enumerate() {
-        let mut sample: Vec<std::net::Ipv4Addr> =
-            cluster.clients.iter().map(|c| c.addr).collect();
+        // A memberless cluster has nothing to traceroute; skipping it keeps
+        // the empty suffix key from minting a bogus "" network cluster.
+        if cluster.clients.is_empty() {
+            continue;
+        }
+        let mut sample: Vec<std::net::Ipv4Addr> = cluster.clients.iter().map(|c| c.addr).collect();
         sample.shuffle(&mut rng);
         sample.truncate(r.max(1));
         // Majority vote over sampled upstream suffixes.
@@ -135,6 +139,29 @@ mod tests {
                 .collect();
             assert_eq!(ases.len(), 1, "group {} spans ASes {ases:?}", group.key);
         }
+    }
+
+    #[test]
+    fn empty_clusters_are_skipped() {
+        let u = Universe::generate(UniverseConfig::small(7));
+        let log = generate(&u, &LogSpec::tiny("nc", 23));
+        let merged = netclust_netgen::standard_merged(&u, 0);
+        let mut clustering = Clustering::network_aware(&log, &merged);
+        let baseline = network_clusters(&u, &clustering, 2, 2, 0xAB);
+        // Splice in a memberless cluster; it must neither join a group nor
+        // mint a bogus ""-keyed network cluster.
+        clustering.clusters.push(crate::cluster::Cluster {
+            prefix: "203.0.113.0/24".parse().unwrap(),
+            clients: Vec::new(),
+            requests: 0,
+            bytes: 0,
+            unique_urls: 0,
+        });
+        let nets = network_clusters(&u, &clustering, 2, 2, 0xAB);
+        assert!(nets.iter().all(|n| !n.key.is_empty()));
+        let members: usize = nets.iter().map(|n| n.members.len()).sum();
+        assert_eq!(members, clustering.clusters.len() - 1);
+        assert_eq!(nets.len(), baseline.len());
     }
 
     #[test]

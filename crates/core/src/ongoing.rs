@@ -85,8 +85,7 @@ where
 
     // Group by suffix; the AS guard splits a suffix group by hint.
     let mut groups: HashMap<(String, Option<u32>), Vec<usize>> = HashMap::new();
-    let mut suffix_only: HashMap<String, std::collections::BTreeSet<Option<u32>>> =
-        HashMap::new();
+    let mut suffix_only: HashMap<String, std::collections::BTreeSet<Option<u32>>> = HashMap::new();
     for (idx, label) in label_of.iter().enumerate() {
         if let Some((suffix, hint)) = label {
             groups.entry((suffix.clone(), *hint)).or_default().push(idx);
@@ -94,7 +93,10 @@ where
         }
     }
     let blocked_by_as_guard = if as_of.is_some() {
-        suffix_only.values().map(|hints| hints.len().saturating_sub(1)).sum()
+        suffix_only
+            .values()
+            .map(|hints| hints.len().saturating_sub(1))
+            .sum()
     } else {
         0
     };
@@ -202,7 +204,9 @@ pub fn selective_validate(
         for client in cluster.clients.iter().take(plan.max_clients_per_cluster) {
             let outcome = tracer.trace(client.addr);
             let id = match &outcome {
-                TraceOutcome::Reached { name: Some(name), .. } => {
+                TraceOutcome::Reached {
+                    name: Some(name), ..
+                } => {
                     format!("n:{}", name_suffix(name))
                 }
                 _ => format!("p:{}", outcome.path_suffix(2).join(">")),
@@ -211,17 +215,26 @@ pub fn selective_validate(
             e.0 += 1;
             e.1 += client.requests;
         }
-        let total: (u64, u64) =
-            weights.values().fold((0, 0), |acc, v| (acc.0 + v.0, acc.1 + v.1));
-        let majority = weights.values().map(|v| match mode {
-            SelectiveMode::ClientBased => v.0,
-            SelectiveMode::RequestBased => v.1,
-        }).max().unwrap_or(0);
+        let total: (u64, u64) = weights
+            .values()
+            .fold((0, 0), |acc, v| (acc.0 + v.0, acc.1 + v.1));
+        let majority = weights
+            .values()
+            .map(|v| match mode {
+                SelectiveMode::ClientBased => v.0,
+                SelectiveMode::RequestBased => v.1,
+            })
+            .max()
+            .unwrap_or(0);
         let denom = match mode {
             SelectiveMode::ClientBased => total.0,
             SelectiveMode::RequestBased => total.1,
         };
-        let agreement = if denom == 0 { 1.0 } else { majority as f64 / denom as f64 };
+        let agreement = if denom == 0 {
+            1.0
+        } else {
+            majority as f64 / denom as f64
+        };
         if agreement >= 1.0 - tolerance {
             passed += 1;
             if weights.len() > 1 {
@@ -271,8 +284,14 @@ mod tests {
         let log = generate(&u, &spec);
         let merged = netclust_netgen::standard_merged(&u, 0);
         let clustering = Clustering::network_aware(&log, &merged);
-        let report =
-            merge_by_name_suffix(&u, &log, &clustering, 6, 1, None::<fn(Ipv4Net) -> Option<u32>>);
+        let report = merge_by_name_suffix(
+            &u,
+            &log,
+            &clustering,
+            6,
+            1,
+            None::<fn(Ipv4Net) -> Option<u32>>,
+        );
         assert_eq!(report.clustering.client_count(), clustering.client_count());
         assert_eq!(
             report.clustering.len(),
@@ -311,28 +330,39 @@ mod tests {
             1,
             Some(|p: Ipv4Net| unique.get(&p).copied()),
         );
-        assert_eq!(report.merged_away, 0, "unique AS hints must block all merges");
+        assert_eq!(
+            report.merged_away, 0,
+            "unique AS hints must block all merges"
+        );
         // And the constant hint behaves like no guard.
         let constant =
             merge_by_name_suffix(&u, &log, &clustering, 3, 1, Some(|_: Ipv4Net| Some(1u32)));
-        let unguarded =
-            merge_by_name_suffix(&u, &log, &clustering, 3, 1, None::<fn(Ipv4Net) -> Option<u32>>);
+        let unguarded = merge_by_name_suffix(
+            &u,
+            &log,
+            &clustering,
+            3,
+            1,
+            None::<fn(Ipv4Net) -> Option<u32>>,
+        );
         assert_eq!(constant.merged_away, unguarded.merged_away);
     }
 
     #[test]
     fn selective_validation_is_more_tolerant_than_strict() {
         let (u, _log, clustering) = setup();
-        let plan = SamplePlan { fraction: 1.0, min_clusters: 10, ..Default::default() };
+        let plan = SamplePlan {
+            fraction: 1.0,
+            min_clusters: 10,
+            ..Default::default()
+        };
         let strict = selective_validate(&u, &clustering, &plan, 0.0, SelectiveMode::ClientBased);
-        let tolerant =
-            selective_validate(&u, &clustering, &plan, 0.10, SelectiveMode::ClientBased);
+        let tolerant = selective_validate(&u, &clustering, &plan, 0.10, SelectiveMode::ClientBased);
         assert!(tolerant.passed >= strict.passed);
         assert!(tolerant.pass_rate() >= strict.pass_rate());
         assert_eq!(strict.rescued, 0, "strict mode rescues nothing");
         // Request-based mode also works and stays in range.
-        let by_req =
-            selective_validate(&u, &clustering, &plan, 0.05, SelectiveMode::RequestBased);
+        let by_req = selective_validate(&u, &clustering, &plan, 0.05, SelectiveMode::RequestBased);
         assert!((0.0..=1.0).contains(&by_req.pass_rate()));
         assert_eq!(by_req.sampled_clusters, strict.sampled_clusters);
     }

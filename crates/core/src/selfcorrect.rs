@@ -39,7 +39,10 @@ pub struct CorrectionConfig {
 
 impl Default for CorrectionConfig {
     fn default() -> Self {
-        CorrectionConfig { samples_per_cluster: 3, seed: 0xC0 }
+        CorrectionConfig {
+            samples_per_cluster: 3,
+            seed: 0xC0,
+        }
     }
 }
 
@@ -104,7 +107,10 @@ pub fn self_correct(
         if sigs.len() <= 1 {
             // Homogeneous (as far as the sample shows): whole cluster keeps
             // one signature.
-            let sig = sigs.into_iter().next().expect("sampled at least one client");
+            let sig = sigs
+                .into_iter()
+                .next()
+                .expect("sampled at least one client");
             let entry = groups.entry(sig).or_default();
             entry.0.extend(cluster.clients.iter().map(|c| c.addr));
             entry.1.push(cluster.prefix);
@@ -244,7 +250,10 @@ mod tests {
         let after = fragmented(&report.clustering);
         assert!(after <= before, "fragmented orgs {before} -> {after}");
         if before > 0 {
-            assert!(report.merged_away > 0, "expected merges for {before} fragmented orgs");
+            assert!(
+                report.merged_away > 0,
+                "expected merges for {before} fragmented orgs"
+            );
             assert_eq!(after, 0, "all fragmentation should be repaired");
         }
     }
@@ -266,7 +275,10 @@ mod tests {
         let impure_before = impure(&clustering);
         let report = self_correct(&u, &log, &clustering, &CorrectionConfig::default());
         if impure_before > 0 {
-            assert!(report.split > 0, "expected splits for {impure_before} impure clusters");
+            assert!(
+                report.split > 0,
+                "expected splits for {impure_before} impure clusters"
+            );
         }
         let impure_after = impure(&report.clustering);
         assert!(impure_after <= impure_before);

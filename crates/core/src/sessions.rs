@@ -43,15 +43,18 @@ pub struct SessionReport {
 /// measures cross-session stability.
 pub fn session_report<F>(log: &Log, n: u32, assign: F) -> SessionReport
 where
-    F: Fn(std::net::Ipv4Addr) -> Option<Ipv4Net> + Copy,
+    F: Fn(std::net::Ipv4Addr) -> Option<Ipv4Net> + Copy + Sync,
 {
     let sessions: Vec<SessionStats> = log
         .sessions(n)
         .iter()
         .map(|s| {
             let clustering = Clustering::build(s, "session", assign);
-            let requests_by_prefix =
-                clustering.clusters.iter().map(|c| (c.prefix, c.requests)).collect();
+            let requests_by_prefix = clustering
+                .clusters
+                .iter()
+                .map(|c| (c.prefix, c.requests))
+                .collect();
             SessionStats {
                 name: s.name.clone(),
                 requests: s.requests.len() as u64,
@@ -85,7 +88,10 @@ where
         })
         .collect();
 
-    SessionReport { sessions, consecutive_correlations }
+    SessionReport {
+        sessions,
+        consecutive_correlations,
+    }
 }
 
 #[cfg(test)]
@@ -108,7 +114,11 @@ mod tests {
         assert_eq!(total, log.requests.len() as u64);
         // Busy clusters stay busy across sessions: strong correlation.
         for (i, &c) in report.consecutive_correlations.iter().enumerate() {
-            assert!(c > 0.5, "correlation {c} between sessions {i} and {}", i + 1);
+            assert!(
+                c > 0.5,
+                "correlation {c} between sessions {i} and {}",
+                i + 1
+            );
         }
         // Diurnal profile: sessions differ in volume (afternoon > night).
         let volumes: Vec<u64> = report.sessions.iter().map(|s| s.requests).collect();

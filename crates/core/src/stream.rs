@@ -13,7 +13,7 @@ use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
 use netclust_prefix::Ipv4Net;
-use netclust_rtable::MergedTable;
+use netclust_rtable::{CompiledMerged, MergedTable};
 use netclust_weblog::Request;
 
 /// Incremental per-cluster aggregates.
@@ -28,8 +28,12 @@ pub struct StreamStats {
 }
 
 /// An incrementally-maintained clustering over a request stream.
+///
+/// The routing table is compiled once at construction to the flat DIR-24-8
+/// layout ([`CompiledMerged`]), so the per-request hot path does O(1)–O(2)
+/// array lookups; [`swap_table`](Self::swap_table) recompiles.
 pub struct StreamingClustering {
-    table: MergedTable,
+    table: CompiledMerged,
     /// Per-cluster aggregates.
     clusters: HashMap<Ipv4Net, StreamStats>,
     /// Per-client totals (kept so a table swap can rebuild assignments
@@ -43,10 +47,11 @@ pub struct StreamingClustering {
 }
 
 impl StreamingClustering {
-    /// Creates an empty streaming clustering over `table`.
+    /// Creates an empty streaming clustering over `table`, compiling it
+    /// for flat lookups.
     pub fn new(table: MergedTable) -> Self {
         StreamingClustering {
-            table,
+            table: table.compile(),
             clusters: HashMap::new(),
             per_client: HashMap::new(),
             assignment: HashMap::new(),
@@ -65,9 +70,7 @@ impl StreamingClustering {
         let prefix = *self
             .assignment
             .entry(request.client)
-            .or_insert_with(|| {
-                self.table.lookup_u32(request.client).map(|(net, _)| net)
-            });
+            .or_insert_with(|| self.table.net_for_u32(request.client));
         match prefix {
             Some(net) => {
                 let stats = self.clusters.entry(net).or_default();
@@ -125,16 +128,19 @@ impl StreamingClustering {
         v
     }
 
-    /// Swaps in a fresh routing table (adaptation to routing dynamics) and
-    /// rebuilds the cluster view from the retained per-client totals —
-    /// no stream replay needed.
+    /// Swaps in a fresh routing table (adaptation to routing dynamics):
+    /// recompiles it and rebuilds the cluster view from the retained
+    /// per-client totals with one batch LPM sweep — no stream replay
+    /// needed.
     pub fn swap_table(&mut self, table: MergedTable) {
-        self.table = table;
+        self.table = table.compile();
         self.assignment.clear();
         self.clusters.clear();
         self.unclustered_requests = 0;
-        for (&client, &(requests, bytes)) in &self.per_client {
-            let prefix = self.table.lookup_u32(client).map(|(net, _)| net);
+        let clients: Vec<u32> = self.per_client.keys().copied().collect();
+        let nets = self.table.net_for_batch(&clients);
+        for (client, prefix) in clients.into_iter().zip(nets) {
+            let (requests, bytes) = self.per_client[&client];
             self.assignment.insert(client, prefix);
             match prefix {
                 Some(net) => {

@@ -40,7 +40,10 @@ pub struct ThresholdReport {
 ///
 /// Panics unless `0.0 < fraction <= 1.0`.
 pub fn threshold_busy(clustering: &Clustering, fraction: f64) -> ThresholdReport {
-    assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0, 1]");
+    assert!(
+        fraction > 0.0 && fraction <= 1.0,
+        "fraction must be in (0, 1]"
+    );
     let mut order: Vec<usize> = (0..clustering.clusters.len()).collect();
     order.sort_by(|&a, &b| {
         clustering.clusters[b]
@@ -123,7 +126,10 @@ mod tests {
         Log {
             name: "t".into(),
             requests,
-            urls: vec![UrlMeta { path: "/".into(), size: 1 }],
+            urls: vec![UrlMeta {
+                path: "/".into(),
+                size: 1,
+            }],
             user_agents: vec!["UA".into()],
             start_time: 0,
             duration_s: 100,
@@ -159,8 +165,11 @@ mod tests {
     fn busy_order_is_descending() {
         let clustering = Clustering::simple24(&log());
         let report = threshold_busy(&clustering, 0.9);
-        let reqs: Vec<u64> =
-            report.busy.iter().map(|&i| clustering.clusters[i].requests).collect();
+        let reqs: Vec<u64> = report
+            .busy
+            .iter()
+            .map(|&i| clustering.clusters[i].requests)
+            .collect();
         assert!(reqs.windows(2).all(|w| w[0] >= w[1]));
     }
 

@@ -40,7 +40,12 @@ pub struct SamplePlan {
 
 impl Default for SamplePlan {
     fn default() -> Self {
-        SamplePlan { fraction: 0.01, min_clusters: 10, max_clients_per_cluster: 25, seed: 0x5A }
+        SamplePlan {
+            fraction: 0.01,
+            min_clusters: 10,
+            max_clients_per_cluster: 25,
+            seed: 0x5A,
+        }
     }
 }
 
@@ -118,7 +123,10 @@ fn pass_rate(total: usize, failed: usize) -> f64 {
 
 /// `true` when a name's TLD is a two-letter country code.
 fn is_non_us(name: &str) -> bool {
-    name.rsplit('.').next().map(|tld| tld.len() == 2).unwrap_or(false)
+    name.rsplit('.')
+        .next()
+        .map(|tld| tld.len() == 2)
+        .unwrap_or(false)
 }
 
 /// Runs both validation tests over a sampled subset of `clustering`.
@@ -166,8 +174,10 @@ pub fn validate(
         report.sampled_clients += clients.len();
 
         // --- nslookup test -------------------------------------------------
-        let names: Vec<String> =
-            clients.iter().filter_map(|&a| nslookup.resolve(a)).collect();
+        let names: Vec<String> = clients
+            .iter()
+            .filter_map(|&a| nslookup.resolve(a))
+            .collect();
         report.nslookup.reachable_clients += names.len();
         let ns_fail = !suffixes_agree(names.iter().map(String::as_str));
         if ns_fail {
@@ -184,7 +194,9 @@ pub fn validate(
         for &addr in &clients {
             let outcome = tracer.trace(addr);
             match &outcome {
-                TraceOutcome::Reached { name: Some(name), .. } => {
+                TraceOutcome::Reached {
+                    name: Some(name), ..
+                } => {
                     any_non_us |= is_non_us(name);
                     tr_names.push(name.clone());
                 }
@@ -267,7 +279,11 @@ mod tests {
     #[test]
     fn validation_reports_consistent_counts() {
         let (u, clustering) = setup();
-        let plan = SamplePlan { fraction: 0.5, min_clusters: 10, ..Default::default() };
+        let plan = SamplePlan {
+            fraction: 0.5,
+            min_clusters: 10,
+            ..Default::default()
+        };
         let report = validate(&u, &clustering, &plan);
         assert!(report.sampled_clusters >= 10);
         assert!(report.sampled_clusters <= report.total_clusters);
@@ -287,13 +303,29 @@ mod tests {
     #[test]
     fn network_aware_mostly_passes() {
         let (u, clustering) = setup();
-        let plan = SamplePlan { fraction: 1.0, min_clusters: 10, ..Default::default() };
+        let plan = SamplePlan {
+            fraction: 1.0,
+            min_clusters: 10,
+            ..Default::default()
+        };
         let report = validate(&u, &clustering, &plan);
         // The paper's headline: >90 % pass. The small test universe is
         // noisier; insist on >80 %.
-        assert!(report.nslookup_pass_rate() > 0.8, "{}", report.nslookup_pass_rate());
-        assert!(report.traceroute_pass_rate() > 0.8, "{}", report.traceroute_pass_rate());
-        assert!(report.truth_pass_rate() > 0.8, "{}", report.truth_pass_rate());
+        assert!(
+            report.nslookup_pass_rate() > 0.8,
+            "{}",
+            report.nslookup_pass_rate()
+        );
+        assert!(
+            report.traceroute_pass_rate() > 0.8,
+            "{}",
+            report.traceroute_pass_rate()
+        );
+        assert!(
+            report.truth_pass_rate() > 0.8,
+            "{}",
+            report.truth_pass_rate()
+        );
     }
 
     #[test]
@@ -310,10 +342,17 @@ mod tests {
     #[test]
     fn len24_counter_counts_24s() {
         let (u, clustering) = setup();
-        let plan = SamplePlan { fraction: 1.0, min_clusters: 1, ..Default::default() };
+        let plan = SamplePlan {
+            fraction: 1.0,
+            min_clusters: 1,
+            ..Default::default()
+        };
         let report = validate(&u, &clustering, &plan);
-        let expect =
-            clustering.clusters.iter().filter(|c| c.prefix.len() == 24).count();
+        let expect = clustering
+            .clusters
+            .iter()
+            .filter(|c| c.prefix.len() == 24)
+            .count();
         assert_eq!(report.len24_clusters, expect);
         assert!(report.prefix_len_range.0 <= report.prefix_len_range.1);
         // Simple pass rate is the /24 fraction.

@@ -25,7 +25,12 @@ fn log_from(reqs: &[(u32, u8, u16)]) -> Log {
     Log {
         name: "prop".into(),
         requests,
-        urls: (0..=255).map(|i| UrlMeta { path: format!("/{i}"), size: 100 + i }).collect(),
+        urls: (0..=255)
+            .map(|i| UrlMeta {
+                path: format!("/{i}"),
+                size: 100 + i,
+            })
+            .collect(),
         user_agents: vec!["UA".into()],
         start_time: 0,
         duration_s: u16::MAX as u32,

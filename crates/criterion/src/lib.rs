@@ -1,0 +1,341 @@
+//! Offline shim for the subset of the `criterion` crate API that the
+//! netclust benches use.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a dependency-free micro-benchmark harness with the same
+//! surface: [`Criterion`] (`bench_function`, `benchmark_group`),
+//! [`BenchmarkGroup`] (`sample_size`, `throughput`, `bench_function`,
+//! `finish`), [`Bencher::iter`], [`BenchmarkId`], [`Throughput`],
+//! [`black_box`], and the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement model: each benchmark is warmed up (~0.2 s), then timed
+//! over adaptive batches until ~0.7 s of samples accumulate; the median
+//! batch mean is reported in ns/iter, with derived throughput when the
+//! group declared one. Results print as aligned plain text and accumulate
+//! in-process (see [`Criterion::take_results`]) so benches can persist
+//! machine-readable summaries.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Units of work per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iterations process this many items each.
+    Elements(u64),
+    /// Iterations process this many bytes each.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: a function name, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter (used inside a named group).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into a benchmark identifier (`&str` or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// The rendered identifier.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+/// Timing callback holder handed to benchmark closures.
+pub struct Bencher {
+    /// Median nanoseconds per iteration, filled by [`Bencher::iter`].
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping its output alive via [`black_box`].
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warmup: find an iteration count that lasts >= ~50ms per batch.
+        let mut batch: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= Duration::from_millis(50) || batch >= 1 << 30 {
+                break;
+            }
+            // Aim just past the threshold next round.
+            let grow = if elapsed < Duration::from_millis(1) {
+                64
+            } else {
+                2
+            };
+            batch = batch.saturating_mul(grow);
+        }
+        // Measurement: batches until ~0.7s accumulates (at least 3, at
+        // most 100 — slow routines stop early, fast ones stop on time).
+        let mut samples: Vec<f64> = Vec::new();
+        let budget = Instant::now();
+        while samples.len() < 3
+            || (budget.elapsed() < Duration::from_millis(700) && samples.len() < 100)
+        {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        self.ns_per_iter = samples[samples.len() / 2];
+    }
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full benchmark id (`group/name` when grouped).
+    pub id: String,
+    /// Median nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Declared per-iteration workload, if any.
+    pub throughput: Option<Throughput>,
+}
+
+impl BenchResult {
+    /// Items (or bytes) processed per second, when a throughput was
+    /// declared.
+    pub fn per_second(&self) -> Option<f64> {
+        self.throughput.map(|t| {
+            let units = match t {
+                Throughput::Elements(n) | Throughput::Bytes(n) => n as f64,
+            };
+            units * 1e9 / self.ns_per_iter
+        })
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+fn human_rate(per_s: f64, throughput: Throughput) -> String {
+    let unit = match throughput {
+        Throughput::Elements(_) => "elem/s",
+        Throughput::Bytes(_) => "B/s",
+    };
+    if per_s >= 1e9 {
+        format!("{:.3} G{unit}", per_s / 1e9)
+    } else if per_s >= 1e6 {
+        format!("{:.3} M{unit}", per_s / 1e6)
+    } else if per_s >= 1e3 {
+        format!("{:.3} K{unit}", per_s / 1e3)
+    } else {
+        format!("{per_s:.1} {unit}")
+    }
+}
+
+/// The benchmark manager.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// Applies command-line configuration (accepted and ignored: the shim
+    /// has no baselines or filters).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    fn run_one(
+        &mut self,
+        id: String,
+        throughput: Option<Throughput>,
+        f: &mut dyn FnMut(&mut Bencher),
+    ) {
+        let mut bencher = Bencher {
+            ns_per_iter: f64::NAN,
+        };
+        f(&mut bencher);
+        let result = BenchResult {
+            id,
+            ns_per_iter: bencher.ns_per_iter,
+            throughput,
+        };
+        match result.per_second() {
+            Some(rate) => println!(
+                "{:<44} time: {:>12}/iter   thrpt: {:>14}",
+                result.id,
+                human_time(result.ns_per_iter),
+                human_rate(rate, result.throughput.expect("rate implies throughput")),
+            ),
+            None => println!(
+                "{:<44} time: {:>12}/iter",
+                result.id,
+                human_time(result.ns_per_iter),
+            ),
+        }
+        self.results.push(result);
+    }
+
+    /// Benchmarks one routine.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(id.into_id(), None, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Drains the accumulated results (for machine-readable persistence).
+    pub fn take_results(&mut self) -> Vec<BenchResult> {
+        std::mem::take(&mut self.results)
+    }
+}
+
+/// A group of related benchmarks sharing throughput configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes samples by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim sizes samples by time.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Declares the per-iteration workload for subsequent benches.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks one routine within the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        self.criterion.run_one(full, self.throughput, &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        c.bench_function("noop-ish", |b| b.iter(|| black_box(3u64).wrapping_mul(7)));
+        let results = c.take_results();
+        assert_eq!(results.len(), 1);
+        assert!(results[0].ns_per_iter.is_finite());
+        assert!(results[0].ns_per_iter >= 0.0);
+        assert!(results[0].per_second().is_none());
+    }
+
+    #[test]
+    fn group_throughput_and_ids() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(10).throughput(Throughput::Elements(1000));
+            g.bench_function(BenchmarkId::new("f", 32), |b| b.iter(|| black_box(1)));
+            g.finish();
+        }
+        let results = c.take_results();
+        assert_eq!(results[0].id, "g/f/32");
+        let rate = results[0].per_second().expect("throughput declared");
+        assert!(rate > 0.0);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(human_time(12.34), "12.3 ns");
+        assert!(human_time(12_340.0).contains("µs"));
+        assert!(human_rate(2.5e6, Throughput::Elements(1)).contains("Melem/s"));
+    }
+}

@@ -139,7 +139,11 @@ pub fn allocate(config: &UniverseConfig) -> Allocation {
             let mean = config.orgs_per_as.max(2);
             rng.gen_range(mean / 2..=mean + mean / 2).max(1)
         };
-        let weights = if is_backbone { BACKBONE_LEN_WEIGHTS } else { REGIONAL_LEN_WEIGHTS };
+        let weights = if is_backbone {
+            BACKBONE_LEN_WEIGHTS
+        } else {
+            REGIONAL_LEN_WEIGHTS
+        };
         let mut lens: Vec<u8> = (0..n_orgs).map(|_| draw_len(&mut rng, weights)).collect();
         // Pack biggest first so bump allocation stays aligned.
         lens.sort();
@@ -155,7 +159,10 @@ pub fn allocate(config: &UniverseConfig) -> Allocation {
         let aligned = align_up(cursors[pool], agg_size as u32);
         let (_, pool_end) = POOLS[pool];
         assert!(
-            aligned.checked_add(agg_size as u32).map(|e| e <= pool_end).unwrap_or(false),
+            aligned
+                .checked_add(agg_size as u32)
+                .map(|e| e <= pool_end)
+                .unwrap_or(false),
             "allocation pool {pool} exhausted at AS {as_idx}"
         );
         cursors[pool] = aligned + agg_size as u32;
@@ -173,7 +180,10 @@ pub fn allocate(config: &UniverseConfig) -> Allocation {
             let network = if newly_allocated {
                 // Carve from the fresh pool: outside the AS aggregate.
                 let start = align_up(fresh_cursor, size);
-                assert!(start.saturating_add(size) <= 0x1000_0000, "fresh pool exhausted");
+                assert!(
+                    start.saturating_add(size) <= 0x1000_0000,
+                    "fresh pool exhausted"
+                );
                 fresh_cursor = start + size;
                 Ipv4Net::new(start, len).expect("valid org length")
             } else {
@@ -215,8 +225,7 @@ pub fn allocate(config: &UniverseConfig) -> Allocation {
                 activation_day: if newly_allocated { u32::MAX } else { 0 },
                 active_hosts: active_hosts(&mut rng, kind, network),
                 flappy: rng.gen_bool(0.02),
-                hosts_customers: kind == OrgKind::Isp
-                    && rng.gen_bool(config.isp_customer_sharing),
+                hosts_customers: kind == OrgKind::Isp && rng.gen_bool(config.isp_customer_sharing),
             };
             orgs.push(org);
             org_ids.push(org_id);
@@ -238,7 +247,10 @@ pub fn allocate(config: &UniverseConfig) -> Allocation {
 /// Rounds `value` up to the next multiple of `align` (a power of two).
 fn align_up(value: u32, align: u32) -> u32 {
     debug_assert!(align.is_power_of_two());
-    value.checked_add(align - 1).expect("allocation cursor overflow") & !(align - 1)
+    value
+        .checked_add(align - 1)
+        .expect("allocation cursor overflow")
+        & !(align - 1)
 }
 
 #[cfg(test)]
@@ -285,7 +297,11 @@ mod tests {
                 );
             } else {
                 // Newly-allocated space lives outside the old aggregate.
-                assert!(!asys.aggregate.covers(&org.network), "{} fresh", org.network);
+                assert!(
+                    !asys.aggregate.covers(&org.network),
+                    "{} fresh",
+                    org.network
+                );
             }
         }
     }
@@ -296,7 +312,12 @@ mod tests {
         let mut aggs: Vec<Ipv4Net> = alloc.ases.iter().map(|a| a.aggregate).collect();
         aggs.sort();
         for pair in aggs.windows(2) {
-            assert!(u32::from(pair[0].last()) < pair[1].addr_u32(), "{} vs {}", pair[0], pair[1]);
+            assert!(
+                u32::from(pair[0].last()) < pair[1].addr_u32(),
+                "{} vs {}",
+                pair[0],
+                pair[1]
+            );
         }
     }
 
@@ -327,16 +348,25 @@ mod tests {
             }
         }
         let gateways = alloc.ases.iter().filter(|a| a.is_gateway()).count();
-        assert!(gateways > 0, "paper-scale universe should have national gateways");
+        assert!(
+            gateways > 0,
+            "paper-scale universe should have national gateways"
+        );
     }
 
     #[test]
     fn error_sources_present_at_paper_scale() {
         let alloc = allocate(&UniverseConfig::paper(5));
-        let agg_only =
-            alloc.orgs.iter().filter(|o| o.policy == AnnouncePolicy::AggregatedOnly).count();
-        let more_spec =
-            alloc.orgs.iter().filter(|o| o.policy == AnnouncePolicy::MoreSpecifics).count();
+        let agg_only = alloc
+            .orgs
+            .iter()
+            .filter(|o| o.policy == AnnouncePolicy::AggregatedOnly)
+            .count();
+        let more_spec = alloc
+            .orgs
+            .iter()
+            .filter(|o| o.policy == AnnouncePolicy::MoreSpecifics)
+            .count();
         let unregistered = alloc.orgs.iter().filter(|o| !o.registered).count();
         assert!(agg_only > 0 && more_spec > 0 && unregistered > 0);
         // All small fractions.
@@ -350,7 +380,9 @@ mod tests {
         let alloc = small();
         for org in &alloc.orgs {
             assert!(org.active_hosts >= 1);
-            assert!((org.active_hosts as u64) <= org.network.num_addresses().saturating_sub(2).max(1));
+            assert!(
+                (org.active_hosts as u64) <= org.network.num_addresses().saturating_sub(2).max(1)
+            );
         }
     }
 

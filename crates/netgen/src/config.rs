@@ -66,13 +66,23 @@ impl Default for UniverseConfig {
 impl UniverseConfig {
     /// A small universe for fast unit tests (~hundreds of orgs).
     pub fn small(seed: u64) -> Self {
-        UniverseConfig { seed, num_ases: 40, orgs_per_as: 8, ..Self::default() }
+        UniverseConfig {
+            seed,
+            num_ases: 40,
+            orgs_per_as: 8,
+            ..Self::default()
+        }
     }
 
     /// The default paper-scale universe (~4 000 orgs, enough to host
     /// Nagano-sized logs with ~10 000 clusters).
     pub fn paper(seed: u64) -> Self {
-        UniverseConfig { seed, num_ases: 650, orgs_per_as: 22, ..Self::default() }
+        UniverseConfig {
+            seed,
+            num_ases: 650,
+            orgs_per_as: 22,
+            ..Self::default()
+        }
     }
 
     /// Expected number of organizations (used for pre-allocation only).

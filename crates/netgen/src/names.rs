@@ -10,27 +10,95 @@ use crate::org::OrgKind;
 use crate::rng::uniform_u64;
 
 const CORP_STEMS: &[&str] = &[
-    "acme", "globex", "initech", "umbrella", "wayne", "stark", "tyrell", "cyberdyne", "hooli",
-    "vandelay", "wonka", "dunder", "sterling", "pied", "oscorp", "massive", "virtucon", "zorg",
-    "gringotts", "monarch", "aperture", "blackmesa", "weyland", "nakatomi", "gekko", "duff",
-    "paper", "prestige", "octan", "spacely",
+    "acme",
+    "globex",
+    "initech",
+    "umbrella",
+    "wayne",
+    "stark",
+    "tyrell",
+    "cyberdyne",
+    "hooli",
+    "vandelay",
+    "wonka",
+    "dunder",
+    "sterling",
+    "pied",
+    "oscorp",
+    "massive",
+    "virtucon",
+    "zorg",
+    "gringotts",
+    "monarch",
+    "aperture",
+    "blackmesa",
+    "weyland",
+    "nakatomi",
+    "gekko",
+    "duff",
+    "paper",
+    "prestige",
+    "octan",
+    "spacely",
 ];
 
 const EDU_STEMS: &[&str] = &[
-    "northfield", "eastlake", "westbrook", "southgate", "riverdale", "hillcrest", "lakeside",
-    "stonebridge", "fairview", "oakmont", "maplewood", "cedarhurst", "brookhaven", "elmwood",
-    "ashford", "kingsley", "harborview", "summit", "clearwater", "pinehurst",
+    "northfield",
+    "eastlake",
+    "westbrook",
+    "southgate",
+    "riverdale",
+    "hillcrest",
+    "lakeside",
+    "stonebridge",
+    "fairview",
+    "oakmont",
+    "maplewood",
+    "cedarhurst",
+    "brookhaven",
+    "elmwood",
+    "ashford",
+    "kingsley",
+    "harborview",
+    "summit",
+    "clearwater",
+    "pinehurst",
 ];
 
 const ISP_STEMS: &[&str] = &[
-    "fastlink", "netwave", "skyline", "metronet", "coastal", "prairie", "summitnet", "bluebird",
-    "ironport", "lighthouse", "crossroads", "highplains", "bayline", "ridgenet", "stormfiber",
-    "quicksilver", "tundra", "mesa", "canyon", "delta",
+    "fastlink",
+    "netwave",
+    "skyline",
+    "metronet",
+    "coastal",
+    "prairie",
+    "summitnet",
+    "bluebird",
+    "ironport",
+    "lighthouse",
+    "crossroads",
+    "highplains",
+    "bayline",
+    "ridgenet",
+    "stormfiber",
+    "quicksilver",
+    "tundra",
+    "mesa",
+    "canyon",
+    "delta",
 ];
 
 const GOV_STEMS: &[&str] = &[
-    "interior", "commerce", "transit", "harbor", "landsurvey", "treasury", "archives", "census",
-    "forestry", "aviation",
+    "interior",
+    "commerce",
+    "transit",
+    "harbor",
+    "landsurvey",
+    "treasury",
+    "archives",
+    "census",
+    "forestry",
+    "aviation",
 ];
 
 const DEPTS: &[&str] = &[

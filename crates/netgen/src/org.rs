@@ -212,8 +212,12 @@ mod tests {
 
     #[test]
     fn aggregated_and_gateway_announce_nothing() {
-        assert!(test_org(AnnouncePolicy::AggregatedOnly).announced_prefixes().is_empty());
-        assert!(test_org(AnnouncePolicy::Gateway).announced_prefixes().is_empty());
+        assert!(test_org(AnnouncePolicy::AggregatedOnly)
+            .announced_prefixes()
+            .is_empty());
+        assert!(test_org(AnnouncePolicy::Gateway)
+            .announced_prefixes()
+            .is_empty());
     }
 
     #[test]

@@ -57,7 +57,12 @@ impl Universe {
     pub fn generate(config: UniverseConfig) -> Self {
         let Allocation { ases, orgs } = allocate(&config);
         let truth = orgs.iter().map(|o| (o.network, o.id)).collect();
-        Universe { config, ases, orgs, truth }
+        Universe {
+            config,
+            ases,
+            orgs,
+            truth,
+        }
     }
 
     /// The generating configuration.
@@ -96,13 +101,21 @@ impl Universe {
         let mut out = Vec::new();
         for asys in &self.ases {
             if asys.announces_aggregate {
-                out.push(Announcement { prefix: asys.aggregate, as_id: asys.id, org: None });
+                out.push(Announcement {
+                    prefix: asys.aggregate,
+                    as_id: asys.id,
+                    org: None,
+                });
             }
         }
         for org in &self.orgs {
             if org.activation_day <= day {
                 for prefix in org.announced_prefixes() {
-                    out.push(Announcement { prefix, as_id: org.as_id, org: Some(org.id) });
+                    out.push(Announcement {
+                        prefix,
+                        as_id: org.as_id,
+                        org: Some(org.id),
+                    });
                 }
             }
         }
@@ -191,24 +204,39 @@ impl Universe {
         let c2 = 12 + (org.as_id as u64 / 12) % 12;
         for core in [c1, c2] {
             rtt += 2.0 + (core as f64) * 0.7;
-            hops.push(Hop { name: names::core_router_name(core), rtt_ms: rtt });
+            hops.push(Hop {
+                name: names::core_router_name(core),
+                rtt_ms: rtt,
+            });
         }
         // AS border router.
         rtt += 5.0 + (org.as_id % 17) as f64;
-        hops.push(Hop { name: names::border_router_name(org.as_id as u64), rtt_ms: rtt });
+        hops.push(Hop {
+            name: names::border_router_name(org.as_id as u64),
+            rtt_ms: rtt,
+        });
         // National gateway, when the destination is behind one.
         if let Some(country) = asys.gateway_country {
             rtt += 80.0 + (country as f64) * 9.0;
-            hops.push(Hop { name: names::national_gateway_name(country), rtt_ms: rtt });
+            hops.push(Hop {
+                name: names::national_gateway_name(country),
+                rtt_ms: rtt,
+            });
         }
         // Org gateway: the org-wide final hop.
         rtt += 1.5 + (org.id % 7) as f64 * 0.3;
-        hops.push(Hop { name: names::org_gateway_name(org.id as u64, &org.domain), rtt_ms: rtt });
+        hops.push(Hop {
+            name: names::org_gateway_name(org.id as u64, &org.domain),
+            rtt_ms: rtt,
+        });
         // Customers in delegated ISP space sit behind their own CPE router.
         if let Some((isp, stripe)) = self.customer_of(addr) {
             let domain = names::customer_domain(self.config.seed, isp as u64, stripe as u64);
             rtt += 0.9;
-            hops.push(Hop { name: format!("gw-c{stripe}.{domain}"), rtt_ms: rtt });
+            hops.push(Hop {
+                name: format!("gw-c{stripe}.{domain}"),
+                rtt_ms: rtt,
+            });
         }
         Some(hops)
     }
@@ -296,7 +324,11 @@ mod tests {
         let p1 = u.path_to(org.host_addr(0).unwrap()).unwrap();
         let p2 = u.path_to(org.host_addr(1).unwrap()).unwrap();
         assert_eq!(p1, p2, "same org, same path");
-        assert!(p1.last().unwrap().name.starts_with(&format!("gw{}", org.id)));
+        assert!(p1
+            .last()
+            .unwrap()
+            .name
+            .starts_with(&format!("gw{}", org.id)));
         // RTTs increase along the path.
         for w in p1.windows(2) {
             assert!(w[1].rtt_ms > w[0].rtt_ms);
@@ -354,7 +386,11 @@ mod tests {
     fn aggregated_only_orgs_are_covered_by_their_as_aggregate() {
         let u = Universe::generate(UniverseConfig::paper(5));
         let anns = u.announcements(0);
-        for org in u.orgs().iter().filter(|o| o.policy == AnnouncePolicy::AggregatedOnly) {
+        for org in u
+            .orgs()
+            .iter()
+            .filter(|o| o.policy == AnnouncePolicy::AggregatedOnly)
+        {
             let asys = &u.ases()[org.as_id as usize];
             assert!(asys.announces_aggregate);
             assert!(anns
@@ -383,7 +419,11 @@ mod tests {
                 None => plain = plain.or(Some(addr)),
             }
         }
-        assert!(custs.len() >= 2, "expected several customers, got {}", custs.len());
+        assert!(
+            custs.len() >= 2,
+            "expected several customers, got {}",
+            custs.len()
+        );
         let plain = plain.expect("ISP keeps some stripes for itself");
         let addrs: Vec<Ipv4Addr> = custs.values().copied().take(2).collect();
         // Distinct admin entities, same routing owner.
@@ -400,11 +440,11 @@ mod tests {
         let path = u.path_to(addrs[0]).unwrap();
         assert!(path.last().unwrap().name.starts_with("gw-c"), "{path:?}");
         let plain_path = u.path_to(plain).unwrap();
-        assert!(plain_path.last().unwrap().name.starts_with("gw"), "{plain_path:?}");
-        assert_ne!(
-            path.last().unwrap().name,
-            plain_path.last().unwrap().name
+        assert!(
+            plain_path.last().unwrap().name.starts_with("gw"),
+            "{plain_path:?}"
         );
+        assert_ne!(path.last().unwrap().name, plain_path.last().unwrap().name);
     }
 
     #[test]

@@ -36,7 +36,11 @@ pub struct VantageSpec {
 impl VantageSpec {
     /// Creates a spec.
     pub fn new(name: impl Into<String>, visibility: f64, aggregation: f64) -> Self {
-        VantageSpec { name: name.into(), visibility, aggregation }
+        VantageSpec {
+            name: name.into(),
+            visibility,
+            aggregation,
+        }
     }
 }
 
@@ -173,8 +177,7 @@ pub fn snapshot(u: &Universe, spec: &VantageSpec, day: u32, tick: u32) -> Routin
             Some(org_id) => {
                 // Site-local aggregation: sometimes only the AS aggregate
                 // survives propagation to this vantage point.
-                let aggregated =
-                    unit_f64(seed, &[S_AGG, vp, org_id as u64]) < spec.aggregation;
+                let aggregated = unit_f64(seed, &[S_AGG, vp, org_id as u64]) < spec.aggregation;
                 if aggregated {
                     prefixes.push(u.ases()[ann.as_id as usize].aggregate);
                 } else {
@@ -184,7 +187,12 @@ pub fn snapshot(u: &Universe, spec: &VantageSpec, day: u32, tick: u32) -> Routin
             None => prefixes.push(ann.prefix),
         }
     }
-    RoutingTable::new(&spec.name, format!("day{day}.t{tick}"), TableKind::Bgp, prefixes)
+    RoutingTable::new(
+        &spec.name,
+        format!("day{day}.t{tick}"),
+        TableKind::Bgp,
+        prefixes,
+    )
 }
 
 /// Generates a snapshot with Table 2-style route attributes (next hop, AS
@@ -203,10 +211,22 @@ pub fn snapshot_with_attrs(u: &Universe, spec: &VantageSpec, day: u32, tick: u32
                 None => ("(aggregate)".to_string(), 0),
             };
             let next_hop = format!("cs.{}.example.net", spec.name.to_lowercase());
-            (p, RouteAttrs { description, next_hop, as_path: vec![asn] })
+            (
+                p,
+                RouteAttrs {
+                    description,
+                    next_hop,
+                    as_path: vec![asn],
+                },
+            )
         })
         .collect();
-    RoutingTable::with_attrs(&spec.name, format!("day{day}.t{tick}"), TableKind::Bgp, routes)
+    RoutingTable::with_attrs(
+        &spec.name,
+        format!("day{day}.t{tick}"),
+        TableKind::Bgp,
+        routes,
+    )
 }
 
 /// Generates a registry network dump (ARIN/NLANR-like): allocation-level
@@ -278,7 +298,12 @@ mod tests {
         let u = universe();
         let big = snapshot(&u, &VantageSpec::new("BIG", 0.95, 0.02), 0, 0);
         let small = snapshot(&u, &VantageSpec::new("SMALL", 0.05, 0.02), 0, 0);
-        assert!(big.len() > small.len() * 3, "{} vs {}", big.len(), small.len());
+        assert!(
+            big.len() > small.len() * 3,
+            "{} vs {}",
+            big.len(),
+            small.len()
+        );
     }
 
     #[test]
@@ -292,7 +317,11 @@ mod tests {
             .map(|t| t.len())
             .max()
             .unwrap();
-        assert!(merged.bgp_len() > max_single, "{} vs {max_single}", merged.bgp_len());
+        assert!(
+            merged.bgp_len() > max_single,
+            "{} vs {max_single}",
+            merged.bgp_len()
+        );
     }
 
     #[test]
@@ -303,7 +332,12 @@ mod tests {
         let t1 = snapshot(&u, &spec, 0, 1);
         let d = netclust_rtable::SnapshotDiff::between(&t0, &t1);
         // Some flutter but far less than the table size.
-        assert!(d.churn() < t0.len() / 10, "churn {} size {}", d.churn(), t0.len());
+        assert!(
+            d.churn() < t0.len() / 10,
+            "churn {} size {}",
+            d.churn(),
+            t0.len()
+        );
     }
 
     #[test]
@@ -324,7 +358,11 @@ mod tests {
         assert_eq!(arin.kind, TableKind::NetworkDump);
         // Covers almost all registered orgs.
         let registered = u.orgs().iter().filter(|o| o.registered).count();
-        assert!(arin.len() >= registered * 9 / 10, "{} vs {registered}", arin.len());
+        assert!(
+            arin.len() >= registered * 9 / 10,
+            "{} vs {registered}",
+            arin.len()
+        );
         // Unregistered orgs are absent.
         for org in u.orgs().iter().filter(|o| !o.registered) {
             assert!(!arin.contains(org.network));
@@ -336,7 +374,13 @@ mod tests {
         let u = universe();
         let tables = standard_collection(&u, 0, 0);
         assert_eq!(tables.len(), 14);
-        assert_eq!(tables.iter().filter(|t| t.kind == TableKind::NetworkDump).count(), 2);
+        assert_eq!(
+            tables
+                .iter()
+                .filter(|t| t.kind == TableKind::NetworkDump)
+                .count(),
+            2
+        );
         let names: Vec<&str> = tables.iter().map(|t| t.name.as_str()).collect();
         assert!(names.contains(&"MAE-WEST") && names.contains(&"ARIN"));
     }

@@ -7,8 +7,8 @@
 
 use std::net::Ipv4Addr;
 
-use crate::net::Ipv4Net;
 use crate::addr_to_u32;
+use crate::net::Ipv4Net;
 
 /// The historical class of an IPv4 address, determined by its leading bits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -115,12 +115,18 @@ mod tests {
 
     #[test]
     fn classful_network_examples() {
-        assert_eq!(classful_network(a("18.26.0.1")).unwrap().to_string(), "18.0.0.0/8");
+        assert_eq!(
+            classful_network(a("18.26.0.1")).unwrap().to_string(),
+            "18.0.0.0/8"
+        );
         assert_eq!(
             classful_network(a("151.198.194.17")).unwrap().to_string(),
             "151.198.0.0/16"
         );
-        assert_eq!(classful_network(a("199.1.2.3")).unwrap().to_string(), "199.1.2.0/24");
+        assert_eq!(
+            classful_network(a("199.1.2.3")).unwrap().to_string(),
+            "199.1.2.0/24"
+        );
         assert!(classful_network(a("230.0.0.1")).is_none());
         assert!(classful_network(a("250.0.0.1")).is_none());
     }

@@ -22,7 +22,9 @@ impl fmt::Display for PrefixError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PrefixError::InvalidAddress(s) => write!(f, "invalid IPv4 address: {s:?}"),
-            PrefixError::InvalidLength(l) => write!(f, "invalid prefix length: {l} (must be 0..=32)"),
+            PrefixError::InvalidLength(l) => {
+                write!(f, "invalid prefix length: {l} (must be 0..=32)")
+            }
             PrefixError::NonContiguousMask(s) => write!(f, "non-contiguous netmask: {s:?}"),
             PrefixError::MalformedEntry(s) => write!(f, "malformed prefix/netmask entry: {s:?}"),
         }
@@ -37,11 +39,15 @@ mod tests {
 
     #[test]
     fn display_messages_are_specific() {
-        assert!(PrefixError::InvalidAddress("x".into()).to_string().contains("x"));
+        assert!(PrefixError::InvalidAddress("x".into())
+            .to_string()
+            .contains("x"));
         assert!(PrefixError::InvalidLength(33).to_string().contains("33"));
         assert!(PrefixError::NonContiguousMask("255.0.255.0".into())
             .to_string()
             .contains("255.0.255.0"));
-        assert!(PrefixError::MalformedEntry("a/b/c".into()).to_string().contains("a/b/c"));
+        assert!(PrefixError::MalformedEntry("a/b/c".into())
+            .to_string()
+            .contains("a/b/c"));
     }
 }

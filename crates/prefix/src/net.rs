@@ -38,7 +38,10 @@ impl Ipv4Net {
         if len > 32 {
             return Err(PrefixError::InvalidLength(len as u32));
         }
-        Ok(Ipv4Net { addr: addr & mask_of(len), len })
+        Ok(Ipv4Net {
+            addr: addr & mask_of(len),
+            len,
+        })
     }
 
     /// Creates a prefix from an [`Ipv4Addr`] and length, zeroing host bits.
@@ -48,7 +51,10 @@ impl Ipv4Net {
 
     /// The `/32` host route for a single address.
     pub fn host(addr: Ipv4Addr) -> Self {
-        Ipv4Net { addr: addr_to_u32(addr), len: 32 }
+        Ipv4Net {
+            addr: addr_to_u32(addr),
+            len: 32,
+        }
     }
 
     /// Network address as a host-order integer.
@@ -131,7 +137,10 @@ impl Ipv4Net {
             None
         } else {
             let len = self.len - 1;
-            Some(Ipv4Net { addr: self.addr & mask_of(len), len })
+            Some(Ipv4Net {
+                addr: self.addr & mask_of(len),
+                len,
+            })
         }
     }
 
@@ -141,8 +150,14 @@ impl Ipv4Net {
             None
         } else {
             let len = self.len + 1;
-            let low = Ipv4Net { addr: self.addr, len };
-            let high = Ipv4Net { addr: self.addr | (1u32 << (32 - len as u32)), len };
+            let low = Ipv4Net {
+                addr: self.addr,
+                len,
+            };
+            let high = Ipv4Net {
+                addr: self.addr | (1u32 << (32 - len as u32)),
+                len,
+            };
             Some((low, high))
         }
     }
@@ -158,7 +173,10 @@ impl Ipv4Net {
         let count = 1u64 << (len - self.len) as u32;
         let step = 1u64 << (32 - len as u32);
         (0..count)
-            .map(|i| Ipv4Net { addr: self.addr + (i * step) as u32, len })
+            .map(|i| Ipv4Net {
+                addr: self.addr + (i * step) as u32,
+                len,
+            })
             .collect()
     }
 
@@ -168,7 +186,10 @@ impl Ipv4Net {
         if self.len == 0 {
             None
         } else {
-            Some(Ipv4Net { addr: self.addr ^ (1u32 << (32 - self.len as u32)), len: self.len })
+            Some(Ipv4Net {
+                addr: self.addr ^ (1u32 << (32 - self.len as u32)),
+                len: self.len,
+            })
         }
     }
 
@@ -189,7 +210,11 @@ impl Ipv4Net {
     /// merges clusters and must "recompute the network prefix and netmask
     /// accordingly" (§3.5).
     pub fn common_supernet(self, other: Ipv4Net) -> Ipv4Net {
-        let mut net = if self.len() <= other.len() { self } else { other };
+        let mut net = if self.len() <= other.len() {
+            self
+        } else {
+            other
+        };
         while !(net.covers(&self) && net.covers(&other)) {
             net = net.supernet().expect("the default route covers everything");
         }
@@ -284,7 +309,10 @@ mod tests {
 
     #[test]
     fn rejects_bad_lengths() {
-        assert_eq!("1.2.3.4/33".parse::<Ipv4Net>(), Err(PrefixError::InvalidLength(33)));
+        assert_eq!(
+            "1.2.3.4/33".parse::<Ipv4Net>(),
+            Err(PrefixError::InvalidLength(33))
+        );
         assert!(Ipv4Net::new(0, 33).is_err());
     }
 
@@ -396,7 +424,10 @@ mod tests {
         assert_eq!(a.common_supernet(b), net("24.48.2.0/23"));
         assert_eq!(b.common_supernet(a), net("24.48.2.0/23"));
         // Containment: the covering prefix wins.
-        assert_eq!(net("10.0.0.0/8").common_supernet(net("10.1.0.0/16")), net("10.0.0.0/8"));
+        assert_eq!(
+            net("10.0.0.0/8").common_supernet(net("10.1.0.0/16")),
+            net("10.0.0.0/8")
+        );
         // Identical prefixes are their own supernet.
         assert_eq!(a.common_supernet(a), a);
         // Totally disjoint halves meet at the default route.

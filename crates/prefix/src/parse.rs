@@ -42,8 +42,7 @@ pub fn parse_table_entry(entry: &str) -> Result<Ipv4Net, PrefixError> {
         None => {
             // Format (iii): bare address, classful abbreviation.
             let addr = parse_padded_addr(entry)?;
-            classful_network(addr)
-                .ok_or_else(|| PrefixError::MalformedEntry(entry.to_string()))
+            classful_network(addr).ok_or_else(|| PrefixError::MalformedEntry(entry.to_string()))
         }
         Some((addr_part, mask_part)) => {
             if addr_part.is_empty() || mask_part.is_empty() {
@@ -53,9 +52,8 @@ pub fn parse_table_entry(entry: &str) -> Result<Ipv4Net, PrefixError> {
             let len = if mask_part.contains('.') {
                 // Format (i): dotted netmask.
                 let mask = parse_padded_addr(mask_part)?;
-                mask_to_len(mask).ok_or_else(|| {
-                    PrefixError::NonContiguousMask(mask_part.to_string())
-                })?
+                mask_to_len(mask)
+                    .ok_or_else(|| PrefixError::NonContiguousMask(mask_part.to_string()))?
             } else {
                 // Format (ii): numeric length.
                 let len: u32 = mask_part
@@ -156,9 +154,18 @@ mod tests {
 
     #[test]
     fn classful_abbreviation() {
-        assert_eq!(parse_table_entry("18.0.0.0").unwrap().to_string(), "18.0.0.0/8");
-        assert_eq!(parse_table_entry("151.198.0.0").unwrap().to_string(), "151.198.0.0/16");
-        assert_eq!(parse_table_entry("199.1.2.0").unwrap().to_string(), "199.1.2.0/24");
+        assert_eq!(
+            parse_table_entry("18.0.0.0").unwrap().to_string(),
+            "18.0.0.0/8"
+        );
+        assert_eq!(
+            parse_table_entry("151.198.0.0").unwrap().to_string(),
+            "151.198.0.0/16"
+        );
+        assert_eq!(
+            parse_table_entry("199.1.2.0").unwrap().to_string(),
+            "199.1.2.0/24"
+        );
         // Dropped trailing zeroes in the bare form too.
         assert_eq!(parse_table_entry("18").unwrap().to_string(), "18.0.0.0/8");
         // Class D/E space has no classful network.
@@ -169,7 +176,10 @@ mod tests {
     fn numeric_length_bounds() {
         assert!(parse_table_entry("1.2.3.0/32").is_ok());
         assert!(parse_table_entry("1.2.3.0/0").is_ok());
-        assert_eq!(parse_table_entry("1.2.3.0/33"), Err(PrefixError::InvalidLength(33)));
+        assert_eq!(
+            parse_table_entry("1.2.3.0/33"),
+            Err(PrefixError::InvalidLength(33))
+        );
     }
 
     #[test]
@@ -189,13 +199,27 @@ mod tests {
         for len in 0u8..=32 {
             let net = Ipv4Net::new(0x0A00_0000, len).unwrap();
             let entry = format!("10.0.0.0/{}", net.netmask());
-            assert_eq!(parse_table_entry(&entry).unwrap().len(), len, "mask {}", net.netmask());
+            assert_eq!(
+                parse_table_entry(&entry).unwrap().len(),
+                len,
+                "mask {}",
+                net.netmask()
+            );
         }
     }
 
     #[test]
     fn malformed_entries() {
-        for bad in ["", "/", "1.2.3.4/", "/8", "a.b.c.d/8", "1.2.3.4.5/8", "1.2.3.4/8/9", "256.1.1.0/24"] {
+        for bad in [
+            "",
+            "/",
+            "1.2.3.4/",
+            "/8",
+            "a.b.c.d/8",
+            "1.2.3.4.5/8",
+            "1.2.3.4/8/9",
+            "256.1.1.0/24",
+        ] {
             assert!(parse_table_entry(bad).is_err(), "{bad:?} should fail");
         }
     }
@@ -231,7 +255,13 @@ garbage line here
     #[test]
     fn padded_addr_variants() {
         assert_eq!(parse_table_entry("10/8").unwrap().to_string(), "10.0.0.0/8");
-        assert_eq!(parse_table_entry("10.1/16").unwrap().to_string(), "10.1.0.0/16");
-        assert_eq!(parse_table_entry("10.1.2/24").unwrap().to_string(), "10.1.2.0/24");
+        assert_eq!(
+            parse_table_entry("10.1/16").unwrap().to_string(),
+            "10.1.0.0/16"
+        );
+        assert_eq!(
+            parse_table_entry("10.1.2/24").unwrap().to_string(),
+            "10.1.2.0/24"
+        );
     }
 }

@@ -23,7 +23,12 @@ pub struct Nslookup<'u> {
 impl<'u> Nslookup<'u> {
     /// Creates a client over `universe`.
     pub fn new(universe: &'u Universe) -> Self {
-        Nslookup { universe, queries: 0, resolved: 0, time_ms: 0.0 }
+        Nslookup {
+            universe,
+            queries: 0,
+            resolved: 0,
+            time_ms: 0.0,
+        }
     }
 
     /// Reverse-resolves `addr` to a fully-qualified domain name.
@@ -101,7 +106,10 @@ mod tests {
         // m = 5 → last 3 components.
         assert_eq!(name_suffix("macbeth.cs.wits.ac.za"), "wits.ac.za");
         assert_eq!(name_suffix("macabre.cs.wits.ac.za"), "wits.ac.za");
-        assert!(suffixes_match("macbeth.cs.wits.ac.za", "macabre.cs.wits.ac.za"));
+        assert!(suffixes_match(
+            "macbeth.cs.wits.ac.za",
+            "macabre.cs.wits.ac.za"
+        ));
         // m = 3 → last 2 components.
         assert_eq!(name_suffix("foo.dummy.com"), "dummy.com");
         // m = 4 → last 3.
@@ -113,7 +121,10 @@ mod tests {
 
     #[test]
     fn different_orgs_do_not_match() {
-        assert!(!suffixes_match("mailsrv1.wakefern.com", "firewall.commonhealthusa.com"));
+        assert!(!suffixes_match(
+            "mailsrv1.wakefern.com",
+            "firewall.commonhealthusa.com"
+        ));
         assert!(!suffixes_match(
             "client-151-198-194-17.bellatlantic.net",
             "mailsrv1.wakefern.com"
@@ -137,7 +148,11 @@ mod tests {
         }
         assert_eq!(ns.queries(), total);
         assert_eq!(ns.resolved(), hits);
-        assert!((0.3..0.75).contains(&ns.resolve_ratio()), "{}", ns.resolve_ratio());
+        assert!(
+            (0.3..0.75).contains(&ns.resolve_ratio()),
+            "{}",
+            ns.resolve_ratio()
+        );
         assert!((ns.time_ms() - total as f64 * NSLOOKUP_MS).abs() < 1e-9);
     }
 
@@ -148,7 +163,12 @@ mod tests {
         let mut org_names: Vec<Vec<String>> = Vec::new();
         // Customer-hosting ISPs intentionally mix suffixes (delegated
         // provider space); same-suffix only holds for regular orgs.
-        for org in u.orgs().iter().filter(|o| o.resolvable && !o.hosts_customers).take(30) {
+        for org in u
+            .orgs()
+            .iter()
+            .filter(|o| o.resolvable && !o.hosts_customers)
+            .take(30)
+        {
             let names: Vec<String> = (0..org.active_hosts.min(6))
                 .filter_map(|i| ns.resolve(org.host_addr(i).unwrap()))
                 .collect();

@@ -103,12 +103,22 @@ pub struct Traceroute<'u> {
 impl<'u> Traceroute<'u> {
     /// Classic traceroute engine.
     pub fn classic(universe: &'u Universe) -> Self {
-        Traceroute { universe, optimized: false, max_ttl: MAX_TTL, stats: ProbeStats::default() }
+        Traceroute {
+            universe,
+            optimized: false,
+            max_ttl: MAX_TTL,
+            stats: ProbeStats::default(),
+        }
     }
 
     /// The paper's optimized traceroute engine.
     pub fn optimized(universe: &'u Universe) -> Self {
-        Traceroute { universe, optimized: true, max_ttl: MAX_TTL, stats: ProbeStats::default() }
+        Traceroute {
+            universe,
+            optimized: true,
+            max_ttl: MAX_TTL,
+            stats: ProbeStats::default(),
+        }
     }
 
     /// Cumulative probe statistics.
@@ -128,7 +138,11 @@ impl<'u> Traceroute<'u> {
         let Some(hops) = self.universe.path_to(addr) else {
             // Probes toward unallocated space die silently; both variants
             // give up after one round of max_ttl probes.
-            let wasted = if self.optimized { 1 } else { CLASSIC_PROBES_PER_TTL as u64 };
+            let wasted = if self.optimized {
+                1
+            } else {
+                CLASSIC_PROBES_PER_TTL as u64
+            };
             self.stats.probes += wasted;
             self.stats.time_ms += wasted as f64 * PROBE_TIMEOUT_MS;
             return TraceOutcome::Unroutable;
@@ -161,7 +175,11 @@ impl<'u> Traceroute<'u> {
             // The next TTL reaches the destination.
             self.stats.probes += q;
             self.stats.time_ms += q as f64 * dest_rtt;
-            TraceOutcome::Reached { name: self.universe.dns_name(addr), rtt_ms: dest_rtt, hops }
+            TraceOutcome::Reached {
+                name: self.universe.dns_name(addr),
+                rtt_ms: dest_rtt,
+                hops,
+            }
         } else {
             // Silence from hops.len()+1 up to max_ttl — all time out.
             let silent_ttls = (self.max_ttl as u64).saturating_sub(hops.len() as u64);
@@ -304,17 +322,26 @@ mod tests {
     fn unroutable_address() {
         let u = universe();
         let mut tr = Traceroute::optimized(&u);
-        assert_eq!(tr.trace("9.9.9.9".parse().unwrap()), TraceOutcome::Unroutable);
+        assert_eq!(
+            tr.trace("9.9.9.9".parse().unwrap()),
+            TraceOutcome::Unroutable
+        );
         assert_eq!(tr.stats().probes, 1);
         let mut trc = Traceroute::classic(&u);
-        assert_eq!(trc.trace("9.9.9.9".parse().unwrap()), TraceOutcome::Unroutable);
+        assert_eq!(
+            trc.trace("9.9.9.9".parse().unwrap()),
+            TraceOutcome::Unroutable
+        );
         assert_eq!(trc.stats().probes, CLASSIC_PROBES_PER_TTL as u64);
     }
 
     #[test]
     fn path_suffix_shorter_than_k() {
         let outcome = TraceOutcome::PathOnly {
-            hops: vec![Hop { name: "only.example.net".into(), rtt_ms: 1.0 }],
+            hops: vec![Hop {
+                name: "only.example.net".into(),
+                rtt_ms: 1.0,
+            }],
         };
         assert_eq!(outcome.path_suffix(2), vec!["only.example.net"]);
         assert!(TraceOutcome::Unroutable.path_suffix(2).is_empty());
@@ -324,10 +351,24 @@ mod tests {
     fn same_org_shares_path_suffix_different_orgs_do_not() {
         let u = universe();
         let mut tr = Traceroute::optimized(&u);
-        let orgs: Vec<_> = u.orgs().iter().filter(|o| o.active_hosts >= 2).take(2).collect();
-        let s1a = tr.trace(orgs[0].host_addr(0).unwrap()).path_suffix(2).join(",");
-        let s1b = tr.trace(orgs[0].host_addr(1).unwrap()).path_suffix(2).join(",");
-        let s2 = tr.trace(orgs[1].host_addr(0).unwrap()).path_suffix(2).join(",");
+        let orgs: Vec<_> = u
+            .orgs()
+            .iter()
+            .filter(|o| o.active_hosts >= 2)
+            .take(2)
+            .collect();
+        let s1a = tr
+            .trace(orgs[0].host_addr(0).unwrap())
+            .path_suffix(2)
+            .join(",");
+        let s1b = tr
+            .trace(orgs[0].host_addr(1).unwrap())
+            .path_suffix(2)
+            .join(",");
+        let s2 = tr
+            .trace(orgs[1].host_addr(0).unwrap())
+            .path_suffix(2)
+            .join(",");
         assert_eq!(s1a, s1b);
         assert_ne!(s1a, s2);
     }

@@ -1,0 +1,172 @@
+//! Regex-lite string strategy: a `&str` pattern is itself a strategy
+//! producing matching `String`s, mirroring proptest's string support.
+//!
+//! Supported syntax — the subset the netclust suites use, generated (not
+//! matched): literal characters, `\x` escapes, character classes
+//! `[a-z0-9_]` (ranges and singletons, no negation), and the quantifiers
+//! `{n}`, `{m,n}`, `?`, `*`, `+` (`*`/`+` capped at 8 repetitions).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// One parsed atom of the pattern.
+#[derive(Debug, Clone)]
+enum Atom {
+    /// A literal character.
+    Literal(char),
+    /// A character class: concrete alternatives, pre-expanded.
+    Class(Vec<char>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<char> {
+    let mut out = Vec::new();
+    let mut pending: Option<char> = None;
+    loop {
+        let c = chars.next().expect("unterminated character class");
+        match c {
+            ']' => {
+                if let Some(p) = pending {
+                    out.push(p);
+                }
+                break;
+            }
+            '-' if pending.is_some() && chars.peek() != Some(&']') => {
+                let lo = pending.take().expect("checked");
+                let hi = chars.next().expect("unterminated class range");
+                assert!(lo <= hi, "descending class range {lo}-{hi}");
+                out.extend(lo..=hi);
+            }
+            other => {
+                if let Some(p) = pending.replace(other) {
+                    out.push(p);
+                }
+            }
+        }
+    }
+    assert!(!out.is_empty(), "empty character class");
+    out
+}
+
+fn parse_quantifier(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (u32, u32) {
+    match chars.peek() {
+        Some('{') => {
+            chars.next();
+            let mut digits = String::new();
+            let mut min: Option<u32> = None;
+            loop {
+                match chars.next().expect("unterminated quantifier") {
+                    '}' => {
+                        let n: u32 = digits.parse().expect("quantifier digits");
+                        return match min {
+                            Some(m) => (m, n),
+                            None => (n, n),
+                        };
+                    }
+                    ',' => {
+                        min = Some(digits.parse().expect("quantifier digits"));
+                        digits.clear();
+                    }
+                    d => digits.push(d),
+                }
+            }
+        }
+        Some('?') => {
+            chars.next();
+            (0, 1)
+        }
+        Some('*') => {
+            chars.next();
+            (0, 8)
+        }
+        Some('+') => {
+            chars.next();
+            (1, 8)
+        }
+        _ => (1, 1),
+    }
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => Atom::Class(parse_class(&mut chars)),
+            '\\' => Atom::Literal(chars.next().expect("dangling escape")),
+            other => Atom::Literal(other),
+        };
+        let (min, max) = parse_quantifier(&mut chars);
+        assert!(min <= max, "quantifier {{m,n}} with m > n");
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse(self) {
+            let reps = rng.gen_range(piece.min..=piece.max);
+            for _ in 0..reps {
+                match &piece.atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::Class(choices) => out.push(choices[rng.gen_range(0..choices.len())]),
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn hostname_label_pattern() {
+        let mut rng = TestRng::for_test("string::label");
+        let pattern = "[a-z][a-z0-9]{0,6}";
+        for _ in 0..300 {
+            let s = pattern.generate(&mut rng);
+            assert!((1..=7).contains(&s.len()), "{s:?}");
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_lowercase());
+            assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn literals_escapes_and_quantifiers() {
+        let mut rng = TestRng::for_test("string::misc");
+        assert_eq!("abc".generate(&mut rng), "abc");
+        assert_eq!("a\\.b".generate(&mut rng), "a.b");
+        let s = "x{3}".generate(&mut rng);
+        assert_eq!(s, "xxx");
+        for _ in 0..50 {
+            let v = "a?b+".generate(&mut rng);
+            assert!(!v.is_empty() && v.ends_with('b'), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn class_ranges_expand() {
+        let mut rng = TestRng::for_test("string::class");
+        let seen: std::collections::BTreeSet<String> =
+            (0..400).map(|_| "[0-3]".generate(&mut rng)).collect();
+        assert_eq!(
+            seen,
+            ["0", "1", "2", "3"].iter().map(|s| s.to_string()).collect()
+        );
+    }
+}

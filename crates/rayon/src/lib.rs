@@ -1,0 +1,274 @@
+//! Offline shim for the subset of the `rayon` crate API that netclust
+//! uses for sharded parallel clustering.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a dependency-free data-parallelism layer with the same calling
+//! conventions: [`prelude::ParallelSlice::par_chunks`] and
+//! [`prelude::IntoParallelRefIterator::par_iter`] returning eager
+//! map/collect pipelines, plus [`join`] and [`current_num_threads`].
+//!
+//! Unlike upstream rayon there is no global work-stealing pool: each
+//! `collect()` runs on `std::thread::scope`-spawned workers, splitting the
+//! input into contiguous spans (one per worker) and reassembling results
+//! **in input order**, so pipelines are deterministic by construction.
+//! For the table-driven LPM + aggregation workloads here, span-splitting
+//! performs within noise of work-stealing.
+
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads parallel pipelines will use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(b);
+        let ra = a();
+        (ra, handle.join().expect("joined closure panicked"))
+    })
+}
+
+/// Runs `f` over each index span `(start, len)` of a length-`len` input on
+/// its own thread, returning per-span outputs in span order. The internal
+/// engine behind the iterator facades.
+fn run_spans<R, F>(len: usize, max_threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize, usize) -> R + Sync,
+{
+    let workers = max_threads.min(len).max(1);
+    if workers == 1 {
+        return vec![f(0, len)];
+    }
+    let base = len / workers;
+    let extra = len % workers;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        let mut start = 0usize;
+        let f = &f;
+        for w in 0..workers {
+            let span = base + usize::from(w < extra);
+            let s = start;
+            handles.push(scope.spawn(move || f(s, span)));
+            start += span;
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    })
+}
+
+/// Parallel-iterator facades.
+pub mod iter {
+    use std::marker::PhantomData;
+
+    use super::{current_num_threads, run_spans};
+
+    /// An eager parallel iterator over `&[T]` items.
+    pub struct ParIter<'a, T> {
+        items: &'a [T],
+    }
+
+    impl<'a, T: Sync> ParIter<'a, T> {
+        /// Maps each item through `f` (runs at `collect` time).
+        pub fn map<R, F>(self, f: F) -> ParMap<'a, T, R, F>
+        where
+            R: Send,
+            F: Fn(&'a T) -> R + Sync,
+        {
+            ParMap {
+                items: self.items,
+                f,
+                _out: PhantomData,
+            }
+        }
+    }
+
+    /// The pending `map` stage of a [`ParIter`].
+    pub struct ParMap<'a, T, R, F> {
+        items: &'a [T],
+        f: F,
+        _out: PhantomData<R>,
+    }
+
+    impl<'a, T, R, F> ParMap<'a, T, R, F>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        /// Runs the pipeline and collects results in input order.
+        pub fn collect<C>(self) -> C
+        where
+            C: FromIterator<R>,
+        {
+            let items = self.items;
+            let f = &self.f;
+            run_spans(items.len(), current_num_threads(), |start, len| {
+                items[start..start + len].iter().map(f).collect::<Vec<R>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+        }
+    }
+
+    /// An eager parallel iterator over contiguous chunks of a slice.
+    pub struct ParChunks<'a, T> {
+        items: &'a [T],
+        chunk: usize,
+    }
+
+    impl<'a, T: Sync> ParChunks<'a, T> {
+        /// Maps each chunk through `f` (runs at `collect` time).
+        pub fn map<R, F>(self, f: F) -> ParChunksMap<'a, T, R, F>
+        where
+            R: Send,
+            F: Fn(&'a [T]) -> R + Sync,
+        {
+            ParChunksMap {
+                items: self.items,
+                chunk: self.chunk,
+                f,
+                _out: PhantomData,
+            }
+        }
+    }
+
+    /// The pending `map` stage of a [`ParChunks`].
+    pub struct ParChunksMap<'a, T, R, F> {
+        items: &'a [T],
+        chunk: usize,
+        f: F,
+        _out: PhantomData<R>,
+    }
+
+    impl<'a, T, R, F> ParChunksMap<'a, T, R, F>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&'a [T]) -> R + Sync,
+    {
+        /// Runs the pipeline and collects per-chunk results in chunk
+        /// order.
+        pub fn collect<C>(self) -> C
+        where
+            C: FromIterator<R>,
+        {
+            let items = self.items;
+            let f = &self.f;
+            let n_chunks = items.len().div_ceil(self.chunk).max(1);
+            let chunk = self.chunk;
+            run_spans(n_chunks, current_num_threads(), |start, len| {
+                items
+                    .chunks(chunk)
+                    .skip(start)
+                    .take(len)
+                    .map(f)
+                    .collect::<Vec<R>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+        }
+    }
+
+    /// Slices (and anything derefing to them) gain `par_chunks`.
+    pub trait ParallelSlice<T: Sync> {
+        /// A parallel iterator over `chunk_size`-sized contiguous chunks
+        /// (the last may be shorter).
+        fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
+    }
+
+    impl<T: Sync> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+            assert!(chunk_size > 0, "chunk size must be positive");
+            ParChunks {
+                items: self,
+                chunk: chunk_size,
+            }
+        }
+    }
+
+    /// Collections referencably iterable in parallel.
+    pub trait IntoParallelRefIterator<'a> {
+        /// The item type.
+        type Item: 'a;
+        /// A parallel iterator over `&Item`.
+        fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = T;
+        fn par_iter(&'a self) -> ParIter<'a, T> {
+            ParIter { items: self }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = T;
+        fn par_iter(&'a self) -> ParIter<'a, T> {
+            ParIter { items: self }
+        }
+    }
+}
+
+/// The traits a `use rayon::prelude::*` is expected to bring in.
+pub mod prelude {
+    pub use crate::iter::{IntoParallelRefIterator, ParallelSlice};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_preserves_order() {
+        let v: Vec<u64> = (0..10_000).collect();
+        let doubled: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_chunks_covers_everything_in_order() {
+        let v: Vec<u32> = (0..1_000).collect();
+        let sums: Vec<u64> = v
+            .par_chunks(64)
+            .map(|c| c.iter().map(|&x| x as u64).sum())
+            .collect();
+        assert_eq!(sums.len(), 1_000usize.div_ceil(64));
+        assert_eq!(sums.iter().sum::<u64>(), (0..1_000u64).sum());
+        // First chunk is exactly the first 64 elements.
+        assert_eq!(sums[0], (0..64u64).sum());
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let v: Vec<u32> = Vec::new();
+        let out: Vec<u32> = v.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let chunked: Vec<usize> = v.par_chunks(8).map(|c| c.len()).collect();
+        // One empty span over an empty input.
+        assert!(chunked.iter().sum::<usize>() == 0);
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = super::join(|| 6 * 7, || "ok");
+        assert_eq!((a, b), (42, "ok"));
+        assert!(super::current_num_threads() >= 1);
+    }
+}

@@ -115,8 +115,10 @@ mod tests {
         let d1 = table("A", &["6.0.0.0/8", "18.0.0.0/8", "12.65.128.0/19"]);
         let d2 = table("A", &["6.0.0.0/8", "18.0.0.0/8"]);
         let dynamic = dynamic_prefix_set(&[&d0, &d1, &d2]);
-        let expect: BTreeSet<Ipv4Net> =
-            ["24.48.2.0/23", "12.65.128.0/19"].iter().map(|s| s.parse().unwrap()).collect();
+        let expect: BTreeSet<Ipv4Net> = ["24.48.2.0/23", "12.65.128.0/19"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
         assert_eq!(dynamic, expect);
         assert_eq!(maximum_effect(&[&d0, &d1, &d2]), 2);
     }
@@ -135,8 +137,7 @@ mod tests {
         let dynamic = dynamic_prefix_set(&[&d0, &d1]);
         assert_eq!(dynamic.len(), 2);
         // A log that only used 18.0.0.0/8 and 6.0.0.0/8 sees effect 1.
-        let used: Vec<Ipv4Net> =
-            vec!["18.0.0.0/8".parse().unwrap(), "6.0.0.0/8".parse().unwrap()];
+        let used: Vec<Ipv4Net> = vec!["18.0.0.0/8".parse().unwrap(), "6.0.0.0/8".parse().unwrap()];
         assert_eq!(effect_on(&dynamic, used.iter()), 1);
     }
 }

@@ -1,0 +1,466 @@
+//! A compiled flat longest-prefix-match table (DIR-24-8 layout).
+//!
+//! The [`PrefixTrie`] is the *build-side* structure: cheap inserts and
+//! removals, but every lookup walks up to 32 pointer-chasing node hops.
+//! For the clustering hot path — millions of client addresses matched
+//! against a frozen table — [`CompiledTable`] trades build-time memory for
+//! O(1)–O(2) array-indexed lookups, the classic DIR-24-8 scheme used by
+//! software routers:
+//!
+//! * `tbl24`: one `u32` slot per possible 24-bit address prefix (2^24
+//!   entries, 64 MiB). For addresses whose best match is `/24` or
+//!   shorter — the overwhelming majority in BGP snapshots — a single
+//!   indexed load resolves the lookup.
+//! * `tbl_long`: overflow storage for prefixes longer than `/24`,
+//!   allocated in 256-slot groups (one slot per final address byte). A
+//!   `tbl24` entry with the extension bit set redirects here for exactly
+//!   one more indexed load.
+//!
+//! Matches are returned as [`Handle`]s — dense `Copy` indices into a
+//! prefix arena — so batch lookups move no heap data and results can be
+//! compared, hashed, and resolved to an [`Ipv4Net`] later.
+//!
+//! Build cost is O(#prefixes × covered range) plus the 64 MiB `tbl24`
+//! allocation; the table is immutable once compiled. Mutable workflows
+//! (streaming snapshot swaps, self-correction) keep editing the trie and
+//! recompile: see [`PrefixTrie::compile`] and `MergedTable::compile`.
+
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use netclust_prefix::Ipv4Net;
+
+use crate::table::{MatchSource, MergedTable};
+use crate::trie::PrefixTrie;
+
+/// Extension flag on a `tbl24` entry: the low 31 bits index a 256-slot
+/// group in `tbl_long` instead of encoding a match directly.
+const EXT_FLAG: u32 = 1 << 31;
+
+/// A dense, `Copy` reference to a prefix in a [`CompiledTable`]'s arena.
+///
+/// `Handle::NONE` means "no match". Valid handles index
+/// [`CompiledTable::prefixes`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Handle(u32);
+
+impl Handle {
+    /// The "no match" sentinel.
+    pub const NONE: Handle = Handle(u32::MAX);
+
+    /// `true` when this handle refers to a prefix.
+    #[inline]
+    pub fn is_some(self) -> bool {
+        self.0 != u32::MAX
+    }
+
+    /// `true` for the no-match sentinel.
+    #[inline]
+    pub fn is_none(self) -> bool {
+        self.0 == u32::MAX
+    }
+
+    /// The arena index, or `None` for the sentinel.
+    #[inline]
+    pub fn index(self) -> Option<usize> {
+        if self.is_some() {
+            Some(self.0 as usize)
+        } else {
+            None
+        }
+    }
+
+    /// Decodes the slot encoding used inside the tables: `0` is a miss,
+    /// any other value is `handle + 1`.
+    #[inline]
+    fn from_slot(slot: u32) -> Handle {
+        if slot == 0 {
+            Handle::NONE
+        } else {
+            Handle(slot - 1)
+        }
+    }
+}
+
+/// An immutable longest-prefix-match table compiled to the DIR-24-8 flat
+/// layout. Built from a [`PrefixTrie`] (see [`PrefixTrie::compile`]) or
+/// any prefix list (see [`CompiledTable::from_prefixes`]).
+///
+/// ```
+/// use netclust_rtable::{CompiledTable, PrefixTrie};
+///
+/// let mut trie = PrefixTrie::new();
+/// trie.insert("12.0.0.0/8".parse().unwrap(), ());
+/// trie.insert("12.65.128.0/19".parse().unwrap(), ());
+/// let table = trie.compile();
+///
+/// let net = table.lookup(u32::from_be_bytes([12, 65, 147, 94])).unwrap();
+/// assert_eq!(net.to_string(), "12.65.128.0/19");
+/// assert!(table.lookup(u32::from_be_bytes([99, 1, 1, 1])).is_none());
+/// ```
+pub struct CompiledTable {
+    /// One slot per 24-bit address prefix; empty when the table holds no
+    /// prefixes (every lookup misses without touching memory).
+    tbl24: Vec<u32>,
+    /// 256-slot groups for prefixes longer than /24.
+    tbl_long: Vec<u32>,
+    /// Dense prefix arena; [`Handle`]s index into this.
+    prefixes: Vec<Ipv4Net>,
+}
+
+impl CompiledTable {
+    /// Compiles a prefix list. Order does not matter; duplicates keep one
+    /// arena entry each (the last occurrence wins the match, but equal
+    /// prefixes are indistinguishable as [`Ipv4Net`]s anyway).
+    pub fn from_prefixes(prefixes: impl IntoIterator<Item = Ipv4Net>) -> Self {
+        let prefixes: Vec<Ipv4Net> = prefixes.into_iter().collect();
+        if prefixes.is_empty() {
+            return CompiledTable {
+                tbl24: Vec::new(),
+                tbl_long: Vec::new(),
+                prefixes,
+            };
+        }
+
+        // Insert ascending by prefix length so longer prefixes overwrite
+        // shorter ones; equal-length prefixes cover disjoint ranges.
+        let mut order: Vec<u32> = (0..prefixes.len() as u32).collect();
+        order.sort_by_key(|&h| prefixes[h as usize].len());
+
+        let mut tbl24 = vec![0u32; 1 << 24];
+        let mut tbl_long: Vec<u32> = Vec::new();
+
+        for &h in &order {
+            let net = prefixes[h as usize];
+            let slot = h + 1;
+            if net.len() <= 24 {
+                // Fill the covered tbl24 range. All >24-bit prefixes sort
+                // later, so no extension entries exist yet.
+                let start = (net.addr_u32() >> 8) as usize;
+                let count = 1usize << (24 - net.len());
+                for e in &mut tbl24[start..start + count] {
+                    *e = slot;
+                }
+            } else {
+                let idx24 = (net.addr_u32() >> 8) as usize;
+                let group = if tbl24[idx24] & EXT_FLAG != 0 {
+                    (tbl24[idx24] & !EXT_FLAG) as usize
+                } else {
+                    // Seed a fresh group with the current ≤/24 match so
+                    // bytes the long prefix does not cover still resolve.
+                    let group = tbl_long.len() / 256;
+                    tbl_long.extend(std::iter::repeat_n(tbl24[idx24], 256));
+                    tbl24[idx24] = EXT_FLAG | group as u32;
+                    group
+                };
+                let start = group * 256 + (net.addr_u32() & 0xFF) as usize;
+                let count = 1usize << (32 - net.len());
+                for e in &mut tbl_long[start..start + count] {
+                    *e = slot;
+                }
+            }
+        }
+
+        CompiledTable {
+            tbl24,
+            tbl_long,
+            prefixes,
+        }
+    }
+
+    /// Longest-prefix match returning a dense [`Handle`]: one indexed load
+    /// for matches at `/24` or shorter, two for longer prefixes.
+    #[inline]
+    pub fn lookup_handle(&self, addr: u32) -> Handle {
+        if self.tbl24.is_empty() {
+            return Handle::NONE;
+        }
+        let entry = self.tbl24[(addr >> 8) as usize];
+        if entry & EXT_FLAG == 0 {
+            Handle::from_slot(entry)
+        } else {
+            let group = (entry & !EXT_FLAG) as usize;
+            Handle::from_slot(self.tbl_long[group * 256 + (addr & 0xFF) as usize])
+        }
+    }
+
+    /// Longest-prefix match resolving straight to the matched prefix.
+    #[inline]
+    pub fn lookup(&self, addr: u32) -> Option<Ipv4Net> {
+        self.resolve(self.lookup_handle(addr))
+    }
+
+    /// Batch longest-prefix match: fills `out[i]` with the handle for
+    /// `addrs[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `out` is shorter than `addrs`.
+    pub fn lookup_batch(&self, addrs: &[u32], out: &mut [Handle]) {
+        assert!(out.len() >= addrs.len(), "output buffer too short");
+        for (addr, slot) in addrs.iter().zip(out.iter_mut()) {
+            *slot = self.lookup_handle(*addr);
+        }
+    }
+
+    /// The prefix a handle refers to, or `None` for [`Handle::NONE`].
+    #[inline]
+    pub fn resolve(&self, handle: Handle) -> Option<Ipv4Net> {
+        handle.index().map(|i| self.prefixes[i])
+    }
+
+    /// The dense prefix arena; [`Handle`]s index into this slice.
+    pub fn prefixes(&self) -> &[Ipv4Net] {
+        &self.prefixes
+    }
+
+    /// Number of prefixes compiled in.
+    pub fn len(&self) -> usize {
+        self.prefixes.len()
+    }
+
+    /// `true` when no prefixes were compiled.
+    pub fn is_empty(&self) -> bool {
+        self.prefixes.is_empty()
+    }
+
+    /// Number of 256-slot overflow groups allocated for >/24 prefixes.
+    pub fn long_groups(&self) -> usize {
+        self.tbl_long.len() / 256
+    }
+
+    /// Table memory footprint in bytes (both levels plus the arena).
+    pub fn memory_bytes(&self) -> usize {
+        self.tbl24.len() * 4
+            + self.tbl_long.len() * 4
+            + self.prefixes.len() * std::mem::size_of::<Ipv4Net>()
+    }
+}
+
+impl fmt::Debug for CompiledTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CompiledTable")
+            .field("prefixes", &self.prefixes.len())
+            .field("long_groups", &self.long_groups())
+            .field("memory_bytes", &self.memory_bytes())
+            .finish()
+    }
+}
+
+impl<V> PrefixTrie<V> {
+    /// Freezes this trie's current prefix set into a [`CompiledTable`].
+    /// Values are not carried over — compiled lookups return the matched
+    /// prefix (or a [`Handle`] to it), which is what the clustering hot
+    /// path consumes.
+    pub fn compile(&self) -> CompiledTable {
+        CompiledTable::from_prefixes(self.prefixes())
+    }
+}
+
+/// The compiled form of a [`MergedTable`]: both source tiers frozen to
+/// flat tables, preserving the BGP-primary / registry-fallback semantics
+/// of [`MergedTable::lookup`].
+pub struct CompiledMerged {
+    bgp: CompiledTable,
+    dump: CompiledTable,
+}
+
+impl CompiledMerged {
+    /// The compiled BGP (primary) tier.
+    pub fn bgp(&self) -> &CompiledTable {
+        &self.bgp
+    }
+
+    /// The compiled registry-dump (fallback) tier.
+    pub fn dump(&self) -> &CompiledTable {
+        &self.dump
+    }
+
+    /// Longest-prefix match with source attribution: BGP tier first, then
+    /// registry fallback — identical semantics to [`MergedTable::lookup_u32`].
+    #[inline]
+    pub fn lookup_u32(&self, addr: u32) -> Option<(Ipv4Net, MatchSource)> {
+        if let Some(net) = self.bgp.lookup(addr) {
+            Some((net, MatchSource::Bgp))
+        } else {
+            self.dump
+                .lookup(addr)
+                .map(|net| (net, MatchSource::NetworkDump))
+        }
+    }
+
+    /// [`lookup_u32`](Self::lookup_u32) on an [`Ipv4Addr`].
+    #[inline]
+    pub fn lookup(&self, addr: Ipv4Addr) -> Option<(Ipv4Net, MatchSource)> {
+        self.lookup_u32(u32::from(addr))
+    }
+
+    /// The matched cluster prefix for `addr`, ignoring source attribution
+    /// (the clustering hot path).
+    #[inline]
+    pub fn net_for_u32(&self, addr: u32) -> Option<Ipv4Net> {
+        self.bgp.lookup(addr).or_else(|| self.dump.lookup(addr))
+    }
+
+    /// Batch form of [`net_for_u32`](Self::net_for_u32): one handle sweep
+    /// over the BGP tier, with per-miss registry fallback.
+    pub fn net_for_batch(&self, addrs: &[u32]) -> Vec<Option<Ipv4Net>> {
+        let mut handles = vec![Handle::NONE; addrs.len()];
+        self.bgp.lookup_batch(addrs, &mut handles);
+        handles
+            .iter()
+            .zip(addrs)
+            .map(|(&h, &addr)| self.bgp.resolve(h).or_else(|| self.dump.lookup(addr)))
+            .collect()
+    }
+
+    /// Combined memory footprint of both tiers in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.bgp.memory_bytes() + self.dump.memory_bytes()
+    }
+}
+
+impl fmt::Debug for CompiledMerged {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CompiledMerged")
+            .field("bgp", &self.bgp)
+            .field("dump", &self.dump)
+            .finish()
+    }
+}
+
+impl MergedTable {
+    /// Freezes both tiers into a [`CompiledMerged`] for array-indexed
+    /// lookups. Recompile after mutating the source tables.
+    pub fn compile(&self) -> CompiledMerged {
+        CompiledMerged {
+            bgp: CompiledTable::from_prefixes(self.bgp_prefixes()),
+            dump: CompiledTable::from_prefixes(self.dump_prefixes()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::{RoutingTable, TableKind};
+
+    fn net(s: &str) -> Ipv4Net {
+        s.parse().unwrap()
+    }
+
+    fn a(s: &str) -> u32 {
+        s.parse::<Ipv4Addr>().unwrap().into()
+    }
+
+    #[test]
+    fn empty_table_allocates_nothing_and_misses() {
+        let t = CompiledTable::from_prefixes([]);
+        assert!(t.is_empty());
+        assert_eq!(t.memory_bytes(), 0);
+        assert_eq!(t.lookup_handle(a("1.2.3.4")), Handle::NONE);
+        assert!(t.lookup(a("1.2.3.4")).is_none());
+    }
+
+    #[test]
+    fn short_prefixes_single_load() {
+        let t = CompiledTable::from_prefixes([net("12.0.0.0/8"), net("12.65.128.0/19")]);
+        assert_eq!(t.lookup(a("12.65.147.94")), Some(net("12.65.128.0/19")));
+        assert_eq!(t.lookup(a("12.1.1.1")), Some(net("12.0.0.0/8")));
+        assert!(t.lookup(a("99.1.1.1")).is_none());
+        assert_eq!(t.long_groups(), 0);
+    }
+
+    #[test]
+    fn long_prefixes_use_overflow_groups() {
+        let t = CompiledTable::from_prefixes([
+            net("24.48.2.0/24"),
+            net("24.48.2.128/25"),
+            net("24.48.2.192/32"),
+        ]);
+        assert_eq!(t.lookup(a("24.48.2.1")), Some(net("24.48.2.0/24")));
+        assert_eq!(t.lookup(a("24.48.2.129")), Some(net("24.48.2.128/25")));
+        assert_eq!(t.lookup(a("24.48.2.192")), Some(net("24.48.2.192/32")));
+        assert_eq!(t.lookup(a("24.48.2.255")), Some(net("24.48.2.128/25")));
+        assert!(t.lookup(a("24.48.3.1")).is_none());
+        assert_eq!(t.long_groups(), 1);
+    }
+
+    #[test]
+    fn long_prefix_without_short_cover() {
+        // A /26 with no enclosing ≤/24: bytes outside it must miss.
+        let t = CompiledTable::from_prefixes([net("10.0.0.64/26")]);
+        assert_eq!(t.lookup(a("10.0.0.100")), Some(net("10.0.0.64/26")));
+        assert!(t.lookup(a("10.0.0.1")).is_none());
+        assert!(t.lookup(a("10.0.0.128")).is_none());
+    }
+
+    #[test]
+    fn default_route_covers_everything() {
+        let t = CompiledTable::from_prefixes([Ipv4Net::DEFAULT, net("18.0.0.0/8")]);
+        assert_eq!(t.lookup(a("18.1.2.3")), Some(net("18.0.0.0/8")));
+        assert_eq!(t.lookup(a("200.1.2.3")), Some(Ipv4Net::DEFAULT));
+    }
+
+    #[test]
+    fn matches_trie_on_paper_example() {
+        let mut trie = PrefixTrie::new();
+        trie.insert(net("12.65.128.0/19"), ());
+        trie.insert(net("24.48.2.0/23"), ());
+        let t = trie.compile();
+        for ip in [
+            "12.65.147.94",
+            "12.65.144.247",
+            "24.48.3.87",
+            "24.48.2.166",
+            "1.1.1.1",
+        ] {
+            let expect = trie.longest_match_u32(a(ip)).map(|(n, _)| n);
+            assert_eq!(t.lookup(a(ip)), expect, "{ip}");
+        }
+    }
+
+    #[test]
+    fn batch_matches_scalar() {
+        let t = CompiledTable::from_prefixes([net("12.0.0.0/8"), net("24.48.2.0/23")]);
+        let addrs: Vec<u32> = ["12.1.2.3", "24.48.3.87", "99.9.9.9"]
+            .iter()
+            .map(|s| a(s))
+            .collect();
+        let mut out = vec![Handle::NONE; addrs.len()];
+        t.lookup_batch(&addrs, &mut out);
+        for (&addr, &h) in addrs.iter().zip(&out) {
+            assert_eq!(t.resolve(h), t.lookup(addr));
+        }
+        assert!(out[2].is_none());
+    }
+
+    #[test]
+    fn compiled_merged_preserves_tier_semantics() {
+        let bgp = RoutingTable::new("B", "d0", TableKind::Bgp, vec![net("12.0.0.0/8")]);
+        let dump = RoutingTable::new(
+            "N",
+            "d0",
+            TableKind::NetworkDump,
+            vec![net("12.65.128.0/19")],
+        );
+        let merged = MergedTable::merge([&bgp, &dump]);
+        let compiled = merged.compile();
+        // BGP wins even when the dump prefix is longer.
+        for ip in ["12.65.147.94", "12.1.1.1", "99.1.1.1"] {
+            assert_eq!(compiled.lookup_u32(a(ip)), merged.lookup_u32(a(ip)), "{ip}");
+        }
+        assert_eq!(
+            compiled.net_for_u32(a("12.65.147.94")),
+            Some(net("12.0.0.0/8"))
+        );
+    }
+
+    #[test]
+    fn handle_resolves_to_arena_prefix() {
+        let t = CompiledTable::from_prefixes([net("10.0.0.0/8")]);
+        let h = t.lookup_handle(a("10.1.2.3"));
+        assert!(h.is_some());
+        assert_eq!(t.prefixes()[h.index().unwrap()], net("10.0.0.0/8"));
+    }
+}

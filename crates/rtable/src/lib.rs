@@ -5,6 +5,8 @@
 //! merging) and §3.4 (effect of BGP dynamics) machinery:
 //!
 //! * [`PrefixTrie`] — arena-allocated binary trie with longest-prefix match,
+//! * [`CompiledTable`] / [`CompiledMerged`] — the trie frozen into a flat
+//!   DIR-24-8 array layout for O(1)–O(2) lookups on the clustering hot path,
 //! * [`RoutingTable`] / [`MergedTable`] — named snapshots and the unified
 //!   two-tier (BGP primary / registry-dump secondary) lookup table,
 //! * [`PrefixLengthHistogram`] — Figure 1's prefix-length distribution,
@@ -14,11 +16,13 @@
 #![warn(missing_docs)]
 
 mod diff;
+mod flat;
 mod stats;
 mod table;
 mod trie;
 
 pub use diff::{dynamic_prefix_set, effect_on, maximum_effect, SnapshotDiff};
+pub use flat::{CompiledMerged, CompiledTable, Handle};
 pub use stats::PrefixLengthHistogram;
 pub use table::{MatchSource, MergedTable, RouteAttrs, RoutingTable, TableKind};
 pub use trie::{PrefixTrie, PrefixTrieIter};

@@ -66,7 +66,13 @@ impl RoutingTable {
     ) -> Self {
         prefixes.sort();
         prefixes.dedup();
-        RoutingTable { name: name.into(), date: date.into(), kind, prefixes, attrs: Vec::new() }
+        RoutingTable {
+            name: name.into(),
+            date: date.into(),
+            kind,
+            prefixes,
+            attrs: Vec::new(),
+        }
     }
 
     /// Builds a snapshot with per-route attributes. Attribute order follows
@@ -81,7 +87,13 @@ impl RoutingTable {
         routes.sort_by_key(|(net, _)| *net);
         routes.dedup_by_key(|(net, _)| *net);
         let (prefixes, attrs) = routes.into_iter().unzip();
-        RoutingTable { name: name.into(), date: date.into(), kind, prefixes, attrs }
+        RoutingTable {
+            name: name.into(),
+            date: date.into(),
+            kind,
+            prefixes,
+            attrs,
+        }
     }
 
     /// Parses a snapshot from raw dump-file lines in any of the three
@@ -121,9 +133,10 @@ impl RoutingTable {
     /// Iterates `(prefix, attrs)` pairs; attrs default to empty when the
     /// table was built without them.
     pub fn routes(&self) -> impl Iterator<Item = (Ipv4Net, RouteAttrs)> + '_ {
-        self.prefixes.iter().enumerate().map(|(i, net)| {
-            (*net, self.attrs.get(i).cloned().unwrap_or_default())
-        })
+        self.prefixes
+            .iter()
+            .enumerate()
+            .map(|(i, net)| (*net, self.attrs.get(i).cloned().unwrap_or_default()))
     }
 
     /// `true` when the exact prefix appears in this snapshot.
@@ -191,7 +204,11 @@ impl MergedTable {
                 target.insert(*net, ());
             }
         }
-        MergedTable { bgp, dump, source_names }
+        MergedTable {
+            bgp,
+            dump,
+            source_names,
+        }
     }
 
     /// Number of unique prefixes in the BGP tier.
@@ -305,11 +322,19 @@ mod tests {
             vec![
                 (
                     net("18.0.0.0/8"),
-                    RouteAttrs { description: "MIT".into(), next_hop: "cs.cht.vbns.net".into(), as_path: vec![3] },
+                    RouteAttrs {
+                        description: "MIT".into(),
+                        next_hop: "cs.cht.vbns.net".into(),
+                        as_path: vec![3],
+                    },
                 ),
                 (
                     net("6.0.0.0/8"),
-                    RouteAttrs { description: "Army".into(), next_hop: "cs.ny-nap.vbns.net".into(), as_path: vec![7170, 1455] },
+                    RouteAttrs {
+                        description: "Army".into(),
+                        next_hop: "cs.ny-nap.vbns.net".into(),
+                        as_path: vec![7170, 1455],
+                    },
                 ),
             ],
         );
@@ -324,8 +349,12 @@ mod tests {
         // Registry dump knows the allocation 12.0.0.0/8; BGP knows the
         // routed subnet 12.65.128.0/19. The routed prefix must win.
         let bgp = RoutingTable::new("B", "d0", TableKind::Bgp, vec![net("12.65.128.0/19")]);
-        let dump =
-            RoutingTable::new("ARIN", "d0", TableKind::NetworkDump, vec![net("12.0.0.0/8")]);
+        let dump = RoutingTable::new(
+            "ARIN",
+            "d0",
+            TableKind::NetworkDump,
+            vec![net("12.0.0.0/8")],
+        );
         let merged = MergedTable::merge([&bgp, &dump]);
         let (m, src) = merged.lookup(addr("12.65.147.94")).unwrap();
         assert_eq!(m, net("12.65.128.0/19"));
@@ -343,8 +372,12 @@ mod tests {
         // Secondary source must never override a routed match, even with a
         // longer prefix (the paper's §3.1.1 rationale).
         let bgp = RoutingTable::new("B", "d0", TableKind::Bgp, vec![net("12.0.0.0/8")]);
-        let dump =
-            RoutingTable::new("N", "d0", TableKind::NetworkDump, vec![net("12.65.128.0/19")]);
+        let dump = RoutingTable::new(
+            "N",
+            "d0",
+            TableKind::NetworkDump,
+            vec![net("12.65.128.0/19")],
+        );
         let merged = MergedTable::merge([&bgp, &dump]);
         let (m, src) = merged.lookup(addr("12.65.147.94")).unwrap();
         assert_eq!(m, net("12.0.0.0/8"));
@@ -372,7 +405,12 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        let t = RoutingTable::new("MAE-WEST", "1999-07-03", TableKind::Bgp, vec![net("6.0.0.0/8")]);
+        let t = RoutingTable::new(
+            "MAE-WEST",
+            "1999-07-03",
+            TableKind::Bgp,
+            vec![net("6.0.0.0/8")],
+        );
         let s = t.to_string();
         assert!(s.contains("MAE-WEST") && s.contains("1 entries"));
     }

@@ -25,7 +25,10 @@ struct Node<V> {
 
 impl<V> Node<V> {
     fn new() -> Self {
-        Node { children: [NIL, NIL], value: None }
+        Node {
+            children: [NIL, NIL],
+            value: None,
+        }
     }
 }
 
@@ -62,7 +65,10 @@ impl<V> Default for PrefixTrie<V> {
 impl<V> PrefixTrie<V> {
     /// Creates an empty trie.
     pub fn new() -> Self {
-        PrefixTrie { nodes: vec![Node::new()], len: 0 }
+        PrefixTrie {
+            nodes: vec![Node::new()],
+            len: 0,
+        }
     }
 
     /// Number of prefixes stored.
@@ -170,9 +176,7 @@ impl<V> PrefixTrie<V> {
                 break;
             }
         }
-        best.map(|(len, v)| {
-            (Ipv4Net::new(addr, len).expect("len <= 32"), v)
-        })
+        best.map(|(len, v)| (Ipv4Net::new(addr, len).expect("len <= 32"), v))
     }
 
     /// Longest-prefix match on an [`std::net::Ipv4Addr`].
@@ -204,7 +208,10 @@ impl<V> PrefixTrie<V> {
     /// Iterates over all stored `(prefix, value)` pairs in address order
     /// (depth-first, zero branch before one branch).
     pub fn iter(&self) -> PrefixTrieIter<'_, V> {
-        PrefixTrieIter { trie: self, stack: vec![(0, 0u32, 0u8)] }
+        PrefixTrieIter {
+            trie: self,
+            stack: vec![(0, 0u32, 0u8)],
+        }
     }
 
     /// Collects the stored prefixes in address order.
@@ -246,7 +253,8 @@ impl<'a, V> Iterator for PrefixTrieIter<'a, V> {
             if depth < 32 {
                 let one = node.children[1];
                 if one != NIL {
-                    self.stack.push((one, addr | (1u32 << (31 - depth as u32)), depth + 1));
+                    self.stack
+                        .push((one, addr | (1u32 << (31 - depth as u32)), depth + 1));
                 }
                 let zero = node.children[0];
                 if zero != NIL {
@@ -302,7 +310,12 @@ mod tests {
         trie.insert(net("12.65.128.0/19"), ());
         trie.insert(net("24.48.2.0/23"), ());
         let cluster_of = |ip: &str| trie.longest_match(addr(ip)).unwrap().0.to_string();
-        for ip in ["12.65.147.94", "12.65.147.149", "12.65.146.207", "12.65.144.247"] {
+        for ip in [
+            "12.65.147.94",
+            "12.65.147.149",
+            "12.65.146.207",
+            "12.65.144.247",
+        ] {
             assert_eq!(cluster_of(ip), "12.65.128.0/19", "{ip}");
         }
         for ip in ["24.48.3.87", "24.48.2.166"] {
@@ -350,7 +363,13 @@ mod tests {
 
     #[test]
     fn iteration_is_sorted_and_complete() {
-        let nets = ["18.0.0.0/8", "12.65.128.0/19", "12.0.0.0/8", "24.48.2.0/23", "12.65.144.0/20"];
+        let nets = [
+            "18.0.0.0/8",
+            "12.65.128.0/19",
+            "12.0.0.0/8",
+            "24.48.2.0/23",
+            "12.65.144.0/20",
+        ];
         let trie: PrefixTrie<()> = nets.iter().map(|s| (net(s), ())).collect();
         let mut expected: Vec<Ipv4Net> = nets.iter().map(|s| net(s)).collect();
         expected.sort();
@@ -374,7 +393,10 @@ mod tests {
         trie.insert(net("12.0.0.0/8"), "eight");
         trie.insert(net("12.65.128.0/19"), "nineteen");
         trie.remove(net("12.65.128.0/19"));
-        assert_eq!(*trie.longest_match(addr("12.65.147.94")).unwrap().1, "eight");
+        assert_eq!(
+            *trie.longest_match(addr("12.65.147.94")).unwrap().1,
+            "eight"
+        );
         assert_eq!(trie.len(), 1);
     }
 

@@ -6,7 +6,8 @@ use std::collections::BTreeMap;
 
 use netclust_prefix::Ipv4Net;
 use netclust_rtable::{
-    dynamic_prefix_set, maximum_effect, PrefixTrie, RoutingTable, SnapshotDiff, TableKind,
+    dynamic_prefix_set, maximum_effect, CompiledTable, Handle, MergedTable, PrefixTrie,
+    RoutingTable, SnapshotDiff, TableKind,
 };
 use proptest::prelude::*;
 
@@ -21,6 +22,33 @@ fn naive_lpm(map: &BTreeMap<Ipv4Net, u32>, addr: u32) -> Option<(Ipv4Net, u32)> 
 fn arb_net() -> impl Strategy<Value = Ipv4Net> {
     // Bias toward clustered address space so probes actually hit prefixes.
     (0u32..1 << 16, 8u8..=28).prop_map(|(hi, len)| Ipv4Net::new(hi << 16, len).unwrap())
+}
+
+/// Prefixes of any length ≥ /8, anywhere, plus a dense arm packing many
+/// overlapping long prefixes (incl. >/24 and host routes) into one /16.
+fn arb_net_wide() -> impl Strategy<Value = Ipv4Net> {
+    prop_oneof![
+        (any::<u32>(), 8u8..=32).prop_map(|(a, l)| Ipv4Net::new(a, l).unwrap()),
+        (0u32..=0xFFFF, 16u8..=32).prop_map(|(lo, l)| Ipv4Net::new(0x0A0A_0000 | lo, l).unwrap()),
+    ]
+}
+
+/// Probes that land inside the given prefixes (prefix address plus masked
+/// offsets) as well as anywhere, so matches and misses are both exercised.
+fn targeted_probes(
+    entries: &std::collections::BTreeSet<Ipv4Net>,
+    offsets: &[u32],
+    random: &[u32],
+) -> Vec<u32> {
+    let mut probes: Vec<u32> = random.to_vec();
+    for net in entries {
+        probes.push(net.addr_u32());
+        probes.push(net.addr_u32() | !net.netmask_u32());
+        for &off in offsets {
+            probes.push(net.addr_u32() | (off & !net.netmask_u32()));
+        }
+    }
+    probes
 }
 
 proptest! {
@@ -120,6 +148,69 @@ proptest! {
         }
     }
 
+    /// Compiled DIR-24-8 lookup ≡ trie LPM ≡ linear scan, over prefix sets
+    /// mixing short, long (>/24) and host-route entries.
+    #[test]
+    fn compiled_matches_trie_and_reference(
+        entries in proptest::collection::btree_set(arb_net_wide(), 0..96),
+        offsets in proptest::collection::vec(any::<u32>(), 4),
+        random in proptest::collection::vec(any::<u32>(), 32),
+    ) {
+        let map: BTreeMap<Ipv4Net, u32> = entries.iter().map(|&n| (n, 0)).collect();
+        let trie: PrefixTrie<()> = entries.iter().map(|&n| (n, ())).collect();
+        let compiled = trie.compile();
+        prop_assert_eq!(compiled.len(), entries.len());
+        for addr in targeted_probes(&entries, &offsets, &random) {
+            let expect = naive_lpm(&map, addr).map(|(n, _)| n);
+            prop_assert_eq!(trie.longest_match_u32(addr).map(|(n, _)| n), expect);
+            prop_assert_eq!(compiled.lookup(addr), expect);
+        }
+    }
+
+    /// Batch lookup returns exactly the scalar handles, and handles resolve
+    /// to the prefixes scalar lookup reports.
+    #[test]
+    fn batch_lookup_matches_scalar(
+        entries in proptest::collection::btree_set(arb_net_wide(), 0..48),
+        probes in proptest::collection::vec(any::<u32>(), 64),
+    ) {
+        let compiled = CompiledTable::from_prefixes(entries.iter().copied());
+        let mut handles = vec![Handle::NONE; probes.len()];
+        compiled.lookup_batch(&probes, &mut handles);
+        for (&addr, &h) in probes.iter().zip(&handles) {
+            prop_assert_eq!(h, compiled.lookup_handle(addr));
+            prop_assert_eq!(compiled.resolve(h), compiled.lookup(addr));
+        }
+    }
+
+    /// The compiled merged table preserves the two-tier semantics of the
+    /// trie-backed [`MergedTable`] exactly.
+    #[test]
+    fn compiled_merged_matches_merged(
+        bgp in proptest::collection::btree_set(arb_net(), 0..32),
+        dump in proptest::collection::btree_set(arb_net(), 0..32),
+        offsets in proptest::collection::vec(any::<u32>(), 2),
+        random in proptest::collection::vec(any::<u32>(), 24),
+    ) {
+        let tb = RoutingTable::new("B", "d", TableKind::Bgp, bgp.iter().copied().collect());
+        let td = RoutingTable::new("D", "d", TableKind::NetworkDump, dump.iter().copied().collect());
+        let merged = MergedTable::merge([&tb, &td]);
+        let compiled = merged.compile();
+        let all: std::collections::BTreeSet<Ipv4Net> = bgp.union(&dump).copied().collect();
+        let probes = targeted_probes(&all, &offsets, &random);
+        for &addr in &probes {
+            prop_assert_eq!(compiled.lookup_u32(addr), merged.lookup_u32(addr));
+            prop_assert_eq!(
+                compiled.net_for_u32(addr),
+                merged.lookup_u32(addr).map(|(n, _)| n)
+            );
+        }
+        let nets = compiled.net_for_batch(&probes);
+        for (&addr, net) in probes.iter().zip(nets) {
+            prop_assert_eq!(net, merged.lookup_u32(addr).map(|(n, _)| n));
+        }
+    }
+
     /// Dynamics: the dynamic prefix set equals union minus intersection and
     /// the pairwise diff churn bounds it.
     #[test]
@@ -135,5 +226,36 @@ proptest! {
         let sym: Vec<Ipv4Net> = a.symmetric_difference(&b).copied().collect();
         prop_assert_eq!(dynamic.iter().copied().collect::<Vec<_>>(), sym);
         prop_assert_eq!(maximum_effect(&[&ta, &tb]), diff.churn());
+    }
+}
+
+// Coarse prefixes (/0–/7) cover huge tbl24 ranges, so compilation is
+// expensive per case; a smaller case count keeps this affordable while
+// still exercising the default route and class-A-scale fills.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Compiled ≡ trie ≡ linear scan when very short prefixes (including
+    /// /0) mix with long ones.
+    #[test]
+    fn compiled_handles_coarse_prefixes(
+        coarse in proptest::collection::btree_set(
+            (any::<u32>(), 0u8..=7).prop_map(|(a, l)| Ipv4Net::new(a, l).unwrap()),
+            0..4,
+        ),
+        fine in proptest::collection::btree_set(arb_net_wide(), 0..16),
+        offsets in proptest::collection::vec(any::<u32>(), 2),
+        random in proptest::collection::vec(any::<u32>(), 16),
+    ) {
+        let entries: std::collections::BTreeSet<Ipv4Net> =
+            coarse.union(&fine).copied().collect();
+        let map: BTreeMap<Ipv4Net, u32> = entries.iter().map(|&n| (n, 0)).collect();
+        let trie: PrefixTrie<()> = entries.iter().map(|&n| (n, ())).collect();
+        let compiled = trie.compile();
+        for addr in targeted_probes(&entries, &offsets, &random) {
+            let expect = naive_lpm(&map, addr).map(|(n, _)| n);
+            prop_assert_eq!(trie.longest_match_u32(addr).map(|(n, _)| n), expect);
+            prop_assert_eq!(compiled.lookup(addr), expect);
+        }
     }
 }

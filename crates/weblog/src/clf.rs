@@ -143,23 +143,34 @@ struct ParsedLine {
 }
 
 fn parse_line(line: &str, lineno: usize) -> Result<ParsedLine, ClfError> {
-    let err = |reason: &str| ClfError { line: lineno, reason: reason.to_string() };
+    let err = |reason: &str| ClfError {
+        line: lineno,
+        reason: reason.to_string(),
+    };
     let mut rest = line.trim();
     let sp = rest.find(' ').ok_or_else(|| err("missing fields"))?;
     let addr: Ipv4Addr = rest[..sp].parse().map_err(|_| err("bad client address"))?;
     rest = &rest[sp + 1..];
     let open = rest.find('[').ok_or_else(|| err("missing timestamp"))?;
-    let close = rest.find(']').ok_or_else(|| err("missing timestamp close"))?;
+    let close = rest
+        .find(']')
+        .ok_or_else(|| err("missing timestamp close"))?;
     let epoch = parse_clf_time(&rest[open + 1..close]).ok_or_else(|| err("bad timestamp"))?;
     rest = rest[close + 1..].trim_start();
     if !rest.starts_with('"') {
         return Err(err("missing request line"));
     }
-    let req_end = rest[1..].find('"').ok_or_else(|| err("unterminated request line"))? + 1;
+    let req_end = rest[1..]
+        .find('"')
+        .ok_or_else(|| err("unterminated request line"))?
+        + 1;
     let request_line = &rest[1..req_end];
     let mut parts = request_line.split(' ');
     let _method = parts.next().ok_or_else(|| err("empty request line"))?;
-    let path = parts.next().ok_or_else(|| err("request line lacks path"))?.to_string();
+    let path = parts
+        .next()
+        .ok_or_else(|| err("request line lacks path"))?
+        .to_string();
     rest = rest[req_end + 1..].trim_start();
     let mut fields = rest.split(' ');
     let status: u16 = fields
@@ -175,12 +186,15 @@ fn parse_line(line: &str, lineno: usize) -> Result<ParsedLine, ClfError> {
     };
     // Optional combined-format tail: "referer" "user-agent".
     let tail = fields.collect::<Vec<_>>().join(" ");
-    let ua = tail
-        .rsplit('"')
-        .nth(1)
-        .unwrap_or("-")
-        .to_string();
-    Ok(ParsedLine { addr, epoch, path, status, bytes, ua })
+    let ua = tail.rsplit('"').nth(1).unwrap_or("-").to_string();
+    Ok(ParsedLine {
+        addr,
+        epoch,
+        path,
+        status,
+        bytes,
+        ua,
+    })
 }
 
 /// Parses a CLF document into a [`Log`]. URLs and User-Agents are interned;
@@ -210,7 +224,10 @@ pub fn from_clf(name: &str, text: &str) -> (Log, Vec<ClfError>) {
     let mut requests = Vec::with_capacity(parsed.len());
     for p in parsed {
         let url = *url_index.entry(p.path.clone()).or_insert_with(|| {
-            urls.push(UrlMeta { path: p.path.clone(), size: p.bytes });
+            urls.push(UrlMeta {
+                path: p.path.clone(),
+                size: p.bytes,
+            });
             (urls.len() - 1) as u32
         });
         // Track the largest observed size as the canonical resource size.
@@ -234,7 +251,11 @@ pub fn from_clf(name: &str, text: &str) -> (Log, Vec<ClfError>) {
         name: name.to_string(),
         requests,
         urls,
-        user_agents: if uas.is_empty() { vec!["-".to_string()] } else { uas },
+        user_agents: if uas.is_empty() {
+            vec!["-".to_string()]
+        } else {
+            uas
+        },
         start_time,
         duration_s: (end - start_time) as u32,
         truth: LogTruth::default(),
@@ -250,7 +271,10 @@ mod tests {
     fn time_roundtrip() {
         // 13/Feb/1998 00:00:00 UTC = 887328000.
         assert_eq!(format_clf_time(887_328_000), "13/Feb/1998:00:00:00 +0000");
-        assert_eq!(parse_clf_time("13/Feb/1998:00:00:00 +0000"), Some(887_328_000));
+        assert_eq!(
+            parse_clf_time("13/Feb/1998:00:00:00 +0000"),
+            Some(887_328_000)
+        );
         for &t in &[0u64, 887_328_000, 1_000_000_000, 4_102_444_799] {
             assert_eq!(parse_clf_time(&format_clf_time(t)), Some(t), "t = {t}");
         }
@@ -268,8 +292,18 @@ mod tests {
     fn line_roundtrip() {
         let log = Log {
             name: "t".into(),
-            requests: vec![Request { time: 5, client: u32::from(Ipv4Addr::new(12, 65, 147, 94)), url: 0, bytes: 5120, status: 200, ua: 0 }],
-            urls: vec![UrlMeta { path: "/a.html".into(), size: 5120 }],
+            requests: vec![Request {
+                time: 5,
+                client: u32::from(Ipv4Addr::new(12, 65, 147, 94)),
+                url: 0,
+                bytes: 5120,
+                status: 200,
+                ua: 0,
+            }],
+            urls: vec![UrlMeta {
+                path: "/a.html".into(),
+                size: 5120,
+            }],
             user_agents: vec!["Mozilla/4.0 (X11; Linux)".into()],
             start_time: 887_328_000,
             duration_s: 10,
@@ -288,7 +322,10 @@ mod tests {
         assert_eq!(r.bytes, 5120);
         assert_eq!(r.status, 200);
         assert_eq!(parsed.urls[r.url as usize].path, "/a.html");
-        assert_eq!(parsed.user_agents[r.ua as usize], "Mozilla/4.0 (X11; Linux)");
+        assert_eq!(
+            parsed.user_agents[r.ua as usize],
+            "Mozilla/4.0 (X11; Linux)"
+        );
     }
 
     #[test]

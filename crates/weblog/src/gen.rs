@@ -56,7 +56,11 @@ enum ClientKind {
     /// Forwarding proxy: fixed volume, aggregate-like behaviour.
     Proxy,
     /// Crawler sweeping a URL range in a burst.
-    Spider { unique_urls: u32, start: u32, span: u32 },
+    Spider {
+        unique_urls: u32,
+        start: u32,
+        span: u32,
+    },
 }
 
 /// Hour-of-day weights for the diurnal arrival profile (peaks in the
@@ -110,8 +114,12 @@ pub fn generate(universe: &Universe, spec: &LogSpec) -> Log {
     }
 
     // 1. Pick organizations until the client budget is covered.
-    let mut org_order: Vec<u32> =
-        universe.orgs().iter().filter(|o| o.active_hosts > 0).map(|o| o.id).collect();
+    let mut org_order: Vec<u32> = universe
+        .orgs()
+        .iter()
+        .filter(|o| o.active_hosts > 0)
+        .map(|o| o.id)
+        .collect();
     org_order.shuffle(&mut rng);
     let mut org_iter = org_order.into_iter();
     let mut plans: Vec<ClientPlan> = Vec::new();
@@ -135,13 +143,23 @@ pub fn generate(universe: &Universe, spec: &LogSpec) -> Log {
                 // Casual one-visit client: a fixed handful of requests.
                 let requests = pareto_u64(&mut rng, 1.5, 1, 25);
                 casual_requests += requests;
-                plans.push(ClientPlan { addr, requests, ua, kind: ClientKind::Casual });
+                plans.push(ClientPlan {
+                    addr,
+                    requests,
+                    ua,
+                    kind: ClientKind::Casual,
+                });
             } else {
                 // Regular client: weighted share of the remaining budget.
                 let w = pareto_u64(&mut rng, spec.client_weight_alpha, 10, 40_000) as f64;
                 total_weight += w;
                 client_weights.push(w);
-                plans.push(ClientPlan { addr, requests: 0, ua, kind: ClientKind::Normal });
+                plans.push(ClientPlan {
+                    addr,
+                    requests: 0,
+                    ua,
+                    kind: ClientKind::Normal,
+                });
             }
         }
         clients += n;
@@ -158,7 +176,9 @@ pub fn generate(universe: &Universe, spec: &LogSpec) -> Log {
                              needed_hosts: u32|
      -> u32 {
         let org_id = loop {
-            let id = org_iter.next().expect("universe too small for special clusters");
+            let id = org_iter
+                .next()
+                .expect("universe too small for special clusters");
             if universe.org(id).active_hosts >= needed_hosts {
                 break id;
             }
@@ -178,7 +198,12 @@ pub fn generate(universe: &Universe, spec: &LogSpec) -> Log {
         org_id
     };
 
-    for SpiderSpec { requests, unique_urls, companions } in &spec.spiders {
+    for SpiderSpec {
+        requests,
+        unique_urls,
+        companions,
+    } in &spec.spiders
+    {
         let org_id = place_special(
             &mut plans,
             &mut client_weights,
@@ -204,7 +229,11 @@ pub fn generate(universe: &Universe, spec: &LogSpec) -> Log {
         truth.spiders.push(Ipv4Addr::from(addr));
         special_requests += requests;
     }
-    for ProxySpec { requests, companions } in &spec.proxies {
+    for ProxySpec {
+        requests,
+        companions,
+    } in &spec.proxies
+    {
         let org_id = place_special(
             &mut plans,
             &mut client_weights,
@@ -215,7 +244,12 @@ pub fn generate(universe: &Universe, spec: &LogSpec) -> Log {
         );
         let org = universe.org(org_id);
         let addr = u32::from(org.host_addr(*companions).expect("proxy host"));
-        plans.push(ClientPlan { addr, requests: *requests, ua: None, kind: ClientKind::Proxy });
+        plans.push(ClientPlan {
+            addr,
+            requests: *requests,
+            ua: None,
+            kind: ClientKind::Proxy,
+        });
         truth.proxies.push(Ipv4Addr::from(addr));
         special_requests += requests;
     }
@@ -223,8 +257,9 @@ pub fn generate(universe: &Universe, spec: &LogSpec) -> Log {
     // 3. Distribute the remaining request budget over regular clients
     //    proportionally to their weights (casual clients already have
     //    fixed counts).
-    let normal_budget =
-        spec.total_requests.saturating_sub(special_requests + casual_requests);
+    let normal_budget = spec
+        .total_requests
+        .saturating_sub(special_requests + casual_requests);
     let mut assigned = 0u64;
     {
         let mut wi = 0usize;
@@ -244,7 +279,10 @@ pub fn generate(universe: &Universe, spec: &LogSpec) -> Log {
             .max_by_key(|p| p.requests)
         {
             if assigned > normal_budget {
-                plan.requests = plan.requests.saturating_sub(assigned - normal_budget).max(1);
+                plan.requests = plan
+                    .requests
+                    .saturating_sub(assigned - normal_budget)
+                    .max(1);
             } else {
                 plan.requests += normal_budget - assigned;
             }
@@ -272,7 +310,11 @@ pub fn generate(universe: &Universe, spec: &LogSpec) -> Log {
                     });
                 }
             }
-            ClientKind::Spider { unique_urls, start, span } => {
+            ClientKind::Spider {
+                unique_urls,
+                start,
+                span,
+            } => {
                 let offset = rng.gen_range(0..spec.num_urls);
                 for j in 0..plan.requests {
                     // Sequential sweep over a contiguous slice of the URL
@@ -358,7 +400,11 @@ mod tests {
     fn spider_truth_and_shape() {
         let u = universe();
         let mut spec = tiny_spec();
-        spec.spiders = vec![SpiderSpec { requests: 3000, unique_urls: 150, companions: 4 }];
+        spec.spiders = vec![SpiderSpec {
+            requests: 3000,
+            unique_urls: 150,
+            companions: 4,
+        }];
         let log = generate(&u, &spec);
         assert_eq!(log.truth.spiders.len(), 1);
         let spider = u32::from(log.truth.spiders[0]);
@@ -370,8 +416,7 @@ mod tests {
         let hi = spider_reqs.iter().map(|r| r.time).max().unwrap();
         assert!(hi - lo <= 6 * 3600);
         // Sweeps exactly the configured URL count.
-        let unique: std::collections::BTreeSet<u32> =
-            spider_reqs.iter().map(|r| r.url).collect();
+        let unique: std::collections::BTreeSet<u32> = spider_reqs.iter().map(|r| r.url).collect();
         assert_eq!(unique.len(), 150);
         // Distinct spider UA.
         assert!(log.user_agents[spider_reqs[0].ua as usize].contains("ArachnoBot"));
@@ -381,7 +426,10 @@ mod tests {
     fn proxy_truth_and_ua_diversity() {
         let u = universe();
         let mut spec = tiny_spec();
-        spec.proxies = vec![ProxySpec { requests: 2000, companions: 1 }];
+        spec.proxies = vec![ProxySpec {
+            requests: 2000,
+            companions: 1,
+        }];
         let log = generate(&u, &spec);
         assert_eq!(log.truth.proxies.len(), 1);
         let proxy = u32::from(log.truth.proxies[0]);
@@ -447,6 +495,10 @@ mod tests {
         // Top 10 % of clients issue well over a third of requests.
         let top: u64 = v[..v.len() / 10].iter().sum();
         let all: u64 = v.iter().sum();
-        assert!(top as f64 / all as f64 > 0.35, "top share {}", top as f64 / all as f64);
+        assert!(
+            top as f64 / all as f64 > 0.35,
+            "top share {}",
+            top as f64 / all as f64
+        );
     }
 }

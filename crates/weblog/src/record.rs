@@ -86,12 +86,20 @@ impl Log {
 
     /// Number of distinct clients.
     pub fn client_count(&self) -> usize {
-        self.requests.iter().map(|r| r.client).collect::<BTreeSet<_>>().len()
+        self.requests
+            .iter()
+            .map(|r| r.client)
+            .collect::<BTreeSet<_>>()
+            .len()
     }
 
     /// Number of distinct URLs actually accessed (≤ `urls.len()`).
     pub fn accessed_url_count(&self) -> usize {
-        self.requests.iter().map(|r| r.url).collect::<BTreeSet<_>>().len()
+        self.requests
+            .iter()
+            .map(|r| r.url)
+            .collect::<BTreeSet<_>>()
+            .len()
     }
 
     /// Total bytes across all responses.
@@ -109,7 +117,10 @@ impl Log {
         for r in &self.requests {
             let idx = ((r.time / span).min(n - 1)) as usize;
             // Rebase times onto the session's own clock.
-            parts[idx].push(Request { time: r.time - idx as u32 * span, ..*r });
+            parts[idx].push(Request {
+                time: r.time - idx as u32 * span,
+                ..*r
+            });
         }
         parts
             .into_iter()
@@ -160,14 +171,48 @@ mod tests {
 
     fn tiny_log() -> Log {
         let urls = vec![
-            UrlMeta { path: "/a".into(), size: 100 },
-            UrlMeta { path: "/b".into(), size: 200 },
+            UrlMeta {
+                path: "/a".into(),
+                size: 100,
+            },
+            UrlMeta {
+                path: "/b".into(),
+                size: 200,
+            },
         ];
         let reqs = vec![
-            Request { time: 0, client: 1, url: 0, bytes: 100, status: 200, ua: 0 },
-            Request { time: 10, client: 2, url: 1, bytes: 200, status: 200, ua: 0 },
-            Request { time: 50, client: 1, url: 0, bytes: 100, status: 200, ua: 0 },
-            Request { time: 99, client: 3, url: 1, bytes: 200, status: 200, ua: 0 },
+            Request {
+                time: 0,
+                client: 1,
+                url: 0,
+                bytes: 100,
+                status: 200,
+                ua: 0,
+            },
+            Request {
+                time: 10,
+                client: 2,
+                url: 1,
+                bytes: 200,
+                status: 200,
+                ua: 0,
+            },
+            Request {
+                time: 50,
+                client: 1,
+                url: 0,
+                bytes: 100,
+                status: 200,
+                ua: 0,
+            },
+            Request {
+                time: 99,
+                client: 3,
+                url: 1,
+                bytes: 200,
+                status: 200,
+                ua: 0,
+            },
         ];
         Log {
             name: "tiny".into(),

@@ -93,7 +93,10 @@ impl LogSpec {
             casual_fraction: 0.5,
             diurnal: true,
             spiders: vec![],
-            proxies: vec![ProxySpec { requests: 77_311, companions: 0 }],
+            proxies: vec![ProxySpec {
+                requests: 77_311,
+                companions: 0,
+            }],
         }
     }
 
@@ -115,8 +118,15 @@ impl LogSpec {
             client_weight_alpha: 1.3,
             casual_fraction: 0.5,
             diurnal: true,
-            spiders: vec![SpiderSpec { requests: 692_453, unique_urls: 4_426, companions: 26 }],
-            proxies: vec![ProxySpec { requests: 323_867, companions: 1 }],
+            spiders: vec![SpiderSpec {
+                requests: 692_453,
+                unique_urls: 4_426,
+                companions: 26,
+            }],
+            proxies: vec![ProxySpec {
+                requests: 323_867,
+                companions: 1,
+            }],
         }
     }
 
@@ -136,8 +146,15 @@ impl LogSpec {
             client_weight_alpha: 1.3,
             casual_fraction: 0.5,
             diurnal: true,
-            spiders: vec![SpiderSpec { requests: 250_000, unique_urls: 20_000, companions: 5 }],
-            proxies: vec![ProxySpec { requests: 150_000, companions: 2 }],
+            spiders: vec![SpiderSpec {
+                requests: 250_000,
+                unique_urls: 20_000,
+                companions: 5,
+            }],
+            proxies: vec![ProxySpec {
+                requests: 150_000,
+                companions: 2,
+            }],
         }
     }
 
@@ -158,7 +175,10 @@ impl LogSpec {
             casual_fraction: 0.5,
             diurnal: true,
             spiders: vec![],
-            proxies: vec![ProxySpec { requests: 90_000, companions: 1 }],
+            proxies: vec![ProxySpec {
+                requests: 90_000,
+                companions: 1,
+            }],
         }
     }
 
@@ -206,7 +226,12 @@ impl LogSpec {
 
     /// The four paper presets, in the order Figure 6 plots them.
     pub fn paper_presets(seed: u64) -> Vec<LogSpec> {
-        vec![Self::apache(seed), Self::ew3(seed), Self::nagano(seed), Self::sun(seed)]
+        vec![
+            Self::apache(seed),
+            Self::ew3(seed),
+            Self::nagano(seed),
+            Self::sun(seed),
+        ]
     }
 }
 
@@ -240,8 +265,10 @@ mod tests {
 
     #[test]
     fn paper_presets_order() {
-        let names: Vec<String> =
-            LogSpec::paper_presets(1).into_iter().map(|s| s.name).collect();
+        let names: Vec<String> = LogSpec::paper_presets(1)
+            .into_iter()
+            .map(|s| s.name)
+            .collect();
         assert_eq!(names, ["apache", "ew3", "nagano", "sun"]);
     }
 

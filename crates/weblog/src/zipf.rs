@@ -51,7 +51,9 @@ impl ZipfSampler {
         let total = *self.cdf.last().expect("non-empty");
         let u = rng.gen_range(0.0..total);
         // First index with cdf[i] > u.
-        self.cdf.partition_point(|&c| c <= u).min(self.cdf.len() - 1)
+        self.cdf
+            .partition_point(|&c| c <= u)
+            .min(self.cdf.len() - 1)
     }
 
     /// The probability of rank `k` (for tests and analytics).
@@ -107,7 +109,11 @@ mod tests {
         assert!((0.11..0.16).contains(&p0), "p0 = {p0}");
         // Top 10 % of ranks take the majority of draws.
         let top: u64 = counts[..100].iter().sum();
-        assert!(top as f64 / n as f64 > 0.6, "top share {}", top as f64 / n as f64);
+        assert!(
+            top as f64 / n as f64 > 0.6,
+            "top share {}",
+            top as f64 / n as f64
+        );
     }
 
     #[test]

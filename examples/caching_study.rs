@@ -17,7 +17,10 @@ use netclust::weblog::clf;
 use netclust::weblog::{generate, LogSpec};
 
 fn main() {
-    let universe = Universe::generate(UniverseConfig { seed: 23, ..UniverseConfig::default() });
+    let universe = Universe::generate(UniverseConfig {
+        seed: 23,
+        ..UniverseConfig::default()
+    });
     let merged = standard_merged(&universe, 0);
     let mut spec = LogSpec::tiny("study", 29);
     spec.total_requests = 100_000;

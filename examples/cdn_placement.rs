@@ -16,7 +16,10 @@ use netclust::netgen::{standard_merged, Universe, UniverseConfig};
 use netclust::weblog::{generate, LogSpec};
 
 fn main() {
-    let universe = Universe::generate(UniverseConfig { seed: 11, ..UniverseConfig::default() });
+    let universe = Universe::generate(UniverseConfig {
+        seed: 11,
+        ..UniverseConfig::default()
+    });
     let merged = standard_merged(&universe, 0);
     let mut spec = LogSpec::tiny("cdn", 3);
     spec.total_requests = 120_000;

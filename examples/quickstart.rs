@@ -16,7 +16,10 @@ use netclust::weblog::{generate, LogSpec};
 fn main() {
     // 1. A synthetic Internet stands in for the real one: ASes, orgs,
     //    address allocations, DNS, router paths. Seeded → reproducible.
-    let universe = Universe::generate(UniverseConfig { seed: 42, ..UniverseConfig::default() });
+    let universe = Universe::generate(UniverseConfig {
+        seed: 42,
+        ..UniverseConfig::default()
+    });
     println!(
         "universe: {} ASes, {} orgs, {} active hosts",
         universe.ases().len(),
@@ -38,7 +41,11 @@ fn main() {
     spec.total_requests = 50_000;
     spec.target_clients = 1_500;
     let log = generate(&universe, &spec);
-    println!("log: {} requests from {} clients", log.requests.len(), log.client_count());
+    println!(
+        "log: {} requests from {} clients",
+        log.requests.len(),
+        log.client_count()
+    );
 
     // 4. Network-aware clustering: longest-prefix match per client.
     let clustering = Clustering::network_aware(&log, &merged);

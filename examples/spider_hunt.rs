@@ -11,24 +11,36 @@
 //! shows how the busy-cluster ranking changes.
 
 use netclust::core::{
-    detect, hourly_histogram, strip_clients, threshold_busy, AnomalyConfig, ClientClass,
-    Clustering,
+    detect, hourly_histogram, strip_clients, threshold_busy, AnomalyConfig, ClientClass, Clustering,
 };
 use netclust::netgen::{standard_merged, Universe, UniverseConfig};
 use netclust::weblog::{generate, LogSpec, ProxySpec, SpiderSpec};
 
 fn main() {
-    let universe = Universe::generate(UniverseConfig { seed: 5, ..UniverseConfig::default() });
+    let universe = Universe::generate(UniverseConfig {
+        seed: 5,
+        ..UniverseConfig::default()
+    });
     let merged = standard_merged(&universe, 0);
     let mut spec = LogSpec::tiny("hunt", 13);
     spec.total_requests = 150_000;
     spec.target_clients = 2_000;
-    spec.spiders = vec![SpiderSpec { requests: 30_000, unique_urls: 450, companions: 12 }];
-    spec.proxies = vec![ProxySpec { requests: 20_000, companions: 1 }];
+    spec.spiders = vec![SpiderSpec {
+        requests: 30_000,
+        unique_urls: 450,
+        companions: 12,
+    }];
+    spec.proxies = vec![ProxySpec {
+        requests: 20_000,
+        companions: 1,
+    }];
     let log = generate(&universe, &spec);
     let clustering = Clustering::network_aware(&log, &merged);
 
-    let config = AnomalyConfig { min_requests: 5_000, ..Default::default() };
+    let config = AnomalyConfig {
+        min_requests: 5_000,
+        ..Default::default()
+    };
     let detections = detect(&log, &clustering, &config);
     println!("flagged {} suspicious clients:", detections.len());
     for d in &detections {
@@ -44,7 +56,10 @@ fn main() {
             d.unique_uas
         );
     }
-    println!("planted: spider {:?}, proxy {:?}", log.truth.spiders, log.truth.proxies);
+    println!(
+        "planted: spider {:?}, proxy {:?}",
+        log.truth.spiders, log.truth.proxies
+    );
 
     // Show the tell-tale arrival shapes (compressed sparkline).
     let spark = |hist: &[u64]| -> String {
@@ -80,5 +95,7 @@ fn main() {
         after.busy.len(),
         after.threshold
     );
-    println!("clients in the same cluster as a spider would not benefit from a shared proxy (§4.1.1)");
+    println!(
+        "clients in the same cluster as a spider would not benefit from a shared proxy (§4.1.1)"
+    );
 }

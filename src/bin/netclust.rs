@@ -49,17 +49,25 @@ fn cmd_synth(args: &[String]) -> ExitCode {
         eprintln!("synth: --out DIR is required");
         return ExitCode::FAILURE;
     };
-    let seed: u64 = opt(args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(42);
-    let requests: u64 =
-        opt(args, "--requests").and_then(|s| s.parse().ok()).unwrap_or(100_000);
-    let clients: u64 = opt(args, "--clients").and_then(|s| s.parse().ok()).unwrap_or(2_000);
+    let seed: u64 = opt(args, "--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    let requests: u64 = opt(args, "--requests")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100_000);
+    let clients: u64 = opt(args, "--clients")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000);
 
     let out = PathBuf::from(out);
     if let Err(e) = fs::create_dir_all(&out) {
         eprintln!("synth: cannot create {}: {e}", out.display());
         return ExitCode::FAILURE;
     }
-    let universe = Universe::generate(UniverseConfig { seed, ..UniverseConfig::default() });
+    let universe = Universe::generate(UniverseConfig {
+        seed,
+        ..UniverseConfig::default()
+    });
     let mut spec = LogSpec::tiny("synth", seed);
     spec.total_requests = requests;
     spec.target_clients = clients;
@@ -69,7 +77,12 @@ fn cmd_synth(args: &[String]) -> ExitCode {
         eprintln!("synth: write failed: {e}");
         return ExitCode::FAILURE;
     }
-    println!("wrote {} ({} requests, {} clients)", log_path.display(), log.requests.len(), log.client_count());
+    println!(
+        "wrote {} ({} requests, {} clients)",
+        log_path.display(),
+        log.requests.len(),
+        log.client_count()
+    );
 
     for table in standard_collection(&universe, 0, 0) {
         let name = table.name.to_lowercase().replace(['&', '-'], "_");
@@ -78,24 +91,26 @@ fn cmd_synth(args: &[String]) -> ExitCode {
             TableKind::NetworkDump => "dump",
         };
         let path = out.join(format!("{name}.{ext}"));
-        let body: String =
-            table.prefixes().iter().map(|p| format!("{p}\n")).collect();
+        let body: String = table.prefixes().iter().map(|p| format!("{p}\n")).collect();
         if let Err(e) = fs::write(&path, body) {
             eprintln!("synth: write failed: {e}");
             return ExitCode::FAILURE;
         }
         println!("wrote {} ({} prefixes)", path.display(), table.len());
     }
-    println!("\ntry: netclust cluster --log {}/access.log --table {}/*.bgp --dump {}/*.dump",
-        out.display(), out.display(), out.display());
+    println!(
+        "\ntry: netclust cluster --log {}/access.log --table {}/*.bgp --dump {}/*.dump",
+        out.display(),
+        out.display(),
+        out.display()
+    );
     ExitCode::SUCCESS
 }
 
 fn read_tables(list: &str, kind: TableKind) -> Result<Vec<RoutingTable>, String> {
     let mut tables = Vec::new();
     for path in list.split(',').filter(|s| !s.is_empty()) {
-        let text =
-            fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         let (table, bad) = RoutingTable::parse(path, "file", kind, &text);
         if bad > 0 {
             eprintln!("note: {path}: skipped {bad} unparsable lines");
@@ -111,7 +126,9 @@ fn cmd_cluster(args: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     };
     let method = opt(args, "--method").unwrap_or("aware");
-    let top: usize = opt(args, "--top").and_then(|s| s.parse().ok()).unwrap_or(20);
+    let top: usize = opt(args, "--top")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
 
     let text = match fs::read_to_string(log_path) {
         Ok(t) => t,
@@ -187,7 +204,10 @@ fn cmd_cluster(args: &[String]) -> ExitCode {
         busy.threshold
     );
     let d = Distributions::of(&clustering);
-    println!("\n{:>20} {:>8} {:>10} {:>8}", "cluster", "clients", "requests", "URLs");
+    println!(
+        "\n{:>20} {:>8} {:>10} {:>8}",
+        "cluster", "clients", "requests", "URLs"
+    );
     for &idx in d.by_requests.iter().take(top) {
         let c = &clustering.clusters[idx];
         println!(

@@ -9,8 +9,11 @@ use netclust::weblog::{clf, generate, LogSpec};
 
 #[test]
 fn clf_roundtrip_preserves_analysis_results() {
-    let universe =
-        Universe::generate(UniverseConfig { seed: 31, num_ases: 80, ..UniverseConfig::default() });
+    let universe = Universe::generate(UniverseConfig {
+        seed: 31,
+        num_ases: 80,
+        ..UniverseConfig::default()
+    });
     let merged = standard_merged(&universe, 0);
     let mut spec = LogSpec::tiny("interop", 17);
     spec.total_requests = 15_000;
@@ -47,9 +50,7 @@ fn clf_roundtrip_preserves_analysis_results() {
     let r_orig = simulate(&original, &c_orig, &cfg);
     let r_parsed = simulate(&parsed, &c_parsed, &cfg);
     assert!((r_orig.server_hit_ratio() - r_parsed.server_hit_ratio()).abs() < 1e-12);
-    assert!(
-        (r_orig.server_byte_hit_ratio() - r_parsed.server_byte_hit_ratio()).abs() < 1e-12
-    );
+    assert!((r_orig.server_byte_hit_ratio() - r_parsed.server_byte_hit_ratio()).abs() < 1e-12);
 }
 
 #[test]
@@ -70,7 +71,10 @@ fn handcrafted_clf_runs_through_the_pipeline() {
         "T",
         "d0",
         TableKind::Bgp,
-        vec!["12.65.128.0/19".parse().unwrap(), "24.48.2.0/23".parse().unwrap()],
+        vec![
+            "12.65.128.0/19".parse().unwrap(),
+            "24.48.2.0/23".parse().unwrap(),
+        ],
     );
     let merged = MergedTable::merge([&table]);
     let clustering = Clustering::network_aware(&log, &merged);

@@ -25,7 +25,11 @@ fn synth_then_cluster_roundtrip() {
         .args(["--seed", "9", "--requests", "20000", "--clients", "600"])
         .output()
         .expect("run synth");
-    assert!(out.status.success(), "synth failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "synth failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let log = dir.join("access.log");
     assert!(log.exists());
     // 12 BGP tables + 2 dumps written.
@@ -60,13 +64,20 @@ fn synth_then_cluster_roundtrip() {
         .args(["--table", &tables, "--dump", &dump_list, "--top", "5"])
         .output()
         .expect("run cluster");
-    assert!(out.status.success(), "cluster failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "cluster failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("merged table:"), "{stdout}");
     assert!(stdout.contains("clusters"), "{stdout}");
     assert!(stdout.contains("busy clusters covering 70%"), "{stdout}");
     // The top-cluster table prints CIDR prefixes.
-    assert!(stdout.lines().any(|l| l.contains('/') && l.contains('.')), "{stdout}");
+    assert!(
+        stdout.lines().any(|l| l.contains('/') && l.contains('.')),
+        "{stdout}"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -97,7 +108,13 @@ fn bad_usage_fails_cleanly() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
     let out = Command::new(bin())
-        .args(["cluster", "--log", "/nonexistent/file.log", "--method", "simple"])
+        .args([
+            "cluster",
+            "--log",
+            "/nonexistent/file.log",
+            "--method",
+            "simple",
+        ])
         .output()
         .expect("run with missing file");
     assert!(!out.status.success());

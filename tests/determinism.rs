@@ -7,8 +7,11 @@ use netclust::netgen::{snapshot, standard_merged, Universe, UniverseConfig, Vant
 use netclust::weblog::{generate, LogSpec};
 
 fn build() -> (Universe, netclust::weblog::Log) {
-    let universe =
-        Universe::generate(UniverseConfig { seed: 7777, num_ases: 80, ..UniverseConfig::default() });
+    let universe = Universe::generate(UniverseConfig {
+        seed: 7777,
+        num_ases: 80,
+        ..UniverseConfig::default()
+    });
     let mut spec = LogSpec::tiny("det", 3);
     spec.total_requests = 20_000;
     spec.target_clients = 600;
@@ -65,8 +68,16 @@ fn clustering_and_validation_are_reproducible() {
 
 #[test]
 fn different_seeds_differ() {
-    let u1 = Universe::generate(UniverseConfig { seed: 1, num_ases: 60, ..UniverseConfig::default() });
-    let u2 = Universe::generate(UniverseConfig { seed: 2, num_ases: 60, ..UniverseConfig::default() });
+    let u1 = Universe::generate(UniverseConfig {
+        seed: 1,
+        num_ases: 60,
+        ..UniverseConfig::default()
+    });
+    let u2 = Universe::generate(UniverseConfig {
+        seed: 2,
+        num_ases: 60,
+        ..UniverseConfig::default()
+    });
     let nets1: Vec<_> = u1.orgs().iter().map(|o| o.network).take(50).collect();
     let nets2: Vec<_> = u2.orgs().iter().map(|o| o.network).take(50).collect();
     assert_ne!(nets1, nets2);

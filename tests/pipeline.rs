@@ -11,7 +11,11 @@ use netclust::netgen::{standard_merged, Universe, UniverseConfig};
 use netclust::weblog::{generate, LogSpec, ProxySpec, SpiderSpec};
 
 fn universe() -> Universe {
-    Universe::generate(UniverseConfig { seed: 0xE2E, num_ases: 120, ..UniverseConfig::default() })
+    Universe::generate(UniverseConfig {
+        seed: 0xE2E,
+        num_ases: 120,
+        ..UniverseConfig::default()
+    })
 }
 
 #[test]
@@ -23,45 +27,93 @@ fn full_pipeline_reproduces_paper_shapes() {
     let mut spec = LogSpec::tiny("e2e", 99);
     spec.total_requests = 80_000;
     spec.target_clients = 1_200;
-    spec.spiders = vec![SpiderSpec { requests: 15_000, unique_urls: 300, companions: 8 }];
-    spec.proxies = vec![ProxySpec { requests: 10_000, companions: 1 }];
+    spec.spiders = vec![SpiderSpec {
+        requests: 15_000,
+        unique_urls: 300,
+        companions: 8,
+    }];
+    spec.proxies = vec![ProxySpec {
+        requests: 10_000,
+        companions: 1,
+    }];
     let log = generate(&universe, &spec);
     log.check().expect("generated log is well-formed");
 
     // §3.2: clustering coverage ~99.9%.
     let clustering = Clustering::network_aware(&log, &merged);
-    assert!(clustering.coverage() > 0.99, "coverage {}", clustering.coverage());
-    assert!(clustering.len() < clustering.client_count(), "clusters < clients");
+    assert!(
+        clustering.coverage() > 0.99,
+        "coverage {}",
+        clustering.coverage()
+    );
+    assert!(
+        clustering.len() < clustering.client_count(),
+        "clusters < clients"
+    );
 
     // §2 vs §3: the simple approach fragments orgs.
     let simple = Clustering::simple24(&log);
-    assert!(simple.len() > clustering.len(), "{} vs {}", simple.len(), clustering.len());
+    assert!(
+        simple.len() > clustering.len(),
+        "{} vs {}",
+        simple.len(),
+        clustering.len()
+    );
 
     // §3.3: validation passes for most clusters, traceroute reaches all.
-    let report = validate(&universe, &clustering, &SamplePlan { fraction: 0.3, ..Default::default() });
-    assert!(report.nslookup_pass_rate() > 0.85, "{}", report.nslookup_pass_rate());
-    assert!(report.traceroute_pass_rate() > 0.85, "{}", report.traceroute_pass_rate());
+    let report = validate(
+        &universe,
+        &clustering,
+        &SamplePlan {
+            fraction: 0.3,
+            ..Default::default()
+        },
+    );
+    assert!(
+        report.nslookup_pass_rate() > 0.85,
+        "{}",
+        report.nslookup_pass_rate()
+    );
+    assert!(
+        report.traceroute_pass_rate() > 0.85,
+        "{}",
+        report.traceroute_pass_rate()
+    );
     assert_eq!(report.traceroute.reachable_clients, report.sampled_clients);
     // The /24 rule passes at most ~60% (Fig 1: only half the prefixes are /24).
-    assert!(report.simple_pass_rate() < 0.75, "{}", report.simple_pass_rate());
+    assert!(
+        report.simple_pass_rate() < 0.75,
+        "{}",
+        report.simple_pass_rate()
+    );
 
     // §3.5: self-correction keeps every client and improves purity.
     let correction = self_correct(&universe, &log, &clustering, &CorrectionConfig::default());
-    assert_eq!(correction.clustering.client_count(), clustering.client_count());
-    assert!(correction.clustering.unclustered.is_empty());
-    assert!(
-        org_purity(&universe, &correction.clustering) >= org_purity(&universe, &clustering)
+    assert_eq!(
+        correction.clustering.client_count(),
+        clustering.client_count()
     );
+    assert!(correction.clustering.unclustered.is_empty());
+    assert!(org_purity(&universe, &correction.clustering) >= org_purity(&universe, &clustering));
 
     // §4.1.2: the planted anomalies are found...
     let detections = detect(
         &log,
         &clustering,
-        &AnomalyConfig { min_requests: 4_000, ..Default::default() },
+        &AnomalyConfig {
+            min_requests: 4_000,
+            ..Default::default()
+        },
     );
     let found: Vec<_> = detections.iter().map(|d| d.addr).collect();
-    assert!(found.contains(&log.truth.spiders[0]), "spider missed: {detections:?}");
-    assert!(found.contains(&log.truth.proxies[0]), "proxy missed: {detections:?}");
+    assert!(
+        found.contains(&log.truth.spiders[0]),
+        "spider missed: {detections:?}"
+    );
+    assert!(
+        found.contains(&log.truth.proxies[0]),
+        "proxy missed: {detections:?}"
+    );
 
     // ...and stripped before thresholding (§4.1.3).
     let cleaned = strip_clients(&log, &found);
