@@ -8,7 +8,7 @@
 
 use std::collections::BTreeSet;
 
-use criterion::{BenchmarkId, Criterion, Throughput};
+use criterion::{quick_mode, BenchmarkId, Criterion, Throughput};
 use netclust_core::Clustering;
 use netclust_prefix::Ipv4Net;
 use netclust_rtable::{Handle, MergedTable, RoutingTable, TableKind};
@@ -95,9 +95,16 @@ fn json_escape_free(id: &str) -> String {
 
 fn main() {
     let mut c = Criterion::default().configure_from_args();
+    // Quick mode (CI smoke): shrink workloads so the whole bench runs in
+    // seconds; the JSON then carries "quick": true and is not meaningful.
+    let (n_prefixes_synth, n_probes, n_requests, n_clients) = if quick_mode() {
+        (8_000, 20_000, 60_000, 6_000)
+    } else {
+        (110_000, 100_000, 400_000, 40_000)
+    };
 
     // ≥100k-prefix merged table: 92% BGP tier, 8% registry-dump tier.
-    let prefixes = synth_prefixes(110_000, 0xF1A7);
+    let prefixes = synth_prefixes(n_prefixes_synth, 0xF1A7);
     let split = prefixes.len() * 92 / 100;
     let bgp = RoutingTable::new(
         "SYNTH-BGP",
@@ -113,7 +120,7 @@ fn main() {
     );
     let merged = MergedTable::merge([&bgp, &dump]);
     let compiled = merged.compile();
-    let probes = synth_probes(&prefixes, 100_000, 0x9A0B);
+    let probes = synth_probes(&prefixes, n_probes, 0x9A0B);
     let n_prefixes = merged.len();
 
     let mut group = c.benchmark_group("flat_lpm");
@@ -150,17 +157,30 @@ fn main() {
     });
     group.finish();
 
-    // Clustering: serial vs sharded-parallel over one log, compiled LPM.
-    let log = synth_log(&prefixes, 400_000, 40_000, 0xC10C);
+    // Clustering: serial vs parallel over one log, compiled LPM.
+    // "parallel" is the dispatching entry point (delegates to serial on a
+    // single-threaded pool, so it never loses); "parallel_forced" pins
+    // the sharded machinery to expose its raw overhead/win.
+    let log = synth_log(&prefixes, n_requests, n_clients, 0xC10C);
     let assign = |a: std::net::Ipv4Addr| compiled.net_for_u32(u32::from(a));
     let mut group = c.benchmark_group("clustering");
     group.throughput(Throughput::Elements(log.requests.len() as u64));
-    group.bench_function(BenchmarkId::new("serial", log.requests.len()), |b| {
-        b.iter(|| Clustering::build_serial(&log, "bench", assign).len())
-    });
-    group.bench_function(BenchmarkId::new("parallel", log.requests.len()), |b| {
-        b.iter(|| Clustering::build_parallel(&log, "bench", assign).len())
-    });
+    // Serial and the dispatcher are measured as an interleaved pair: on a
+    // single-threaded host the dispatcher delegates to the very same
+    // serial build, so any gap between separate measurement windows is
+    // host noise charged to one side — which would read as a phantom
+    // dispatch cost (or win). Interleaving samples both in the same
+    // window.
+    group.bench_pair(
+        BenchmarkId::new("serial", log.requests.len()),
+        || Clustering::build_serial(&log, "bench", assign).len(),
+        BenchmarkId::new("parallel", log.requests.len()),
+        || Clustering::build_parallel(&log, "bench", assign).len(),
+    );
+    group.bench_function(
+        BenchmarkId::new("parallel_forced", log.requests.len()),
+        |b| b.iter(|| Clustering::build_sharded(&log, "bench", assign).len()),
+    );
     group.bench_function(
         BenchmarkId::new("network_aware_compiled", log.requests.len()),
         |b| b.iter(|| Clustering::network_aware_compiled(&log, &compiled).len()),
@@ -212,8 +232,13 @@ fn main() {
     ));
     json.push_str(&format!(
         "  \"parallel_requests_per_sec\": {:.1},\n",
-        rate("clustering/parallel")
+        rate("clustering/parallel/")
     ));
+    json.push_str(&format!(
+        "  \"parallel_forced_requests_per_sec\": {:.1},\n",
+        rate("clustering/parallel_forced")
+    ));
+    json.push_str(&format!("  \"quick\": {},\n", quick_mode()));
     json.push_str(&format!("  \"compiled_over_trie_speedup\": {speedup:.2}\n"));
     json.push_str("}\n");
 

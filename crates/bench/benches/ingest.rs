@@ -1,0 +1,206 @@
+//! End-to-end ingest throughput: raw Common Log Format bytes in,
+//! clusters out, at production scale.
+//!
+//! Compares the classic route — `clf::from_clf` builds a `Log` (per-line
+//! `String` splits, interned paths/agents), then
+//! `Clustering::network_aware_compiled` clusters it — against the fused
+//! zero-copy pipeline (`IngestPipeline`: chunked byte parsing straight
+//! into sharded per-client accumulators and batch LPM). Parse-only
+//! stages are measured separately to show where the time goes.
+//!
+//! Results are persisted machine-readably to `BENCH_ingest.json` at the
+//! repo root with both end-to-end numbers and their ratio — the
+//! headline fused-over-baseline speedup.
+
+use std::collections::BTreeSet;
+
+use criterion::{quick_mode, BenchmarkId, Criterion, Throughput};
+use netclust_core::{Clustering, IngestPipeline};
+use netclust_prefix::Ipv4Net;
+use netclust_rtable::{MergedTable, RoutingTable, TableKind};
+use netclust_weblog::{clf, clf_bytes, Log, LogTruth, Request, UrlMeta};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Synthesizes `n` unique prefixes with a BGP-like length mix (same
+/// model as the flat_lpm bench).
+fn synth_prefixes(n: usize, seed: u64) -> Vec<Ipv4Net> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut set: BTreeSet<Ipv4Net> = BTreeSet::new();
+    while set.len() < n {
+        let roll: u32 = rng.gen_range(0..100);
+        let len: u8 = if roll < 55 {
+            24
+        } else if roll < 85 {
+            rng.gen_range(16..=23)
+        } else if roll < 95 {
+            rng.gen_range(25..=28)
+        } else {
+            rng.gen_range(8..=15)
+        };
+        set.insert(Ipv4Net::new(rng.gen::<u32>(), len).expect("len <= 32"));
+    }
+    set.into_iter().collect()
+}
+
+/// A synthetic access log whose clients live inside the table's prefixes.
+fn synth_log(prefixes: &[Ipv4Net], requests: usize, clients: usize, seed: u64) -> Log {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let client_addrs: Vec<u32> = (0..clients)
+        .map(|_| {
+            let net = prefixes[rng.gen_range(0..prefixes.len())];
+            net.addr_u32() | (rng.gen::<u32>() & !net.netmask_u32())
+        })
+        .collect();
+    let n_urls = 2_000u32;
+    let requests: Vec<Request> = (0..requests)
+        .map(|i| Request {
+            time: i as u32,
+            client: client_addrs[rng.gen_range(0..client_addrs.len())],
+            url: rng.gen_range(0..n_urls),
+            bytes: rng.gen_range(200..20_000),
+            status: 200,
+            ua: 0,
+        })
+        .collect();
+    Log {
+        name: "ingest-bench".into(),
+        requests,
+        urls: (0..n_urls)
+            .map(|i| UrlMeta {
+                path: format!("/docs/section-{}/page-{i}.html", i % 37),
+                size: 4_096,
+            })
+            .collect(),
+        user_agents: vec!["Mozilla/4.0 (compatible; MSIE 5.0; Windows 98)".into()],
+        start_time: 887_328_000,
+        duration_s: u32::MAX,
+        truth: LogTruth::default(),
+    }
+}
+
+fn main() {
+    let mut c = Criterion::default().configure_from_args();
+    let (n_prefixes_synth, n_requests, n_clients) = if quick_mode() {
+        (8_000, 50_000, 5_000)
+    } else {
+        (110_000, 500_000, 40_000)
+    };
+
+    let prefixes = synth_prefixes(n_prefixes_synth, 0xF1A7);
+    let split = prefixes.len() * 92 / 100;
+    let bgp = RoutingTable::new(
+        "SYNTH-BGP",
+        "d0",
+        TableKind::Bgp,
+        prefixes[..split].to_vec(),
+    );
+    let dump = RoutingTable::new(
+        "SYNTH-ARIN",
+        "d0",
+        TableKind::NetworkDump,
+        prefixes[split..].to_vec(),
+    );
+    let merged = MergedTable::merge([&bgp, &dump]);
+    let compiled = merged.compile();
+
+    // The corpus: a generated log serialized to CLF once; every bench
+    // consumes the same bytes.
+    let log = synth_log(&prefixes, n_requests, n_clients, 0xC10C);
+    let corpus = clf::to_clf(&log);
+    let bytes = corpus.as_bytes();
+    let lines = corpus.lines().count();
+    println!(
+        "corpus: {} lines, {:.1} MiB, {} table prefixes\n",
+        lines,
+        bytes.len() as f64 / (1024.0 * 1024.0),
+        merged.len()
+    );
+
+    let mut group = c.benchmark_group("ingest");
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+
+    // Baseline (the pre-existing route, String parse then clustering) vs
+    // the fused pipeline, measured as an interleaved pair: the persisted
+    // speedup is their ratio, and separate measurement windows would
+    // charge any within-process clock drift entirely to the later bench.
+    let pipeline = IngestPipeline::new(&compiled);
+    group.bench_pair(
+        BenchmarkId::new("baseline_string", lines),
+        || {
+            let (log, _) = clf::from_clf("bench", &corpus);
+            Clustering::network_aware_compiled(&log, &compiled).len()
+        },
+        BenchmarkId::new("fused", lines),
+        || pipeline.run(bytes).clustering.len(),
+    );
+    // Parse-only stages, to locate the cost.
+    group.bench_function(BenchmarkId::new("parse_only_string", lines), |b| {
+        b.iter(|| clf::from_clf("bench", &corpus).0.requests.len())
+    });
+    group.bench_function(BenchmarkId::new("parse_only_bytes", lines), |b| {
+        b.iter(|| clf_bytes::from_clf_bytes("bench", bytes).0.requests.len())
+    });
+    // The fused pipeline without unique-URL tracking.
+    let pipeline_no_urls = IngestPipeline::new(&compiled).url_stats(false);
+    group.bench_function(BenchmarkId::new("fused_no_urls", lines), |b| {
+        b.iter(|| pipeline_no_urls.run(bytes).clustering.len())
+    });
+    group.finish();
+
+    // Sanity: the fused route reproduces the baseline clustering.
+    {
+        let (blog, berrs) = clf::from_clf("bench", &corpus);
+        let expect = Clustering::network_aware_compiled(&blog, &compiled);
+        let report = pipeline.run(bytes);
+        assert!(berrs.is_empty() && report.errors.is_empty());
+        assert_eq!(report.clustering.len(), expect.len());
+        assert_eq!(report.clustering.total_requests, expect.total_requests);
+    }
+
+    // Persist machine-readable results.
+    let results = c.take_results();
+    let rate = |needle: &str| {
+        results
+            .iter()
+            .find(|r| r.id.contains(needle))
+            .and_then(|r| r.per_second())
+            .unwrap_or(f64::NAN)
+    };
+    let baseline = rate("ingest/baseline_string");
+    let fused = rate("ingest/fused/");
+    let speedup = fused / baseline;
+
+    let mut json = String::from("{\n  \"benchmarks\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"id\": \"{}\", \"ns_per_iter\": {:.1}, \"per_second\": {}}}{}\n",
+            r.id,
+            r.ns_per_iter,
+            r.per_second().map_or("null".into(), |p| format!("{p:.1}")),
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ],\n");
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    json.push_str(&format!("  \"host_threads\": {threads},\n"));
+    json.push_str(&format!("  \"corpus_bytes\": {},\n", bytes.len()));
+    json.push_str(&format!("  \"corpus_lines\": {lines},\n"));
+    json.push_str(&format!("  \"table_prefixes\": {},\n", merged.len()));
+    json.push_str(&format!("  \"baseline_bytes_per_sec\": {baseline:.1},\n"));
+    json.push_str(&format!("  \"fused_bytes_per_sec\": {fused:.1},\n"));
+    json.push_str(&format!(
+        "  \"fused_no_urls_bytes_per_sec\": {:.1},\n",
+        rate("ingest/fused_no_urls")
+    ));
+    json.push_str(&format!("  \"quick\": {},\n", quick_mode()));
+    json.push_str(&format!(
+        "  \"fused_over_baseline_speedup\": {speedup:.2}\n"
+    ));
+    json.push_str("}\n");
+
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ingest.json");
+    std::fs::write(out, &json).expect("write BENCH_ingest.json");
+    println!("\nfused-over-baseline speedup: {speedup:.2}x");
+    println!("wrote {out}");
+}

@@ -13,8 +13,9 @@
 //! paper reports ≈0.1 % of clients — and kept separately for the
 //! self-correction stage to absorb (§3.5).
 
-use std::collections::HashMap;
 use std::net::Ipv4Addr;
+
+use crate::fx::FxHashMap;
 
 use netclust_prefix::{classful_network, Ipv4Net};
 use netclust_rtable::{CompiledMerged, MergedTable};
@@ -26,17 +27,26 @@ use rayon::prelude::*;
 const PARALLEL_MIN_REQUESTS: usize = 1 << 15;
 
 /// Per-thread chunk granularity for request-sharded aggregation.
-const REQUEST_CHUNK: usize = 1 << 14;
+pub(crate) const REQUEST_CHUNK: usize = 1 << 14;
 
 /// Per-thread chunk granularity for client-sharded LPM assignment.
-const CLIENT_CHUNK: usize = 1 << 12;
+pub(crate) const CLIENT_CHUNK: usize = 1 << 12;
 
 /// Number of address-range partitions for parallel shard merging — a
 /// power of two so the partition of a client is its top address bits.
-fn merge_partitions() -> usize {
+pub(crate) fn merge_partitions() -> usize {
     (rayon::current_num_threads() * 2)
         .next_power_of_two()
         .clamp(4, 64)
+}
+
+/// `true` when a log of `requests` requests should take the sharded
+/// path: more than one worker thread, and enough work that every thread
+/// gets several chunks — below that, shard bookkeeping costs more than
+/// it buys and serial wins.
+pub(crate) fn should_shard(requests: usize) -> bool {
+    let threads = rayon::current_num_threads();
+    threads > 1 && requests >= PARALLEL_MIN_REQUESTS.max(threads * REQUEST_CHUNK / 2)
 }
 
 /// Per-client aggregates inside a cluster.
@@ -96,7 +106,7 @@ pub struct Clustering {
     /// Total requests in the log (clustered + unclustered).
     pub total_requests: u64,
     /// Client address → index into `clusters`.
-    index: HashMap<u32, u32>,
+    index: FxHashMap<u32, u32>,
 }
 
 impl Clustering {
@@ -113,8 +123,8 @@ impl Clustering {
     where
         F: Fn(Ipv4Addr) -> Option<Ipv4Net> + Sync,
     {
-        if log.requests.len() >= PARALLEL_MIN_REQUESTS && rayon::current_num_threads() > 1 {
-            Self::build_parallel(log, method, assign)
+        if should_shard(log.requests.len()) {
+            Self::build_sharded(log, method, assign)
         } else {
             Self::build_serial(log, method, assign)
         }
@@ -131,11 +141,28 @@ impl Clustering {
         Self::assemble(log, method, clients, assignments, false)
     }
 
+    /// Multi-threaded [`build`](Self::build). On a single-threaded pool
+    /// this delegates to [`build_serial`](Self::build_serial) — sharding
+    /// there is pure overhead and can only lose — so `build_parallel` is
+    /// never slower than the serial path. Use
+    /// [`build_sharded`](Self::build_sharded) to force sharding.
+    pub fn build_parallel<F>(log: &Log, method: impl Into<String>, assign: F) -> Self
+    where
+        F: Fn(Ipv4Addr) -> Option<Ipv4Net> + Sync,
+    {
+        if rayon::current_num_threads() <= 1 {
+            Self::build_serial(log, method, assign)
+        } else {
+            Self::build_sharded(log, method, assign)
+        }
+    }
+
     /// Sharded [`build`](Self::build): requests are aggregated per client
     /// in per-chunk shards merged at the end, and cluster assignment fans
-    /// out across threads. Final ordering is deterministic (see
-    /// [`build`](Self::build)).
-    pub fn build_parallel<F>(log: &Log, method: impl Into<String>, assign: F) -> Self
+    /// out across threads — unconditionally, regardless of pool size (the
+    /// determinism tests and benches pin the strategy this way). Final
+    /// ordering is deterministic (see [`build`](Self::build)).
+    pub fn build_sharded<F>(log: &Log, method: impl Into<String>, assign: F) -> Self
     where
         F: Fn(Ipv4Addr) -> Option<Ipv4Net> + Sync,
     {
@@ -160,8 +187,26 @@ impl Clustering {
         assignments: Vec<Option<Ipv4Net>>,
         parallel: bool,
     ) -> Self {
+        let mut out =
+            Self::from_assignments(method, clients, assignments, log.requests.len() as u64);
+        out.fill_unique_urls(log, parallel);
+        out
+    }
+
+    /// Materializes the final structure from address-sorted per-client
+    /// stats and their prefix assignments (`clients[i]` pairs with
+    /// `assignments[i]`): clusters sorted by prefix, member/unclustered
+    /// lists in client order, `unique_urls` left at 0 for the caller to
+    /// fill. This is the shared tail of the log build paths and the fused
+    /// ingest pipeline.
+    pub(crate) fn from_assignments(
+        method: impl Into<String>,
+        clients: Vec<ClientStats>,
+        assignments: Vec<Option<Ipv4Net>>,
+        total_requests: u64,
+    ) -> Self {
         debug_assert_eq!(clients.len(), assignments.len());
-        let mut by_prefix: HashMap<Ipv4Net, Vec<ClientStats>> = HashMap::new();
+        let mut by_prefix: FxHashMap<Ipv4Net, Vec<ClientStats>> = FxHashMap::default();
         let mut unclustered = Vec::new();
         for (stats, prefix) in clients.iter().zip(&assignments) {
             match prefix {
@@ -176,7 +221,7 @@ impl Clustering {
         let mut prefixes: Vec<Ipv4Net> = by_prefix.keys().copied().collect();
         prefixes.sort();
         let mut clusters = Vec::with_capacity(prefixes.len());
-        let mut index = HashMap::with_capacity(clients.len());
+        let mut index = FxHashMap::with_capacity_and_hasher(clients.len(), Default::default());
         for prefix in prefixes {
             let clients = by_prefix.remove(&prefix).expect("key exists");
             let requests = clients.iter().map(|c| c.requests).sum();
@@ -194,8 +239,19 @@ impl Clustering {
             });
         }
 
-        // Unique URLs per cluster via sort-dedup over (cluster, url) pairs —
-        // bounded memory even for multi-million-request logs.
+        Clustering {
+            method: method.into(),
+            clusters,
+            unclustered,
+            total_requests,
+            index,
+        }
+    }
+
+    /// Fills per-cluster `unique_urls` via sort-dedup over (cluster, url)
+    /// pairs — bounded memory even for multi-million-request logs.
+    fn fill_unique_urls(&mut self, log: &Log, parallel: bool) {
+        let index = &self.index;
         let mut pairs: Vec<(u32, u32)> = if parallel {
             log.requests
                 .par_chunks(REQUEST_CHUNK)
@@ -218,15 +274,7 @@ impl Clustering {
         pairs.sort_unstable();
         pairs.dedup();
         for (idx, _) in pairs {
-            clusters[idx as usize].unique_urls += 1;
-        }
-
-        Clustering {
-            method: method.into(),
-            clusters,
-            unclustered,
-            total_requests: log.requests.len() as u64,
-            index,
+            self.clusters[idx as usize].unique_urls += 1;
         }
     }
 
@@ -241,7 +289,7 @@ impl Clustering {
     where
         F: Fn(Ipv4Addr) -> Option<Ipv4Net>,
     {
-        let mut by_prefix: HashMap<Ipv4Net, Vec<ClientStats>> = HashMap::new();
+        let mut by_prefix: FxHashMap<Ipv4Net, Vec<ClientStats>> = FxHashMap::default();
         let mut unclustered = Vec::new();
         let mut total_requests = 0u64;
         for &(addr, requests, bytes) in counts {
@@ -260,7 +308,7 @@ impl Clustering {
         let mut prefixes: Vec<Ipv4Net> = by_prefix.keys().copied().collect();
         prefixes.sort();
         let mut clusters = Vec::with_capacity(prefixes.len());
-        let mut index = HashMap::new();
+        let mut index = FxHashMap::default();
         for prefix in prefixes {
             let mut clients = by_prefix.remove(&prefix).expect("key exists");
             clients.sort_by_key(|c| c.addr);
@@ -302,8 +350,7 @@ impl Clustering {
     /// table: per-client aggregation shards across threads, then clients
     /// are assigned in batch LPM sweeps over the flat table.
     pub fn network_aware_compiled(log: &Log, table: &CompiledMerged) -> Self {
-        let parallel =
-            log.requests.len() >= PARALLEL_MIN_REQUESTS && rayon::current_num_threads() > 1;
+        let parallel = should_shard(log.requests.len());
         let clients = if parallel {
             aggregate_parallel(log)
         } else {
@@ -349,9 +396,13 @@ impl Clustering {
 
     /// The cluster containing `addr`, if it was clustered.
     pub fn cluster_of(&self, addr: Ipv4Addr) -> Option<&Cluster> {
-        self.index
-            .get(&u32::from(addr))
-            .map(|&i| &self.clusters[i as usize])
+        self.cluster_index(addr).map(|i| &self.clusters[i])
+    }
+
+    /// Index into [`clusters`](Self::clusters) of the cluster containing
+    /// `addr`, if it was clustered.
+    pub fn cluster_index(&self, addr: Ipv4Addr) -> Option<usize> {
+        self.index.get(&u32::from(addr)).map(|&i| i as usize)
     }
 
     /// Total clients (clustered + unclustered).
@@ -383,7 +434,7 @@ impl Clustering {
 /// Per-client aggregation, single-threaded: one hash-map pass over the
 /// requests, collected sorted by client address.
 fn aggregate_serial(log: &Log) -> Vec<ClientStats> {
-    let mut per_client: HashMap<u32, (u64, u64)> = HashMap::new();
+    let mut per_client: FxHashMap<u32, (u64, u64)> = FxHashMap::default();
     for r in &log.requests {
         let e = per_client.entry(r.client).or_insert((0, 0));
         e.0 += 1;
@@ -400,11 +451,11 @@ fn aggregate_serial(log: &Log) -> Vec<ClientStats> {
 fn aggregate_parallel(log: &Log) -> Vec<ClientStats> {
     let n_parts = merge_partitions();
     let shift = 32 - n_parts.trailing_zeros();
-    let shards: Vec<Vec<HashMap<u32, (u64, u64)>>> = log
+    let shards: Vec<Vec<FxHashMap<u32, (u64, u64)>>> = log
         .requests
         .par_chunks(REQUEST_CHUNK)
         .map(|chunk| {
-            let mut local: Vec<HashMap<u32, (u64, u64)>> = vec![HashMap::new(); n_parts];
+            let mut local: Vec<FxHashMap<u32, (u64, u64)>> = vec![FxHashMap::default(); n_parts];
             for r in chunk {
                 let e = local[(r.client >> shift) as usize]
                     .entry(r.client)
@@ -419,7 +470,7 @@ fn aggregate_parallel(log: &Log) -> Vec<ClientStats> {
     let merged: Vec<Vec<ClientStats>> = parts
         .par_iter()
         .map(|&p| {
-            let mut per_client: HashMap<u32, (u64, u64)> = HashMap::new();
+            let mut per_client: FxHashMap<u32, (u64, u64)> = FxHashMap::default();
             for shard in &shards {
                 for (&client, &(requests, bytes)) in &shard[p] {
                     let e = per_client.entry(client).or_insert((0, 0));
@@ -444,7 +495,7 @@ fn aggregate_parallel(log: &Log) -> Vec<ClientStats> {
     merged.into_iter().flatten().collect()
 }
 
-fn finish_aggregation(per_client: HashMap<u32, (u64, u64)>) -> Vec<ClientStats> {
+pub(crate) fn finish_aggregation(per_client: FxHashMap<u32, (u64, u64)>) -> Vec<ClientStats> {
     let mut clients: Vec<ClientStats> = per_client
         .into_iter()
         .map(|(client, (requests, bytes))| ClientStats {
@@ -657,7 +708,9 @@ mod tests {
 
         let assign = |a: Ipv4Addr| compiled.net_for_u32(u32::from(a));
         let serial = Clustering::build_serial(&log, "m", assign);
-        let parallel = Clustering::build_parallel(&log, "m", assign);
+        // Force sharding so the parallel machinery is exercised even on a
+        // single-threaded pool (where build_parallel delegates to serial).
+        let parallel = Clustering::build_sharded(&log, "m", assign);
 
         // Byte-identical orderings: same clusters in the same order, each
         // with identical member lists, and the same unclustered list.
@@ -676,6 +729,9 @@ mod tests {
         let auto = Clustering::build(&log, "m", assign);
         assert_eq!(auto.unclustered, serial.unclustered);
         assert_eq!(auto.clusters.len(), serial.clusters.len());
+        let par = Clustering::build_parallel(&log, "m", assign);
+        assert_eq!(par.unclustered, serial.unclustered);
+        assert_eq!(par.clusters.len(), serial.clusters.len());
         let aware = Clustering::network_aware_compiled(&log, &compiled);
         assert_eq!(aware.clusters.len(), serial.clusters.len());
         for (a, s) in aware.clusters.iter().zip(&serial.clusters) {

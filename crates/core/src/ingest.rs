@@ -1,0 +1,616 @@
+//! Fused zero-copy log ingest: bytes in, clusters out.
+//!
+//! The classic route from a Common Log Format file to a [`Clustering`]
+//! materializes an intermediate `Log` — every line becomes a `String`
+//! split, every path and user agent an interned allocation — before the
+//! clustering pass re-aggregates it all per client. For the multi-million
+//! line logs of the paper's evaluation that intermediate costs more than
+//! the clustering itself.
+//!
+//! [`IngestPipeline`] fuses the stages instead:
+//!
+//! 1. the input buffer (ideally an `mmap`'d file, see
+//!    [`chunk::LogData`]) is cut into line-aligned chunks
+//!    ([`chunk::split_lines`]),
+//! 2. each chunk is scanned by the zero-copy byte parser
+//!    ([`clf_bytes::records_no_ua`]) straight into per-client
+//!    accumulators — sharded by address range when parallel, one global
+//!    accumulator when serial — no `Log`, no per-line allocation; paths
+//!    intern to dense ids as borrowed `&[u8]` slices of the input,
+//! 3. the address-range shards merge into one address-sorted client
+//!    list, batch longest-prefix matching assigns clusters over the
+//!    compiled table, and the standard assembly produces a [`Clustering`]
+//!    byte-identical to the `from_clf` → `network_aware_compiled` route.
+//!
+//! Determinism matches the batch paths: chunk outputs merge per address
+//! partition (summation commutes) and concatenate in address order, and
+//! parse errors are reported with buffer-global line numbers in line
+//! order, so the result is independent of thread count and scheduling.
+
+use std::io;
+use std::net::Ipv4Addr;
+use std::path::Path;
+
+use netclust_prefix::Ipv4Net;
+use netclust_rtable::CompiledMerged;
+use netclust_weblog::chunk::{self, Chunk, LogData};
+use netclust_weblog::clf::ClfError;
+use netclust_weblog::clf_bytes;
+use rayon::prelude::*;
+
+use crate::cluster::{self, ClientStats, Clustering};
+use crate::fx::FxHashMap;
+
+/// Default chunk size: large enough to amortise per-chunk setup, small
+/// enough that a handful of chunks per thread keeps the pool busy.
+const DEFAULT_CHUNK_BYTES: usize = 1 << 20;
+
+/// A configured fused ingest pipeline over a compiled routing table.
+///
+/// ```no_run
+/// use netclust_core::IngestPipeline;
+/// # fn demo(table: &netclust_rtable::CompiledMerged) -> std::io::Result<()> {
+/// let report = IngestPipeline::new(table).run_file("access.log")?;
+/// println!(
+///     "{} clusters from {} lines ({} malformed)",
+///     report.clustering.len(),
+///     report.lines,
+///     report.errors.len()
+/// );
+/// # Ok(())
+/// # }
+/// ```
+pub struct IngestPipeline<'t> {
+    table: &'t CompiledMerged,
+    chunk_bytes: usize,
+    url_stats: bool,
+}
+
+/// What one ingest run produced.
+pub struct IngestReport {
+    /// The network-aware clustering of the log's clients.
+    pub clustering: Clustering,
+    /// Malformed lines, in line order, with buffer-global line numbers —
+    /// identical to what the string parser would report.
+    pub errors: Vec<ClfError>,
+    /// Total input lines (blank and malformed included).
+    pub lines: usize,
+    /// Input size in bytes.
+    pub bytes: usize,
+}
+
+impl<'t> IngestPipeline<'t> {
+    /// A pipeline over `table` with default chunking and per-cluster
+    /// unique-URL counting enabled.
+    pub fn new(table: &'t CompiledMerged) -> Self {
+        IngestPipeline {
+            table,
+            chunk_bytes: DEFAULT_CHUNK_BYTES,
+            url_stats: true,
+        }
+    }
+
+    /// Sets the target chunk size in bytes (chunks always extend to a
+    /// line boundary).
+    pub fn chunk_bytes(mut self, bytes: usize) -> Self {
+        self.chunk_bytes = bytes.max(1);
+        self
+    }
+
+    /// Enables or disables per-cluster unique-URL counting. Disabling it
+    /// skips retaining (client, path) pairs entirely; `unique_urls` stays
+    /// 0 on every cluster.
+    pub fn url_stats(mut self, on: bool) -> Self {
+        self.url_stats = on;
+        self
+    }
+
+    /// Runs the fused pipeline over an in-memory (or memory-mapped) CLF
+    /// buffer.
+    pub fn run<'a>(&self, data: &'a [u8]) -> IngestReport {
+        let chunks = chunk::split_lines(data, self.chunk_bytes);
+        let lines = chunks
+            .last()
+            .map(|c| c.first_line + count_lines(c.data))
+            .unwrap_or(0);
+
+        // Stage 1+2: parse chunks straight into per-client accumulators.
+        // In parallel each chunk gets its own address-partitioned output;
+        // serially one unpartitioned accumulator runs across all chunks —
+        // no per-chunk maps to re-merge.
+        let parallel = rayon::current_num_threads() > 1 && chunks.len() > 1;
+        let n_parts = if parallel {
+            cluster::merge_partitions()
+        } else {
+            1
+        };
+        let shift = 32 - n_parts.trailing_zeros();
+        let mut outs: Vec<ChunkOut<'a>> = if parallel {
+            chunks
+                .par_iter()
+                .map(|c| {
+                    let mut out = ChunkOut::new(n_parts);
+                    out.scan(c, shift, self.url_stats);
+                    out
+                })
+                .collect()
+        } else {
+            let mut out = ChunkOut::new(1);
+            for c in &chunks {
+                out.scan(c, shift, self.url_stats);
+            }
+            vec![out]
+        };
+
+        // Errors: chunks are in line order and each chunk's errors are
+        // ascending, so concatenation is the serial parse's error list.
+        let mut errors = Vec::new();
+        for o in &outs {
+            errors.extend_from_slice(&o.errors);
+        }
+
+        // Stage 3a: one worker per address partition merges its slice of
+        // every chunk; sorted runs concatenate into global address order
+        // (partition p holds exactly the clients whose top bits equal p).
+        // The serial accumulator is already global: just sort it.
+        let (clients, dense_addr): (Vec<ClientStats>, Vec<u32>) = if parallel {
+            let parts: Vec<usize> = (0..n_parts).collect();
+            let merged: Vec<Vec<ClientStats>> = parts
+                .par_iter()
+                .map(|&p| {
+                    let mut per_client: FxHashMap<u32, (u64, u64)> = FxHashMap::default();
+                    for o in &outs {
+                        for (&client, &id) in &o.parts[p] {
+                            let (requests, bytes) = o.accum[id as usize];
+                            let e = per_client.entry(client).or_insert((0, 0));
+                            e.0 += requests;
+                            e.1 += bytes;
+                        }
+                    }
+                    cluster::finish_aggregation(per_client)
+                })
+                .collect();
+            (merged.into_iter().flatten().collect(), Vec::new())
+        } else {
+            let o = &mut outs[0];
+            serial_clients(
+                std::mem::take(&mut o.accum),
+                std::mem::take(&mut o.dense_addr),
+            )
+        };
+
+        // Stage 3b: batch LPM assignment over the compiled table.
+        let addrs: Vec<u32> = clients.iter().map(|c| u32::from(c.addr)).collect();
+        let assignments: Vec<Option<Ipv4Net>> = if parallel {
+            addrs
+                .par_chunks(cluster::CLIENT_CHUNK)
+                .map(|chunk| self.table.net_for_batch(chunk))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .flatten()
+                .collect()
+        } else {
+            let mut out = Vec::new();
+            self.table.net_for_batch_into(&addrs, &mut out);
+            out
+        };
+
+        let total_requests: u64 = clients.iter().map(|c| c.requests).sum();
+        let mut clustering =
+            Clustering::from_assignments("network-aware", clients, assignments, total_requests);
+
+        // Unique URLs per cluster: each scan interned its paths to dense
+        // chunk-local ids (equal ids ⇔ equal byte strings — exactly the
+        // `Log` URL-interning identity); translate those to global ids in
+        // chunk order, map clients to clusters, and sort-dedup the compact
+        // (cluster, url) id pairs.
+        if self.url_stats {
+            if parallel {
+                // Translate chunk-local url ids to global ids in chunk
+                // order, map clients to clusters, and sort-dedup the
+                // packed (cluster, url) pairs.
+                let mut global: FxHashMap<&[u8], u32> = FxHashMap::default();
+                let mut pairs = Vec::with_capacity(outs.iter().map(|o| o.pairs.len()).sum());
+                for o in &outs {
+                    let trans: Vec<u32> = o
+                        .url_paths
+                        .iter()
+                        .map(|&p| {
+                            let next = global.len() as u32;
+                            *global.entry(p).or_insert(next)
+                        })
+                        .collect();
+                    pairs.extend(o.pairs.iter().map(|&(c, id)| (c, trans[id as usize])));
+                }
+                let to_key = |&(client, url): &(u32, u32)| {
+                    clustering
+                        .cluster_index(Ipv4Addr::from(client))
+                        .map(|idx| ((idx as u64) << 32) | url as u64)
+                };
+                let mapped: Vec<u64> = pairs
+                    .par_chunks(cluster::REQUEST_CHUNK)
+                    .map(|ch| ch.iter().filter_map(to_key).collect::<Vec<_>>())
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .flatten()
+                    .collect();
+                count_unique_sorted(&mut clustering, mapped);
+            } else {
+                // The serial scan already produced globally-dense client
+                // and url ids, so cluster mapping is one table build away
+                // from being an array index per pair.
+                let pairs = std::mem::take(&mut outs[0].pairs);
+                let n_urls = outs[0].url_paths.len();
+                let cluster_of: Vec<u32> = dense_addr
+                    .iter()
+                    .map(|&a| {
+                        clustering
+                            .cluster_index(Ipv4Addr::from(a))
+                            .map_or(u32::MAX, |i| i as u32)
+                    })
+                    .collect();
+                let n_bits = clustering.clusters.len() as u64 * n_urls as u64;
+                if n_bits > 0 && n_bits <= BITMAP_MAX_BITS {
+                    count_unique_bitmap(&mut clustering, &pairs, &cluster_of, n_urls);
+                } else {
+                    let mapped: Vec<u64> = pairs
+                        .iter()
+                        .filter_map(|&(dense, url)| {
+                            let idx = cluster_of[dense as usize];
+                            (idx != u32::MAX).then_some(((idx as u64) << 32) | url as u64)
+                        })
+                        .collect();
+                    count_unique_sorted(&mut clustering, mapped);
+                }
+            }
+        }
+
+        IngestReport {
+            clustering,
+            errors,
+            lines,
+            bytes: data.len(),
+        }
+    }
+
+    /// Opens `path` (memory-mapping when the platform allows, see
+    /// [`chunk::LogData::open`]) and runs the pipeline over it.
+    pub fn run_file(&self, path: impl AsRef<Path>) -> io::Result<IngestReport> {
+        let data = LogData::open(path)?;
+        Ok(self.run(&data))
+    }
+}
+
+/// Bitmap dedup ceiling: above this many (cluster × url) bits the serial
+/// unique-URL count falls back to sort-dedup (32 MiB of bitmap).
+const BITMAP_MAX_BITS: u64 = 1 << 28;
+
+/// Scan output: clients interned to dense ids through small address →
+/// id maps (partitioned by address range; one partition when serial)
+/// with (requests, bytes) accumulated in a dense-indexed vector — the
+/// map entry stays 8 bytes so the randomly-probed table fits cache —
+/// plus paths interned to dense local ids with their (client, url id)
+/// pairs, and parse errors with global line numbers. Parallel runs hold
+/// one instance per chunk and key pairs by client *address*; the serial
+/// run feeds every chunk through a single unpartitioned instance and
+/// keys pairs by the dense client *id*.
+struct ChunkOut<'a> {
+    parts: Vec<FxHashMap<u32, u32>>,
+    accum: Vec<(u64, u64)>,
+    dense_addr: Vec<u32>,
+    url_ids: FxHashMap<&'a [u8], u32>,
+    url_paths: Vec<&'a [u8]>,
+    pairs: Vec<(u32, u32)>,
+    errors: Vec<ClfError>,
+}
+
+impl<'a> ChunkOut<'a> {
+    fn new(n_parts: usize) -> Self {
+        ChunkOut {
+            parts: vec![FxHashMap::default(); n_parts],
+            accum: Vec::new(),
+            dense_addr: Vec::new(),
+            url_ids: FxHashMap::default(),
+            url_paths: Vec::new(),
+            pairs: Vec::new(),
+            errors: Vec::new(),
+        }
+    }
+
+    /// Accumulates one chunk. The User-Agent field is never consumed
+    /// downstream, so the scan uses the no-UA record parser (identical
+    /// records and errors, minus the per-line UA quote scan).
+    fn scan(&mut self, c: &Chunk<'a>, shift: u32, url_stats: bool) {
+        let serial = self.parts.len() == 1;
+        for item in clf_bytes::records_no_ua(c.data, c.first_line) {
+            match item {
+                Ok((_, r)) => {
+                    // u64 shift: an unpartitioned scan passes shift == 32.
+                    let part = ((r.addr as u64) >> shift) as usize;
+                    let accum = &mut self.accum;
+                    let dense_addr = &mut self.dense_addr;
+                    let id = *self.parts[part].entry(r.addr).or_insert_with(|| {
+                        let id = accum.len() as u32;
+                        accum.push((0, 0));
+                        dense_addr.push(r.addr);
+                        id
+                    });
+                    let e = &mut self.accum[id as usize];
+                    e.0 += 1;
+                    e.1 += r.bytes as u64;
+                    let client_key = if serial { id } else { r.addr };
+                    if url_stats {
+                        let url_paths = &mut self.url_paths;
+                        let id = *self.url_ids.entry(r.path).or_insert_with(|| {
+                            url_paths.push(r.path);
+                            (url_paths.len() - 1) as u32
+                        });
+                        self.pairs.push((client_key, id));
+                    }
+                }
+                Err(e) => self.errors.push(e),
+            }
+        }
+    }
+}
+
+/// Sorts the serial accumulator into address order, also returning the
+/// scan's dense-id → address table.
+fn serial_clients(accum: Vec<(u64, u64)>, dense_addr: Vec<u32>) -> (Vec<ClientStats>, Vec<u32>) {
+    let mut clients: Vec<ClientStats> = dense_addr
+        .iter()
+        .zip(&accum)
+        .map(|(&client, &(requests, bytes))| ClientStats {
+            addr: Ipv4Addr::from(client),
+            requests,
+            bytes,
+        })
+        .collect();
+    clients.sort_by_key(|c| c.addr);
+    (clients, dense_addr)
+}
+
+/// Counts distinct (cluster, url) pairs into `unique_urls` by sorting
+/// packed `cluster << 32 | url` keys.
+fn count_unique_sorted(clustering: &mut Clustering, mut mapped: Vec<u64>) {
+    mapped.sort_unstable();
+    mapped.dedup();
+    for key in mapped {
+        clustering.clusters[(key >> 32) as usize].unique_urls += 1;
+    }
+}
+
+/// Bitmap window size for [`count_unique_bitmap`]: 2²¹ bits = 256 KiB,
+/// small enough to stay cache-resident while a bucket's keys scatter
+/// into it.
+const BITMAP_WINDOW_BITS: u64 = 1 << 21;
+
+/// Counts distinct (cluster, url) pairs into `unique_urls` via one bit
+/// per (cluster, url) — `pairs` hold dense client ids, `cluster_of` maps
+/// them to cluster indices (`u32::MAX` = unclustered).
+fn count_unique_bitmap(
+    clustering: &mut Clustering,
+    pairs: &[(u32, u32)],
+    cluster_of: &[u32],
+    n_urls: usize,
+) {
+    count_unique_bitmap_windowed(clustering, pairs, cluster_of, n_urls, BITMAP_WINDOW_BITS)
+}
+
+/// [`count_unique_bitmap`] with an explicit window size (tests shrink it
+/// to exercise the bucketed path on small inputs).
+///
+/// Setting bits straight into a `clusters × urls` bitmap costs one cache
+/// miss per pair once the bitmap outgrows the cache. Instead, keys first
+/// scatter into per-window buckets (sequential appends), then each
+/// window's bits are set and popcount-walked inside one cache-resident
+/// slice that is reused across windows.
+fn count_unique_bitmap_windowed(
+    clustering: &mut Clustering,
+    pairs: &[(u32, u32)],
+    cluster_of: &[u32],
+    n_urls: usize,
+    window_bits: u64,
+) {
+    let n_bits = clustering.clusters.len() as u64 * n_urls as u64;
+    let to_key = |&(dense, url): &(u32, u32)| {
+        let idx = cluster_of[dense as usize];
+        (idx != u32::MAX).then(|| idx as u64 * n_urls as u64 + url as u64)
+    };
+    if n_bits <= window_bits {
+        let mut bits = vec![0u64; (n_bits as usize).div_ceil(64)];
+        for key in pairs.iter().filter_map(to_key) {
+            bits[(key >> 6) as usize] |= 1 << (key & 63);
+        }
+        tally_window(clustering, &bits, 0, n_urls);
+        return;
+    }
+    let n_windows = n_bits.div_ceil(window_bits) as usize;
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); n_windows];
+    for key in pairs.iter().filter_map(to_key) {
+        buckets[(key / window_bits) as usize].push((key % window_bits) as u32);
+    }
+    let mut window = vec![0u64; (window_bits as usize) / 64];
+    for (w, keys) in buckets.iter().enumerate() {
+        if keys.is_empty() {
+            continue;
+        }
+        window.fill(0);
+        for &k in keys {
+            window[(k >> 6) as usize] |= 1 << (k & 63);
+        }
+        tally_window(clustering, &window, w as u64 * window_bits, n_urls);
+    }
+}
+
+/// Adds each set bit of `bits` (bit `i` = global key `base + i`) to its
+/// cluster's `unique_urls`.
+fn tally_window(clustering: &mut Clustering, bits: &[u64], base: u64, n_urls: usize) {
+    for (w, &word) in bits.iter().enumerate() {
+        let mut word = word;
+        while word != 0 {
+            let key = base + (w as u64) * 64 + word.trailing_zeros() as u64;
+            clustering.clusters[(key / n_urls as u64) as usize].unique_urls += 1;
+            word &= word - 1;
+        }
+    }
+}
+
+/// Line count with `str::lines` semantics: newlines, plus a final
+/// unterminated line when present.
+fn count_lines(data: &[u8]) -> usize {
+    let newlines = chunk::count_newlines(data);
+    if data.last().is_some_and(|&b| b != b'\n') {
+        newlines + 1
+    } else {
+        newlines
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netclust_rtable::{MergedTable, RoutingTable, TableKind};
+    use netclust_weblog::clf;
+
+    fn table() -> CompiledMerged {
+        let bgp = RoutingTable::new(
+            "B",
+            "d0",
+            TableKind::Bgp,
+            vec![
+                "12.65.128.0/19".parse().unwrap(),
+                "24.48.2.0/23".parse().unwrap(),
+            ],
+        );
+        MergedTable::merge([&bgp]).compile()
+    }
+
+    const SAMPLE: &str = "\
+12.65.147.94 - - [13/Feb/1998:07:00:00 +0000] \"GET /a HTTP/1.0\" 200 120 \"-\" \"UA one\"\n\
+not a log line\n\
+12.65.144.247 - - [13/Feb/1998:07:00:01 +0000] \"GET /b HTTP/1.0\" 200 80 \"-\" \"UA two\"\n\
+24.48.3.87 - - [13/Feb/1998:07:00:02 +0000] \"GET /a HTTP/1.0\" 404 0\n\
+12.65.147.94 - - [13/Feb/1998:07:00:03 +0000] \"GET /a HTTP/1.0\" 200 120\n\
+99.1.1.1 - - [13/Feb/1998:07:00:04 +0000] \"GET /c HTTP/1.0\" 200 10\n";
+
+    #[test]
+    fn matches_string_parser_route() {
+        let table = table();
+        let (log, log_errors) = clf::from_clf("s", SAMPLE);
+        let expect = Clustering::network_aware_compiled(&log, &table);
+
+        for chunk_bytes in [1usize, 50, 1 << 20] {
+            let report = IngestPipeline::new(&table)
+                .chunk_bytes(chunk_bytes)
+                .run(SAMPLE.as_bytes());
+            let got = &report.clustering;
+            assert_eq!(got.method, expect.method);
+            assert_eq!(got.total_requests, expect.total_requests);
+            assert_eq!(got.clusters.len(), expect.clusters.len());
+            for (g, e) in got.clusters.iter().zip(&expect.clusters) {
+                assert_eq!(g.prefix, e.prefix, "chunk_bytes={chunk_bytes}");
+                assert_eq!(g.clients, e.clients);
+                assert_eq!(g.requests, e.requests);
+                assert_eq!(g.bytes, e.bytes);
+                assert_eq!(g.unique_urls, e.unique_urls);
+            }
+            assert_eq!(got.unclustered, expect.unclustered);
+            assert_eq!(report.errors, log_errors);
+            assert_eq!(report.lines, 6);
+            assert_eq!(report.bytes, SAMPLE.len());
+        }
+    }
+
+    #[test]
+    fn url_stats_off_skips_counting() {
+        let table = table();
+        let report = IngestPipeline::new(&table)
+            .url_stats(false)
+            .run(SAMPLE.as_bytes());
+        assert!(report
+            .clustering
+            .clusters
+            .iter()
+            .all(|c| c.unique_urls == 0));
+        // Everything else is unaffected.
+        let with = IngestPipeline::new(&table).run(SAMPLE.as_bytes());
+        assert_eq!(
+            report.clustering.total_requests,
+            with.clustering.total_requests
+        );
+        assert_eq!(report.clustering.len(), with.clustering.len());
+    }
+
+    #[test]
+    fn bitmap_and_sorted_counts_agree() {
+        let table = table();
+        let base = IngestPipeline::new(&table).run(SAMPLE.as_bytes());
+        // Rebuild a pair set by hand and count it every way. With 40
+        // urls the key space (clusters × 40 bits) crosses a 64-bit
+        // window boundary: cluster 1's keys 40..80 straddle it.
+        let pairs: &[(u32, u32)] = &[(0, 0), (0, 1), (1, 39), (1, 39), (2, 0), (2, 39), (3, 1)];
+        let cluster_of: &[u32] = &[0, 0, 1, u32::MAX];
+        let n_urls = 40usize;
+        let mut via_bitmap = base.clustering.clone();
+        for c in &mut via_bitmap.clusters {
+            c.unique_urls = 0;
+        }
+        let mut via_sort = via_bitmap.clone();
+        count_unique_bitmap(&mut via_bitmap, pairs, cluster_of, n_urls);
+        let mapped: Vec<u64> = pairs
+            .iter()
+            .filter_map(|&(dense, url)| {
+                let idx = cluster_of[dense as usize];
+                (idx != u32::MAX).then_some(((idx as u64) << 32) | url as u64)
+            })
+            .collect();
+        count_unique_sorted(&mut via_sort, mapped);
+        for (b, s) in via_bitmap.clusters.iter().zip(&via_sort.clusters) {
+            assert_eq!(b.unique_urls, s.unique_urls);
+        }
+        // Clients 0+1 share cluster 0 with urls {0,1} ∪ {39} = 3 distinct;
+        // client 2 gives cluster 1 urls {0,39}; client 3 is unclustered.
+        assert_eq!(via_bitmap.clusters[0].unique_urls, 3);
+        assert_eq!(via_bitmap.clusters[1].unique_urls, 2);
+        // A window of 64 bits (smaller than clusters × urls) forces the
+        // bucketed multi-window path; counts must not change. Window
+        // boundaries land mid-cluster when n_urls doesn't divide 64,
+        // which is exactly the seam worth covering.
+        for window_bits in [64u64, 128] {
+            let mut via_windows = via_sort.clone();
+            for c in &mut via_windows.clusters {
+                c.unique_urls = 0;
+            }
+            count_unique_bitmap_windowed(&mut via_windows, pairs, cluster_of, n_urls, window_bits);
+            for (w, s) in via_windows.clusters.iter().zip(&via_sort.clusters) {
+                assert_eq!(w.unique_urls, s.unique_urls, "window_bits={window_bits}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let table = table();
+        let report = IngestPipeline::new(&table).run(b"");
+        assert!(report.clustering.is_empty());
+        assert!(report.errors.is_empty());
+        assert_eq!(report.lines, 0);
+        assert_eq!(report.bytes, 0);
+    }
+
+    #[test]
+    fn run_file_round_trip() {
+        let dir = std::env::temp_dir().join(format!("netclust-ingest-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("access.log");
+        std::fs::write(&path, SAMPLE).unwrap();
+        let table = table();
+        let from_file = IngestPipeline::new(&table).run_file(&path).unwrap();
+        let from_mem = IngestPipeline::new(&table).run(SAMPLE.as_bytes());
+        assert_eq!(from_file.clustering.len(), from_mem.clustering.len());
+        assert_eq!(from_file.errors, from_mem.errors);
+        assert_eq!(from_file.lines, from_mem.lines);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -7,6 +7,8 @@
 //! * [`Clustering`] — longest-prefix-match clustering against a merged
 //!   BGP/registry table, plus the simple `/24` and classful baselines (§2,
 //!   §3.2),
+//! * [`IngestPipeline`] — fused zero-copy ingest from raw CLF bytes
+//!   (memory-mapped files included) straight to a [`Clustering`],
 //! * [`Distributions`], [`cdf`] — the per-cluster client/request/URL
 //!   metrics of Figures 3–7,
 //! * [`validate`] — sampled nslookup/traceroute validation (§3.3, Table 3),
@@ -26,6 +28,8 @@
 mod anomaly;
 mod cluster;
 mod dynamics;
+mod fx;
+mod ingest;
 mod metrics;
 mod netcluster;
 mod ongoing;
@@ -41,6 +45,7 @@ pub use anomaly::{
 };
 pub use cluster::{ClientStats, Cluster, Clustering};
 pub use dynamics::{dynamics_analysis, DynamicsRow, LogDynamics, LogUnderStudy};
+pub use ingest::{IngestPipeline, IngestReport};
 pub use metrics::{cdf, cdf_at, Distributions, Summary};
 pub use netcluster::{network_clusters, NetworkCluster};
 pub use ongoing::{

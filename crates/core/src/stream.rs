@@ -14,6 +14,8 @@ use std::net::Ipv4Addr;
 
 use netclust_prefix::Ipv4Net;
 use netclust_rtable::{CompiledMerged, MergedTable};
+use netclust_weblog::clf::ClfError;
+use netclust_weblog::clf_bytes;
 use netclust_weblog::Request;
 
 /// Incremental per-cluster aggregates.
@@ -62,15 +64,34 @@ impl StreamingClustering {
 
     /// Feeds one request.
     pub fn push(&mut self, request: &Request) {
+        self.push_raw(request.client, request.bytes as u64);
+    }
+
+    /// Feeds a buffer of raw Common Log Format bytes through the
+    /// zero-copy parser — no `Log` is built and nothing is interned.
+    /// Malformed lines are skipped and returned (line numbers are
+    /// 0-based within `data`, matching the batch parsers).
+    pub fn push_clf(&mut self, data: &[u8]) -> Vec<ClfError> {
+        let mut errors = Vec::new();
+        for item in clf_bytes::records(data, 0) {
+            match item {
+                Ok((_, r)) => self.push_raw(r.addr, r.bytes as u64),
+                Err(e) => errors.push(e),
+            }
+        }
+        errors
+    }
+
+    fn push_raw(&mut self, client: u32, bytes: u64) {
         self.total_requests += 1;
-        let entry = self.per_client.entry(request.client).or_insert((0, 0));
+        let entry = self.per_client.entry(client).or_insert((0, 0));
         let is_new_client = entry.0 == 0;
         entry.0 += 1;
-        entry.1 += request.bytes as u64;
+        entry.1 += bytes;
         let prefix = *self
             .assignment
-            .entry(request.client)
-            .or_insert_with(|| self.table.net_for_u32(request.client));
+            .entry(client)
+            .or_insert_with(|| self.table.net_for_u32(client));
         match prefix {
             Some(net) => {
                 let stats = self.clusters.entry(net).or_default();
@@ -78,7 +99,7 @@ impl StreamingClustering {
                     stats.clients += 1;
                 }
                 stats.requests += 1;
-                stats.bytes += request.bytes as u64;
+                stats.bytes += bytes;
             }
             None => self.unclustered_requests += 1,
         }
@@ -193,6 +214,33 @@ mod tests {
         let unclustered_reqs: u64 = batch.unclustered.iter().map(|c| c.requests).sum();
         let expect = 1.0 - unclustered_reqs as f64 / log.requests.len() as f64;
         assert!((stream.coverage() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn push_clf_matches_push() {
+        let (u, log) = setup();
+        let mut by_request = StreamingClustering::new(standard_merged(&u, 0));
+        for r in &log.requests {
+            by_request.push(r);
+        }
+        let mut by_bytes = StreamingClustering::new(standard_merged(&u, 0));
+        let text = netclust_weblog::clf::to_clf(&log);
+        let errors = by_bytes.push_clf(text.as_bytes());
+        assert!(errors.is_empty());
+        assert_eq!(by_bytes.total_requests(), by_request.total_requests());
+        assert_eq!(by_bytes.len(), by_request.len());
+        for (prefix, stats) in by_request.top_k(usize::MAX) {
+            assert_eq!(by_bytes.stats(prefix), Some(stats), "{prefix}");
+        }
+        assert!((by_bytes.coverage() - by_request.coverage()).abs() < 1e-12);
+        // Malformed lines are surfaced, well-formed ones still land.
+        let mut s = StreamingClustering::new(standard_merged(&u, 0));
+        let errs = s.push_clf(
+            b"bogus\n1.2.3.4 - - [13/Feb/1998:07:00:00 +0000] \"GET /x HTTP/1.0\" 200 10\n",
+        );
+        assert_eq!(errs.len(), 1);
+        assert_eq!(errs[0].line, 0);
+        assert_eq!(s.total_requests(), 1);
     }
 
     #[test]

@@ -1,0 +1,100 @@
+//! Equivalence of the fused zero-copy ingest pipeline with the classic
+//! string-parser route, on the committed synthetic corpus under
+//! `results/` (a generated CLF log with hand-planted malformed lines,
+//! plus one BGP and one registry table dump).
+
+use netclust_core::{Clustering, IngestPipeline};
+use netclust_rtable::{MergedTable, RoutingTable, TableKind};
+use netclust_weblog::{clf, clf_bytes};
+
+const LOG: &str = include_str!(concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../results/ingest_sample.clf"
+));
+const BGP: &str = include_str!(concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../results/ingest_sample.bgp"
+));
+const DUMP: &str = include_str!(concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../results/ingest_sample.dump"
+));
+
+fn merged() -> MergedTable {
+    let (bgp, bad_bgp) = RoutingTable::parse("oregon", "d0", TableKind::Bgp, BGP);
+    let (dump, bad_dump) = RoutingTable::parse("arin", "d0", TableKind::NetworkDump, DUMP);
+    assert_eq!(bad_bgp, 0);
+    assert_eq!(bad_dump, 0);
+    MergedTable::merge([&bgp, &dump])
+}
+
+fn assert_clusterings_equal(got: &Clustering, expect: &Clustering, context: &str) {
+    assert_eq!(got.method, expect.method, "{context}");
+    assert_eq!(got.total_requests, expect.total_requests, "{context}");
+    assert_eq!(got.clusters.len(), expect.clusters.len(), "{context}");
+    for (g, e) in got.clusters.iter().zip(&expect.clusters) {
+        assert_eq!(g.prefix, e.prefix, "{context}");
+        assert_eq!(g.clients, e.clients, "{context} {}", e.prefix);
+        assert_eq!(g.requests, e.requests, "{context} {}", e.prefix);
+        assert_eq!(g.bytes, e.bytes, "{context} {}", e.prefix);
+        assert_eq!(g.unique_urls, e.unique_urls, "{context} {}", e.prefix);
+    }
+    assert_eq!(got.unclustered, expect.unclustered, "{context}");
+}
+
+#[test]
+fn byte_parser_log_is_identical_to_string_parser_log() {
+    let (string_log, string_errors) = clf::from_clf("sample", LOG);
+    let (byte_log, byte_errors) = clf_bytes::from_clf_bytes("sample", LOG.as_bytes());
+    assert!(!string_errors.is_empty(), "corpus plants malformed lines");
+    assert_eq!(string_errors, byte_errors);
+    assert_eq!(string_log.name, byte_log.name);
+    assert_eq!(string_log.requests, byte_log.requests);
+    assert_eq!(string_log.urls, byte_log.urls);
+    assert_eq!(string_log.user_agents, byte_log.user_agents);
+    assert_eq!(string_log.start_time, byte_log.start_time);
+    assert_eq!(string_log.duration_s, byte_log.duration_s);
+}
+
+#[test]
+fn fused_pipeline_matches_string_parser_route() {
+    let table = merged().compile();
+    let (log, log_errors) = clf::from_clf("sample", LOG);
+    let expect = Clustering::network_aware_compiled(&log, &table);
+
+    // Full route through the byte-parsed Log too.
+    let (byte_log, _) = clf_bytes::from_clf_bytes("sample", LOG.as_bytes());
+    let via_bytes = Clustering::network_aware_compiled(&byte_log, &table);
+    assert_clusterings_equal(&via_bytes, &expect, "byte-log route");
+
+    // The fused pipeline, across chunk sizes spanning one-line-per-chunk
+    // to single-chunk.
+    for chunk_bytes in [64usize, 4096, 1 << 20] {
+        let report = IngestPipeline::new(&table)
+            .chunk_bytes(chunk_bytes)
+            .run(LOG.as_bytes());
+        assert_clusterings_equal(
+            &report.clustering,
+            &expect,
+            &format!("fused chunk_bytes={chunk_bytes}"),
+        );
+        assert_eq!(report.errors, log_errors);
+        assert_eq!(report.lines, LOG.lines().count());
+        assert_eq!(report.bytes, LOG.len());
+    }
+}
+
+#[test]
+fn corpus_exercises_real_clustering() {
+    let table = merged().compile();
+    let report = IngestPipeline::new(&table).run(LOG.as_bytes());
+    // The corpus is meaningful: many clusters, high coverage, URL stats.
+    assert!(report.clustering.len() > 20, "{}", report.clustering.len());
+    assert!(report.clustering.coverage() > 0.9);
+    assert!(report
+        .clustering
+        .clusters
+        .iter()
+        .any(|c| c.unique_urls > 1 && c.client_count() > 1));
+    assert!(report.errors.len() >= 5);
+}

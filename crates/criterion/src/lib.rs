@@ -15,12 +15,54 @@
 //! in-process (see [`Criterion::take_results`]) so benches can persist
 //! machine-readable summaries.
 
+//!
+//! Setting `NETCLUST_BENCH_QUICK` in the environment switches to a smoke
+//! budget (a few milliseconds per benchmark) so CI can check that every
+//! bench still runs and persists its JSON without paying for stable
+//! numbers; see [`quick_mode`].
+
 #![warn(missing_docs)]
 
 use std::fmt;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// `true` when `NETCLUST_BENCH_QUICK` is set: benchmarks run on a tiny
+/// time budget (correctness smoke, not measurement). Benches can also
+/// consult this to shrink their synthetic workloads.
+pub fn quick_mode() -> bool {
+    static QUICK: OnceLock<bool> = OnceLock::new();
+    *QUICK.get_or_init(|| std::env::var_os("NETCLUST_BENCH_QUICK").is_some())
+}
+
+/// Per-batch warmup threshold.
+fn batch_threshold() -> Duration {
+    if quick_mode() {
+        Duration::from_millis(2)
+    } else {
+        Duration::from_millis(50)
+    }
+}
+
+/// Total measurement budget per benchmark.
+fn measure_budget() -> Duration {
+    if quick_mode() {
+        Duration::from_millis(25)
+    } else {
+        Duration::from_millis(700)
+    }
+}
+
+/// Sample cap per benchmark.
+fn max_samples() -> usize {
+    if quick_mode() {
+        5
+    } else {
+        100
+    }
+}
 
 /// Units of work per iteration, for derived throughput reporting.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,7 +128,9 @@ pub struct Bencher {
 impl Bencher {
     /// Times `routine`, keeping its output alive via [`black_box`].
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
-        // Warmup: find an iteration count that lasts >= ~50ms per batch.
+        // Warmup: find an iteration count that lasts >= the per-batch
+        // threshold (~50ms, or ~2ms in quick mode).
+        let threshold = batch_threshold();
         let mut batch: u64 = 1;
         loop {
             let t = Instant::now();
@@ -94,23 +138,21 @@ impl Bencher {
                 black_box(routine());
             }
             let elapsed = t.elapsed();
-            if elapsed >= Duration::from_millis(50) || batch >= 1 << 30 {
+            if elapsed >= threshold || batch >= 1 << 30 {
                 break;
             }
-            // Aim just past the threshold next round.
-            let grow = if elapsed < Duration::from_millis(1) {
-                64
-            } else {
-                2
-            };
+            // Aim just past the threshold next round (64x while far
+            // below it — 1ms at the normal 50ms threshold — then 2x).
+            let grow = if elapsed < threshold / 50 { 64 } else { 2 };
             batch = batch.saturating_mul(grow);
         }
-        // Measurement: batches until ~0.7s accumulates (at least 3, at
-        // most 100 — slow routines stop early, fast ones stop on time).
+        // Measurement: batches until the budget (~0.7s, quick: ~25ms)
+        // accumulates — at least 3 samples, capped so fast routines stop
+        // on time and slow ones stop early.
         let mut samples: Vec<f64> = Vec::new();
         let budget = Instant::now();
         while samples.len() < 3
-            || (budget.elapsed() < Duration::from_millis(700) && samples.len() < 100)
+            || (budget.elapsed() < measure_budget() && samples.len() < max_samples())
         {
             let t = Instant::now();
             for _ in 0..batch {
@@ -198,9 +240,13 @@ impl Criterion {
             ns_per_iter: f64::NAN,
         };
         f(&mut bencher);
+        self.record(id, throughput, bencher.ns_per_iter);
+    }
+
+    fn record(&mut self, id: String, throughput: Option<Throughput>, ns_per_iter: f64) {
         let result = BenchResult {
             id,
-            ns_per_iter: bencher.ns_per_iter,
+            ns_per_iter,
             throughput,
         };
         match result.per_second() {
@@ -277,6 +323,70 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Benchmarks two routines as a counterbalanced interleaved pair:
+    /// samples alternate within one measurement window in A B / B A
+    /// cycles. Sequential `bench_function` calls give each routine its
+    /// own window, so slow clock or thermal drift over a long bench
+    /// process is charged entirely to whichever routine runs later — a
+    /// systematic bias in any persisted ratio of the two. Interleaving
+    /// drifts both medians equally, and alternating which routine leads
+    /// each cycle cancels the residual position effect (the second
+    /// routine of a back-to-back pair can run measurably different via
+    /// cache and frequency state the first just set up). Each sample is
+    /// one call (no batching): intended for routines that run
+    /// milliseconds or more.
+    pub fn bench_pair<A, OA, B, OB>(
+        &mut self,
+        id_a: impl IntoBenchmarkId,
+        mut a: A,
+        id_b: impl IntoBenchmarkId,
+        mut b: B,
+    ) -> &mut Self
+    where
+        A: FnMut() -> OA,
+        B: FnMut() -> OB,
+    {
+        black_box(a());
+        black_box(b());
+        let mut samples_a: Vec<f64> = Vec::new();
+        let mut samples_b: Vec<f64> = Vec::new();
+        let mut a_leads = true;
+        let budget = Instant::now();
+        // Twice the single-bench budget: the window covers two routines.
+        while samples_a.len() < 4
+            || (budget.elapsed() < measure_budget() * 2 && samples_a.len() < max_samples())
+        {
+            let mut run_a = || {
+                let t = Instant::now();
+                black_box(a());
+                samples_a.push(t.elapsed().as_nanos() as f64);
+            };
+            let mut run_b = || {
+                let t = Instant::now();
+                black_box(b());
+                samples_b.push(t.elapsed().as_nanos() as f64);
+            };
+            if a_leads {
+                run_a();
+                run_b();
+            } else {
+                run_b();
+                run_a();
+            }
+            a_leads = !a_leads;
+        }
+        let median = |mut s: Vec<f64>| {
+            s.sort_by(|x, y| x.partial_cmp(y).expect("finite timings"));
+            s[s.len() / 2]
+        };
+        for (id, samples) in [(id_a.into_id(), samples_a), (id_b.into_id(), samples_b)] {
+            let ns = median(samples);
+            let full = format!("{}/{}", self.name, id);
+            self.criterion.record(full, self.throughput, ns);
+        }
+        self
+    }
+
     /// Ends the group.
     pub fn finish(self) {}
 }
@@ -330,6 +440,30 @@ mod tests {
         assert_eq!(results[0].id, "g/f/32");
         let rate = results[0].per_second().expect("throughput declared");
         assert!(rate > 0.0);
+    }
+
+    #[test]
+    fn bench_pair_records_both_with_throughput() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("pair");
+            g.throughput(Throughput::Bytes(1 << 20));
+            g.bench_pair(
+                BenchmarkId::new("a", 1),
+                || black_box(1u64 + 1),
+                BenchmarkId::new("b", 1),
+                || black_box([0u8; 64].iter().map(|&x| x as u64).sum::<u64>()),
+            );
+            g.finish();
+        }
+        let results = c.take_results();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].id, "pair/a/1");
+        assert_eq!(results[1].id, "pair/b/1");
+        for r in &results {
+            assert!(r.ns_per_iter.is_finite() && r.ns_per_iter >= 0.0);
+            assert!(r.per_second().expect("throughput declared") > 0.0);
+        }
     }
 
     #[test]

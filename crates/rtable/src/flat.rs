@@ -11,10 +11,18 @@
 //!   entries, 64 MiB). For addresses whose best match is `/24` or
 //!   shorter — the overwhelming majority in BGP snapshots — a single
 //!   indexed load resolves the lookup.
-//! * `tbl_long`: overflow storage for prefixes longer than `/24`,
+//! * `long16`/`long32`: overflow storage for prefixes longer than `/24`,
 //!   allocated in 256-slot groups (one slot per final address byte). A
 //!   `tbl24` entry with the extension bit set redirects here for exactly
 //!   one more indexed load.
+//!
+//! The overflow level is stored compactly: the prefix arena is laid out
+//! with all >/24 prefixes *first*, so in any realistically-sized table
+//! their handles fit in a `u16` and each overflow slot costs 2 bytes
+//! instead of 4 (`long16`, with a per-group `u32` seed for the covering
+//! ≤/24 match behind a sentinel). Tables with ≥ 65 534 long prefixes fall
+//! back to full-width `u32` groups (`long32`). Identical groups are
+//! deduplicated at compile time.
 //!
 //! Matches are returned as [`Handle`]s — dense `Copy` indices into a
 //! prefix arena — so batch lookups move no heap data and results can be
@@ -25,6 +33,8 @@
 //! (streaming snapshot swaps, self-correction) keep editing the trie and
 //! recompile: see [`PrefixTrie::compile`] and `MergedTable::compile`.
 
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
 use std::fmt;
 use std::net::Ipv4Addr;
 
@@ -34,8 +44,13 @@ use crate::table::{MatchSource, MergedTable};
 use crate::trie::PrefixTrie;
 
 /// Extension flag on a `tbl24` entry: the low 31 bits index a 256-slot
-/// group in `tbl_long` instead of encoding a match directly.
+/// overflow group instead of encoding a match directly.
 const EXT_FLAG: u32 = 1 << 31;
+
+/// Sentinel in a `long16` slot: the byte is not covered by any >/24
+/// prefix, so the lookup falls back to the group's seed (the covering
+/// ≤/24 match, which may not fit in 16 bits).
+const LONG16_SEED: u16 = u16::MAX;
 
 /// A dense, `Copy` reference to a prefix in a [`CompiledTable`]'s arena.
 ///
@@ -102,9 +117,18 @@ pub struct CompiledTable {
     /// One slot per 24-bit address prefix; empty when the table holds no
     /// prefixes (every lookup misses without touching memory).
     tbl24: Vec<u32>,
-    /// 256-slot groups for prefixes longer than /24.
-    tbl_long: Vec<u32>,
-    /// Dense prefix arena; [`Handle`]s index into this.
+    /// Compact 256-slot groups for prefixes longer than /24: handles fit
+    /// in 16 bits because long prefixes come first in the arena.
+    /// [`LONG16_SEED`] defers to the group's `long_seed` entry.
+    long16: Vec<u16>,
+    /// Per-group seed slot: the covering ≤/24 match (full `u32` slot
+    /// encoding) returned for bytes no >/24 prefix covers.
+    long_seed: Vec<u32>,
+    /// Full-width 256-slot groups, used only when the table holds too
+    /// many >/24 prefixes for 16-bit handles. Seeds are stored inline.
+    long32: Vec<u32>,
+    /// Dense prefix arena, all >/24 prefixes first; [`Handle`]s index
+    /// into this.
     prefixes: Vec<Ipv4Net>,
 }
 
@@ -113,14 +137,26 @@ impl CompiledTable {
     /// arena entry each (the last occurrence wins the match, but equal
     /// prefixes are indistinguishable as [`Ipv4Net`]s anyway).
     pub fn from_prefixes(prefixes: impl IntoIterator<Item = Ipv4Net>) -> Self {
-        let prefixes: Vec<Ipv4Net> = prefixes.into_iter().collect();
-        if prefixes.is_empty() {
+        let input: Vec<Ipv4Net> = prefixes.into_iter().collect();
+        if input.is_empty() {
             return CompiledTable {
                 tbl24: Vec::new(),
-                tbl_long: Vec::new(),
-                prefixes,
+                long16: Vec::new(),
+                long_seed: Vec::new(),
+                long32: Vec::new(),
+                prefixes: input,
             };
         }
+
+        // Arena layout: >/24 prefixes first (input order preserved within
+        // each class) so overflow-group slots can hold their handles in
+        // 16 bits whenever the long-prefix count permits.
+        let mut prefixes: Vec<Ipv4Net> = Vec::with_capacity(input.len());
+        prefixes.extend(input.iter().copied().filter(|n| n.len() > 24));
+        let n_long = prefixes.len();
+        prefixes.extend(input.iter().copied().filter(|n| n.len() <= 24));
+        // Slots are handle + 1, and LONG16_SEED is reserved.
+        let use16 = n_long + 1 < LONG16_SEED as usize;
 
         // Insert ascending by prefix length so longer prefixes overwrite
         // shorter ones; equal-length prefixes cover disjoint ranges.
@@ -128,7 +164,12 @@ impl CompiledTable {
         order.sort_by_key(|&h| prefixes[h as usize].len());
 
         let mut tbl24 = vec![0u32; 1 << 24];
-        let mut tbl_long: Vec<u32> = Vec::new();
+        // Groups under construction: (seed, 256 slots). `ext_cells`
+        // remembers which tbl24 entries point into them so the dedup pass
+        // can remap without scanning all 2^24 slots.
+        let mut groups16: Vec<(u32, Vec<u16>)> = Vec::new();
+        let mut groups32: Vec<Vec<u32>> = Vec::new();
+        let mut ext_cells: Vec<usize> = Vec::new();
 
         for &h in &order {
             let net = prefixes[h as usize];
@@ -148,22 +189,75 @@ impl CompiledTable {
                 } else {
                     // Seed a fresh group with the current ≤/24 match so
                     // bytes the long prefix does not cover still resolve.
-                    let group = tbl_long.len() / 256;
-                    tbl_long.extend(std::iter::repeat_n(tbl24[idx24], 256));
+                    let group = if use16 {
+                        groups16.push((tbl24[idx24], vec![LONG16_SEED; 256]));
+                        groups16.len() - 1
+                    } else {
+                        groups32.push(vec![tbl24[idx24]; 256]);
+                        groups32.len() - 1
+                    };
                     tbl24[idx24] = EXT_FLAG | group as u32;
+                    ext_cells.push(idx24);
                     group
                 };
-                let start = group * 256 + (net.addr_u32() & 0xFF) as usize;
+                let lo = (net.addr_u32() & 0xFF) as usize;
                 let count = 1usize << (32 - net.len());
-                for e in &mut tbl_long[start..start + count] {
-                    *e = slot;
+                if use16 {
+                    for e in &mut groups16[group].1[lo..lo + count] {
+                        *e = slot as u16;
+                    }
+                } else {
+                    for e in &mut groups32[group][lo..lo + count] {
+                        *e = slot;
+                    }
                 }
             }
         }
 
+        // Deduplicate byte-identical groups, remapping the extension
+        // entries that pointed at dropped copies.
+        let mut long16: Vec<u16> = Vec::new();
+        let mut long_seed: Vec<u32> = Vec::new();
+        let mut long32: Vec<u32> = Vec::new();
+        let mut remap: Vec<u32> = Vec::with_capacity(ext_cells.len());
+        if use16 {
+            let mut seen: HashMap<(u32, Vec<u16>), u32> = HashMap::new();
+            for (seed, slots) in groups16 {
+                let next = long_seed.len() as u32;
+                match seen.entry((seed, slots)) {
+                    Entry::Occupied(o) => remap.push(*o.get()),
+                    Entry::Vacant(v) => {
+                        long_seed.push(seed);
+                        long16.extend_from_slice(&v.key().1);
+                        v.insert(next);
+                        remap.push(next);
+                    }
+                }
+            }
+        } else {
+            let mut seen: HashMap<Vec<u32>, u32> = HashMap::new();
+            for slots in groups32 {
+                let next = (long32.len() / 256) as u32;
+                match seen.entry(slots) {
+                    Entry::Occupied(o) => remap.push(*o.get()),
+                    Entry::Vacant(v) => {
+                        long32.extend_from_slice(v.key());
+                        v.insert(next);
+                        remap.push(next);
+                    }
+                }
+            }
+        }
+        for &idx24 in &ext_cells {
+            let old = (tbl24[idx24] & !EXT_FLAG) as usize;
+            tbl24[idx24] = EXT_FLAG | remap[old];
+        }
+
         CompiledTable {
             tbl24,
-            tbl_long,
+            long16,
+            long_seed,
+            long32,
             prefixes,
         }
     }
@@ -180,7 +274,16 @@ impl CompiledTable {
             Handle::from_slot(entry)
         } else {
             let group = (entry & !EXT_FLAG) as usize;
-            Handle::from_slot(self.tbl_long[group * 256 + (addr & 0xFF) as usize])
+            let i = group * 256 + (addr & 0xFF) as usize;
+            let slot = if self.long32.is_empty() {
+                match self.long16[i] {
+                    LONG16_SEED => self.long_seed[group],
+                    s => s as u32,
+                }
+            } else {
+                self.long32[i]
+            };
+            Handle::from_slot(slot)
         }
     }
 
@@ -224,15 +327,27 @@ impl CompiledTable {
         self.prefixes.is_empty()
     }
 
-    /// Number of 256-slot overflow groups allocated for >/24 prefixes.
+    /// Number of distinct 256-slot overflow groups stored for >/24
+    /// prefixes (after deduplication).
     pub fn long_groups(&self) -> usize {
-        self.tbl_long.len() / 256
+        if self.long32.is_empty() {
+            self.long_seed.len()
+        } else {
+            self.long32.len() / 256
+        }
+    }
+
+    /// `true` when the overflow level uses compact 16-bit handle slots.
+    pub fn long_slots_compact(&self) -> bool {
+        self.long32.is_empty()
     }
 
     /// Table memory footprint in bytes (both levels plus the arena).
     pub fn memory_bytes(&self) -> usize {
         self.tbl24.len() * 4
-            + self.tbl_long.len() * 4
+            + self.long16.len() * 2
+            + self.long_seed.len() * 4
+            + self.long32.len() * 4
             + self.prefixes.len() * std::mem::size_of::<Ipv4Net>()
     }
 }
@@ -305,13 +420,21 @@ impl CompiledMerged {
     /// Batch form of [`net_for_u32`](Self::net_for_u32): one handle sweep
     /// over the BGP tier, with per-miss registry fallback.
     pub fn net_for_batch(&self, addrs: &[u32]) -> Vec<Option<Ipv4Net>> {
-        let mut handles = vec![Handle::NONE; addrs.len()];
-        self.bgp.lookup_batch(addrs, &mut handles);
-        handles
-            .iter()
-            .zip(addrs)
-            .map(|(&h, &addr)| self.bgp.resolve(h).or_else(|| self.dump.lookup(addr)))
-            .collect()
+        let mut out = Vec::new();
+        self.net_for_batch_into(addrs, &mut out);
+        out
+    }
+
+    /// Buffer-reusing form of [`net_for_batch`](Self::net_for_batch):
+    /// clears `out` and refills it with one entry per address. The ingest
+    /// hot loop calls this once per batch without reallocating.
+    pub fn net_for_batch_into(&self, addrs: &[u32], out: &mut Vec<Option<Ipv4Net>>) {
+        out.clear();
+        out.reserve(addrs.len());
+        out.extend(addrs.iter().map(|&addr| {
+            let h = self.bgp.lookup_handle(addr);
+            self.bgp.resolve(h).or_else(|| self.dump.lookup(addr))
+        }));
     }
 
     /// Combined memory footprint of both tiers in bytes.
@@ -462,5 +585,90 @@ mod tests {
         let h = t.lookup_handle(a("10.1.2.3"));
         assert!(h.is_some());
         assert_eq!(t.prefixes()[h.index().unwrap()], net("10.0.0.0/8"));
+    }
+
+    #[test]
+    fn arena_puts_long_prefixes_first() {
+        let t = CompiledTable::from_prefixes([
+            net("12.0.0.0/8"),
+            net("24.48.2.128/25"),
+            net("10.0.0.0/24"),
+            net("24.48.2.192/32"),
+        ]);
+        assert!(t.long_slots_compact());
+        // Long prefixes first, input order preserved within each class.
+        let lens: Vec<u8> = t.prefixes().iter().map(|p| p.len()).collect();
+        assert_eq!(lens, vec![25, 32, 8, 24]);
+        // Handles still resolve to the right prefix.
+        assert_eq!(t.lookup(a("24.48.2.192")), Some(net("24.48.2.192/32")));
+        assert_eq!(t.lookup(a("24.48.2.129")), Some(net("24.48.2.128/25")));
+        assert_eq!(t.lookup(a("12.9.9.9")), Some(net("12.0.0.0/8")));
+        assert_eq!(t.lookup(a("10.0.0.7")), Some(net("10.0.0.0/24")));
+    }
+
+    #[test]
+    fn duplicate_long_prefixes_share_one_group() {
+        let t = CompiledTable::from_prefixes([
+            net("10.0.0.64/26"),
+            net("10.0.0.64/26"),
+            net("10.0.0.0/24"),
+        ]);
+        assert_eq!(t.len(), 3, "duplicates keep arena entries");
+        assert_eq!(t.long_groups(), 1);
+        assert_eq!(t.lookup(a("10.0.0.100")), Some(net("10.0.0.64/26")));
+        assert_eq!(t.lookup(a("10.0.0.1")), Some(net("10.0.0.0/24")));
+    }
+
+    #[test]
+    fn compact_memory_accounting() {
+        // One overflow group at 2 bytes/slot plus its 4-byte seed.
+        let t = CompiledTable::from_prefixes([net("24.48.2.0/24"), net("24.48.2.128/25")]);
+        assert!(t.long_slots_compact());
+        assert_eq!(t.long_groups(), 1);
+        let expect = (1usize << 24) * 4 + 256 * 2 + 4 + 2 * std::mem::size_of::<Ipv4Net>();
+        assert_eq!(t.memory_bytes(), expect);
+    }
+
+    #[test]
+    fn wide_tables_fall_back_to_u32_slots() {
+        // More >/24 prefixes than 16-bit slots can address: one /25 per
+        // /24 block walks the table into u32 overflow mode.
+        let n = (LONG16_SEED as usize) + 16;
+        let mut prefixes = vec![net("0.0.0.0/0")];
+        prefixes.extend((0..n as u32).map(|i| Ipv4Net::new(i << 8, 25).unwrap()));
+        let t = CompiledTable::from_prefixes(prefixes.iter().copied());
+        assert!(!t.long_slots_compact());
+        assert_eq!(t.long_groups(), n);
+
+        let mut trie = PrefixTrie::new();
+        for &p in &prefixes {
+            trie.insert(p, ());
+        }
+        for probe in [
+            a("0.0.0.1"),
+            a("0.0.0.200"),
+            a("0.1.2.3"),
+            a("1.0.3.3"),
+            a("200.1.2.3"),
+            u32::from(Ipv4Addr::from((n as u32 - 1) << 8)),
+        ] {
+            let expect = trie.longest_match_u32(probe).map(|(p, _)| p);
+            assert_eq!(t.lookup(probe), expect, "{probe:#x}");
+        }
+    }
+
+    #[test]
+    fn batch_into_reuses_buffer() {
+        let bgp = RoutingTable::new("B", "d0", TableKind::Bgp, vec![net("12.0.0.0/8")]);
+        let dump = RoutingTable::new("N", "d0", TableKind::NetworkDump, vec![net("24.48.2.0/23")]);
+        let compiled = MergedTable::merge([&bgp, &dump]).compile();
+        let addrs: Vec<u32> = ["12.1.2.3", "24.48.3.87", "99.9.9.9"]
+            .iter()
+            .map(|s| a(s))
+            .collect();
+        let mut out = vec![Some(net("6.0.0.0/8")); 7];
+        compiled.net_for_batch_into(&addrs, &mut out);
+        assert_eq!(out, compiled.net_for_batch(&addrs));
+        assert_eq!(out.len(), addrs.len());
     }
 }

@@ -1,0 +1,355 @@
+//! Chunked, zero-copy access to log files for parallel ingest.
+//!
+//! Two pieces:
+//!
+//! * [`split_lines`] cuts a byte buffer into roughly equal chunks that
+//!   always end on line boundaries, each annotated with the 0-based line
+//!   number it starts at — so parallel workers can parse independent
+//!   chunks yet report buffer-global line numbers, and concatenating
+//!   per-chunk outputs in chunk order reproduces the serial result
+//!   exactly.
+//! * [`LogData`] holds a log file's bytes either as a private read-only
+//!   `mmap` (Unix, 64-bit — no copy, the page cache is the buffer) or as
+//!   an owned heap buffer (fallback everywhere else, and for empty
+//!   files). Either way, [`LogData::bytes`] is one contiguous `&[u8]` the
+//!   zero-copy parser can borrow from.
+//!
+//! The `mmap` binding is a two-symbol `extern "C"` declaration rather
+//! than a `libc` dependency: the workspace is offline and the only
+//! platform this targets is the 64-bit Unix the toolchain itself runs on.
+
+use std::fs::File;
+use std::io;
+use std::path::Path;
+
+/// One line-aligned piece of a larger buffer.
+#[derive(Debug, Clone, Copy)]
+pub struct Chunk<'a> {
+    /// The chunk's bytes; ends with `\n` except possibly the last chunk.
+    pub data: &'a [u8],
+    /// 0-based line number (in the full buffer) of the chunk's first line.
+    pub first_line: usize,
+}
+
+/// Counts `\n` bytes eight at a time: each word is XORed with a lane of
+/// newlines and run through the exact zero-byte detector (the borrow-free
+/// `((v & 0x7f…) + 0x7f…) | v` form — the cheaper `v - 0x01…` variant can
+/// false-positive on the byte after a match), then one popcount per word
+/// tallies the hits. The ingest hot path calls this over whole log
+/// buffers, where a bytewise scan costs more than the chunking itself.
+pub fn count_newlines(data: &[u8]) -> usize {
+    const LANES: u64 = 0x0101_0101_0101_0101;
+    const NL: u64 = LANES * b'\n' as u64;
+    const LOW7: u64 = 0x7f7f_7f7f_7f7f_7f7f;
+    let mut count = 0;
+    let mut words = data.chunks_exact(8);
+    for w in &mut words {
+        let v = u64::from_le_bytes(w.try_into().expect("8-byte chunk")) ^ NL;
+        // High bit of each byte set iff that byte of `v` is zero.
+        let zeros = !(((v & LOW7) + LOW7) | v | LOW7);
+        count += zeros.count_ones() as usize;
+    }
+    count + words.remainder().iter().filter(|&&b| b == b'\n').count()
+}
+
+/// Splits `data` into chunks of at most about `max_bytes` (always at
+/// least one full line), cut on `\n` boundaries. Every byte lands in
+/// exactly one chunk, in order, and each chunk records the global line
+/// number it starts at. Empty input produces no chunks.
+pub fn split_lines(data: &[u8], max_bytes: usize) -> Vec<Chunk<'_>> {
+    let max_bytes = max_bytes.max(1);
+    let mut chunks = Vec::with_capacity(data.len() / max_bytes + 1);
+    let mut start = 0usize;
+    let mut first_line = 0usize;
+    while start < data.len() {
+        let tentative = (start + max_bytes).min(data.len());
+        // Extend to the end of the current line (inclusive newline). The
+        // search starts one byte early so a chunk already ending in `\n`
+        // is not extended by a line.
+        let search_from = tentative - 1;
+        let end = match data[search_from..].iter().position(|&b| b == b'\n') {
+            Some(i) => search_from + i + 1,
+            None => data.len(),
+        };
+        let piece = &data[start..end];
+        chunks.push(Chunk {
+            data: piece,
+            first_line,
+        });
+        first_line += count_newlines(piece);
+        start = end;
+    }
+    chunks
+}
+
+/// A log file's contents: memory-mapped when the platform allows,
+/// otherwise read into an owned buffer. Dereferences to one contiguous
+/// byte slice either way.
+pub struct LogData {
+    inner: Inner,
+}
+
+enum Inner {
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    Mapped(mapped::Map),
+    Owned(Vec<u8>),
+}
+
+impl LogData {
+    /// Opens `path`, preferring a read-only private `mmap`; falls back to
+    /// a buffered read when mapping is unsupported or fails (e.g. empty
+    /// files, special files, non-Unix platforms).
+    pub fn open(path: impl AsRef<Path>) -> io::Result<LogData> {
+        let path = path.as_ref();
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        {
+            if let Ok(file) = File::open(path) {
+                if let Some(map) = mapped::Map::new(&file) {
+                    return Ok(LogData {
+                        inner: Inner::Mapped(map),
+                    });
+                }
+            }
+        }
+        Self::read(path)
+    }
+
+    /// Reads `path` into an owned buffer, never mapping.
+    pub fn read(path: impl AsRef<Path>) -> io::Result<LogData> {
+        Ok(LogData {
+            inner: Inner::Owned(std::fs::read(path)?),
+        })
+    }
+
+    /// Wraps an in-memory buffer (tests, synthetic corpora).
+    pub fn from_vec(data: Vec<u8>) -> LogData {
+        LogData {
+            inner: Inner::Owned(data),
+        }
+    }
+
+    /// `true` when the contents are memory-mapped rather than copied.
+    pub fn is_mapped(&self) -> bool {
+        match &self.inner {
+            #[cfg(all(unix, target_pointer_width = "64"))]
+            Inner::Mapped(_) => true,
+            Inner::Owned(_) => false,
+        }
+    }
+
+    /// The file contents as one contiguous slice.
+    pub fn bytes(&self) -> &[u8] {
+        match &self.inner {
+            #[cfg(all(unix, target_pointer_width = "64"))]
+            Inner::Mapped(m) => m.bytes(),
+            Inner::Owned(v) => v,
+        }
+    }
+}
+
+impl std::ops::Deref for LogData {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.bytes()
+    }
+}
+
+#[cfg(all(unix, target_pointer_width = "64"))]
+mod mapped {
+    use std::ffi::c_void;
+    use std::fs::File;
+    use std::os::unix::io::AsRawFd;
+
+    // Minimal mmap binding (64-bit Unix: `off_t` is `i64`). Values are
+    // identical across Linux and the BSDs for these two flags.
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            length: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, length: usize) -> i32;
+    }
+
+    const PROT_READ: i32 = 1;
+    const MAP_PRIVATE: i32 = 2;
+
+    /// An owned read-only private mapping, unmapped on drop.
+    pub struct Map {
+        ptr: *const u8,
+        len: usize,
+    }
+
+    // The mapping is read-only and owned uniquely by `Map`.
+    unsafe impl Send for Map {}
+    unsafe impl Sync for Map {}
+
+    impl Map {
+        /// Maps the whole of `file` read-only; `None` when the file is
+        /// empty (mmap rejects zero-length mappings) or the kernel
+        /// refuses.
+        pub fn new(file: &File) -> Option<Map> {
+            let len = file.metadata().ok()?.len();
+            if len == 0 || len > usize::MAX as u64 {
+                return None;
+            }
+            let len = len as usize;
+            // SAFETY: a fresh private read-only mapping of a file we hold
+            // open; the kernel validates fd/length and returns MAP_FAILED
+            // (-1) on any error.
+            let ptr = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ,
+                    MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as isize == -1 || ptr.is_null() {
+                return None;
+            }
+            Some(Map {
+                ptr: ptr as *const u8,
+                len,
+            })
+        }
+
+        pub fn bytes(&self) -> &[u8] {
+            // SAFETY: ptr/len describe a live PROT_READ mapping owned by
+            // self; it stays valid until drop.
+            unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+        }
+    }
+
+    impl Drop for Map {
+        fn drop(&mut self) {
+            // SAFETY: unmapping the exact region mmap returned.
+            unsafe {
+                munmap(self.ptr as *mut c_void, self.len);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_input_in_order() {
+        let mut text = String::new();
+        for i in 0..500 {
+            text.push_str(&format!("line number {i} with some padding\n"));
+        }
+        for max in [1usize, 7, 64, 1000, 1 << 20] {
+            let chunks = split_lines(text.as_bytes(), max);
+            let mut rebuilt = Vec::new();
+            for c in &chunks {
+                rebuilt.extend_from_slice(c.data);
+                // Every chunk except possibly the last ends at a newline.
+                assert_eq!(*c.data.last().unwrap(), b'\n');
+            }
+            assert_eq!(rebuilt, text.as_bytes(), "max={max}");
+            // Line numbers are the running newline count.
+            let mut expect_line = 0usize;
+            for c in &chunks {
+                assert_eq!(c.first_line, expect_line, "max={max}");
+                expect_line += c.data.iter().filter(|&&b| b == b'\n').count();
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_lines_parse_with_global_numbers() {
+        use crate::clf_bytes;
+        let text = "garbage one\n\
+                    1.2.3.4 - - [13/Feb/1998:07:00:00 +0000] \"GET /x HTTP/1.0\" 200 100\n\
+                    garbage two\n\
+                    1.2.3.5 - - [13/Feb/1998:07:00:01 +0000] \"GET /y HTTP/1.0\" 200 100\n";
+        let serial: Vec<_> = clf_bytes::records(text.as_bytes(), 0).collect();
+        for max in [1usize, 16, 40, 4096] {
+            let mut chunked = Vec::new();
+            for c in split_lines(text.as_bytes(), max) {
+                chunked.extend(clf_bytes::records(c.data, c.first_line));
+            }
+            assert_eq!(chunked.len(), serial.len(), "max={max}");
+            for (a, b) in chunked.iter().zip(&serial) {
+                match (a, b) {
+                    (Ok((la, ra)), Ok((lb, rb))) => {
+                        assert_eq!(la, lb);
+                        assert_eq!(ra.addr, rb.addr);
+                        assert_eq!(ra.path, rb.path);
+                    }
+                    (Err(ea), Err(eb)) => assert_eq!(ea, eb),
+                    other => panic!("mismatch: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn count_newlines_matches_naive() {
+        let naive = |d: &[u8]| d.iter().filter(|&&b| b == b'\n').count();
+        let mut cases: Vec<Vec<u8>> = vec![
+            Vec::new(),
+            b"no newline".to_vec(),
+            b"\n".to_vec(),
+            vec![b'\n'; 64],
+            // `\n` followed by 0x0b: XOR against the newline lane gives
+            // adjacent 0x00, 0x01 bytes — the exact case where the
+            // subtract-borrow zero-byte trick overcounts.
+            b"\n\x0b\n\x0b\n\x0b\n\x0b\n\x0b".to_vec(),
+            // High-bit bytes around newlines.
+            vec![0x8a, b'\n', 0xff, 0x0a, 0x80, 0x7f, b'\n', 0x01, 0x00],
+        ];
+        // Every alignment of a newline within the 8-byte word, plus an
+        // unaligned tail.
+        for shift in 0..9 {
+            let mut v = vec![b'x'; 17];
+            v[shift] = b'\n';
+            cases.push(v);
+        }
+        for case in &cases {
+            assert_eq!(count_newlines(case), naive(case), "case={case:?}");
+        }
+    }
+
+    #[test]
+    fn no_newline_at_eof() {
+        let text = b"abc\ndef";
+        let chunks = split_lines(text, 4);
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(chunks[0].data, b"abc\n");
+        assert_eq!(chunks[1].data, b"def");
+        assert_eq!(chunks[1].first_line, 1);
+        assert!(split_lines(b"", 16).is_empty());
+    }
+
+    #[test]
+    fn logdata_maps_and_reads() {
+        let dir = std::env::temp_dir().join(format!("netclust-chunk-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.log");
+        let content = b"1.2.3.4 - - [13/Feb/1998:07:00:00 +0000] \"GET /x HTTP/1.0\" 200 100\n";
+        std::fs::write(&path, content).unwrap();
+        let mapped = LogData::open(&path).unwrap();
+        assert_eq!(mapped.bytes(), content);
+        let read = LogData::read(&path).unwrap();
+        assert_eq!(read.bytes(), content);
+        assert!(!read.is_mapped());
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        assert!(mapped.is_mapped());
+        // Empty files fall back to the owned buffer.
+        let empty = dir.join("empty.log");
+        std::fs::write(&empty, b"").unwrap();
+        let e = LogData::open(&empty).unwrap();
+        assert!(e.bytes().is_empty());
+        assert!(!e.is_mapped());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -17,29 +17,84 @@ use std::net::Ipv4Addr;
 
 use crate::record::{Log, LogTruth, Request, UrlMeta};
 
-const MONTHS: [&str; 12] = [
+pub(crate) const MONTHS: [&str; 12] = [
     "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
 ];
 
+/// What went wrong on a CLF line. Carrying a `Copy` enum instead of a
+/// `String` keeps the error path allocation-free: real logs contain noise
+/// on the hot ingest path, and every malformed line is reported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // The variants are their Display messages.
+pub enum ClfErrorKind {
+    MissingFields,
+    BadClientAddress,
+    MissingTimestamp,
+    MissingTimestampClose,
+    BadTimestamp,
+    MissingRequestLine,
+    UnterminatedRequestLine,
+    EmptyRequestLine,
+    RequestLineLacksPath,
+    MissingStatus,
+    BadStatus,
+    MissingBytes,
+    BadBytes,
+}
+
+impl ClfErrorKind {
+    /// The human-readable reason (the former `ClfError::reason` text).
+    pub fn message(self) -> &'static str {
+        match self {
+            ClfErrorKind::MissingFields => "missing fields",
+            ClfErrorKind::BadClientAddress => "bad client address",
+            ClfErrorKind::MissingTimestamp => "missing timestamp",
+            ClfErrorKind::MissingTimestampClose => "missing timestamp close",
+            ClfErrorKind::BadTimestamp => "bad timestamp",
+            ClfErrorKind::MissingRequestLine => "missing request line",
+            ClfErrorKind::UnterminatedRequestLine => "unterminated request line",
+            ClfErrorKind::EmptyRequestLine => "empty request line",
+            ClfErrorKind::RequestLineLacksPath => "request line lacks path",
+            ClfErrorKind::MissingStatus => "missing status",
+            ClfErrorKind::BadStatus => "bad status",
+            ClfErrorKind::MissingBytes => "missing bytes",
+            ClfErrorKind::BadBytes => "bad bytes",
+        }
+    }
+}
+
+impl std::fmt::Display for ClfErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.message())
+    }
+}
+
 /// Errors produced when parsing CLF lines.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ClfError {
     /// 0-based line number.
     pub line: usize,
     /// What went wrong.
-    pub reason: String,
+    pub kind: ClfErrorKind,
+}
+
+impl ClfError {
+    /// The human-readable reason (the former `reason` field text).
+    pub fn reason(&self) -> &'static str {
+        self.kind.message()
+    }
 }
 
 impl std::fmt::Display for ClfError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "CLF parse error on line {}: {}", self.line, self.reason)
+        write!(f, "CLF parse error on line {}: {}", self.line, self.kind)
     }
 }
 
 impl std::error::Error for ClfError {}
 
 /// Days since the Unix epoch for a civil date (Howard Hinnant's algorithm).
-fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
+pub(crate) fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
     let y = if m <= 2 { y - 1 } else { y };
     let era = if y >= 0 { y } else { y - 399 } / 400;
     let yoe = (y - era * 400) as u64;
@@ -143,46 +198,57 @@ struct ParsedLine {
 }
 
 fn parse_line(line: &str, lineno: usize) -> Result<ParsedLine, ClfError> {
-    let err = |reason: &str| ClfError {
-        line: lineno,
-        reason: reason.to_string(),
-    };
+    let err = |kind: ClfErrorKind| ClfError { line: lineno, kind };
     let mut rest = line.trim();
-    let sp = rest.find(' ').ok_or_else(|| err("missing fields"))?;
-    let addr: Ipv4Addr = rest[..sp].parse().map_err(|_| err("bad client address"))?;
+    let sp = rest
+        .find(' ')
+        .ok_or_else(|| err(ClfErrorKind::MissingFields))?;
+    let addr: Ipv4Addr = rest[..sp]
+        .parse()
+        .map_err(|_| err(ClfErrorKind::BadClientAddress))?;
     rest = &rest[sp + 1..];
-    let open = rest.find('[').ok_or_else(|| err("missing timestamp"))?;
-    let close = rest
+    let open = rest
+        .find('[')
+        .ok_or_else(|| err(ClfErrorKind::MissingTimestamp))?;
+    // The close bracket is searched *after* the open one, so a stray `]`
+    // earlier on the line cannot invert the slice.
+    let close = rest[open + 1..]
         .find(']')
-        .ok_or_else(|| err("missing timestamp close"))?;
-    let epoch = parse_clf_time(&rest[open + 1..close]).ok_or_else(|| err("bad timestamp"))?;
+        .map(|i| i + open + 1)
+        .ok_or_else(|| err(ClfErrorKind::MissingTimestampClose))?;
+    let epoch =
+        parse_clf_time(&rest[open + 1..close]).ok_or_else(|| err(ClfErrorKind::BadTimestamp))?;
     rest = rest[close + 1..].trim_start();
     if !rest.starts_with('"') {
-        return Err(err("missing request line"));
+        return Err(err(ClfErrorKind::MissingRequestLine));
     }
     let req_end = rest[1..]
         .find('"')
-        .ok_or_else(|| err("unterminated request line"))?
+        .ok_or_else(|| err(ClfErrorKind::UnterminatedRequestLine))?
         + 1;
     let request_line = &rest[1..req_end];
     let mut parts = request_line.split(' ');
-    let _method = parts.next().ok_or_else(|| err("empty request line"))?;
+    let _method = parts
+        .next()
+        .ok_or_else(|| err(ClfErrorKind::EmptyRequestLine))?;
     let path = parts
         .next()
-        .ok_or_else(|| err("request line lacks path"))?
+        .ok_or_else(|| err(ClfErrorKind::RequestLineLacksPath))?
         .to_string();
     rest = rest[req_end + 1..].trim_start();
     let mut fields = rest.split(' ');
     let status: u16 = fields
         .next()
-        .ok_or_else(|| err("missing status"))?
+        .ok_or_else(|| err(ClfErrorKind::MissingStatus))?
         .parse()
-        .map_err(|_| err("bad status"))?;
-    let bytes_str = fields.next().ok_or_else(|| err("missing bytes"))?;
+        .map_err(|_| err(ClfErrorKind::BadStatus))?;
+    let bytes_str = fields
+        .next()
+        .ok_or_else(|| err(ClfErrorKind::MissingBytes))?;
     let bytes: u32 = if bytes_str == "-" {
         0
     } else {
-        bytes_str.parse().map_err(|_| err("bad bytes"))?
+        bytes_str.parse().map_err(|_| err(ClfErrorKind::BadBytes))?
     };
     // Optional combined-format tail: "referer" "user-agent".
     let tail = fields.collect::<Vec<_>>().join(" ");

@@ -1,0 +1,674 @@
+//! Zero-copy Common Log Format parsing over raw byte slices.
+//!
+//! [`clf::from_clf`](crate::clf::from_clf) is the readable reference
+//! parser: it walks `&str` lines and allocates an owned `String` for every
+//! path and User-Agent it sees — two heap allocations per log line before
+//! clustering even starts. At production ingest rates (§4's real-time
+//! pipeline) parsing dominates the end-to-end cost, so this module
+//! re-implements the same grammar as a hand-rolled field scanner over
+//! `&[u8]`:
+//!
+//! * [`parse_record`] decodes one line into a borrowed [`RawRecord`] —
+//!   no allocation; the path and User-Agent stay slices of the input,
+//! * the dotted-quad and CLF-timestamp decoders are inlined integer
+//!   scanners (reusing the same `days_from_civil` epoch math as the
+//!   string parser),
+//! * [`records`] iterates a whole buffer line by line, and
+//!   [`from_clf_bytes`] materializes a [`Log`] with byte-identical
+//!   contents to `from_clf` on the same input (property-tested).
+//!
+//! Errors mirror the string parser exactly: same [`ClfErrorKind`] at the
+//! same line numbers, so the two front ends are interchangeable.
+//!
+//! The streaming consumer that never builds a `Log` at all — chunked
+//! parallel parsing fused with compiled-LPM clustering — lives in
+//! `netclust-core` (`IngestPipeline`); this module provides its scanner.
+
+use std::collections::HashMap;
+
+use crate::clf::{days_from_civil, ClfError, ClfErrorKind, MONTHS};
+use crate::record::{Log, LogTruth, Request, UrlMeta};
+
+/// One CLF line decoded without copying: the textual fields borrow from
+/// the input buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RawRecord<'a> {
+    /// Client IPv4 address, host order.
+    pub addr: u32,
+    /// Request timestamp, Unix epoch seconds.
+    pub epoch: u64,
+    /// Request path, as it appeared on the wire.
+    pub path: &'a [u8],
+    /// HTTP status code.
+    pub status: u16,
+    /// Response size in bytes (`-` decodes to 0).
+    pub bytes: u32,
+    /// User-Agent string (`-` when absent).
+    pub ua: &'a [u8],
+}
+
+/// SWAR byte search: scans word-at-a-time using the zero-byte trick
+/// (`(w - 0x01…) & !w & 0x80…`). Borrows only propagate toward higher
+/// bytes, so the lowest set high-bit always marks the *first* match even
+/// when spurious bits appear above it.
+#[inline]
+fn find(hay: &[u8], needle: u8) -> Option<usize> {
+    const LO: u64 = 0x0101_0101_0101_0101;
+    const HI: u64 = 0x8080_8080_8080_8080;
+    let broadcast = needle as u64 * LO;
+    let mut chunks = hay.chunks_exact(8);
+    let mut i = 0usize;
+    for c in &mut chunks {
+        let w = u64::from_le_bytes(c.try_into().expect("8-byte chunk")) ^ broadcast;
+        let hit = w.wrapping_sub(LO) & !w & HI;
+        if hit != 0 {
+            return Some(i + (hit.trailing_zeros() >> 3) as usize);
+        }
+        i += 8;
+    }
+    chunks
+        .remainder()
+        .iter()
+        .position(|&b| b == needle)
+        .map(|j| i + j)
+}
+
+#[inline]
+fn trim_ascii_start(mut s: &[u8]) -> &[u8] {
+    while let [first, rest @ ..] = s {
+        if first.is_ascii_whitespace() {
+            s = rest;
+        } else {
+            break;
+        }
+    }
+    s
+}
+
+#[inline]
+fn trim_ascii(s: &[u8]) -> &[u8] {
+    let mut s = trim_ascii_start(s);
+    while let [rest @ .., last] = s {
+        if last.is_ascii_whitespace() {
+            s = rest;
+        } else {
+            break;
+        }
+    }
+    s
+}
+
+/// Parses an unsigned decimal integer occupying the whole slice. Rejects
+/// empty slices, non-digits, and overflow. (Unlike `str::parse` it also
+/// rejects a leading `+`, which CLF never contains.)
+#[inline]
+fn parse_uint(s: &[u8], max: u64) -> Option<u64> {
+    if s.is_empty() {
+        return None;
+    }
+    let mut v: u64 = 0;
+    for &b in s {
+        let d = b.wrapping_sub(b'0');
+        if d > 9 {
+            return None;
+        }
+        v = v.checked_mul(10)?.checked_add(d as u64)?;
+        if v > max {
+            return None;
+        }
+    }
+    Some(v)
+}
+
+/// Parses a dotted-quad IPv4 address with `std`'s strictness: exactly four
+/// octets, 1–3 digits each, no leading zeros, each ≤ 255.
+#[inline]
+fn parse_ipv4(s: &[u8]) -> Option<u32> {
+    let mut addr: u32 = 0;
+    let mut rest = s;
+    for octet in 0..4 {
+        if octet > 0 {
+            match rest {
+                [b'.', r @ ..] => rest = r,
+                _ => return None,
+            }
+        }
+        let mut val: u32 = 0;
+        let mut digits = 0usize;
+        while let [b, r @ ..] = rest {
+            let d = b.wrapping_sub(b'0');
+            if d > 9 {
+                break;
+            }
+            val = val * 10 + d as u32;
+            digits += 1;
+            rest = r;
+            if digits > 3 {
+                return None;
+            }
+        }
+        // No empty octets, no leading zeros ("012"), nothing above 255.
+        if digits == 0 || val > 255 || (digits > 1 && s[s.len() - rest.len() - digits] == b'0') {
+            return None;
+        }
+        addr = (addr << 8) | val;
+    }
+    if rest.is_empty() {
+        Some(addr)
+    } else {
+        None
+    }
+}
+
+#[inline]
+fn month_number(s: &[u8]) -> Option<u32> {
+    MONTHS
+        .iter()
+        .position(|m| m.as_bytes() == s)
+        .map(|i| i as u32 + 1)
+}
+
+/// Decodes exactly two ASCII digits.
+#[inline]
+fn two_digits(s: &[u8]) -> Option<u32> {
+    let a = s[0].wrapping_sub(b'0');
+    let b = s[1].wrapping_sub(b'0');
+    if a > 9 || b > 9 {
+        None
+    } else {
+        Some((a * 10 + b) as u32)
+    }
+}
+
+/// Fast path for the canonical fixed-width timestamp
+/// `dd/Mon/yyyy:HH:MM:SS +0000` (26 bytes, two-digit day). Returns `None`
+/// for anything else — including in-range shapes with out-of-range values
+/// — and the caller falls back to the general parser, which accepts the
+/// same values on this shape by construction.
+#[inline]
+fn parse_clf_time_fixed(s: &[u8]) -> Option<u64> {
+    if s.len() != 26
+        || s[2] != b'/'
+        || s[6] != b'/'
+        || s[11] != b':'
+        || s[14] != b':'
+        || s[17] != b':'
+        || &s[20..] != b" +0000"
+    {
+        return None;
+    }
+    let d = two_digits(&s[0..])?;
+    let m = month_number(&s[3..6])?;
+    let y = (two_digits(&s[7..])? * 100 + two_digits(&s[9..])?) as i64;
+    let h = two_digits(&s[12..])?;
+    let mi = two_digits(&s[15..])?;
+    let sec = two_digits(&s[18..])?;
+    if d == 0 || d > 31 || h > 23 || mi > 59 || sec > 60 {
+        return None;
+    }
+    let days = days_from_civil(y, m, d);
+    u64::try_from(days * 86_400 + (h * 3600 + mi * 60 + sec) as i64).ok()
+}
+
+/// Parses a CLF date (the part between brackets) to Unix epoch seconds —
+/// byte-level twin of [`clf::parse_clf_time`](crate::clf::parse_clf_time).
+/// Only `+0000` offsets are accepted.
+pub fn parse_clf_time_bytes(s: &[u8]) -> Option<u64> {
+    if let Some(t) = parse_clf_time_fixed(s) {
+        return Some(t);
+    }
+    // dd/Mon/yyyy:HH:MM:SS +0000
+    let colon = find(s, b':')?;
+    let (date, rest) = (&s[..colon], &s[colon + 1..]);
+    let slash1 = find(date, b'/')?;
+    let after = &date[slash1 + 1..];
+    let slash2 = find(after, b'/')?;
+    let (mon, year_part) = (&after[..slash2], &after[slash2 + 1..]);
+    // Like the string parser's `split('/')`, anything after a third slash
+    // is ignored rather than rejected.
+    let year = match find(year_part, b'/') {
+        Some(i) => &year_part[..i],
+        None => year_part,
+    };
+    let d = parse_uint(&date[..slash1], u32::MAX as u64)? as u32;
+    let m = month_number(mon)?;
+    let y = parse_uint(year, i64::MAX as u64)? as i64;
+    let space = find(rest, b' ')?;
+    let (time, zone) = (&rest[..space], &rest[space + 1..]);
+    if zone != b"+0000" {
+        return None;
+    }
+    let c1 = find(time, b':')?;
+    let c2 = find(&time[c1 + 1..], b':')? + c1 + 1;
+    let sec_tok = match find(&time[c2 + 1..], b':') {
+        Some(i) => &time[c2 + 1..c2 + 1 + i],
+        None => &time[c2 + 1..],
+    };
+    let h = parse_uint(&time[..c1], u64::MAX)?;
+    let mi = parse_uint(&time[c1 + 1..c2], u64::MAX)?;
+    let sec = parse_uint(sec_tok, u64::MAX)?;
+    if d == 0 || d > 31 || h > 23 || mi > 59 || sec > 60 {
+        return None;
+    }
+    let days = days_from_civil(y, m, d);
+    u64::try_from(days * 86_400 + (h * 3600 + mi * 60 + sec) as i64).ok()
+}
+
+/// Splits off the token before the first space: `(token, rest_after_space)`.
+/// Mirrors one step of `str::split(' ')` — the token may be empty, and
+/// `rest` is `None` when no space remains.
+#[inline]
+fn split_token(s: &[u8]) -> (&[u8], Option<&[u8]>) {
+    match find(s, b' ') {
+        Some(i) => (&s[..i], Some(&s[i + 1..])),
+        None => (s, None),
+    }
+}
+
+/// Decodes one CLF line into a borrowed [`RawRecord`]. `lineno` is the
+/// 0-based line number recorded in errors.
+///
+/// Grammar, field order, and error classification are identical to the
+/// string parser's: the same malformed line yields the same
+/// [`ClfErrorKind`] from both.
+pub fn parse_record(line: &[u8], lineno: usize) -> Result<RawRecord<'_>, ClfError> {
+    parse_record_impl::<true>(line, lineno)
+}
+
+/// [`parse_record`] minus the User-Agent extraction (`ua` is always
+/// `b"-"`). UA extraction never fails, so the `Result` — success or exact
+/// error — is identical; consumers that ignore the UA (the fused
+/// clustering pipeline) skip its backwards quote scan entirely.
+pub fn parse_record_no_ua(line: &[u8], lineno: usize) -> Result<RawRecord<'_>, ClfError> {
+    parse_record_impl::<false>(line, lineno)
+}
+
+#[inline]
+fn parse_record_impl<const WANT_UA: bool>(
+    line: &[u8],
+    lineno: usize,
+) -> Result<RawRecord<'_>, ClfError> {
+    parse_trimmed_impl::<WANT_UA>(trim_ascii(line), lineno)
+}
+
+/// [`parse_record_impl`] over an already-trimmed line (the `records`
+/// iterators trim once while skipping blanks).
+#[inline]
+fn parse_trimmed_impl<const WANT_UA: bool>(
+    mut rest: &[u8],
+    lineno: usize,
+) -> Result<RawRecord<'_>, ClfError> {
+    let err = |kind: ClfErrorKind| ClfError { line: lineno, kind };
+    let sp = find(rest, b' ').ok_or_else(|| err(ClfErrorKind::MissingFields))?;
+    let addr = parse_ipv4(&rest[..sp]).ok_or_else(|| err(ClfErrorKind::BadClientAddress))?;
+    rest = &rest[sp + 1..];
+    // Canonical tail fast path: `- - [` then a fixed-width timestamp whose
+    // closing bracket sits exactly 27 bytes past the opening one. The
+    // guess is only taken when the 26 bytes parse as a fixed-width
+    // timestamp — which cannot contain `]` — so an accepted guess always
+    // equals what the general `find` route would produce.
+    let (open, fast_epoch) = if rest.starts_with(b"- - [") {
+        let close = 4 + 27;
+        if rest.len() > close && rest[close] == b']' {
+            (4, parse_clf_time_fixed(&rest[5..close]))
+        } else {
+            (4, None)
+        }
+    } else {
+        (
+            find(rest, b'[').ok_or_else(|| err(ClfErrorKind::MissingTimestamp))?,
+            None,
+        )
+    };
+    let (epoch, close) = match fast_epoch {
+        Some(t) => (t, open + 27),
+        None => {
+            let close = find(&rest[open + 1..], b']')
+                .map(|i| i + open + 1)
+                .ok_or_else(|| err(ClfErrorKind::MissingTimestampClose))?;
+            let t = parse_clf_time_bytes(&rest[open + 1..close])
+                .ok_or_else(|| err(ClfErrorKind::BadTimestamp))?;
+            (t, close)
+        }
+    };
+    rest = trim_ascii_start(&rest[close + 1..]);
+    if rest.first() != Some(&b'"') {
+        return Err(err(ClfErrorKind::MissingRequestLine));
+    }
+    let req_end =
+        find(&rest[1..], b'"').ok_or_else(|| err(ClfErrorKind::UnterminatedRequestLine))? + 1;
+    let request_line = &rest[1..req_end];
+    // Method is the first space-separated token (never absent — an empty
+    // request line still yields an empty method token); the path is the
+    // second.
+    let path = match find(request_line, b' ') {
+        None => return Err(err(ClfErrorKind::RequestLineLacksPath)),
+        Some(m) => split_token(&request_line[m + 1..]).0,
+    };
+    rest = trim_ascii_start(&rest[req_end + 1..]);
+    let (status_tok, after_status) = split_token(rest);
+    let status =
+        parse_uint(status_tok, u16::MAX as u64).ok_or_else(|| err(ClfErrorKind::BadStatus))? as u16;
+    let tail = after_status.ok_or_else(|| err(ClfErrorKind::MissingBytes))?;
+    let (bytes_tok, after_bytes) = split_token(tail);
+    let bytes: u32 = if bytes_tok == b"-" {
+        0
+    } else {
+        parse_uint(bytes_tok, u32::MAX as u64).ok_or_else(|| err(ClfErrorKind::BadBytes))? as u32
+    };
+    // Optional combined-format tail: "referer" "user-agent". The UA is the
+    // segment between the last two quotes (everything before a lone quote,
+    // `-` when no quotes remain) — same selection rule as the string
+    // parser's `rsplit('"').nth(1)`.
+    let ua = match after_bytes {
+        _ if !WANT_UA => &b"-"[..],
+        None => &b"-"[..],
+        Some(t) => match t.iter().rposition(|&b| b == b'"') {
+            None => &b"-"[..],
+            Some(last) => match t[..last].iter().rposition(|&b| b == b'"') {
+                Some(prev) => &t[prev + 1..last],
+                None => &t[..last],
+            },
+        },
+    };
+    Ok(RawRecord {
+        addr,
+        epoch,
+        path,
+        status,
+        bytes,
+        ua,
+    })
+}
+
+/// Iterator over the records of a CLF buffer: yields `Ok((lineno,
+/// record))` for parsable lines and `Err(error)` for malformed ones,
+/// skipping blank lines. `first_line` offsets the reported line numbers so
+/// chunked parsers report buffer-global positions.
+pub fn records(
+    data: &[u8],
+    first_line: usize,
+) -> impl Iterator<Item = Result<(usize, RawRecord<'_>), ClfError>> {
+    records_impl::<true>(data, first_line)
+}
+
+/// [`records`] over [`parse_record_no_ua`]: same records and errors with
+/// `ua` fixed to `b"-"`, skipping the User-Agent scan per line.
+pub fn records_no_ua(
+    data: &[u8],
+    first_line: usize,
+) -> impl Iterator<Item = Result<(usize, RawRecord<'_>), ClfError>> {
+    records_impl::<false>(data, first_line)
+}
+
+fn records_impl<const WANT_UA: bool>(
+    data: &[u8],
+    first_line: usize,
+) -> impl Iterator<Item = Result<(usize, RawRecord<'_>), ClfError>> {
+    lines(data).enumerate().filter_map(move |(i, line)| {
+        let trimmed = trim_ascii(line);
+        if trimmed.is_empty() {
+            return None;
+        }
+        let lineno = first_line + i;
+        Some(parse_trimmed_impl::<WANT_UA>(trimmed, lineno).map(|r| (lineno, r)))
+    })
+}
+
+/// Iterates `\n`-separated lines, stripping one trailing `\r` each —
+/// byte-level `str::lines`. A trailing newline does not produce a final
+/// empty line.
+pub fn lines(data: &[u8]) -> impl Iterator<Item = &[u8]> {
+    let mut pos = 0usize;
+    std::iter::from_fn(move || {
+        if pos >= data.len() {
+            return None;
+        }
+        let rest = &data[pos..];
+        let (line, advance) = match find(rest, b'\n') {
+            Some(i) => (&rest[..i], i + 1),
+            None => (rest, rest.len()),
+        };
+        pos += advance;
+        Some(line.strip_suffix(b"\r").unwrap_or(line))
+    })
+}
+
+/// Parses a CLF byte buffer into a [`Log`], producing output identical to
+/// [`clf::from_clf`](crate::clf::from_clf) on the same bytes (same
+/// requests, interning order, and error list) while allocating only at
+/// intern time — the per-line scan is zero-copy.
+pub fn from_clf_bytes(name: &str, data: &[u8]) -> (Log, Vec<ClfError>) {
+    let mut parsed: Vec<RawRecord<'_>> = Vec::new();
+    let mut errors = Vec::new();
+    for item in records(data, 0) {
+        match item {
+            Ok((_, r)) => parsed.push(r),
+            Err(e) => errors.push(e),
+        }
+    }
+    // Stable sort: ties keep input order, like the reference parser.
+    parsed.sort_by_key(|p| p.epoch);
+    let start_time = parsed.first().map(|p| p.epoch).unwrap_or(0);
+    let end = parsed.last().map(|p| p.epoch).unwrap_or(0);
+
+    let mut urls: Vec<UrlMeta> = Vec::new();
+    let mut url_index: HashMap<&[u8], u32> = HashMap::new();
+    let mut uas: Vec<String> = Vec::new();
+    let mut ua_index: HashMap<&[u8], u16> = HashMap::new();
+    let mut requests = Vec::with_capacity(parsed.len());
+    for p in &parsed {
+        let url = *url_index.entry(p.path).or_insert_with(|| {
+            urls.push(UrlMeta {
+                path: String::from_utf8_lossy(p.path).into_owned(),
+                size: p.bytes,
+            });
+            (urls.len() - 1) as u32
+        });
+        // Track the largest observed size as the canonical resource size.
+        if p.bytes > urls[url as usize].size {
+            urls[url as usize].size = p.bytes;
+        }
+        let ua = *ua_index.entry(p.ua).or_insert_with(|| {
+            uas.push(String::from_utf8_lossy(p.ua).into_owned());
+            (uas.len() - 1) as u16
+        });
+        requests.push(Request {
+            time: (p.epoch - start_time) as u32,
+            client: p.addr,
+            url,
+            bytes: p.bytes,
+            status: p.status,
+            ua,
+        });
+    }
+    let log = Log {
+        name: name.to_string(),
+        requests,
+        urls,
+        user_agents: if uas.is_empty() {
+            vec!["-".to_string()]
+        } else {
+            uas
+        },
+        start_time,
+        duration_s: (end - start_time) as u32,
+        truth: LogTruth::default(),
+    };
+    (log, errors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clf;
+
+    #[test]
+    fn ipv4_matches_std() {
+        for s in [
+            "0.0.0.0",
+            "1.2.3.4",
+            "255.255.255.255",
+            "12.65.147.94",
+            "01.2.3.4",
+            "1.2.3.04",
+            "1.2.3",
+            "1.2.3.4.5",
+            "1.2.3.256",
+            "1.2.3.",
+            ".1.2.3",
+            "1..2.3",
+            "a.b.c.d",
+            "1.2.3.4 ",
+            "",
+            "999.1.1.1",
+            "+1.2.3.4",
+        ] {
+            let expect = s.parse::<std::net::Ipv4Addr>().ok().map(u32::from);
+            assert_eq!(parse_ipv4(s.as_bytes()), expect, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn time_matches_string_parser() {
+        for s in [
+            "13/Feb/1998:07:21:35 +0000",
+            "13/Feb/1998:00:00:00 +0000",
+            "01/Jan/1970:00:00:00 +0000",
+            "31/Dec/2099:23:59:60 +0000",
+            "13/Feb/1998:07:21:35 +0100",
+            "99/Feb/1998:07:21:35 +0000",
+            "5/Feb/1998:07:21:35 +0000",
+            "13/feb/1998:07:21:35 +0000",
+            "13/Feb/0098:07:21:35 +0000",
+            "32/Feb/1998:00:00:00 +0000",
+            "13/Xxx/1998:00:00:00 +0000",
+            "00/Feb/1998:00:00:00 +0000",
+            "13/Feb/1998:24:00:00 +0000",
+            "13/Feb/1998:00:61:00 +0000",
+            "13/Feb/1998:00:00 +0000",
+            "13/Feb/1998:07:21:35:99 +0000",
+            "5/Feb/1998/x:07:21:35 +0000",
+            "nonsense",
+            "",
+        ] {
+            assert_eq!(
+                parse_clf_time_bytes(s.as_bytes()),
+                clf::parse_clf_time(s),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn record_zero_copy_fields() {
+        let line = b"12.65.147.94 - - [13/Feb/1998:07:21:35 +0000] \"GET /a.html HTTP/1.0\" 200 5120 \"-\" \"Mozilla/4.0 (X11; Linux)\"";
+        let r = parse_record(line, 0).unwrap();
+        assert_eq!(r.addr, u32::from_be_bytes([12, 65, 147, 94]));
+        assert_eq!(r.path, b"/a.html");
+        assert_eq!(r.status, 200);
+        assert_eq!(r.bytes, 5120);
+        assert_eq!(r.ua, b"Mozilla/4.0 (X11; Linux)");
+        assert_eq!(
+            r.epoch,
+            clf::parse_clf_time("13/Feb/1998:07:21:35 +0000").unwrap()
+        );
+        // The borrowed fields point into the input buffer.
+        let base = line.as_ptr() as usize;
+        let path_pos = r.path.as_ptr() as usize - base;
+        assert_eq!(&line[path_pos..path_pos + r.path.len()], b"/a.html");
+    }
+
+    #[test]
+    fn malformed_lines_match_string_parser_kinds() {
+        let cases: &[&str] = &[
+            "garbage",
+            "",
+            "   ",
+            "999.1.1.1 - - [13/Feb/1998:07:00:00 +0000] \"GET /x HTTP/1.0\" 200 100",
+            "1.2.3.4",
+            "1.2.3.4 - - 13/Feb/1998:07:00:00 \"GET /x HTTP/1.0\" 200 100",
+            "1.2.3.4 - - [13/Feb/1998:07:00:00 +0000 \"GET /x HTTP/1.0\" 200 100",
+            "1.2.3.4 - - [13/Feb/1998:07:00:00 +0000] GET /x HTTP/1.0 200 100",
+            "1.2.3.4 - - [13/Feb/1998:07:00:00 +0000] \"GET /x HTTP/1.0 200 100",
+            "1.2.3.4 - - [13/Feb/1998:07:00:00 +0000] \"GET\" 200 100",
+            "1.2.3.4 - - [32/Feb/1998:07:00:00 +0000] \"GET /x HTTP/1.0\" 200 100",
+            "1.2.3.4 - - [13/Zzz/1998:07:00:00 +0000] \"GET /x HTTP/1.0\" 200 100",
+            "1.2.3.4 - - [13/Feb/1998:07:00:00 +0000] \"GET /x HTTP/1.0\" abc 100",
+            "1.2.3.4 - - [13/Feb/1998:07:00:00 +0000] \"GET /x HTTP/1.0\" 200",
+            "1.2.3.4 - - [13/Feb/1998:07:00:00 +0000] \"GET /x HTTP/1.0\" 200 xyz",
+            "1.2.3.4 - - [13/Feb/1998:07:00:00 +0000] \"GET /x HTTP/1.0\" 99999 1",
+            "1.2.3.4 ] - [13/Feb/1998:07:00:00 +0000] \"GET /x HTTP/1.0\" 200 100",
+        ];
+        let text = cases.join("\n");
+        let (str_log, str_errs) = clf::from_clf("m", &text);
+        let (byte_log, byte_errs) = from_clf_bytes("m", text.as_bytes());
+        assert_eq!(str_errs, byte_errs);
+        assert_eq!(str_log.requests, byte_log.requests);
+    }
+
+    #[test]
+    fn whole_log_matches_string_parser() {
+        let text = "1.2.3.4 - - [13/Feb/1998:08:00:00 +0000] \"GET /b HTTP/1.0\" 200 2 \"-\" \"UA-1\"\n\
+                    1.2.3.4 - - [13/Feb/1998:07:00:00 +0000] \"GET /a HTTP/1.0\" 304 -\n\
+                    bogus line\n\
+                    5.6.7.8 - - [13/Feb/1998:07:30:00 +0000] \"GET /b HTTP/1.0\" 200 20 \"-\" \"UA-2\"\n";
+        let (str_log, str_errs) = clf::from_clf("t", text);
+        let (byte_log, byte_errs) = from_clf_bytes("t", text.as_bytes());
+        assert_eq!(str_errs, byte_errs);
+        assert_eq!(str_log.requests, byte_log.requests);
+        assert_eq!(str_log.urls, byte_log.urls);
+        assert_eq!(str_log.user_agents, byte_log.user_agents);
+        assert_eq!(str_log.start_time, byte_log.start_time);
+        assert_eq!(str_log.duration_s, byte_log.duration_s);
+        assert!(byte_log.check().is_ok());
+    }
+
+    #[test]
+    fn find_matches_position_across_lengths() {
+        // Exercise the SWAR word loop and the scalar remainder, including
+        // bytes >= 0x80 around the needle (borrow-propagation territory).
+        let mut hay: Vec<u8> = (0..41u8).map(|i| i.wrapping_mul(37) | 0x80).collect();
+        for pos in [0usize, 3, 7, 8, 9, 15, 16, 31, 39, 40] {
+            let mut h = hay.clone();
+            h[pos] = b'\n';
+            assert_eq!(find(&h, b'\n'), Some(pos), "pos={pos}");
+        }
+        hay.push(b'\n');
+        hay.push(b'\n');
+        assert_eq!(find(&hay, b'\n'), Some(41));
+        assert_eq!(find(&hay[..41], b'\n'), None);
+        assert_eq!(find(&[], b'\n'), None);
+    }
+
+    #[test]
+    fn no_ua_variant_matches_except_ua() {
+        let good = b"12.65.147.94 - - [13/Feb/1998:07:21:35 +0000] \"GET /a.html HTTP/1.0\" 200 5120 \"-\" \"Mozilla/4.0 (X11; Linux)\"";
+        let full = parse_record(good, 3).unwrap();
+        let lean = parse_record_no_ua(good, 3).unwrap();
+        assert_eq!(lean.ua, b"-");
+        assert_eq!(RawRecord { ua: b"-", ..full }, lean);
+        let bad = b"1.2.3.4 - - [13/Feb/1998:07:00:00 +0000] \"GET /x HTTP/1.0\" abc 100";
+        assert_eq!(
+            parse_record(bad, 7).unwrap_err(),
+            parse_record_no_ua(bad, 7).unwrap_err()
+        );
+    }
+
+    #[test]
+    fn lines_match_str_lines() {
+        for text in [
+            "a\nb\nc",
+            "a\nb\nc\n",
+            "a\r\nb\r\n",
+            "",
+            "\n",
+            "\n\n",
+            "a\n\nb",
+        ] {
+            let expect: Vec<&[u8]> = text.lines().map(str::as_bytes).collect();
+            let got: Vec<&[u8]> = lines(text.as_bytes()).collect();
+            assert_eq!(got, expect, "{text:?}");
+        }
+    }
+}

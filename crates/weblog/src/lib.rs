@@ -4,6 +4,10 @@
 //!
 //! * [`Log`] / [`Request`] — compact in-memory representation,
 //! * [`clf`] — Apache Common Log Format parsing and serialization,
+//! * [`clf_bytes`] — zero-copy byte-slice CLF parsing for the ingest hot
+//!   path ([`clf_bytes::RawRecord`] borrows from the input buffer),
+//! * [`chunk`] — line-aligned chunk splitting for parallel parsing and
+//!   mmap-backed file access ([`chunk::LogData`]),
 //! * [`LogSpec`] — generation parameters with paper presets
 //!   ([`LogSpec::nagano`] etc.) and proportional [`LogSpec::scale`],
 //! * [`generate`] — deterministic generation over a
@@ -13,7 +17,9 @@
 
 #![warn(missing_docs)]
 
+pub mod chunk;
 pub mod clf;
+pub mod clf_bytes;
 mod gen;
 mod record;
 mod spec;

@@ -19,10 +19,11 @@ use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use netclust::core::{threshold_busy, Clustering, Distributions};
+use netclust::core::{threshold_busy, Clustering, Distributions, IngestPipeline};
 use netclust::netgen::{standard_collection, Universe, UniverseConfig};
 use netclust::rtable::{MergedTable, RoutingTable, TableKind};
-use netclust::weblog::{clf, generate, LogSpec};
+use netclust::weblog::chunk::LogData;
+use netclust::weblog::{clf, clf_bytes, generate, LogSpec};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -130,25 +131,32 @@ fn cmd_cluster(args: &[String]) -> ExitCode {
         .and_then(|s| s.parse().ok())
         .unwrap_or(20);
 
-    let text = match fs::read_to_string(log_path) {
-        Ok(t) => t,
+    // Memory-map (or read) the log once; both routes parse the raw bytes
+    // with the zero-copy parser — no per-line Strings.
+    let data = match LogData::open(log_path) {
+        Ok(d) => d,
         Err(e) => {
             eprintln!("cluster: cannot read {log_path}: {e}");
             return ExitCode::FAILURE;
         }
     };
-    let (log, errors) = clf::from_clf(log_path, &text);
-    if !errors.is_empty() {
-        eprintln!("note: {} unparsable log lines skipped", errors.len());
-    }
-    if log.requests.is_empty() {
-        eprintln!("cluster: no parsable requests in {log_path}");
-        return ExitCode::FAILURE;
-    }
 
     let clustering = match method {
-        "simple" => Clustering::simple24(&log),
-        "classful" => Clustering::classful(&log),
+        "simple" | "classful" => {
+            let (log, errors) = clf_bytes::from_clf_bytes(log_path, &data);
+            if !errors.is_empty() {
+                eprintln!("note: {} unparsable log lines skipped", errors.len());
+            }
+            if log.requests.is_empty() {
+                eprintln!("cluster: no parsable requests in {log_path}");
+                return ExitCode::FAILURE;
+            }
+            if method == "simple" {
+                Clustering::simple24(&log)
+            } else {
+                Clustering::classful(&log)
+            }
+        }
         "aware" => {
             let bgp = match opt(args, "--table") {
                 Some(list) => match read_tables(list, TableKind::Bgp) {
@@ -180,7 +188,18 @@ fn cmd_cluster(args: &[String]) -> ExitCode {
                 merged.dump_len(),
                 merged.source_names().len()
             );
-            Clustering::network_aware(&log, &merged)
+            // The fused pipeline: chunked zero-copy parse straight into
+            // compiled-LPM clustering, skipping the intermediate Log.
+            let compiled = merged.compile();
+            let report = IngestPipeline::new(&compiled).run(&data);
+            if !report.errors.is_empty() {
+                eprintln!("note: {} unparsable log lines skipped", report.errors.len());
+            }
+            if report.clustering.total_requests == 0 {
+                eprintln!("cluster: no parsable requests in {log_path}");
+                return ExitCode::FAILURE;
+            }
+            report.clustering
         }
         other => {
             eprintln!("cluster: unknown method {other:?} (aware|simple|classful)");
@@ -190,8 +209,8 @@ fn cmd_cluster(args: &[String]) -> ExitCode {
 
     println!(
         "{}: {} requests, {} clients -> {} clusters ({:.2}% clustered, {} unclustered clients)",
-        log.name,
-        log.requests.len(),
+        log_path,
+        clustering.total_requests,
         clustering.client_count(),
         clustering.len(),
         clustering.coverage() * 100.0,
