@@ -31,6 +31,7 @@ fn main() {
             &CorrectionConfig {
                 samples_per_cluster: r,
                 seed: 0xC0,
+                ..CorrectionConfig::default()
             },
         );
         println!("\n-- samples per cluster r = {r} --");

@@ -1,0 +1,213 @@
+//! Seed-driven deterministic failpoint registry.
+//!
+//! The streaming pipeline has three seams where messy reality leaks in:
+//! routing-table swaps (§3.4's churn), self-correction probes (§3.5's
+//! unresponsive routers), and log ingest (torn files, I/O errors). Tests
+//! need to exercise those failures *reproducibly* — no wall clocks, no
+//! ambient randomness. A [`FaultPlan`] names failpoints and arms each with
+//! a firing probability; a [`FaultInjector`] evaluates them with a draw
+//! that is a pure function of `(seed, failpoint name, evaluation count)`,
+//! so a given seed replays the exact same fault schedule every run and a
+//! seed sweep explores distinct schedules.
+//!
+//! Production code paths accept an injector and ask
+//! [`FaultInjector::should_fire`] at each seam; the disabled injector
+//! answers `false` for free, so the hot paths cost nothing when no plan is
+//! armed.
+
+use std::collections::BTreeMap;
+
+use netclust_netgen::unit_f64;
+
+/// Well-known failpoint names wired through the pipeline.
+pub mod failpoints {
+    /// Compiling a candidate routing table during a hot swap dies
+    /// (allocation failure, corrupt input surviving parse).
+    pub const SWAP_COMPILE: &str = "swap.compile";
+    /// A chunk of the input log fails mid-read (I/O error on a page of an
+    /// `mmap`'d file, torn NFS read).
+    pub const INGEST_CHUNK_IO: &str = "ingest.chunk_io";
+}
+
+/// FNV-1a over the failpoint name: folds the registry key into the seed
+/// stream so distinct failpoints draw independently.
+fn point_tag(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in name.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// A named set of armed failpoints with firing probabilities, plus the
+/// seed every draw derives from.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    points: BTreeMap<String, f64>,
+}
+
+impl FaultPlan {
+    /// A plan with no armed failpoints (nothing ever fires).
+    pub fn disabled() -> Self {
+        FaultPlan::default()
+    }
+
+    /// An empty plan drawing from `seed`; arm failpoints with
+    /// [`with`](Self::with).
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            points: BTreeMap::new(),
+        }
+    }
+
+    /// Arms `point` to fire with probability `p` per evaluation
+    /// (clamped to `[0, 1]`).
+    pub fn with(mut self, point: &str, p: f64) -> Self {
+        self.points.insert(point.to_string(), p.clamp(0.0, 1.0));
+        self
+    }
+
+    /// The seed the plan draws from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The armed probability of `point` (0 when not armed).
+    pub fn probability(&self, point: &str) -> f64 {
+        self.points.get(point).copied().unwrap_or(0.0)
+    }
+
+    /// `true` when `point` can ever fire under this plan.
+    pub fn is_armed(&self, point: &str) -> bool {
+        self.probability(point) > 0.0
+    }
+
+    /// A fresh injector evaluating this plan from its first draw.
+    pub fn injector(&self) -> FaultInjector {
+        FaultInjector {
+            plan: self.clone(),
+            counts: BTreeMap::new(),
+        }
+    }
+}
+
+/// A stateful evaluator of a [`FaultPlan`]: each failpoint keeps an
+/// evaluation counter, and draw *n* for a point is the pure function
+/// `unit_f64(seed, [tag(point), n])` — reproducible, order-independent
+/// across points, and fresh on every evaluation.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    /// Per-point `(evaluations, fired)` counters.
+    counts: BTreeMap<String, (u64, u64)>,
+}
+
+impl FaultInjector {
+    /// An injector that never fires (and never allocates counters).
+    pub fn disabled() -> Self {
+        FaultPlan::disabled().injector()
+    }
+
+    /// `true` when `point` can ever fire.
+    pub fn is_armed(&self, point: &str) -> bool {
+        self.plan.is_armed(point)
+    }
+
+    /// Evaluates `point` once: draws deterministically from the plan seed
+    /// and this point's evaluation counter, records the outcome, and
+    /// returns whether the fault fires.
+    pub fn should_fire(&mut self, point: &str) -> bool {
+        let p = self.plan.probability(point);
+        if p <= 0.0 {
+            return false;
+        }
+        let entry = self.counts.entry(point.to_string()).or_insert((0, 0));
+        let n = entry.0;
+        entry.0 += 1;
+        let fire = p >= 1.0 || unit_f64(self.plan.seed, &[point_tag(point), n]) < p;
+        if fire {
+            entry.1 += 1;
+        }
+        fire
+    }
+
+    /// Times `point` has been evaluated.
+    pub fn evaluations(&self, point: &str) -> u64 {
+        self.counts.get(point).map(|c| c.0).unwrap_or(0)
+    }
+
+    /// Times `point` actually fired.
+    pub fn fired(&self, point: &str) -> u64 {
+        self.counts.get(point).map(|c| c.1).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_injector_never_fires() {
+        let mut inj = FaultInjector::disabled();
+        for _ in 0..100 {
+            assert!(!inj.should_fire(failpoints::SWAP_COMPILE));
+        }
+        assert_eq!(inj.evaluations(failpoints::SWAP_COMPILE), 0);
+        assert!(!inj.is_armed(failpoints::SWAP_COMPILE));
+    }
+
+    #[test]
+    fn schedule_is_reproducible_from_seed() {
+        let plan = FaultPlan::new(42).with(failpoints::INGEST_CHUNK_IO, 0.3);
+        let sample = |plan: &FaultPlan| -> Vec<bool> {
+            let mut inj = plan.injector();
+            (0..200)
+                .map(|_| inj.should_fire(failpoints::INGEST_CHUNK_IO))
+                .collect()
+        };
+        assert_eq!(sample(&plan), sample(&plan));
+        let other = FaultPlan::new(43).with(failpoints::INGEST_CHUNK_IO, 0.3);
+        assert_ne!(sample(&plan), sample(&other));
+    }
+
+    #[test]
+    fn firing_rate_tracks_probability() {
+        let plan = FaultPlan::new(7).with("x", 0.25);
+        let mut inj = plan.injector();
+        for _ in 0..2000 {
+            inj.should_fire("x");
+        }
+        assert_eq!(inj.evaluations("x"), 2000);
+        let rate = inj.fired("x") as f64 / 2000.0;
+        assert!((0.2..0.3).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn points_draw_independently() {
+        let plan = FaultPlan::new(7).with("a", 0.5).with("b", 0.5);
+        let mut inj = plan.injector();
+        let a: Vec<bool> = (0..64).map(|_| inj.should_fire("a")).collect();
+        let b: Vec<bool> = (0..64).map(|_| inj.should_fire("b")).collect();
+        assert_ne!(a, b);
+        // Interleaving evaluations does not change a point's schedule.
+        let mut inj2 = plan.injector();
+        let mut a2 = Vec::new();
+        for _ in 0..64 {
+            a2.push(inj2.should_fire("a"));
+            inj2.should_fire("b");
+        }
+        assert_eq!(a, a2);
+    }
+
+    #[test]
+    fn certainties_and_clamping() {
+        let plan = FaultPlan::new(1).with("always", 1.0).with("over", 7.5);
+        let mut inj = plan.injector();
+        assert!(inj.should_fire("always"));
+        assert!(inj.should_fire("over"));
+        assert_eq!(plan.probability("over"), 1.0);
+    }
+}

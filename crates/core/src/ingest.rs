@@ -26,7 +26,27 @@
 //! partition (summation commutes) and concatenate in address order, and
 //! parse errors are reported with buffer-global line numbers in line
 //! order, so the result is independent of thread count and scheduling.
+//!
+//! ## Hardening
+//!
+//! Real access logs are torn, truncated, and occasionally garbage. The
+//! pipeline therefore supports:
+//!
+//! * **error budgets** — [`IngestPipeline::max_error_rate`] turns "skip
+//!   malformed lines forever" into "abort with context past N%"
+//!   ([`IngestError::ErrorBudget`]),
+//! * **quarantine** — [`IngestReport::quarantine`] resolves every rejected
+//!   line to its byte range in the input so operators can extract exactly
+//!   what was dropped,
+//! * **fault injection** — [`IngestPipeline::fault_plan`] arms the
+//!   [`failpoints::INGEST_CHUNK_IO`] failpoint: chunk reads fail
+//!   mid-scan, the partial chunk state is discarded (chunk-granularity
+//!   checkpoint), and the read retries up to
+//!   [`io_retries`](IngestPipeline::io_retries) times. A recovered run is
+//!   byte-identical to an unfaulted one; an unrecovered one fails cleanly
+//!   ([`IngestError::ChunkIo`]) with nothing half-counted.
 
+use std::fmt;
 use std::io;
 use std::net::Ipv4Addr;
 use std::path::Path;
@@ -39,6 +59,7 @@ use netclust_weblog::clf_bytes;
 use rayon::prelude::*;
 
 use crate::cluster::{self, ClientStats, Clustering};
+use crate::faults::{failpoints, FaultInjector, FaultPlan};
 use crate::fx::FxHashMap;
 
 /// Default chunk size: large enough to amortise per-chunk setup, small
@@ -49,7 +70,7 @@ const DEFAULT_CHUNK_BYTES: usize = 1 << 20;
 ///
 /// ```no_run
 /// use netclust_core::IngestPipeline;
-/// # fn demo(table: &netclust_rtable::CompiledMerged) -> std::io::Result<()> {
+/// # fn demo(table: &netclust_rtable::CompiledMerged) -> Result<(), netclust_core::IngestError> {
 /// let report = IngestPipeline::new(table).run_file("access.log")?;
 /// println!(
 ///     "{} clusters from {} lines ({} malformed)",
@@ -64,9 +85,103 @@ pub struct IngestPipeline<'t> {
     table: &'t CompiledMerged,
     chunk_bytes: usize,
     url_stats: bool,
+    max_error_rate: Option<f64>,
+    io_retries: u32,
+    faults: FaultPlan,
+}
+
+/// Why a hardened ingest run ([`IngestPipeline::try_run`] /
+/// [`IngestPipeline::run_file`]) aborted.
+#[derive(Debug)]
+pub enum IngestError {
+    /// Opening or reading the input file failed.
+    Io(io::Error),
+    /// A chunk read kept failing past the retry budget; nothing from the
+    /// failing chunk was counted.
+    ChunkIo {
+        /// 0-based index of the failing chunk.
+        chunk: usize,
+        /// Buffer-global line number of the chunk's first line.
+        first_line: usize,
+        /// Read attempts made (1 initial + retries).
+        attempts: u32,
+    },
+    /// The malformed-line ratio blew the configured budget.
+    ErrorBudget {
+        /// Malformed lines seen.
+        errors: usize,
+        /// Total input lines.
+        lines: usize,
+        /// The configured budget ([`IngestPipeline::max_error_rate`]).
+        max_ratio: f64,
+        /// The first few parse errors, for context.
+        sample: Vec<ClfError>,
+    },
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::Io(e) => write!(f, "ingest I/O error: {e}"),
+            IngestError::ChunkIo {
+                chunk,
+                first_line,
+                attempts,
+            } => write!(
+                f,
+                "chunk {chunk} (first line {first_line}) failed after {attempts} read attempts"
+            ),
+            IngestError::ErrorBudget {
+                errors,
+                lines,
+                max_ratio,
+                sample,
+            } => {
+                write!(
+                    f,
+                    "{errors} of {lines} lines malformed ({:.2}% > {:.2}% budget)",
+                    *errors as f64 / (*lines).max(1) as f64 * 100.0,
+                    max_ratio * 100.0
+                )?;
+                if let Some(first) = sample.first() {
+                    write!(f, "; first at line {}", first.line)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for IngestError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IngestError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for IngestError {
+    fn from(e: io::Error) -> Self {
+        IngestError::Io(e)
+    }
+}
+
+/// One rejected input line resolved to its byte range (see
+/// [`IngestReport::quarantine`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuarantinedLine {
+    /// 0-based buffer-global line number.
+    pub line: usize,
+    /// Byte offset of the line's first byte.
+    pub start: usize,
+    /// Byte offset one past the line's last content byte (the trailing
+    /// newline, when present, is not included).
+    pub end: usize,
 }
 
 /// What one ingest run produced.
+#[derive(Debug)]
 pub struct IngestReport {
     /// The network-aware clustering of the log's clients.
     pub clustering: Clustering,
@@ -77,6 +192,40 @@ pub struct IngestReport {
     pub lines: usize,
     /// Input size in bytes.
     pub bytes: usize,
+    /// Injected chunk-read faults encountered (0 unless a fault plan is
+    /// armed).
+    pub io_faults: u64,
+    /// Chunks that needed at least one re-read to ingest.
+    pub chunks_retried: u64,
+}
+
+impl IngestReport {
+    /// Resolves every malformed line to its byte range in `data` (the
+    /// buffer this report was produced from) — the quarantine sink: the
+    /// exact rejected bytes, with line numbers, ready to be written out
+    /// for offline inspection. One pass, in line order.
+    pub fn quarantine(&self, data: &[u8]) -> Vec<QuarantinedLine> {
+        let mut out = Vec::with_capacity(self.errors.len());
+        let mut wanted = self.errors.iter().map(|e| e.line).peekable();
+        let mut line = 0usize;
+        let mut pos = 0usize;
+        while pos < data.len() {
+            let Some(&want) = wanted.peek() else { break };
+            let nl = data[pos..].iter().position(|&b| b == b'\n');
+            let end = nl.map_or(data.len(), |p| pos + p);
+            if line == want {
+                out.push(QuarantinedLine {
+                    line,
+                    start: pos,
+                    end,
+                });
+                wanted.next();
+            }
+            line += 1;
+            pos = end + 1;
+        }
+        out
+    }
 }
 
 impl<'t> IngestPipeline<'t> {
@@ -87,6 +236,9 @@ impl<'t> IngestPipeline<'t> {
             table,
             chunk_bytes: DEFAULT_CHUNK_BYTES,
             url_stats: true,
+            max_error_rate: None,
+            io_retries: 2,
+            faults: FaultPlan::disabled(),
         }
     }
 
@@ -105,43 +257,149 @@ impl<'t> IngestPipeline<'t> {
         self
     }
 
+    /// Sets the malformed-line budget for [`try_run`](Self::try_run) /
+    /// [`run_file`](Self::run_file): a run whose error ratio exceeds
+    /// `ratio` (clamped to `[0, 1]`) aborts with
+    /// [`IngestError::ErrorBudget`] instead of silently skipping bad
+    /// lines forever. Unset by default (skip-and-report, the classic
+    /// behaviour).
+    pub fn max_error_rate(mut self, ratio: f64) -> Self {
+        self.max_error_rate = Some(ratio.clamp(0.0, 1.0));
+        self
+    }
+
+    /// Sets how many times a failed chunk read is retried before the run
+    /// aborts with [`IngestError::ChunkIo`] (default 2).
+    pub fn io_retries(mut self, retries: u32) -> Self {
+        self.io_retries = retries;
+        self
+    }
+
+    /// Arms a fault plan. When [`failpoints::INGEST_CHUNK_IO`] is armed,
+    /// [`try_run`](Self::try_run) injects chunk-read failures on the
+    /// plan's deterministic schedule and exercises the
+    /// discard-and-retry checkpoint path.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
     /// Runs the fused pipeline over an in-memory (or memory-mapped) CLF
-    /// buffer.
+    /// buffer. Never fails: malformed lines are skipped and reported.
+    /// Budgets and fault injection apply only to
+    /// [`try_run`](Self::try_run) / [`run_file`](Self::run_file).
     pub fn run<'a>(&self, data: &'a [u8]) -> IngestReport {
         let chunks = chunk::split_lines(data, self.chunk_bytes);
-        let lines = chunks
-            .last()
-            .map(|c| c.first_line + count_lines(c.data))
-            .unwrap_or(0);
+        let lines = total_lines(&chunks);
 
         // Stage 1+2: parse chunks straight into per-client accumulators.
         // In parallel each chunk gets its own address-partitioned output;
         // serially one unpartitioned accumulator runs across all chunks —
         // no per-chunk maps to re-merge.
         let parallel = rayon::current_num_threads() > 1 && chunks.len() > 1;
-        let n_parts = if parallel {
-            cluster::merge_partitions()
-        } else {
-            1
-        };
-        let shift = 32 - n_parts.trailing_zeros();
-        let mut outs: Vec<ChunkOut<'a>> = if parallel {
-            chunks
+        if parallel {
+            let n_parts = cluster::merge_partitions();
+            let shift = 32 - n_parts.trailing_zeros();
+            let outs: Vec<ChunkOut<'a>> = chunks
                 .par_iter()
                 .map(|c| {
                     let mut out = ChunkOut::new(n_parts);
                     out.scan(c, shift, self.url_stats);
                     out
                 })
-                .collect()
+                .collect();
+            self.finish_partitioned(outs, n_parts, lines, data.len())
         } else {
-            let mut out = ChunkOut::new(1);
-            for c in &chunks {
-                out.scan(c, shift, self.url_stats);
-            }
-            vec![out]
-        };
+            self.finish_serial(chunks, lines, data.len())
+        }
+    }
 
+    /// Runs the hardened pipeline: injected chunk-read faults (when a
+    /// plan arms [`failpoints::INGEST_CHUNK_IO`]) are retried at chunk
+    /// granularity, and the malformed-line budget (when set) is enforced.
+    /// A successful faulted run is byte-identical to [`run`](Self::run).
+    pub fn try_run(&self, data: &[u8]) -> Result<IngestReport, IngestError> {
+        let report = if self.faults.is_armed(failpoints::INGEST_CHUNK_IO) {
+            self.run_faulted(data, &mut self.faults.injector())?
+        } else {
+            self.run(data)
+        };
+        if let Some(max_ratio) = self.max_error_rate {
+            if report.lines > 0 {
+                let ratio = report.errors.len() as f64 / report.lines as f64;
+                if ratio > max_ratio {
+                    let errors = report.errors.len();
+                    return Err(IngestError::ErrorBudget {
+                        errors,
+                        lines: report.lines,
+                        max_ratio,
+                        sample: report.errors.into_iter().take(5).collect(),
+                    });
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    /// The faulted scan: chunks are read one at a time into their own
+    /// address-partitioned accumulators (the checkpoint unit). An
+    /// injected read fault discards the chunk's partial state entirely
+    /// and re-reads it — nothing is double-counted — up to `io_retries`
+    /// times; past that the run aborts with the chunk's coordinates. The
+    /// per-chunk outputs then merge through the same partition merge the
+    /// parallel path uses, so a recovered run is byte-identical to an
+    /// unfaulted one.
+    fn run_faulted<'a>(
+        &self,
+        data: &'a [u8],
+        faults: &mut FaultInjector,
+    ) -> Result<IngestReport, IngestError> {
+        let chunks = chunk::split_lines(data, self.chunk_bytes);
+        let lines = total_lines(&chunks);
+        let n_parts = cluster::merge_partitions();
+        let shift = 32 - n_parts.trailing_zeros();
+        let mut outs: Vec<ChunkOut<'a>> = Vec::with_capacity(chunks.len());
+        let mut io_faults = 0u64;
+        let mut chunks_retried = 0u64;
+        for (i, c) in chunks.iter().enumerate() {
+            let mut attempt = 0u32;
+            loop {
+                if faults.should_fire(failpoints::INGEST_CHUNK_IO) {
+                    io_faults += 1;
+                    if attempt == 0 {
+                        chunks_retried += 1;
+                    }
+                    if attempt >= self.io_retries {
+                        return Err(IngestError::ChunkIo {
+                            chunk: i,
+                            first_line: c.first_line,
+                            attempts: attempt + 1,
+                        });
+                    }
+                    attempt += 1;
+                    continue;
+                }
+                let mut out = ChunkOut::new(n_parts);
+                out.scan(c, shift, self.url_stats);
+                outs.push(out);
+                break;
+            }
+        }
+        let mut report = self.finish_partitioned(outs, n_parts, lines, data.len());
+        report.io_faults = io_faults;
+        report.chunks_retried = chunks_retried;
+        Ok(report)
+    }
+
+    /// Stages 3+ over per-chunk address-partitioned outputs (the parallel
+    /// and faulted scans): partition merge, batch LPM, URL dedup.
+    fn finish_partitioned(
+        &self,
+        outs: Vec<ChunkOut<'_>>,
+        n_parts: usize,
+        lines: usize,
+        bytes: usize,
+    ) -> IngestReport {
         // Errors: chunks are in line order and each chunk's errors are
         // ascending, so concatenation is the serial parse's error list.
         let mut errors = Vec::new();
@@ -152,116 +410,129 @@ impl<'t> IngestPipeline<'t> {
         // Stage 3a: one worker per address partition merges its slice of
         // every chunk; sorted runs concatenate into global address order
         // (partition p holds exactly the clients whose top bits equal p).
-        // The serial accumulator is already global: just sort it.
-        let (clients, dense_addr): (Vec<ClientStats>, Vec<u32>) = if parallel {
-            let parts: Vec<usize> = (0..n_parts).collect();
-            let merged: Vec<Vec<ClientStats>> = parts
-                .par_iter()
-                .map(|&p| {
-                    let mut per_client: FxHashMap<u32, (u64, u64)> = FxHashMap::default();
-                    for o in &outs {
-                        for (&client, &id) in &o.parts[p] {
-                            let (requests, bytes) = o.accum[id as usize];
-                            let e = per_client.entry(client).or_insert((0, 0));
-                            e.0 += requests;
-                            e.1 += bytes;
-                        }
+        let parts: Vec<usize> = (0..n_parts).collect();
+        let merged: Vec<Vec<ClientStats>> = parts
+            .par_iter()
+            .map(|&p| {
+                let mut per_client: FxHashMap<u32, (u64, u64)> = FxHashMap::default();
+                for o in &outs {
+                    for (&client, &id) in &o.parts[p] {
+                        let (requests, bytes) = o.accum[id as usize];
+                        let e = per_client.entry(client).or_insert((0, 0));
+                        e.0 += requests;
+                        e.1 += bytes;
                     }
-                    cluster::finish_aggregation(per_client)
-                })
-                .collect();
-            (merged.into_iter().flatten().collect(), Vec::new())
-        } else {
-            let o = &mut outs[0];
-            serial_clients(
-                std::mem::take(&mut o.accum),
-                std::mem::take(&mut o.dense_addr),
-            )
-        };
+                }
+                cluster::finish_aggregation(per_client)
+            })
+            .collect();
+        let clients: Vec<ClientStats> = merged.into_iter().flatten().collect();
 
         // Stage 3b: batch LPM assignment over the compiled table.
         let addrs: Vec<u32> = clients.iter().map(|c| u32::from(c.addr)).collect();
-        let assignments: Vec<Option<Ipv4Net>> = if parallel {
-            addrs
-                .par_chunks(cluster::CLIENT_CHUNK)
-                .map(|chunk| self.table.net_for_batch(chunk))
-                .collect::<Vec<_>>()
-                .into_iter()
-                .flatten()
-                .collect()
-        } else {
-            let mut out = Vec::new();
-            self.table.net_for_batch_into(&addrs, &mut out);
-            out
-        };
+        let assignments: Vec<Option<Ipv4Net>> = addrs
+            .par_chunks(cluster::CLIENT_CHUNK)
+            .map(|chunk| self.table.net_for_batch(chunk))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .flatten()
+            .collect();
 
         let total_requests: u64 = clients.iter().map(|c| c.requests).sum();
         let mut clustering =
             Clustering::from_assignments("network-aware", clients, assignments, total_requests);
 
-        // Unique URLs per cluster: each scan interned its paths to dense
-        // chunk-local ids (equal ids ⇔ equal byte strings — exactly the
-        // `Log` URL-interning identity); translate those to global ids in
-        // chunk order, map clients to clusters, and sort-dedup the compact
-        // (cluster, url) id pairs.
+        // Unique URLs per cluster: translate chunk-local url ids to
+        // global ids in chunk order (equal ids ⇔ equal byte strings —
+        // exactly the `Log` URL-interning identity), map clients to
+        // clusters, and sort-dedup the packed (cluster, url) pairs.
         if self.url_stats {
-            if parallel {
-                // Translate chunk-local url ids to global ids in chunk
-                // order, map clients to clusters, and sort-dedup the
-                // packed (cluster, url) pairs.
-                let mut global: FxHashMap<&[u8], u32> = FxHashMap::default();
-                let mut pairs = Vec::with_capacity(outs.iter().map(|o| o.pairs.len()).sum());
-                for o in &outs {
-                    let trans: Vec<u32> = o
-                        .url_paths
-                        .iter()
-                        .map(|&p| {
-                            let next = global.len() as u32;
-                            *global.entry(p).or_insert(next)
-                        })
-                        .collect();
-                    pairs.extend(o.pairs.iter().map(|&(c, id)| (c, trans[id as usize])));
-                }
-                let to_key = |&(client, url): &(u32, u32)| {
-                    clustering
-                        .cluster_index(Ipv4Addr::from(client))
-                        .map(|idx| ((idx as u64) << 32) | url as u64)
-                };
-                let mapped: Vec<u64> = pairs
-                    .par_chunks(cluster::REQUEST_CHUNK)
-                    .map(|ch| ch.iter().filter_map(to_key).collect::<Vec<_>>())
-                    .collect::<Vec<_>>()
-                    .into_iter()
-                    .flatten()
-                    .collect();
-                count_unique_sorted(&mut clustering, mapped);
-            } else {
-                // The serial scan already produced globally-dense client
-                // and url ids, so cluster mapping is one table build away
-                // from being an array index per pair.
-                let pairs = std::mem::take(&mut outs[0].pairs);
-                let n_urls = outs[0].url_paths.len();
-                let cluster_of: Vec<u32> = dense_addr
+            let mut global: FxHashMap<&[u8], u32> = FxHashMap::default();
+            let mut pairs = Vec::with_capacity(outs.iter().map(|o| o.pairs.len()).sum());
+            for o in &outs {
+                let trans: Vec<u32> = o
+                    .url_paths
                     .iter()
-                    .map(|&a| {
-                        clustering
-                            .cluster_index(Ipv4Addr::from(a))
-                            .map_or(u32::MAX, |i| i as u32)
+                    .map(|&p| {
+                        let next = global.len() as u32;
+                        *global.entry(p).or_insert(next)
                     })
                     .collect();
-                let n_bits = clustering.clusters.len() as u64 * n_urls as u64;
-                if n_bits > 0 && n_bits <= BITMAP_MAX_BITS {
-                    count_unique_bitmap(&mut clustering, &pairs, &cluster_of, n_urls);
-                } else {
-                    let mapped: Vec<u64> = pairs
-                        .iter()
-                        .filter_map(|&(dense, url)| {
-                            let idx = cluster_of[dense as usize];
-                            (idx != u32::MAX).then_some(((idx as u64) << 32) | url as u64)
-                        })
-                        .collect();
-                    count_unique_sorted(&mut clustering, mapped);
-                }
+                pairs.extend(o.pairs.iter().map(|&(c, id)| (c, trans[id as usize])));
+            }
+            let to_key = |&(client, url): &(u32, u32)| {
+                clustering
+                    .cluster_index(Ipv4Addr::from(client))
+                    .map(|idx| ((idx as u64) << 32) | url as u64)
+            };
+            let mapped: Vec<u64> = pairs
+                .par_chunks(cluster::REQUEST_CHUNK)
+                .map(|ch| ch.iter().filter_map(to_key).collect::<Vec<_>>())
+                .collect::<Vec<_>>()
+                .into_iter()
+                .flatten()
+                .collect();
+            count_unique_sorted(&mut clustering, mapped);
+        }
+
+        IngestReport {
+            clustering,
+            errors,
+            lines,
+            bytes,
+            io_faults: 0,
+            chunks_retried: 0,
+        }
+    }
+
+    /// Stages 1–3 with one unpartitioned accumulator across all chunks:
+    /// dense client ids come straight out of the scan, so cluster mapping
+    /// and URL dedup work on array indices (bitmap path) instead of maps.
+    fn finish_serial(&self, chunks: Vec<Chunk<'_>>, lines: usize, bytes: usize) -> IngestReport {
+        let mut out = ChunkOut::new(1);
+        for c in &chunks {
+            out.scan(c, 32, self.url_stats);
+        }
+        let errors = std::mem::take(&mut out.errors);
+        let (clients, dense_addr) = serial_clients(
+            std::mem::take(&mut out.accum),
+            std::mem::take(&mut out.dense_addr),
+        );
+
+        let addrs: Vec<u32> = clients.iter().map(|c| u32::from(c.addr)).collect();
+        let mut assignments = Vec::new();
+        self.table.net_for_batch_into(&addrs, &mut assignments);
+
+        let total_requests: u64 = clients.iter().map(|c| c.requests).sum();
+        let mut clustering =
+            Clustering::from_assignments("network-aware", clients, assignments, total_requests);
+
+        // The serial scan already produced globally-dense client and url
+        // ids, so cluster mapping is one table build away from being an
+        // array index per pair.
+        if self.url_stats {
+            let pairs = std::mem::take(&mut out.pairs);
+            let n_urls = out.url_paths.len();
+            let cluster_of: Vec<u32> = dense_addr
+                .iter()
+                .map(|&a| {
+                    clustering
+                        .cluster_index(Ipv4Addr::from(a))
+                        .map_or(u32::MAX, |i| i as u32)
+                })
+                .collect();
+            let n_bits = clustering.clusters.len() as u64 * n_urls as u64;
+            if n_bits > 0 && n_bits <= BITMAP_MAX_BITS {
+                count_unique_bitmap(&mut clustering, &pairs, &cluster_of, n_urls);
+            } else {
+                let mapped: Vec<u64> = pairs
+                    .iter()
+                    .filter_map(|&(dense, url)| {
+                        let idx = cluster_of[dense as usize];
+                        (idx != u32::MAX).then_some(((idx as u64) << 32) | url as u64)
+                    })
+                    .collect();
+                count_unique_sorted(&mut clustering, mapped);
             }
         }
 
@@ -269,16 +540,28 @@ impl<'t> IngestPipeline<'t> {
             clustering,
             errors,
             lines,
-            bytes: data.len(),
+            bytes,
+            io_faults: 0,
+            chunks_retried: 0,
         }
     }
 
     /// Opens `path` (memory-mapping when the platform allows, see
-    /// [`chunk::LogData::open`]) and runs the pipeline over it.
-    pub fn run_file(&self, path: impl AsRef<Path>) -> io::Result<IngestReport> {
+    /// [`chunk::LogData::open`]) and runs the hardened pipeline over it —
+    /// fault injection and error budgets included (see
+    /// [`try_run`](Self::try_run)).
+    pub fn run_file(&self, path: impl AsRef<Path>) -> Result<IngestReport, IngestError> {
         let data = LogData::open(path)?;
-        Ok(self.run(&data))
+        self.try_run(&data)
     }
+}
+
+/// Buffer-global line count from the chunk list.
+fn total_lines(chunks: &[Chunk<'_>]) -> usize {
+    chunks
+        .last()
+        .map(|c| c.first_line + count_lines(c.data))
+        .unwrap_or(0)
 }
 
 /// Bitmap dedup ceiling: above this many (cluster × url) bits the serial
@@ -611,6 +894,171 @@ not a log line\n\
         assert_eq!(from_file.clustering.len(), from_mem.clustering.len());
         assert_eq!(from_file.errors, from_mem.errors);
         assert_eq!(from_file.lines, from_mem.lines);
+
+        // Zero-length file: clean empty report, not a panic.
+        let empty_path = dir.join("empty.log");
+        std::fs::write(&empty_path, b"").unwrap();
+        let empty = IngestPipeline::new(&table).run_file(&empty_path).unwrap();
+        assert!(empty.clustering.is_empty());
+        assert_eq!(empty.lines, 0);
+
+        // A missing file is a typed I/O error.
+        let err = IngestPipeline::new(&table)
+            .run_file(dir.join("nope.log"))
+            .unwrap_err();
+        assert!(matches!(err, IngestError::Io(_)));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn error_budget_aborts_with_context() {
+        let table = table();
+        // SAMPLE has 1 malformed line out of 6 (≈16.7%).
+        let err = IngestPipeline::new(&table)
+            .max_error_rate(0.10)
+            .try_run(SAMPLE.as_bytes())
+            .unwrap_err();
+        match err {
+            IngestError::ErrorBudget {
+                errors,
+                lines,
+                max_ratio,
+                sample,
+            } => {
+                assert_eq!(errors, 1);
+                assert_eq!(lines, 6);
+                assert_eq!(max_ratio, 0.10);
+                assert_eq!(sample.len(), 1);
+                assert_eq!(sample[0].line, 1);
+            }
+            other => panic!("expected ErrorBudget, got {other:?}"),
+        }
+        // A budget the noise fits under passes through untouched.
+        let ok = IngestPipeline::new(&table)
+            .max_error_rate(0.20)
+            .try_run(SAMPLE.as_bytes())
+            .unwrap();
+        assert_eq!(ok.errors.len(), 1);
+    }
+
+    #[test]
+    fn quarantine_resolves_rejected_byte_ranges() {
+        let table = table();
+        let report = IngestPipeline::new(&table).run(SAMPLE.as_bytes());
+        let q = report.quarantine(SAMPLE.as_bytes());
+        assert_eq!(q.len(), 1);
+        assert_eq!(q[0].line, 1);
+        assert_eq!(&SAMPLE.as_bytes()[q[0].start..q[0].end], b"not a log line");
+
+        // Final malformed line with no trailing newline, small chunks so
+        // it crosses the last chunk boundary: the byte range must still
+        // land exactly on the line.
+        let tail_garbage = format!("{}trailing junk", SAMPLE);
+        let report = IngestPipeline::new(&table)
+            .chunk_bytes(32)
+            .run(tail_garbage.as_bytes());
+        assert_eq!(report.lines, 7);
+        let q = report.quarantine(tail_garbage.as_bytes());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q[1].line, 6);
+        assert_eq!(
+            &tail_garbage.as_bytes()[q[1].start..q[1].end],
+            b"trailing junk"
+        );
+        assert_eq!(q[1].end, tail_garbage.len());
+    }
+
+    #[test]
+    fn recovered_faulted_run_is_byte_identical() {
+        let table = table();
+        let clean = IngestPipeline::new(&table)
+            .chunk_bytes(64)
+            .run(SAMPLE.as_bytes());
+        // A 50% chunk-read fault rate with generous retries: every chunk
+        // eventually reads, and the merged result must be exactly the
+        // clean run — chunk-granularity checkpoints never double-count.
+        let plan = FaultPlan::new(0xFA17).with(failpoints::INGEST_CHUNK_IO, 0.5);
+        let faulted = IngestPipeline::new(&table)
+            .chunk_bytes(64)
+            .fault_plan(plan.clone())
+            .io_retries(64)
+            .try_run(SAMPLE.as_bytes())
+            .unwrap();
+        assert!(faulted.io_faults > 0, "seed produced no faults");
+        assert!(faulted.chunks_retried > 0);
+        assert_eq!(faulted.lines, clean.lines);
+        assert_eq!(faulted.errors, clean.errors);
+        assert_eq!(
+            faulted.clustering.total_requests,
+            clean.clustering.total_requests
+        );
+        assert_eq!(
+            faulted.clustering.clusters.len(),
+            clean.clustering.clusters.len()
+        );
+        for (f, c) in faulted
+            .clustering
+            .clusters
+            .iter()
+            .zip(&clean.clustering.clusters)
+        {
+            assert_eq!(f.prefix, c.prefix);
+            assert_eq!(f.clients, c.clients);
+            assert_eq!(f.requests, c.requests);
+            assert_eq!(f.bytes, c.bytes);
+            assert_eq!(f.unique_urls, c.unique_urls);
+        }
+        assert_eq!(faulted.clustering.unclustered, clean.clustering.unclustered);
+
+        // Determinism: the same seed replays the same fault schedule.
+        let replay = IngestPipeline::new(&table)
+            .chunk_bytes(64)
+            .fault_plan(plan)
+            .io_retries(64)
+            .try_run(SAMPLE.as_bytes())
+            .unwrap();
+        assert_eq!(replay.io_faults, faulted.io_faults);
+        assert_eq!(replay.chunks_retried, faulted.chunks_retried);
+    }
+
+    #[test]
+    fn exhausted_retries_fail_cleanly() {
+        let table = table();
+        let plan = FaultPlan::new(1).with(failpoints::INGEST_CHUNK_IO, 1.0);
+        let err = IngestPipeline::new(&table)
+            .chunk_bytes(64)
+            .fault_plan(plan)
+            .io_retries(3)
+            .try_run(SAMPLE.as_bytes())
+            .unwrap_err();
+        match err {
+            IngestError::ChunkIo {
+                chunk,
+                first_line,
+                attempts,
+            } => {
+                assert_eq!(chunk, 0);
+                assert_eq!(first_line, 0);
+                assert_eq!(attempts, 4);
+            }
+            other => panic!("expected ChunkIo, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn final_line_without_newline_counts_once() {
+        let table = table();
+        let unterminated = SAMPLE.trim_end_matches('\n');
+        for chunk_bytes in [16usize, 64, 1 << 20] {
+            let report = IngestPipeline::new(&table)
+                .chunk_bytes(chunk_bytes)
+                .run(unterminated.as_bytes());
+            assert_eq!(report.lines, 6, "chunk_bytes={chunk_bytes}");
+            assert_eq!(report.errors.len(), 1);
+            assert_eq!(
+                report.clustering.total_requests, 5,
+                "chunk_bytes={chunk_bytes}"
+            );
+        }
     }
 }

@@ -28,6 +28,7 @@
 mod anomaly;
 mod cluster;
 mod dynamics;
+mod faults;
 mod fx;
 mod ingest;
 mod metrics;
@@ -45,7 +46,8 @@ pub use anomaly::{
 };
 pub use cluster::{ClientStats, Cluster, Clustering};
 pub use dynamics::{dynamics_analysis, DynamicsRow, LogDynamics, LogUnderStudy};
-pub use ingest::{IngestPipeline, IngestReport};
+pub use faults::{failpoints, FaultInjector, FaultPlan};
+pub use ingest::{IngestError, IngestPipeline, IngestReport, QuarantinedLine};
 pub use metrics::{cdf, cdf_at, Distributions, Summary};
 pub use netcluster::{network_clusters, NetworkCluster};
 pub use ongoing::{
@@ -53,6 +55,8 @@ pub use ongoing::{
 };
 pub use selfcorrect::{org_purity, self_correct, CorrectionConfig, CorrectionReport};
 pub use sessions::{session_report, SessionReport, SessionStats};
-pub use stream::{StreamStats, StreamingClustering};
+pub use stream::{
+    StreamStats, StreamingClustering, SwapPolicy, SwapRejection, SwapReport, SwapStats,
+};
 pub use threshold::{threshold_busy, ThresholdReport};
 pub use validation::{validate, SamplePlan, TestCounts, ValidationReport};

@@ -14,15 +14,24 @@
 //!
 //! The *signature* of a client is the last-two-hop suffix of the optimized
 //! traceroute toward it, which in the synthetic universe (noise-free
-//! probing) pins down the owning organization exactly; real deployments
-//! would see residual error from unresponsive or load-balanced routers.
+//! probing) pins down the owning organization exactly. Real deployments see
+//! residual error from unresponsive or load-balanced routers, so the
+//! grouping is **quorum-based and loss-tolerant**: a
+//! [`ProbeFaultModel`](netclust_probe::ProbeFaultModel) can be armed on the
+//! tracer (retry-with-backoff included), partial signatures containing the
+//! `*` unresponsive-hop wildcard match their concrete counterparts
+//! ([`netclust_probe::sigs_compatible`]), a cluster counts as homogeneous
+//! when a modal signature is compatible with at least a
+//! [`quorum`](CorrectionConfig::quorum) fraction of the informative
+//! samples, and clients whose probes yield nothing stay with their original
+//! cluster instead of being scattered.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::net::Ipv4Addr;
 
 use netclust_netgen::{stream_rng, Universe};
 use netclust_prefix::Ipv4Net;
-use netclust_probe::Traceroute;
+use netclust_probe::{sig_specificity, sigs_compatible, ProbeFaultModel, RetryPolicy, Traceroute};
 use netclust_weblog::Log;
 use rand::seq::SliceRandom;
 
@@ -35,6 +44,16 @@ pub struct CorrectionConfig {
     pub samples_per_cluster: usize,
     /// Sampling seed.
     pub seed: u64,
+    /// Probe fault model; `None` probes noise-free.
+    pub faults: Option<ProbeFaultModel>,
+    /// Retry/backoff policy applied when `faults` is armed.
+    pub retry: RetryPolicy,
+    /// Fraction of a cluster's *informative* sampled signatures the modal
+    /// signature must be compatible with for the cluster to count as
+    /// homogeneous. 1.0 (the default) reproduces the strict noise-free
+    /// rule; lower it under probe loss so one wrong loss-truncated
+    /// signature doesn't force a full re-trace of a healthy cluster.
+    pub quorum: f64,
 }
 
 impl Default for CorrectionConfig {
@@ -42,6 +61,9 @@ impl Default for CorrectionConfig {
         CorrectionConfig {
             samples_per_cluster: 3,
             seed: 0xC0,
+            faults: None,
+            retry: RetryPolicy::default(),
+            quorum: 1.0,
         }
     }
 }
@@ -57,7 +79,11 @@ pub struct CorrectionReport {
     pub merged_away: usize,
     /// Clusters partitioned because their members disagreed.
     pub split: usize,
-    /// Probes spent.
+    /// Traces that produced no usable signature (all hops unresponsive);
+    /// the affected clients stayed with their original cluster.
+    pub unknown_signatures: usize,
+    /// Probes spent — including `retries`, `timeouts`, and `gave_up`
+    /// counters when a fault model is armed.
     pub probe_stats: netclust_probe::ProbeStats,
     /// The corrected clustering.
     pub clustering: Clustering,
@@ -82,6 +108,82 @@ pub fn org_purity(universe: &Universe, clustering: &Clustering) -> f64 {
     pure as f64 / clustering.clusters.len() as f64
 }
 
+/// Signature → (member addresses, original prefixes). A `BTreeMap` so the
+/// compatibility scan and every downstream pass iterate deterministically.
+type Groups = BTreeMap<String, (Vec<Ipv4Addr>, Vec<Ipv4Net>)>;
+
+/// The existing group key `sig` belongs to: an exact hit, or (for real
+/// signatures) the first key a partial signature is compatible with.
+/// Synthetic `?`-keys (probe gave nothing) only ever match exactly.
+fn group_key(groups: &Groups, sig: &str) -> Option<String> {
+    if groups.contains_key(sig) {
+        return Some(sig.to_string());
+    }
+    if sig.starts_with('?') {
+        return None;
+    }
+    groups
+        .keys()
+        .find(|k| !k.starts_with('?') && sigs_compatible(k, sig))
+        .cloned()
+}
+
+/// Adds `members` under `sig`, merging into a compatible existing group
+/// when one exists (and re-keying that group to the more *specific* of the
+/// two signatures, so wildcard keys sharpen as concrete probes land).
+/// Returns `true` when an existing group was joined.
+fn insert_group(
+    groups: &mut Groups,
+    sig: String,
+    members: Vec<Ipv4Addr>,
+    prefix: Option<Ipv4Net>,
+) -> bool {
+    match group_key(groups, &sig) {
+        Some(key) => {
+            let target = if key != sig && sig_specificity(&sig) > sig_specificity(&key) {
+                let old = groups.remove(&key).expect("key came from the map");
+                let entry = groups.entry(sig.clone()).or_default();
+                entry.0.extend(old.0);
+                entry.1.extend(old.1);
+                sig
+            } else {
+                key
+            };
+            let entry = groups.get_mut(&target).expect("resolved key exists");
+            entry.0.extend(members);
+            entry.1.extend(prefix);
+            true
+        }
+        None => {
+            groups.insert(sig, (members, prefix.into_iter().collect()));
+            false
+        }
+    }
+}
+
+/// The modal signature of a sample: the one compatible with the most
+/// informative samples (ties: more specific, then lexicographically
+/// smaller), with its compatible count.
+fn modal_signature<'a>(informative: &[&'a String]) -> (&'a String, usize) {
+    let mut best: Option<(&String, usize)> = None;
+    for &s in informative {
+        let n = informative.iter().filter(|t| sigs_compatible(s, t)).count();
+        let better = match best {
+            None => true,
+            Some((m, bn)) => {
+                n > bn
+                    || (n == bn
+                        && (sig_specificity(s) > sig_specificity(m)
+                            || (sig_specificity(s) == sig_specificity(m) && s < m)))
+            }
+        };
+        if better {
+            best = Some((s, n));
+        }
+    }
+    best.expect("informative sample is non-empty")
+}
+
 /// Runs self-correction over a clustering of `log`.
 pub fn self_correct(
     universe: &Universe,
@@ -90,36 +192,73 @@ pub fn self_correct(
     config: &CorrectionConfig,
 ) -> CorrectionReport {
     let mut tracer = Traceroute::optimized(universe);
+    if let Some(model) = config.faults {
+        tracer = tracer.with_faults(model, config.retry);
+    }
     let mut rng = stream_rng(config.seed, &[0x5E1F]);
-    let sig_of = |tr: &mut Traceroute<'_>, addr: Ipv4Addr| -> String {
-        tr.trace(addr).path_suffix(2).join(">")
+    // `None` = the probe learned nothing (empty path or every suffix hop
+    // unresponsive); such clients are never regrouped on noise.
+    let sig_of = |tr: &mut Traceroute<'_>, addr: Ipv4Addr| -> Option<String> {
+        let path = tr.trace(addr);
+        let suffix = path.path_suffix(2);
+        if suffix.is_empty()
+            || suffix
+                .iter()
+                .all(|h| *h == netclust_probe::UNRESPONSIVE_HOP)
+        {
+            None
+        } else {
+            Some(suffix.join(">"))
+        }
     };
 
-    // Group membership: signature → (member addresses, original prefixes).
-    let mut groups: HashMap<String, (Vec<Ipv4Addr>, Vec<Ipv4Net>)> = HashMap::new();
+    let mut groups: Groups = Groups::new();
     let mut split = 0usize;
+    let mut unknown = 0usize;
     for cluster in &clustering.clusters {
         let mut sample: Vec<Ipv4Addr> = cluster.clients.iter().map(|c| c.addr).collect();
         sample.shuffle(&mut rng);
         sample.truncate(config.samples_per_cluster.max(1));
-        let sigs: std::collections::BTreeSet<String> =
-            sample.iter().map(|&a| sig_of(&mut tracer, a)).collect();
-        if sigs.len() <= 1 {
-            // Homogeneous (as far as the sample shows): whole cluster keeps
-            // one signature.
-            let sig = sigs
-                .into_iter()
-                .next()
-                .expect("sampled at least one client");
-            let entry = groups.entry(sig).or_default();
-            entry.0.extend(cluster.clients.iter().map(|c| c.addr));
-            entry.1.push(cluster.prefix);
+        let sigs: Vec<Option<String>> = sample.iter().map(|&a| sig_of(&mut tracer, a)).collect();
+        let informative: Vec<&String> = sigs.iter().flatten().collect();
+        unknown += sigs.len() - informative.len();
+        let members: Vec<Ipv4Addr> = cluster.clients.iter().map(|c| c.addr).collect();
+        if informative.is_empty() {
+            // Probing told us nothing about this cluster: keep it intact
+            // under a synthetic key rather than scattering its clients.
+            insert_group(
+                &mut groups,
+                format!("?cluster:{}", cluster.prefix),
+                members,
+                Some(cluster.prefix),
+            );
+            continue;
+        }
+        let (modal, compatible) = modal_signature(&informative);
+        if compatible as f64 >= config.quorum * informative.len() as f64 {
+            // Homogeneous by quorum: whole cluster keeps the modal
+            // signature.
+            insert_group(&mut groups, modal.clone(), members, Some(cluster.prefix));
         } else {
-            // Mixed: trace everyone and partition by signature.
+            // Mixed: trace everyone and partition by signature. Clients
+            // whose probe yields nothing stay together as the remainder
+            // of the original cluster.
             split += 1;
             for client in &cluster.clients {
-                let sig = sig_of(&mut tracer, client.addr);
-                groups.entry(sig).or_default().0.push(client.addr);
+                match sig_of(&mut tracer, client.addr) {
+                    Some(sig) => {
+                        insert_group(&mut groups, sig, vec![client.addr], None);
+                    }
+                    None => {
+                        unknown += 1;
+                        insert_group(
+                            &mut groups,
+                            format!("?cluster:{}", cluster.prefix),
+                            vec![client.addr],
+                            None,
+                        );
+                    }
+                }
             }
         }
     }
@@ -128,14 +267,22 @@ pub fn self_correct(
     let mut absorbed = 0usize;
     let mut new_groups = 0usize;
     for client in &clustering.unclustered {
-        let sig = sig_of(&mut tracer, client.addr);
-        match groups.get_mut(&sig) {
-            Some(entry) => {
-                entry.0.push(client.addr);
-                absorbed += 1;
+        match sig_of(&mut tracer, client.addr) {
+            Some(sig) => {
+                if insert_group(&mut groups, sig, vec![client.addr], None) {
+                    absorbed += 1;
+                } else {
+                    new_groups += 1;
+                }
             }
             None => {
-                groups.insert(sig, (vec![client.addr], Vec::new()));
+                // Nothing learned: a deterministic singleton, so coverage
+                // still reaches 1.0 without inventing a grouping.
+                unknown += 1;
+                groups.insert(
+                    format!("?addr:{}", client.addr),
+                    (vec![client.addr], Vec::new()),
+                );
                 new_groups += 1;
             }
         }
@@ -178,6 +325,7 @@ pub fn self_correct(
         new_from_unclustered: new_groups,
         merged_away,
         split,
+        unknown_signatures: unknown,
         probe_stats: tracer.stats(),
         clustering: corrected,
     }
@@ -292,5 +440,53 @@ mod tests {
         assert_eq!(a.clustering.len(), b.clustering.len());
         assert_eq!(a.merged_away, b.merged_away);
         assert_eq!(a.split, b.split);
+        assert_eq!(a.unknown_signatures, 0);
+    }
+
+    #[test]
+    fn converges_under_injected_probe_loss() {
+        let (u, log, clustering) = setup();
+        let clean = self_correct(&u, &log, &clustering, &CorrectionConfig::default());
+        let clean_purity = org_purity(&u, &clean.clustering);
+
+        let lossy_config = CorrectionConfig {
+            faults: Some(ProbeFaultModel::new(0xBAD).hop_loss(0.15).dest_loss(0.05)),
+            quorum: 0.6,
+            ..CorrectionConfig::default()
+        };
+        let lossy = self_correct(&u, &log, &clustering, &lossy_config);
+
+        // The fault model actually bit, and the retry machinery engaged.
+        let stats = lossy.probe_stats;
+        assert!(
+            stats.retries > 0 || stats.gave_up > 0,
+            "loss model produced no recoveries: {stats:?}"
+        );
+
+        // Bounded error: correction under loss still clusters everyone and
+        // conserves clients...
+        assert!(lossy.clustering.unclustered.is_empty());
+        assert!((lossy.clustering.coverage() - 1.0).abs() < 1e-12);
+        assert_eq!(lossy.clustering.client_count(), clustering.client_count());
+
+        // ...and converges to the noise-free result within a documented
+        // bound: purity within 0.10 of the clean run, cluster count within
+        // 15%.
+        let lossy_purity = org_purity(&u, &lossy.clustering);
+        assert!(
+            lossy_purity >= clean_purity - 0.10,
+            "purity collapsed under loss: clean {clean_purity}, lossy {lossy_purity}"
+        );
+        let (clean_n, lossy_n) = (clean.clustering.len() as f64, lossy.clustering.len() as f64);
+        assert!(
+            (lossy_n - clean_n).abs() / clean_n <= 0.15,
+            "cluster count diverged: clean {clean_n}, lossy {lossy_n}"
+        );
+
+        // Determinism under faults: same seed, same outcome.
+        let replay = self_correct(&u, &log, &clustering, &lossy_config);
+        assert_eq!(replay.clustering.len(), lossy.clustering.len());
+        assert_eq!(replay.unknown_signatures, lossy.unknown_signatures);
+        assert_eq!(replay.probe_stats.retries, lossy.probe_stats.retries);
     }
 }

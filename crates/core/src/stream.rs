@@ -5,9 +5,17 @@
 //! their demands change from time to time." [`StreamingClustering`]
 //! consumes requests one at a time, maintains per-cluster aggregates
 //! incrementally, and supports swapping in a fresh routing table
-//! ([`StreamingClustering::swap_table`]) so the view adapts to routing
+//! ([`StreamingClustering::try_swap_table`]) so the view adapts to routing
 //! dynamics without replaying the past — the paper's "real-time cluster
 //! identifying ... using real-time routing information".
+//!
+//! Table swaps are *validated*: BGP snapshots are scraped from noisy
+//! sources and churn day to day (§3.4), so a candidate table is
+//! sanity-checked (non-empty, parse noise under budget, coverage of the
+//! currently-known clients not collapsing) and compiled off to the side
+//! before it replaces the serving table. A rejected candidate leaves the
+//! old table serving — degraded but correct — with the rejection and the
+//! stale-table age recorded in [`SwapStats`].
 
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
@@ -17,6 +25,8 @@ use netclust_rtable::{CompiledMerged, MergedTable};
 use netclust_weblog::clf::ClfError;
 use netclust_weblog::clf_bytes;
 use netclust_weblog::Request;
+
+use crate::faults::{failpoints, FaultInjector};
 
 /// Incremental per-cluster aggregates.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -29,11 +39,109 @@ pub struct StreamStats {
     pub bytes: u64,
 }
 
+/// Thresholds a candidate routing table must clear before it replaces the
+/// serving one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwapPolicy {
+    /// Minimum prefix count across both tiers (an empty or near-empty
+    /// snapshot is a scrape failure, not a routing change).
+    pub min_entries: usize,
+    /// Maximum tolerated parse-noise ratio of the candidate's source dump
+    /// (see `netclust_rtable::ParseReport::noise_ratio`).
+    pub max_noise_ratio: f64,
+    /// The candidate's request-weighted coverage of the currently-known
+    /// clients must be at least this fraction of the serving table's
+    /// coverage (1.0 = no regression allowed, 0.0 = never reject).
+    pub min_coverage_retention: f64,
+}
+
+impl Default for SwapPolicy {
+    fn default() -> Self {
+        SwapPolicy {
+            min_entries: 1,
+            max_noise_ratio: 0.05,
+            min_coverage_retention: 0.8,
+        }
+    }
+}
+
+impl SwapPolicy {
+    /// A policy that accepts any compilable candidate (the legacy
+    /// unconditional swap).
+    pub fn permissive() -> Self {
+        SwapPolicy {
+            min_entries: 0,
+            max_noise_ratio: 1.0,
+            min_coverage_retention: 0.0,
+        }
+    }
+}
+
+/// Why a candidate table was turned away.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SwapRejection {
+    /// The candidate had fewer prefixes than the policy floor.
+    TooFewEntries {
+        /// Prefixes in the candidate.
+        entries: usize,
+        /// The policy's minimum.
+        floor: usize,
+    },
+    /// The candidate's source dump was noisier than the budget allows.
+    NoiseOverBudget {
+        /// Observed malformed-line ratio.
+        ratio: f64,
+        /// The policy's budget.
+        budget: f64,
+    },
+    /// Compiling the candidate failed (injected fault or real).
+    CompileFault,
+    /// The candidate would drop coverage of the known clients too far.
+    CoverageCollapse {
+        /// Serving table's request-weighted coverage.
+        before: f64,
+        /// Candidate's request-weighted coverage.
+        after: f64,
+        /// Minimum acceptable `after` given the policy.
+        floor: f64,
+    },
+}
+
+/// Outcome of one [`StreamingClustering::try_swap_table`] attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwapReport {
+    /// Whether the candidate was installed.
+    pub accepted: bool,
+    /// The reason it was not (when `accepted` is false).
+    pub rejection: Option<SwapRejection>,
+    /// Prefix count of the candidate.
+    pub candidate_entries: usize,
+    /// Request-weighted coverage before the attempt.
+    pub coverage_before: f64,
+    /// Coverage after the attempt (the candidate's when accepted, the
+    /// serving table's when rejected).
+    pub coverage_after: f64,
+}
+
+/// Cumulative swap accounting, including the degraded-mode age counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SwapStats {
+    /// Candidates installed.
+    pub accepted: u64,
+    /// Candidates rejected.
+    pub rejected: u64,
+    /// Rejections since the serving table was last replaced — how many
+    /// refresh cycles stale the serving table is (0 = fresh). Non-zero
+    /// means the stream is serving in degraded mode on an old table.
+    pub stale_age: u64,
+}
+
 /// An incrementally-maintained clustering over a request stream.
 ///
 /// The routing table is compiled once at construction to the flat DIR-24-8
 /// layout ([`CompiledMerged`]), so the per-request hot path does O(1)–O(2)
-/// array lookups; [`swap_table`](Self::swap_table) recompiles.
+/// array lookups; [`try_swap_table`](Self::try_swap_table) validates and
+/// recompiles.
 pub struct StreamingClustering {
     table: CompiledMerged,
     /// Per-cluster aggregates.
@@ -46,6 +154,10 @@ pub struct StreamingClustering {
     /// Requests from unclusterable clients.
     unclustered_requests: u64,
     total_requests: u64,
+    /// Swap acceptance/rejection accounting.
+    swap_stats: SwapStats,
+    /// The most recent rejection, for operators polling stats.
+    last_rejection: Option<SwapRejection>,
 }
 
 impl StreamingClustering {
@@ -59,6 +171,8 @@ impl StreamingClustering {
             assignment: HashMap::new(),
             unclustered_requests: 0,
             total_requests: 0,
+            swap_stats: SwapStats::default(),
+            last_rejection: None,
         }
     }
 
@@ -149,17 +263,144 @@ impl StreamingClustering {
         v
     }
 
-    /// Swaps in a fresh routing table (adaptation to routing dynamics):
-    /// recompiles it and rebuilds the cluster view from the retained
-    /// per-client totals with one batch LPM sweep — no stream replay
-    /// needed.
+    /// Swap accounting: accepted/rejected counts and the stale-table age.
+    pub fn swap_stats(&self) -> SwapStats {
+        self.swap_stats
+    }
+
+    /// The most recent swap rejection, if any.
+    pub fn last_rejection(&self) -> Option<SwapRejection> {
+        self.last_rejection
+    }
+
+    /// Swaps in a fresh routing table unconditionally (adaptation to
+    /// routing dynamics): recompiles it and rebuilds the cluster view from
+    /// the retained per-client totals with one batch LPM sweep — no stream
+    /// replay needed. Prefer [`try_swap_table`](Self::try_swap_table),
+    /// which validates the candidate first.
     pub fn swap_table(&mut self, table: MergedTable) {
-        self.table = table.compile();
+        let compiled = table.compile();
+        let clients: Vec<u32> = self.per_client.keys().copied().collect();
+        let nets = compiled.net_for_batch(&clients);
+        self.install(compiled, clients, nets);
+        self.swap_stats.accepted += 1;
+        self.swap_stats.stale_age = 0;
+    }
+
+    /// Validated two-phase table swap: the candidate is sanity-checked and
+    /// compiled *off to the side*; only a candidate that parses cleanly
+    /// enough, compiles, and keeps covering the clients the stream has
+    /// already seen replaces the serving table. On rejection the old table
+    /// keeps serving untouched and the stale-age counter grows.
+    ///
+    /// `noise_ratio` is the candidate's source parse-noise ratio (0.0 for
+    /// programmatically built tables; see
+    /// `netclust_rtable::RoutingTable::parse_report`).
+    pub fn try_swap_table(
+        &mut self,
+        table: MergedTable,
+        noise_ratio: f64,
+        policy: &SwapPolicy,
+    ) -> SwapReport {
+        self.try_swap_table_with(table, noise_ratio, policy, &mut FaultInjector::disabled())
+    }
+
+    /// [`try_swap_table`](Self::try_swap_table) with a fault injector: the
+    /// [`failpoints::SWAP_COMPILE`] failpoint simulates the candidate
+    /// compile dying, which must be survivable like any other rejection.
+    pub fn try_swap_table_with(
+        &mut self,
+        table: MergedTable,
+        noise_ratio: f64,
+        policy: &SwapPolicy,
+        faults: &mut FaultInjector,
+    ) -> SwapReport {
+        let candidate_entries = table.len();
+        let coverage_before = self.coverage();
+        let reject = |this: &mut Self, why: SwapRejection| {
+            this.swap_stats.rejected += 1;
+            this.swap_stats.stale_age += 1;
+            this.last_rejection = Some(why);
+            SwapReport {
+                accepted: false,
+                rejection: Some(why),
+                candidate_entries,
+                coverage_before,
+                coverage_after: coverage_before,
+            }
+        };
+
+        if candidate_entries < policy.min_entries {
+            return reject(
+                self,
+                SwapRejection::TooFewEntries {
+                    entries: candidate_entries,
+                    floor: policy.min_entries,
+                },
+            );
+        }
+        if noise_ratio > policy.max_noise_ratio {
+            return reject(
+                self,
+                SwapRejection::NoiseOverBudget {
+                    ratio: noise_ratio,
+                    budget: policy.max_noise_ratio,
+                },
+            );
+        }
+        // Compile off to the side; the serving table stays untouched, so
+        // an injected (or real) compile failure degrades, never corrupts.
+        if faults.should_fire(failpoints::SWAP_COMPILE) {
+            return reject(self, SwapRejection::CompileFault);
+        }
+        let compiled = table.compile();
+
+        // Re-resolve every known client against the candidate and check
+        // request-weighted coverage retention before committing.
+        let clients: Vec<u32> = self.per_client.keys().copied().collect();
+        let nets = compiled.net_for_batch(&clients);
+        if self.total_requests > 0 {
+            let clustered: u64 = clients
+                .iter()
+                .zip(&nets)
+                .filter(|(_, net)| net.is_some())
+                .map(|(c, _)| self.per_client[c].0)
+                .sum();
+            let coverage_after = clustered as f64 / self.total_requests as f64;
+            let floor = coverage_before * policy.min_coverage_retention;
+            if coverage_after < floor {
+                return reject(
+                    self,
+                    SwapRejection::CoverageCollapse {
+                        before: coverage_before,
+                        after: coverage_after,
+                        floor,
+                    },
+                );
+            }
+        }
+
+        self.install(compiled, clients, nets);
+        self.swap_stats.accepted += 1;
+        self.swap_stats.stale_age = 0;
+        self.last_rejection = None;
+        SwapReport {
+            accepted: true,
+            rejection: None,
+            candidate_entries,
+            coverage_before,
+            coverage_after: self.coverage(),
+        }
+    }
+
+    /// Installs an already-compiled table, rebuilding cluster aggregates
+    /// from the retained per-client totals and the batch LPM sweep
+    /// (`nets[i]` is `clients[i]`'s assignment under the new table).
+    fn install(&mut self, compiled: CompiledMerged, clients: Vec<u32>, nets: Vec<Option<Ipv4Net>>) {
+        self.table = compiled;
         self.assignment.clear();
         self.clusters.clear();
         self.unclustered_requests = 0;
-        let clients: Vec<u32> = self.per_client.keys().copied().collect();
-        let nets = self.table.net_for_batch(&clients);
         for (client, prefix) in clients.into_iter().zip(nets) {
             let (requests, bytes) = self.per_client[&client];
             self.assignment.insert(client, prefix);
@@ -277,6 +518,118 @@ mod tests {
             let s = stream.stats(cluster.prefix).expect("present after swap");
             assert_eq!(s.requests, cluster.requests);
         }
+    }
+
+    #[test]
+    fn validated_swap_equals_unconditional_swap() {
+        let (u, log) = setup();
+        let mut validated = StreamingClustering::new(standard_merged(&u, 0));
+        let mut legacy = StreamingClustering::new(standard_merged(&u, 0));
+        for r in &log.requests {
+            validated.push(r);
+            legacy.push(r);
+        }
+        let report = validated.try_swap_table(standard_merged(&u, 7), 0.0, &SwapPolicy::default());
+        assert!(report.accepted, "rejected: {:?}", report.rejection);
+        legacy.swap_table(standard_merged(&u, 7));
+        // Accepted validated swap is byte-identical to the unconditional
+        // rebuild from retained per-client totals.
+        assert_eq!(validated.total_requests(), legacy.total_requests());
+        assert_eq!(validated.len(), legacy.len());
+        assert_eq!(validated.top_k(usize::MAX), legacy.top_k(usize::MAX));
+        assert!((validated.coverage() - legacy.coverage()).abs() < 1e-12);
+        assert_eq!(validated.swap_stats().accepted, 1);
+        assert_eq!(validated.swap_stats().stale_age, 0);
+        assert_eq!(validated.last_rejection(), None);
+    }
+
+    #[test]
+    fn rejected_swap_leaves_view_untouched() {
+        let (u, log) = setup();
+        let mut stream = StreamingClustering::new(standard_merged(&u, 0));
+        for r in &log.requests {
+            stream.push(r);
+        }
+        let before = stream.top_k(usize::MAX);
+        let coverage = stream.coverage();
+
+        // Empty candidate: a scrape failure, not a routing change.
+        let empty = MergedTable::merge(std::iter::empty());
+        let report = stream.try_swap_table(empty, 0.0, &SwapPolicy::default());
+        assert!(!report.accepted);
+        assert!(matches!(
+            report.rejection,
+            Some(SwapRejection::TooFewEntries {
+                entries: 0,
+                floor: 1
+            })
+        ));
+
+        // Over-noisy source dump.
+        let report = stream.try_swap_table(standard_merged(&u, 7), 0.5, &SwapPolicy::default());
+        assert!(matches!(
+            report.rejection,
+            Some(SwapRejection::NoiseOverBudget { .. })
+        ));
+
+        // Coverage collapse: a table that covers nothing the stream saw.
+        let policy = SwapPolicy {
+            min_coverage_retention: 1.0,
+            ..SwapPolicy::default()
+        };
+        let bogus = netclust_rtable::RoutingTable::new(
+            "bogus",
+            "d0",
+            netclust_rtable::TableKind::Bgp,
+            vec!["203.0.113.0/24".parse().unwrap()],
+        );
+        let report = stream.try_swap_table(MergedTable::merge([&bogus]), 0.0, &policy);
+        assert!(matches!(
+            report.rejection,
+            Some(SwapRejection::CoverageCollapse { .. })
+        ));
+
+        // After three rejections: view identical, degraded-mode age = 3.
+        assert_eq!(stream.top_k(usize::MAX), before);
+        assert!((stream.coverage() - coverage).abs() < 1e-12);
+        let stats = stream.swap_stats();
+        assert_eq!(stats.accepted, 0);
+        assert_eq!(stats.rejected, 3);
+        assert_eq!(stats.stale_age, 3);
+        assert_eq!(stream.last_rejection(), report.rejection);
+
+        // A good candidate then clears degraded mode.
+        let ok = stream.try_swap_table(standard_merged(&u, 7), 0.01, &SwapPolicy::default());
+        assert!(ok.accepted);
+        assert_eq!(stream.swap_stats().stale_age, 0);
+        assert_eq!(stream.last_rejection(), None);
+    }
+
+    #[test]
+    fn injected_compile_fault_is_survivable() {
+        let (u, log) = setup();
+        let mut stream = StreamingClustering::new(standard_merged(&u, 0));
+        for r in &log.requests {
+            stream.push(r);
+        }
+        let before = stream.top_k(usize::MAX);
+        let mut faults = crate::FaultPlan::new(42)
+            .with(failpoints::SWAP_COMPILE, 1.0)
+            .injector();
+        let report = stream.try_swap_table_with(
+            standard_merged(&u, 7),
+            0.0,
+            &SwapPolicy::default(),
+            &mut faults,
+        );
+        assert!(!report.accepted);
+        assert_eq!(report.rejection, Some(SwapRejection::CompileFault));
+        // Old table keeps serving, untouched.
+        assert_eq!(stream.top_k(usize::MAX), before);
+        assert_eq!(faults.fired(failpoints::SWAP_COMPILE), 1);
+        // Retrying with the fault disarmed succeeds.
+        let ok = stream.try_swap_table(standard_merged(&u, 7), 0.0, &SwapPolicy::default());
+        assert!(ok.accepted);
     }
 
     #[test]

@@ -4,6 +4,8 @@ use std::net::Ipv4Addr;
 
 use netclust_netgen::Universe;
 
+use crate::faults::{ProbeFaultModel, RetryPolicy};
+
 /// Milliseconds charged per DNS query (the paper observes one optimized
 /// traceroute probe costs about the same as one nslookup).
 pub const NSLOOKUP_MS: f64 = 80.0;
@@ -18,6 +20,9 @@ pub struct Nslookup<'u> {
     queries: u64,
     resolved: u64,
     time_ms: f64,
+    retries: u64,
+    gave_up: u64,
+    faults: Option<(ProbeFaultModel, RetryPolicy)>,
 }
 
 impl<'u> Nslookup<'u> {
@@ -28,18 +33,64 @@ impl<'u> Nslookup<'u> {
             queries: 0,
             resolved: 0,
             time_ms: 0.0,
+            retries: 0,
+            gave_up: 0,
+            faults: None,
         }
+    }
+
+    /// Arms a deterministic transient-failure model: each query can fail
+    /// with the model's `lookup_loss` probability and is retried under
+    /// `policy` with capped backoff. A name that genuinely does not
+    /// resolve (NXDOMAIN) is authoritative and never retried.
+    pub fn with_faults(mut self, model: ProbeFaultModel, policy: RetryPolicy) -> Self {
+        self.faults = Some((model, policy));
+        self
     }
 
     /// Reverse-resolves `addr` to a fully-qualified domain name.
     pub fn resolve(&mut self, addr: Ipv4Addr) -> Option<String> {
-        self.queries += 1;
-        self.time_ms += NSLOOKUP_MS;
         let name = self.universe.dns_name(addr);
-        if name.is_some() {
-            self.resolved += 1;
+        let Some((model, policy)) = self.faults else {
+            self.queries += 1;
+            self.time_ms += NSLOOKUP_MS;
+            if name.is_some() {
+                self.resolved += 1;
+            }
+            return name;
+        };
+        // NXDOMAIN answers immediately; only positive answers can be
+        // transiently lost.
+        if name.is_none() {
+            self.queries += 1;
+            self.time_ms += NSLOOKUP_MS;
+            return None;
         }
-        name
+        let addr32 = u32::from(addr);
+        for attempt in 0..policy.attempts() {
+            self.queries += 1;
+            self.time_ms += NSLOOKUP_MS;
+            if !model.lookup_lost(addr32, attempt) {
+                self.resolved += 1;
+                return name;
+            }
+            if attempt + 1 < policy.attempts() {
+                self.retries += 1;
+                self.time_ms += policy.backoff_ms(attempt);
+            }
+        }
+        self.gave_up += 1;
+        None
+    }
+
+    /// Queries re-sent after an injected transient failure.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Lookups abandoned after exhausting the retry budget.
+    pub fn gave_up(&self) -> u64 {
+        self.gave_up
     }
 
     /// Total queries issued.
@@ -154,6 +205,43 @@ mod tests {
             ns.resolve_ratio()
         );
         assert!((ns.time_ms() - total as f64 * NSLOOKUP_MS).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transient_dns_failures_retry_and_give_up_deterministically() {
+        use crate::faults::{ProbeFaultModel, RetryPolicy};
+        let u = Universe::generate(UniverseConfig::small(7));
+        let model = ProbeFaultModel::new(3).lookup_loss(0.4);
+        let policy = RetryPolicy {
+            max_retries: 1,
+            ..RetryPolicy::default()
+        };
+        let run = || {
+            let mut ns = Nslookup::new(&u).with_faults(model, policy);
+            let names: Vec<Option<String>> = u
+                .orgs()
+                .iter()
+                .take(150)
+                .map(|o| ns.resolve(o.host_addr(0).unwrap()))
+                .collect();
+            (names, ns.queries(), ns.retries(), ns.gave_up())
+        };
+        let (a, qa, ra, ga) = run();
+        let (b, qb, rb, gb) = run();
+        assert_eq!(a, b);
+        assert_eq!((qa, ra, ga), (qb, rb, gb));
+        // At a 40 % loss rate with one retry, both recovery and give-up
+        // must be exercised.
+        assert!(ra > 0);
+        assert!(ga > 0);
+        // The clean run resolves a superset of the lossy one.
+        let mut clean = Nslookup::new(&u);
+        for (org, lossy) in u.orgs().iter().take(150).zip(&a) {
+            let name = clean.resolve(org.host_addr(0).unwrap());
+            if lossy.is_some() {
+                assert_eq!(lossy, &name);
+            }
+        }
     }
 
     #[test]

@@ -17,6 +17,8 @@ use std::net::Ipv4Addr;
 
 use netclust_netgen::{Hop, Universe};
 
+use crate::faults::{ProbeFaultModel, RetryPolicy, UNRESPONSIVE_HOP};
+
 /// Timeout charged for an unanswered probe, in milliseconds.
 pub const PROBE_TIMEOUT_MS: f64 = 3000.0;
 
@@ -84,6 +86,12 @@ pub struct ProbeStats {
     pub probes: u64,
     /// Simulated wall-clock time waiting for replies, in milliseconds.
     pub time_ms: f64,
+    /// Probes re-sent after an injected transient loss.
+    pub retries: u64,
+    /// Probes that timed out (silence or injected loss).
+    pub timeouts: u64,
+    /// Targets abandoned after exhausting the retry budget.
+    pub gave_up: u64,
 }
 
 /// A traceroute engine over the synthetic universe.
@@ -98,6 +106,7 @@ pub struct Traceroute<'u> {
     optimized: bool,
     max_ttl: u8,
     stats: ProbeStats,
+    faults: Option<(ProbeFaultModel, RetryPolicy)>,
 }
 
 impl<'u> Traceroute<'u> {
@@ -108,6 +117,7 @@ impl<'u> Traceroute<'u> {
             optimized: false,
             max_ttl: MAX_TTL,
             stats: ProbeStats::default(),
+            faults: None,
         }
     }
 
@@ -118,7 +128,22 @@ impl<'u> Traceroute<'u> {
             optimized: true,
             max_ttl: MAX_TTL,
             stats: ProbeStats::default(),
+            faults: None,
         }
+    }
+
+    /// Arms a deterministic fault model with a retry policy. Injected
+    /// losses affect the *optimized* engine (the one the clustering
+    /// pipeline runs); the classic engine keeps the paper's noise-free
+    /// cost model so the §3.3 probe-saving comparison stays meaningful.
+    ///
+    /// Under loss a trace can return a *partial* path: a hop that drops
+    /// every retry is reported as [`UNRESPONSIVE_HOP`] or truncates the
+    /// discovered path early, and a destination whose answers are all
+    /// lost is treated as firewalled after the retry budget is spent.
+    pub fn with_faults(mut self, model: ProbeFaultModel, policy: RetryPolicy) -> Self {
+        self.faults = Some((model, policy));
+        self
     }
 
     /// Cumulative probe statistics.
@@ -144,13 +169,19 @@ impl<'u> Traceroute<'u> {
                 CLASSIC_PROBES_PER_TTL as u64
             };
             self.stats.probes += wasted;
+            self.stats.timeouts += wasted;
             self.stats.time_ms += wasted as f64 * PROBE_TIMEOUT_MS;
             return TraceOutcome::Unroutable;
         };
         let answers = self.destination_answers(addr);
         let dest_rtt = hops.last().map(|h| h.rtt_ms).unwrap_or(0.0) + 1.0;
         if self.optimized {
-            self.trace_optimized(hops, answers, dest_rtt, addr)
+            match self.faults {
+                Some((model, policy)) => {
+                    self.trace_optimized_faulty(hops, answers, dest_rtt, addr, model, policy)
+                }
+                None => self.trace_optimized(hops, answers, dest_rtt, addr),
+            }
         } else {
             self.trace_classic(hops, answers, dest_rtt, addr)
         }
@@ -184,6 +215,7 @@ impl<'u> Traceroute<'u> {
             // Silence from hops.len()+1 up to max_ttl — all time out.
             let silent_ttls = (self.max_ttl as u64).saturating_sub(hops.len() as u64);
             self.stats.probes += q * silent_ttls;
+            self.stats.timeouts += q * silent_ttls;
             self.stats.time_ms += (q * silent_ttls) as f64 * PROBE_TIMEOUT_MS;
             TraceOutcome::PathOnly { hops }
         }
@@ -213,6 +245,7 @@ impl<'u> Traceroute<'u> {
         }
         // Timeout, then binary-search the deepest responding TTL in
         // [1, max_ttl): probing ttl t answers iff t <= hops.len().
+        self.stats.timeouts += 1;
         self.stats.time_ms += PROBE_TIMEOUT_MS;
         let depth = hops.len() as u32;
         let (mut lo, mut hi) = (1u32, self.max_ttl as u32 - 1);
@@ -223,6 +256,7 @@ impl<'u> Traceroute<'u> {
                 self.stats.time_ms += hops[mid as usize - 1].rtt_ms;
                 lo = mid;
             } else {
+                self.stats.timeouts += 1;
                 self.stats.time_ms += PROBE_TIMEOUT_MS;
                 hi = mid - 1;
             }
@@ -234,6 +268,106 @@ impl<'u> Traceroute<'u> {
             self.stats.time_ms += hops[depth as usize - 2].rtt_ms;
         }
         TraceOutcome::PathOnly { hops }
+    }
+
+    /// One logical probe at `ttl` under the fault model: retries with
+    /// capped backoff on injected loss, single shot against true silence
+    /// (silence never clears, so retrying it would only waste budget).
+    /// Returns whether an answer arrived; charges probes/time/counters.
+    fn probe_hop_with_retry(
+        &mut self,
+        hops: &[Hop],
+        addr: u32,
+        ttl: u32,
+        model: &ProbeFaultModel,
+        policy: &RetryPolicy,
+    ) -> bool {
+        let responds = ttl >= 1 && (ttl as usize) <= hops.len();
+        for attempt in 0..policy.attempts() {
+            self.stats.probes += 1;
+            if responds && !model.hop_lost(addr, ttl, attempt) {
+                self.stats.time_ms += hops[ttl as usize - 1].rtt_ms;
+                return true;
+            }
+            self.stats.timeouts += 1;
+            self.stats.time_ms += PROBE_TIMEOUT_MS;
+            if !responds {
+                return false;
+            }
+            if attempt + 1 < policy.attempts() {
+                self.stats.retries += 1;
+                self.stats.time_ms += policy.backoff_ms(attempt);
+            }
+        }
+        self.stats.gave_up += 1;
+        false
+    }
+
+    /// The optimized strategy under injected loss. Same shape as the
+    /// clean run — destination probe first, then a binary search — but
+    /// every probe can be lost, so the search finds the deepest
+    /// *observably* responding TTL. The discovered path may therefore be
+    /// truncated (naming shallower routers than the truth) and its
+    /// penultimate hop may be wildcarded — the partial signatures §3.5's
+    /// quorum matching is built to absorb.
+    fn trace_optimized_faulty(
+        &mut self,
+        hops: Vec<Hop>,
+        answers: bool,
+        dest_rtt: f64,
+        addr: Ipv4Addr,
+        model: ProbeFaultModel,
+        policy: RetryPolicy,
+    ) -> TraceOutcome {
+        let addr32 = u32::from(addr);
+        if answers {
+            for attempt in 0..policy.attempts() {
+                self.stats.probes += 1;
+                if !model.dest_lost(addr32, attempt) {
+                    self.stats.time_ms += dest_rtt;
+                    return TraceOutcome::Reached {
+                        name: self.universe.dns_name(addr),
+                        rtt_ms: dest_rtt,
+                        hops,
+                    };
+                }
+                self.stats.timeouts += 1;
+                self.stats.time_ms += PROBE_TIMEOUT_MS;
+                if attempt + 1 < policy.attempts() {
+                    self.stats.retries += 1;
+                    self.stats.time_ms += policy.backoff_ms(attempt);
+                }
+            }
+            // All answers lost: fall back to path discovery as if the
+            // destination were firewalled (the bounded-error case).
+            self.stats.gave_up += 1;
+        } else {
+            self.stats.probes += 1;
+            self.stats.timeouts += 1;
+            self.stats.time_ms += PROBE_TIMEOUT_MS;
+        }
+        // Binary search over observable responses; a hop lost through
+        // every retry is indistinguishable from silence and pushes the
+        // discovered depth down.
+        let (mut lo, mut hi) = (0u32, self.max_ttl as u32 - 1);
+        while lo < hi {
+            let mid = (lo + hi).div_ceil(2);
+            if self.probe_hop_with_retry(&hops, addr32, mid, &model, &policy) {
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        let found = lo as usize;
+        let mut partial: Vec<Hop> = hops[..found].to_vec();
+        if found >= 2 {
+            // Re-confirm the penultimate hop; if it stays silent its name
+            // is unknown — a wildcard in the signature, not an error.
+            if !self.probe_hop_with_retry(&hops, addr32, found as u32 - 1, &model, &policy) {
+                partial[found - 2].name = UNRESPONSIVE_HOP.to_string();
+            }
+        }
+        TraceOutcome::PathOnly { hops: partial }
     }
 }
 
@@ -333,6 +467,59 @@ mod tests {
             TraceOutcome::Unroutable
         );
         assert_eq!(trc.stats().probes, CLASSIC_PROBES_PER_TTL as u64);
+    }
+
+    #[test]
+    fn faulty_trace_is_deterministic_and_counts_recovery() {
+        use crate::faults::{ProbeFaultModel, RetryPolicy};
+        let u = universe();
+        let model = ProbeFaultModel::new(11).hop_loss(0.3).dest_loss(0.3);
+        let policy = RetryPolicy::default();
+        let run = |_| {
+            let mut tr = Traceroute::optimized(&u).with_faults(model, policy);
+            let outcomes: Vec<TraceOutcome> = u
+                .orgs()
+                .iter()
+                .take(80)
+                .map(|o| tr.trace(o.host_addr(0).unwrap()))
+                .collect();
+            (outcomes, tr.stats())
+        };
+        let (a, sa) = run(0);
+        let (b, sb) = run(1);
+        assert_eq!(a, b, "same seed must reproduce outcomes bit-for-bit");
+        assert_eq!(sa, sb);
+        // Loss at these rates must actually trigger the recovery machinery.
+        assert!(sa.retries > 0, "{sa:?}");
+        assert!(sa.timeouts > 0, "{sa:?}");
+        // A different seed shifts the injected faults.
+        let other = ProbeFaultModel::new(12).hop_loss(0.3).dest_loss(0.3);
+        let mut tr = Traceroute::optimized(&u).with_faults(other, policy);
+        let c: Vec<TraceOutcome> = u
+            .orgs()
+            .iter()
+            .take(80)
+            .map(|o| tr.trace(o.host_addr(0).unwrap()))
+            .collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn lossless_fault_model_matches_clean_run() {
+        use crate::faults::{ProbeFaultModel, RetryPolicy};
+        let u = universe();
+        let mut clean = Traceroute::optimized(&u);
+        let mut armed = Traceroute::optimized(&u)
+            .with_faults(ProbeFaultModel::lossless(), RetryPolicy::default());
+        for org in u.orgs().iter().take(60) {
+            let addr = org.host_addr(0).unwrap();
+            // Same outcome (the lossless search can spend one extra probe
+            // confirming the first hop, so costs are compared loosely).
+            assert_eq!(clean.trace(addr), armed.trace(addr));
+        }
+        assert!(armed.stats().probes >= clean.stats().probes);
+        assert_eq!(armed.stats().retries, 0);
+        assert_eq!(armed.stats().gave_up, 0);
     }
 
     #[test]

@@ -79,24 +79,15 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::table::TableKind;
-
-    fn table(name: &str, specs: &[&str]) -> RoutingTable {
-        RoutingTable::new(
-            name,
-            "d",
-            TableKind::Bgp,
-            specs.iter().map(|s| s.parse().unwrap()).collect(),
-        )
-    }
+    use crate::testutil::{bgp_table as table, net, nets};
 
     #[test]
     fn diff_between_snapshots() {
         let old = table("A", &["6.0.0.0/8", "18.0.0.0/8"]);
         let new = table("A", &["6.0.0.0/8", "24.48.2.0/23"]);
         let d = SnapshotDiff::between(&old, &new);
-        assert_eq!(d.added, vec!["24.48.2.0/23".parse().unwrap()]);
-        assert_eq!(d.removed, vec!["18.0.0.0/8".parse().unwrap()]);
+        assert_eq!(d.added, vec![net("24.48.2.0/23")]);
+        assert_eq!(d.removed, vec![net("18.0.0.0/8")]);
         assert_eq!(d.churn(), 2);
         assert!(!d.is_empty());
     }
@@ -115,9 +106,8 @@ mod tests {
         let d1 = table("A", &["6.0.0.0/8", "18.0.0.0/8", "12.65.128.0/19"]);
         let d2 = table("A", &["6.0.0.0/8", "18.0.0.0/8"]);
         let dynamic = dynamic_prefix_set(&[&d0, &d1, &d2]);
-        let expect: BTreeSet<Ipv4Net> = ["24.48.2.0/23", "12.65.128.0/19"]
-            .iter()
-            .map(|s| s.parse().unwrap())
+        let expect: BTreeSet<Ipv4Net> = nets(&["24.48.2.0/23", "12.65.128.0/19"])
+            .into_iter()
             .collect();
         assert_eq!(dynamic, expect);
         assert_eq!(maximum_effect(&[&d0, &d1, &d2]), 2);
@@ -137,7 +127,7 @@ mod tests {
         let dynamic = dynamic_prefix_set(&[&d0, &d1]);
         assert_eq!(dynamic.len(), 2);
         // A log that only used 18.0.0.0/8 and 6.0.0.0/8 sees effect 1.
-        let used: Vec<Ipv4Net> = vec!["18.0.0.0/8".parse().unwrap(), "6.0.0.0/8".parse().unwrap()];
+        let used: Vec<Ipv4Net> = nets(&["18.0.0.0/8", "6.0.0.0/8"]);
         assert_eq!(effect_on(&dynamic, used.iter()), 1);
     }
 }

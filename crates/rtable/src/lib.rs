@@ -19,10 +19,12 @@ mod diff;
 mod flat;
 mod stats;
 mod table;
+#[cfg(test)]
+mod testutil;
 mod trie;
 
 pub use diff::{dynamic_prefix_set, effect_on, maximum_effect, SnapshotDiff};
 pub use flat::{CompiledMerged, CompiledTable, Handle};
 pub use stats::PrefixLengthHistogram;
-pub use table::{MatchSource, MergedTable, RouteAttrs, RoutingTable, TableKind};
+pub use table::{MatchSource, MergedTable, ParseReport, RouteAttrs, RoutingTable, TableKind};
 pub use trie::{PrefixTrie, PrefixTrieIter};

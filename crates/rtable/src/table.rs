@@ -17,9 +17,46 @@ use std::collections::BTreeSet;
 use std::fmt;
 use std::net::Ipv4Addr;
 
-use netclust_prefix::{unify_entries, Ipv4Net};
+use netclust_prefix::{parse_table_entry, Ipv4Net};
 
 use crate::trie::PrefixTrie;
+
+/// Per-line accounting of one snapshot parse: how much of the dump was
+/// usable, and exactly which lines were not.
+///
+/// BGP snapshots are scraped from live routers and registries; the paper's
+/// pipeline runs unattended over them, so noise must be *measured* rather
+/// than silently dropped — the noise ratio is what a hot table swap
+/// validates against its budget (§3.4 churn plus torn dumps).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ParseReport {
+    /// Total input lines, blank and comment lines included.
+    pub total_lines: usize,
+    /// Lines that yielded a prefix (before deduplication).
+    pub parsed: usize,
+    /// Blank or `#`-comment lines (never counted as noise).
+    pub skipped: usize,
+    /// Malformed lines: 0-based line number and the offending text.
+    pub bad: Vec<(usize, String)>,
+}
+
+impl ParseReport {
+    /// Fraction of *content* lines (total minus blank/comment) that were
+    /// malformed; 0 on an empty input.
+    pub fn noise_ratio(&self) -> f64 {
+        let content = self.total_lines - self.skipped;
+        if content == 0 {
+            0.0
+        } else {
+            self.bad.len() as f64 / content as f64
+        }
+    }
+
+    /// `true` when every content line parsed.
+    pub fn is_clean(&self) -> bool {
+        self.bad.is_empty()
+    }
+}
 
 /// Whether a snapshot is a routed (BGP) view or a registry allocation dump.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -99,15 +136,49 @@ impl RoutingTable {
     /// Parses a snapshot from raw dump-file lines in any of the three
     /// formats of §3.1.2. Unparsable lines are counted but not fatal.
     ///
-    /// Returns the table and the number of skipped lines.
+    /// Returns the table and the number of skipped lines. See
+    /// [`parse_report`](Self::parse_report) for full per-line accounting.
     pub fn parse(
         name: impl Into<String>,
         date: impl Into<String>,
         kind: TableKind,
         lines: &str,
     ) -> (Self, usize) {
-        let (prefixes, bad) = unify_entries(lines.lines());
-        (Self::new(name, date, kind, prefixes), bad.len())
+        let (table, report) = Self::parse_report(name, date, kind, lines);
+        (table, report.bad.len())
+    }
+
+    /// [`parse`](Self::parse) with a full [`ParseReport`] instead of a
+    /// bare noise count: every malformed line is recorded with its line
+    /// number, and blank/comment lines are tallied separately so the
+    /// noise ratio reflects content lines only.
+    pub fn parse_report(
+        name: impl Into<String>,
+        date: impl Into<String>,
+        kind: TableKind,
+        lines: &str,
+    ) -> (Self, ParseReport) {
+        let mut prefixes = Vec::new();
+        let mut report = ParseReport::default();
+        for (idx, raw) in lines.lines().enumerate() {
+            report.total_lines += 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                report.skipped += 1;
+                continue;
+            }
+            // Entries may carry extra columns (next hop, AS path); the
+            // prefix is the first whitespace-separated token.
+            let token = line.split_whitespace().next().unwrap_or("");
+            match parse_table_entry(token) {
+                Ok(net) => {
+                    prefixes.push(net);
+                    report.parsed += 1;
+                }
+                Err(_) => report.bad.push((idx, line.to_string())),
+            }
+        }
+        (Self::new(name, date, kind, prefixes), report)
     }
 
     /// The sorted prefix list.
@@ -278,14 +349,7 @@ impl fmt::Debug for MergedTable {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    fn net(s: &str) -> Ipv4Net {
-        s.parse().unwrap()
-    }
-
-    fn addr(s: &str) -> Ipv4Addr {
-        s.parse().unwrap()
-    }
+    use crate::testutil::{addr, net};
 
     #[test]
     fn table_sorts_and_dedupes() {
@@ -311,6 +375,33 @@ mod tests {
         );
         assert_eq!(t.len(), 2);
         assert_eq!(bad, 1);
+    }
+
+    #[test]
+    fn parse_report_accounts_every_line() {
+        let (t, report) = RoutingTable::parse_report(
+            "Y",
+            "d0",
+            TableKind::Bgp,
+            "# scraped 1999-07-03\n\n12.0.48.0/20 hop1 7018\nnot-a-prefix\n6.0.0.0/8\n999.1.2.3/8\n",
+        );
+        assert_eq!(t.len(), 2);
+        assert_eq!(report.total_lines, 6);
+        assert_eq!(report.skipped, 2, "comment + blank");
+        assert_eq!(report.parsed, 2);
+        assert_eq!(
+            report.bad,
+            vec![
+                (3, "not-a-prefix".to_string()),
+                (5, "999.1.2.3/8".to_string())
+            ]
+        );
+        assert!((report.noise_ratio() - 0.5).abs() < 1e-12);
+        assert!(!report.is_clean());
+        // Empty and all-comment inputs are clean with zero noise.
+        let (_, empty) = RoutingTable::parse_report("Y", "d0", TableKind::Bgp, "");
+        assert_eq!(empty.noise_ratio(), 0.0);
+        assert!(empty.is_clean());
     }
 
     #[test]

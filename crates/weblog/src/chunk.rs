@@ -331,6 +331,30 @@ mod tests {
     }
 
     #[test]
+    fn error_line_numbers_cross_last_chunk_boundary() {
+        use crate::clf_bytes;
+        // A malformed, unterminated final line that the chunker must put
+        // in its own chunk: its reported line number has to stay global.
+        let text = "1.2.3.4 - - [13/Feb/1998:07:00:00 +0000] \"GET /x HTTP/1.0\" 200 100\n\
+                    1.2.3.5 - - [13/Feb/1998:07:00:01 +0000] \"GET /y HTTP/1.0\" 200 100\n\
+                    torn final line with no newline";
+        for max in [1usize, 8, 70, 1 << 12] {
+            let chunks = split_lines(text.as_bytes(), max);
+            let mut items = Vec::new();
+            for c in &chunks {
+                items.extend(clf_bytes::records(c.data, c.first_line));
+            }
+            assert_eq!(items.len(), 3, "max={max}");
+            assert!(items[0].is_ok() && items[1].is_ok());
+            let err = items[2].as_ref().expect_err("torn line is malformed");
+            assert_eq!(err.line, 2, "max={max}");
+            // The torn line never merges into the previous chunk's tail.
+            let last = chunks.last().unwrap();
+            assert!(last.data.ends_with(b"no newline"), "max={max}");
+        }
+    }
+
+    #[test]
     fn logdata_maps_and_reads() {
         let dir = std::env::temp_dir().join(format!("netclust-chunk-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();

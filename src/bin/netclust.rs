@@ -6,6 +6,7 @@
 //!
 //! netclust cluster --log FILE --table FILE[,FILE...] [--dump FILE,...]
 //!                  [--top N] [--method aware|simple|classful]
+//!                  [--max-error-rate F] [--quarantine FILE]
 //!     Cluster the clients of a Common Log Format file against BGP
 //!     routing-table dumps and print the busiest clusters.
 //! ```
@@ -14,25 +15,69 @@
 //! formats (`x.x.x.x/len`, `x.x.x.x/mask`, bare classful address); extra
 //! whitespace-separated columns are ignored, so raw `show ip bgp`-style
 //! dumps work after column trimming.
+//!
+//! Exit codes: 0 success, 1 input/runtime failure (the offending file is
+//! named on stderr), 2 usage error, 3 malformed-line budget exceeded
+//! (`--max-error-rate`).
 
+use std::fmt;
 use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use netclust::core::{threshold_busy, Clustering, Distributions, IngestPipeline};
+use netclust::core::{threshold_busy, Clustering, Distributions, IngestError, IngestPipeline};
 use netclust::netgen::{standard_collection, Universe, UniverseConfig};
 use netclust::rtable::{MergedTable, RoutingTable, TableKind};
 use netclust::weblog::chunk::LogData;
 use netclust::weblog::{clf, clf_bytes, generate, LogSpec};
 
+/// Why a command failed, carrying its exit code. Every variant's message
+/// names the offending file or flag so failures are actionable from
+/// scripts.
+#[derive(Debug)]
+enum CliError {
+    /// Bad invocation: unknown command/method, missing or malformed flag.
+    Usage(String),
+    /// An input file could not be read, written, or used.
+    Input(String),
+    /// The `--max-error-rate` budget was exceeded.
+    Budget(String),
+}
+
+impl CliError {
+    fn exit_code(&self) -> ExitCode {
+        match self {
+            CliError::Input(_) => ExitCode::from(1),
+            CliError::Usage(_) => ExitCode::from(2),
+            CliError::Budget(_) => ExitCode::from(3),
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "usage: {m}"),
+            CliError::Input(m) => write!(f, "{m}"),
+            CliError::Budget(m) => write!(f, "{m}"),
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
+    let result = match args.first().map(String::as_str) {
         Some("synth") => cmd_synth(&args[1..]),
         Some("cluster") => cmd_cluster(&args[1..]),
-        _ => {
-            eprintln!("usage: netclust <synth|cluster> [options]   (see --help in source header)");
-            ExitCode::FAILURE
+        _ => Err(CliError::Usage(
+            "netclust <synth|cluster> [options]   (see --help in source header)".to_string(),
+        )),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("netclust: {e}");
+            e.exit_code()
         }
     }
 }
@@ -45,11 +90,9 @@ fn opt<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
         .map(String::as_str)
 }
 
-fn cmd_synth(args: &[String]) -> ExitCode {
-    let Some(out) = opt(args, "--out") else {
-        eprintln!("synth: --out DIR is required");
-        return ExitCode::FAILURE;
-    };
+fn cmd_synth(args: &[String]) -> Result<(), CliError> {
+    let out = opt(args, "--out")
+        .ok_or_else(|| CliError::Usage("synth: --out DIR is required".to_string()))?;
     let seed: u64 = opt(args, "--seed")
         .and_then(|s| s.parse().ok())
         .unwrap_or(42);
@@ -61,10 +104,8 @@ fn cmd_synth(args: &[String]) -> ExitCode {
         .unwrap_or(2_000);
 
     let out = PathBuf::from(out);
-    if let Err(e) = fs::create_dir_all(&out) {
-        eprintln!("synth: cannot create {}: {e}", out.display());
-        return ExitCode::FAILURE;
-    }
+    fs::create_dir_all(&out)
+        .map_err(|e| CliError::Input(format!("synth: cannot create {}: {e}", out.display())))?;
     let universe = Universe::generate(UniverseConfig {
         seed,
         ..UniverseConfig::default()
@@ -74,10 +115,8 @@ fn cmd_synth(args: &[String]) -> ExitCode {
     spec.target_clients = clients;
     let log = generate(&universe, &spec);
     let log_path = out.join("access.log");
-    if let Err(e) = fs::write(&log_path, clf::to_clf(&log)) {
-        eprintln!("synth: write failed: {e}");
-        return ExitCode::FAILURE;
-    }
+    fs::write(&log_path, clf::to_clf(&log))
+        .map_err(|e| CliError::Input(format!("synth: cannot write {}: {e}", log_path.display())))?;
     println!(
         "wrote {} ({} requests, {} clients)",
         log_path.display(),
@@ -93,10 +132,8 @@ fn cmd_synth(args: &[String]) -> ExitCode {
         };
         let path = out.join(format!("{name}.{ext}"));
         let body: String = table.prefixes().iter().map(|p| format!("{p}\n")).collect();
-        if let Err(e) = fs::write(&path, body) {
-            eprintln!("synth: write failed: {e}");
-            return ExitCode::FAILURE;
-        }
+        fs::write(&path, body)
+            .map_err(|e| CliError::Input(format!("synth: cannot write {}: {e}", path.display())))?;
         println!("wrote {} ({} prefixes)", path.display(), table.len());
     }
     println!(
@@ -105,13 +142,14 @@ fn cmd_synth(args: &[String]) -> ExitCode {
         out.display(),
         out.display()
     );
-    ExitCode::SUCCESS
+    Ok(())
 }
 
-fn read_tables(list: &str, kind: TableKind) -> Result<Vec<RoutingTable>, String> {
+fn read_tables(list: &str, kind: TableKind) -> Result<Vec<RoutingTable>, CliError> {
     let mut tables = Vec::new();
     for path in list.split(',').filter(|s| !s.is_empty()) {
-        let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let text = fs::read_to_string(path)
+            .map_err(|e| CliError::Input(format!("cluster: cannot read table {path}: {e}")))?;
         let (table, bad) = RoutingTable::parse(path, "file", kind, &text);
         if bad > 0 {
             eprintln!("note: {path}: skipped {bad} unparsable lines");
@@ -121,25 +159,37 @@ fn read_tables(list: &str, kind: TableKind) -> Result<Vec<RoutingTable>, String>
     Ok(tables)
 }
 
-fn cmd_cluster(args: &[String]) -> ExitCode {
-    let Some(log_path) = opt(args, "--log") else {
-        eprintln!("cluster: --log FILE is required");
-        return ExitCode::FAILURE;
-    };
+fn cmd_cluster(args: &[String]) -> Result<(), CliError> {
+    let log_path = opt(args, "--log")
+        .ok_or_else(|| CliError::Usage("cluster: --log FILE is required".to_string()))?;
     let method = opt(args, "--method").unwrap_or("aware");
+    if !matches!(method, "aware" | "simple" | "classful") {
+        return Err(CliError::Usage(format!(
+            "cluster: unknown method {method:?} (aware|simple|classful)"
+        )));
+    }
     let top: usize = opt(args, "--top")
         .and_then(|s| s.parse().ok())
         .unwrap_or(20);
+    let max_error_rate = match opt(args, "--max-error-rate") {
+        Some(s) => Some(s.parse::<f64>().map_err(|_| {
+            CliError::Usage(format!(
+                "cluster: --max-error-rate wants a fraction, got {s:?}"
+            ))
+        })?),
+        None => None,
+    };
+    let quarantine_path = opt(args, "--quarantine");
+    if method != "aware" && (max_error_rate.is_some() || quarantine_path.is_some()) {
+        return Err(CliError::Usage(format!(
+            "cluster: --max-error-rate/--quarantine only apply to --method aware, not {method:?}"
+        )));
+    }
 
     // Memory-map (or read) the log once; both routes parse the raw bytes
     // with the zero-copy parser — no per-line Strings.
-    let data = match LogData::open(log_path) {
-        Ok(d) => d,
-        Err(e) => {
-            eprintln!("cluster: cannot read {log_path}: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
+    let data = LogData::open(log_path)
+        .map_err(|e| CliError::Input(format!("cluster: cannot read log {log_path}: {e}")))?;
 
     let clustering = match method {
         "simple" | "classful" => {
@@ -148,8 +198,9 @@ fn cmd_cluster(args: &[String]) -> ExitCode {
                 eprintln!("note: {} unparsable log lines skipped", errors.len());
             }
             if log.requests.is_empty() {
-                eprintln!("cluster: no parsable requests in {log_path}");
-                return ExitCode::FAILURE;
+                return Err(CliError::Input(format!(
+                    "cluster: no parsable requests in {log_path}"
+                )));
             }
             if method == "simple" {
                 Clustering::simple24(&log)
@@ -158,27 +209,14 @@ fn cmd_cluster(args: &[String]) -> ExitCode {
             }
         }
         "aware" => {
-            let bgp = match opt(args, "--table") {
-                Some(list) => match read_tables(list, TableKind::Bgp) {
-                    Ok(t) => t,
-                    Err(e) => {
-                        eprintln!("cluster: {e}");
-                        return ExitCode::FAILURE;
-                    }
-                },
-                None => {
-                    eprintln!("cluster: --table FILE[,FILE...] is required for method 'aware'");
-                    return ExitCode::FAILURE;
-                }
-            };
+            let list = opt(args, "--table").ok_or_else(|| {
+                CliError::Usage(
+                    "cluster: --table FILE[,FILE...] is required for method 'aware'".to_string(),
+                )
+            })?;
+            let bgp = read_tables(list, TableKind::Bgp)?;
             let dumps = match opt(args, "--dump") {
-                Some(list) => match read_tables(list, TableKind::NetworkDump) {
-                    Ok(t) => t,
-                    Err(e) => {
-                        eprintln!("cluster: {e}");
-                        return ExitCode::FAILURE;
-                    }
-                },
+                Some(list) => read_tables(list, TableKind::NetworkDump)?,
                 None => Vec::new(),
             };
             let merged = MergedTable::merge(bgp.iter().chain(dumps.iter()));
@@ -191,20 +229,39 @@ fn cmd_cluster(args: &[String]) -> ExitCode {
             // The fused pipeline: chunked zero-copy parse straight into
             // compiled-LPM clustering, skipping the intermediate Log.
             let compiled = merged.compile();
-            let report = IngestPipeline::new(&compiled).run(&data);
+            let mut pipeline = IngestPipeline::new(&compiled);
+            if let Some(rate) = max_error_rate {
+                pipeline = pipeline.max_error_rate(rate);
+            }
+            let report = pipeline.try_run(&data).map_err(|e| match e {
+                IngestError::ErrorBudget { .. } => {
+                    CliError::Budget(format!("cluster: {log_path}: {e}"))
+                }
+                other => CliError::Input(format!("cluster: {log_path}: {other}")),
+            })?;
             if !report.errors.is_empty() {
                 eprintln!("note: {} unparsable log lines skipped", report.errors.len());
             }
+            if let Some(qpath) = quarantine_path {
+                let ranges = report.quarantine(&data);
+                let mut body = Vec::new();
+                for r in &ranges {
+                    body.extend_from_slice(&data[r.start..r.end]);
+                    body.push(b'\n');
+                }
+                fs::write(qpath, body).map_err(|e| {
+                    CliError::Input(format!("cluster: cannot write quarantine {qpath}: {e}"))
+                })?;
+                eprintln!("quarantined {} rejected lines -> {qpath}", ranges.len());
+            }
             if report.clustering.total_requests == 0 {
-                eprintln!("cluster: no parsable requests in {log_path}");
-                return ExitCode::FAILURE;
+                return Err(CliError::Input(format!(
+                    "cluster: no parsable requests in {log_path}"
+                )));
             }
             report.clustering
         }
-        other => {
-            eprintln!("cluster: unknown method {other:?} (aware|simple|classful)");
-            return ExitCode::FAILURE;
-        }
+        _ => unreachable!("method validated above"),
     };
 
     println!(
@@ -237,5 +294,5 @@ fn cmd_cluster(args: &[String]) -> ExitCode {
             c.unique_urls
         );
     }
-    ExitCode::SUCCESS
+    Ok(())
 }

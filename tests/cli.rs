@@ -104,9 +104,12 @@ fn cluster_simple_method_needs_no_tables() {
 
 #[test]
 fn bad_usage_fails_cleanly() {
+    // Bare invocation: usage error, exit code 2.
     let out = Command::new(bin()).output().expect("run bare");
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+
+    // Missing log file: input error, exit code 1, stderr names the file.
     let out = Command::new(bin())
         .args([
             "cluster",
@@ -117,10 +120,91 @@ fn bad_usage_fails_cleanly() {
         ])
         .output()
         .expect("run with missing file");
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("/nonexistent/file.log"), "{stderr}");
+
+    // Unknown method: usage error, exit code 2.
     let out = Command::new(bin())
         .args(["cluster", "--log", "x", "--method", "bogus"])
         .output()
         .expect("run with bad method");
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bogus"));
+
+    // Hardening flags are aware-only: usage error before any I/O.
+    let out = Command::new(bin())
+        .args([
+            "cluster",
+            "--log",
+            "x",
+            "--method",
+            "simple",
+            "--quarantine",
+            "q.log",
+        ])
+        .output()
+        .expect("run with aware-only flag");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn missing_table_file_names_the_file() {
+    let dir = tmpdir("missing-table");
+    std::fs::write(dir.join("access.log"), "").expect("write empty log");
+    let out = Command::new(bin())
+        .args(["cluster", "--log"])
+        .arg(dir.join("access.log"))
+        .args(["--table", "/nonexistent/table.bgp"])
+        .output()
+        .expect("run with missing table");
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("/nonexistent/table.bgp"), "{stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn error_budget_and_quarantine() {
+    let dir = tmpdir("budget");
+    // A log that is half garbage against a tiny real table.
+    let log_path = dir.join("noisy.log");
+    std::fs::write(
+        &log_path,
+        "12.65.147.94 - - [13/Feb/1998:07:00:00 +0000] \"GET /a HTTP/1.0\" 200 120\n\
+         utter garbage line\n\
+         12.65.144.247 - - [13/Feb/1998:07:00:01 +0000] \"GET /b HTTP/1.0\" 200 80\n\
+         more garbage\n",
+    )
+    .expect("write noisy log");
+    let table_path = dir.join("t.bgp");
+    std::fs::write(&table_path, "12.65.128.0/19\n").expect("write table");
+    let table_arg = table_path.to_string_lossy().into_owned();
+
+    // Budget exceeded: exit code 3, stderr explains the ratio.
+    let out = Command::new(bin())
+        .args(["cluster", "--log"])
+        .arg(&log_path)
+        .args(["--table", &table_arg, "--max-error-rate", "0.25"])
+        .output()
+        .expect("run over budget");
+    assert_eq!(out.status.code(), Some(3), "{:?}", out);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("malformed"), "{stderr}");
+
+    // Under budget with a quarantine sink: success, rejected lines land
+    // in the file byte-for-byte.
+    let q_path = dir.join("rejects.log");
+    let out = Command::new(bin())
+        .args(["cluster", "--log"])
+        .arg(&log_path)
+        .args(["--table", &table_arg, "--max-error-rate", "0.75"])
+        .arg("--quarantine")
+        .arg(&q_path)
+        .output()
+        .expect("run with quarantine");
+    assert_eq!(out.status.code(), Some(0), "{:?}", out);
+    let quarantined = std::fs::read_to_string(&q_path).expect("quarantine written");
+    assert_eq!(quarantined, "utter garbage line\nmore garbage\n");
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -1,0 +1,209 @@
+//! Fault-injection sweep across a fixed set of seeds: every hardened seam
+//! of the streaming pipeline must degrade, recover, or fail *cleanly* —
+//! and do so identically on every run, because all injected faults are
+//! pure functions of the seed.
+//!
+//! The three seams under test (one per tentpole hardening):
+//!
+//! 1. **Table swaps** — a rejected candidate (including an injected
+//!    compile fault) leaves the old table serving with stats unchanged
+//!    and the rejection recorded.
+//! 2. **Self-correction probes** — injected hop/destination loss is
+//!    absorbed by retry + quorum matching; correction still reaches full
+//!    coverage and conserves clients.
+//! 3. **Ingest** — injected chunk-read faults either recover to a report
+//!    byte-identical to the unfaulted run or abort with a typed error,
+//!    never a half-counted result.
+
+use netclust::core::{
+    failpoints, self_correct, Clustering, CorrectionConfig, FaultPlan, IngestError, IngestPipeline,
+    StreamingClustering, SwapPolicy, SwapRejection,
+};
+use netclust::netgen::{standard_merged, Universe, UniverseConfig};
+use netclust::probe::ProbeFaultModel;
+use netclust::weblog::{clf, generate, LogSpec};
+
+/// The fixed seed sweep (also run by CI's fault smoke step): eight seeds
+/// chosen once, never derived from time or environment.
+const SEEDS: [u64; 8] = [1, 2, 3, 5, 8, 13, 0xBEEF, 0xFA17];
+
+fn setup() -> (Universe, netclust::weblog::Log) {
+    let u = Universe::generate(UniverseConfig::small(7));
+    let mut spec = LogSpec::tiny("faults", 23);
+    spec.total_requests = 6_000;
+    spec.target_clients = 250;
+    let log = generate(&u, &spec);
+    (u, log)
+}
+
+#[test]
+fn swap_faults_leave_old_table_serving_across_seeds() {
+    let (u, log) = setup();
+    for &seed in &SEEDS {
+        let mut stream = StreamingClustering::new(standard_merged(&u, 0));
+        for r in &log.requests {
+            stream.push(r);
+        }
+        let before = stream.top_k(usize::MAX);
+        let mut faults = FaultPlan::new(seed)
+            .with(failpoints::SWAP_COMPILE, 0.5)
+            .injector();
+        let mut rejected = 0u64;
+        let mut accepted = 0u64;
+        let mut since_accept = 0u64;
+        let mut serving_day = 0u32;
+        for day in 1..=7 {
+            let report = stream.try_swap_table_with(
+                standard_merged(&u, day),
+                0.0,
+                &SwapPolicy::default(),
+                &mut faults,
+            );
+            if report.accepted {
+                accepted += 1;
+                since_accept = 0;
+                serving_day = day;
+            } else {
+                rejected += 1;
+                since_accept += 1;
+                assert_eq!(
+                    report.rejection,
+                    Some(SwapRejection::CompileFault),
+                    "seed={seed}"
+                );
+            }
+        }
+        let stats = stream.swap_stats();
+        assert_eq!(stats.accepted, accepted, "seed={seed}");
+        assert_eq!(stats.rejected, rejected, "seed={seed}");
+        assert_eq!(stats.stale_age, since_accept, "seed={seed}");
+        // Whatever the fault schedule did, the stream still serves a
+        // consistent view over every request it consumed.
+        assert_eq!(stream.total_requests(), log.requests.len() as u64);
+        if accepted == 0 {
+            // Never swapped: the original table's view must be untouched.
+            assert_eq!(stream.top_k(usize::MAX), before, "seed={seed}");
+        } else {
+            // The view must equal a batch rebuild against the table that
+            // survived the last accepted swap.
+            let batch = Clustering::network_aware(&log, &standard_merged(&u, serving_day));
+            assert_eq!(stream.len(), batch.len(), "seed={seed}");
+            for cluster in &batch.clusters {
+                let s = stream.stats(cluster.prefix).expect("cluster present");
+                assert_eq!(s.requests, cluster.requests, "seed={seed}");
+            }
+        }
+    }
+}
+
+#[test]
+fn self_correction_converges_across_seeds() {
+    let (u, log) = setup();
+    let merged = standard_merged(&u, 0);
+    let clustering = Clustering::network_aware(&log, &merged);
+    let clean = self_correct(&u, &log, &clustering, &CorrectionConfig::default());
+    let clean_len = clean.clustering.len() as f64;
+    for &seed in &SEEDS {
+        let config = CorrectionConfig {
+            faults: Some(ProbeFaultModel::new(seed).hop_loss(0.15).dest_loss(0.05)),
+            quorum: 0.6,
+            ..CorrectionConfig::default()
+        };
+        let lossy = self_correct(&u, &log, &clustering, &config);
+        assert!(lossy.clustering.unclustered.is_empty(), "seed={seed}");
+        assert_eq!(
+            lossy.clustering.client_count(),
+            clustering.client_count(),
+            "seed={seed}"
+        );
+        let lossy_len = lossy.clustering.len() as f64;
+        assert!(
+            (lossy_len - clean_len).abs() / clean_len <= 0.20,
+            "seed={seed}: cluster count diverged clean {clean_len} lossy {lossy_len}"
+        );
+        // Determinism: replaying the seed reproduces the exact outcome.
+        let replay = self_correct(&u, &log, &clustering, &config);
+        assert_eq!(
+            replay.clustering.len(),
+            lossy.clustering.len(),
+            "seed={seed}"
+        );
+        assert_eq!(replay.probe_stats.retries, lossy.probe_stats.retries);
+        assert_eq!(replay.unknown_signatures, lossy.unknown_signatures);
+    }
+}
+
+#[test]
+fn faulted_ingest_recovers_or_fails_cleanly_across_seeds() {
+    let (u, log) = setup();
+    let merged = standard_merged(&u, 0);
+    let compiled = merged.compile();
+    let text = clf::to_clf(&log);
+    let clean = IngestPipeline::new(&compiled)
+        .chunk_bytes(1 << 16)
+        .run(text.as_bytes());
+    let mut recovered = 0usize;
+    for &seed in &SEEDS {
+        let plan = FaultPlan::new(seed).with(failpoints::INGEST_CHUNK_IO, 0.4);
+        let build = || {
+            IngestPipeline::new(&compiled)
+                .chunk_bytes(1 << 16)
+                .fault_plan(plan.clone())
+                .io_retries(2)
+        };
+        match build().try_run(text.as_bytes()) {
+            Ok(report) => {
+                recovered += 1;
+                // Byte-identical to the unfaulted run: nothing lost,
+                // nothing double-counted.
+                assert_eq!(report.lines, clean.lines, "seed={seed}");
+                assert_eq!(report.errors, clean.errors, "seed={seed}");
+                assert_eq!(
+                    report.clustering.total_requests, clean.clustering.total_requests,
+                    "seed={seed}"
+                );
+                assert_eq!(
+                    report.clustering.clusters.len(),
+                    clean.clustering.clusters.len(),
+                    "seed={seed}"
+                );
+                for (f, c) in report
+                    .clustering
+                    .clusters
+                    .iter()
+                    .zip(&clean.clustering.clusters)
+                {
+                    assert_eq!(
+                        (
+                            f.prefix,
+                            f.clients.len(),
+                            f.requests,
+                            f.bytes,
+                            f.unique_urls
+                        ),
+                        (
+                            c.prefix,
+                            c.clients.len(),
+                            c.requests,
+                            c.bytes,
+                            c.unique_urls
+                        ),
+                        "seed={seed}"
+                    );
+                }
+            }
+            Err(IngestError::ChunkIo { attempts, .. }) => {
+                // Clean abort: the retry budget (1 + 2 retries) was spent.
+                assert_eq!(attempts, 3, "seed={seed}");
+            }
+            Err(other) => panic!("seed={seed}: unexpected error {other:?}"),
+        }
+        // Determinism: the same plan replays the same outcome class.
+        let replay_ok = build().try_run(text.as_bytes()).is_ok();
+        let first_ok = build().try_run(text.as_bytes()).is_ok();
+        assert_eq!(replay_ok, first_ok, "seed={seed}");
+    }
+    // With 40% loss and 2 retries, a decent share of seeds must recover
+    // end to end — otherwise the retry path isn't actually engaging.
+    assert!(recovered > 0, "no seed recovered");
+}
