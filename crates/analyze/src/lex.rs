@@ -1,0 +1,427 @@
+//! A minimal Rust lexer for static analysis.
+//!
+//! This is not a full grammar — it is exactly the token boundary
+//! knowledge the rules need: where comments, string/char literals, and
+//! lifetimes begin and end (so rule patterns never fire inside them),
+//! which line every token starts on, and a handful of fused multi-char
+//! operators (`::`, `->`, `=>`, `..`) that the rules pattern-match on.
+//! Everything else is a single-character [`TokKind::Punct`].
+//!
+//! The lexer never fails: malformed input (an unterminated string or
+//! block comment) lexes to end-of-file as one token, which is the right
+//! behaviour for an analyzer that must not panic on the code it audits.
+
+/// Token classes, at the granularity the rules care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw `r#ident` forms).
+    Ident,
+    /// A lifetime such as `'a` (distinguished from char literals).
+    Lifetime,
+    /// Numeric literal, including suffixed and float forms.
+    Number,
+    /// String literal: plain, raw, byte, or C variants.
+    Str,
+    /// Character or byte-character literal.
+    Char,
+    /// Operator/delimiter: single char, or one of `::` `->` `=>` `..`
+    /// `..=` `...`.
+    Punct,
+    /// `//`-style comment, including doc comments; text excludes the
+    /// trailing newline.
+    LineComment,
+    /// `/* */`-style comment (nesting handled); may span lines.
+    BlockComment,
+}
+
+/// One token: classification, source text, and 1-based start line.
+#[derive(Debug, Clone, Copy)]
+pub struct Tok<'a> {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// The token's source text.
+    pub text: &'a str,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl<'a> Tok<'a> {
+    /// `true` for comment tokens (line or block).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+
+    /// `true` when this token is the punct `p`.
+    pub fn is_punct(&self, p: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == p
+    }
+
+    /// `true` when this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Cursor state shared by the scanning helpers.
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self, off: usize) -> Option<u8> {
+        self.bytes.get(self.pos + off).copied()
+    }
+
+    /// Advances `n` bytes, updating the line counter.
+    fn bump(&mut self, n: usize) {
+        let end = (self.pos + n).min(self.bytes.len());
+        for &b in &self.bytes[self.pos..end] {
+            if b == b'\n' {
+                self.line += 1;
+            }
+        }
+        self.pos = end;
+    }
+
+    /// Consumes a `//` comment up to (not including) the newline.
+    fn line_comment(&mut self) -> usize {
+        let start = self.pos;
+        while let Some(b) = self.peek(0) {
+            if b == b'\n' {
+                break;
+            }
+            self.bump(1);
+        }
+        start
+    }
+
+    /// Consumes a `/* */` comment, honouring nesting; unterminated
+    /// comments run to end-of-file.
+    fn block_comment(&mut self) -> usize {
+        let start = self.pos;
+        self.bump(2);
+        let mut depth = 1u32;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump(2);
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.bump(2);
+                }
+                (Some(_), _) => self.bump(1),
+                (None, _) => break,
+            }
+        }
+        start
+    }
+
+    /// Consumes a quoted literal with `\`-escapes; unterminated literals
+    /// run to end-of-file.
+    fn quoted(&mut self, quote: u8) -> usize {
+        let start = self.pos;
+        self.bump(1);
+        while let Some(b) = self.peek(0) {
+            if b == b'\\' {
+                self.bump(2);
+            } else if b == quote {
+                self.bump(1);
+                break;
+            } else {
+                self.bump(1);
+            }
+        }
+        start
+    }
+
+    /// Consumes a raw string `r"…"` / `r#"…"#` starting at the `r` (the
+    /// caller has already skipped any `b`/`c` prefix). Unterminated raw
+    /// strings run to end-of-file.
+    fn raw_string(&mut self) -> usize {
+        let start = self.pos;
+        self.bump(1);
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.bump(1);
+        }
+        self.bump(1); // opening quote
+        'scan: while let Some(b) = self.peek(0) {
+            self.bump(1);
+            if b == b'"' {
+                for i in 0..hashes {
+                    if self.peek(i) != Some(b'#') {
+                        continue 'scan;
+                    }
+                }
+                self.bump(hashes);
+                break;
+            }
+        }
+        start
+    }
+
+    /// Consumes an identifier starting at the current position.
+    fn ident(&mut self) -> usize {
+        let start = self.pos;
+        while let Some(b) = self.peek(0) {
+            if is_ident_continue(b) {
+                self.bump(1);
+            } else {
+                break;
+            }
+        }
+        start
+    }
+
+    /// Consumes a numeric literal: integer/float bodies, radix prefixes,
+    /// type suffixes, and exponent forms — one token, never a `..`.
+    fn number(&mut self) -> usize {
+        let start = self.pos;
+        while let Some(b) = self.peek(0) {
+            let continues = b.is_ascii_alphanumeric()
+                || b == b'_'
+                || (b == b'.'
+                    && self.peek(1) != Some(b'.')
+                    && self.peek(1).is_some_and(|n| n.is_ascii_digit()))
+                || ((b == b'+' || b == b'-')
+                    && matches!(
+                        self.bytes.get(self.pos.wrapping_sub(1)),
+                        Some(b'e') | Some(b'E')
+                    ));
+            if !continues {
+                break;
+            }
+            self.bump(1);
+        }
+        start
+    }
+}
+
+/// `true` when `bytes[pos]` starts a raw-string body: an `r` followed by
+/// zero or more `#` and then a `"`. (Distinguishes `r#"…"#` from the raw
+/// identifier `r#ident`.)
+fn is_raw_string_at(bytes: &[u8], pos: usize) -> bool {
+    if bytes.get(pos) != Some(&b'r') {
+        return false;
+    }
+    let mut i = pos + 1;
+    while bytes.get(i) == Some(&b'#') {
+        i += 1;
+    }
+    bytes.get(i) == Some(&b'"')
+}
+
+/// Detects a raw/byte/C string or byte-char literal prefix at `pos`.
+/// Returns `(bytes to skip before the r/quote, is_raw, is_char)`.
+fn string_prefix(bytes: &[u8], pos: usize) -> Option<(usize, bool, bool)> {
+    let b0 = *bytes.get(pos)?;
+    let b1 = bytes.get(pos + 1).copied();
+    match (b0, b1) {
+        _ if is_raw_string_at(bytes, pos) => Some((0, true, false)),
+        (b'b', Some(b'"')) | (b'c', Some(b'"')) => Some((1, false, false)),
+        (b'b', Some(b'\'')) => Some((1, false, true)),
+        (b'b', Some(b'r')) | (b'c', Some(b'r')) if is_raw_string_at(bytes, pos + 1) => {
+            Some((1, true, false))
+        }
+        _ => None,
+    }
+}
+
+/// Lexes `src` into a token stream. Comments are kept (rules inspect
+/// them for `SAFETY:` rationales and allow markers); whitespace is
+/// dropped.
+pub fn lex(src: &str) -> Vec<Tok<'_>> {
+    let mut lx = Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut toks = Vec::new();
+    while let Some(b) = lx.peek(0) {
+        let line = lx.line;
+        // Whitespace.
+        if b.is_ascii_whitespace() {
+            lx.bump(1);
+            continue;
+        }
+        let (kind, start) = match b {
+            b'/' if lx.peek(1) == Some(b'/') => (TokKind::LineComment, lx.line_comment()),
+            b'/' if lx.peek(1) == Some(b'*') => (TokKind::BlockComment, lx.block_comment()),
+            b'"' => (TokKind::Str, lx.quoted(b'"')),
+            b'\'' => {
+                // Lifetime `'a` vs char literal `'a'` / `'\n'`: a
+                // lifetime is a quote followed by an identifier not
+                // closed by another quote.
+                let next = lx.peek(1);
+                let closing = lx.peek(2) == Some(b'\'');
+                if next.is_some_and(is_ident_start) && !closing {
+                    let start = lx.pos;
+                    lx.bump(2);
+                    lx.ident();
+                    (TokKind::Lifetime, start)
+                } else {
+                    (TokKind::Char, lx.quoted(b'\''))
+                }
+            }
+            _ => {
+                if let Some((skip, raw, is_char)) = string_prefix(lx.bytes, lx.pos) {
+                    let start = lx.pos;
+                    lx.bump(skip);
+                    if raw {
+                        lx.raw_string();
+                    } else if is_char {
+                        lx.quoted(b'\'');
+                    } else {
+                        lx.quoted(b'"');
+                    }
+                    (if is_char { TokKind::Char } else { TokKind::Str }, start)
+                } else if b == b'r'
+                    && lx.peek(1) == Some(b'#')
+                    && lx.peek(2).is_some_and(is_ident_start)
+                {
+                    // Raw identifier `r#match`.
+                    let start = lx.pos;
+                    lx.bump(2);
+                    lx.ident();
+                    (TokKind::Ident, start)
+                } else if is_ident_start(b) {
+                    (TokKind::Ident, lx.ident())
+                } else if b.is_ascii_digit() {
+                    (TokKind::Number, lx.number())
+                } else {
+                    // Punctuation: fuse the few multi-char operators the
+                    // rules distinguish.
+                    let start = lx.pos;
+                    let rest = &lx.bytes[lx.pos..];
+                    let len = if rest.starts_with(b"..=") || rest.starts_with(b"...") {
+                        3
+                    } else if rest.starts_with(b"::")
+                        || rest.starts_with(b"->")
+                        || rest.starts_with(b"=>")
+                        || rest.starts_with(b"..")
+                    {
+                        2
+                    } else {
+                        1
+                    };
+                    lx.bump(len);
+                    (TokKind::Punct, start)
+                }
+            }
+        };
+        toks.push(Tok {
+            kind,
+            text: &lx.src[start..lx.pos],
+            line,
+        });
+    }
+    toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, &str)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn comments_strings_lifetimes() {
+        let toks = kinds("let s = \"un//safe\"; // unsafe\n'a' 'b /* x /* y */ z */");
+        assert_eq!(
+            toks,
+            vec![
+                (TokKind::Ident, "let"),
+                (TokKind::Ident, "s"),
+                (TokKind::Punct, "="),
+                (TokKind::Str, "\"un//safe\""),
+                (TokKind::Punct, ";"),
+                (TokKind::LineComment, "// unsafe"),
+                (TokKind::Char, "'a'"),
+                (TokKind::Lifetime, "'b"),
+                (TokKind::BlockComment, "/* x /* y */ z */"),
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let toks = kinds(r###"r#"raw "quoted" body"# b"bytes" br#"raw"# b'x' c"cstr""###);
+        assert_eq!(
+            toks.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            vec![
+                TokKind::Str,
+                TokKind::Str,
+                TokKind::Str,
+                TokKind::Char,
+                TokKind::Str
+            ]
+        );
+        assert_eq!(toks[0].1, r###"r#"raw "quoted" body"#"###);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let toks = kinds("0..n 1.5 0x1f_u32 2e-3 1..=9");
+        assert_eq!(
+            toks,
+            vec![
+                (TokKind::Number, "0"),
+                (TokKind::Punct, ".."),
+                (TokKind::Ident, "n"),
+                (TokKind::Number, "1.5"),
+                (TokKind::Number, "0x1f_u32"),
+                (TokKind::Number, "2e-3"),
+                (TokKind::Number, "1"),
+                (TokKind::Punct, "..="),
+                (TokKind::Number, "9"),
+            ]
+        );
+    }
+
+    #[test]
+    fn fused_puncts_and_lines() {
+        let toks = lex("a::b\n-> x\n=> 'q' ..");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text).collect();
+        assert_eq!(texts, vec!["a", "::", "b", "->", "x", "=>", "'q'", ".."]);
+        assert_eq!(toks[1].line, 1);
+        assert_eq!(toks[3].line, 2);
+        assert_eq!(toks[5].line, 3);
+    }
+
+    #[test]
+    fn unterminated_input_does_not_panic() {
+        for src in ["\"open", "/* open", "r#\"open", "'x", "b'"] {
+            let _ = lex(src);
+        }
+    }
+
+    #[test]
+    fn escaped_quotes_stay_inside_literals() {
+        let toks = kinds(r#""a\"b" '\'' unsafe"#);
+        assert_eq!(
+            toks,
+            vec![
+                (TokKind::Str, r#""a\"b""#),
+                (TokKind::Char, r"'\''"),
+                (TokKind::Ident, "unsafe"),
+            ]
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! `netclust-analyze` CLI: the static-analysis gate, exit-code contract:
+//!
+//! * `0` — scan ran; clean, or findings present without `--deny-all`
+//! * `1` — findings present under `--deny-all`
+//! * `2` — usage error (unknown flag, missing argument)
+//! * `3` — I/O or manifest error
+//!
+//! ```text
+//! netclust-analyze [--deny-all] [--json PATH] [--manifest PATH] [paths…]
+//! ```
+//!
+//! With no paths, scans the current directory. The manifest defaults to
+//! `analyze.manifest` in the current directory when present.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use netclust_analyze::{scan, Manifest};
+
+const USAGE: &str =
+    "usage: netclust-analyze [--deny-all] [--json PATH] [--manifest PATH] [paths...]";
+
+struct Options {
+    deny_all: bool,
+    json: Option<PathBuf>,
+    manifest: Option<PathBuf>,
+    paths: Vec<PathBuf>,
+}
+
+/// Parses argv; `Err` carries the usage message.
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        deny_all: false,
+        json: None,
+        manifest: None,
+        paths: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--deny-all" => opts.deny_all = true,
+            "--json" => {
+                let path = it.next().ok_or("--json requires a path argument")?;
+                opts.json = Some(PathBuf::from(path));
+            }
+            "--manifest" => {
+                let path = it.next().ok_or("--manifest requires a path argument")?;
+                opts.manifest = Some(PathBuf::from(path));
+            }
+            "--help" | "-h" => return Err(String::new()),
+            flag if flag.starts_with('-') => return Err(format!("unknown flag {flag}")),
+            path => opts.paths.push(PathBuf::from(path)),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("netclust-analyze: {msg}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let root = PathBuf::from(".");
+    let manifest = match &opts.manifest {
+        Some(path) => match Manifest::load(path) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("netclust-analyze: {e}");
+                return ExitCode::from(3);
+            }
+        },
+        None => {
+            let default = root.join("analyze.manifest");
+            if default.is_file() {
+                match Manifest::load(&default) {
+                    Ok(m) => m,
+                    Err(e) => {
+                        eprintln!("netclust-analyze: {e}");
+                        return ExitCode::from(3);
+                    }
+                }
+            } else {
+                Manifest::default()
+            }
+        }
+    };
+
+    let report = match scan(&root, &opts.paths, &manifest) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("netclust-analyze: {e}");
+            return ExitCode::from(3);
+        }
+    };
+
+    for f in &report.findings {
+        println!("{}:{}: [{}] {}", f.path, f.line, f.rule, f.message);
+    }
+    println!(
+        "netclust-analyze: {} finding(s) across {} file(s)",
+        report.findings.len(),
+        report.files_scanned
+    );
+
+    if let Some(json_path) = &opts.json {
+        if let Err(e) = std::fs::write(json_path, report.to_json()) {
+            eprintln!("netclust-analyze: {}: {e}", json_path.display());
+            return ExitCode::from(3);
+        }
+    }
+
+    if opts.deny_all && !report.findings.is_empty() {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

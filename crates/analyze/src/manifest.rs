@@ -1,0 +1,154 @@
+//! The checked-in analysis manifest (`analyze.manifest`).
+//!
+//! A tiny line-oriented format — no TOML dependency — with three
+//! sections, each listing path prefixes relative to the scan root
+//! (forward slashes, no leading `./`):
+//!
+//! ```text
+//! [exclude]       # never scanned (vendored shims, seeded fixtures)
+//! crates/rand
+//!
+//! [hot-path]      # panic-free-hot-path applies to these files
+//! crates/weblog/src/clf_bytes.rs
+//!
+//! [deterministic] # HashMap-iteration checks apply to these files
+//! crates/core/src/cluster.rs
+//! ```
+//!
+//! `#` starts a comment; blank lines are ignored. A path entry matches
+//! itself and everything beneath it (prefix match on path components).
+
+use std::fmt;
+use std::path::Path;
+
+/// Parsed manifest: path prefixes per section.
+#[derive(Debug, Default, Clone)]
+pub struct Manifest {
+    /// Paths never scanned.
+    pub exclude: Vec<String>,
+    /// Files where `panic-free-hot-path` applies.
+    pub hot_paths: Vec<String>,
+    /// Files where the HashMap-iteration determinism check applies.
+    pub deterministic: Vec<String>,
+}
+
+/// A malformed manifest line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What was wrong with it.
+    pub message: String,
+}
+
+impl fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "manifest line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ManifestError {}
+
+/// `true` when `path` (relative, forward-slash) falls under `prefix` by
+/// whole path components.
+fn matches_prefix(path: &str, prefix: &str) -> bool {
+    match path.strip_prefix(prefix) {
+        Some(rest) => rest.is_empty() || rest.starts_with('/'),
+        None => false,
+    }
+}
+
+impl Manifest {
+    /// Parses manifest text.
+    pub fn parse(text: &str) -> Result<Manifest, ManifestError> {
+        let mut m = Manifest::default();
+        let mut section: Option<&mut Vec<String>> = None;
+        for (i, raw) in text.lines().enumerate() {
+            let line = match raw.find('#') {
+                Some(h) => &raw[..h],
+                None => raw,
+            }
+            .trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+                section = Some(match name {
+                    "exclude" => &mut m.exclude,
+                    "hot-path" => &mut m.hot_paths,
+                    "deterministic" => &mut m.deterministic,
+                    other => {
+                        return Err(ManifestError {
+                            line: i + 1,
+                            message: format!("unknown section [{other}]"),
+                        })
+                    }
+                });
+            } else {
+                let entry = line.trim_end_matches('/').to_string();
+                match section {
+                    Some(ref mut list) => list.push(entry),
+                    None => {
+                        return Err(ManifestError {
+                            line: i + 1,
+                            message: format!("entry {line:?} before any [section] header"),
+                        })
+                    }
+                }
+            }
+        }
+        Ok(m)
+    }
+
+    /// Loads and parses the manifest at `path`.
+    pub fn load(path: &Path) -> Result<Manifest, super::AnalyzeError> {
+        let text = std::fs::read_to_string(path).map_err(|source| super::AnalyzeError::Io {
+            path: path.display().to_string(),
+            source,
+        })?;
+        Manifest::parse(&text).map_err(super::AnalyzeError::Manifest)
+    }
+
+    /// `true` when `rel` is excluded from scanning.
+    pub fn is_excluded(&self, rel: &str) -> bool {
+        self.exclude.iter().any(|p| matches_prefix(rel, p))
+    }
+
+    /// `true` when `rel` is a designated hot-path file.
+    pub fn is_hot_path(&self, rel: &str) -> bool {
+        self.hot_paths.iter().any(|p| matches_prefix(rel, p))
+    }
+
+    /// `true` when `rel` is a designated deterministic-output file.
+    pub fn is_deterministic(&self, rel: &str) -> bool {
+        self.deterministic.iter().any(|p| matches_prefix(rel, p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_and_comments() {
+        let m = Manifest::parse(
+            "# header\n[exclude]\ncrates/rand\n\n[hot-path]\na/b.rs # trailing\n[deterministic]\nc/\n",
+        )
+        .expect("valid manifest");
+        assert_eq!(m.exclude, vec!["crates/rand"]);
+        assert_eq!(m.hot_paths, vec!["a/b.rs"]);
+        assert_eq!(m.deterministic, vec!["c"]);
+        assert!(m.is_excluded("crates/rand/src/lib.rs"));
+        assert!(!m.is_excluded("crates/randx/src/lib.rs"));
+        assert!(m.is_hot_path("a/b.rs"));
+        assert!(!m.is_hot_path("a/b.rs.bak"));
+        assert!(m.is_deterministic("c/d.rs"));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(Manifest::parse("stray-entry\n").is_err());
+        let err = Manifest::parse("[nope]\n").expect_err("unknown section");
+        assert_eq!(err.line, 1);
+    }
+}

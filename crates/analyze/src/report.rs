@@ -1,0 +1,153 @@
+//! Findings and the machine-readable `ANALYZE.json` report.
+//!
+//! The JSON emitter is hand-rolled (the workspace is offline — no
+//! `serde`) and deterministic: findings are sorted by `(path, line,
+//! rule, message)` and rule counts are emitted in the fixed rule-catalog
+//! order, so the report is byte-stable for a given tree and can be
+//! snapshot-tested and diffed across commits.
+
+use std::fmt::Write as _;
+
+use crate::rules::RULES;
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier (one of [`RULES`]).
+    pub rule: &'static str,
+    /// Root-relative path (forward slashes); attached by the scanner.
+    pub path: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Human-readable description with the suggested remedy.
+    pub message: String,
+}
+
+impl Finding {
+    /// A finding without a path yet (the per-file rules don't know it).
+    pub fn new(rule: &'static str, line: u32, message: String) -> Finding {
+        Finding {
+            rule,
+            path: String::new(),
+            line,
+            message,
+        }
+    }
+}
+
+/// A whole scan: every finding plus scan-coverage metadata.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings, sorted by `(path, line, rule, message)`.
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Sorts findings into the canonical deterministic order.
+    pub fn normalize(&mut self) {
+        self.findings.sort_by(|a, b| {
+            (&a.path, a.line, a.rule, &a.message).cmp(&(&b.path, b.line, b.rule, &b.message))
+        });
+    }
+
+    /// Number of findings for `rule`.
+    pub fn count(&self, rule: &str) -> usize {
+        self.findings.iter().filter(|f| f.rule == rule).count()
+    }
+
+    /// Renders the machine-readable JSON report.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"version\": 1,");
+        let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
+        out.push_str("  \"counts\": {");
+        for (i, rule) in RULES.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\n    \"{rule}\": {}", self.count(rule));
+        }
+        out.push_str("\n  },\n");
+        out.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"message\": {}}}",
+                json_str(f.rule),
+                json_str(&f.path),
+                f.line,
+                json_str(&f.message)
+            );
+        }
+        if self.findings.is_empty() {
+            out.push_str("]\n}\n");
+        } else {
+            out.push_str("\n  ]\n}\n");
+        }
+        out
+    }
+}
+
+/// Escapes `s` as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if u32::from(c) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", u32::from(c));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_sorted_and_escaped() {
+        let mut r = Report {
+            findings: vec![
+                Finding {
+                    rule: "determinism",
+                    path: "b.rs".to_string(),
+                    line: 2,
+                    message: "quote \" and\nnewline".to_string(),
+                },
+                Finding {
+                    rule: "cast-truncation",
+                    path: "a.rs".to_string(),
+                    line: 9,
+                    message: "m".to_string(),
+                },
+            ],
+            files_scanned: 2,
+        };
+        r.normalize();
+        assert_eq!(r.findings[0].path, "a.rs");
+        let json = r.to_json();
+        assert!(json.contains("\"files_scanned\": 2"));
+        assert!(json.contains("\\\" and\\nnewline"));
+        assert!(json.contains("\"cast-truncation\": 1"));
+        // Stable under repeated rendering.
+        assert_eq!(json, r.to_json());
+    }
+
+    #[test]
+    fn empty_report_renders_empty_array() {
+        let r = Report::default();
+        let json = r.to_json();
+        assert!(json.contains("\"findings\": []"));
+    }
+}

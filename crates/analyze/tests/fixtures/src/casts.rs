@@ -1,0 +1,26 @@
+//! Seeded `cast-truncation` violations plus marker-hygiene cases for the
+//! `allow-marker` rule.
+
+pub fn narrowing(x: u64) -> u32 {
+    x as u32 // finding: narrowing cast, no marker
+}
+
+pub fn narrow_small(x: u32) -> u16 {
+    x as u16 // finding: narrowing cast, no marker
+}
+
+pub fn justified(x: u64) -> u32 {
+    // analyze:allow(cast-truncation) x < 2^20 by the caller's contract.
+    (x & 0xF_FFFF) as u32
+}
+
+pub fn reasonless(x: u64) -> u32 {
+    // analyze:allow(cast-truncation)
+    x as u32 // finding: the marker above has no reason (allow-marker rule)
+}
+
+pub fn unknown_rule(x: u64) -> u32 {
+    // analyze:allow(no-such-rule) markers must name catalog rules
+    let _ = x; // the marker above is an allow-marker finding
+    x as u32 // finding: cast not covered by the bogus marker
+}

@@ -1,0 +1,29 @@
+//! Seeded `determinism` violations: this file is listed under
+//! `[deterministic]` in the fixture manifest.
+
+use std::collections::HashMap;
+
+pub fn stamped() -> bool {
+    let now = std::time::SystemTime::now(); // finding: wall clock read
+    now.elapsed().is_ok()
+}
+
+pub fn unordered(pairs: &[(u32, u32)]) -> Vec<u32> {
+    let mut m: HashMap<u32, u32> = HashMap::new();
+    for &(k, v) in pairs {
+        m.insert(k, v);
+    }
+    let mut out = Vec::new();
+    for (_, v) in m.iter() {
+        // ^ finding: hash-map iteration order reaches the output
+        out.push(*v);
+    }
+    out
+}
+
+pub fn ordered(m: HashMap<u32, u32>) -> Vec<u32> {
+    // analyze:allow(determinism) keys are collected and sorted before use.
+    let mut keys: Vec<u32> = m.keys().copied().collect();
+    keys.sort_unstable();
+    keys
+}

@@ -1,0 +1,7 @@
+//! Listed under `[exclude]` in the fixture manifest: nothing in here may
+//! ever appear in a report.
+
+pub fn would_trip_everything(x: u64, m: Option<u32>) -> u32 {
+    let _ = m.unwrap();
+    x as u32
+}

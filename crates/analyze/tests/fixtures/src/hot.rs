@@ -1,0 +1,28 @@
+//! Seeded `panic-free-hot-path` violations: this file is listed under
+//! `[hot-path]` in the fixture manifest.
+
+pub fn panicky(v: &[u32], m: Option<u32>) -> u32 {
+    let a = m.unwrap(); // finding: unwrap on a hot path
+    let b = m.expect("present"); // finding: expect on a hot path
+    if v.is_empty() {
+        panic!("empty"); // finding: panic! on a hot path
+    }
+    a + b + v[0] // finding: non-range indexing on a hot path
+}
+
+pub fn tolerated(v: &[u32]) -> u32 {
+    // analyze:allow(panic-free-hot-path) v.len() checked by the caller.
+    let head = v[0];
+    // Range slicing carries no per-element panic the rule tracks.
+    let tail = &v[1..];
+    head + u32::try_from(tail.len()).unwrap_or(u32::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let v = [1u32];
+        assert_eq!(v[0], [1u32][0]); // no finding: test code
+    }
+}

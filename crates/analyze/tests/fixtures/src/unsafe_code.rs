@@ -1,0 +1,22 @@
+//! Seeded `unsafe-safety-comment` violations: bare unsafe sites with no
+//! adjacent SAFETY rationale, next to compliant and allow-marked ones.
+
+pub fn bare_unsafe_block(p: *const u8) -> u8 {
+    // finding: unsafe block with no SAFETY comment anywhere near it
+    unsafe { *p }
+}
+
+pub unsafe fn bare_unsafe_fn(p: *const u8) -> u8 {
+    *p
+}
+
+pub fn commented_unsafe(p: *const u8) -> u8 {
+    // SAFETY: the caller hands us a pointer it just derived from a live
+    // reference, so the read is in bounds (no finding here).
+    unsafe { *p }
+}
+
+pub fn marked_unsafe(p: *const u8) -> u8 {
+    // analyze:allow(unsafe-safety-comment) rationale lives on the trait impl.
+    unsafe { *p }
+}

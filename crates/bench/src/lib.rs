@@ -163,7 +163,7 @@ impl ByLengthLpm {
             let key = if len == 0 {
                 0
             } else {
-                addr & (u32::MAX << (32 - len as u32))
+                addr & (u32::MAX << (32 - u32::from(len)))
             };
             if let Some(&net) = map.get(&key) {
                 return Some(net);

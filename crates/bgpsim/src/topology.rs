@@ -23,6 +23,50 @@ pub enum Relation {
     ProviderOf,
 }
 
+/// A structural violation found by [`Topology::check`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologyError {
+    /// A provider link without the matching customer back-link.
+    AsymmetricProviderLink {
+        /// The AS recording the provider.
+        customer: u32,
+        /// The provider missing the back-link.
+        provider: u32,
+    },
+    /// A peer link recorded in one direction only.
+    AsymmetricPeerLink {
+        /// The AS recording the peer.
+        a: u32,
+        /// The peer missing the back-link.
+        b: u32,
+    },
+    /// A non-tier-1 AS with no provider (partitioned upward).
+    NoProvider {
+        /// The orphaned AS.
+        asn: u32,
+        /// Its tier.
+        tier: u8,
+    },
+}
+
+impl std::fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopologyError::AsymmetricProviderLink { customer, provider } => {
+                write!(f, "asymmetric provider link {customer}->{provider}")
+            }
+            TopologyError::AsymmetricPeerLink { a, b } => {
+                write!(f, "asymmetric peer link {a}<->{b}")
+            }
+            TopologyError::NoProvider { asn, tier } => {
+                write!(f, "AS {asn} (tier {tier}) has no provider")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
 /// The AS graph: per-AS adjacency lists split by relationship.
 #[derive(Debug, Clone)]
 pub struct Topology {
@@ -55,6 +99,7 @@ impl Topology {
         let n = universe.ases().len();
         assert!(n >= 4, "topology needs at least 4 ASes");
         let mut rng = stream_rng(seed, &[0x709]);
+        // analyze:allow(cast-truncation) AS ids are u32 by design.
         let mut order: Vec<u32> = (0..n as u32).collect();
         order.shuffle(&mut rng);
 
@@ -106,6 +151,7 @@ impl Topology {
             }
         }
         // Stubs: 1–2 tier-2 providers (occasionally a tier-1).
+        // analyze:allow(cast-truncation) AS ids are u32 by design.
         for a in 0..n as u32 {
             if tier[a as usize] != 3 {
                 continue;
@@ -131,23 +177,27 @@ impl Topology {
 
     /// Verifies structural sanity: relationship symmetry and that every
     /// non-tier-1 AS has at least one provider (no partitions upward).
-    pub fn check(&self) -> Result<(), String> {
+    pub fn check(&self) -> Result<(), TopologyError> {
+        // analyze:allow(cast-truncation) AS ids are u32 by design.
         for a in 0..self.len() as u32 {
             for &p in &self.providers[a as usize] {
                 if !self.customers[p as usize].contains(&a) {
-                    return Err(format!("asymmetric provider link {a}->{p}"));
+                    return Err(TopologyError::AsymmetricProviderLink {
+                        customer: a,
+                        provider: p,
+                    });
                 }
             }
             for &q in &self.peers[a as usize] {
                 if !self.peers[q as usize].contains(&a) {
-                    return Err(format!("asymmetric peer link {a}<->{q}"));
+                    return Err(TopologyError::AsymmetricPeerLink { a, b: q });
                 }
             }
             if self.tier[a as usize] != 1 && self.providers[a as usize].is_empty() {
-                return Err(format!(
-                    "AS {a} (tier {}) has no provider",
-                    self.tier[a as usize]
-                ));
+                return Err(TopologyError::NoProvider {
+                    asn: a,
+                    tier: self.tier[a as usize],
+                });
             }
         }
         Ok(())

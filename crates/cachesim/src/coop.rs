@@ -73,9 +73,12 @@ pub fn simulate_cooperative(
     let mut group_of: Vec<u32> = vec![u32::MAX; clustering.clusters.len()];
     for (gid, members) in groups.iter().enumerate() {
         for &m in members {
+            // analyze:allow(cast-truncation) group ids are bounded by the
+            // u32 cluster count.
             group_of[m] = gid as u32;
         }
     }
+    // analyze:allow(cast-truncation) group count <= cluster count < 2^32.
     let mut next = groups.len() as u32;
     for g in group_of.iter_mut() {
         if *g == u32::MAX {
@@ -86,6 +89,7 @@ pub fn simulate_cooperative(
     // Siblings per group.
     let mut members_of: Vec<Vec<u32>> = vec![Vec::new(); next as usize];
     for (idx, &g) in group_of.iter().enumerate() {
+        // analyze:allow(cast-truncation) cluster indices are u32 by design.
         members_of[g as usize].push(idx as u32);
     }
 
@@ -93,6 +97,7 @@ pub fn simulate_cooperative(
     let mut route: HashMap<u32, u32> = HashMap::new();
     for (idx, cluster) in clustering.clusters.iter().enumerate() {
         for client in &cluster.clients {
+            // analyze:allow(cast-truncation) cluster indices are u32 by design.
             route.insert(u32::from(client.addr), idx as u32);
         }
     }

@@ -218,6 +218,7 @@ impl Clustering {
         // `unclustered` inherit that order without re-sorting.
 
         // Materialize clusters, sorted by prefix.
+        // analyze:allow(determinism) keys are collected and sorted before use.
         let mut prefixes: Vec<Ipv4Net> = by_prefix.keys().copied().collect();
         prefixes.sort();
         let mut clusters = Vec::with_capacity(prefixes.len());
@@ -226,6 +227,8 @@ impl Clustering {
             let clients = by_prefix.remove(&prefix).expect("key exists");
             let requests = clients.iter().map(|c| c.requests).sum();
             let bytes = clients.iter().map(|c| c.bytes).sum();
+            // analyze:allow(cast-truncation) cluster ids are u32 by design;
+            // one cluster per routing prefix bounds the count well below 2^32.
             let idx = clusters.len() as u32;
             for c in &clients {
                 index.insert(u32::from(c.addr), idx);
@@ -305,6 +308,7 @@ impl Clustering {
             }
         }
         unclustered.sort_by_key(|c| c.addr);
+        // analyze:allow(determinism) keys are collected and sorted before use.
         let mut prefixes: Vec<Ipv4Net> = by_prefix.keys().copied().collect();
         prefixes.sort();
         let mut clusters = Vec::with_capacity(prefixes.len());
@@ -314,6 +318,8 @@ impl Clustering {
             clients.sort_by_key(|c| c.addr);
             let requests = clients.iter().map(|c| c.requests).sum();
             let bytes = clients.iter().map(|c| c.bytes).sum();
+            // analyze:allow(cast-truncation) cluster ids are u32 by design;
+            // one cluster per routing prefix bounds the count well below 2^32.
             let idx = clusters.len() as u32;
             for c in &clients {
                 index.insert(u32::from(c.addr), idx);
@@ -478,6 +484,7 @@ fn aggregate_parallel(log: &Log) -> Vec<ClientStats> {
                     e.1 += bytes;
                 }
             }
+            // analyze:allow(determinism) map drained to a vec and sorted below.
             let mut clients: Vec<ClientStats> = per_client
                 .into_iter()
                 .map(|(client, (requests, bytes))| ClientStats {
@@ -496,6 +503,7 @@ fn aggregate_parallel(log: &Log) -> Vec<ClientStats> {
 }
 
 pub(crate) fn finish_aggregation(per_client: FxHashMap<u32, (u64, u64)>) -> Vec<ClientStats> {
+    // analyze:allow(determinism) map drained to a vec and sorted below.
     let mut clients: Vec<ClientStats> = per_client
         .into_iter()
         .map(|(client, (requests, bytes))| ClientStats {

@@ -23,7 +23,7 @@ pub struct LogDynamics {
     /// Total clusters in the log's clustering.
     pub total_clusters: usize,
     /// Clusters whose identifying prefix appears in this vantage point's
-    /// end-of-period table ("<log> prefix" rows).
+    /// end-of-period table ("`<log>` prefix" rows).
     pub prefixes_in_table: usize,
     /// Of those, prefixes in the period's dynamic set ("Maximum effect").
     pub prefix_effect: usize,

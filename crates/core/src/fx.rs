@@ -32,11 +32,10 @@ impl FxHasher {
 impl Hasher for FxHasher {
     #[inline]
     fn write(&mut self, bytes: &[u8]) {
-        let mut chunks = bytes.chunks_exact(8);
-        for c in &mut chunks {
-            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        let (chunks, rem) = bytes.as_chunks::<8>();
+        for c in chunks {
+            self.add(u64::from_le_bytes(*c));
         }
-        let rem = chunks.remainder();
         if !rem.is_empty() {
             let mut tail = [0u8; 8];
             tail[..rem.len()].copy_from_slice(rem);

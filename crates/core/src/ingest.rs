@@ -416,7 +416,9 @@ impl<'t> IngestPipeline<'t> {
             .map(|&p| {
                 let mut per_client: FxHashMap<u32, (u64, u64)> = FxHashMap::default();
                 for o in &outs {
+                    // analyze:allow(panic-free-hot-path) p < n_parts == o.parts.len().
                     for (&client, &id) in &o.parts[p] {
+                        // analyze:allow(panic-free-hot-path) id was handed out from accum.len().
                         let (requests, bytes) = o.accum[id as usize];
                         let e = per_client.entry(client).or_insert((0, 0));
                         e.0 += requests;
@@ -454,10 +456,12 @@ impl<'t> IngestPipeline<'t> {
                     .url_paths
                     .iter()
                     .map(|&p| {
+                        // analyze:allow(cast-truncation) url ids are u32 by format.
                         let next = global.len() as u32;
                         *global.entry(p).or_insert(next)
                     })
                     .collect();
+                // analyze:allow(panic-free-hot-path) id < url_paths.len() == trans.len().
                 pairs.extend(o.pairs.iter().map(|&(c, id)| (c, trans[id as usize])));
             }
             let to_key = |&(client, url): &(u32, u32)| {
@@ -518,6 +522,7 @@ impl<'t> IngestPipeline<'t> {
                 .map(|&a| {
                     clustering
                         .cluster_index(Ipv4Addr::from(a))
+                        // analyze:allow(cast-truncation) cluster count < 2^32 (u32 ids by design).
                         .map_or(u32::MAX, |i| i as u32)
                 })
                 .collect();
@@ -528,6 +533,7 @@ impl<'t> IngestPipeline<'t> {
                 let mapped: Vec<u64> = pairs
                     .iter()
                     .filter_map(|&(dense, url)| {
+                        // analyze:allow(panic-free-hot-path) dense ids index dense_addr == cluster_of.
                         let idx = cluster_of[dense as usize];
                         (idx != u32::MAX).then_some(((idx as u64) << 32) | url as u64)
                     })
@@ -612,12 +618,15 @@ impl<'a> ChunkOut<'a> {
                     let part = ((r.addr as u64) >> shift) as usize;
                     let accum = &mut self.accum;
                     let dense_addr = &mut self.dense_addr;
+                    // analyze:allow(panic-free-hot-path) part = addr >> shift < n_parts.
                     let id = *self.parts[part].entry(r.addr).or_insert_with(|| {
+                        // analyze:allow(cast-truncation) dense client ids are u32 by design.
                         let id = accum.len() as u32;
                         accum.push((0, 0));
                         dense_addr.push(r.addr);
                         id
                     });
+                    // analyze:allow(panic-free-hot-path) id was handed out from accum.len().
                     let e = &mut self.accum[id as usize];
                     e.0 += 1;
                     e.1 += r.bytes as u64;
@@ -626,6 +635,7 @@ impl<'a> ChunkOut<'a> {
                         let url_paths = &mut self.url_paths;
                         let id = *self.url_ids.entry(r.path).or_insert_with(|| {
                             url_paths.push(r.path);
+                            // analyze:allow(cast-truncation) url ids are u32 by format.
                             (url_paths.len() - 1) as u32
                         });
                         self.pairs.push((client_key, id));
@@ -659,6 +669,7 @@ fn count_unique_sorted(clustering: &mut Clustering, mut mapped: Vec<u64>) {
     mapped.sort_unstable();
     mapped.dedup();
     for key in mapped {
+        // analyze:allow(panic-free-hot-path) key's high half is a valid cluster index by construction.
         clustering.clusters[(key >> 32) as usize].unique_urls += 1;
     }
 }
@@ -697,12 +708,14 @@ fn count_unique_bitmap_windowed(
 ) {
     let n_bits = clustering.clusters.len() as u64 * n_urls as u64;
     let to_key = |&(dense, url): &(u32, u32)| {
+        // analyze:allow(panic-free-hot-path) dense ids index dense_addr == cluster_of.
         let idx = cluster_of[dense as usize];
         (idx != u32::MAX).then(|| idx as u64 * n_urls as u64 + url as u64)
     };
     if n_bits <= window_bits {
         let mut bits = vec![0u64; (n_bits as usize).div_ceil(64)];
         for key in pairs.iter().filter_map(to_key) {
+            // analyze:allow(panic-free-hot-path) key < n_bits and bits holds n_bits bits.
             bits[(key >> 6) as usize] |= 1 << (key & 63);
         }
         tally_window(clustering, &bits, 0, n_urls);
@@ -711,6 +724,8 @@ fn count_unique_bitmap_windowed(
     let n_windows = n_bits.div_ceil(window_bits) as usize;
     let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); n_windows];
     for key in pairs.iter().filter_map(to_key) {
+        // analyze:allow(panic-free-hot-path, cast-truncation) key < n_bits so the
+        // bucket index < n_windows, and key % window_bits < 2^21 fits u32.
         buckets[(key / window_bits) as usize].push((key % window_bits) as u32);
     }
     let mut window = vec![0u64; (window_bits as usize) / 64];
@@ -720,6 +735,7 @@ fn count_unique_bitmap_windowed(
         }
         window.fill(0);
         for &k in keys {
+            // analyze:allow(panic-free-hot-path) k < window_bits and window holds window_bits bits.
             window[(k >> 6) as usize] |= 1 << (k & 63);
         }
         tally_window(clustering, &window, w as u64 * window_bits, n_urls);
@@ -733,6 +749,7 @@ fn tally_window(clustering: &mut Clustering, bits: &[u64], base: u64, n_urls: us
         let mut word = word;
         while word != 0 {
             let key = base + (w as u64) * 64 + word.trailing_zeros() as u64;
+            // analyze:allow(panic-free-hot-path) key < clusters.len() * n_urls.
             clustering.clusters[(key / n_urls as u64) as usize].unique_urls += 1;
             word &= word - 1;
         }

@@ -69,6 +69,8 @@ pub fn network_clusters(
                 .join(">");
             *votes.entry(key).or_default() += 1;
         }
+        // analyze:allow(determinism) max_by with a total (count, key)
+        // tie-break: iteration order cannot change the winner.
         let key = votes
             .into_iter()
             .max_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)))

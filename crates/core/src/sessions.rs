@@ -68,6 +68,8 @@ where
     let consecutive_correlations = sessions
         .windows(2)
         .map(|pair| {
+            // analyze:allow(determinism) keys are collected, sorted, and
+            // deduped before any use.
             let mut prefixes: Vec<Ipv4Net> = pair[0]
                 .requests_by_prefix
                 .keys()

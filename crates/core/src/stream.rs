@@ -256,6 +256,8 @@ impl StreamingClustering {
     /// The current top-`k` clusters by request count (ties broken by
     /// prefix for determinism).
     pub fn top_k(&self, k: usize) -> Vec<(Ipv4Net, StreamStats)> {
+        // analyze:allow(determinism) collected then sorted with a prefix
+        // tie-break below.
         let mut v: Vec<(Ipv4Net, StreamStats)> =
             self.clusters.iter().map(|(&p, &s)| (p, s)).collect();
         v.sort_by(|a, b| b.1.requests.cmp(&a.1.requests).then(a.0.cmp(&b.0)));
@@ -280,6 +282,8 @@ impl StreamingClustering {
     /// which validates the candidate first.
     pub fn swap_table(&mut self, table: MergedTable) {
         let compiled = table.compile();
+        // analyze:allow(determinism) install() aggregates commutatively per
+        // cluster; client order cannot reach any output.
         let clients: Vec<u32> = self.per_client.keys().copied().collect();
         let nets = compiled.net_for_batch(&clients);
         self.install(compiled, clients, nets);
@@ -357,6 +361,8 @@ impl StreamingClustering {
 
         // Re-resolve every known client against the candidate and check
         // request-weighted coverage retention before committing.
+        // analyze:allow(determinism) feeds a commutative sum and install()'s
+        // commutative aggregation; order cannot reach any output.
         let clients: Vec<u32> = self.per_client.keys().copied().collect();
         let nets = compiled.net_for_batch(&clients);
         if self.total_requests > 0 {

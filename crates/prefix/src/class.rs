@@ -67,7 +67,8 @@ impl AddressClass {
     /// Number of addresses per network in this class
     /// (2^24, 2^16 and 2^8 for A, B and C).
     pub fn hosts_per_network(&self) -> Option<u64> {
-        self.default_prefix_len().map(|l| 1u64 << (32 - l as u32))
+        self.default_prefix_len()
+            .map(|l| 1u64 << (32 - u32::from(l)))
     }
 }
 

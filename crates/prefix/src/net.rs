@@ -36,7 +36,7 @@ impl Ipv4Net {
     /// Returns [`PrefixError::InvalidLength`] when `len > 32`.
     pub fn new(addr: u32, len: u8) -> Result<Self, PrefixError> {
         if len > 32 {
-            return Err(PrefixError::InvalidLength(len as u32));
+            return Err(PrefixError::InvalidLength(u32::from(len)));
         }
         Ok(Ipv4Net {
             addr: addr & mask_of(len),
@@ -98,7 +98,7 @@ impl Ipv4Net {
     /// Returned as `u64` so that `/0` does not overflow.
     #[inline]
     pub fn num_addresses(&self) -> u64 {
-        1u64 << (32 - self.len as u32)
+        1u64 << (32 - u32::from(self.len))
     }
 
     /// First address of the block (the network address itself).
@@ -155,7 +155,7 @@ impl Ipv4Net {
                 len,
             };
             let high = Ipv4Net {
-                addr: self.addr | (1u32 << (32 - len as u32)),
+                addr: self.addr | (1u32 << (32 - u32::from(len))),
                 len,
             };
             Some((low, high))
@@ -170,10 +170,11 @@ impl Ipv4Net {
         if len < self.len || len > 32 {
             return Vec::new();
         }
-        let count = 1u64 << (len - self.len) as u32;
-        let step = 1u64 << (32 - len as u32);
+        let count = 1u64 << u32::from(len - self.len);
+        let step = 1u64 << (32 - u32::from(len));
         (0..count)
             .map(|i| Ipv4Net {
+                // analyze:allow(cast-truncation) i * step < 2^(32 - self.len) stays inside the block.
                 addr: self.addr + (i * step) as u32,
                 len,
             })
@@ -187,7 +188,7 @@ impl Ipv4Net {
             None
         } else {
             Some(Ipv4Net {
-                addr: self.addr ^ (1u32 << (32 - self.len as u32)),
+                addr: self.addr ^ (1u32 << (32 - u32::from(self.len))),
                 len: self.len,
             })
         }
@@ -201,6 +202,7 @@ impl Ipv4Net {
         if n >= self.num_addresses() {
             None
         } else {
+            // analyze:allow(cast-truncation) n < num_addresses() <= 2^32.
             Some(u32_to_addr(self.addr + n as u32))
         }
     }
@@ -236,7 +238,7 @@ pub(crate) fn mask_of(len: u8) -> u32 {
     if len == 0 {
         0
     } else {
-        u32::MAX << (32 - len as u32)
+        u32::MAX << (32 - u32::from(len))
     }
 }
 
@@ -274,6 +276,7 @@ impl FromStr for Ipv4Net {
         if len > 32 {
             return Err(PrefixError::InvalidLength(len));
         }
+        // analyze:allow(cast-truncation) len <= 32 checked above.
         Ipv4Net::from_addr(addr, len as u8)
     }
 }

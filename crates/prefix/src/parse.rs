@@ -62,6 +62,7 @@ pub fn parse_table_entry(entry: &str) -> Result<Ipv4Net, PrefixError> {
                 if len > 32 {
                     return Err(PrefixError::InvalidLength(len));
                 }
+                // analyze:allow(cast-truncation) len <= 32 checked above.
                 len as u8
             };
             Ipv4Net::from_addr(addr, len)
@@ -84,6 +85,7 @@ fn parse_padded_addr(s: &str) -> Result<Ipv4Addr, PrefixError> {
         if value > 255 {
             return Err(PrefixError::InvalidAddress(s.to_string()));
         }
+        // analyze:allow(cast-truncation) value <= 255 checked above.
         octets[count] = value as u8;
         count += 1;
     }
@@ -100,6 +102,7 @@ fn mask_to_len(mask: Ipv4Addr) -> Option<u8> {
     let len = m.leading_ones();
     // Contiguous means the ones are exactly the leading `len` bits.
     if len == 32 || m << len == 0 {
+        // analyze:allow(cast-truncation) leading_ones() of a u32 is <= 32.
         Some(len as u8)
     } else {
         None

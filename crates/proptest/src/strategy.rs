@@ -137,7 +137,7 @@ impl_tuple_strategy! {
 /// One boxed alternative of a [`Union`].
 pub struct UnionArm<V>(Box<dyn Fn(&mut TestRng) -> V>);
 
-/// Uniform choice among boxed strategies — what [`prop_oneof!`] builds.
+/// Uniform choice among boxed strategies — what `prop_oneof!` builds.
 pub struct Union<V> {
     arms: Vec<UnionArm<V>>,
 }

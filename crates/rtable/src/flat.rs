@@ -160,7 +160,14 @@ impl CompiledTable {
 
         // Insert ascending by prefix length so longer prefixes overwrite
         // shorter ones; equal-length prefixes cover disjoint ranges.
+        debug_assert!(
+            u32::try_from(prefixes.len()).is_ok_and(|n| n < u32::MAX),
+            "arena must leave Handle::NONE unused"
+        );
+        // analyze:allow(cast-truncation) handles are u32 by design; the
+        // arena cannot exceed u32 (checked in debug builds above).
         let mut order: Vec<u32> = (0..prefixes.len() as u32).collect();
+        // analyze:allow(panic-free-hot-path) h ranges over 0..prefixes.len().
         order.sort_by_key(|&h| prefixes[h as usize].len());
 
         let mut tbl24 = vec![0u32; 1 << 24];
@@ -172,6 +179,7 @@ impl CompiledTable {
         let mut ext_cells: Vec<usize> = Vec::new();
 
         for &h in &order {
+            // analyze:allow(panic-free-hot-path) h comes from 0..prefixes.len().
             let net = prefixes[h as usize];
             let slot = h + 1;
             if net.len() <= 24 {
@@ -184,18 +192,22 @@ impl CompiledTable {
                 }
             } else {
                 let idx24 = (net.addr_u32() >> 8) as usize;
-                let group = if tbl24[idx24] & EXT_FLAG != 0 {
-                    (tbl24[idx24] & !EXT_FLAG) as usize
+                // analyze:allow(panic-free-hot-path) idx24 = addr >> 8 < 2^24 == tbl24.len().
+                let entry = tbl24[idx24];
+                let group = if entry & EXT_FLAG != 0 {
+                    (entry & !EXT_FLAG) as usize
                 } else {
                     // Seed a fresh group with the current ≤/24 match so
                     // bytes the long prefix does not cover still resolve.
                     let group = if use16 {
-                        groups16.push((tbl24[idx24], vec![LONG16_SEED; 256]));
+                        groups16.push((entry, vec![LONG16_SEED; 256]));
                         groups16.len() - 1
                     } else {
-                        groups32.push(vec![tbl24[idx24]; 256]);
+                        groups32.push(vec![entry; 256]);
                         groups32.len() - 1
                     };
+                    // analyze:allow(panic-free-hot-path, cast-truncation) idx24 < 2^24; at most
+                    // 2^24 groups exist, so the group id fits the 31 low bits.
                     tbl24[idx24] = EXT_FLAG | group as u32;
                     ext_cells.push(idx24);
                     group
@@ -203,10 +215,21 @@ impl CompiledTable {
                 let lo = (net.addr_u32() & 0xFF) as usize;
                 let count = 1usize << (32 - net.len());
                 if use16 {
+                    debug_assert!(
+                        slot < u32::from(LONG16_SEED),
+                        "16-bit group slot must leave the seed sentinel unused"
+                    );
+                    // analyze:allow(cast-truncation) use16 bounds every
+                    // slot below LONG16_SEED (asserted above).
+                    let slot16 = slot as u16;
+                    // analyze:allow(panic-free-hot-path) `group` was just
+                    // pushed or decoded from a live extension entry.
                     for e in &mut groups16[group].1[lo..lo + count] {
-                        *e = slot as u16;
+                        *e = slot16;
                     }
                 } else {
+                    // analyze:allow(panic-free-hot-path) `group` was just
+                    // pushed or decoded from a live extension entry.
                     for e in &mut groups32[group][lo..lo + count] {
                         *e = slot;
                     }
@@ -223,6 +246,8 @@ impl CompiledTable {
         if use16 {
             let mut seen: HashMap<(u32, Vec<u16>), u32> = HashMap::new();
             for (seed, slots) in groups16 {
+                // analyze:allow(cast-truncation) group count <= 2^24 (one
+                // group per distinct 24-bit prefix at most).
                 let next = long_seed.len() as u32;
                 match seen.entry((seed, slots)) {
                     Entry::Occupied(o) => remap.push(*o.get()),
@@ -237,6 +262,8 @@ impl CompiledTable {
         } else {
             let mut seen: HashMap<Vec<u32>, u32> = HashMap::new();
             for slots in groups32 {
+                // analyze:allow(cast-truncation) group count <= 2^24 (one
+                // group per distinct 24-bit prefix at most).
                 let next = (long32.len() / 256) as u32;
                 match seen.entry(slots) {
                     Entry::Occupied(o) => remap.push(*o.get()),
@@ -249,9 +276,28 @@ impl CompiledTable {
             }
         }
         for &idx24 in &ext_cells {
+            // analyze:allow(panic-free-hot-path) ext_cells records only
+            // in-range tbl24 cells holding pre-dedup group ids, and remap
+            // has one entry per pre-dedup group.
             let old = (tbl24[idx24] & !EXT_FLAG) as usize;
+            debug_assert!(
+                old < remap.len(),
+                "extension entry must reference a pre-dedup group"
+            );
+            // analyze:allow(panic-free-hot-path) as above: old < remap.len().
             tbl24[idx24] = EXT_FLAG | remap[old];
         }
+
+        // Dedup consistency: the compact form keeps one seed per kept
+        // group and exactly 256 slots per group in either width.
+        debug_assert_eq!(long16.len(), long_seed.len() * 256);
+        debug_assert_eq!(long32.len() % 256, 0);
+        debug_assert!(
+            remap
+                .iter()
+                .all(|&g| (g as usize) < long_seed.len().max(long32.len() / 256)),
+            "remapped group ids must index kept groups"
+        );
 
         CompiledTable {
             tbl24,
@@ -266,22 +312,28 @@ impl CompiledTable {
     /// for matches at `/24` or shorter, two for longer prefixes.
     #[inline]
     pub fn lookup_handle(&self, addr: u32) -> Handle {
-        if self.tbl24.is_empty() {
+        // `tbl24` is empty or 2^24 slots, so the `get` doubles as the
+        // empty-table miss: addr >> 8 < 2^24 always hits a full table.
+        let Some(&entry) = self.tbl24.get((addr >> 8) as usize) else {
             return Handle::NONE;
-        }
-        let entry = self.tbl24[(addr >> 8) as usize];
+        };
         if entry & EXT_FLAG == 0 {
             Handle::from_slot(entry)
         } else {
             let group = (entry & !EXT_FLAG) as usize;
             let i = group * 256 + (addr & 0xFF) as usize;
+            // Extension entries only ever reference kept groups (see the
+            // remap pass in `from_prefixes`), so these `get`s cannot miss
+            // on a table we built; a miss degrades to "no match".
             let slot = if self.long32.is_empty() {
-                match self.long16[i] {
-                    LONG16_SEED => self.long_seed[group],
-                    s => s as u32,
+                debug_assert!(i < self.long16.len() && group < self.long_seed.len());
+                match self.long16.get(i) {
+                    Some(&LONG16_SEED) | None => self.long_seed.get(group).copied().unwrap_or(0),
+                    Some(&s) => u32::from(s),
                 }
             } else {
-                self.long32[i]
+                debug_assert!(i < self.long32.len());
+                self.long32.get(i).copied().unwrap_or(0)
             };
             Handle::from_slot(slot)
         }
@@ -306,10 +358,11 @@ impl CompiledTable {
         }
     }
 
-    /// The prefix a handle refers to, or `None` for [`Handle::NONE`].
+    /// The prefix a handle refers to, or `None` for [`Handle::NONE`] (or a
+    /// handle from a different table that falls outside this arena).
     #[inline]
     pub fn resolve(&self, handle: Handle) -> Option<Ipv4Net> {
-        handle.index().map(|i| self.prefixes[i])
+        handle.index().and_then(|i| self.prefixes.get(i)).copied()
     }
 
     /// The dense prefix arena; [`Handle`]s index into this slice.
@@ -655,6 +708,41 @@ mod tests {
             let expect = trie.longest_match_u32(probe).map(|(p, _)| p);
             assert_eq!(t.lookup(probe), expect, "{probe:#x}");
         }
+    }
+
+    /// Runs the dedup-heavy build and a full /16 lookup sweep in a debug
+    /// build, executing every `debug_assert!` invariant in
+    /// `from_prefixes` (slot-width bound, remap consistency, group-size
+    /// accounting) and `lookup_handle` (overflow index bounds).
+    #[cfg(debug_assertions)]
+    #[test]
+    fn debug_invariants_hold_across_build_and_sweep() {
+        use crate::testutil;
+        let specs = [
+            "10.0.0.0/8",
+            "10.1.0.0/16",
+            "10.1.2.0/24",
+            "10.1.2.128/25",
+            "10.1.2.192/26",
+            "10.1.3.128/25",
+            "10.1.4.128/25",
+            "10.1.2.192/26", // duplicate: same group reused, extra arena entry
+        ];
+        let t = CompiledTable::from_prefixes(testutil::nets(&specs));
+        assert!(t.long_slots_compact());
+        assert_eq!(t.long_groups(), 3); // 10.1.2.x, 10.1.3.x, 10.1.4.x
+        let mut trie = PrefixTrie::new();
+        for n in testutil::nets(&specs) {
+            trie.insert(n, ());
+        }
+        for lo in 0..=0xFFFFu32 {
+            let probe = (10 << 24) | (1 << 16) | lo;
+            let expect = trie.longest_match_u32(probe).map(|(n, _)| n);
+            assert_eq!(t.lookup(probe), expect, "probe {probe:#x}");
+        }
+        // Foreign/corrupt handles degrade to "no match", never a panic.
+        assert_eq!(t.resolve(Handle(1_000_000)), None);
+        assert_eq!(t.resolve(Handle::NONE), None);
     }
 
     #[test]

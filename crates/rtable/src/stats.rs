@@ -72,6 +72,8 @@ impl PrefixLengthHistogram {
             .iter()
             .enumerate()
             .filter(|(_, &c)| c > 0)
+            // analyze:allow(cast-truncation) l indexes the 33-entry
+            // per-length histogram, so l <= 32 fits u8.
             .map(|(l, &c)| (l as u8, c))
     }
 

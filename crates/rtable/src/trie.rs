@@ -90,7 +90,7 @@ impl<V> PrefixTrie<V> {
     /// Bit `depth` (0 = most significant) of `addr`.
     #[inline]
     fn bit(addr: u32, depth: u8) -> usize {
-        ((addr >> (31 - depth as u32)) & 1) as usize
+        ((addr >> (31 - u32::from(depth))) & 1) as usize
     }
 
     /// Inserts `net → value`, returning the previous value if the prefix
@@ -211,6 +211,8 @@ impl<V> PrefixTrie<V> {
         PrefixTrieIter {
             trie: self,
             stack: vec![(0, 0u32, 0u8)],
+            #[cfg(debug_assertions)]
+            last: None,
         }
     }
 
@@ -241,6 +243,10 @@ pub struct PrefixTrieIter<'a, V> {
     trie: &'a PrefixTrie<V>,
     /// Stack of (node index, accumulated address bits, depth).
     stack: Vec<(NodeIdx, u32, u8)>,
+    /// Debug builds track the last yielded `(addr, len)` to assert the
+    /// documented ascending address order.
+    #[cfg(debug_assertions)]
+    last: Option<(u32, u8)>,
 }
 
 impl<'a, V> Iterator for PrefixTrieIter<'a, V> {
@@ -254,7 +260,7 @@ impl<'a, V> Iterator for PrefixTrieIter<'a, V> {
                 let one = node.children[1];
                 if one != NIL {
                     self.stack
-                        .push((one, addr | (1u32 << (31 - depth as u32)), depth + 1));
+                        .push((one, addr | (1u32 << (31 - u32::from(depth))), depth + 1));
                 }
                 let zero = node.children[0];
                 if zero != NIL {
@@ -262,7 +268,17 @@ impl<'a, V> Iterator for PrefixTrieIter<'a, V> {
                 }
             }
             if let Some(v) = node.value.as_ref() {
-                return Some((Ipv4Net::new(addr, depth).expect("depth <= 32"), v));
+                let net = Ipv4Net::new(addr, depth).expect("depth <= 32");
+                #[cfg(debug_assertions)]
+                {
+                    let key = (net.addr_u32(), net.len());
+                    debug_assert!(
+                        self.last.is_none_or(|prev| prev < key),
+                        "trie iteration must ascend in (addr, len) order"
+                    );
+                    self.last = Some(key);
+                }
+                return Some((net, v));
             }
         }
         None
@@ -275,6 +291,30 @@ mod tests {
 
     fn net(s: &str) -> Ipv4Net {
         s.parse().unwrap()
+    }
+
+    /// Exercises the iterator's debug-only ordering invariant over a
+    /// shuffled insert set built from the shared fixtures.
+    #[cfg(debug_assertions)]
+    #[test]
+    fn iter_order_invariant_checked_in_debug() {
+        use crate::testutil;
+        let specs = [
+            "24.48.2.0/23",
+            "12.0.0.0/8",
+            "24.48.2.192/32",
+            "12.65.128.0/19",
+            "0.0.0.0/0",
+        ];
+        let trie: PrefixTrie<()> = testutil::nets(&specs)
+            .into_iter()
+            .map(|n| (n, ()))
+            .collect();
+        let ps = trie.prefixes();
+        assert_eq!(ps.len(), specs.len());
+        let mut sorted = ps.clone();
+        sorted.sort_by_key(|n| (n.addr_u32(), n.len()));
+        assert_eq!(ps, sorted);
     }
 
     fn addr(s: &str) -> std::net::Ipv4Addr {

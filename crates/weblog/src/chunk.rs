@@ -42,14 +42,14 @@ pub fn count_newlines(data: &[u8]) -> usize {
     const NL: u64 = LANES * b'\n' as u64;
     const LOW7: u64 = 0x7f7f_7f7f_7f7f_7f7f;
     let mut count = 0;
-    let mut words = data.chunks_exact(8);
-    for w in &mut words {
-        let v = u64::from_le_bytes(w.try_into().expect("8-byte chunk")) ^ NL;
+    let (words, tail) = data.as_chunks::<8>();
+    for w in words {
+        let v = u64::from_le_bytes(*w) ^ NL;
         // High bit of each byte set iff that byte of `v` is zero.
         let zeros = !(((v & LOW7) + LOW7) | v | LOW7);
         count += zeros.count_ones() as usize;
     }
-    count + words.remainder().iter().filter(|&&b| b == b'\n').count()
+    count + tail.iter().filter(|&&b| b == b'\n').count()
 }
 
 /// Splits `data` into chunks of at most about `max_bytes` (always at
@@ -183,8 +183,12 @@ mod mapped {
         len: usize,
     }
 
-    // The mapping is read-only and owned uniquely by `Map`.
+    // SAFETY: the mapping is `PROT_READ` + `MAP_PRIVATE` and uniquely
+    // owned by `Map` (unmapped exactly once, on drop), exposing only
+    // `&[u8]` views — moving it across threads races nothing.
     unsafe impl Send for Map {}
+    // SAFETY: as above — all access through `&Map` is to immutable,
+    // read-only mapped memory.
     unsafe impl Sync for Map {}
 
     impl Map {

@@ -113,7 +113,10 @@ fn civil_from_days(z: i64) -> (i64, u32, u32) {
     let y = yoe as i64 + era * 400;
     let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
     let mp = (5 * doy + 2) / 153;
+    // analyze:allow(cast-truncation) day-of-year arithmetic: doy < 366 and
+    // mp < 12, so both results fit u32 (Howard Hinnant's civil algorithm).
     let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    // analyze:allow(cast-truncation) mp < 12, so m <= 13 fits u32.
     let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
     (if m <= 2 { y + 1 } else { y }, m, d)
 }
@@ -144,7 +147,7 @@ pub fn parse_clf_time(s: &str) -> Option<u64> {
     let d: u32 = dmy.next()?.parse().ok()?;
     let mon = dmy.next()?;
     let y: i64 = dmy.next()?.parse().ok()?;
-    let m = MONTHS.iter().position(|&x| x == mon)? as u32 + 1;
+    let m = u32::try_from(MONTHS.iter().position(|&x| x == mon)?).ok()? + 1;
     let (time, zone) = rest.split_once(' ')?;
     if zone != "+0000" {
         return None;
@@ -294,6 +297,8 @@ pub fn from_clf(name: &str, text: &str) -> (Log, Vec<ClfError>) {
                 path: p.path.clone(),
                 size: p.bytes,
             });
+            // analyze:allow(cast-truncation) Request.url is u32 by format;
+            // 2^32 distinct URLs cannot be interned from an addressable log.
             (urls.len() - 1) as u32
         });
         // Track the largest observed size as the canonical resource size.
@@ -302,9 +307,13 @@ pub fn from_clf(name: &str, text: &str) -> (Log, Vec<ClfError>) {
         }
         let ua = *ua_index.entry(p.ua.clone()).or_insert_with(|| {
             uas.push(p.ua.clone());
+            // analyze:allow(cast-truncation) Request.ua is u16 by format,
+            // matching the byte parser's interner.
             (uas.len() - 1) as u16
         });
         requests.push(Request {
+            // analyze:allow(cast-truncation) time is an offset from the
+            // log's own start; Request.time is u32 by format.
             time: (p.epoch - start_time) as u32,
             client: u32::from(p.addr),
             url,
@@ -323,6 +332,8 @@ pub fn from_clf(name: &str, text: &str) -> (Log, Vec<ClfError>) {
             uas
         },
         start_time,
+        // analyze:allow(cast-truncation) log span in seconds; Log.duration_s
+        // is u32 by format (~136 years).
         duration_s: (end - start_time) as u32,
         truth: LogTruth::default(),
     };

@@ -55,22 +55,18 @@ pub struct RawRecord<'a> {
 fn find(hay: &[u8], needle: u8) -> Option<usize> {
     const LO: u64 = 0x0101_0101_0101_0101;
     const HI: u64 = 0x8080_8080_8080_8080;
-    let broadcast = needle as u64 * LO;
-    let mut chunks = hay.chunks_exact(8);
-    let mut i = 0usize;
-    for c in &mut chunks {
-        let w = u64::from_le_bytes(c.try_into().expect("8-byte chunk")) ^ broadcast;
+    let broadcast = u64::from(needle) * LO;
+    let (words, tail) = hay.as_chunks::<8>();
+    for (i, w) in words.iter().enumerate() {
+        let w = u64::from_le_bytes(*w) ^ broadcast;
         let hit = w.wrapping_sub(LO) & !w & HI;
         if hit != 0 {
-            return Some(i + (hit.trailing_zeros() >> 3) as usize);
+            return Some(i * 8 + (hit.trailing_zeros() >> 3) as usize);
         }
-        i += 8;
     }
-    chunks
-        .remainder()
-        .iter()
+    tail.iter()
         .position(|&b| b == needle)
-        .map(|j| i + j)
+        .map(|j| words.len() * 8 + j)
 }
 
 #[inline]
@@ -135,12 +131,16 @@ fn parse_ipv4(s: &[u8]) -> Option<u32> {
         }
         let mut val: u32 = 0;
         let mut digits = 0usize;
+        let mut first = 0u8;
         while let [b, r @ ..] = rest {
             let d = b.wrapping_sub(b'0');
             if d > 9 {
                 break;
             }
-            val = val * 10 + d as u32;
+            if digits == 0 {
+                first = *b;
+            }
+            val = val * 10 + u32::from(d);
             digits += 1;
             rest = r;
             if digits > 3 {
@@ -148,7 +148,7 @@ fn parse_ipv4(s: &[u8]) -> Option<u32> {
             }
         }
         // No empty octets, no leading zeros ("012"), nothing above 255.
-        if digits == 0 || val > 255 || (digits > 1 && s[s.len() - rest.len() - digits] == b'0') {
+        if digits == 0 || val > 255 || (digits > 1 && first == b'0') {
             return None;
         }
         addr = (addr << 8) | val;
@@ -165,18 +165,18 @@ fn month_number(s: &[u8]) -> Option<u32> {
     MONTHS
         .iter()
         .position(|m| m.as_bytes() == s)
-        .map(|i| i as u32 + 1)
+        .and_then(|i| u32::try_from(i + 1).ok())
 }
 
-/// Decodes exactly two ASCII digits.
+/// Decodes two ASCII digit bytes.
 #[inline]
-fn two_digits(s: &[u8]) -> Option<u32> {
-    let a = s[0].wrapping_sub(b'0');
-    let b = s[1].wrapping_sub(b'0');
+fn two_digits(a: u8, b: u8) -> Option<u32> {
+    let a = a.wrapping_sub(b'0');
+    let b = b.wrapping_sub(b'0');
     if a > 9 || b > 9 {
         None
     } else {
-        Some((a * 10 + b) as u32)
+        Some(u32::from(a * 10 + b))
     }
 }
 
@@ -184,30 +184,27 @@ fn two_digits(s: &[u8]) -> Option<u32> {
 /// `dd/Mon/yyyy:HH:MM:SS +0000` (26 bytes, two-digit day). Returns `None`
 /// for anything else — including in-range shapes with out-of-range values
 /// — and the caller falls back to the general parser, which accepts the
-/// same values on this shape by construction.
+/// same values on this shape by construction. The 26-byte slice pattern
+/// carries both the length and separator checks, so no indexing is
+/// needed.
 #[inline]
 fn parse_clf_time_fixed(s: &[u8]) -> Option<u64> {
-    if s.len() != 26
-        || s[2] != b'/'
-        || s[6] != b'/'
-        || s[11] != b':'
-        || s[14] != b':'
-        || s[17] != b':'
-        || &s[20..] != b" +0000"
-    {
+    let [d0, d1, b'/', m0, m1, m2, b'/', y0, y1, y2, y3, b':', h0, h1, b':', n0, n1, b':', s0, s1, b' ', b'+', b'0', b'0', b'0', b'0'] =
+        s
+    else {
         return None;
-    }
-    let d = two_digits(&s[0..])?;
-    let m = month_number(&s[3..6])?;
-    let y = (two_digits(&s[7..])? * 100 + two_digits(&s[9..])?) as i64;
-    let h = two_digits(&s[12..])?;
-    let mi = two_digits(&s[15..])?;
-    let sec = two_digits(&s[18..])?;
+    };
+    let d = two_digits(*d0, *d1)?;
+    let m = month_number(&[*m0, *m1, *m2])?;
+    let y = i64::from(two_digits(*y0, *y1)? * 100 + two_digits(*y2, *y3)?);
+    let h = two_digits(*h0, *h1)?;
+    let mi = two_digits(*n0, *n1)?;
+    let sec = two_digits(*s0, *s1)?;
     if d == 0 || d > 31 || h > 23 || mi > 59 || sec > 60 {
         return None;
     }
     let days = days_from_civil(y, m, d);
-    u64::try_from(days * 86_400 + (h * 3600 + mi * 60 + sec) as i64).ok()
+    u64::try_from(days * 86_400 + i64::from(h * 3600 + mi * 60 + sec)).ok()
 }
 
 /// Parses a CLF date (the part between brackets) to Unix epoch seconds —
@@ -230,6 +227,7 @@ pub fn parse_clf_time_bytes(s: &[u8]) -> Option<u64> {
         Some(i) => &year_part[..i],
         None => year_part,
     };
+    // analyze:allow(cast-truncation) parse_uint is bounded by u32::MAX above.
     let d = parse_uint(&date[..slash1], u32::MAX as u64)? as u32;
     let m = month_number(mon)?;
     let y = parse_uint(year, i64::MAX as u64)? as i64;
@@ -309,7 +307,7 @@ fn parse_trimmed_impl<const WANT_UA: bool>(
     // equals what the general `find` route would produce.
     let (open, fast_epoch) = if rest.starts_with(b"- - [") {
         let close = 4 + 27;
-        if rest.len() > close && rest[close] == b']' {
+        if rest.get(close) == Some(&b']') {
             (4, parse_clf_time_fixed(&rest[5..close]))
         } else {
             (4, None)
@@ -347,6 +345,7 @@ fn parse_trimmed_impl<const WANT_UA: bool>(
     };
     rest = trim_ascii_start(&rest[req_end + 1..]);
     let (status_tok, after_status) = split_token(rest);
+    // analyze:allow(cast-truncation) parse_uint is bounded by u16::MAX above.
     let status =
         parse_uint(status_tok, u16::MAX as u64).ok_or_else(|| err(ClfErrorKind::BadStatus))? as u16;
     let tail = after_status.ok_or_else(|| err(ClfErrorKind::MissingBytes))?;
@@ -354,6 +353,7 @@ fn parse_trimmed_impl<const WANT_UA: bool>(
     let bytes: u32 = if bytes_tok == b"-" {
         0
     } else {
+        // analyze:allow(cast-truncation) parse_uint is bounded by u32::MAX above.
         parse_uint(bytes_tok, u32::MAX as u64).ok_or_else(|| err(ClfErrorKind::BadBytes))? as u32
     };
     // Optional combined-format tail: "referer" "user-agent". The UA is the
@@ -463,17 +463,25 @@ pub fn from_clf_bytes(name: &str, data: &[u8]) -> (Log, Vec<ClfError>) {
                 path: String::from_utf8_lossy(p.path).into_owned(),
                 size: p.bytes,
             });
+            // analyze:allow(cast-truncation) Request.url is u32 by format;
+            // 2^32 distinct URLs cannot be interned from an addressable log.
             (urls.len() - 1) as u32
         });
         // Track the largest observed size as the canonical resource size.
-        if p.bytes > urls[url as usize].size {
-            urls[url as usize].size = p.bytes;
+        if let Some(meta) = urls.get_mut(url as usize) {
+            if p.bytes > meta.size {
+                meta.size = p.bytes;
+            }
         }
         let ua = *ua_index.entry(p.ua).or_insert_with(|| {
             uas.push(String::from_utf8_lossy(p.ua).into_owned());
+            // analyze:allow(cast-truncation) Request.ua is u16 by format,
+            // matching the string parser's interner.
             (uas.len() - 1) as u16
         });
         requests.push(Request {
+            // analyze:allow(cast-truncation) time is an offset from the
+            // log's own start; Request.time is u32 by format.
             time: (p.epoch - start_time) as u32,
             client: p.addr,
             url,
@@ -492,6 +500,8 @@ pub fn from_clf_bytes(name: &str, data: &[u8]) -> (Log, Vec<ClfError>) {
             uas
         },
         start_time,
+        // analyze:allow(cast-truncation) log span in seconds; Log.duration_s
+        // is u32 by format (~136 years), same bound as the string parser.
         duration_s: (end - start_time) as u32,
         truth: LogTruth::default(),
     };

@@ -58,6 +58,58 @@ pub struct LogTruth {
     pub proxies: Vec<Ipv4Addr>,
 }
 
+/// A consistency violation found by [`Log::check`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogError {
+    /// `Request::url` indexes past the URL table.
+    UrlOutOfRange {
+        /// Offending request index.
+        request: usize,
+        /// The out-of-range URL id.
+        url: UrlId,
+    },
+    /// `Request::ua` indexes past the User-Agent table.
+    UaOutOfRange {
+        /// Offending request index.
+        request: usize,
+        /// The out-of-range User-Agent id.
+        ua: UaId,
+    },
+    /// A request time exceeds the log duration.
+    TimePastDuration {
+        /// Offending request index.
+        request: usize,
+        /// The out-of-range time offset.
+        time: u32,
+    },
+    /// Request times are not sorted ascending.
+    TimesUnsorted {
+        /// Index of the first request observed out of order.
+        request: usize,
+    },
+}
+
+impl std::fmt::Display for LogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LogError::UrlOutOfRange { request, url } => {
+                write!(f, "request {request}: url {url} out of range")
+            }
+            LogError::UaOutOfRange { request, ua } => {
+                write!(f, "request {request}: ua {ua} out of range")
+            }
+            LogError::TimePastDuration { request, time } => {
+                write!(f, "request {request}: time {time} past duration")
+            }
+            LogError::TimesUnsorted { request } => {
+                write!(f, "request {request}: times not sorted")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LogError {}
+
 /// A complete server log.
 #[derive(Debug, Clone)]
 pub struct Log {
@@ -115,10 +167,10 @@ impl Log {
         let span = (self.duration_s / n).max(1);
         let mut parts: Vec<Vec<Request>> = vec![Vec::new(); n as usize];
         for r in &self.requests {
-            let idx = ((r.time / span).min(n - 1)) as usize;
+            let idx = (r.time / span).min(n - 1);
             // Rebase times onto the session's own clock.
-            parts[idx].push(Request {
-                time: r.time - idx as u32 * span,
+            parts[idx as usize].push(Request {
+                time: r.time - idx * span,
                 ..*r
             });
         }
@@ -132,7 +184,7 @@ impl Log {
                 user_agents: self.user_agents.clone(),
                 start_time: self.start_time + (i as u64) * span as u64,
                 // The last session absorbs the division remainder.
-                duration_s: if i as u32 == n - 1 {
+                duration_s: if i + 1 == n as usize {
                     self.duration_s.saturating_sub((n - 1) * span)
                 } else {
                     span
@@ -144,20 +196,29 @@ impl Log {
 
     /// Validates internal consistency (indices in range, times sorted and
     /// within duration). Used by tests and after parsing external data.
-    pub fn check(&self) -> Result<(), String> {
+    pub fn check(&self) -> Result<(), LogError> {
         let mut last = 0u32;
         for (i, r) in self.requests.iter().enumerate() {
             if r.url as usize >= self.urls.len() {
-                return Err(format!("request {i}: url {} out of range", r.url));
+                return Err(LogError::UrlOutOfRange {
+                    request: i,
+                    url: r.url,
+                });
             }
             if r.ua as usize >= self.user_agents.len() {
-                return Err(format!("request {i}: ua {} out of range", r.ua));
+                return Err(LogError::UaOutOfRange {
+                    request: i,
+                    ua: r.ua,
+                });
             }
             if r.time > self.duration_s {
-                return Err(format!("request {i}: time {} past duration", r.time));
+                return Err(LogError::TimePastDuration {
+                    request: i,
+                    time: r.time,
+                });
             }
             if r.time < last {
-                return Err(format!("request {i}: times not sorted"));
+                return Err(LogError::TimesUnsorted { request: i });
             }
             last = r.time;
         }
@@ -260,15 +321,31 @@ mod tests {
     fn check_catches_bad_logs() {
         let mut log = tiny_log();
         log.requests[1].url = 9;
-        assert!(log.check().unwrap_err().contains("url"));
+        assert_eq!(
+            log.check().unwrap_err(),
+            LogError::UrlOutOfRange { request: 1, url: 9 }
+        );
         let mut log = tiny_log();
         log.requests[0].time = 60; // unsorted
-        assert!(log.check().unwrap_err().contains("sorted"));
+        assert_eq!(
+            log.check().unwrap_err(),
+            LogError::TimesUnsorted { request: 1 }
+        );
         let mut log = tiny_log();
         log.requests[3].time = 101;
-        assert!(log.check().unwrap_err().contains("duration"));
+        assert_eq!(
+            log.check().unwrap_err(),
+            LogError::TimePastDuration {
+                request: 3,
+                time: 101
+            }
+        );
         let mut log = tiny_log();
         log.requests[0].ua = 4;
-        assert!(log.check().unwrap_err().contains("ua"));
+        assert_eq!(
+            log.check().unwrap_err(),
+            LogError::UaOutOfRange { request: 0, ua: 4 }
+        );
+        assert!(log.check().unwrap_err().to_string().contains("ua 4"));
     }
 }

@@ -210,13 +210,15 @@ impl LogSpec {
     pub fn scale(mut self, factor: f64) -> Self {
         assert!(factor > 0.0, "scale factor must be positive");
         let s = |v: u64| ((v as f64 * factor).round() as u64).max(1);
+        // Scaled u32 fields saturate rather than wrap on absurd factors.
+        let s32 = |v: u32| u32::try_from(s(u64::from(v))).unwrap_or(u32::MAX);
         self.total_requests = s(self.total_requests);
         self.target_clients = s(self.target_clients);
-        self.num_urls = s(self.num_urls as u64) as u32;
+        self.num_urls = s32(self.num_urls);
         self.max_cluster_clients = s(self.max_cluster_clients);
         for sp in &mut self.spiders {
             sp.requests = s(sp.requests);
-            sp.unique_urls = s(sp.unique_urls as u64) as u32;
+            sp.unique_urls = s32(sp.unique_urls);
         }
         for px in &mut self.proxies {
             px.requests = s(px.requests);
