@@ -1,0 +1,225 @@
+//! Observability overhead on the fused ingest pipeline: the same corpus
+//! pushed through `IngestPipeline` bare (disabled `Obs`, the default) and
+//! fully observed (enabled registry attached to the compiled table and
+//! the pipeline: stage spans, per-chunk histograms, LPM hit/miss
+//! counters).
+//!
+//! The two are measured as an interleaved pair so clock drift cannot be
+//! charged to either side; the persisted headline in `BENCH_obs.json` is
+//! the enabled-instrumentation overhead, which must stay within the 5%
+//! budget. The baseline String route is measured alongside to re-validate
+//! the PR 2 fused-over-baseline speedup under the new layer, and the
+//! registry's own counters are cross-checked against the corpus to show
+//! the instrumented numbers are the real ones.
+
+use std::collections::BTreeSet;
+
+use criterion::{quick_mode, BenchmarkId, Criterion, Throughput};
+use netclust_core::{Clustering, IngestPipeline};
+use netclust_obs::Obs;
+use netclust_prefix::Ipv4Net;
+use netclust_rtable::{MergedTable, RoutingTable, TableKind};
+use netclust_weblog::{clf, Log, LogTruth, Request, UrlMeta};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Synthesizes `n` unique prefixes with a BGP-like length mix (same
+/// model as the ingest bench).
+fn synth_prefixes(n: usize, seed: u64) -> Vec<Ipv4Net> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut set: BTreeSet<Ipv4Net> = BTreeSet::new();
+    while set.len() < n {
+        let roll: u32 = rng.gen_range(0..100);
+        let len: u8 = if roll < 55 {
+            24
+        } else if roll < 85 {
+            rng.gen_range(16..=23)
+        } else if roll < 95 {
+            rng.gen_range(25..=28)
+        } else {
+            rng.gen_range(8..=15)
+        };
+        set.insert(Ipv4Net::new(rng.gen::<u32>(), len).expect("len <= 32"));
+    }
+    set.into_iter().collect()
+}
+
+/// A synthetic access log whose clients live inside the table's prefixes.
+fn synth_log(prefixes: &[Ipv4Net], requests: usize, clients: usize, seed: u64) -> Log {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let client_addrs: Vec<u32> = (0..clients)
+        .map(|_| {
+            let net = prefixes[rng.gen_range(0..prefixes.len())];
+            net.addr_u32() | (rng.gen::<u32>() & !net.netmask_u32())
+        })
+        .collect();
+    let n_urls = 2_000u32;
+    let requests: Vec<Request> = (0..requests)
+        .map(|i| Request {
+            time: i as u32,
+            client: client_addrs[rng.gen_range(0..client_addrs.len())],
+            url: rng.gen_range(0..n_urls),
+            bytes: rng.gen_range(200..20_000),
+            status: 200,
+            ua: 0,
+        })
+        .collect();
+    Log {
+        name: "obs-bench".into(),
+        requests,
+        urls: (0..n_urls)
+            .map(|i| UrlMeta {
+                path: format!("/docs/section-{}/page-{i}.html", i % 37),
+                size: 4_096,
+            })
+            .collect(),
+        user_agents: vec!["Mozilla/4.0 (compatible; MSIE 5.0; Windows 98)".into()],
+        start_time: 887_328_000,
+        duration_s: u32::MAX,
+        truth: LogTruth::default(),
+    }
+}
+
+fn main() {
+    let mut c = Criterion::default().configure_from_args();
+    let (n_prefixes_synth, n_requests, n_clients) = if quick_mode() {
+        (8_000, 50_000, 5_000)
+    } else {
+        (110_000, 500_000, 40_000)
+    };
+
+    let prefixes = synth_prefixes(n_prefixes_synth, 0xF1A7);
+    let split = prefixes.len() * 92 / 100;
+    let bgp = RoutingTable::new(
+        "SYNTH-BGP",
+        "d0",
+        TableKind::Bgp,
+        prefixes[..split].to_vec(),
+    );
+    let dump = RoutingTable::new(
+        "SYNTH-ARIN",
+        "d0",
+        TableKind::NetworkDump,
+        prefixes[split..].to_vec(),
+    );
+    let merged = MergedTable::merge([&bgp, &dump]);
+
+    // Two compiled tables: one bare, one with counters attached — the
+    // attachment itself is part of what "observed" costs.
+    let bare_table = merged.compile();
+    let obs = Obs::enabled();
+    let mut observed_table = merged.compile();
+    observed_table.attach_obs(&obs);
+
+    let log = synth_log(&prefixes, n_requests, n_clients, 0xC10C);
+    let corpus = clf::to_clf(&log);
+    let bytes = corpus.as_bytes();
+    let lines = corpus.lines().count();
+    println!(
+        "corpus: {} lines, {:.1} MiB, {} table prefixes\n",
+        lines,
+        bytes.len() as f64 / (1024.0 * 1024.0),
+        merged.len()
+    );
+
+    let mut group = c.benchmark_group("obs");
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+
+    // The headline pair: identical fused pipelines, the only difference
+    // being a live registry (stage spans + chunk histograms + LPM
+    // counters) on the observed side.
+    let bare = IngestPipeline::new(&bare_table);
+    let observed = IngestPipeline::new(&observed_table).obs(obs.clone());
+    group.bench_pair(
+        BenchmarkId::new("fused_bare", lines),
+        || bare.run(bytes).clustering.len(),
+        BenchmarkId::new("fused_observed", lines),
+        || observed.run(bytes).clustering.len(),
+    );
+    // PR 2 re-validation: the String-route baseline, so the persisted
+    // file carries the fused-over-baseline speedup measured on the same
+    // host in the same process.
+    group.bench_function(BenchmarkId::new("baseline_string", lines), |b| {
+        b.iter(|| {
+            let (log, _) = clf::from_clf("bench", &corpus);
+            Clustering::network_aware_compiled(&log, &bare_table).len()
+        })
+    });
+    group.finish();
+
+    // Cross-check: the registry's data-derived counters agree with the
+    // corpus and with a bare run — observation changed nothing.
+    let bare_report = bare.run(bytes);
+    let before = obs.snapshot(true);
+    let observed_report = observed.run(bytes);
+    let after = obs.snapshot(true);
+    assert_eq!(bare_report.counts, observed_report.counts);
+    assert_eq!(
+        bare_report.clustering.len(),
+        observed_report.clustering.len()
+    );
+    let delta = |name: &str| {
+        after.counters.get(name).copied().unwrap_or(0)
+            - before.counters.get(name).copied().unwrap_or(0)
+    };
+    assert_eq!(delta("ingest.lines"), lines as u64);
+    assert_eq!(delta("ingest.bytes"), bytes.len() as u64);
+    assert!(before.is_prefix_of(&after), "registry must only grow");
+
+    // Persist machine-readable results.
+    let results = c.take_results();
+    let rate = |needle: &str| {
+        results
+            .iter()
+            .find(|r| r.id.contains(needle))
+            .and_then(|r| r.per_second())
+            .unwrap_or(f64::NAN)
+    };
+    let bare_rate = rate("obs/fused_bare");
+    let observed_rate = rate("obs/fused_observed");
+    let baseline_rate = rate("obs/baseline_string");
+    // Overhead: how much slower the observed pipeline runs, as a fraction
+    // of bare throughput. Negative values are noise in the bare side's
+    // favor being repaid; the budget is 5%.
+    let overhead = bare_rate / observed_rate - 1.0;
+    let speedup = observed_rate / baseline_rate;
+
+    let mut json = String::from("{\n  \"benchmarks\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"id\": \"{}\", \"ns_per_iter\": {:.1}, \"per_second\": {}}}{}\n",
+            r.id,
+            r.ns_per_iter,
+            r.per_second().map_or("null".into(), |p| format!("{p:.1}")),
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ],\n");
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    json.push_str(&format!("  \"host_threads\": {threads},\n"));
+    json.push_str(&format!("  \"corpus_bytes\": {},\n", bytes.len()));
+    json.push_str(&format!("  \"corpus_lines\": {lines},\n"));
+    json.push_str(&format!("  \"table_prefixes\": {},\n", merged.len()));
+    json.push_str(&format!("  \"bare_bytes_per_sec\": {bare_rate:.1},\n"));
+    json.push_str(&format!(
+        "  \"observed_bytes_per_sec\": {observed_rate:.1},\n"
+    ));
+    json.push_str(&format!(
+        "  \"baseline_bytes_per_sec\": {baseline_rate:.1},\n"
+    ));
+    json.push_str(&format!(
+        "  \"observed_over_baseline_speedup\": {speedup:.2},\n"
+    ));
+    json.push_str(&format!("  \"quick\": {},\n", quick_mode()));
+    json.push_str("  \"overhead_budget\": 0.05,\n");
+    json.push_str(&format!("  \"observed_overhead\": {overhead:.4}\n"));
+    json.push_str("}\n");
+
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.json");
+    std::fs::write(out, &json).expect("write BENCH_obs.json");
+    println!(
+        "\nobserved overhead: {:.2}% (budget 5%); fused-over-baseline: {speedup:.2}x",
+        overhead * 100.0
+    );
+    println!("wrote {out}");
+}

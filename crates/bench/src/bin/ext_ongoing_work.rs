@@ -105,7 +105,8 @@ fn main() {
     );
 
     // --- Streaming clustering -----------------------------------------------
-    let mut stream = StreamingClustering::new(netclust_netgen::standard_merged(&universe, 0));
+    let mut stream =
+        StreamingClustering::builder(netclust_netgen::standard_merged(&universe, 0)).build();
     let checkpoints = [0.25, 0.5, 0.75, 1.0];
     let mut rows = Vec::new();
     let mut fed = 0usize;

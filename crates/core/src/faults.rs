@@ -18,6 +18,7 @@
 use std::collections::BTreeMap;
 
 use netclust_netgen::unit_f64;
+use netclust_obs::Obs;
 
 /// Well-known failpoint names wired through the pipeline.
 pub mod failpoints {
@@ -90,7 +91,17 @@ impl FaultPlan {
         FaultInjector {
             plan: self.clone(),
             counts: BTreeMap::new(),
+            obs: Obs::disabled(),
         }
+    }
+
+    /// [`injector`](Self::injector) that also reports trip counts to `obs`
+    /// as `faults.fired.<point>` counters. Observation never perturbs the
+    /// draw schedule — a seed replays identically with or without it.
+    pub fn injector_with_obs(&self, obs: &Obs) -> FaultInjector {
+        let mut inj = self.injector();
+        inj.obs = obs.clone();
+        inj
     }
 }
 
@@ -103,6 +114,9 @@ pub struct FaultInjector {
     plan: FaultPlan,
     /// Per-point `(evaluations, fired)` counters.
     counts: BTreeMap<String, (u64, u64)>,
+    /// Trip-count reporting (disabled by default; see
+    /// [`FaultPlan::injector_with_obs`]).
+    obs: Obs,
 }
 
 impl FaultInjector {
@@ -130,6 +144,11 @@ impl FaultInjector {
         let fire = p >= 1.0 || unit_f64(self.plan.seed, &[point_tag(point), n]) < p;
         if fire {
             entry.1 += 1;
+            if self.obs.is_enabled() {
+                // Faults are rare by construction; resolving the counter
+                // through the registry on each trip is fine here.
+                self.obs.counter(&format!("faults.fired.{point}")).inc();
+            }
         }
         fire
     }

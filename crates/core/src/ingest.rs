@@ -51,6 +51,7 @@ use std::io;
 use std::net::Ipv4Addr;
 use std::path::Path;
 
+use netclust_obs::{Counter, ErrorCounts, Histogram, Obs};
 use netclust_prefix::Ipv4Net;
 use netclust_rtable::CompiledMerged;
 use netclust_weblog::chunk::{self, Chunk, LogData};
@@ -61,6 +62,39 @@ use rayon::prelude::*;
 use crate::cluster::{self, ClientStats, Clustering};
 use crate::faults::{failpoints, FaultInjector, FaultPlan};
 use crate::fx::FxHashMap;
+
+/// Pre-resolved ingest instrumentation. Handles are looked up once when an
+/// [`Obs`] is attached ([`IngestPipeline::obs`]) so the hot loops never
+/// touch the registry; from a disabled `Obs` every handle is a no-op.
+/// Counting is per chunk or per run — never per line.
+#[derive(Clone, Debug, Default)]
+struct IngestObs {
+    chunks: Counter,
+    bytes: Counter,
+    lines: Counter,
+    malformed: Counter,
+    clients: Counter,
+    io_faults: Counter,
+    chunks_retried: Counter,
+    chunk_bytes: Histogram,
+    chunk_errors: Histogram,
+}
+
+impl IngestObs {
+    fn resolve(obs: &Obs) -> Self {
+        Self {
+            chunks: obs.counter("ingest.chunks"),
+            bytes: obs.counter("ingest.bytes"),
+            lines: obs.counter("ingest.lines"),
+            malformed: obs.counter("ingest.malformed"),
+            clients: obs.counter("ingest.clients"),
+            io_faults: obs.counter("ingest.io_faults"),
+            chunks_retried: obs.counter("ingest.chunks_retried"),
+            chunk_bytes: obs.histogram("ingest.chunk_bytes"),
+            chunk_errors: obs.histogram("ingest.chunk_errors"),
+        }
+    }
+}
 
 /// Default chunk size: large enough to amortise per-chunk setup, small
 /// enough that a handful of chunks per thread keeps the pool busy.
@@ -75,8 +109,8 @@ const DEFAULT_CHUNK_BYTES: usize = 1 << 20;
 /// println!(
 ///     "{} clusters from {} lines ({} malformed)",
 ///     report.clustering.len(),
-///     report.lines,
-///     report.errors.len()
+///     report.counts.records,
+///     report.counts.malformed
 /// );
 /// # Ok(())
 /// # }
@@ -88,6 +122,8 @@ pub struct IngestPipeline<'t> {
     max_error_rate: Option<f64>,
     io_retries: u32,
     faults: FaultPlan,
+    obs: Obs,
+    metrics: IngestObs,
 }
 
 /// Why a hardened ingest run ([`IngestPipeline::try_run`] /
@@ -108,10 +144,8 @@ pub enum IngestError {
     },
     /// The malformed-line ratio blew the configured budget.
     ErrorBudget {
-        /// Malformed lines seen.
-        errors: usize,
-        /// Total input lines.
-        lines: usize,
+        /// Lines seen vs lines malformed (the workspace-wide shape).
+        counts: ErrorCounts,
         /// The configured budget ([`IngestPipeline::max_error_rate`]).
         max_ratio: f64,
         /// The first few parse errors, for context.
@@ -132,15 +166,16 @@ impl fmt::Display for IngestError {
                 "chunk {chunk} (first line {first_line}) failed after {attempts} read attempts"
             ),
             IngestError::ErrorBudget {
-                errors,
-                lines,
+                counts,
                 max_ratio,
                 sample,
             } => {
                 write!(
                     f,
-                    "{errors} of {lines} lines malformed ({:.2}% > {:.2}% budget)",
-                    *errors as f64 / (*lines).max(1) as f64 * 100.0,
+                    "{} of {} lines malformed ({:.2}% > {:.2}% budget)",
+                    counts.malformed,
+                    counts.records,
+                    counts.ratio() * 100.0,
                     max_ratio * 100.0
                 )?;
                 if let Some(first) = sample.first() {
@@ -188,8 +223,10 @@ pub struct IngestReport {
     /// Malformed lines, in line order, with buffer-global line numbers —
     /// identical to what the string parser would report.
     pub errors: Vec<ClfError>,
-    /// Total input lines (blank and malformed included).
-    pub lines: usize,
+    /// Lines seen vs lines malformed — the workspace-wide error-accounting
+    /// shape (`counts.records` is the old `lines` field; `counts.malformed`
+    /// always equals `errors.len()`).
+    pub counts: ErrorCounts,
     /// Input size in bytes.
     pub bytes: usize,
     /// Injected chunk-read faults encountered (0 unless a fault plan is
@@ -200,6 +237,19 @@ pub struct IngestReport {
 }
 
 impl IngestReport {
+    /// Fraction of *parsed* requests assigned to a cluster. Quarantined
+    /// (malformed) lines never became requests and are excluded from the
+    /// denominator — they are accounted in [`counts`](Self::counts), not
+    /// as clustered misses — so injected `ingest.chunk_io` faults or log
+    /// corruption cannot dilute coverage. `1.0` on an empty input.
+    pub fn coverage(&self) -> f64 {
+        if self.clustering.total_requests == 0 {
+            return 1.0;
+        }
+        let unclustered: u64 = self.clustering.unclustered.iter().map(|c| c.requests).sum();
+        1.0 - unclustered as f64 / self.clustering.total_requests as f64
+    }
+
     /// Resolves every malformed line to its byte range in `data` (the
     /// buffer this report was produced from) — the quarantine sink: the
     /// exact rejected bytes, with line numbers, ready to be written out
@@ -239,7 +289,19 @@ impl<'t> IngestPipeline<'t> {
             max_error_rate: None,
             io_retries: 2,
             faults: FaultPlan::disabled(),
+            obs: Obs::disabled(),
+            metrics: IngestObs::default(),
         }
+    }
+
+    /// Attaches an observability handle: stage spans (`ingest.run/chunk`,
+    /// `parse`, `lpm`, `aggregate`), per-chunk byte/error histograms, and
+    /// run counters all record into it. Resolution happens here, once —
+    /// with the default [`Obs::disabled`] the instrumentation is inert.
+    pub fn obs(mut self, obs: Obs) -> Self {
+        self.metrics = IngestObs::resolve(&obs);
+        self.obs = obs;
+        self
     }
 
     /// Sets the target chunk size in bytes (chunks always extend to a
@@ -289,7 +351,11 @@ impl<'t> IngestPipeline<'t> {
     /// Budgets and fault injection apply only to
     /// [`try_run`](Self::try_run) / [`run_file`](Self::run_file).
     pub fn run<'a>(&self, data: &'a [u8]) -> IngestReport {
-        let chunks = chunk::split_lines(data, self.chunk_bytes);
+        let _run = self.obs.span("ingest.run");
+        let chunks = {
+            let _s = self.obs.span("chunk");
+            chunk::split_lines(data, self.chunk_bytes)
+        };
         let lines = total_lines(&chunks);
 
         // Stage 1+2: parse chunks straight into per-client accumulators.
@@ -297,21 +363,46 @@ impl<'t> IngestPipeline<'t> {
         // serially one unpartitioned accumulator runs across all chunks —
         // no per-chunk maps to re-merge.
         let parallel = rayon::current_num_threads() > 1 && chunks.len() > 1;
-        if parallel {
+        let report = if parallel {
             let n_parts = cluster::merge_partitions();
             let shift = 32 - n_parts.trailing_zeros();
-            let outs: Vec<ChunkOut<'a>> = chunks
-                .par_iter()
-                .map(|c| {
-                    let mut out = ChunkOut::new(n_parts);
-                    out.scan(c, shift, self.url_stats);
-                    out
-                })
-                .collect();
+            let outs: Vec<ChunkOut<'a>> = {
+                let _s = self.obs.span("parse");
+                chunks
+                    .par_iter()
+                    .map(|c| {
+                        let mut out = ChunkOut::new(n_parts);
+                        out.scan(c, shift, self.url_stats);
+                        self.record_chunk(c, &out);
+                        out
+                    })
+                    .collect()
+            };
             self.finish_partitioned(outs, n_parts, lines, data.len())
         } else {
             self.finish_serial(chunks, lines, data.len())
-        }
+        };
+        self.record_run(&report);
+        report
+    }
+
+    /// Per-chunk accounting, called once per successful chunk scan on
+    /// whichever thread scanned it (counters and histograms are sharded
+    /// atomics — safe and contention-free from workers).
+    fn record_chunk(&self, c: &Chunk<'_>, out: &ChunkOut<'_>) {
+        self.metrics.chunks.inc();
+        self.metrics.chunk_bytes.record(c.data.len() as u64);
+        self.metrics.chunk_errors.record(out.errors.len() as u64);
+    }
+
+    /// Per-run accounting (coordinating thread, after assembly).
+    fn record_run(&self, report: &IngestReport) {
+        self.metrics.bytes.add(report.bytes as u64);
+        self.metrics.lines.add(report.counts.records);
+        self.metrics.malformed.add(report.counts.malformed);
+        self.metrics
+            .clients
+            .add(report.clustering.client_count() as u64);
     }
 
     /// Runs the hardened pipeline: injected chunk-read faults (when a
@@ -320,22 +411,17 @@ impl<'t> IngestPipeline<'t> {
     /// A successful faulted run is byte-identical to [`run`](Self::run).
     pub fn try_run(&self, data: &[u8]) -> Result<IngestReport, IngestError> {
         let report = if self.faults.is_armed(failpoints::INGEST_CHUNK_IO) {
-            self.run_faulted(data, &mut self.faults.injector())?
+            self.run_faulted(data, &mut self.faults.injector_with_obs(&self.obs))?
         } else {
             self.run(data)
         };
         if let Some(max_ratio) = self.max_error_rate {
-            if report.lines > 0 {
-                let ratio = report.errors.len() as f64 / report.lines as f64;
-                if ratio > max_ratio {
-                    let errors = report.errors.len();
-                    return Err(IngestError::ErrorBudget {
-                        errors,
-                        lines: report.lines,
-                        max_ratio,
-                        sample: report.errors.into_iter().take(5).collect(),
-                    });
-                }
+            if report.counts.records > 0 && report.counts.ratio() > max_ratio {
+                return Err(IngestError::ErrorBudget {
+                    counts: report.counts,
+                    max_ratio,
+                    sample: report.errors.into_iter().take(5).collect(),
+                });
             }
         }
         Ok(report)
@@ -354,40 +440,53 @@ impl<'t> IngestPipeline<'t> {
         data: &'a [u8],
         faults: &mut FaultInjector,
     ) -> Result<IngestReport, IngestError> {
-        let chunks = chunk::split_lines(data, self.chunk_bytes);
+        let _run = self.obs.span("ingest.run");
+        let chunks = {
+            let _s = self.obs.span("chunk");
+            chunk::split_lines(data, self.chunk_bytes)
+        };
         let lines = total_lines(&chunks);
         let n_parts = cluster::merge_partitions();
         let shift = 32 - n_parts.trailing_zeros();
         let mut outs: Vec<ChunkOut<'a>> = Vec::with_capacity(chunks.len());
         let mut io_faults = 0u64;
         let mut chunks_retried = 0u64;
-        for (i, c) in chunks.iter().enumerate() {
-            let mut attempt = 0u32;
-            loop {
-                if faults.should_fire(failpoints::INGEST_CHUNK_IO) {
-                    io_faults += 1;
-                    if attempt == 0 {
-                        chunks_retried += 1;
+        {
+            let _s = self.obs.span("parse");
+            for (i, c) in chunks.iter().enumerate() {
+                let mut attempt = 0u32;
+                loop {
+                    if faults.should_fire(failpoints::INGEST_CHUNK_IO) {
+                        io_faults += 1;
+                        if attempt == 0 {
+                            chunks_retried += 1;
+                        }
+                        if attempt >= self.io_retries {
+                            self.metrics.io_faults.add(io_faults);
+                            self.metrics.chunks_retried.add(chunks_retried);
+                            return Err(IngestError::ChunkIo {
+                                chunk: i,
+                                first_line: c.first_line,
+                                attempts: attempt + 1,
+                            });
+                        }
+                        attempt += 1;
+                        continue;
                     }
-                    if attempt >= self.io_retries {
-                        return Err(IngestError::ChunkIo {
-                            chunk: i,
-                            first_line: c.first_line,
-                            attempts: attempt + 1,
-                        });
-                    }
-                    attempt += 1;
-                    continue;
+                    let mut out = ChunkOut::new(n_parts);
+                    out.scan(c, shift, self.url_stats);
+                    self.record_chunk(c, &out);
+                    outs.push(out);
+                    break;
                 }
-                let mut out = ChunkOut::new(n_parts);
-                out.scan(c, shift, self.url_stats);
-                outs.push(out);
-                break;
             }
         }
         let mut report = self.finish_partitioned(outs, n_parts, lines, data.len());
         report.io_faults = io_faults;
         report.chunks_retried = chunks_retried;
+        self.metrics.io_faults.add(io_faults);
+        self.metrics.chunks_retried.add(chunks_retried);
+        self.record_run(&report);
         Ok(report)
     }
 
@@ -410,6 +509,7 @@ impl<'t> IngestPipeline<'t> {
         // Stage 3a: one worker per address partition merges its slice of
         // every chunk; sorted runs concatenate into global address order
         // (partition p holds exactly the clients whose top bits equal p).
+        let aggregate = self.obs.span("aggregate");
         let parts: Vec<usize> = (0..n_parts).collect();
         let merged: Vec<Vec<ClientStats>> = parts
             .par_iter()
@@ -429,8 +529,10 @@ impl<'t> IngestPipeline<'t> {
             })
             .collect();
         let clients: Vec<ClientStats> = merged.into_iter().flatten().collect();
+        drop(aggregate);
 
         // Stage 3b: batch LPM assignment over the compiled table.
+        let lpm = self.obs.span("lpm");
         let addrs: Vec<u32> = clients.iter().map(|c| u32::from(c.addr)).collect();
         let assignments: Vec<Option<Ipv4Net>> = addrs
             .par_chunks(cluster::CLIENT_CHUNK)
@@ -439,7 +541,9 @@ impl<'t> IngestPipeline<'t> {
             .into_iter()
             .flatten()
             .collect();
+        drop(lpm);
 
+        let _assemble = self.obs.span("aggregate");
         let total_requests: u64 = clients.iter().map(|c| c.requests).sum();
         let mut clustering =
             Clustering::from_assignments("network-aware", clients, assignments, total_requests);
@@ -479,10 +583,11 @@ impl<'t> IngestPipeline<'t> {
             count_unique_sorted(&mut clustering, mapped);
         }
 
+        let counts = ErrorCounts::new(lines as u64, errors.len() as u64);
         IngestReport {
             clustering,
             errors,
-            lines,
+            counts,
             bytes,
             io_faults: 0,
             chunks_retried: 0,
@@ -494,19 +599,33 @@ impl<'t> IngestPipeline<'t> {
     /// and URL dedup work on array indices (bitmap path) instead of maps.
     fn finish_serial(&self, chunks: Vec<Chunk<'_>>, lines: usize, bytes: usize) -> IngestReport {
         let mut out = ChunkOut::new(1);
-        for c in &chunks {
-            out.scan(c, 32, self.url_stats);
+        {
+            let _s = self.obs.span("parse");
+            for c in &chunks {
+                let before = out.errors.len();
+                out.scan(c, 32, self.url_stats);
+                self.metrics.chunks.inc();
+                self.metrics.chunk_bytes.record(c.data.len() as u64);
+                self.metrics
+                    .chunk_errors
+                    .record((out.errors.len() - before) as u64);
+            }
         }
         let errors = std::mem::take(&mut out.errors);
+        let aggregate = self.obs.span("aggregate");
         let (clients, dense_addr) = serial_clients(
             std::mem::take(&mut out.accum),
             std::mem::take(&mut out.dense_addr),
         );
+        drop(aggregate);
 
+        let lpm = self.obs.span("lpm");
         let addrs: Vec<u32> = clients.iter().map(|c| u32::from(c.addr)).collect();
         let mut assignments = Vec::new();
         self.table.net_for_batch_into(&addrs, &mut assignments);
+        drop(lpm);
 
+        let _assemble = self.obs.span("aggregate");
         let total_requests: u64 = clients.iter().map(|c| c.requests).sum();
         let mut clustering =
             Clustering::from_assignments("network-aware", clients, assignments, total_requests);
@@ -542,10 +661,11 @@ impl<'t> IngestPipeline<'t> {
             }
         }
 
+        let counts = ErrorCounts::new(lines as u64, errors.len() as u64);
         IngestReport {
             clustering,
             errors,
-            lines,
+            counts,
             bytes,
             io_faults: 0,
             chunks_retried: 0,
@@ -817,7 +937,7 @@ not a log line\n\
             }
             assert_eq!(got.unclustered, expect.unclustered);
             assert_eq!(report.errors, log_errors);
-            assert_eq!(report.lines, 6);
+            assert_eq!(report.counts.records, 6);
             assert_eq!(report.bytes, SAMPLE.len());
         }
     }
@@ -895,7 +1015,7 @@ not a log line\n\
         let report = IngestPipeline::new(&table).run(b"");
         assert!(report.clustering.is_empty());
         assert!(report.errors.is_empty());
-        assert_eq!(report.lines, 0);
+        assert_eq!(report.counts.records, 0);
         assert_eq!(report.bytes, 0);
     }
 
@@ -910,14 +1030,14 @@ not a log line\n\
         let from_mem = IngestPipeline::new(&table).run(SAMPLE.as_bytes());
         assert_eq!(from_file.clustering.len(), from_mem.clustering.len());
         assert_eq!(from_file.errors, from_mem.errors);
-        assert_eq!(from_file.lines, from_mem.lines);
+        assert_eq!(from_file.counts, from_mem.counts);
 
         // Zero-length file: clean empty report, not a panic.
         let empty_path = dir.join("empty.log");
         std::fs::write(&empty_path, b"").unwrap();
         let empty = IngestPipeline::new(&table).run_file(&empty_path).unwrap();
         assert!(empty.clustering.is_empty());
-        assert_eq!(empty.lines, 0);
+        assert_eq!(empty.counts.records, 0);
 
         // A missing file is a typed I/O error.
         let err = IngestPipeline::new(&table)
@@ -937,13 +1057,11 @@ not a log line\n\
             .unwrap_err();
         match err {
             IngestError::ErrorBudget {
-                errors,
-                lines,
+                counts,
                 max_ratio,
                 sample,
             } => {
-                assert_eq!(errors, 1);
-                assert_eq!(lines, 6);
+                assert_eq!(counts, ErrorCounts::new(6, 1));
                 assert_eq!(max_ratio, 0.10);
                 assert_eq!(sample.len(), 1);
                 assert_eq!(sample[0].line, 1);
@@ -974,7 +1092,7 @@ not a log line\n\
         let report = IngestPipeline::new(&table)
             .chunk_bytes(32)
             .run(tail_garbage.as_bytes());
-        assert_eq!(report.lines, 7);
+        assert_eq!(report.counts.records, 7);
         let q = report.quarantine(tail_garbage.as_bytes());
         assert_eq!(q.len(), 2);
         assert_eq!(q[1].line, 6);
@@ -1003,7 +1121,7 @@ not a log line\n\
             .unwrap();
         assert!(faulted.io_faults > 0, "seed produced no faults");
         assert!(faulted.chunks_retried > 0);
-        assert_eq!(faulted.lines, clean.lines);
+        assert_eq!(faulted.counts, clean.counts);
         assert_eq!(faulted.errors, clean.errors);
         assert_eq!(
             faulted.clustering.total_requests,
@@ -1070,7 +1188,7 @@ not a log line\n\
             let report = IngestPipeline::new(&table)
                 .chunk_bytes(chunk_bytes)
                 .run(unterminated.as_bytes());
-            assert_eq!(report.lines, 6, "chunk_bytes={chunk_bytes}");
+            assert_eq!(report.counts.records, 6, "chunk_bytes={chunk_bytes}");
             assert_eq!(report.errors.len(), 1);
             assert_eq!(
                 report.clustering.total_requests, 5,

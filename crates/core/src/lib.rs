@@ -53,10 +53,17 @@ pub use netcluster::{network_clusters, NetworkCluster};
 pub use ongoing::{
     merge_by_name_suffix, selective_validate, MergeReport, SelectiveMode, SelectiveReport,
 };
-pub use selfcorrect::{org_purity, self_correct, CorrectionConfig, CorrectionReport};
+pub use selfcorrect::{
+    org_purity, self_correct, self_correct_with, CorrectionConfig, CorrectionReport,
+};
 pub use sessions::{session_report, SessionReport, SessionStats};
 pub use stream::{
-    StreamStats, StreamingClustering, SwapPolicy, SwapRejection, SwapReport, SwapStats,
+    StreamStats, StreamingBuilder, StreamingClustering, SwapPolicy, SwapRejection, SwapReport,
+    SwapStats,
 };
+// The shared error-accounting shape carried by `IngestReport`, consumed by
+// `StreamingClustering::try_swap`, and produced by rtable's `ParseReport`;
+// defined in `netclust-obs`, re-exported so core users need no extra import.
+pub use netclust_obs::ErrorCounts;
 pub use threshold::{threshold_busy, ThresholdReport};
 pub use validation::{validate, SamplePlan, TestCounts, ValidationReport};

@@ -30,6 +30,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::net::Ipv4Addr;
 
 use netclust_netgen::{stream_rng, Universe};
+use netclust_obs::Obs;
 use netclust_prefix::Ipv4Net;
 use netclust_probe::{sig_specificity, sigs_compatible, ProbeFaultModel, RetryPolicy, Traceroute};
 use netclust_weblog::Log;
@@ -191,6 +192,22 @@ pub fn self_correct(
     clustering: &Clustering,
     config: &CorrectionConfig,
 ) -> CorrectionReport {
+    self_correct_with(universe, log, clustering, config, &Obs::disabled())
+}
+
+/// [`self_correct`] reporting per-cluster quorum outcomes and probe costs
+/// to `obs` as `selfcorrect.*` counters (the quorum verdict for each
+/// sampled cluster — homogeneous, split, or no-signal — plus absorption,
+/// merge, and probe/retry totals). Observation never changes the sampling
+/// or probing schedule.
+pub fn self_correct_with(
+    universe: &Universe,
+    log: &Log,
+    clustering: &Clustering,
+    config: &CorrectionConfig,
+    obs: &Obs,
+) -> CorrectionReport {
+    let _run = obs.span("selfcorrect.run");
     let mut tracer = Traceroute::optimized(universe);
     if let Some(model) = config.faults {
         tracer = tracer.with_faults(model, config.retry);
@@ -215,6 +232,8 @@ pub fn self_correct(
     let mut groups: Groups = Groups::new();
     let mut split = 0usize;
     let mut unknown = 0usize;
+    let mut homogeneous = 0usize;
+    let mut no_signal = 0usize;
     for cluster in &clustering.clusters {
         let mut sample: Vec<Ipv4Addr> = cluster.clients.iter().map(|c| c.addr).collect();
         sample.shuffle(&mut rng);
@@ -226,6 +245,7 @@ pub fn self_correct(
         if informative.is_empty() {
             // Probing told us nothing about this cluster: keep it intact
             // under a synthetic key rather than scattering its clients.
+            no_signal += 1;
             insert_group(
                 &mut groups,
                 format!("?cluster:{}", cluster.prefix),
@@ -238,6 +258,7 @@ pub fn self_correct(
         if compatible as f64 >= config.quorum * informative.len() as f64 {
             // Homogeneous by quorum: whole cluster keeps the modal
             // signature.
+            homogeneous += 1;
             insert_group(&mut groups, modal.clone(), members, Some(cluster.prefix));
         } else {
             // Mixed: trace everyone and partition by signature. Clients
@@ -320,13 +341,38 @@ pub fn self_correct(
         assign.get(&u32::from(a)).copied()
     });
 
+    let probe_stats = tracer.stats();
+    if obs.is_enabled() {
+        // One correction pass per counter resolution: this is a cold path,
+        // so going through the registry here is fine.
+        obs.counter("selfcorrect.quorum.homogeneous")
+            .add(homogeneous as u64);
+        obs.counter("selfcorrect.quorum.split").add(split as u64);
+        obs.counter("selfcorrect.quorum.no_signal")
+            .add(no_signal as u64);
+        obs.counter("selfcorrect.absorbed").add(absorbed as u64);
+        obs.counter("selfcorrect.new_clusters")
+            .add(new_groups as u64);
+        obs.counter("selfcorrect.merged_away")
+            .add(merged_away as u64);
+        obs.counter("selfcorrect.unknown_signatures")
+            .add(unknown as u64);
+        obs.counter("selfcorrect.probes").add(probe_stats.probes);
+        obs.counter("selfcorrect.probe_retries")
+            .add(probe_stats.retries);
+        obs.counter("selfcorrect.probe_timeouts")
+            .add(probe_stats.timeouts);
+        obs.counter("selfcorrect.probe_gave_up")
+            .add(probe_stats.gave_up);
+    }
+
     CorrectionReport {
         absorbed,
         new_from_unclustered: new_groups,
         merged_away,
         split,
         unknown_signatures: unknown,
-        probe_stats: tracer.stats(),
+        probe_stats,
         clustering: corrected,
     }
 }
@@ -441,6 +487,31 @@ mod tests {
         assert_eq!(a.merged_away, b.merged_away);
         assert_eq!(a.split, b.split);
         assert_eq!(a.unknown_signatures, 0);
+    }
+
+    #[test]
+    fn quorum_outcomes_reach_the_registry() {
+        let (u, log, clustering) = setup();
+        let obs = Obs::enabled();
+        let report = self_correct_with(&u, &log, &clustering, &CorrectionConfig::default(), &obs);
+        let snap = obs.snapshot(true);
+        let get = |k: &str| snap.counters.get(k).copied().unwrap_or(0);
+        // Every sampled cluster got exactly one quorum verdict.
+        assert_eq!(
+            get("selfcorrect.quorum.homogeneous")
+                + get("selfcorrect.quorum.split")
+                + get("selfcorrect.quorum.no_signal"),
+            clustering.clusters.len() as u64
+        );
+        assert_eq!(get("selfcorrect.quorum.split"), report.split as u64);
+        assert_eq!(get("selfcorrect.absorbed"), report.absorbed as u64);
+        assert_eq!(get("selfcorrect.probes"), report.probe_stats.probes);
+        assert!(snap.spans.contains_key("selfcorrect.run"));
+        // Observation is passive: the corrected clustering is identical to
+        // an unobserved run.
+        let plain = self_correct(&u, &log, &clustering, &CorrectionConfig::default());
+        assert_eq!(plain.clustering.len(), report.clustering.len());
+        assert_eq!(plain.split, report.split);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! their demands change from time to time." [`StreamingClustering`]
 //! consumes requests one at a time, maintains per-cluster aggregates
 //! incrementally, and supports swapping in a fresh routing table
-//! ([`StreamingClustering::try_swap_table`]) so the view adapts to routing
+//! ([`StreamingClustering::try_swap`]) so the view adapts to routing
 //! dynamics without replaying the past — the paper's "real-time cluster
 //! identifying ... using real-time routing information".
 //!
@@ -20,6 +20,7 @@
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
+use netclust_obs::{Counter, ErrorCounts, Gauge, Obs};
 use netclust_prefix::Ipv4Net;
 use netclust_rtable::{CompiledMerged, MergedTable};
 use netclust_weblog::clf::ClfError;
@@ -27,6 +28,27 @@ use netclust_weblog::clf_bytes;
 use netclust_weblog::Request;
 
 use crate::faults::{failpoints, FaultInjector};
+
+/// Resolved swap-path observability handles (`stream.swap.*`); inert when
+/// the stream was built without [`StreamingBuilder::obs`].
+#[derive(Debug, Clone, Default)]
+struct StreamObs {
+    attempts: Counter,
+    accepted: Counter,
+    rejected: Counter,
+    stale_age: Gauge,
+}
+
+impl StreamObs {
+    fn resolve(obs: &Obs) -> Self {
+        StreamObs {
+            attempts: obs.counter("stream.swap.attempts"),
+            accepted: obs.counter("stream.swap.accepted"),
+            rejected: obs.counter("stream.swap.rejected"),
+            stale_age: obs.gauge("stream.swap.stale_age"),
+        }
+    }
+}
 
 /// Incremental per-cluster aggregates.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -107,7 +129,7 @@ pub enum SwapRejection {
     },
 }
 
-/// Outcome of one [`StreamingClustering::try_swap_table`] attempt.
+/// Outcome of one [`StreamingClustering::try_swap`] attempt.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SwapReport {
     /// Whether the candidate was installed.
@@ -136,12 +158,75 @@ pub struct SwapStats {
     pub stale_age: u64,
 }
 
+/// Consuming builder for [`StreamingClustering`], mirroring
+/// [`IngestPipeline`](crate::IngestPipeline)'s `chunk_bytes(..)`-style
+/// configuration surface: chain options, then [`build`](Self::build).
+///
+/// ```
+/// # use netclust_core::{StreamingClustering, SwapPolicy};
+/// # use netclust_netgen::{standard_merged, Universe, UniverseConfig};
+/// # let u = Universe::generate(UniverseConfig::small(7));
+/// let stream = StreamingClustering::builder(standard_merged(&u, 0))
+///     .swap_policy(SwapPolicy::default())
+///     .build();
+/// # assert!(stream.is_empty());
+/// ```
+pub struct StreamingBuilder {
+    table: MergedTable,
+    policy: SwapPolicy,
+    obs: Obs,
+}
+
+impl StreamingBuilder {
+    /// Sets the validation thresholds every [`try_swap`]
+    /// (`StreamingClustering::try_swap`) attempt is checked against
+    /// (default: [`SwapPolicy::default`]).
+    ///
+    /// [`try_swap`]: StreamingClustering::try_swap
+    pub fn swap_policy(mut self, policy: SwapPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Attaches an observability registry: LPM lookup/miss counters on the
+    /// compiled table (`lpm.*`) and swap accounting (`stream.swap.*`).
+    /// Costs nothing when `obs` is disabled.
+    pub fn obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Compiles the table to the flat DIR-24-8 layout and builds the
+    /// (empty) streaming clustering.
+    pub fn build(self) -> StreamingClustering {
+        let mut table = self.table.compile();
+        table.attach_obs(&self.obs);
+        let metrics = StreamObs::resolve(&self.obs);
+        StreamingClustering {
+            table,
+            clusters: HashMap::new(),
+            per_client: HashMap::new(),
+            assignment: HashMap::new(),
+            unclustered_requests: 0,
+            total_requests: 0,
+            clf_counts: ErrorCounts::default(),
+            swap_stats: SwapStats::default(),
+            last_rejection: None,
+            policy: self.policy,
+            obs: self.obs,
+            metrics,
+        }
+    }
+}
+
 /// An incrementally-maintained clustering over a request stream.
 ///
 /// The routing table is compiled once at construction to the flat DIR-24-8
 /// layout ([`CompiledMerged`]), so the per-request hot path does O(1)–O(2)
-/// array lookups; [`try_swap_table`](Self::try_swap_table) validates and
-/// recompiles.
+/// array lookups; [`try_swap`](Self::try_swap) validates and recompiles.
+///
+/// Construct with [`builder`](Self::builder):
+/// `StreamingClustering::builder(table).swap_policy(..).obs(..).build()`.
 pub struct StreamingClustering {
     table: CompiledMerged,
     /// Per-cluster aggregates.
@@ -154,26 +239,37 @@ pub struct StreamingClustering {
     /// Requests from unclusterable clients.
     unclustered_requests: u64,
     total_requests: u64,
+    /// Raw-CLF ingest accounting: lines consumed by
+    /// [`push_clf`](Self::push_clf) vs lines quarantined as malformed.
+    clf_counts: ErrorCounts,
     /// Swap acceptance/rejection accounting.
     swap_stats: SwapStats,
     /// The most recent rejection, for operators polling stats.
     last_rejection: Option<SwapRejection>,
+    /// Thresholds applied by [`try_swap`](Self::try_swap).
+    policy: SwapPolicy,
+    /// Registry swapped-in tables resolve their LPM counters against.
+    obs: Obs,
+    /// Resolved swap-path counters/gauge.
+    metrics: StreamObs,
 }
 
 impl StreamingClustering {
+    /// Starts building a streaming clustering over `table`; finish with
+    /// [`StreamingBuilder::build`].
+    pub fn builder(table: MergedTable) -> StreamingBuilder {
+        StreamingBuilder {
+            table,
+            policy: SwapPolicy::default(),
+            obs: Obs::disabled(),
+        }
+    }
+
     /// Creates an empty streaming clustering over `table`, compiling it
     /// for flat lookups.
+    #[deprecated(note = "use `StreamingClustering::builder(table).build()`")]
     pub fn new(table: MergedTable) -> Self {
-        StreamingClustering {
-            table: table.compile(),
-            clusters: HashMap::new(),
-            per_client: HashMap::new(),
-            assignment: HashMap::new(),
-            unclustered_requests: 0,
-            total_requests: 0,
-            swap_stats: SwapStats::default(),
-            last_rejection: None,
-        }
+        Self::builder(table).build()
     }
 
     /// Feeds one request.
@@ -187,13 +283,25 @@ impl StreamingClustering {
     /// 0-based within `data`, matching the batch parsers).
     pub fn push_clf(&mut self, data: &[u8]) -> Vec<ClfError> {
         let mut errors = Vec::new();
+        let mut lines = 0u64;
         for item in clf_bytes::records(data, 0) {
+            lines += 1;
             match item {
                 Ok((_, r)) => self.push_raw(r.addr, r.bytes as u64),
                 Err(e) => errors.push(e),
             }
         }
+        self.clf_counts
+            .merge(ErrorCounts::new(lines, errors.len() as u64));
         errors
+    }
+
+    /// Cumulative [`push_clf`](Self::push_clf) accounting: every raw line
+    /// consumed vs the lines quarantined as malformed. Quarantined lines
+    /// never become requests, so they are reported here and excluded from
+    /// [`coverage`](Self::coverage)'s denominator.
+    pub fn clf_counts(&self) -> ErrorCounts {
+        self.clf_counts
     }
 
     fn push_raw(&mut self, client: u32, bytes: u64) {
@@ -244,7 +352,11 @@ impl StreamingClustering {
         self.assignment.get(&u32::from(addr)).copied().flatten()
     }
 
-    /// Fraction of requests that were clusterable.
+    /// Fraction of *parsed* requests that were clusterable. Lines
+    /// quarantined by [`push_clf`](Self::push_clf) never became requests
+    /// and are excluded from the denominator — they are accounted in
+    /// [`clf_counts`](Self::clf_counts), not as clustered misses — so log
+    /// corruption cannot dilute coverage.
     pub fn coverage(&self) -> f64 {
         if self.total_requests == 0 {
             0.0
@@ -278,10 +390,11 @@ impl StreamingClustering {
     /// Swaps in a fresh routing table unconditionally (adaptation to
     /// routing dynamics): recompiles it and rebuilds the cluster view from
     /// the retained per-client totals with one batch LPM sweep — no stream
-    /// replay needed. Prefer [`try_swap_table`](Self::try_swap_table),
-    /// which validates the candidate first.
+    /// replay needed. Prefer [`try_swap`](Self::try_swap), which validates
+    /// the candidate first.
     pub fn swap_table(&mut self, table: MergedTable) {
-        let compiled = table.compile();
+        let mut compiled = table.compile();
+        compiled.attach_obs(&self.obs);
         // analyze:allow(determinism) install() aggregates commutatively per
         // cluster; client order cannot reach any output.
         let clients: Vec<u32> = self.per_client.keys().copied().collect();
@@ -289,6 +402,9 @@ impl StreamingClustering {
         self.install(compiled, clients, nets);
         self.swap_stats.accepted += 1;
         self.swap_stats.stale_age = 0;
+        self.metrics.attempts.inc();
+        self.metrics.accepted.inc();
+        self.metrics.stale_age.set(0);
     }
 
     /// Validated two-phase table swap: the candidate is sanity-checked and
@@ -297,21 +413,44 @@ impl StreamingClustering {
     /// already seen replaces the serving table. On rejection the old table
     /// keeps serving untouched and the stale-age counter grows.
     ///
-    /// `noise_ratio` is the candidate's source parse-noise ratio (0.0 for
-    /// programmatically built tables; see
-    /// `netclust_rtable::RoutingTable::parse_report`).
+    /// `noise` is the candidate's source parse-noise accounting
+    /// ([`ErrorCounts::default`] for programmatically built tables; see
+    /// `netclust_rtable::ParseReport::counts`). The thresholds come from
+    /// the policy configured at build time
+    /// ([`StreamingBuilder::swap_policy`]).
+    pub fn try_swap(&mut self, table: MergedTable, noise: ErrorCounts) -> SwapReport {
+        self.try_swap_with(table, noise, &mut FaultInjector::disabled())
+    }
+
+    /// [`try_swap`](Self::try_swap) with a fault injector: the
+    /// [`failpoints::SWAP_COMPILE`] failpoint simulates the candidate
+    /// compile dying, which must be survivable like any other rejection.
+    pub fn try_swap_with(
+        &mut self,
+        table: MergedTable,
+        noise: ErrorCounts,
+        faults: &mut FaultInjector,
+    ) -> SwapReport {
+        let policy = self.policy;
+        self.try_swap_inner(table, noise.ratio(), &policy, faults)
+    }
+
+    /// Validated swap with an explicit policy and a raw noise ratio.
+    #[deprecated(note = "configure the policy via `StreamingBuilder::swap_policy` \
+                         and call `try_swap(table, noise_counts)`")]
     pub fn try_swap_table(
         &mut self,
         table: MergedTable,
         noise_ratio: f64,
         policy: &SwapPolicy,
     ) -> SwapReport {
-        self.try_swap_table_with(table, noise_ratio, policy, &mut FaultInjector::disabled())
+        self.try_swap_inner(table, noise_ratio, policy, &mut FaultInjector::disabled())
     }
 
-    /// [`try_swap_table`](Self::try_swap_table) with a fault injector: the
-    /// [`failpoints::SWAP_COMPILE`] failpoint simulates the candidate
-    /// compile dying, which must be survivable like any other rejection.
+    /// Validated swap with an explicit policy, raw noise ratio, and fault
+    /// injector.
+    #[deprecated(note = "configure the policy via `StreamingBuilder::swap_policy` \
+                         and call `try_swap_with(table, noise_counts, faults)`")]
     pub fn try_swap_table_with(
         &mut self,
         table: MergedTable,
@@ -319,12 +458,25 @@ impl StreamingClustering {
         policy: &SwapPolicy,
         faults: &mut FaultInjector,
     ) -> SwapReport {
+        self.try_swap_inner(table, noise_ratio, policy, faults)
+    }
+
+    fn try_swap_inner(
+        &mut self,
+        table: MergedTable,
+        noise_ratio: f64,
+        policy: &SwapPolicy,
+        faults: &mut FaultInjector,
+    ) -> SwapReport {
+        self.metrics.attempts.inc();
         let candidate_entries = table.len();
         let coverage_before = self.coverage();
         let reject = |this: &mut Self, why: SwapRejection| {
             this.swap_stats.rejected += 1;
             this.swap_stats.stale_age += 1;
             this.last_rejection = Some(why);
+            this.metrics.rejected.inc();
+            this.metrics.stale_age.set(this.swap_stats.stale_age);
             SwapReport {
                 accepted: false,
                 rejection: Some(why),
@@ -357,7 +509,8 @@ impl StreamingClustering {
         if faults.should_fire(failpoints::SWAP_COMPILE) {
             return reject(self, SwapRejection::CompileFault);
         }
-        let compiled = table.compile();
+        let mut compiled = table.compile();
+        compiled.attach_obs(&self.obs);
 
         // Re-resolve every known client against the candidate and check
         // request-weighted coverage retention before committing.
@@ -390,6 +543,8 @@ impl StreamingClustering {
         self.swap_stats.accepted += 1;
         self.swap_stats.stale_age = 0;
         self.last_rejection = None;
+        self.metrics.accepted.inc();
+        self.metrics.stale_age.set(0);
         SwapReport {
             accepted: true,
             rejection: None,
@@ -444,7 +599,7 @@ mod tests {
         let (u, log) = setup();
         let merged = standard_merged(&u, 0);
         let batch = Clustering::network_aware(&log, &merged);
-        let mut stream = StreamingClustering::new(standard_merged(&u, 0));
+        let mut stream = StreamingClustering::builder(standard_merged(&u, 0)).build();
         for r in &log.requests {
             stream.push(r);
         }
@@ -466,11 +621,11 @@ mod tests {
     #[test]
     fn push_clf_matches_push() {
         let (u, log) = setup();
-        let mut by_request = StreamingClustering::new(standard_merged(&u, 0));
+        let mut by_request = StreamingClustering::builder(standard_merged(&u, 0)).build();
         for r in &log.requests {
             by_request.push(r);
         }
-        let mut by_bytes = StreamingClustering::new(standard_merged(&u, 0));
+        let mut by_bytes = StreamingClustering::builder(standard_merged(&u, 0)).build();
         let text = netclust_weblog::clf::to_clf(&log);
         let errors = by_bytes.push_clf(text.as_bytes());
         assert!(errors.is_empty());
@@ -481,19 +636,23 @@ mod tests {
         }
         assert!((by_bytes.coverage() - by_request.coverage()).abs() < 1e-12);
         // Malformed lines are surfaced, well-formed ones still land.
-        let mut s = StreamingClustering::new(standard_merged(&u, 0));
+        let mut s = StreamingClustering::builder(standard_merged(&u, 0)).build();
         let errs = s.push_clf(
             b"bogus\n1.2.3.4 - - [13/Feb/1998:07:00:00 +0000] \"GET /x HTTP/1.0\" 200 10\n",
         );
         assert_eq!(errs.len(), 1);
         assert_eq!(errs[0].line, 0);
         assert_eq!(s.total_requests(), 1);
+        // Quarantined lines land in clf_counts, not in coverage's
+        // denominator: the one parsed request is clustered or not on its
+        // own terms.
+        assert_eq!(s.clf_counts(), ErrorCounts::new(2, 1));
     }
 
     #[test]
     fn top_k_tracks_busiest() {
         let (u, log) = setup();
-        let mut stream = StreamingClustering::new(standard_merged(&u, 0));
+        let mut stream = StreamingClustering::builder(standard_merged(&u, 0)).build();
         for r in &log.requests {
             stream.push(r);
         }
@@ -509,7 +668,7 @@ mod tests {
     #[test]
     fn table_swap_rebuilds_consistently() {
         let (u, log) = setup();
-        let mut stream = StreamingClustering::new(standard_merged(&u, 0));
+        let mut stream = StreamingClustering::builder(standard_merged(&u, 0)).build();
         for r in &log.requests {
             stream.push(r);
         }
@@ -529,13 +688,13 @@ mod tests {
     #[test]
     fn validated_swap_equals_unconditional_swap() {
         let (u, log) = setup();
-        let mut validated = StreamingClustering::new(standard_merged(&u, 0));
-        let mut legacy = StreamingClustering::new(standard_merged(&u, 0));
+        let mut validated = StreamingClustering::builder(standard_merged(&u, 0)).build();
+        let mut legacy = StreamingClustering::builder(standard_merged(&u, 0)).build();
         for r in &log.requests {
             validated.push(r);
             legacy.push(r);
         }
-        let report = validated.try_swap_table(standard_merged(&u, 7), 0.0, &SwapPolicy::default());
+        let report = validated.try_swap(standard_merged(&u, 7), ErrorCounts::default());
         assert!(report.accepted, "rejected: {:?}", report.rejection);
         legacy.swap_table(standard_merged(&u, 7));
         // Accepted validated swap is byte-identical to the unconditional
@@ -552,7 +711,7 @@ mod tests {
     #[test]
     fn rejected_swap_leaves_view_untouched() {
         let (u, log) = setup();
-        let mut stream = StreamingClustering::new(standard_merged(&u, 0));
+        let mut stream = StreamingClustering::builder(standard_merged(&u, 0)).build();
         for r in &log.requests {
             stream.push(r);
         }
@@ -561,7 +720,7 @@ mod tests {
 
         // Empty candidate: a scrape failure, not a routing change.
         let empty = MergedTable::merge(std::iter::empty());
-        let report = stream.try_swap_table(empty, 0.0, &SwapPolicy::default());
+        let report = stream.try_swap(empty, ErrorCounts::default());
         assert!(!report.accepted);
         assert!(matches!(
             report.rejection,
@@ -571,25 +730,21 @@ mod tests {
             })
         ));
 
-        // Over-noisy source dump.
-        let report = stream.try_swap_table(standard_merged(&u, 7), 0.5, &SwapPolicy::default());
+        // Over-noisy source dump (1 malformed line in 2 = 50 % noise).
+        let report = stream.try_swap(standard_merged(&u, 7), ErrorCounts::new(2, 1));
         assert!(matches!(
             report.rejection,
             Some(SwapRejection::NoiseOverBudget { .. })
         ));
 
         // Coverage collapse: a table that covers nothing the stream saw.
-        let policy = SwapPolicy {
-            min_coverage_retention: 1.0,
-            ..SwapPolicy::default()
-        };
         let bogus = netclust_rtable::RoutingTable::new(
             "bogus",
             "d0",
             netclust_rtable::TableKind::Bgp,
             vec!["203.0.113.0/24".parse().unwrap()],
         );
-        let report = stream.try_swap_table(MergedTable::merge([&bogus]), 0.0, &policy);
+        let report = stream.try_swap(MergedTable::merge([&bogus]), ErrorCounts::default());
         assert!(matches!(
             report.rejection,
             Some(SwapRejection::CoverageCollapse { .. })
@@ -604,17 +759,69 @@ mod tests {
         assert_eq!(stats.stale_age, 3);
         assert_eq!(stream.last_rejection(), report.rejection);
 
-        // A good candidate then clears degraded mode.
-        let ok = stream.try_swap_table(standard_merged(&u, 7), 0.01, &SwapPolicy::default());
+        // A good candidate then clears degraded mode (1 % noise is under
+        // the default 5 % budget).
+        let ok = stream.try_swap(standard_merged(&u, 7), ErrorCounts::new(100, 1));
         assert!(ok.accepted);
         assert_eq!(stream.swap_stats().stale_age, 0);
         assert_eq!(stream.last_rejection(), None);
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_builder_surface() {
+        // `new` and the explicit-policy `try_swap_table*` shims are kept
+        // for one release; they must behave exactly like the builder path.
+        let (u, log) = setup();
+        let mut legacy = StreamingClustering::new(standard_merged(&u, 0));
+        let mut fresh = StreamingClustering::builder(standard_merged(&u, 0)).build();
+        for r in &log.requests {
+            legacy.push(r);
+            fresh.push(r);
+        }
+        assert_eq!(legacy.top_k(usize::MAX), fresh.top_k(usize::MAX));
+        // Per-call policy on the shim overrides nothing in the builder
+        // path: a permissive policy accepts what the default rejects.
+        let empty = MergedTable::merge(std::iter::empty());
+        let report = legacy.try_swap_table(empty, 0.0, &SwapPolicy::permissive());
+        assert!(report.accepted, "rejected: {:?}", report.rejection);
+        let report = legacy.try_swap_table_with(
+            standard_merged(&u, 7),
+            0.0,
+            &SwapPolicy::default(),
+            &mut FaultInjector::disabled(),
+        );
+        assert!(report.accepted);
+        assert_eq!(legacy.swap_stats().accepted, 2);
+    }
+
+    #[test]
+    fn swap_metrics_reach_the_registry() {
+        let (u, log) = setup();
+        let obs = Obs::enabled();
+        let mut stream = StreamingClustering::builder(standard_merged(&u, 0))
+            .obs(obs.clone())
+            .build();
+        for r in &log.requests {
+            stream.push(r);
+        }
+        let empty = MergedTable::merge(std::iter::empty());
+        stream.try_swap(empty, ErrorCounts::default());
+        stream.try_swap(standard_merged(&u, 7), ErrorCounts::default());
+        let snap = obs.snapshot(true);
+        assert_eq!(snap.counters.get("stream.swap.attempts"), Some(&2));
+        assert_eq!(snap.counters.get("stream.swap.accepted"), Some(&1));
+        assert_eq!(snap.counters.get("stream.swap.rejected"), Some(&1));
+        assert_eq!(snap.gauges.get("stream.swap.stale_age"), Some(&0));
+        // The serving table resolved its LPM counters against the same
+        // registry: pushes and the swap validation sweep were counted.
+        assert!(snap.counters.get("lpm.lookups").copied().unwrap_or(0) > 0);
+    }
+
+    #[test]
     fn injected_compile_fault_is_survivable() {
         let (u, log) = setup();
-        let mut stream = StreamingClustering::new(standard_merged(&u, 0));
+        let mut stream = StreamingClustering::builder(standard_merged(&u, 0)).build();
         for r in &log.requests {
             stream.push(r);
         }
@@ -622,26 +829,22 @@ mod tests {
         let mut faults = crate::FaultPlan::new(42)
             .with(failpoints::SWAP_COMPILE, 1.0)
             .injector();
-        let report = stream.try_swap_table_with(
-            standard_merged(&u, 7),
-            0.0,
-            &SwapPolicy::default(),
-            &mut faults,
-        );
+        let report =
+            stream.try_swap_with(standard_merged(&u, 7), ErrorCounts::default(), &mut faults);
         assert!(!report.accepted);
         assert_eq!(report.rejection, Some(SwapRejection::CompileFault));
         // Old table keeps serving, untouched.
         assert_eq!(stream.top_k(usize::MAX), before);
         assert_eq!(faults.fired(failpoints::SWAP_COMPILE), 1);
         // Retrying with the fault disarmed succeeds.
-        let ok = stream.try_swap_table(standard_merged(&u, 7), 0.0, &SwapPolicy::default());
+        let ok = stream.try_swap(standard_merged(&u, 7), ErrorCounts::default());
         assert!(ok.accepted);
     }
 
     #[test]
     fn incremental_queries_mid_stream() {
         let (u, log) = setup();
-        let mut stream = StreamingClustering::new(standard_merged(&u, 0));
+        let mut stream = StreamingClustering::builder(standard_merged(&u, 0)).build();
         assert!(stream.is_empty());
         assert_eq!(stream.coverage(), 0.0);
         let half = log.requests.len() / 2;

@@ -79,7 +79,8 @@ fn fused_pipeline_matches_string_parser_route() {
             &format!("fused chunk_bytes={chunk_bytes}"),
         );
         assert_eq!(report.errors, log_errors);
-        assert_eq!(report.lines, LOG.lines().count());
+        assert_eq!(report.counts.records, LOG.lines().count() as u64);
+        assert_eq!(report.counts.malformed, log_errors.len() as u64);
         assert_eq!(report.bytes, LOG.len());
     }
 }

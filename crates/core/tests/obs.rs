@@ -1,0 +1,130 @@
+//! End-to-end observability contract over the committed ingest corpus:
+//! a shared registry observed across pipeline runs only ever grows
+//! (mid-stream snapshots are prefixes of later ones), deterministic
+//! snapshots are byte-identical across identical runs, and instrumented
+//! runs produce the exact same clustering as unobserved ones.
+
+use netclust_core::IngestPipeline;
+use netclust_obs::Obs;
+use netclust_rtable::{MergedTable, RoutingTable, TableKind};
+
+const LOG: &str = include_str!(concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../results/ingest_sample.clf"
+));
+const BGP: &str = include_str!(concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../results/ingest_sample.bgp"
+));
+const DUMP: &str = include_str!(concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../results/ingest_sample.dump"
+));
+
+fn merged() -> MergedTable {
+    let (bgp, _) = RoutingTable::parse("oregon", "d0", TableKind::Bgp, BGP);
+    let (dump, _) = RoutingTable::parse("arin", "d0", TableKind::NetworkDump, DUMP);
+    MergedTable::merge([&bgp, &dump])
+}
+
+#[test]
+fn mid_stream_snapshot_is_prefix_of_final_report() {
+    // The pipeline is observed through a long-lived registry; snapshots
+    // taken between runs stand in for snapshots taken mid-`run` by a
+    // concurrent scraper: every later report must extend every earlier
+    // one (counters only grow, no key ever disappears).
+    let obs = Obs::enabled();
+    let mut table = merged().compile();
+    table.attach_obs(&obs);
+
+    let empty = obs.snapshot(true);
+    let mut snaps = vec![empty];
+    for _ in 0..3 {
+        IngestPipeline::new(&table)
+            .obs(obs.clone())
+            .run(LOG.as_bytes());
+        snaps.push(obs.snapshot(true));
+    }
+    for pair in snaps.windows(2) {
+        assert!(
+            pair[0].is_prefix_of(&pair[1]),
+            "snapshot stopped being a prefix:\n{}\nvs\n{}",
+            pair[0].to_json(),
+            pair[1].to_json()
+        );
+    }
+    // Prefix is transitive down the whole chain, including from empty.
+    assert!(snaps[0].is_prefix_of(snaps.last().unwrap()));
+
+    // And the relation is a real check, not a tautology: a later snapshot
+    // is NOT a prefix of an earlier one once counters moved.
+    assert!(!snaps[3].is_prefix_of(&snaps[1]));
+}
+
+#[test]
+fn deterministic_snapshots_are_byte_identical_across_runs() {
+    let run = || {
+        let obs = Obs::enabled();
+        let mut table = merged().compile();
+        table.attach_obs(&obs);
+        let report = IngestPipeline::new(&table)
+            .obs(obs.clone())
+            .run(LOG.as_bytes());
+        (obs.snapshot(true).to_json(), report)
+    };
+    let (a, report_a) = run();
+    let (b, report_b) = run();
+    assert_eq!(a, b, "deterministic OBS.json differed between runs");
+    assert_eq!(report_a.counts, report_b.counts);
+
+    // The deterministic snapshot still carries the data-derived facts.
+    assert!(a.contains("\"ingest.lines\""));
+    assert!(a.contains("\"ingest.chunk_bytes\""));
+    assert!(a.contains("\"ingest.run\""));
+    assert!(a.contains("\"lpm.lookups\""));
+
+    // ...with every clock-derived span field zeroed.
+    let obs = Obs::enabled();
+    let mut table = merged().compile();
+    table.attach_obs(&obs);
+    IngestPipeline::new(&table)
+        .obs(obs.clone())
+        .run(LOG.as_bytes());
+    for (path, sp) in &obs.snapshot(true).spans {
+        assert_eq!((sp.total_ns, sp.min_ns, sp.max_ns), (0, 0, 0), "{path}");
+        assert!(sp.count > 0, "{path}");
+    }
+}
+
+#[test]
+fn observation_is_passive() {
+    // An instrumented run must produce the identical report to a bare one.
+    let table = merged().compile();
+    let bare = IngestPipeline::new(&table).run(LOG.as_bytes());
+
+    let obs = Obs::enabled();
+    let mut observed_table = merged().compile();
+    observed_table.attach_obs(&obs);
+    let observed = IngestPipeline::new(&observed_table)
+        .obs(obs.clone())
+        .run(LOG.as_bytes());
+
+    assert_eq!(bare.counts, observed.counts);
+    assert_eq!(bare.errors, observed.errors);
+    assert_eq!(
+        bare.clustering.total_requests,
+        observed.clustering.total_requests
+    );
+    assert_eq!(bare.clustering.len(), observed.clustering.len());
+
+    // The registry agrees with the report on the data-derived totals.
+    let snap = obs.snapshot(true);
+    assert_eq!(
+        snap.counters.get("ingest.lines").copied(),
+        Some(observed.counts.records)
+    );
+    assert_eq!(
+        snap.counters.get("ingest.malformed").copied(),
+        Some(observed.counts.malformed)
+    );
+}

@@ -1,0 +1,157 @@
+//! The registry and the [`Obs`] handle.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::AtomicU64;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::metric::{Counter, CounterCell, Gauge, Histogram, HistogramCell};
+use crate::report::Snapshot;
+use crate::span::{SpanGuard, SpanStats};
+
+/// Shared metric storage behind an enabled [`Obs`] handle.
+///
+/// Name→cell directories are mutex-guarded `BTreeMap`s, but the mutex is
+/// only taken when a handle is *resolved* (construction time) and at
+/// snapshot; counter/gauge/histogram updates go straight to the shared
+/// atomics inside the resolved handle.
+#[derive(Debug, Default)]
+pub(crate) struct Registry {
+    pub(crate) counters: Mutex<BTreeMap<String, Arc<CounterCell>>>,
+    pub(crate) gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    pub(crate) histograms: Mutex<BTreeMap<String, Arc<HistogramCell>>>,
+    pub(crate) spans: Mutex<BTreeMap<String, SpanStats>>,
+}
+
+fn locked<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// A cloneable observability handle: either enabled (shared registry) or
+/// disabled (all operations are no-ops).
+///
+/// Components take an `Obs` through their builders and resolve the handles
+/// they need up front; a disabled handle resolves to inert `Counter` /
+/// `Gauge` / `Histogram` values, so the instrumented code is identical in
+/// both modes and costs one predictable branch when disabled.
+#[derive(Clone, Debug, Default)]
+pub struct Obs {
+    inner: Option<Arc<Registry>>,
+}
+
+impl Obs {
+    /// A handle whose every operation is a no-op. This is the default a
+    /// builder should start from.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// A fresh, private registry (tests and embedded use). For the
+    /// process-wide registry the CLI uses, see [`global`].
+    pub fn enabled() -> Self {
+        Self {
+            inner: Some(Arc::new(Registry::default())),
+        }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Resolve (creating on first use) the counter named `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let Some(reg) = &self.inner else {
+            return Counter::disabled();
+        };
+        let mut dir = locked(&reg.counters);
+        let cell = dir
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(CounterCell::new()));
+        Counter {
+            cell: Some(Arc::clone(cell)),
+        }
+    }
+
+    /// Resolve (creating on first use) the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let Some(reg) = &self.inner else {
+            return Gauge::disabled();
+        };
+        let mut dir = locked(&reg.gauges);
+        let cell = dir
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)));
+        Gauge {
+            cell: Some(Arc::clone(cell)),
+        }
+    }
+
+    /// Resolve (creating on first use) the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let Some(reg) = &self.inner else {
+            return Histogram::disabled();
+        };
+        let mut dir = locked(&reg.histograms);
+        let cell = dir
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(HistogramCell::new()));
+        Histogram {
+            cell: Some(Arc::clone(cell)),
+        }
+    }
+
+    /// Open a timed span. While the returned guard is live, further spans
+    /// opened on the same thread nest under it (`parent/child` paths).
+    pub fn span(&self, name: &str) -> SpanGuard {
+        match &self.inner {
+            Some(reg) => SpanGuard::open(Arc::clone(reg), name),
+            None => SpanGuard::disabled(),
+        }
+    }
+
+    /// Capture a point-in-time snapshot. With `deterministic = true` every
+    /// clock-derived field (span ns aggregates) is zeroed so the rendered
+    /// report is byte-identical across runs on the same input.
+    pub fn snapshot(&self, deterministic: bool) -> Snapshot {
+        match &self.inner {
+            Some(reg) => Snapshot::capture(reg, deterministic),
+            None => Snapshot::empty(deterministic),
+        }
+    }
+}
+
+static GLOBAL: OnceLock<Obs> = OnceLock::new();
+
+/// The process-wide enabled registry (lazily created). Library code should
+/// prefer taking an `Obs` through its builder; this exists so binaries can
+/// wire every subsystem to one report with zero plumbing.
+pub fn global() -> Obs {
+    GLOBAL.get_or_init(Obs::enabled).clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_same_cell() {
+        let obs = Obs::enabled();
+        let a = obs.counter("hits");
+        let b = obs.counter("hits");
+        a.add(2);
+        b.add(3);
+        assert_eq!(obs.counter("hits").get(), 5);
+    }
+
+    #[test]
+    fn disabled_snapshot_is_empty() {
+        let snap = Obs::disabled().snapshot(true);
+        assert!(snap.counters.is_empty() && snap.spans.is_empty());
+    }
+
+    #[test]
+    fn global_is_one_registry() {
+        global().counter("obs.test.global").inc();
+        assert_eq!(global().counter("obs.test.global").get(), 1);
+    }
+}

@@ -1,0 +1,159 @@
+//! Monotonic-clock spans with parent/child nesting.
+//!
+//! `obs.span("ingest.run")` followed (while the guard is live, on the same
+//! thread) by `obs.span("parse")` records under the path `ingest.run/parse`.
+//! Nesting is tracked with a thread-local name stack; spans are intended for
+//! stage/chunk granularity on a coordinating thread, never per record — the
+//! registry mutex is taken once per span close.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+use crate::clock::{self, Ticks};
+use crate::registry::Registry;
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Aggregated statistics for one span path.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct SpanStats {
+    pub(crate) count: u64,
+    pub(crate) total_ns: u64,
+    pub(crate) min_ns: u64,
+    pub(crate) max_ns: u64,
+}
+
+impl SpanStats {
+    fn one(ns: u64) -> Self {
+        Self {
+            count: 1,
+            total_ns: ns,
+            min_ns: ns,
+            max_ns: ns,
+        }
+    }
+
+    fn fold(&mut self, ns: u64) {
+        self.count = self.count.saturating_add(1);
+        self.total_ns = self.total_ns.saturating_add(ns);
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+}
+
+/// RAII timer: records elapsed time under its nested path on drop.
+///
+/// Returned by [`Obs::span`](crate::Obs::span). A guard from a disabled
+/// handle never reads the clock or touches thread-local state.
+#[derive(Debug)]
+pub struct SpanGuard {
+    live: Option<LiveSpan>,
+}
+
+#[derive(Debug)]
+struct LiveSpan {
+    registry: Arc<Registry>,
+    path: String,
+    start: Ticks,
+}
+
+impl SpanGuard {
+    pub(crate) fn disabled() -> Self {
+        Self { live: None }
+    }
+
+    pub(crate) fn open(registry: Arc<Registry>, name: &str) -> Self {
+        let path = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let path = match stack.last() {
+                Some(parent) => format!("{parent}/{name}"),
+                None => name.to_string(),
+            };
+            stack.push(path.clone());
+            path
+        });
+        Self {
+            live: Some(LiveSpan {
+                registry,
+                path,
+                start: clock::now(),
+            }),
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(live) = self.live.take() else {
+            return;
+        };
+        let ns = live.start.elapsed_ns();
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Guards are scope-bound so closes are LIFO; tolerate a
+            // mismatched stack (e.g. a guard moved across an unwind) by
+            // popping only our own entry.
+            if stack.last() == Some(&live.path) {
+                stack.pop();
+            } else if let Some(pos) = stack.iter().rposition(|p| p == &live.path) {
+                stack.remove(pos);
+            }
+        });
+        let mut spans = live
+            .registry
+            .spans
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        spans
+            .entry(live.path)
+            .and_modify(|s: &mut SpanStats| s.fold(ns))
+            .or_insert_with(|| SpanStats::one(ns));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Obs;
+
+    #[test]
+    fn nested_spans_build_paths() {
+        let obs = Obs::enabled();
+        {
+            let _a = obs.span("outer");
+            {
+                let _b = obs.span("inner");
+            }
+            {
+                let _c = obs.span("inner");
+            }
+        }
+        let snap = obs.snapshot(false);
+        let outer = snap.spans.get("outer").expect("outer span");
+        let inner = snap.spans.get("outer/inner").expect("nested span");
+        assert_eq!(outer.count, 1);
+        assert_eq!(inner.count, 2);
+        assert!(outer.total_ns >= inner.total_ns);
+    }
+
+    #[test]
+    fn sibling_handles_share_one_registry() {
+        let obs = Obs::enabled();
+        let clone = obs.clone();
+        {
+            let _a = obs.span("root");
+            let _b = clone.span("leaf");
+        }
+        assert!(obs.snapshot(false).spans.contains_key("root/leaf"));
+    }
+
+    #[test]
+    fn disabled_span_records_nothing() {
+        let obs = Obs::disabled();
+        {
+            let _g = obs.span("ghost");
+        }
+        assert!(Obs::enabled().snapshot(false).spans.is_empty());
+    }
+}

@@ -38,10 +38,29 @@ use std::collections::HashMap;
 use std::fmt;
 use std::net::Ipv4Addr;
 
+use netclust_obs::{Counter, Obs};
 use netclust_prefix::Ipv4Net;
 
 use crate::table::{MatchSource, MergedTable};
 use crate::trie::PrefixTrie;
+
+/// Lookup/miss counters for one compiled tier. Disabled (no-op) by default;
+/// [`CompiledTable::attach_obs`] resolves live handles. Counting happens at
+/// call/batch granularity so the inner `lookup_handle` loop stays pure.
+#[derive(Clone, Debug, Default)]
+struct TableObs {
+    lookups: Counter,
+    misses: Counter,
+}
+
+impl TableObs {
+    fn resolve(obs: &Obs, prefix: &str) -> Self {
+        Self {
+            lookups: obs.counter(&format!("{prefix}.lookups")),
+            misses: obs.counter(&format!("{prefix}.misses")),
+        }
+    }
+}
 
 /// Extension flag on a `tbl24` entry: the low 31 bits index a 256-slot
 /// overflow group instead of encoding a match directly.
@@ -130,6 +149,8 @@ pub struct CompiledTable {
     /// Dense prefix arena, all >/24 prefixes first; [`Handle`]s index
     /// into this.
     prefixes: Vec<Ipv4Net>,
+    /// Lookup/miss accounting (no-op unless attached).
+    obs: TableObs,
 }
 
 impl CompiledTable {
@@ -145,6 +166,7 @@ impl CompiledTable {
                 long_seed: Vec::new(),
                 long32: Vec::new(),
                 prefixes: input,
+                obs: TableObs::default(),
             };
         }
 
@@ -305,7 +327,16 @@ impl CompiledTable {
             long_seed,
             long32,
             prefixes,
+            obs: TableObs::default(),
         }
+    }
+
+    /// Wires this table's lookup/miss counters (`{prefix}.lookups`,
+    /// `{prefix}.misses`) to `obs`. Counting is per scalar call or per
+    /// batch; [`lookup_handle`](Self::lookup_handle) itself stays
+    /// uninstrumented so the innermost loop is identical in both modes.
+    pub fn attach_obs(&mut self, obs: &Obs, prefix: &str) {
+        self.obs = TableObs::resolve(obs, prefix);
     }
 
     /// Longest-prefix match returning a dense [`Handle`]: one indexed load
@@ -342,7 +373,12 @@ impl CompiledTable {
     /// Longest-prefix match resolving straight to the matched prefix.
     #[inline]
     pub fn lookup(&self, addr: u32) -> Option<Ipv4Net> {
-        self.resolve(self.lookup_handle(addr))
+        let net = self.resolve(self.lookup_handle(addr));
+        self.obs.lookups.inc();
+        if net.is_none() {
+            self.obs.misses.inc();
+        }
+        net
     }
 
     /// Batch longest-prefix match: fills `out[i]` with the handle for
@@ -353,9 +389,15 @@ impl CompiledTable {
     /// Panics when `out` is shorter than `addrs`.
     pub fn lookup_batch(&self, addrs: &[u32], out: &mut [Handle]) {
         assert!(out.len() >= addrs.len(), "output buffer too short");
+        let mut misses = 0u64;
         for (addr, slot) in addrs.iter().zip(out.iter_mut()) {
             *slot = self.lookup_handle(*addr);
+            if slot.is_none() {
+                misses += 1;
+            }
         }
+        self.obs.lookups.add(addrs.len() as u64);
+        self.obs.misses.add(misses);
     }
 
     /// The prefix a handle refers to, or `None` for [`Handle::NONE`] (or a
@@ -431,9 +473,32 @@ impl<V> PrefixTrie<V> {
 pub struct CompiledMerged {
     bgp: CompiledTable,
     dump: CompiledTable,
+    obs: MergedObs,
+}
+
+/// Merged-level lookup accounting: total lookups, final misses (neither
+/// tier matched) and registry fallbacks (BGP missed, dump consulted).
+#[derive(Clone, Debug, Default)]
+struct MergedObs {
+    lookups: Counter,
+    misses: Counter,
+    fallbacks: Counter,
 }
 
 impl CompiledMerged {
+    /// Wires merged-level counters (`lpm.lookups`, `lpm.misses`,
+    /// `lpm.dump_fallbacks`) and per-tier counters (`lpm.bgp.*`,
+    /// `lpm.dump.*`) to `obs`.
+    pub fn attach_obs(&mut self, obs: &Obs) {
+        self.bgp.attach_obs(obs, "lpm.bgp");
+        self.dump.attach_obs(obs, "lpm.dump");
+        self.obs = MergedObs {
+            lookups: obs.counter("lpm.lookups"),
+            misses: obs.counter("lpm.misses"),
+            fallbacks: obs.counter("lpm.dump_fallbacks"),
+        };
+    }
+
     /// The compiled BGP (primary) tier.
     pub fn bgp(&self) -> &CompiledTable {
         &self.bgp
@@ -467,7 +532,15 @@ impl CompiledMerged {
     /// (the clustering hot path).
     #[inline]
     pub fn net_for_u32(&self, addr: u32) -> Option<Ipv4Net> {
-        self.bgp.lookup(addr).or_else(|| self.dump.lookup(addr))
+        self.obs.lookups.inc();
+        let net = self.bgp.lookup(addr).or_else(|| {
+            self.obs.fallbacks.inc();
+            self.dump.lookup(addr)
+        });
+        if net.is_none() {
+            self.obs.misses.inc();
+        }
+        net
     }
 
     /// Batch form of [`net_for_u32`](Self::net_for_u32): one handle sweep
@@ -484,10 +557,26 @@ impl CompiledMerged {
     pub fn net_for_batch_into(&self, addrs: &[u32], out: &mut Vec<Option<Ipv4Net>>) {
         out.clear();
         out.reserve(addrs.len());
+        let mut fallbacks = 0u64;
+        let mut misses = 0u64;
         out.extend(addrs.iter().map(|&addr| {
             let h = self.bgp.lookup_handle(addr);
-            self.bgp.resolve(h).or_else(|| self.dump.lookup(addr))
+            let net = self.bgp.resolve(h).or_else(|| {
+                fallbacks += 1;
+                self.dump.lookup(addr)
+            });
+            if net.is_none() {
+                misses += 1;
+            }
+            net
         }));
+        // Counting is batched so the per-address loop above is untouched:
+        // three counter adds per chunk-sized batch, not per address.
+        self.obs.lookups.add(addrs.len() as u64);
+        self.obs.fallbacks.add(fallbacks);
+        self.obs.misses.add(misses);
+        self.bgp.obs.lookups.add(addrs.len() as u64);
+        self.bgp.obs.misses.add(fallbacks);
     }
 
     /// Combined memory footprint of both tiers in bytes.
@@ -512,6 +601,7 @@ impl MergedTable {
         CompiledMerged {
             bgp: CompiledTable::from_prefixes(self.bgp_prefixes()),
             dump: CompiledTable::from_prefixes(self.dump_prefixes()),
+            obs: MergedObs::default(),
         }
     }
 }
@@ -743,6 +833,32 @@ mod tests {
         // Foreign/corrupt handles degrade to "no match", never a panic.
         assert_eq!(t.resolve(Handle(1_000_000)), None);
         assert_eq!(t.resolve(Handle::NONE), None);
+    }
+
+    #[test]
+    fn attached_counters_track_lookups_and_misses() {
+        let obs = Obs::enabled();
+        let bgp = RoutingTable::new("B", "d0", TableKind::Bgp, vec![net("12.0.0.0/8")]);
+        let dump = RoutingTable::new("N", "d0", TableKind::NetworkDump, vec![net("24.48.2.0/23")]);
+        let mut compiled = MergedTable::merge([&bgp, &dump]).compile();
+        compiled.attach_obs(&obs);
+
+        // Batch: one BGP hit, one dump fallback hit, one full miss.
+        let addrs: Vec<u32> = ["12.1.2.3", "24.48.3.87", "99.9.9.9"]
+            .iter()
+            .map(|s| a(s))
+            .collect();
+        let mut out = Vec::new();
+        compiled.net_for_batch_into(&addrs, &mut out);
+        // Scalar: one more full miss.
+        assert_eq!(compiled.net_for_u32(a("99.9.9.9")), None);
+
+        let snap = obs.snapshot(true);
+        assert_eq!(snap.counters.get("lpm.lookups"), Some(&4));
+        assert_eq!(snap.counters.get("lpm.misses"), Some(&2));
+        assert_eq!(snap.counters.get("lpm.dump_fallbacks"), Some(&3));
+        assert_eq!(snap.counters.get("lpm.bgp.lookups"), Some(&4));
+        assert_eq!(snap.counters.get("lpm.bgp.misses"), Some(&3));
     }
 
     #[test]

@@ -25,6 +25,10 @@ mod trie;
 
 pub use diff::{dynamic_prefix_set, effect_on, maximum_effect, SnapshotDiff};
 pub use flat::{CompiledMerged, CompiledTable, Handle};
+// The shared error-accounting shape (`ParseReport::counts()` returns it);
+// defined in `netclust-obs`, re-exported here so rtable users need no
+// extra import.
+pub use netclust_obs::ErrorCounts;
 pub use stats::PrefixLengthHistogram;
 pub use table::{MatchSource, MergedTable, ParseReport, RouteAttrs, RoutingTable, TableKind};
 pub use trie::{PrefixTrie, PrefixTrieIter};

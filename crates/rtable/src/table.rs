@@ -41,15 +41,18 @@ pub struct ParseReport {
 }
 
 impl ParseReport {
+    /// The workspace-wide error-accounting shape: content lines seen
+    /// (blank/comment lines excluded — they are never noise) vs malformed
+    /// lines. This is what the CLI and obs layer print for every stage.
+    pub fn counts(&self) -> crate::ErrorCounts {
+        let content = self.total_lines.saturating_sub(self.skipped);
+        crate::ErrorCounts::new(content as u64, self.bad.len() as u64)
+    }
+
     /// Fraction of *content* lines (total minus blank/comment) that were
     /// malformed; 0 on an empty input.
     pub fn noise_ratio(&self) -> f64 {
-        let content = self.total_lines - self.skipped;
-        if content == 0 {
-            0.0
-        } else {
-            self.bad.len() as f64 / content as f64
-        }
+        self.counts().ratio()
     }
 
     /// `true` when every content line parsed.

@@ -7,8 +7,15 @@
 //! netclust cluster --log FILE --table FILE[,FILE...] [--dump FILE,...]
 //!                  [--top N] [--method aware|simple|classful]
 //!                  [--max-error-rate F] [--quarantine FILE]
+//!                  [--metrics FILE] [--trace] [--deterministic]
 //!     Cluster the clients of a Common Log Format file against BGP
 //!     routing-table dumps and print the busiest clusters.
+//!
+//!     --metrics FILE  write an OBS.json observability snapshot (stage
+//!                     spans, LPM hit/miss counters, per-chunk histograms)
+//!     --trace         print the span table (count/total/min/max ns)
+//!     --deterministic zero clock-derived span fields in both outputs so
+//!                     two identical runs are byte-identical
 //! ```
 //!
 //! Table files accept one prefix per line in any of the three §3.1.2
@@ -25,8 +32,11 @@ use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use netclust::core::{threshold_busy, Clustering, Distributions, IngestError, IngestPipeline};
+use netclust::core::{
+    threshold_busy, Clustering, Distributions, ErrorCounts, IngestError, IngestPipeline,
+};
 use netclust::netgen::{standard_collection, Universe, UniverseConfig};
+use netclust::obs::Obs;
 use netclust::rtable::{MergedTable, RoutingTable, TableKind};
 use netclust::weblog::chunk::LogData;
 use netclust::weblog::{clf, clf_bytes, generate, LogSpec};
@@ -185,6 +195,21 @@ fn cmd_cluster(args: &[String]) -> Result<(), CliError> {
             "cluster: --max-error-rate/--quarantine only apply to --method aware, not {method:?}"
         )));
     }
+    let metrics_path = opt(args, "--metrics");
+    let trace = args.iter().any(|a| a == "--trace");
+    let deterministic = args.iter().any(|a| a == "--deterministic");
+    if method != "aware" && (metrics_path.is_some() || trace) {
+        return Err(CliError::Usage(format!(
+            "cluster: --metrics/--trace only apply to --method aware, not {method:?}"
+        )));
+    }
+    // Observability is pay-for-what-you-ask: the registry only exists when
+    // a metrics sink or span dump was requested.
+    let obs = if metrics_path.is_some() || trace {
+        Obs::enabled()
+    } else {
+        Obs::disabled()
+    };
 
     // Memory-map (or read) the log once; both routes parse the raw bytes
     // with the zero-copy parser — no per-line Strings.
@@ -194,8 +219,12 @@ fn cmd_cluster(args: &[String]) -> Result<(), CliError> {
     let clustering = match method {
         "simple" | "classful" => {
             let (log, errors) = clf_bytes::from_clf_bytes(log_path, &data);
-            if !errors.is_empty() {
-                eprintln!("note: {} unparsable log lines skipped", errors.len());
+            let counts = ErrorCounts::new(
+                (log.requests.len() + errors.len()) as u64,
+                errors.len() as u64,
+            );
+            if !counts.is_clean() {
+                eprintln!("note: {counts}");
             }
             if log.requests.is_empty() {
                 return Err(CliError::Input(format!(
@@ -228,8 +257,9 @@ fn cmd_cluster(args: &[String]) -> Result<(), CliError> {
             );
             // The fused pipeline: chunked zero-copy parse straight into
             // compiled-LPM clustering, skipping the intermediate Log.
-            let compiled = merged.compile();
-            let mut pipeline = IngestPipeline::new(&compiled);
+            let mut compiled = merged.compile();
+            compiled.attach_obs(&obs);
+            let mut pipeline = IngestPipeline::new(&compiled).obs(obs.clone());
             if let Some(rate) = max_error_rate {
                 pipeline = pipeline.max_error_rate(rate);
             }
@@ -239,8 +269,8 @@ fn cmd_cluster(args: &[String]) -> Result<(), CliError> {
                 }
                 other => CliError::Input(format!("cluster: {log_path}: {other}")),
             })?;
-            if !report.errors.is_empty() {
-                eprintln!("note: {} unparsable log lines skipped", report.errors.len());
+            if !report.counts.is_clean() {
+                eprintln!("note: {}", report.counts);
             }
             if let Some(qpath) = quarantine_path {
                 let ranges = report.quarantine(&data);
@@ -293,6 +323,31 @@ fn cmd_cluster(args: &[String]) -> Result<(), CliError> {
             c.requests,
             c.unique_urls
         );
+    }
+
+    // Observability outputs, captured after the pipeline finished so the
+    // snapshot covers every stage.
+    if metrics_path.is_some() || trace {
+        let snap = obs.snapshot(deterministic);
+        if let Some(mpath) = metrics_path {
+            fs::write(mpath, snap.to_json()).map_err(|e| {
+                CliError::Input(format!("cluster: cannot write metrics {mpath}: {e}"))
+            })?;
+            eprintln!("wrote metrics -> {mpath}");
+        }
+        if trace {
+            println!(
+                "
+{:>8} {:>14} {:>12} {:>12}  span",
+                "count", "total_ns", "min_ns", "max_ns"
+            );
+            for (path, sp) in &snap.spans {
+                println!(
+                    "{:>8} {:>14} {:>12} {:>12}  {path}",
+                    sp.count, sp.total_ns, sp.min_ns, sp.max_ns
+                );
+            }
+        }
     }
     Ok(())
 }

@@ -9,6 +9,7 @@ pub use netclust_bgpsim as bgpsim;
 pub use netclust_cachesim as cachesim;
 pub use netclust_core as core;
 pub use netclust_netgen as netgen;
+pub use netclust_obs as obs;
 pub use netclust_prefix as prefix;
 pub use netclust_probe as probe;
 pub use netclust_rtable as rtable;

@@ -149,6 +149,83 @@ fn bad_usage_fails_cleanly() {
 }
 
 #[test]
+fn metrics_snapshot_is_deterministic_and_trace_prints_spans() {
+    let dir = tmpdir("metrics");
+    let status = Command::new(bin())
+        .args(["synth", "--out"])
+        .arg(&dir)
+        .args(["--seed", "11", "--requests", "8000", "--clients", "300"])
+        .status()
+        .expect("run synth");
+    assert!(status.success());
+    let log = dir.join("access.log");
+    let table: PathBuf = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|x| x == "bgp"))
+        .expect("synth wrote a BGP table");
+
+    let run = |metrics: &PathBuf| {
+        let out = Command::new(bin())
+            .args(["cluster", "--log"])
+            .arg(&log)
+            .arg("--table")
+            .arg(&table)
+            .arg("--metrics")
+            .arg(metrics)
+            .args(["--trace", "--deterministic"])
+            .output()
+            .expect("run cluster with metrics");
+        assert!(
+            out.status.success(),
+            "cluster failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out
+    };
+
+    let (m1, m2) = (dir.join("obs1.json"), dir.join("obs2.json"));
+    let out = run(&m1);
+    run(&m2);
+
+    // Two deterministic runs: byte-identical OBS.json.
+    let a = std::fs::read(&m1).expect("metrics written");
+    let b = std::fs::read(&m2).expect("metrics written");
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "deterministic metrics differed between runs");
+
+    // The snapshot carries the advertised sections and metric families.
+    let json = String::from_utf8(a).expect("metrics are UTF-8");
+    for key in [
+        "\"version\"",
+        "\"deterministic\": true",
+        "\"counters\"",
+        "\"histograms\"",
+        "\"spans\"",
+        "\"ingest.lines\"",
+        "\"lpm.lookups\"",
+        "\"ingest.run\"",
+    ] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+
+    // --trace printed the span table with the nested stage paths.
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("span"), "{stdout}");
+    assert!(stdout.contains("ingest.run"), "{stdout}");
+    assert!(stdout.contains("ingest.run/"), "{stdout}");
+
+    // Observability flags are aware-only, like the hardening flags.
+    let out = Command::new(bin())
+        .args(["cluster", "--log", "x", "--method", "simple", "--trace"])
+        .output()
+        .expect("run trace with simple method");
+    assert_eq!(out.status.code(), Some(2));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn missing_table_file_names_the_file() {
     let dir = tmpdir("missing-table");
     std::fs::write(dir.join("access.log"), "").expect("write empty log");

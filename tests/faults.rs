@@ -16,8 +16,8 @@
 //!    never a half-counted result.
 
 use netclust::core::{
-    failpoints, self_correct, Clustering, CorrectionConfig, FaultPlan, IngestError, IngestPipeline,
-    StreamingClustering, SwapPolicy, SwapRejection,
+    failpoints, self_correct, Clustering, CorrectionConfig, ErrorCounts, FaultPlan, IngestError,
+    IngestPipeline, StreamingClustering, SwapRejection,
 };
 use netclust::netgen::{standard_merged, Universe, UniverseConfig};
 use netclust::probe::ProbeFaultModel;
@@ -40,7 +40,7 @@ fn setup() -> (Universe, netclust::weblog::Log) {
 fn swap_faults_leave_old_table_serving_across_seeds() {
     let (u, log) = setup();
     for &seed in &SEEDS {
-        let mut stream = StreamingClustering::new(standard_merged(&u, 0));
+        let mut stream = StreamingClustering::builder(standard_merged(&u, 0)).build();
         for r in &log.requests {
             stream.push(r);
         }
@@ -53,10 +53,9 @@ fn swap_faults_leave_old_table_serving_across_seeds() {
         let mut since_accept = 0u64;
         let mut serving_day = 0u32;
         for day in 1..=7 {
-            let report = stream.try_swap_table_with(
+            let report = stream.try_swap_with(
                 standard_merged(&u, day),
-                0.0,
-                &SwapPolicy::default(),
+                ErrorCounts::default(),
                 &mut faults,
             );
             if report.accepted {
@@ -156,7 +155,7 @@ fn faulted_ingest_recovers_or_fails_cleanly_across_seeds() {
                 recovered += 1;
                 // Byte-identical to the unfaulted run: nothing lost,
                 // nothing double-counted.
-                assert_eq!(report.lines, clean.lines, "seed={seed}");
+                assert_eq!(report.counts, clean.counts, "seed={seed}");
                 assert_eq!(report.errors, clean.errors, "seed={seed}");
                 assert_eq!(
                     report.clustering.total_requests, clean.clustering.total_requests,
@@ -205,5 +204,65 @@ fn faulted_ingest_recovers_or_fails_cleanly_across_seeds() {
     }
     // With 40% loss and 2 retries, a decent share of seeds must recover
     // end to end — otherwise the retry path isn't actually engaging.
+    assert!(recovered > 0, "no seed recovered");
+}
+
+#[test]
+fn quarantined_lines_do_not_dilute_coverage_under_faults() {
+    // Regression: the coverage denominator must count only *parsed*
+    // requests. Quarantined (malformed) lines — here injected alongside an
+    // armed `ingest.chunk_io` failpoint — belong in `counts.malformed`,
+    // not in coverage as clustered misses.
+    let (u, log) = setup();
+    let merged = standard_merged(&u, 0);
+    let compiled = merged.compile();
+    let text = clf::to_clf(&log);
+    let mut corrupt = String::new();
+    for (i, line) in text.lines().enumerate() {
+        if i % 50 == 0 {
+            corrupt.push_str("### torn line ###\n");
+        }
+        corrupt.push_str(line);
+        corrupt.push('\n');
+    }
+    let clean = IngestPipeline::new(&compiled).run(text.as_bytes());
+    let mut recovered = 0usize;
+    for &seed in &SEEDS {
+        let plan = FaultPlan::new(seed).with(failpoints::INGEST_CHUNK_IO, 0.4);
+        let report = match IngestPipeline::new(&compiled)
+            .chunk_bytes(1 << 14)
+            .fault_plan(plan)
+            .io_retries(4)
+            .try_run(corrupt.as_bytes())
+        {
+            Ok(r) => r,
+            Err(IngestError::ChunkIo { .. }) => continue,
+            Err(other) => panic!("seed={seed}: unexpected error {other:?}"),
+        };
+        recovered += 1;
+        assert!(report.counts.malformed > 0, "seed={seed}");
+        // Same parsed requests as the uncorrupted run, so coverage is
+        // identical: the quarantined lines changed nothing.
+        assert_eq!(
+            report.clustering.total_requests, clean.clustering.total_requests,
+            "seed={seed}"
+        );
+        assert!(
+            (report.coverage() - clean.coverage()).abs() < 1e-12,
+            "seed={seed}: quarantined lines diluted coverage \
+             ({} vs clean {})",
+            report.coverage(),
+            clean.coverage()
+        );
+        // And the denominator really is parsed requests, not raw lines.
+        let unclustered: u64 = report
+            .clustering
+            .unclustered
+            .iter()
+            .map(|c| c.requests)
+            .sum();
+        let expect = 1.0 - unclustered as f64 / report.clustering.total_requests as f64;
+        assert!((report.coverage() - expect).abs() < 1e-12, "seed={seed}");
+    }
     assert!(recovered > 0, "no seed recovered");
 }
