@@ -174,10 +174,11 @@ fn main() {
     let mut json = String::from("{\n  \"benchmarks\": [\n");
     for (i, r) in results.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"id\": \"{}\", \"ns_per_iter\": {:.1}, \"per_second\": {}}}{}\n",
+            "    {{\"id\": \"{}\", \"ns_per_iter\": {:.1}, \"per_second\": {}, \"threads_used\": {}}}{}\n",
             r.id,
             r.ns_per_iter,
             r.per_second().map_or("null".into(), |p| format!("{p:.1}")),
+            r.threads_used,
             if i + 1 < results.len() { "," } else { "" },
         ));
     }

@@ -1,0 +1,216 @@
+//! Parallel fused-ingest scaling: the work-stealing per-shard pipeline
+//! swept over worker counts (1 / 2 / 4 / all cores), against the serial
+//! reference (`threads(1)`) on the same corpus.
+//!
+//! Before anything is timed, every swept thread count's report is
+//! asserted byte-identical to the serial reference — the determinism
+//! contract the sharded merge guarantees — so the persisted numbers can
+//! never come from divergent work.
+//!
+//! Results persist to `BENCH_ingest_par.json` at the repo root with the
+//! actual `threads_used` per entry and the speedup-vs-threads curve.
+//! `NETCLUST_BENCH_THREADS` caps the sweep (CI smoke pins it to 2).
+
+use std::collections::BTreeSet;
+
+use criterion::{host_threads, quick_mode, BenchmarkId, Criterion, Throughput};
+use netclust_core::IngestPipeline;
+use netclust_prefix::Ipv4Net;
+use netclust_rtable::{MergedTable, RoutingTable, TableKind};
+use netclust_weblog::{clf, Log, LogTruth, Request, UrlMeta};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Synthesizes `n` unique prefixes with a BGP-like length mix (same
+/// model as the flat_lpm and ingest benches).
+fn synth_prefixes(n: usize, seed: u64) -> Vec<Ipv4Net> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut set: BTreeSet<Ipv4Net> = BTreeSet::new();
+    while set.len() < n {
+        let roll: u32 = rng.gen_range(0..100);
+        let len: u8 = if roll < 55 {
+            24
+        } else if roll < 85 {
+            rng.gen_range(16..=23)
+        } else if roll < 95 {
+            rng.gen_range(25..=28)
+        } else {
+            rng.gen_range(8..=15)
+        };
+        set.insert(Ipv4Net::new(rng.gen::<u32>(), len).expect("len <= 32"));
+    }
+    set.into_iter().collect()
+}
+
+/// A synthetic access log whose clients live inside the table's prefixes.
+fn synth_log(prefixes: &[Ipv4Net], requests: usize, clients: usize, seed: u64) -> Log {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let client_addrs: Vec<u32> = (0..clients)
+        .map(|_| {
+            let net = prefixes[rng.gen_range(0..prefixes.len())];
+            net.addr_u32() | (rng.gen::<u32>() & !net.netmask_u32())
+        })
+        .collect();
+    let n_urls = 2_000u32;
+    let requests: Vec<Request> = (0..requests)
+        .map(|i| Request {
+            time: i as u32,
+            client: client_addrs[rng.gen_range(0..client_addrs.len())],
+            url: rng.gen_range(0..n_urls),
+            bytes: rng.gen_range(200..20_000),
+            status: 200,
+            ua: 0,
+        })
+        .collect();
+    Log {
+        name: "ingest-par-bench".into(),
+        requests,
+        urls: (0..n_urls)
+            .map(|i| UrlMeta {
+                path: format!("/docs/section-{}/page-{i}.html", i % 37),
+                size: 4_096,
+            })
+            .collect(),
+        user_agents: vec!["Mozilla/4.0 (compatible; MSIE 5.0; Windows 98)".into()],
+        start_time: 887_328_000,
+        duration_s: u32::MAX,
+        truth: LogTruth::default(),
+    }
+}
+
+fn main() {
+    let mut c = Criterion::default().configure_from_args();
+    let (n_prefixes_synth, n_requests, n_clients) = if quick_mode() {
+        (8_000, 50_000, 5_000)
+    } else {
+        (110_000, 500_000, 40_000)
+    };
+
+    let prefixes = synth_prefixes(n_prefixes_synth, 0xF1A7);
+    let split = prefixes.len() * 92 / 100;
+    let bgp = RoutingTable::new(
+        "SYNTH-BGP",
+        "d0",
+        TableKind::Bgp,
+        prefixes[..split].to_vec(),
+    );
+    let dump = RoutingTable::new(
+        "SYNTH-ARIN",
+        "d0",
+        TableKind::NetworkDump,
+        prefixes[split..].to_vec(),
+    );
+    let merged = MergedTable::merge([&bgp, &dump]);
+    let compiled = merged.compile();
+
+    let log = synth_log(&prefixes, n_requests, n_clients, 0xC10C);
+    let corpus = clf::to_clf(&log);
+    let bytes = corpus.as_bytes();
+    let lines = corpus.lines().count();
+
+    // The sweep: 1 / 2 / 4 / all-cores, deduplicated, optionally capped
+    // by NETCLUST_BENCH_THREADS (CI smoke pins 2). The serial reference
+    // always stays in.
+    let host = host_threads();
+    let cap = std::env::var("NETCLUST_BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok());
+    let mut sweep: Vec<usize> = [1usize, 2, 4, host]
+        .into_iter()
+        .filter(|&t| t == 1 || cap.is_none_or(|c| t <= c))
+        .collect();
+    sweep.sort_unstable();
+    sweep.dedup();
+
+    println!(
+        "corpus: {} lines, {:.1} MiB, {} table prefixes; host threads: {host}; sweep: {sweep:?}\n",
+        lines,
+        bytes.len() as f64 / (1024.0 * 1024.0),
+        merged.len()
+    );
+
+    // Determinism gate before any timing: every thread count — stealing
+    // and static-strided alike — must reproduce the serial report
+    // byte for byte.
+    let reference = IngestPipeline::new(&compiled).threads(1).run(bytes);
+    let reference_rendered = format!("{:?}", reference.clustering);
+    for &t in &sweep {
+        for deterministic in [false, true] {
+            let report = IngestPipeline::new(&compiled)
+                .threads(t)
+                .deterministic(deterministic)
+                .run(bytes);
+            assert_eq!(report.counts, reference.counts, "t={t}");
+            assert_eq!(report.errors, reference.errors, "t={t}");
+            assert_eq!(
+                format!("{:?}", report.clustering),
+                reference_rendered,
+                "threads={t} deterministic={deterministic} diverged from serial"
+            );
+        }
+    }
+    println!("parallel == serial across sweep: verified\n");
+
+    let mut group = c.benchmark_group("ingest_par");
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    for &t in &sweep {
+        group.threads_used(t);
+        let pipeline = IngestPipeline::new(&compiled).threads(t);
+        group.bench_function(BenchmarkId::new(format!("fused_t{t}"), lines), |b| {
+            b.iter(|| pipeline.run(bytes).clustering.len())
+        });
+    }
+    group.finish();
+
+    // Persist machine-readable results with the speedup-vs-threads curve.
+    let results = c.take_results();
+    let rate_at = |t: usize| {
+        results
+            .iter()
+            .find(|r| r.id.contains(&format!("fused_t{t}/")))
+            .and_then(|r| r.per_second())
+            .unwrap_or(f64::NAN)
+    };
+    let base = rate_at(1);
+
+    let mut json = String::from("{\n  \"benchmarks\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"id\": \"{}\", \"ns_per_iter\": {:.1}, \"per_second\": {}, \"threads_used\": {}}}{}\n",
+            r.id,
+            r.ns_per_iter,
+            r.per_second().map_or("null".into(), |p| format!("{p:.1}")),
+            r.threads_used,
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"scaling\": [\n");
+    for (i, &t) in sweep.iter().enumerate() {
+        let rate = rate_at(t);
+        json.push_str(&format!(
+            "    {{\"threads\": {t}, \"bytes_per_sec\": {rate:.1}, \"speedup_vs_t1\": {:.3}}}{}\n",
+            rate / base,
+            if i + 1 < sweep.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"host_threads\": {host},\n"));
+    json.push_str(&format!(
+        "  \"threads_cap\": {},\n",
+        cap.map_or("null".into(), |c| c.to_string())
+    ));
+    json.push_str(&format!("  \"corpus_bytes\": {},\n", bytes.len()));
+    json.push_str(&format!("  \"corpus_lines\": {lines},\n"));
+    json.push_str(&format!("  \"table_prefixes\": {},\n", merged.len()));
+    json.push_str("  \"parallel_equals_serial\": true,\n");
+    json.push_str(&format!("  \"quick\": {}\n", quick_mode()));
+    json.push_str("}\n");
+
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ingest_par.json");
+    std::fs::write(out, &json).expect("write BENCH_ingest_par.json");
+    for &t in &sweep {
+        println!("t={t}: {:.2}x vs serial", rate_at(t) / base);
+    }
+    println!("wrote {out}");
+}

@@ -19,25 +19,35 @@ use crate::fx::FxHashMap;
 
 use netclust_prefix::{classful_network, Ipv4Net};
 use netclust_rtable::{CompiledMerged, MergedTable};
-use netclust_weblog::Log;
+use netclust_weblog::{Log, Request};
 use rayon::prelude::*;
 
 /// Below this many log requests the serial path is used outright: thread
 /// spawn plus shard-merge overhead exceeds the work itself.
 const PARALLEL_MIN_REQUESTS: usize = 1 << 15;
 
-/// Per-thread chunk granularity for request-sharded aggregation.
+/// Per-thread chunk granularity for request-sharded aggregation (the
+/// sizing floor for [`should_shard`]).
 pub(crate) const REQUEST_CHUNK: usize = 1 << 14;
 
-/// Per-thread chunk granularity for client-sharded LPM assignment.
-pub(crate) const CLIENT_CHUNK: usize = 1 << 12;
+/// Chunk size giving exactly one contiguous chunk per pool worker. The
+/// span-scheduling pool hands each worker one contiguous span of the
+/// chunk list, so finer chunks buy no extra parallelism — they only add
+/// per-chunk collect/merge overhead (the `parallel_forced` regression).
+fn span_chunk(len: usize) -> usize {
+    len.div_ceil(rayon::current_num_threads().max(1)).max(1)
+}
 
-/// Number of address-range partitions for parallel shard merging — a
-/// power of two so the partition of a client is its top address bits.
-pub(crate) fn merge_partitions() -> usize {
-    (rayon::current_num_threads() * 2)
-        .next_power_of_two()
-        .clamp(4, 64)
+/// Number of address-range partitions for parallel shard merging given a
+/// worker count — a power of two so the partition of a client is its top
+/// address bits. One partition when there is nothing to merge in
+/// parallel: partition bookkeeping is pure overhead on one worker.
+pub(crate) fn merge_partitions_for(threads: usize) -> usize {
+    if threads <= 1 {
+        1
+    } else {
+        (threads * 2).next_power_of_two().clamp(4, 64)
+    }
 }
 
 /// `true` when a log of `requests` requests should take the sharded
@@ -167,13 +177,20 @@ impl Clustering {
         F: Fn(Ipv4Addr) -> Option<Ipv4Net> + Sync,
     {
         let clients = aggregate_parallel(log);
-        let assignments: Vec<Option<Ipv4Net>> = clients
-            .par_chunks(CLIENT_CHUNK)
-            .map(|chunk| chunk.iter().map(|c| assign(c.addr)).collect::<Vec<_>>())
-            .collect::<Vec<_>>()
-            .into_iter()
-            .flatten()
-            .collect();
+        let chunk = span_chunk(clients.len());
+        // One span means one worker: skip the pool dispatch and the
+        // intermediate per-chunk vectors — they are pure overhead.
+        let assignments: Vec<Option<Ipv4Net>> = if chunk >= clients.len() {
+            clients.iter().map(|c| assign(c.addr)).collect()
+        } else {
+            clients
+                .par_chunks(chunk)
+                .map(|chunk| chunk.iter().map(|c| assign(c.addr)).collect::<Vec<_>>())
+                .collect::<Vec<_>>()
+                .into_iter()
+                .flatten()
+                .collect()
+        };
         Self::assemble(log, method, clients, assignments, true)
     }
 
@@ -255,9 +272,12 @@ impl Clustering {
     /// pairs — bounded memory even for multi-million-request logs.
     fn fill_unique_urls(&mut self, log: &Log, parallel: bool) {
         let index = &self.index;
+        // A single span would put the whole scan on one worker anyway;
+        // take the serial branch and skip the pool round-trip.
+        let parallel = parallel && span_chunk(log.requests.len()) < log.requests.len();
         let mut pairs: Vec<(u32, u32)> = if parallel {
             log.requests
-                .par_chunks(REQUEST_CHUNK)
+                .par_chunks(span_chunk(log.requests.len()))
                 .map(|chunk| {
                     chunk
                         .iter()
@@ -365,7 +385,7 @@ impl Clustering {
         let addrs: Vec<u32> = clients.iter().map(|c| u32::from(c.addr)).collect();
         let assignments: Vec<Option<Ipv4Net>> = if parallel {
             addrs
-                .par_chunks(CLIENT_CHUNK)
+                .par_chunks(span_chunk(addrs.len()))
                 .map(|chunk| table.net_for_batch(chunk))
                 .collect::<Vec<_>>()
                 .into_iter()
@@ -454,24 +474,50 @@ fn aggregate_serial(log: &Log) -> Vec<ClientStats> {
 /// worker per address range merges its slice of every chunk. Summation is
 /// order-independent and ranges concatenate in address order, so the
 /// result is identical to [`aggregate_serial`].
+///
+/// Shard count and chunk granularity adapt to the pool and the input:
+/// exactly one chunk per worker (the span-scheduling pool hands each
+/// worker one contiguous span, so more chunks only add merge work) and
+/// [`merge_partitions_for`] partitions. On one worker this collapses to a
+/// single chunk and a single partition, where the merge pass is skipped
+/// outright — the forced path then does the same work as the serial one
+/// instead of paying shard bookkeeping it cannot amortize.
 fn aggregate_parallel(log: &Log) -> Vec<ClientStats> {
-    let n_parts = merge_partitions();
+    let threads = rayon::current_num_threads().max(1);
+    let chunk = log.requests.len().div_ceil(threads).max(1);
+    aggregate_sharded(log, merge_partitions_for(threads), chunk)
+}
+
+/// [`aggregate_parallel`] with an explicit partition count and chunk
+/// size, so tests can exercise the multi-shard merge machinery that
+/// adaptive sizing would collapse on a small pool.
+pub(crate) fn aggregate_sharded(log: &Log, n_parts: usize, chunk: usize) -> Vec<ClientStats> {
+    debug_assert!(n_parts.is_power_of_two());
     let shift = 32 - n_parts.trailing_zeros();
-    let shards: Vec<Vec<FxHashMap<u32, (u64, u64)>>> = log
-        .requests
-        .par_chunks(REQUEST_CHUNK)
-        .map(|chunk| {
-            let mut local: Vec<FxHashMap<u32, (u64, u64)>> = vec![FxHashMap::default(); n_parts];
-            for r in chunk {
-                let e = local[(r.client >> shift) as usize]
-                    .entry(r.client)
-                    .or_insert((0, 0));
-                e.0 += 1;
-                e.1 += r.bytes as u64;
-            }
-            local
-        })
-        .collect();
+    let scan = |chunk: &[Request]| {
+        let mut local: Vec<FxHashMap<u32, (u64, u64)>> = vec![FxHashMap::default(); n_parts];
+        for r in chunk {
+            // u64 shift: a single-partition plan passes shift == 32.
+            let e = local[((r.client as u64) >> shift) as usize]
+                .entry(r.client)
+                .or_insert((0, 0));
+            e.0 += 1;
+            e.1 += r.bytes as u64;
+        }
+        local
+    };
+    // One chunk: scan inline — the pool dispatch buys nothing.
+    let mut shards: Vec<Vec<FxHashMap<u32, (u64, u64)>>> = if chunk >= log.requests.len() {
+        vec![scan(&log.requests)]
+    } else {
+        log.requests.par_chunks(chunk).map(scan).collect()
+    };
+    if shards.len() == 1 {
+        // One chunk: its partition maps are already the global maps, and
+        // partition runs concatenate in address order. No re-hash merge.
+        let local = shards.pop().expect("one shard");
+        return local.into_iter().flat_map(finish_aggregation).collect();
+    }
     let parts: Vec<usize> = (0..n_parts).collect();
     let merged: Vec<Vec<ClientStats>> = parts
         .par_iter()
@@ -484,17 +530,7 @@ fn aggregate_parallel(log: &Log) -> Vec<ClientStats> {
                     e.1 += bytes;
                 }
             }
-            // analyze:allow(determinism) map drained to a vec and sorted below.
-            let mut clients: Vec<ClientStats> = per_client
-                .into_iter()
-                .map(|(client, (requests, bytes))| ClientStats {
-                    addr: Ipv4Addr::from(client),
-                    requests,
-                    bytes,
-                })
-                .collect();
-            clients.sort_by_key(|c| c.addr);
-            clients
+            finish_aggregation(per_client)
         })
         .collect();
     // Partition p holds exactly the clients whose top bits equal p, so the
@@ -745,6 +781,25 @@ mod tests {
         for (a, s) in aware.clusters.iter().zip(&serial.clusters) {
             assert_eq!(a.prefix, s.prefix);
             assert_eq!(a.clients, s.clients);
+        }
+    }
+
+    #[test]
+    fn sharded_aggregation_matches_serial_across_plans() {
+        use netclust_netgen::{Universe, UniverseConfig};
+        use netclust_weblog::{generate, LogSpec};
+
+        let u = Universe::generate(UniverseConfig::small(5));
+        let mut spec = LogSpec::tiny("agg", 29);
+        spec.total_requests = 10_000;
+        spec.target_clients = 400;
+        let log = generate(&u, &spec);
+        let serial = aggregate_serial(&log);
+        // Explicit plans force the multi-chunk, multi-partition merge even
+        // on a single-worker pool, where adaptive sizing collapses it.
+        for (n_parts, chunk) in [(1, usize::MAX), (4, 1 << 10), (16, 997), (64, 64)] {
+            let sharded = aggregate_sharded(&log, n_parts, chunk.min(log.requests.len()));
+            assert_eq!(sharded, serial, "n_parts={n_parts} chunk={chunk}");
         }
     }
 

@@ -153,6 +153,51 @@ impl FaultInjector {
         fire
     }
 
+    /// Evaluates `point` against explicit draw keys instead of the
+    /// evaluation counter: the draw is the pure function
+    /// `unit_f64(seed, [tag(point), keys...])`, independent of how many
+    /// times — or on which thread — any point was evaluated before.
+    ///
+    /// This is what the parallel ingest path uses, keyed by
+    /// `(chunk index, attempt)`: a plan trips the same chunks on the same
+    /// attempts whether chunks are scanned serially or stolen by N
+    /// workers in any order, so fault schedules survive re-scheduling.
+    /// Counters and obs reporting behave exactly as in
+    /// [`should_fire`](Self::should_fire).
+    pub fn should_fire_keyed(&mut self, point: &str, keys: &[u64]) -> bool {
+        let p = self.plan.probability(point);
+        if p <= 0.0 {
+            return false;
+        }
+        let entry = self.counts.entry(point.to_string()).or_insert((0, 0));
+        entry.0 += 1;
+        let fire = p >= 1.0 || {
+            let mut stream = Vec::with_capacity(keys.len() + 1);
+            stream.push(point_tag(point));
+            stream.extend_from_slice(keys);
+            unit_f64(self.plan.seed, &stream) < p
+        };
+        if fire {
+            entry.1 += 1;
+            if self.obs.is_enabled() {
+                self.obs.counter(&format!("faults.fired.{point}")).inc();
+            }
+        }
+        fire
+    }
+
+    /// Folds another injector's evaluation/fired counters into this one —
+    /// the parallel ingest path hands each worker a clone (keyed draws
+    /// make clones agree on the schedule) and absorbs their tallies after
+    /// the scope joins.
+    pub fn absorb(&mut self, other: &FaultInjector) {
+        for (point, &(evals, fired)) in &other.counts {
+            let entry = self.counts.entry(point.clone()).or_insert((0, 0));
+            entry.0 += evals;
+            entry.1 += fired;
+        }
+    }
+
     /// Times `point` has been evaluated.
     pub fn evaluations(&self, point: &str) -> u64 {
         self.counts.get(point).map(|c| c.0).unwrap_or(0)
@@ -219,6 +264,57 @@ mod tests {
             inj2.should_fire("b");
         }
         assert_eq!(a, a2);
+    }
+
+    #[test]
+    fn keyed_draws_are_schedule_independent() {
+        let plan = FaultPlan::new(42).with(failpoints::INGEST_CHUNK_IO, 0.3);
+        // Forward, reverse and interleaved-with-other-points evaluation
+        // orders all agree per key — the draw depends only on the key.
+        let keys: Vec<[u64; 2]> = (0..32).map(|c| [c, 0]).collect();
+        let mut fwd = plan.injector();
+        let forward: Vec<bool> = keys
+            .iter()
+            .map(|k| fwd.should_fire_keyed(failpoints::INGEST_CHUNK_IO, k))
+            .collect();
+        let mut rev = plan.injector();
+        let mut reverse: Vec<bool> = keys
+            .iter()
+            .rev()
+            .map(|k| {
+                rev.should_fire("unrelated");
+                rev.should_fire_keyed(failpoints::INGEST_CHUNK_IO, k)
+            })
+            .collect();
+        reverse.reverse();
+        assert_eq!(forward, reverse);
+        assert_eq!(rev.evaluations(failpoints::INGEST_CHUNK_IO), 32);
+        // Distinct attempts on one chunk draw independently of each other
+        // and of other chunks.
+        let mut inj = plan.injector();
+        let attempts: Vec<bool> = (0..64)
+            .map(|a| inj.should_fire_keyed(failpoints::INGEST_CHUNK_IO, &[7, a]))
+            .collect();
+        assert!(attempts.iter().any(|&f| f) && attempts.iter().any(|&f| !f));
+    }
+
+    #[test]
+    fn absorb_merges_worker_tallies() {
+        let plan = FaultPlan::new(9).with("x", 0.5);
+        let mut main = plan.injector();
+        let mut w1 = plan.injector();
+        let mut w2 = plan.injector();
+        let mut fired = 0u64;
+        for c in 0..10u64 {
+            let inj = if c % 2 == 0 { &mut w1 } else { &mut w2 };
+            if inj.should_fire_keyed("x", &[c, 0]) {
+                fired += 1;
+            }
+        }
+        main.absorb(&w1);
+        main.absorb(&w2);
+        assert_eq!(main.evaluations("x"), 10);
+        assert_eq!(main.fired("x"), fired);
     }
 
     #[test]

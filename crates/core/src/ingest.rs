@@ -12,20 +12,28 @@
 //! 1. the input buffer (ideally an `mmap`'d file, see
 //!    [`chunk::LogData`]) is cut into line-aligned chunks
 //!    ([`chunk::split_lines`]),
-//! 2. each chunk is scanned by the zero-copy byte parser
-//!    ([`clf_bytes::records_no_ua`]) straight into per-client
-//!    accumulators — sharded by address range when parallel, one global
-//!    accumulator when serial — no `Log`, no per-line allocation; paths
-//!    intern to dense ids as borrowed `&[u8]` slices of the input,
-//! 3. the address-range shards merge into one address-sorted client
-//!    list, batch longest-prefix matching assigns clusters over the
-//!    compiled table, and the standard assembly produces a [`Clustering`]
-//!    byte-identical to the `from_clf` → `network_aware_compiled` route.
+//! 2. N independent per-shard pipelines — scoped `std::thread` workers,
+//!    one shard each — steal chunks off a shared atomic index and scan
+//!    them with the zero-copy byte parser
+//!    ([`clf_bytes::records_no_ua`]) straight into shard-local
+//!    accumulators: dense client ids behind address-range-partitioned
+//!    maps, dense url ids, no `Log`, no per-line allocation (paths
+//!    intern as borrowed `&[u8]` slices of the input),
+//! 3. a deterministic merge remaps shard-local ids into canonical global
+//!    order — per-partition client sums concatenate in address order,
+//!    shard url ids translate through one global intern — then batch
+//!    longest-prefix matching with software prefetch assigns clusters
+//!    over the compiled table, and the standard assembly produces a
+//!    [`Clustering`] byte-identical to the `from_clf` →
+//!    `network_aware_compiled` route.
 //!
-//! Determinism matches the batch paths: chunk outputs merge per address
-//! partition (summation commutes) and concatenate in address order, and
-//! parse errors are reported with buffer-global line numbers in line
-//! order, so the result is independent of thread count and scheduling.
+//! Determinism holds by construction, not by scheduling: client sums
+//! commute, partition runs concatenate in address order, parse errors
+//! carry buffer-global line numbers (one sort restores line order), and
+//! unique-URL counts are invariant under url-id relabeling. The report
+//! is therefore byte-identical across thread counts and across
+//! work-stealing schedules — [`threads(1)`](IngestPipeline::threads) is
+//! the reference the parallel bench asserts against.
 //!
 //! ## Hardening
 //!
@@ -50,17 +58,17 @@ use std::fmt;
 use std::io;
 use std::net::Ipv4Addr;
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 use netclust_obs::{Counter, ErrorCounts, Histogram, Obs};
 use netclust_prefix::Ipv4Net;
-use netclust_rtable::CompiledMerged;
+use netclust_rtable::{CompiledMerged, DEFAULT_PREFETCH_DISTANCE};
 use netclust_weblog::chunk::{self, Chunk, LogData};
 use netclust_weblog::clf::ClfError;
 use netclust_weblog::clf_bytes;
-use rayon::prelude::*;
 
 use crate::cluster::{self, ClientStats, Clustering};
-use crate::faults::{failpoints, FaultInjector, FaultPlan};
+use crate::faults::{failpoints, FaultPlan};
 use crate::fx::FxHashMap;
 
 /// Pre-resolved ingest instrumentation. Handles are looked up once when an
@@ -121,6 +129,8 @@ pub struct IngestPipeline<'t> {
     url_stats: bool,
     max_error_rate: Option<f64>,
     io_retries: u32,
+    threads: Option<usize>,
+    deterministic: bool,
     faults: FaultPlan,
     obs: Obs,
     metrics: IngestObs,
@@ -288,6 +298,8 @@ impl<'t> IngestPipeline<'t> {
             url_stats: true,
             max_error_rate: None,
             io_retries: 2,
+            threads: None,
+            deterministic: false,
             faults: FaultPlan::disabled(),
             obs: Obs::disabled(),
             metrics: IngestObs::default(),
@@ -337,6 +349,25 @@ impl<'t> IngestPipeline<'t> {
         self
     }
 
+    /// Pins the worker count for the sharded scan. Default: the host's
+    /// available parallelism. `1` pins the serial reference path; the
+    /// report is byte-identical at every setting.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Replaces work stealing with a static strided chunk assignment
+    /// (worker *w* scans chunks `w, w + N, …`). The report is already
+    /// schedule-independent; this additionally makes *observability*
+    /// reproducible — per-shard `ingest.shard<w>.*` counters depend on
+    /// which worker scanned which chunk, so two `--deterministic` runs
+    /// must not let the race decide. Costs load balance; off by default.
+    pub fn deterministic(mut self, on: bool) -> Self {
+        self.deterministic = on;
+        self
+    }
+
     /// Arms a fault plan. When [`failpoints::INGEST_CHUNK_IO`] is armed,
     /// [`try_run`](Self::try_run) injects chunk-read failures on the
     /// plan's deterministic schedule and exercises the
@@ -346,53 +377,35 @@ impl<'t> IngestPipeline<'t> {
         self
     }
 
+    /// The worker count one run uses: the pinned
+    /// [`threads`](Self::threads) value, or the host's available
+    /// parallelism.
+    fn effective_threads(&self) -> usize {
+        self.threads
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+            .max(1)
+    }
+
     /// Runs the fused pipeline over an in-memory (or memory-mapped) CLF
     /// buffer. Never fails: malformed lines are skipped and reported.
     /// Budgets and fault injection apply only to
     /// [`try_run`](Self::try_run) / [`run_file`](Self::run_file).
-    pub fn run<'a>(&self, data: &'a [u8]) -> IngestReport {
-        let _run = self.obs.span("ingest.run");
-        let chunks = {
-            let _s = self.obs.span("chunk");
-            chunk::split_lines(data, self.chunk_bytes)
-        };
-        let lines = total_lines(&chunks);
-
-        // Stage 1+2: parse chunks straight into per-client accumulators.
-        // In parallel each chunk gets its own address-partitioned output;
-        // serially one unpartitioned accumulator runs across all chunks —
-        // no per-chunk maps to re-merge.
-        let parallel = rayon::current_num_threads() > 1 && chunks.len() > 1;
-        let report = if parallel {
-            let n_parts = cluster::merge_partitions();
-            let shift = 32 - n_parts.trailing_zeros();
-            let outs: Vec<ChunkOut<'a>> = {
-                let _s = self.obs.span("parse");
-                chunks
-                    .par_iter()
-                    .map(|c| {
-                        let mut out = ChunkOut::new(n_parts);
-                        out.scan(c, shift, self.url_stats);
-                        self.record_chunk(c, &out);
-                        out
-                    })
-                    .collect()
-            };
-            self.finish_partitioned(outs, n_parts, lines, data.len())
-        } else {
-            self.finish_serial(chunks, lines, data.len())
-        };
-        self.record_run(&report);
-        report
+    pub fn run(&self, data: &[u8]) -> IngestReport {
+        match self.run_inner(data, false, None) {
+            Ok(report) => report,
+            // analyze:allow(panic-free-hot-path) with faults disarmed and
+            // no budget the engine has no error path.
+            Err(_) => unreachable!("unfaulted, unbudgeted ingest cannot fail"),
+        }
     }
 
     /// Per-chunk accounting, called once per successful chunk scan on
     /// whichever thread scanned it (counters and histograms are sharded
     /// atomics — safe and contention-free from workers).
-    fn record_chunk(&self, c: &Chunk<'_>, out: &ChunkOut<'_>) {
+    fn record_chunk(&self, c: &Chunk<'_>, chunk_errors: usize) {
         self.metrics.chunks.inc();
         self.metrics.chunk_bytes.record(c.data.len() as u64);
-        self.metrics.chunk_errors.record(out.errors.len() as u64);
+        self.metrics.chunk_errors.record(chunk_errors as u64);
     }
 
     /// Per-run accounting (coordinating thread, after assembly).
@@ -407,14 +420,17 @@ impl<'t> IngestPipeline<'t> {
 
     /// Runs the hardened pipeline: injected chunk-read faults (when a
     /// plan arms [`failpoints::INGEST_CHUNK_IO`]) are retried at chunk
-    /// granularity, and the malformed-line budget (when set) is enforced.
+    /// granularity, and the malformed-line budget (when set) is enforced
+    /// — cooperatively across workers: a blown budget stops every shard.
     /// A successful faulted run is byte-identical to [`run`](Self::run).
     pub fn try_run(&self, data: &[u8]) -> Result<IngestReport, IngestError> {
-        let report = if self.faults.is_armed(failpoints::INGEST_CHUNK_IO) {
-            self.run_faulted(data, &mut self.faults.injector_with_obs(&self.obs))?
-        } else {
-            self.run(data)
-        };
+        let faulted = self.faults.is_armed(failpoints::INGEST_CHUNK_IO);
+        // Early cross-worker budget abort is enabled only on unfaulted
+        // runs: under faults, ChunkIo is detected mid-scan and must win
+        // deterministically, with the budget checked on the full counts
+        // below — exactly the serial precedence.
+        let budget = if faulted { None } else { self.max_error_rate };
+        let report = self.run_inner(data, faulted, budget)?;
         if let Some(max_ratio) = self.max_error_rate {
             if report.counts.records > 0 && report.counts.ratio() > max_ratio {
                 return Err(IngestError::ErrorBudget {
@@ -427,18 +443,14 @@ impl<'t> IngestPipeline<'t> {
         Ok(report)
     }
 
-    /// The faulted scan: chunks are read one at a time into their own
-    /// address-partitioned accumulators (the checkpoint unit). An
-    /// injected read fault discards the chunk's partial state entirely
-    /// and re-reads it — nothing is double-counted — up to `io_retries`
-    /// times; past that the run aborts with the chunk's coordinates. The
-    /// per-chunk outputs then merge through the same partition merge the
-    /// parallel path uses, so a recovered run is byte-identical to an
-    /// unfaulted one.
-    fn run_faulted<'a>(
+    /// The shared engine behind [`run`](Self::run) and
+    /// [`try_run`](Self::try_run): chunk, scan (serial fast path or the
+    /// sharded worker scan), merge, account.
+    fn run_inner(
         &self,
-        data: &'a [u8],
-        faults: &mut FaultInjector,
+        data: &[u8],
+        faulted: bool,
+        budget_ratio: Option<f64>,
     ) -> Result<IngestReport, IngestError> {
         let _run = self.obs.span("ingest.run");
         let chunks = {
@@ -446,74 +458,264 @@ impl<'t> IngestPipeline<'t> {
             chunk::split_lines(data, self.chunk_bytes)
         };
         let lines = total_lines(&chunks);
-        let n_parts = cluster::merge_partitions();
-        let shift = 32 - n_parts.trailing_zeros();
-        let mut outs: Vec<ChunkOut<'a>> = Vec::with_capacity(chunks.len());
-        let mut io_faults = 0u64;
-        let mut chunks_retried = 0u64;
-        {
+        let workers = self.effective_threads().min(chunks.len()).max(1);
+        if !faulted && workers <= 1 {
+            // Serial reference path: one unpartitioned accumulator, no
+            // worker machinery. (Budget enforcement happens on the full
+            // report in `try_run` — identical outcome, zero extra work.)
+            let report = self.finish_serial(chunks, lines, data.len());
+            self.record_run(&report);
+            return Ok(report);
+        }
+
+        let n_parts = cluster::merge_partitions_for(workers);
+        let scanned = {
             let _s = self.obs.span("parse");
-            for (i, c) in chunks.iter().enumerate() {
-                let mut attempt = 0u32;
-                loop {
-                    if faults.should_fire(failpoints::INGEST_CHUNK_IO) {
+            self.scan_sharded(
+                &chunks,
+                workers,
+                n_parts,
+                faulted,
+                budget_ratio.map(|r| (r, lines)),
+            )
+        };
+        match scanned {
+            ScanOutcome::Done {
+                outs,
+                io_faults,
+                chunks_retried,
+            } => {
+                let mut report = self.finish_shards(outs, n_parts, workers, lines, data.len());
+                report.io_faults = io_faults;
+                report.chunks_retried = chunks_retried;
+                self.metrics.io_faults.add(io_faults);
+                self.metrics.chunks_retried.add(chunks_retried);
+                self.record_run(&report);
+                Ok(report)
+            }
+            ScanOutcome::ChunkIo {
+                chunk,
+                io_faults,
+                chunks_retried,
+            } => {
+                self.metrics.io_faults.add(io_faults);
+                self.metrics.chunks_retried.add(chunks_retried);
+                Err(IngestError::ChunkIo {
+                    chunk,
+                    // analyze:allow(panic-free-hot-path) workers only publish in-range chunk indices.
+                    first_line: chunks[chunk].first_line,
+                    attempts: self.io_retries + 1,
+                })
+            }
+            ScanOutcome::Budget => {
+                // Workers stopped early, so their partial outputs are not
+                // the authoritative error list; one serial errors-only
+                // rescan rebuilds exactly what the full run would report.
+                let mut errors = Vec::new();
+                for c in &chunks {
+                    errors.extend(
+                        clf_bytes::records_no_ua(c.data, c.first_line).filter_map(Result::err),
+                    );
+                }
+                let counts = ErrorCounts::new(lines as u64, errors.len() as u64);
+                Err(IngestError::ErrorBudget {
+                    counts,
+                    max_ratio: budget_ratio.unwrap_or(1.0),
+                    sample: errors.into_iter().take(5).collect(),
+                })
+            }
+        }
+    }
+
+    /// The sharded scan: `workers` scoped threads, each owning one
+    /// [`ChunkOut`] shard, steal chunks off a shared atomic index (or
+    /// walk a static stride in [`deterministic`](Self::deterministic)
+    /// mode) until the chunk list drains.
+    ///
+    /// Hardening seams, across workers:
+    ///
+    /// * **chunk retry** — fault draws are keyed by `(chunk, attempt)`
+    ///   ([`FaultInjector::should_fire_keyed`]), so a plan trips the same
+    ///   chunks no matter which worker steals them. A chunk that exhausts
+    ///   its retries publishes its index via `fetch_min`; because the
+    ///   shared index hands chunks out in order and every stolen chunk
+    ///   still gets its fault draws (scans are skipped once an abort is
+    ///   pending — their output would be discarded), the published
+    ///   minimum is exactly the chunk the serial scan would abort on.
+    /// * **error budget** — shards add their malformed counts to a shared
+    ///   counter after each chunk; the worker that pushes it past the
+    ///   budget raises a stop flag and every shard winds down.
+    fn scan_sharded<'a>(
+        &self,
+        chunks: &[Chunk<'a>],
+        workers: usize,
+        n_parts: usize,
+        faulted: bool,
+        budget: Option<(f64, usize)>,
+    ) -> ScanOutcome<'a> {
+        let shift = 32 - n_parts.trailing_zeros();
+        let next = AtomicUsize::new(0);
+        let abort_chunk = AtomicUsize::new(usize::MAX);
+        let malformed = AtomicU64::new(0);
+        let budget_stop = AtomicBool::new(false);
+
+        let worker = |w: usize| -> (ChunkOut<'a>, u64, u64) {
+            let _span = self.obs.span("ingest.worker");
+            let shard_obs = self.obs.is_enabled().then(|| {
+                (
+                    self.obs.counter(&format!("ingest.shard{w}.chunks")),
+                    self.obs.counter(&format!("ingest.shard{w}.bytes")),
+                )
+            });
+            let mut injector = faulted.then(|| self.faults.injector_with_obs(&self.obs));
+            let mut out = ChunkOut::new(n_parts);
+            let mut io_faults = 0u64;
+            let mut chunks_retried = 0u64;
+            let mut cursor = w;
+            loop {
+                let i = if self.deterministic {
+                    let i = cursor;
+                    cursor += workers;
+                    i
+                } else {
+                    next.fetch_add(1, Ordering::Relaxed)
+                };
+                if i >= chunks.len() {
+                    break;
+                }
+                // analyze:allow(panic-free-hot-path) i < chunks.len() just checked.
+                let c = &chunks[i];
+                if let Some(inj) = injector.as_mut() {
+                    let mut attempt = 0u32;
+                    let exhausted = loop {
+                        if !inj.should_fire_keyed(
+                            failpoints::INGEST_CHUNK_IO,
+                            &[i as u64, u64::from(attempt)],
+                        ) {
+                            break false;
+                        }
                         io_faults += 1;
                         if attempt == 0 {
                             chunks_retried += 1;
                         }
                         if attempt >= self.io_retries {
-                            self.metrics.io_faults.add(io_faults);
-                            self.metrics.chunks_retried.add(chunks_retried);
-                            return Err(IngestError::ChunkIo {
-                                chunk: i,
-                                first_line: c.first_line,
-                                attempts: attempt + 1,
-                            });
+                            break true;
                         }
                         attempt += 1;
+                    };
+                    if exhausted {
+                        abort_chunk.fetch_min(i, Ordering::Relaxed);
                         continue;
                     }
-                    let mut out = ChunkOut::new(n_parts);
-                    out.scan(c, shift, self.url_stats);
-                    self.record_chunk(c, &out);
-                    outs.push(out);
+                    // An abort is pending: keep draining chunks for their
+                    // fault draws (the minimum must be exact) but skip
+                    // scans — the output is about to be discarded.
+                    if abort_chunk.load(Ordering::Relaxed) != usize::MAX {
+                        continue;
+                    }
+                }
+                if budget_stop.load(Ordering::Relaxed) {
                     break;
                 }
+                let before = out.errors.len();
+                out.scan(c, shift, self.url_stats);
+                let chunk_errors = out.errors.len() - before;
+                self.record_chunk(c, chunk_errors);
+                if let Some((chunks_ctr, bytes_ctr)) = &shard_obs {
+                    chunks_ctr.inc();
+                    bytes_ctr.add(c.data.len() as u64);
+                }
+                if let Some((max_ratio, lines)) = budget {
+                    if chunk_errors > 0 {
+                        let total = malformed.fetch_add(chunk_errors as u64, Ordering::Relaxed)
+                            + chunk_errors as u64;
+                        // Monotone in `total`, so tripping early ⇔ the
+                        // final ratio would trip: same outcome as the
+                        // end-of-run check, minus the wasted scans.
+                        if ErrorCounts::new(lines as u64, total).ratio() > max_ratio {
+                            budget_stop.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                }
+            }
+            (out, io_faults, chunks_retried)
+        };
+
+        let results: Vec<(ChunkOut<'a>, u64, u64)> = if workers <= 1 {
+            vec![worker(0)]
+        } else {
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..workers).map(|w| s.spawn(move || worker(w))).collect();
+                handles
+                    .into_iter()
+                    // analyze:allow(panic-free-hot-path) propagating a worker panic, not creating one.
+                    .map(|h| h.join().expect("worker panicked"))
+                    .collect()
+            })
+        };
+
+        let mut outs = Vec::with_capacity(results.len());
+        let mut io_faults = 0u64;
+        let mut chunks_retried = 0u64;
+        for (out, f, r) in results {
+            outs.push(out);
+            io_faults += f;
+            chunks_retried += r;
+        }
+        let aborted = abort_chunk.load(Ordering::Relaxed);
+        if aborted != usize::MAX {
+            ScanOutcome::ChunkIo {
+                chunk: aborted,
+                io_faults,
+                chunks_retried,
+            }
+        } else if budget_stop.load(Ordering::Relaxed) {
+            ScanOutcome::Budget
+        } else {
+            ScanOutcome::Done {
+                outs,
+                io_faults,
+                chunks_retried,
             }
         }
-        let mut report = self.finish_partitioned(outs, n_parts, lines, data.len());
-        report.io_faults = io_faults;
-        report.chunks_retried = chunks_retried;
-        self.metrics.io_faults.add(io_faults);
-        self.metrics.chunks_retried.add(chunks_retried);
-        self.record_run(&report);
-        Ok(report)
     }
 
-    /// Stages 3+ over per-chunk address-partitioned outputs (the parallel
-    /// and faulted scans): partition merge, batch LPM, URL dedup.
-    fn finish_partitioned(
+    /// The deterministic merge behind the sharded scan: shard-local ids
+    /// are remapped into canonical global order, so the report is
+    /// byte-identical to the serial reference no matter which worker
+    /// scanned which chunk.
+    ///
+    /// * **errors** carry buffer-global line numbers (each malformed line
+    ///   produces exactly one error), so one sort restores line order.
+    /// * **clients** merge per address partition — sums commute — and the
+    ///   per-partition sorted runs concatenate into global address order.
+    /// * **url ids** translate through one global intern walked in shard
+    ///   order; unique-URL *counts* are invariant under that relabeling
+    ///   because equal ids ⇔ equal path bytes.
+    fn finish_shards(
         &self,
         outs: Vec<ChunkOut<'_>>,
         n_parts: usize,
+        threads: usize,
         lines: usize,
         bytes: usize,
     ) -> IngestReport {
-        // Errors: chunks are in line order and each chunk's errors are
-        // ascending, so concatenation is the serial parse's error list.
         let mut errors = Vec::new();
         for o in &outs {
             errors.extend_from_slice(&o.errors);
         }
+        errors.sort_unstable_by_key(|e| e.line);
 
         // Stage 3a: one worker per address partition merges its slice of
-        // every chunk; sorted runs concatenate into global address order
+        // every shard; sorted runs concatenate into global address order
         // (partition p holds exactly the clients whose top bits equal p).
         let aggregate = self.obs.span("aggregate");
-        let parts: Vec<usize> = (0..n_parts).collect();
-        let merged: Vec<Vec<ClientStats>> = parts
-            .par_iter()
-            .map(|&p| {
+        let mut merged: Vec<Vec<ClientStats>> = Vec::new();
+        merged.resize_with(n_parts, Vec::new);
+        for_spans(&mut merged, threads, &|start, span| {
+            for (off, slot) in span.iter_mut().enumerate() {
+                let p = start + off;
                 let mut per_client: FxHashMap<u32, (u64, u64)> = FxHashMap::default();
                 for o in &outs {
                     // analyze:allow(panic-free-hot-path) p < n_parts == o.parts.len().
@@ -525,22 +727,24 @@ impl<'t> IngestPipeline<'t> {
                         e.1 += bytes;
                     }
                 }
-                cluster::finish_aggregation(per_client)
-            })
-            .collect();
+                *slot = cluster::finish_aggregation(per_client);
+            }
+        });
         let clients: Vec<ClientStats> = merged.into_iter().flatten().collect();
         drop(aggregate);
 
-        // Stage 3b: batch LPM assignment over the compiled table.
+        // Stage 3b: batch LPM with software prefetch, one span of the
+        // assignment buffer per worker.
         let lpm = self.obs.span("lpm");
         let addrs: Vec<u32> = clients.iter().map(|c| u32::from(c.addr)).collect();
-        let assignments: Vec<Option<Ipv4Net>> = addrs
-            .par_chunks(cluster::CLIENT_CHUNK)
-            .map(|chunk| self.table.net_for_batch(chunk))
-            .collect::<Vec<_>>()
-            .into_iter()
-            .flatten()
-            .collect();
+        let mut assignments: Vec<Option<Ipv4Net>> = vec![None; addrs.len()];
+        for_spans(&mut assignments, threads, &|start, span| {
+            self.table.net_for_slice(
+                &addrs[start..start + span.len()],
+                span,
+                DEFAULT_PREFETCH_DISTANCE,
+            );
+        });
         drop(lpm);
 
         let _assemble = self.obs.span("aggregate");
@@ -548,38 +752,65 @@ impl<'t> IngestPipeline<'t> {
         let mut clustering =
             Clustering::from_assignments("network-aware", clients, assignments, total_requests);
 
-        // Unique URLs per cluster: translate chunk-local url ids to
-        // global ids in chunk order (equal ids ⇔ equal byte strings —
-        // exactly the `Log` URL-interning identity), map clients to
-        // clusters, and sort-dedup the packed (cluster, url) pairs.
+        // Unique URLs per cluster: translate shard-local url ids through
+        // one global intern (equal ids ⇔ equal byte strings — exactly the
+        // `Log` URL-interning identity), map shard-local client ids to
+        // clusters, and sort-dedup the packed (cluster, url) keys. The
+        // key mapping writes into disjoint per-shard segments of one
+        // buffer, so shards proceed concurrently; unclustered pairs leave
+        // the `u64::MAX` sentinel in place for the sort-dedup to drop.
         if self.url_stats {
-            let mut global: FxHashMap<&[u8], u32> = FxHashMap::default();
-            let mut pairs = Vec::with_capacity(outs.iter().map(|o| o.pairs.len()).sum());
-            for o in &outs {
-                let trans: Vec<u32> = o
-                    .url_paths
+            let trans: Vec<Vec<u32>> = {
+                let mut global: FxHashMap<&[u8], u32> = FxHashMap::default();
+                outs.iter()
+                    .map(|o| {
+                        o.url_paths
+                            .iter()
+                            .map(|&p| {
+                                // analyze:allow(cast-truncation) url ids are u32 by format.
+                                let next = global.len() as u32;
+                                *global.entry(p).or_insert(next)
+                            })
+                            .collect()
+                    })
+                    .collect()
+            };
+            let total_pairs: usize = outs.iter().map(|o| o.pairs.len()).sum();
+            let mut mapped = vec![u64::MAX; total_pairs];
+            let fill_segment = |o: &ChunkOut<'_>, tr: &[u32], seg: &mut [u64]| {
+                let cluster_of: Vec<u32> = o
+                    .dense_addr
                     .iter()
-                    .map(|&p| {
-                        // analyze:allow(cast-truncation) url ids are u32 by format.
-                        let next = global.len() as u32;
-                        *global.entry(p).or_insert(next)
+                    .map(|&a| {
+                        clustering
+                            .cluster_index(Ipv4Addr::from(a))
+                            // analyze:allow(cast-truncation) cluster count < 2^32 (u32 ids by design).
+                            .map_or(u32::MAX, |i| i as u32)
                     })
                     .collect();
-                // analyze:allow(panic-free-hot-path) id < url_paths.len() == trans.len().
-                pairs.extend(o.pairs.iter().map(|&(c, id)| (c, trans[id as usize])));
-            }
-            let to_key = |&(client, url): &(u32, u32)| {
-                clustering
-                    .cluster_index(Ipv4Addr::from(client))
-                    .map(|idx| ((idx as u64) << 32) | url as u64)
+                for (slot, &(dense, url)) in seg.iter_mut().zip(&o.pairs) {
+                    // analyze:allow(panic-free-hot-path) dense ids index dense_addr == cluster_of.
+                    let idx = cluster_of[dense as usize];
+                    if idx != u32::MAX {
+                        // analyze:allow(panic-free-hot-path) url < url_paths.len() == tr.len().
+                        *slot = ((idx as u64) << 32) | tr[url as usize] as u64;
+                    }
+                }
             };
-            let mapped: Vec<u64> = pairs
-                .par_chunks(cluster::REQUEST_CHUNK)
-                .map(|ch| ch.iter().filter_map(to_key).collect::<Vec<_>>())
-                .collect::<Vec<_>>()
-                .into_iter()
-                .flatten()
-                .collect();
+            if outs.len() <= 1 {
+                if let (Some(o), Some(tr)) = (outs.first(), trans.first()) {
+                    fill_segment(o, tr, &mut mapped);
+                }
+            } else {
+                std::thread::scope(|s| {
+                    let mut rest: &mut [u64] = &mut mapped;
+                    for (o, tr) in outs.iter().zip(&trans) {
+                        let (seg, tail) = rest.split_at_mut(o.pairs.len());
+                        rest = tail;
+                        s.spawn(|| fill_segment(o, tr, seg));
+                    }
+                });
+            }
             count_unique_sorted(&mut clustering, mapped);
         }
 
@@ -682,6 +913,51 @@ impl<'t> IngestPipeline<'t> {
     }
 }
 
+/// What the sharded scan produced: the per-worker shard outputs, or the
+/// abort condition that stopped it (plus the fault tallies either way).
+enum ScanOutcome<'a> {
+    /// Every chunk scanned; shard outputs ready for the merge.
+    Done {
+        outs: Vec<ChunkOut<'a>>,
+        io_faults: u64,
+        chunks_retried: u64,
+    },
+    /// A chunk exhausted its read retries; `chunk` is the first such
+    /// chunk in input order (the one the serial scan would abort on).
+    ChunkIo {
+        chunk: usize,
+        io_faults: u64,
+        chunks_retried: u64,
+    },
+    /// The malformed-line budget tripped mid-scan and workers stopped.
+    Budget,
+}
+
+/// Runs `f(start_index, span)` over near-equal contiguous spans of `out`,
+/// one scoped thread per span — the merge-side analogue of the scan's
+/// work stealing (span sizes are static because merge work is uniform).
+/// Inlines without spawning when one span suffices.
+fn for_spans<T: Send, F: Fn(usize, &mut [T]) + Sync>(out: &mut [T], threads: usize, f: &F) {
+    let workers = threads.min(out.len()).max(1);
+    if workers <= 1 {
+        f(0, out);
+        return;
+    }
+    let base = out.len() / workers;
+    let extra = out.len() % workers;
+    std::thread::scope(|s| {
+        let mut rest = out;
+        let mut start = 0usize;
+        for w in 0..workers {
+            let take = base + usize::from(w < extra);
+            let (span, tail) = rest.split_at_mut(take);
+            rest = tail;
+            s.spawn(move || f(start, span));
+            start += take;
+        }
+    });
+}
+
 /// Buffer-global line count from the chunk list.
 fn total_lines(chunks: &[Chunk<'_>]) -> usize {
     chunks
@@ -699,10 +975,10 @@ const BITMAP_MAX_BITS: u64 = 1 << 28;
 /// with (requests, bytes) accumulated in a dense-indexed vector — the
 /// map entry stays 8 bytes so the randomly-probed table fits cache —
 /// plus paths interned to dense local ids with their (client, url id)
-/// pairs, and parse errors with global line numbers. Parallel runs hold
-/// one instance per chunk and key pairs by client *address*; the serial
-/// run feeds every chunk through a single unpartitioned instance and
-/// keys pairs by the dense client *id*.
+/// pairs (keyed by the dense local client id), and parse errors with
+/// global line numbers. The sharded scan holds one instance per worker;
+/// the serial run feeds every chunk through a single unpartitioned
+/// instance — dense ids are then already global.
 struct ChunkOut<'a> {
     parts: Vec<FxHashMap<u32, u32>>,
     accum: Vec<(u64, u64)>,
@@ -730,7 +1006,6 @@ impl<'a> ChunkOut<'a> {
     /// downstream, so the scan uses the no-UA record parser (identical
     /// records and errors, minus the per-line UA quote scan).
     fn scan(&mut self, c: &Chunk<'a>, shift: u32, url_stats: bool) {
-        let serial = self.parts.len() == 1;
         for item in clf_bytes::records_no_ua(c.data, c.first_line) {
             match item {
                 Ok((_, r)) => {
@@ -750,15 +1025,14 @@ impl<'a> ChunkOut<'a> {
                     let e = &mut self.accum[id as usize];
                     e.0 += 1;
                     e.1 += r.bytes as u64;
-                    let client_key = if serial { id } else { r.addr };
                     if url_stats {
                         let url_paths = &mut self.url_paths;
-                        let id = *self.url_ids.entry(r.path).or_insert_with(|| {
+                        let url = *self.url_ids.entry(r.path).or_insert_with(|| {
                             url_paths.push(r.path);
                             // analyze:allow(cast-truncation) url ids are u32 by format.
                             (url_paths.len() - 1) as u32
                         });
-                        self.pairs.push((client_key, id));
+                        self.pairs.push((id, url));
                     }
                 }
                 Err(e) => self.errors.push(e),
@@ -784,10 +1058,15 @@ fn serial_clients(accum: Vec<(u64, u64)>, dense_addr: Vec<u32>) -> (Vec<ClientSt
 }
 
 /// Counts distinct (cluster, url) pairs into `unique_urls` by sorting
-/// packed `cluster << 32 | url` keys.
+/// packed `cluster << 32 | url` keys. `u64::MAX` entries are the sharded
+/// merge's unclustered-pair sentinel and are dropped (a real key cannot
+/// be `u64::MAX`: cluster index `u32::MAX` is excluded before packing).
 fn count_unique_sorted(clustering: &mut Clustering, mut mapped: Vec<u64>) {
     mapped.sort_unstable();
     mapped.dedup();
+    if mapped.last() == Some(&u64::MAX) {
+        mapped.pop();
+    }
     for key in mapped {
         // analyze:allow(panic-free-hot-path) key's high half is a valid cluster index by construction.
         clustering.clusters[(key >> 32) as usize].unique_urls += 1;

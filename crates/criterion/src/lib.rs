@@ -165,6 +165,12 @@ impl Bencher {
     }
 }
 
+/// The host's available parallelism — the thread count a benchmark uses
+/// unless its group pins one (see [`BenchmarkGroup::threads_used`]).
+pub fn host_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
 /// One finished measurement.
 #[derive(Debug, Clone)]
 pub struct BenchResult {
@@ -174,6 +180,9 @@ pub struct BenchResult {
     pub ns_per_iter: f64,
     /// Declared per-iteration workload, if any.
     pub throughput: Option<Throughput>,
+    /// Worker threads the routine ran with: the group's pinned value, or
+    /// the host's available parallelism when nothing was declared.
+    pub threads_used: usize,
 }
 
 impl BenchResult {
@@ -234,20 +243,28 @@ impl Criterion {
         &mut self,
         id: String,
         throughput: Option<Throughput>,
+        threads_used: usize,
         f: &mut dyn FnMut(&mut Bencher),
     ) {
         let mut bencher = Bencher {
             ns_per_iter: f64::NAN,
         };
         f(&mut bencher);
-        self.record(id, throughput, bencher.ns_per_iter);
+        self.record(id, throughput, threads_used, bencher.ns_per_iter);
     }
 
-    fn record(&mut self, id: String, throughput: Option<Throughput>, ns_per_iter: f64) {
+    fn record(
+        &mut self,
+        id: String,
+        throughput: Option<Throughput>,
+        threads_used: usize,
+        ns_per_iter: f64,
+    ) {
         let result = BenchResult {
             id,
             ns_per_iter,
             throughput,
+            threads_used,
         };
         match result.per_second() {
             Some(rate) => println!(
@@ -270,7 +287,7 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        self.run_one(id.into_id(), None, &mut f);
+        self.run_one(id.into_id(), None, host_threads(), &mut f);
         self
     }
 
@@ -280,6 +297,7 @@ impl Criterion {
             criterion: self,
             name: name.into(),
             throughput: None,
+            threads_used: None,
         }
     }
 
@@ -294,6 +312,7 @@ pub struct BenchmarkGroup<'a> {
     criterion: &'a mut Criterion,
     name: String,
     throughput: Option<Throughput>,
+    threads_used: Option<usize>,
 }
 
 impl BenchmarkGroup<'_> {
@@ -313,13 +332,27 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Declares the worker-thread count subsequent routines actually run
+    /// with (a pinned pool, `IngestPipeline::threads(n)`, …), persisted
+    /// per result as [`BenchResult::threads_used`]. Unset, results carry
+    /// the host's available parallelism.
+    pub fn threads_used(&mut self, threads: usize) -> &mut Self {
+        self.threads_used = Some(threads.max(1));
+        self
+    }
+
+    fn effective_threads(&self) -> usize {
+        self.threads_used.unwrap_or_else(host_threads)
+    }
+
     /// Benchmarks one routine within the group.
     pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
         let full = format!("{}/{}", self.name, id.into_id());
-        self.criterion.run_one(full, self.throughput, &mut f);
+        self.criterion
+            .run_one(full, self.throughput, self.effective_threads(), &mut f);
         self
     }
 
@@ -382,7 +415,8 @@ impl BenchmarkGroup<'_> {
         for (id, samples) in [(id_a.into_id(), samples_a), (id_b.into_id(), samples_b)] {
             let ns = median(samples);
             let full = format!("{}/{}", self.name, id);
-            self.criterion.record(full, self.throughput, ns);
+            self.criterion
+                .record(full, self.throughput, self.effective_threads(), ns);
         }
         self
     }
@@ -440,6 +474,23 @@ mod tests {
         assert_eq!(results[0].id, "g/f/32");
         let rate = results[0].per_second().expect("throughput declared");
         assert!(rate > 0.0);
+        assert_eq!(results[0].threads_used, host_threads());
+    }
+
+    #[test]
+    fn pinned_threads_are_persisted_per_result() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("t");
+            g.threads_used(3);
+            g.bench_function("pinned", |b| b.iter(|| black_box(1)));
+            g.threads_used(1);
+            g.bench_function("serial", |b| b.iter(|| black_box(1)));
+            g.finish();
+        }
+        let results = c.take_results();
+        assert_eq!(results[0].threads_used, 3);
+        assert_eq!(results[1].threads_used, 1);
     }
 
     #[test]

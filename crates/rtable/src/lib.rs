@@ -24,7 +24,7 @@ mod testutil;
 mod trie;
 
 pub use diff::{dynamic_prefix_set, effect_on, maximum_effect, SnapshotDiff};
-pub use flat::{CompiledMerged, CompiledTable, Handle};
+pub use flat::{CompiledMerged, CompiledTable, Handle, DEFAULT_PREFETCH_DISTANCE};
 // The shared error-accounting shape (`ParseReport::counts()` returns it);
 // defined in `netclust-obs`, re-exported here so rtable users need no
 // extra import.

@@ -183,6 +183,32 @@ proptest! {
         }
     }
 
+    /// Prefetch distance is a pure performance hint: for any distance
+    /// (including 0 and past-the-end lookaheads), batch ≡ scalar ≡ trie on
+    /// the same mixed short/long/host-route prefix sets as above, and the
+    /// buffer-reusing variant agrees without reallocating.
+    #[test]
+    fn batch_prefetch_matches_scalar_and_trie(
+        entries in proptest::collection::btree_set(arb_net_wide(), 0..48),
+        probes in proptest::collection::vec(any::<u32>(), 64),
+        distance in 0usize..48,
+    ) {
+        let map: BTreeMap<Ipv4Net, u32> = entries.iter().map(|&n| (n, 0)).collect();
+        let trie: PrefixTrie<()> = entries.iter().map(|&n| (n, ())).collect();
+        let compiled = trie.compile();
+        let mut handles = vec![Handle::NONE; probes.len()];
+        compiled.lookup_batch_prefetch(&probes, &mut handles, distance);
+        let mut reused: Vec<Handle> = Vec::with_capacity(probes.len());
+        compiled.lookup_batch_into(&probes, &mut reused, distance);
+        prop_assert_eq!(&reused, &handles);
+        for (&addr, &h) in probes.iter().zip(&handles) {
+            prop_assert_eq!(h, compiled.lookup_handle(addr));
+            let expect = naive_lpm(&map, addr).map(|(n, _)| n);
+            prop_assert_eq!(compiled.resolve(h), expect);
+            prop_assert_eq!(trie.longest_match_u32(addr).map(|(n, _)| n), expect);
+        }
+    }
+
     /// The compiled merged table preserves the two-tier semantics of the
     /// trie-backed [`MergedTable`] exactly.
     #[test]

@@ -8,14 +8,18 @@
 //!                  [--top N] [--method aware|simple|classful]
 //!                  [--max-error-rate F] [--quarantine FILE]
 //!                  [--metrics FILE] [--trace] [--deterministic]
+//!                  [--threads N]
 //!     Cluster the clients of a Common Log Format file against BGP
 //!     routing-table dumps and print the busiest clusters.
 //!
 //!     --metrics FILE  write an OBS.json observability snapshot (stage
 //!                     spans, LPM hit/miss counters, per-chunk histograms)
 //!     --trace         print the span table (count/total/min/max ns)
-//!     --deterministic zero clock-derived span fields in both outputs so
-//!                     two identical runs are byte-identical
+//!     --deterministic zero clock-derived span fields in both outputs and
+//!                     pin the static strided chunk schedule so two
+//!                     identical runs are byte-identical
+//!     --threads N     ingest worker count for --method aware (default:
+//!                     all cores); the clustering is identical at any N
 //! ```
 //!
 //! Table files accept one prefix per line in any of the three §3.1.2
@@ -203,6 +207,17 @@ fn cmd_cluster(args: &[String]) -> Result<(), CliError> {
             "cluster: --metrics/--trace only apply to --method aware, not {method:?}"
         )));
     }
+    let threads = match opt(args, "--threads") {
+        Some(s) => Some(s.parse::<usize>().ok().filter(|&t| t >= 1).ok_or_else(|| {
+            CliError::Usage(format!("cluster: --threads wants a count >= 1, got {s:?}"))
+        })?),
+        None => None,
+    };
+    if method != "aware" && threads.is_some() {
+        return Err(CliError::Usage(format!(
+            "cluster: --threads only applies to --method aware, not {method:?}"
+        )));
+    }
     // Observability is pay-for-what-you-ask: the registry only exists when
     // a metrics sink or span dump was requested.
     let obs = if metrics_path.is_some() || trace {
@@ -259,7 +274,16 @@ fn cmd_cluster(args: &[String]) -> Result<(), CliError> {
             // compiled-LPM clustering, skipping the intermediate Log.
             let mut compiled = merged.compile();
             compiled.attach_obs(&obs);
-            let mut pipeline = IngestPipeline::new(&compiled).obs(obs.clone());
+            // `--deterministic` also pins the static strided chunk
+            // schedule: per-shard worker counters must not depend on the
+            // work-stealing race when two runs are being compared
+            // byte for byte.
+            let mut pipeline = IngestPipeline::new(&compiled)
+                .obs(obs.clone())
+                .deterministic(deterministic);
+            if let Some(t) = threads {
+                pipeline = pipeline.threads(t);
+            }
             if let Some(rate) = max_error_rate {
                 pipeline = pipeline.max_error_rate(rate);
             }
