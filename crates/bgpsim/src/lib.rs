@@ -14,11 +14,18 @@
 //! propagation reproduces effects sampling cannot: single-homed stubs
 //! going dark when their transit link fails, multihomed ASes rerouting,
 //! and visibility correlated across prefixes of the same origin.
+//!
+//! [`DeltaStream`] adds the *time* axis: a deterministic, seeded stream of
+//! timestamped announce/withdraw/replace batches (with flap bias and
+//! session-reset bursts) that drives the incremental patch layer in
+//! `netclust-rtable` (`CompiledTable::apply_delta`).
 
 #![warn(missing_docs)]
 
+mod delta;
 mod propagate;
 mod topology;
 
+pub use delta::{DeltaBatch, DeltaStream, DeltaStreamConfig};
 pub use propagate::{PropagationModel, RouteClass, RouteEntry};
 pub use topology::{Relation, Topology};

@@ -1,0 +1,466 @@
+//! Epoch-based reclamation for hot-swappable shared state.
+//!
+//! The streaming pipeline serves LPM lookups from a compiled table that a
+//! writer periodically *patches* (see `StreamingClustering::apply_deltas`).
+//! Readers must never block on the writer and never observe a half-written
+//! table; the writer must eventually free superseded tables without a
+//! stop-the-world handshake. [`EpochTable`] provides exactly that seam:
+//!
+//! * the current generation lives behind an atomic pointer — a **swap is
+//!   one store**, so readers see either the old or the new table, never a
+//!   torn mix;
+//! * each reader owns a slot in a fixed pin array; a read **pins** the
+//!   global epoch into its slot, dereferences the current generation, and
+//!   unpins — two atomic stores, no locks, wait-free with respect to the
+//!   writer;
+//! * the writer retires a superseded generation tagged with the epoch at
+//!   which it was unlinked and frees it only once every pinned reader has
+//!   advanced past that epoch (a reader pinned at epoch `e ≥ E` provably
+//!   loaded the pointer *after* the swap that retired at `E`).
+//!
+//! Retired-but-not-yet-freed generations can also be **recycled**
+//! ([`take_recycled`](EpochTable::take_recycled)): the streaming patch path
+//! takes a safe old generation, replays the delta journal it missed, and
+//! republishes it — avoiding a full multi-megabyte clone of the serving
+//! table on every patch batch.
+//!
+//! A reader that pins and then stalls indefinitely delays reclamation (the
+//! retired list grows) but never blocks the writer or other readers.
+
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering::SeqCst};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Number of reader slots; [`EpochTable::reader`] panics past this many
+/// simultaneously-live handles.
+pub const MAX_READERS: usize = 64;
+
+/// Slot value: unclaimed.
+const SLOT_FREE: u64 = u64::MAX;
+/// Slot value: claimed by a reader handle, not currently inside a read.
+const SLOT_IDLE: u64 = u64::MAX - 1;
+
+/// One published version of the value. Heap-boxed so the swap is a single
+/// pointer store.
+struct Generation<T> {
+    value: T,
+}
+
+/// Retired generations awaiting reclamation, newest last.
+struct Retired<T> {
+    list: Vec<(u64, *mut Generation<T>)>,
+}
+
+struct Shared<T> {
+    /// The serving generation.
+    current: AtomicPtr<Generation<T>>,
+    /// Global epoch, bumped after every publish.
+    epoch: AtomicU64,
+    /// Per-reader pin slots: `SLOT_FREE`, `SLOT_IDLE`, or a pinned epoch.
+    slots: [AtomicU64; MAX_READERS],
+    /// Writer-side state; also serializes publishes.
+    writer: Mutex<Retired<T>>,
+}
+
+// SAFETY: the raw pointers in `current` and `Retired` own heap allocations
+// of `Generation<T>`; moving the structure between threads moves ownership
+// of those boxes, which is sound whenever `T: Send`.
+unsafe impl<T: Send> Send for Shared<T> {}
+// SAFETY: shared access hands out `&T` from the current generation across
+// threads (requires `T: Sync`) and retires boxes through the writer mutex
+// (requires `T: Send`).
+unsafe impl<T: Send + Sync> Sync for Shared<T> {}
+
+impl<T> Shared<T> {
+    /// Smallest epoch pinned by any reader (`u64::MAX` when none are mid-read).
+    fn min_pinned(&self) -> u64 {
+        self.slots
+            .iter()
+            .map(|s| s.load(SeqCst))
+            .filter(|&v| v < SLOT_IDLE)
+            .min()
+            .unwrap_or(u64::MAX)
+    }
+
+    fn lock_writer(&self) -> MutexGuard<'_, Retired<T>> {
+        self.writer
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Frees retired generations no pinned reader can still hold, keeping
+    /// the newest `keep_spares` safe ones around as recycling candidates
+    /// ([`EpochTable::take_recycled`]); returns how many were freed.
+    fn reclaim_locked(&self, retired: &mut Retired<T>, keep_spares: usize) -> usize {
+        let min_pin = self.min_pinned();
+        let safe = retired.list.iter().filter(|&&(e, _)| min_pin >= e).count();
+        let mut to_free = safe.saturating_sub(keep_spares);
+        let before = retired.list.len();
+        // The list is ordered oldest-first, so the retained spares are the
+        // newest safe generations.
+        retired.list.retain(|&(e, ptr)| {
+            if min_pin >= e && to_free > 0 {
+                to_free -= 1;
+                // SAFETY: retired at epoch `e`; every reader pinned at an
+                // epoch ≥ `e` loaded `current` after the swap that unlinked
+                // this generation, so no live reference remains.
+                unsafe { drop(Box::from_raw(ptr)) };
+                false
+            } else {
+                true
+            }
+        });
+        before - retired.list.len()
+    }
+}
+
+impl<T> Drop for Shared<T> {
+    fn drop(&mut self) {
+        // SAFETY: `&mut self` proves no readers or writers remain; every
+        // pointer in `current` and the retired list is a live Box we own.
+        unsafe { drop(Box::from_raw(*self.current.get_mut())) };
+        let retired = self
+            .writer
+            .get_mut()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        for (_, ptr) in retired.list.drain(..) {
+            // SAFETY: as above — exclusive access, pointers own their boxes.
+            unsafe { drop(Box::from_raw(ptr)) };
+        }
+    }
+}
+
+/// A shared, hot-swappable value with epoch-based reclamation: cloneable
+/// handle; [`reader`](Self::reader) mints wait-free read handles and
+/// [`publish`](Self::publish) installs a new generation without ever
+/// blocking them.
+pub struct EpochTable<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Clone for EpochTable<T> {
+    fn clone(&self) -> Self {
+        EpochTable {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for EpochTable<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EpochTable")
+            .field("epoch", &self.epoch())
+            .field("retired", &self.retired())
+            .finish()
+    }
+}
+
+impl<T> EpochTable<T> {
+    /// Publishes `value` as generation zero.
+    pub fn new(value: T) -> Self {
+        EpochTable {
+            shared: Arc::new(Shared {
+                current: AtomicPtr::new(Box::into_raw(Box::new(Generation { value }))),
+                epoch: AtomicU64::new(0),
+                slots: std::array::from_fn(|_| AtomicU64::new(SLOT_FREE)),
+                writer: Mutex::new(Retired { list: Vec::new() }),
+            }),
+        }
+    }
+
+    /// Claims a reader slot and returns a wait-free read handle (released
+    /// on drop).
+    ///
+    /// # Panics
+    /// When more than [`MAX_READERS`] handles are simultaneously live.
+    pub fn reader(&self) -> EpochReader<T> {
+        for (i, slot) in self.shared.slots.iter().enumerate() {
+            if slot
+                .compare_exchange(SLOT_FREE, SLOT_IDLE, SeqCst, SeqCst)
+                .is_ok()
+            {
+                return EpochReader {
+                    shared: Arc::clone(&self.shared),
+                    slot: i,
+                };
+            }
+        }
+        panic!("EpochTable: all {MAX_READERS} reader slots claimed");
+    }
+
+    /// Installs `value` as the new serving generation, retires the old one,
+    /// and frees retired generations no reader can still hold — except the
+    /// newest safe one, kept as a recycling spare for
+    /// [`take_recycled`](Self::take_recycled). Readers in flight keep the
+    /// old generation until they unpin. Returns the new epoch.
+    pub fn publish(&self, value: T) -> u64 {
+        let mut retired = self.shared.lock_writer();
+        let fresh = Box::into_raw(Box::new(Generation { value }));
+        let old = self.shared.current.swap(fresh, SeqCst);
+        let e = self.shared.epoch.fetch_add(1, SeqCst) + 1;
+        retired.list.push((e, old));
+        self.shared.reclaim_locked(&mut retired, 1);
+        e
+    }
+
+    /// Removes and returns the newest retired generation that no reader can
+    /// still hold, freeing any older safe ones along the way. The caller
+    /// typically replays missed deltas into it and republishes — recycling
+    /// the allocation instead of cloning the serving table.
+    pub fn take_recycled(&self) -> Option<T> {
+        let mut retired = self.shared.lock_writer();
+        let min_pin = self.shared.min_pinned();
+        let newest_safe = retired.list.iter().rposition(|&(e, _)| min_pin >= e)?;
+        let (_, ptr) = retired.list.remove(newest_safe);
+        self.shared.reclaim_locked(&mut retired, 0);
+        // SAFETY: same reclamation argument as `reclaim_locked`; we take
+        // ownership of the box instead of dropping it.
+        let generation = unsafe { Box::from_raw(ptr) };
+        Some(generation.value)
+    }
+
+    /// Frees every retired generation no reader can still hold (including
+    /// the recycling spare); returns how many were freed.
+    pub fn try_reclaim(&self) -> usize {
+        let mut retired = self.shared.lock_writer();
+        self.shared.reclaim_locked(&mut retired, 0)
+    }
+
+    /// The current global epoch (number of publishes so far).
+    pub fn epoch(&self) -> u64 {
+        self.shared.epoch.load(SeqCst)
+    }
+
+    /// Retired generations not yet freed (0 when every reader has caught up).
+    pub fn retired(&self) -> usize {
+        self.shared.lock_writer().list.len()
+    }
+
+    /// How many epochs the slowest mid-read reader lags the current epoch
+    /// (0 when no reader is inside a read). Exported as the
+    /// `stream.epoch.lag` gauge.
+    pub fn reader_lag(&self) -> u64 {
+        let min_pin = self.shared.min_pinned();
+        if min_pin == u64::MAX {
+            0
+        } else {
+            self.epoch().saturating_sub(min_pin)
+        }
+    }
+}
+
+/// Restores a reader slot to idle even if the read closure unwinds, so a
+/// panicking reader delays reclamation only until its stack unwinds.
+struct Unpin<'a> {
+    slot: &'a AtomicU64,
+}
+
+impl Drop for Unpin<'_> {
+    fn drop(&mut self) {
+        self.slot.store(SLOT_IDLE, SeqCst);
+    }
+}
+
+/// A wait-free read handle over an [`EpochTable`]; owns one pin slot.
+pub struct EpochReader<T> {
+    shared: Arc<Shared<T>>,
+    slot: usize,
+}
+
+impl<T> EpochReader<T> {
+    /// Runs `f` against the current generation. Pins the epoch for the
+    /// duration: two atomic stores, no locks, never blocks the writer.
+    /// Concurrent publishes do not affect the generation `f` observes.
+    pub fn with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        let slot = &self.shared.slots[self.slot];
+        // Pin first, then load: a writer that retires the loaded pointer
+        // afterwards must observe our pin (its retire epoch exceeds our
+        // pinned value) and will not free it until we unpin.
+        slot.store(self.shared.epoch.load(SeqCst), SeqCst);
+        let unpin = Unpin { slot };
+        let ptr = self.shared.current.load(SeqCst);
+        // SAFETY: `ptr` was `current` after our pin store; it cannot be
+        // freed while our slot holds an epoch below its retire epoch.
+        let out = f(unsafe { &(*ptr).value });
+        drop(unpin);
+        out
+    }
+
+    /// A second handle over the same table (claims its own slot).
+    ///
+    /// # Panics
+    /// When more than [`MAX_READERS`] handles are simultaneously live.
+    pub fn fork(&self) -> EpochReader<T> {
+        EpochTable {
+            shared: Arc::clone(&self.shared),
+        }
+        .reader()
+    }
+}
+
+impl<T> Drop for EpochReader<T> {
+    fn drop(&mut self) {
+        self.shared.slots[self.slot].store(SLOT_FREE, SeqCst);
+    }
+}
+
+impl<T> std::fmt::Debug for EpochReader<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EpochReader")
+            .field("slot", &self.slot)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn reads_see_published_values() {
+        let table = EpochTable::new(1u64);
+        let reader = table.reader();
+        assert_eq!(reader.with(|&v| v), 1);
+        assert_eq!(table.publish(2), 1);
+        assert_eq!(reader.with(|&v| v), 2);
+        assert_eq!(table.epoch(), 1);
+    }
+
+    #[test]
+    fn reclamation_waits_for_pinned_reader() {
+        let table = EpochTable::new(10u64);
+        let reader = table.reader();
+        reader.with(|&v| {
+            assert_eq!(v, 10);
+            table.publish(20);
+            // We are pinned below the retire epoch: the old generation must
+            // survive (we still hold `&v`).
+            assert_eq!(table.retired(), 1);
+            assert_eq!(table.try_reclaim(), 0);
+            assert_eq!(v, 10);
+            assert_eq!(table.reader_lag(), 1);
+        });
+        // Unpinned: the writer can now free it.
+        assert_eq!(table.try_reclaim(), 1);
+        assert_eq!(table.retired(), 0);
+        assert_eq!(table.reader_lag(), 0);
+    }
+
+    #[test]
+    fn publish_keeps_one_spare_when_no_reader_is_pinned() {
+        let table = EpochTable::new(0u64);
+        let _reader = table.reader(); // claimed but idle: never blocks
+        for i in 1..=8 {
+            table.publish(i);
+            // Idle readers must not pin; exactly one safe generation is
+            // kept as the recycling spare, the rest are freed.
+            assert_eq!(table.retired(), 1, "publish {i}");
+        }
+        assert_eq!(table.try_reclaim(), 1);
+        assert_eq!(table.retired(), 0);
+    }
+
+    #[test]
+    fn take_recycled_returns_newest_safe_generation() {
+        let table = EpochTable::new(1u64);
+        table.publish(2);
+        table.publish(3);
+        // Generations 1 and 2 were retired; with no readers, publish freed
+        // 1 and kept 2 as the spare. Recycling yields it.
+        assert_eq!(table.retired(), 1);
+        assert_eq!(table.take_recycled(), Some(2));
+        assert_eq!(table.retired(), 0);
+        assert_eq!(table.take_recycled(), None);
+    }
+
+    #[test]
+    fn take_recycled_skips_generations_readers_hold() {
+        let table = EpochTable::new(1u64);
+        let reader = table.reader();
+        reader.with(|&v| {
+            assert_eq!(v, 1);
+            table.publish(2);
+            assert_eq!(table.take_recycled(), None, "still pinned");
+        });
+        assert_eq!(table.take_recycled(), Some(1));
+    }
+
+    #[test]
+    fn drop_frees_current_and_retired() {
+        struct Tally(Arc<AtomicU64>);
+        impl Drop for Tally {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicU64::new(0));
+        let table = EpochTable::new(Tally(Arc::clone(&drops)));
+        table.publish(Tally(Arc::clone(&drops)));
+        table.publish(Tally(Arc::clone(&drops)));
+        // Publishing already freed what it safely could.
+        let freed_early = drops.load(SeqCst);
+        drop(table);
+        assert_eq!(drops.load(SeqCst), 3, "freed_early = {freed_early}");
+    }
+
+    #[test]
+    fn reader_slots_release_on_drop() {
+        let table = EpochTable::new(0u64);
+        // Far more sequential handles than slots: they must recycle.
+        for _ in 0..MAX_READERS * 3 {
+            let r = table.reader();
+            assert_eq!(r.with(|&v| v), 0);
+        }
+        let held: Vec<_> = (0..MAX_READERS).map(|_| table.reader()).collect();
+        drop(held);
+        let _ = table.reader();
+    }
+
+    #[test]
+    fn concurrent_readers_never_observe_torn_generations() {
+        // Each generation is a pair summing to a constant; a torn read
+        // (fields from different generations) would break the invariant.
+        const SUM: u64 = 1 << 40;
+        const PUBLISHES: u64 = 2_000;
+        let table = EpochTable::new((0u64, SUM));
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut joins = Vec::new();
+        for _ in 0..4 {
+            let reader = table.reader();
+            let stop = Arc::clone(&stop);
+            joins.push(std::thread::spawn(move || {
+                let mut reads = 0u64;
+                while !stop.load(SeqCst) {
+                    reader.with(|&(a, b)| {
+                        assert_eq!(a + b, SUM, "torn read: ({a}, {b})");
+                    });
+                    reads += 1;
+                }
+                reads
+            }));
+        }
+        for i in 1..=PUBLISHES {
+            match table.take_recycled() {
+                Some(_) => table.publish((i, SUM - i)),
+                None => table.publish((i, SUM - i)),
+            };
+        }
+        stop.store(true, SeqCst);
+        let reads: u64 = joins.into_iter().map(|j| j.join().expect("reader")).sum();
+        assert!(reads > 0);
+        assert_eq!(table.epoch(), PUBLISHES);
+        // Readers are gone (handles dropped with the threads): everything
+        // retired must now be reclaimable.
+        table.try_reclaim();
+        assert_eq!(table.retired(), 0);
+    }
+
+    #[test]
+    fn forked_reader_reads_independently() {
+        let table = EpochTable::new(5u64);
+        let a = table.reader();
+        let b = a.fork();
+        drop(a);
+        assert_eq!(b.with(|&v| v), 5);
+    }
+}

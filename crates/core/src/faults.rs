@@ -28,6 +28,10 @@ pub mod failpoints {
     /// A chunk of the input log fails mid-read (I/O error on a page of an
     /// `mmap`'d file, torn NFS read).
     pub const INGEST_CHUNK_IO: &str = "ingest.chunk_io";
+    /// Patching a candidate table generation dies mid-apply (allocation
+    /// failure, corrupt delta surviving validation); the half-patched
+    /// candidate must be discarded with the old generation left serving.
+    pub const TABLE_PATCH: &str = "table.patch";
 }
 
 /// FNV-1a over the failpoint name: folds the registry key into the seed

@@ -28,6 +28,7 @@
 mod anomaly;
 mod cluster;
 mod dynamics;
+mod epoch;
 mod faults;
 mod fx;
 mod ingest;
@@ -46,6 +47,7 @@ pub use anomaly::{
 };
 pub use cluster::{ClientStats, Cluster, Clustering};
 pub use dynamics::{dynamics_analysis, DynamicsRow, LogDynamics, LogUnderStudy};
+pub use epoch::{EpochReader, EpochTable, MAX_READERS};
 pub use faults::{failpoints, FaultInjector, FaultPlan};
 pub use ingest::{IngestError, IngestPipeline, IngestReport, QuarantinedLine};
 pub use metrics::{cdf, cdf_at, Distributions, Summary};
@@ -58,8 +60,8 @@ pub use selfcorrect::{
 };
 pub use sessions::{session_report, SessionReport, SessionStats};
 pub use stream::{
-    StreamStats, StreamingBuilder, StreamingClustering, SwapPolicy, SwapRejection, SwapReport,
-    SwapStats,
+    PatchBatchReport, PatchStats, StreamHandle, StreamStats, StreamingBuilder, StreamingClustering,
+    SwapPolicy, SwapRejection, SwapReport, SwapStats,
 };
 // The shared error-accounting shape carried by `IngestReport`, consumed by
 // `StreamingClustering::try_swap`, and produced by rtable's `ParseReport`;

@@ -16,27 +16,52 @@
 //! before it replaces the serving table. A rejected candidate leaves the
 //! old table serving — degraded but correct — with the rejection and the
 //! stale-table age recorded in [`SwapStats`].
+//!
+//! Between full swaps, live BGP churn lands **incrementally**:
+//! [`StreamingClustering::apply_deltas`] patches a copy of the serving
+//! table in place (`CompiledMerged::apply_delta`), re-resolves only the
+//! clients a batch can affect, and publishes the patched generation
+//! through an [`EpochTable`] — readers ([`StreamHandle`]) never block and
+//! never observe a torn table, and superseded generations are recycled
+//! (journal replay) instead of recompiled or recloned. The same
+//! [`SwapPolicy`] entry/coverage gates are evaluated per patch batch, so a
+//! desynchronized feed degrades the stream no further than a bad snapshot
+//! would.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::net::Ipv4Addr;
 
-use netclust_obs::{Counter, ErrorCounts, Gauge, Obs};
+use netclust_obs::{Counter, ErrorCounts, Gauge, Histogram, Obs};
 use netclust_prefix::Ipv4Net;
-use netclust_rtable::{CompiledMerged, MergedTable};
+use netclust_rtable::{CompiledMerged, DeltaKind, MergedTable, PatchReport, TableDelta};
 use netclust_weblog::clf::ClfError;
 use netclust_weblog::clf_bytes;
 use netclust_weblog::Request;
 
+use crate::epoch::{EpochReader, EpochTable};
 use crate::faults::{failpoints, FaultInjector};
 
-/// Resolved swap-path observability handles (`stream.swap.*`); inert when
-/// the stream was built without [`StreamingBuilder::obs`].
+/// Patch-journal depth: a retired generation older than this many batches
+/// behind the serving one is cloned over instead of replayed.
+const JOURNAL_CAP: usize = 32;
+
+/// Resolved swap/patch-path observability handles (`stream.swap.*`,
+/// `stream.patch.*`, `stream.epoch.*`); inert when the stream was built
+/// without [`StreamingBuilder::obs`].
 #[derive(Debug, Clone, Default)]
 struct StreamObs {
     attempts: Counter,
     accepted: Counter,
     rejected: Counter,
     stale_age: Gauge,
+    patch_batches: Counter,
+    patch_rejected: Counter,
+    patch_slot_writes: Counter,
+    patch_group_rebuilds: Counter,
+    patch_recompiles: Counter,
+    patch_batch_deltas: Histogram,
+    epoch_lag: Gauge,
+    epoch_retired: Gauge,
 }
 
 impl StreamObs {
@@ -46,6 +71,66 @@ impl StreamObs {
             accepted: obs.counter("stream.swap.accepted"),
             rejected: obs.counter("stream.swap.rejected"),
             stale_age: obs.gauge("stream.swap.stale_age"),
+            patch_batches: obs.counter("stream.patch.batches"),
+            patch_rejected: obs.counter("stream.patch.rejected"),
+            patch_slot_writes: obs.counter("stream.patch.slot_writes"),
+            patch_group_rebuilds: obs.counter("stream.patch.group_rebuilds"),
+            patch_recompiles: obs.counter("stream.patch.recompiles"),
+            patch_batch_deltas: obs.histogram("stream.patch.batch_deltas"),
+            epoch_lag: obs.gauge("stream.epoch.lag"),
+            epoch_retired: obs.gauge("stream.epoch.retired"),
+        }
+    }
+}
+
+/// One published generation of the serving table, tagged with its patch
+/// lineage version so retired generations can be caught up by journal
+/// replay instead of cloning.
+#[derive(Clone)]
+struct LiveTable {
+    table: CompiledMerged,
+    version: u64,
+}
+
+/// A wait-free lookup handle over the serving table, for reader threads
+/// concurrent with [`StreamingClustering::apply_deltas`] /
+/// [`try_swap`](StreamingClustering::try_swap) on the owner. Lookups pin an
+/// epoch, never block the writer, and never observe a torn table; each
+/// handle owns one of the epoch table's reader slots
+/// ([`crate::epoch::MAX_READERS`]).
+#[derive(Debug)]
+pub struct StreamHandle {
+    reader: EpochReader<LiveTable>,
+}
+
+impl StreamHandle {
+    /// Longest-prefix cluster for `addr` under the current generation.
+    pub fn net_for(&self, addr: Ipv4Addr) -> Option<Ipv4Net> {
+        self.net_for_u32(u32::from(addr))
+    }
+
+    /// [`net_for`](Self::net_for) on a raw big-endian address.
+    pub fn net_for_u32(&self, addr: u32) -> Option<Ipv4Net> {
+        self.reader.with(|live| live.table.net_for_u32(addr))
+    }
+
+    /// Patch-lineage version of the generation currently serving (bumps on
+    /// every accepted patch batch or full swap).
+    pub fn version(&self) -> u64 {
+        self.reader.with(|live| live.version)
+    }
+
+    /// Live prefix count of the serving generation (both tiers).
+    pub fn table_len(&self) -> usize {
+        self.reader
+            .with(|live| live.table.bgp().len() + live.table.dump().len())
+    }
+}
+
+impl Clone for StreamHandle {
+    fn clone(&self) -> Self {
+        StreamHandle {
+            reader: self.reader.fork(),
         }
     }
 }
@@ -118,6 +203,10 @@ pub enum SwapRejection {
     },
     /// Compiling the candidate failed (injected fault or real).
     CompileFault,
+    /// Patching the candidate generation failed mid-apply (injected fault
+    /// or real); the half-patched generation was discarded and the old one
+    /// keeps serving.
+    PatchFault,
     /// The candidate would drop coverage of the known clients too far.
     CoverageCollapse {
         /// Serving table's request-weighted coverage.
@@ -156,6 +245,48 @@ pub struct SwapStats {
     /// refresh cycles stale the serving table is (0 = fresh). Non-zero
     /// means the stream is serving in degraded mode on an old table.
     pub stale_age: u64,
+}
+
+/// Outcome of one [`StreamingClustering::apply_deltas`] batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PatchBatchReport {
+    /// Whether the patched generation was published.
+    pub accepted: bool,
+    /// Why it was not (when `accepted` is false).
+    pub rejection: Option<SwapRejection>,
+    /// The table-layer patch accounting (slot writes, group rebuilds,
+    /// recompile fallback). Populated even on rejection — the patch is
+    /// applied off to the side before the gates run.
+    pub patch: PatchReport,
+    /// Live prefix count of the candidate generation (both tiers).
+    pub candidate_entries: usize,
+    /// Clients whose cluster assignment the batch changed (0 on rejection).
+    pub reassigned_clients: usize,
+    /// Request-weighted coverage before the batch.
+    pub coverage_before: f64,
+    /// Coverage after (the candidate's when accepted, the serving table's
+    /// when rejected).
+    pub coverage_after: f64,
+    /// The epoch after the operation (unchanged when rejected).
+    pub epoch: u64,
+}
+
+/// Cumulative [`apply_deltas`](StreamingClustering::apply_deltas)
+/// accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PatchStats {
+    /// Batches attempted.
+    pub batches: u64,
+    /// Batches published.
+    pub accepted: u64,
+    /// Batches rejected (gates or injected faults).
+    pub rejected: u64,
+    /// Direct slot writes across accepted and rejected batches.
+    pub slot_writes: u64,
+    /// Scoped overflow-group rebuilds.
+    pub group_rebuilds: u64,
+    /// Full-recompile fallbacks.
+    pub recompiles: u64,
 }
 
 /// Consuming builder for [`StreamingClustering`], mirroring
@@ -199,11 +330,20 @@ impl StreamingBuilder {
     /// Compiles the table to the flat DIR-24-8 layout and builds the
     /// (empty) streaming clustering.
     pub fn build(self) -> StreamingClustering {
-        let mut table = self.table.compile();
-        table.attach_obs(&self.obs);
+        let mut compiled = self.table.compile();
+        compiled.attach_obs(&self.obs);
         let metrics = StreamObs::resolve(&self.obs);
+        let table = EpochTable::new(LiveTable {
+            table: compiled,
+            version: 0,
+        });
+        let reader = table.reader();
         StreamingClustering {
             table,
+            reader,
+            version: 0,
+            journal: VecDeque::new(),
+            journal_base: 0,
             clusters: HashMap::new(),
             per_client: HashMap::new(),
             assignment: HashMap::new(),
@@ -211,6 +351,7 @@ impl StreamingBuilder {
             total_requests: 0,
             clf_counts: ErrorCounts::default(),
             swap_stats: SwapStats::default(),
+            patch_stats: PatchStats::default(),
             last_rejection: None,
             policy: self.policy,
             obs: self.obs,
@@ -223,12 +364,26 @@ impl StreamingBuilder {
 ///
 /// The routing table is compiled once at construction to the flat DIR-24-8
 /// layout ([`CompiledMerged`]), so the per-request hot path does O(1)–O(2)
-/// array lookups; [`try_swap`](Self::try_swap) validates and recompiles.
+/// array lookups; [`try_swap`](Self::try_swap) validates and recompiles,
+/// and [`apply_deltas`](Self::apply_deltas) patches incrementally. The
+/// serving table lives behind an [`EpochTable`], so [`handle`](Self::handle)
+/// lookups on other threads proceed wait-free through either.
 ///
 /// Construct with [`builder`](Self::builder):
 /// `StreamingClustering::builder(table).swap_policy(..).obs(..).build()`.
 pub struct StreamingClustering {
-    table: CompiledMerged,
+    /// The serving table generations (epoch-reclaimed).
+    table: EpochTable<LiveTable>,
+    /// The owner's own lookup handle into `table`.
+    reader: EpochReader<LiveTable>,
+    /// Patch-lineage version of the serving generation.
+    version: u64,
+    /// Recently accepted delta batches; `journal[i]` advances version
+    /// `journal_base + i` to `journal_base + i + 1`. Replayed into recycled
+    /// generations so a patch batch does not clone the serving table.
+    journal: VecDeque<Vec<TableDelta>>,
+    /// Version the front of `journal` applies to.
+    journal_base: u64,
     /// Per-cluster aggregates.
     clusters: HashMap<Ipv4Net, StreamStats>,
     /// Per-client totals (kept so a table swap can rebuild assignments
@@ -244,6 +399,8 @@ pub struct StreamingClustering {
     clf_counts: ErrorCounts,
     /// Swap acceptance/rejection accounting.
     swap_stats: SwapStats,
+    /// Patch-batch accounting.
+    patch_stats: PatchStats,
     /// The most recent rejection, for operators polling stats.
     last_rejection: Option<SwapRejection>,
     /// Thresholds applied by [`try_swap`](Self::try_swap).
@@ -265,11 +422,13 @@ impl StreamingClustering {
         }
     }
 
-    /// Creates an empty streaming clustering over `table`, compiling it
-    /// for flat lookups.
-    #[deprecated(note = "use `StreamingClustering::builder(table).build()`")]
-    pub fn new(table: MergedTable) -> Self {
-        Self::builder(table).build()
+    /// A wait-free lookup handle for reader threads: sees every accepted
+    /// swap and patch batch, never blocks on the writer, never observes a
+    /// torn table.
+    pub fn handle(&self) -> StreamHandle {
+        StreamHandle {
+            reader: self.table.reader(),
+        }
     }
 
     /// Feeds one request.
@@ -313,7 +472,7 @@ impl StreamingClustering {
         let prefix = *self
             .assignment
             .entry(client)
-            .or_insert_with(|| self.table.net_for_u32(client));
+            .or_insert_with(|| self.reader.with(|live| live.table.net_for_u32(client)));
         match prefix {
             Some(net) => {
                 let stats = self.clusters.entry(net).or_default();
@@ -382,6 +541,18 @@ impl StreamingClustering {
         self.swap_stats
     }
 
+    /// Patch-batch accounting: batches, acceptance, and the table-layer
+    /// write mix.
+    pub fn patch_stats(&self) -> PatchStats {
+        self.patch_stats
+    }
+
+    /// Patch-lineage version of the serving generation (bumps on every
+    /// accepted patch batch or full swap).
+    pub fn table_version(&self) -> u64 {
+        self.version
+    }
+
     /// The most recent swap rejection, if any.
     pub fn last_rejection(&self) -> Option<SwapRejection> {
         self.last_rejection
@@ -435,30 +606,218 @@ impl StreamingClustering {
         self.try_swap_inner(table, noise.ratio(), &policy, faults)
     }
 
-    /// Validated swap with an explicit policy and a raw noise ratio.
-    #[deprecated(note = "configure the policy via `StreamingBuilder::swap_policy` \
-                         and call `try_swap(table, noise_counts)`")]
-    pub fn try_swap_table(
-        &mut self,
-        table: MergedTable,
-        noise_ratio: f64,
-        policy: &SwapPolicy,
-    ) -> SwapReport {
-        self.try_swap_inner(table, noise_ratio, policy, &mut FaultInjector::disabled())
+    /// Applies one batch of per-prefix routing deltas incrementally: a
+    /// *copy* of the serving table (a recycled retired generation when one
+    /// is safe, caught up by journal replay) is patched in place
+    /// (`CompiledMerged::apply_delta`), only the clients the batch can
+    /// affect are re-resolved, and the [`SwapPolicy`] entry/coverage gates
+    /// run before the patched generation is published through the epoch
+    /// table. Rejection discards the candidate; the old generation keeps
+    /// serving and concurrent [`handle`](Self::handle) lookups never
+    /// blocked either way.
+    pub fn apply_deltas(&mut self, deltas: &[TableDelta]) -> PatchBatchReport {
+        self.apply_deltas_with(deltas, &mut FaultInjector::disabled())
     }
 
-    /// Validated swap with an explicit policy, raw noise ratio, and fault
-    /// injector.
-    #[deprecated(note = "configure the policy via `StreamingBuilder::swap_policy` \
-                         and call `try_swap_with(table, noise_counts, faults)`")]
-    pub fn try_swap_table_with(
+    /// [`apply_deltas`](Self::apply_deltas) with a fault injector: the
+    /// [`failpoints::TABLE_PATCH`] failpoint simulates the in-place patch
+    /// dying mid-apply, which must discard the candidate and leave the old
+    /// generation intact.
+    pub fn apply_deltas_with(
         &mut self,
-        table: MergedTable,
-        noise_ratio: f64,
-        policy: &SwapPolicy,
+        deltas: &[TableDelta],
         faults: &mut FaultInjector,
-    ) -> SwapReport {
-        self.try_swap_inner(table, noise_ratio, policy, faults)
+    ) -> PatchBatchReport {
+        let _span = self.obs.span("stream.patch");
+        let coverage_before = self.coverage();
+        if deltas.is_empty() {
+            return PatchBatchReport {
+                accepted: true,
+                rejection: None,
+                patch: PatchReport::default(),
+                candidate_entries: self
+                    .reader
+                    .with(|live| live.table.bgp().len() + live.table.dump().len()),
+                reassigned_clients: 0,
+                coverage_before,
+                coverage_after: coverage_before,
+                epoch: self.table.epoch(),
+            };
+        }
+        self.patch_stats.batches += 1;
+        self.metrics.patch_batches.inc();
+        self.metrics.patch_batch_deltas.record(deltas.len() as u64);
+
+        // Build the candidate off to the side: recycle a retired
+        // generation when one is reclaimable and recent enough to catch up
+        // from the journal, otherwise clone the serving generation.
+        let mut candidate = match self.table.take_recycled() {
+            Some(mut stale) if stale.version >= self.journal_base => {
+                let skip = (stale.version - self.journal_base) as usize;
+                for batch in self.journal.iter().skip(skip) {
+                    stale.table.apply_delta(batch);
+                }
+                stale.version = self.version;
+                stale
+            }
+            _ => self.reader.with(|live| live.clone()),
+        };
+        let patch = candidate.table.apply_delta(deltas);
+        self.patch_stats.slot_writes += patch.slot_writes() as u64;
+        self.patch_stats.group_rebuilds += patch.groups_rebuilt as u64;
+        if patch.recompiled {
+            self.patch_stats.recompiles += 1;
+            self.metrics.patch_recompiles.inc();
+        }
+        self.metrics
+            .patch_slot_writes
+            .add(patch.slot_writes() as u64);
+        self.metrics
+            .patch_group_rebuilds
+            .add(patch.groups_rebuilt as u64);
+
+        let candidate_entries = candidate.table.bgp().len() + candidate.table.dump().len();
+        let reject = |this: &mut Self, why: SwapRejection| {
+            this.patch_stats.rejected += 1;
+            this.last_rejection = Some(why);
+            this.metrics.patch_rejected.inc();
+            PatchBatchReport {
+                accepted: false,
+                rejection: Some(why),
+                patch,
+                candidate_entries,
+                reassigned_clients: 0,
+                coverage_before,
+                coverage_after: coverage_before,
+                epoch: this.table.epoch(),
+            }
+        };
+
+        // An injected (or real) mid-patch death: the half-patched candidate
+        // is dropped on the floor; the serving generation was never touched.
+        if faults.should_fire(failpoints::TABLE_PATCH) {
+            return reject(self, SwapRejection::PatchFault);
+        }
+        if candidate_entries < self.policy.min_entries {
+            return reject(
+                self,
+                SwapRejection::TooFewEntries {
+                    entries: candidate_entries,
+                    floor: self.policy.min_entries,
+                },
+            );
+        }
+
+        // Re-resolve only the clients the batch can affect: those assigned
+        // to a withdrawn/replaced prefix and those an announced prefix
+        // covers (a longer match may capture them). Everyone else keeps
+        // their assignment — that containment argument is what makes a
+        // patch batch O(affected) instead of O(clients).
+        let withdrawn: BTreeSet<Ipv4Net> = deltas
+            .iter()
+            .filter(|d| d.kind == DeltaKind::Withdraw)
+            .map(|d| d.prefix)
+            .collect();
+        let announced: Vec<Ipv4Net> = deltas
+            .iter()
+            .filter(|d| d.kind == DeltaKind::Announce)
+            .map(|d| d.prefix)
+            .collect();
+        // analyze:allow(determinism) moves feed commutative per-cluster
+        // sums and a coverage ratio; iteration order cannot reach any
+        // output.
+        let mut moves: Vec<(u32, Option<Ipv4Net>, Option<Ipv4Net>)> = Vec::new();
+        let mut unclustered_delta = 0i64;
+        for (&client, &old_net) in &self.assignment {
+            let hit = old_net.is_some_and(|n| withdrawn.contains(&n))
+                || announced.iter().any(|p| p.contains_u32(client));
+            if !hit {
+                continue;
+            }
+            let new_net = candidate.table.net_for_u32(client);
+            if new_net == old_net {
+                continue;
+            }
+            let requests = self.per_client.get(&client).map_or(0, |&(r, _)| r);
+            if old_net.is_none() {
+                unclustered_delta -= requests as i64;
+            }
+            if new_net.is_none() {
+                unclustered_delta += requests as i64;
+            }
+            moves.push((client, old_net, new_net));
+        }
+        let coverage_after = if self.total_requests == 0 {
+            0.0
+        } else {
+            let unclustered = (self.unclustered_requests as i64 + unclustered_delta).max(0);
+            1.0 - unclustered as f64 / self.total_requests as f64
+        };
+        if self.total_requests > 0 {
+            let floor = coverage_before * self.policy.min_coverage_retention;
+            if coverage_after < floor {
+                return reject(
+                    self,
+                    SwapRejection::CoverageCollapse {
+                        before: coverage_before,
+                        after: coverage_after,
+                        floor,
+                    },
+                );
+            }
+        }
+
+        // Commit: journal the batch, publish the generation, and move the
+        // affected clients' aggregates between clusters.
+        self.version += 1;
+        candidate.version = self.version;
+        self.journal.push_back(deltas.to_vec());
+        if self.journal.len() > JOURNAL_CAP {
+            self.journal.pop_front();
+            self.journal_base += 1;
+        }
+        let epoch = self.table.publish(candidate);
+        let reassigned_clients = moves.len();
+        for (client, old_net, new_net) in moves {
+            let (requests, bytes) = self.per_client.get(&client).copied().unwrap_or((0, 0));
+            self.assignment.insert(client, new_net);
+            match old_net {
+                Some(net) => {
+                    if let Some(stats) = self.clusters.get_mut(&net) {
+                        stats.clients = stats.clients.saturating_sub(1);
+                        stats.requests = stats.requests.saturating_sub(requests);
+                        stats.bytes = stats.bytes.saturating_sub(bytes);
+                        if stats.clients == 0 {
+                            self.clusters.remove(&net);
+                        }
+                    }
+                }
+                None => self.unclustered_requests -= requests,
+            }
+            match new_net {
+                Some(net) => {
+                    let stats = self.clusters.entry(net).or_default();
+                    stats.clients += 1;
+                    stats.requests += requests;
+                    stats.bytes += bytes;
+                }
+                None => self.unclustered_requests += requests,
+            }
+        }
+        self.patch_stats.accepted += 1;
+        self.last_rejection = None;
+        self.metrics.epoch_lag.set(self.table.reader_lag());
+        self.metrics.epoch_retired.set(self.table.retired() as u64);
+        PatchBatchReport {
+            accepted: true,
+            rejection: None,
+            patch,
+            candidate_entries,
+            reassigned_clients,
+            coverage_before,
+            coverage_after: self.coverage(),
+            epoch,
+        }
     }
 
     fn try_swap_inner(
@@ -556,9 +915,22 @@ impl StreamingClustering {
 
     /// Installs an already-compiled table, rebuilding cluster aggregates
     /// from the retained per-client totals and the batch LPM sweep
-    /// (`nets[i]` is `clients[i]`'s assignment under the new table).
+    /// (`nets[i]` is `clients[i]`'s assignment under the new table). A full
+    /// swap supersedes the patch lineage: the journal is cleared, so
+    /// retired pre-swap generations are never replayed into.
     fn install(&mut self, compiled: CompiledMerged, clients: Vec<u32>, nets: Vec<Option<Ipv4Net>>) {
-        self.table = compiled;
+        self.version += 1;
+        self.journal.clear();
+        self.journal_base = self.version;
+        self.table.publish(LiveTable {
+            table: compiled,
+            version: self.version,
+        });
+        // Pre-swap generations are useless as recycling spares (the journal
+        // no longer reaches them); free what readers allow.
+        self.table.try_reclaim();
+        self.metrics.epoch_lag.set(self.table.reader_lag());
+        self.metrics.epoch_retired.set(self.table.retired() as u64);
         self.assignment.clear();
         self.clusters.clear();
         self.unclustered_requests = 0;
@@ -768,34 +1140,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_builder_surface() {
-        // `new` and the explicit-policy `try_swap_table*` shims are kept
-        // for one release; they must behave exactly like the builder path.
-        let (u, log) = setup();
-        let mut legacy = StreamingClustering::new(standard_merged(&u, 0));
-        let mut fresh = StreamingClustering::builder(standard_merged(&u, 0)).build();
-        for r in &log.requests {
-            legacy.push(r);
-            fresh.push(r);
-        }
-        assert_eq!(legacy.top_k(usize::MAX), fresh.top_k(usize::MAX));
-        // Per-call policy on the shim overrides nothing in the builder
-        // path: a permissive policy accepts what the default rejects.
-        let empty = MergedTable::merge(std::iter::empty());
-        let report = legacy.try_swap_table(empty, 0.0, &SwapPolicy::permissive());
-        assert!(report.accepted, "rejected: {:?}", report.rejection);
-        let report = legacy.try_swap_table_with(
-            standard_merged(&u, 7),
-            0.0,
-            &SwapPolicy::default(),
-            &mut FaultInjector::disabled(),
-        );
-        assert!(report.accepted);
-        assert_eq!(legacy.swap_stats().accepted, 2);
-    }
-
-    #[test]
     fn swap_metrics_reach_the_registry() {
         let (u, log) = setup();
         let obs = Obs::enabled();
@@ -839,6 +1183,215 @@ mod tests {
         // Retrying with the fault disarmed succeeds.
         let ok = stream.try_swap(standard_merged(&u, 7), ErrorCounts::default());
         assert!(ok.accepted);
+    }
+
+    /// The streaming view after any sequence of patches/swaps must equal a
+    /// from-scratch re-resolution of every retained client against the
+    /// serving table — the incremental aggregate moves cannot drift.
+    fn assert_view_consistent(stream: &StreamingClustering) {
+        let handle = stream.handle();
+        let mut clusters: HashMap<Ipv4Net, StreamStats> = HashMap::new();
+        let mut unclustered = 0u64;
+        for (&client, &(requests, bytes)) in &stream.per_client {
+            assert_eq!(
+                stream.assignment.get(&client).copied(),
+                Some(handle.net_for_u32(client)),
+                "memoized assignment for {client:#010x} disagrees with the serving table"
+            );
+            match handle.net_for_u32(client) {
+                Some(net) => {
+                    let s = clusters.entry(net).or_default();
+                    s.clients += 1;
+                    s.requests += requests;
+                    s.bytes += bytes;
+                }
+                None => unclustered += requests,
+            }
+        }
+        assert_eq!(stream.clusters, clusters);
+        assert_eq!(stream.unclustered_requests, unclustered);
+    }
+
+    #[test]
+    fn patch_batches_track_live_routing_changes() {
+        let (u, log) = setup();
+        let mut stream = StreamingClustering::builder(standard_merged(&u, 0)).build();
+        for r in &log.requests {
+            stream.push(r);
+        }
+        assert_view_consistent(&stream);
+        let before_total = stream.total_requests();
+        let handle = stream.handle();
+
+        // Withdraw the busiest cluster's prefix: its clients must remap to
+        // a covering prefix or become unclustered, everyone else untouched.
+        let (busiest, busy_stats) = stream.top_k(1)[0];
+        let report = stream.apply_deltas(&[TableDelta::withdraw(busiest)]);
+        assert!(report.accepted, "rejected: {:?}", report.rejection);
+        assert!(report.patch.patched_in_place());
+        assert!(report.reassigned_clients as u64 >= busy_stats.clients);
+        assert_eq!(stream.stats(busiest), None);
+        assert_view_consistent(&stream);
+
+        // Re-announce it: the clients move back.
+        let report = stream.apply_deltas(&[TableDelta::announce(busiest)]);
+        assert!(report.accepted);
+        assert_eq!(
+            stream.stats(busiest),
+            Some(busy_stats),
+            "announce must restore the withdrawn cluster exactly"
+        );
+        assert_eq!(stream.total_requests(), before_total);
+        assert_view_consistent(&stream);
+
+        // The stream's own epoch handle tracked both publishes.
+        assert_eq!(stream.table_version(), 2);
+        assert_eq!(handle.version(), 2);
+        let stats = stream.patch_stats();
+        assert_eq!(stats.batches, 2);
+        assert_eq!(stats.accepted, 2);
+        assert!(stats.slot_writes > 0);
+    }
+
+    #[test]
+    fn patch_equals_full_swap_of_same_prefix_set() {
+        // Patching prefixes in and out must serve the same lookups as a
+        // stream rebuilt over the final table (swap path), client for
+        // client.
+        let (u, log) = setup();
+        let mut patched = StreamingClustering::builder(standard_merged(&u, 0)).build();
+        let mut swapped = StreamingClustering::builder(standard_merged(&u, 0)).build();
+        for r in &log.requests {
+            patched.push(r);
+            swapped.push(r);
+        }
+        let victims: Vec<Ipv4Net> = patched.top_k(3).iter().map(|&(p, _)| p).collect();
+        let deltas: Vec<TableDelta> = victims.iter().map(|&p| TableDelta::withdraw(p)).collect();
+        let report = patched.apply_deltas(&deltas);
+        assert!(report.accepted, "rejected: {:?}", report.rejection);
+
+        // Build the equivalent full table: day-0 BGP tier minus the
+        // victims, compiled from scratch through the swap path.
+        let merged = standard_merged(&u, 0);
+        let keep: Vec<Ipv4Net> = merged
+            .bgp_prefixes()
+            .iter()
+            .copied()
+            .filter(|p| !victims.contains(p))
+            .collect();
+        let bgp = netclust_rtable::RoutingTable::new(
+            "patched-equiv",
+            "d0",
+            netclust_rtable::TableKind::Bgp,
+            keep,
+        );
+        let dump = netclust_rtable::RoutingTable::new(
+            "dump-equiv",
+            "d0",
+            netclust_rtable::TableKind::NetworkDump,
+            merged.dump_prefixes(),
+        );
+        swapped.swap_table(MergedTable::merge([&bgp, &dump]));
+        assert_eq!(patched.top_k(usize::MAX), swapped.top_k(usize::MAX));
+        assert!((patched.coverage() - swapped.coverage()).abs() < 1e-12);
+        assert_view_consistent(&patched);
+    }
+
+    #[test]
+    fn patch_coverage_gate_rejects_and_preserves_serving_table() {
+        // Two BGP prefixes, no dump tier to fall back to: withdrawing the
+        // busy one would strand nearly every client, so the retention gate
+        // must fire (with enough entries left that the entry floor does
+        // not trip first).
+        let bgp = netclust_rtable::RoutingTable::new(
+            "only",
+            "d0",
+            netclust_rtable::TableKind::Bgp,
+            vec![
+                "10.0.0.0/8".parse().unwrap(),
+                "192.168.0.0/16".parse().unwrap(),
+            ],
+        );
+        let mut stream = StreamingClustering::builder(MergedTable::merge([&bgp]))
+            .swap_policy(SwapPolicy {
+                min_coverage_retention: 1.0, // no regression allowed
+                ..SwapPolicy::default()
+            })
+            .build();
+        for host in 0..50u32 {
+            stream.push_raw(0x0A00_0000 + host, 100);
+        }
+        stream.push_raw(0xC0A8_0001, 100);
+        assert_eq!(stream.coverage(), 1.0);
+        let before = stream.top_k(usize::MAX);
+        let version = stream.table_version();
+        let deltas = vec![TableDelta::withdraw("10.0.0.0/8".parse().unwrap())];
+        let report = stream.apply_deltas(&deltas);
+        assert!(!report.accepted);
+        assert!(matches!(
+            report.rejection,
+            Some(SwapRejection::CoverageCollapse { .. })
+        ));
+        assert!(report.coverage_after <= report.coverage_before);
+        // Old generation intact: view, version, and lookups unchanged.
+        assert_eq!(stream.top_k(usize::MAX), before);
+        assert_eq!(stream.table_version(), version);
+        assert_eq!(stream.patch_stats().rejected, 1);
+        assert_eq!(stream.last_rejection(), report.rejection);
+        assert_view_consistent(&stream);
+    }
+
+    #[test]
+    fn injected_patch_fault_discards_candidate() {
+        let (u, log) = setup();
+        let mut stream = StreamingClustering::builder(standard_merged(&u, 0)).build();
+        for r in &log.requests {
+            stream.push(r);
+        }
+        let before = stream.top_k(usize::MAX);
+        let (target, _) = before[0];
+        let mut faults = crate::FaultPlan::new(7)
+            .with(failpoints::TABLE_PATCH, 1.0)
+            .injector();
+        let report = stream.apply_deltas_with(&[TableDelta::withdraw(target)], &mut faults);
+        assert!(!report.accepted);
+        assert_eq!(report.rejection, Some(SwapRejection::PatchFault));
+        assert_eq!(faults.fired(failpoints::TABLE_PATCH), 1);
+        // Old generation serves untouched.
+        assert_eq!(stream.top_k(usize::MAX), before);
+        assert!(stream.stats(target).is_some());
+        assert_view_consistent(&stream);
+        // Disarmed retry applies.
+        let report = stream.apply_deltas(&[TableDelta::withdraw(target)]);
+        assert!(report.accepted);
+        assert_eq!(stream.stats(target), None);
+        assert_view_consistent(&stream);
+    }
+
+    #[test]
+    fn patch_metrics_reach_the_registry() {
+        let (u, log) = setup();
+        let obs = Obs::enabled();
+        let mut stream = StreamingClustering::builder(standard_merged(&u, 0))
+            .obs(obs.clone())
+            .build();
+        for r in &log.requests {
+            stream.push(r);
+        }
+        let (busiest, _) = stream.top_k(1)[0];
+        stream.apply_deltas(&[TableDelta::withdraw(busiest)]);
+        stream.apply_deltas(&[TableDelta::announce(busiest)]);
+        let snap = obs.snapshot(true);
+        assert_eq!(snap.counters.get("stream.patch.batches"), Some(&2));
+        assert!(
+            snap.counters
+                .get("stream.patch.slot_writes")
+                .copied()
+                .unwrap_or(0)
+                > 0
+        );
+        assert!(snap.histograms.contains_key("stream.patch.batch_deltas"));
+        assert_eq!(snap.gauges.get("stream.epoch.lag"), Some(&0));
     }
 
     #[test]

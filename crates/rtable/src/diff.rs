@@ -10,6 +10,7 @@ use std::collections::BTreeSet;
 
 use netclust_prefix::Ipv4Net;
 
+use crate::patch::TableDelta;
 use crate::table::RoutingTable;
 
 /// Prefix-level difference between two snapshots of the same vantage point.
@@ -35,6 +36,41 @@ impl SnapshotDiff {
     /// Total number of changed prefixes.
     pub fn churn(&self) -> usize {
         self.added.len() + self.removed.len()
+    }
+
+    /// The diff as per-prefix routing deltas — the shared currency with
+    /// `bgpsim::DeltaStream` and [`crate::CompiledTable::apply_delta`]:
+    /// withdrawals first (so a replace-style snapshot change never leaves
+    /// a transiently doubled table), then announcements, both sorted.
+    pub fn deltas(&self) -> Vec<TableDelta> {
+        let mut out = Vec::with_capacity(self.churn());
+        out.extend(self.removed.iter().copied().map(TableDelta::withdraw));
+        out.extend(self.added.iter().copied().map(TableDelta::announce));
+        out
+    }
+
+    /// Like [`deltas`](Self::deltas), but prefixes present in both
+    /// snapshots whose route attributes changed (per `old`/`new`'s
+    /// attribute tables) are reported as
+    /// [`DeltaKind::Replace`](crate::DeltaKind::Replace) — attribute
+    /// churn that a patch layer can count without touching slots.
+    pub fn deltas_with_replacements(old: &RoutingTable, new: &RoutingTable) -> Vec<TableDelta> {
+        let diff = Self::between(old, new);
+        let mut out = diff.deltas();
+        let old_set = old.prefix_set();
+        for (i, &p) in new.prefixes().iter().enumerate() {
+            if !old_set.contains(&p) {
+                continue;
+            }
+            let changed = match (new.attrs(i), old.attrs_of(p)) {
+                (Some(na), Some(oa)) => na != oa,
+                (a, b) => a.is_some() != b.is_some(),
+            };
+            if changed {
+                out.push(TableDelta::replace(p));
+            }
+        }
+        out
     }
 
     /// `true` when the snapshots are identical.
@@ -118,6 +154,63 @@ mod tests {
         let d0 = table("A", &["6.0.0.0/8"]);
         assert_eq!(maximum_effect(&[&d0]), 0);
         assert!(dynamic_prefix_set(&[]).is_empty());
+    }
+
+    #[test]
+    fn deltas_order_withdrawals_before_announcements() {
+        use crate::patch::DeltaKind;
+        let old = table("A", &["6.0.0.0/8", "18.0.0.0/8"]);
+        let new = table("A", &["6.0.0.0/8", "24.48.2.0/23"]);
+        let deltas = SnapshotDiff::between(&old, &new).deltas();
+        assert_eq!(
+            deltas,
+            vec![
+                TableDelta::withdraw(net("18.0.0.0/8")),
+                TableDelta::announce(net("24.48.2.0/23")),
+            ]
+        );
+        assert!(deltas.iter().all(|d| d.kind != DeltaKind::Replace));
+    }
+
+    #[test]
+    fn attribute_churn_reports_replace_deltas() {
+        use crate::patch::DeltaKind;
+        use crate::table::{RouteAttrs, RoutingTable, TableKind};
+        let attrs = |hop: &str| RouteAttrs {
+            description: String::new(),
+            next_hop: hop.to_string(),
+            as_path: vec![7018],
+        };
+        let old = RoutingTable::with_attrs(
+            "A",
+            "d0",
+            TableKind::Bgp,
+            vec![
+                (net("6.0.0.0/8"), attrs("r1")),
+                (net("18.0.0.0/8"), attrs("r1")),
+            ],
+        );
+        let new = RoutingTable::with_attrs(
+            "A",
+            "d1",
+            TableKind::Bgp,
+            vec![
+                (net("6.0.0.0/8"), attrs("r2")), // next hop changed
+                (net("18.0.0.0/8"), attrs("r1")),
+                (net("24.48.2.0/23"), attrs("r1")),
+            ],
+        );
+        let deltas = SnapshotDiff::deltas_with_replacements(&old, &new);
+        assert_eq!(
+            deltas,
+            vec![
+                TableDelta::announce(net("24.48.2.0/23")),
+                TableDelta {
+                    prefix: net("6.0.0.0/8"),
+                    kind: DeltaKind::Replace
+                },
+            ]
+        );
     }
 
     #[test]

@@ -64,12 +64,12 @@ impl TableObs {
 
 /// Extension flag on a `tbl24` entry: the low 31 bits index a 256-slot
 /// overflow group instead of encoding a match directly.
-const EXT_FLAG: u32 = 1 << 31;
+pub(crate) const EXT_FLAG: u32 = 1 << 31;
 
 /// Sentinel in a `long16` slot: the byte is not covered by any >/24
 /// prefix, so the lookup falls back to the group's seed (the covering
 /// ≤/24 match, which may not fit in 16 bits).
-const LONG16_SEED: u16 = u16::MAX;
+pub(crate) const LONG16_SEED: u16 = u16::MAX;
 
 /// Default software-prefetch distance for the batch lookup paths: how many
 /// addresses ahead of the current one the `tbl24` cache line is requested.
@@ -138,23 +138,34 @@ impl Handle {
 /// assert_eq!(net.to_string(), "12.65.128.0/19");
 /// assert!(table.lookup(u32::from_be_bytes([99, 1, 1, 1])).is_none());
 /// ```
+#[derive(Clone)]
 pub struct CompiledTable {
     /// One slot per 24-bit address prefix; empty when the table holds no
     /// prefixes (every lookup misses without touching memory).
-    tbl24: Vec<u32>,
+    pub(crate) tbl24: Vec<u32>,
     /// Compact 256-slot groups for prefixes longer than /24: handles fit
     /// in 16 bits because long prefixes come first in the arena.
     /// [`LONG16_SEED`] defers to the group's `long_seed` entry.
-    long16: Vec<u16>,
+    pub(crate) long16: Vec<u16>,
     /// Per-group seed slot: the covering ≤/24 match (full `u32` slot
     /// encoding) returned for bytes no >/24 prefix covers.
-    long_seed: Vec<u32>,
+    pub(crate) long_seed: Vec<u32>,
     /// Full-width 256-slot groups, used only when the table holds too
     /// many >/24 prefixes for 16-bit handles. Seeds are stored inline.
-    long32: Vec<u32>,
+    pub(crate) long32: Vec<u32>,
     /// Dense prefix arena, all >/24 prefixes first; [`Handle`]s index
-    /// into this.
-    prefixes: Vec<Ipv4Net>,
+    /// into this. After in-place patching the arena may contain dead
+    /// (withdrawn) entries that no slot references; see
+    /// [`live_prefixes`](Self::live_prefixes).
+    pub(crate) prefixes: Vec<Ipv4Net>,
+    /// How many `tbl24` extension entries reference each overflow group
+    /// (groups are deduplicated at compile time, so a group can serve
+    /// several 24-bit blocks). The patch layer copies a shared group
+    /// before writing into it.
+    pub(crate) group_refs: Vec<u32>,
+    /// Incremental-update bookkeeping (shadow trie, free lists); built by
+    /// the first [`apply_delta`](Self::apply_delta) call.
+    pub(crate) patch: Option<Box<crate::patch::PatchState>>,
     /// Lookup/miss accounting (no-op unless attached).
     obs: TableObs,
 }
@@ -172,6 +183,8 @@ impl CompiledTable {
                 long_seed: Vec::new(),
                 long32: Vec::new(),
                 prefixes: input,
+                group_refs: Vec::new(),
+                patch: None,
                 obs: TableObs::default(),
             };
         }
@@ -303,6 +316,7 @@ impl CompiledTable {
                 }
             }
         }
+        let mut group_refs = vec![0u32; long_seed.len().max(long32.len() / 256)];
         for &idx24 in &ext_cells {
             // analyze:allow(panic-free-hot-path) ext_cells records only
             // in-range tbl24 cells holding pre-dedup group ids, and remap
@@ -314,6 +328,10 @@ impl CompiledTable {
             );
             // analyze:allow(panic-free-hot-path) as above: old < remap.len().
             tbl24[idx24] = EXT_FLAG | remap[old];
+            // analyze:allow(panic-free-hot-path) remap values index kept
+            // groups (asserted below), and group_refs covers every kept
+            // group by construction.
+            group_refs[remap[old] as usize] += 1;
         }
 
         // Dedup consistency: the compact form keeps one seed per kept
@@ -333,6 +351,8 @@ impl CompiledTable {
             long_seed,
             long32,
             prefixes,
+            group_refs,
+            patch: None,
             obs: TableObs::default(),
         }
     }
@@ -457,19 +477,43 @@ impl CompiledTable {
         handle.index().and_then(|i| self.prefixes.get(i)).copied()
     }
 
-    /// The dense prefix arena; [`Handle`]s index into this slice.
+    /// The dense prefix arena; [`Handle`]s index into this slice. On a
+    /// table that has been patched in place ([`apply_delta`]
+    /// (Self::apply_delta)) the arena may contain dead entries no slot
+    /// references any more; use [`live_prefixes`](Self::live_prefixes)
+    /// for the current prefix set.
     pub fn prefixes(&self) -> &[Ipv4Net] {
         &self.prefixes
     }
 
-    /// Number of prefixes compiled in.
-    pub fn len(&self) -> usize {
-        self.prefixes.len()
+    /// The current live prefix set, sorted: the arena minus withdrawn
+    /// entries. Equals [`prefixes`](Self::prefixes) (sorted, deduplicated)
+    /// on a freshly compiled table.
+    pub fn live_prefixes(&self) -> Vec<Ipv4Net> {
+        match &self.patch {
+            Some(state) => state.trie.prefixes(),
+            None => {
+                let mut v = self.prefixes.clone();
+                v.sort();
+                v.dedup();
+                v
+            }
+        }
     }
 
-    /// `true` when no prefixes were compiled.
+    /// Number of live prefixes. Before any patch this is the arena length
+    /// (duplicates included, matching what was compiled in); after the
+    /// patch layer initializes it is the deduplicated live count.
+    pub fn len(&self) -> usize {
+        match &self.patch {
+            Some(state) => state.trie.len(),
+            None => self.prefixes.len(),
+        }
+    }
+
+    /// `true` when no prefixes are live.
     pub fn is_empty(&self) -> bool {
-        self.prefixes.is_empty()
+        self.len() == 0
     }
 
     /// Number of distinct 256-slot overflow groups stored for >/24
@@ -487,12 +531,21 @@ impl CompiledTable {
         self.long32.is_empty()
     }
 
-    /// Table memory footprint in bytes (both levels plus the arena).
+    /// Swaps in a freshly compiled layout (the patch layer's full-recompile
+    /// fallback), preserving the attached observability counters.
+    pub(crate) fn replace_layout(&mut self, mut new: CompiledTable) {
+        new.obs = self.obs.clone();
+        *self = new;
+    }
+
+    /// Table memory footprint in bytes (both levels, the arena, and the
+    /// per-group reference counts).
     pub fn memory_bytes(&self) -> usize {
         self.tbl24.len() * 4
             + self.long16.len() * 2
             + self.long_seed.len() * 4
             + self.long32.len() * 4
+            + self.group_refs.len() * 4
             + self.prefixes.len() * std::mem::size_of::<Ipv4Net>()
     }
 }
@@ -520,6 +573,7 @@ impl<V> PrefixTrie<V> {
 /// The compiled form of a [`MergedTable`]: both source tiers frozen to
 /// flat tables, preserving the BGP-primary / registry-fallback semantics
 /// of [`MergedTable::lookup`].
+#[derive(Clone)]
 pub struct CompiledMerged {
     bgp: CompiledTable,
     dump: CompiledTable,
@@ -557,6 +611,12 @@ impl CompiledMerged {
     /// The compiled registry-dump (fallback) tier.
     pub fn dump(&self) -> &CompiledTable {
         &self.dump
+    }
+
+    /// Mutable access to the BGP tier for the patch layer (BGP deltas only
+    /// ever touch the primary tier; the registry dump is static).
+    pub(crate) fn bgp_tier_mut(&mut self) -> &mut CompiledTable {
+        &mut self.bgp
     }
 
     /// Longest-prefix match with source attribution: BGP tier first, then
@@ -895,7 +955,8 @@ mod tests {
         let t = CompiledTable::from_prefixes([net("24.48.2.0/24"), net("24.48.2.128/25")]);
         assert!(t.long_slots_compact());
         assert_eq!(t.long_groups(), 1);
-        let expect = (1usize << 24) * 4 + 256 * 2 + 4 + 2 * std::mem::size_of::<Ipv4Net>();
+        // tbl24 + one 16-bit group + its seed + its refcount + the arena.
+        let expect = (1usize << 24) * 4 + 256 * 2 + 4 + 4 + 2 * std::mem::size_of::<Ipv4Net>();
         assert_eq!(t.memory_bytes(), expect);
     }
 

@@ -11,12 +11,15 @@
 //!   two-tier (BGP primary / registry-dump secondary) lookup table,
 //! * [`PrefixLengthHistogram`] — Figure 1's prefix-length distribution,
 //! * [`SnapshotDiff`], [`dynamic_prefix_set`], [`maximum_effect`] — the
-//!   dynamics measures behind Table 4.
+//!   dynamics measures behind Table 4,
+//! * [`TableDelta`] / [`CompiledTable::apply_delta`] — incremental
+//!   in-place patching of the compiled layout from BGP update streams.
 
 #![warn(missing_docs)]
 
 mod diff;
 mod flat;
+mod patch;
 mod stats;
 mod table;
 #[cfg(test)]
@@ -25,6 +28,7 @@ mod trie;
 
 pub use diff::{dynamic_prefix_set, effect_on, maximum_effect, SnapshotDiff};
 pub use flat::{CompiledMerged, CompiledTable, Handle, DEFAULT_PREFETCH_DISTANCE};
+pub use patch::{DeltaKind, PatchPolicy, PatchReport, TableDelta};
 // The shared error-accounting shape (`ParseReport::counts()` returns it);
 // defined in `netclust-obs`, re-exported here so rtable users need no
 // extra import.

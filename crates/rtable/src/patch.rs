@@ -1,0 +1,1236 @@
+//! In-place patching of compiled DIR-24-8 tables from BGP deltas.
+//!
+//! A [`CompiledTable`] is build-once: any change used to mean a full
+//! recompile (~tens of ms at 110K prefixes — the 64 MiB `tbl24` fill
+//! dominates). Real BGP feeds, however, are dominated by small update
+//! batches touching a handful of prefixes (see PAPERS.md on routing-table
+//! dynamics), so this module adds the classic router trick: patch the
+//! flat layout in place and fall back to recompilation only when the
+//! delta is large or the compact layout runs out of room.
+//!
+//! Patch mechanics, by case:
+//!
+//! * **Announce, `/24` or shorter** — the prefix owns a contiguous run of
+//!   `tbl24` slots. Compare-and-overwrite: every slot whose current match
+//!   is shorter takes the new handle; slots owned by longer prefixes are
+//!   left alone. Blocks redirected to an overflow group update the
+//!   group's *seed* (the covering ≤/24 match) instead.
+//! * **Announce, longer than `/24`** — patches the block's 256-slot
+//!   overflow group in place (allocating or copy-on-writing the group
+//!   first: deduplicated groups may be shared by several blocks).
+//! * **Withdraw** — every slot still referencing the dead handle is
+//!   backfilled from a shadow [`PrefixTrie`] that mirrors the live prefix
+//!   set (the longest *remaining* match). A group whose slots all fall
+//!   back to the seed collapses into a plain `tbl24` entry and is freed.
+//! * **Fallbacks** — a batch whose size crosses
+//!   [`PatchPolicy::recompile_threshold`], a compact table whose 16-bit
+//!   handle space is exhausted, or any detected inconsistency recompiles
+//!   from the shadow trie's live set instead (same observable result,
+//!   reported via [`PatchReport::recompiled`]).
+//!
+//! The first `apply_delta` call builds the shadow state (trie + free
+//! lists) in O(#prefixes); subsequent patches are proportional to the
+//! address range the delta covers. The proptest suite enforces the
+//! invariant that a patched table is lookup-equivalent to a from-scratch
+//! compile of the same prefix set (`tests/patch_prop.rs`).
+
+use netclust_prefix::Ipv4Net;
+
+use crate::flat::{CompiledMerged, CompiledTable, EXT_FLAG, LONG16_SEED};
+use crate::trie::PrefixTrie;
+
+/// `tbl24` size of a materialized table; anything else (the empty-table
+/// fast path) routes through recompile.
+const TBL24_LEN: usize = 1 << 24;
+
+/// What a routing update does to one prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeltaKind {
+    /// The prefix becomes (or stays) reachable.
+    Announce,
+    /// The prefix is no longer reachable.
+    Withdraw,
+    /// A re-announcement with changed attributes (AS path, next hop).
+    /// The compiled table stores bare prefixes, so this patches like an
+    /// announce, but the kind is kept distinct for churn accounting.
+    Replace,
+}
+
+/// One prefix-level routing update, the shared currency between
+/// `rtable::diff`, `bgpsim::DeltaStream` and [`CompiledTable::apply_delta`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TableDelta {
+    /// The affected prefix.
+    pub prefix: Ipv4Net,
+    /// What happened to it.
+    pub kind: DeltaKind,
+}
+
+impl TableDelta {
+    /// An announce delta.
+    pub fn announce(prefix: Ipv4Net) -> Self {
+        TableDelta {
+            prefix,
+            kind: DeltaKind::Announce,
+        }
+    }
+
+    /// A withdraw delta.
+    pub fn withdraw(prefix: Ipv4Net) -> Self {
+        TableDelta {
+            prefix,
+            kind: DeltaKind::Withdraw,
+        }
+    }
+
+    /// An attribute-change re-announcement.
+    pub fn replace(prefix: Ipv4Net) -> Self {
+        TableDelta {
+            prefix,
+            kind: DeltaKind::Replace,
+        }
+    }
+}
+
+/// When to give up on in-place patching and recompile the whole table.
+#[derive(Debug, Clone)]
+pub struct PatchPolicy {
+    /// Recompile when a batch touches more than this fraction of the live
+    /// prefix set (in-place patching of a dense delta walks more memory
+    /// than the sequential recompile fill would).
+    pub recompile_delta_fraction: f64,
+    /// Floor for the recompile threshold, so small tables still patch
+    /// small batches in place.
+    pub recompile_min_deltas: usize,
+}
+
+impl Default for PatchPolicy {
+    fn default() -> Self {
+        PatchPolicy {
+            recompile_delta_fraction: 0.05,
+            recompile_min_deltas: 64,
+        }
+    }
+}
+
+impl PatchPolicy {
+    /// Batch size at which [`CompiledTable::apply_delta_with`] recompiles
+    /// instead of patching, for a table with `live` prefixes.
+    pub fn recompile_threshold(&self, live: usize) -> usize {
+        let scaled = (self.recompile_delta_fraction * live as f64) as usize;
+        scaled.max(self.recompile_min_deltas)
+    }
+}
+
+/// What one [`CompiledTable::apply_delta`] call did, for observability
+/// and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PatchReport {
+    /// Prefixes newly added to the live set.
+    pub announced: usize,
+    /// Prefixes removed from the live set.
+    pub withdrawn: usize,
+    /// Re-announcements of already-live prefixes (attribute churn).
+    pub replaced: usize,
+    /// Deltas with no table effect (duplicate announce, withdraw of an
+    /// absent prefix).
+    pub noops: usize,
+    /// Direct `tbl24` slot writes.
+    pub tbl24_writes: usize,
+    /// Overflow-group slot and seed writes.
+    pub long_writes: usize,
+    /// Overflow groups copied before writing (shared-group
+    /// copy-on-write: the scoped group rebuild).
+    pub groups_rebuilt: usize,
+    /// Overflow groups newly allocated for a first >/24 prefix in a block.
+    pub groups_allocated: usize,
+    /// Overflow groups collapsed back into a plain `tbl24` entry.
+    pub groups_freed: usize,
+    /// `true` when the call fell back to a full recompile.
+    pub recompiled: bool,
+    /// `true` when this call built the shadow patch state (first patch on
+    /// a freshly compiled table).
+    pub initialized: bool,
+}
+
+impl PatchReport {
+    /// Total direct slot writes (both levels).
+    pub fn slot_writes(&self) -> usize {
+        self.tbl24_writes + self.long_writes
+    }
+
+    /// `true` when every delta was applied by in-place writes.
+    pub fn patched_in_place(&self) -> bool {
+        !self.recompiled
+    }
+
+    /// Folds another report into this one (batch accounting across
+    /// repeated calls). `recompiled`/`initialized` are sticky.
+    pub fn merge(&mut self, other: &PatchReport) {
+        self.announced += other.announced;
+        self.withdrawn += other.withdrawn;
+        self.replaced += other.replaced;
+        self.noops += other.noops;
+        self.tbl24_writes += other.tbl24_writes;
+        self.long_writes += other.long_writes;
+        self.groups_rebuilt += other.groups_rebuilt;
+        self.groups_allocated += other.groups_allocated;
+        self.groups_freed += other.groups_freed;
+        self.recompiled |= other.recompiled;
+        self.initialized |= other.initialized;
+    }
+}
+
+/// Shadow bookkeeping for in-place patching: the live prefix set (with
+/// arena handles) plus free lists for tombstoned arena slots and
+/// zero-reference overflow groups.
+#[derive(Clone)]
+pub(crate) struct PatchState {
+    /// Live prefix → arena handle. The source of truth for backfill
+    /// lookups and for the recompile fallback.
+    pub(crate) trie: PrefixTrie<u32>,
+    /// Dead arena slots whose handle still fits the compact overflow
+    /// encoding (reusable for any prefix; preferred for >/24).
+    free_long: Vec<u32>,
+    /// Dead arena slots usable only for ≤/24 prefixes (handle too large
+    /// for a 16-bit overflow slot).
+    free_short: Vec<u32>,
+    /// Overflow group ids with zero `tbl24` references, reusable in place.
+    free_groups: Vec<u32>,
+}
+
+impl CompiledTable {
+    /// Applies a batch of routing deltas in place with the default
+    /// [`PatchPolicy`]. See [`apply_delta_with`](Self::apply_delta_with).
+    pub fn apply_delta(&mut self, deltas: &[TableDelta]) -> PatchReport {
+        self.apply_delta_with(deltas, &PatchPolicy::default())
+    }
+
+    /// Applies a batch of routing deltas, patching the flat layout in
+    /// place where possible and falling back to a full recompile when the
+    /// batch crosses `policy`'s density threshold (or the compact layout
+    /// cannot absorb the change). Deltas apply in order; later entries
+    /// win. After the call the table is lookup-equivalent to a
+    /// from-scratch compile of the delta'd prefix set.
+    pub fn apply_delta_with(&mut self, deltas: &[TableDelta], policy: &PatchPolicy) -> PatchReport {
+        let mut report = PatchReport::default();
+        let mut state = match self.patch.take() {
+            Some(s) => s,
+            None => {
+                report.initialized = true;
+                self.build_patch_state()
+            }
+        };
+        if self.tbl24.len() != TBL24_LEN
+            || deltas.len() >= policy.recompile_threshold(state.trie.len())
+        {
+            self.recompile_with(&mut state, deltas, &mut report);
+            self.patch = Some(state);
+            return report;
+        }
+        for (i, d) in deltas.iter().enumerate() {
+            let ok = match d.kind {
+                DeltaKind::Announce => {
+                    self.patch_announce(&mut state, d.prefix, &mut report, false)
+                }
+                DeltaKind::Replace => self.patch_announce(&mut state, d.prefix, &mut report, true),
+                DeltaKind::Withdraw => self.patch_withdraw(&mut state, d.prefix, &mut report),
+            };
+            if !ok {
+                // In-place patching hit a structural limit (compact handle
+                // space, inconsistent layout): recompile the rest of the
+                // batch, current delta included.
+                self.recompile_with(&mut state, &deltas[i..], &mut report);
+                self.patch = Some(state);
+                return report;
+            }
+        }
+        self.patch = Some(state);
+        report
+    }
+
+    /// Builds the shadow state from the current arena: the live trie plus
+    /// free-list entries for arena duplicates (the later copy wins the
+    /// match, exactly as `from_prefixes` slot-fill order decides it).
+    fn build_patch_state(&self) -> Box<PatchState> {
+        let compact = self.long32.is_empty();
+        let mut state = PatchState {
+            trie: PrefixTrie::new(),
+            free_long: Vec::new(),
+            free_short: Vec::new(),
+            free_groups: Vec::new(),
+        };
+        for (h, net) in self.prefixes.iter().enumerate() {
+            debug_assert!(h < u32::MAX as usize, "arena bounded by Handle encoding");
+            // analyze:allow(cast-truncation) the arena is bounded below
+            // u32::MAX by construction (debug-asserted in from_prefixes).
+            let h = h as u32;
+            if let Some(prev) = state.trie.insert(*net, h) {
+                push_free(&mut state, compact, prev);
+            }
+        }
+        Box::new(state)
+    }
+
+    /// Full-recompile fallback: applies `deltas` to the shadow trie, then
+    /// rebuilds the flat layout from the resulting live set and refreshes
+    /// the shadow state against the new arena.
+    fn recompile_with(
+        &mut self,
+        state: &mut PatchState,
+        deltas: &[TableDelta],
+        report: &mut PatchReport,
+    ) {
+        for d in deltas {
+            match d.kind {
+                DeltaKind::Announce => {
+                    if state.trie.insert(d.prefix, 0).is_none() {
+                        report.announced += 1;
+                    } else {
+                        report.noops += 1;
+                    }
+                }
+                DeltaKind::Replace => {
+                    if state.trie.insert(d.prefix, 0).is_none() {
+                        report.announced += 1;
+                    } else {
+                        report.replaced += 1;
+                    }
+                }
+                DeltaKind::Withdraw => {
+                    if state.trie.remove(d.prefix).is_some() {
+                        report.withdrawn += 1;
+                    } else {
+                        report.noops += 1;
+                    }
+                }
+            }
+        }
+        self.replace_layout(CompiledTable::from_prefixes(state.trie.prefixes()));
+        *state = *self.build_patch_state();
+        report.recompiled = true;
+    }
+
+    /// Decoded prefix length behind a full-width slot value, or `-1` for
+    /// a miss (slot 0) so plain `<` comparisons order "no match" below
+    /// every real prefix.
+    fn slot_len(&self, slot: u32) -> i32 {
+        if slot == 0 {
+            return -1;
+        }
+        self.prefixes
+            .get(slot as usize - 1)
+            .map(|p| i32::from(p.len()))
+            .unwrap_or(-1)
+    }
+
+    /// In-place announce. Returns `false` when the layout cannot absorb
+    /// the prefix (recompile fallback).
+    fn patch_announce(
+        &mut self,
+        state: &mut PatchState,
+        net: Ipv4Net,
+        report: &mut PatchReport,
+        is_replace: bool,
+    ) -> bool {
+        if state.trie.contains(net) {
+            // Re-announcement of a live prefix: slots already point at it.
+            if is_replace {
+                report.replaced += 1;
+            } else {
+                report.noops += 1;
+            }
+            return true;
+        }
+        let Some(h) = self.alloc_handle(state, net) else {
+            return false;
+        };
+        let slot = h + 1;
+        let ok = if net.len() <= 24 {
+            self.announce_short(state, net, slot, report)
+        } else {
+            self.announce_long(state, net, slot, report)
+        };
+        if ok {
+            state.trie.insert(net, h);
+            // A replace of an absent prefix is a plain announce: the
+            // distinction only matters when the prefix was already live.
+            report.announced += 1;
+        } else {
+            push_free(state, self.long32.is_empty(), h);
+        }
+        ok
+    }
+
+    /// Announce of a `/24`-or-shorter prefix: compare-and-overwrite its
+    /// contiguous `tbl24` run; blocks behind an overflow group update the
+    /// group seed instead.
+    fn announce_short(
+        &mut self,
+        state: &mut PatchState,
+        net: Ipv4Net,
+        slot: u32,
+        report: &mut PatchReport,
+    ) -> bool {
+        let start = (net.addr_u32() >> 8) as usize;
+        let count = 1usize << (24 - net.len());
+        let new_len = i32::from(net.len());
+        for idx24 in start..start + count {
+            let Some(&entry) = self.tbl24.get(idx24) else {
+                return false;
+            };
+            if entry & EXT_FLAG == 0 {
+                if self.slot_len(entry) < new_len {
+                    if let Some(e) = self.tbl24.get_mut(idx24) {
+                        *e = slot;
+                        report.tbl24_writes += 1;
+                    }
+                }
+            } else if self.long32.is_empty() {
+                // Compact block: the ≤/24 match lives in the group seed.
+                let g = (entry & !EXT_FLAG) as usize;
+                let seed = self.long_seed.get(g).copied().unwrap_or(0);
+                if self.slot_len(seed) < new_len {
+                    let Some(g) = self.cow_group(state, idx24, g, report) else {
+                        return false;
+                    };
+                    if let Some(s) = self.long_seed.get_mut(g) {
+                        *s = slot;
+                        report.long_writes += 1;
+                    }
+                }
+            } else {
+                // Wide block: the seed is inlined in every slot not owned
+                // by a >/24 prefix; compare-and-overwrite all 256.
+                let g = (entry & !EXT_FLAG) as usize;
+                let base = g * 256;
+                let needs = match self.long32.get(base..base + 256) {
+                    Some(slots) => slots.iter().any(|&v| self.slot_len(v) < new_len),
+                    None => return false,
+                };
+                if !needs {
+                    continue;
+                }
+                let Some(g) = self.cow_group(state, idx24, g, report) else {
+                    return false;
+                };
+                let base = g * 256;
+                let lens: Vec<i32> = match self.long32.get(base..base + 256) {
+                    Some(slots) => slots.iter().map(|&v| self.slot_len(v)).collect(),
+                    None => return false,
+                };
+                if let Some(slots) = self.long32.get_mut(base..base + 256) {
+                    for (v, len) in slots.iter_mut().zip(lens) {
+                        if len < new_len {
+                            *v = slot;
+                            report.long_writes += 1;
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Announce of a prefix longer than `/24`: patch (or allocate) the
+    /// block's overflow group and compare-and-overwrite the covered
+    /// final-byte range.
+    fn announce_long(
+        &mut self,
+        state: &mut PatchState,
+        net: Ipv4Net,
+        slot: u32,
+        report: &mut PatchReport,
+    ) -> bool {
+        let idx24 = (net.addr_u32() >> 8) as usize;
+        let Some(&entry) = self.tbl24.get(idx24) else {
+            return false;
+        };
+        let g = if entry & EXT_FLAG == 0 {
+            // First >/24 prefix in this block: seed a fresh group with the
+            // current ≤/24 match so uncovered bytes still resolve.
+            let Some(g) = self.alloc_group(state, entry, report) else {
+                return false;
+            };
+            debug_assert!(g < (1usize << 31), "group id fits 31 bits");
+            if let Some(e) = self.tbl24.get_mut(idx24) {
+                // analyze:allow(cast-truncation) group ids stay far below
+                // 2^31 (bounded by distinct 24-bit blocks).
+                *e = EXT_FLAG | g as u32;
+            }
+            g
+        } else {
+            let g = (entry & !EXT_FLAG) as usize;
+            let Some(g) = self.cow_group(state, idx24, g, report) else {
+                return false;
+            };
+            g
+        };
+        let lo = (net.addr_u32() & 0xFF) as usize;
+        let count = 1usize << (32 - net.len());
+        let new_len = i32::from(net.len());
+        let base = g * 256;
+        if self.long32.is_empty() {
+            let seed_len = self.slot_len(self.long_seed.get(g).copied().unwrap_or(0));
+            debug_assert!(slot < u32::from(LONG16_SEED), "compact handle bound");
+            // analyze:allow(cast-truncation) alloc_handle guarantees
+            // slot < LONG16_SEED in compact mode.
+            let slot16 = slot as u16;
+            let prefixes = &self.prefixes;
+            let Some(slots) = self.long16.get_mut(base + lo..base + lo + count) else {
+                return false;
+            };
+            for v in slots.iter_mut() {
+                let cur = if *v == LONG16_SEED {
+                    seed_len
+                } else {
+                    prefixes
+                        .get(usize::from(*v).wrapping_sub(1))
+                        .map(|p| i32::from(p.len()))
+                        .unwrap_or(-1)
+                };
+                if cur < new_len {
+                    *v = slot16;
+                    report.long_writes += 1;
+                }
+            }
+        } else {
+            let prefixes = &self.prefixes;
+            let Some(slots) = self.long32.get_mut(base + lo..base + lo + count) else {
+                return false;
+            };
+            for v in slots.iter_mut() {
+                let cur = if *v == 0 {
+                    -1
+                } else {
+                    prefixes
+                        .get(*v as usize - 1)
+                        .map(|p| i32::from(p.len()))
+                        .unwrap_or(-1)
+                };
+                if cur < new_len {
+                    *v = slot;
+                    report.long_writes += 1;
+                }
+            }
+        }
+        true
+    }
+
+    /// In-place withdraw: backfills every slot still referencing the dead
+    /// handle with the longest remaining match from the shadow trie.
+    fn patch_withdraw(
+        &mut self,
+        state: &mut PatchState,
+        net: Ipv4Net,
+        report: &mut PatchReport,
+    ) -> bool {
+        let Some(h_dead) = state.trie.remove(net) else {
+            report.noops += 1;
+            return true;
+        };
+        let dead_slot = h_dead + 1;
+        let ok = if net.len() <= 24 {
+            self.withdraw_short(state, net, dead_slot, report)
+        } else {
+            self.withdraw_long(state, net, dead_slot, report)
+        };
+        if ok {
+            push_free(state, self.long32.is_empty(), h_dead);
+            report.withdrawn += 1;
+        } else {
+            // Restore the trie so the recompile fallback re-applies this
+            // withdraw from a consistent live set.
+            state.trie.insert(net, h_dead);
+        }
+        ok
+    }
+
+    /// Withdraw of a `/24`-or-shorter prefix: rewrite every `tbl24` slot
+    /// (or group seed) it owned with the longest remaining ≤/24 match.
+    fn withdraw_short(
+        &mut self,
+        state: &mut PatchState,
+        net: Ipv4Net,
+        dead_slot: u32,
+        report: &mut PatchReport,
+    ) -> bool {
+        let start = (net.addr_u32() >> 8) as usize;
+        let count = 1usize << (24 - net.len());
+        for idx24 in start..start + count {
+            let Some(&entry) = self.tbl24.get(idx24) else {
+                return false;
+            };
+            if entry & EXT_FLAG == 0 {
+                if entry == dead_slot {
+                    let fill = self.backfill_le24(state, idx24);
+                    if let Some(e) = self.tbl24.get_mut(idx24) {
+                        *e = fill;
+                        report.tbl24_writes += 1;
+                    }
+                }
+            } else if self.long32.is_empty() {
+                let g = (entry & !EXT_FLAG) as usize;
+                if self.long_seed.get(g).copied() == Some(dead_slot) {
+                    let fill = self.backfill_le24(state, idx24);
+                    let Some(g) = self.cow_group(state, idx24, g, report) else {
+                        return false;
+                    };
+                    if let Some(s) = self.long_seed.get_mut(g) {
+                        *s = fill;
+                        report.long_writes += 1;
+                    }
+                }
+            } else {
+                let g = (entry & !EXT_FLAG) as usize;
+                let base = g * 256;
+                let needs = match self.long32.get(base..base + 256) {
+                    Some(slots) => slots.contains(&dead_slot),
+                    None => return false,
+                };
+                if !needs {
+                    continue;
+                }
+                let fill = self.backfill_le24(state, idx24);
+                let Some(g) = self.cow_group(state, idx24, g, report) else {
+                    return false;
+                };
+                let base = g * 256;
+                if let Some(slots) = self.long32.get_mut(base..base + 256) {
+                    for v in slots.iter_mut() {
+                        if *v == dead_slot {
+                            *v = fill;
+                            report.long_writes += 1;
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// The slot encoding of the longest live ≤/24 match covering block
+    /// `idx24` (0 when none remains).
+    fn backfill_le24(&self, state: &PatchState, idx24: usize) -> u32 {
+        debug_assert!(idx24 < TBL24_LEN);
+        // analyze:allow(cast-truncation) idx24 < 2^24, so the shift stays
+        // in range.
+        let block_addr = (idx24 as u32) << 8;
+        state
+            .trie
+            .longest_match_capped(block_addr, 24)
+            .map(|(_, &h)| h + 1)
+            .unwrap_or(0)
+    }
+
+    /// Withdraw of a prefix longer than `/24`: backfill its overflow-group
+    /// byte range, collapsing the group when no >/24 prefix remains in it.
+    fn withdraw_long(
+        &mut self,
+        state: &mut PatchState,
+        net: Ipv4Net,
+        dead_slot: u32,
+        report: &mut PatchReport,
+    ) -> bool {
+        let idx24 = (net.addr_u32() >> 8) as usize;
+        let Some(&entry) = self.tbl24.get(idx24) else {
+            return false;
+        };
+        if entry & EXT_FLAG == 0 {
+            // A live >/24 prefix's block must carry an extension entry;
+            // anything else means the layout drifted — recompile.
+            return false;
+        }
+        let g = (entry & !EXT_FLAG) as usize;
+        let lo = (net.addr_u32() & 0xFF) as usize;
+        let count = 1usize << (32 - net.len());
+        let compact = self.long32.is_empty();
+        // Fully-shadowed withdrawals (every covered byte owned by longer
+        // prefixes) write nothing — skip the copy-on-write.
+        let needs = if compact {
+            debug_assert!(dead_slot < u32::from(LONG16_SEED));
+            // analyze:allow(cast-truncation) compact slots only ever held
+            // handles below LONG16_SEED.
+            let dead16 = dead_slot as u16;
+            match self.long16.get(g * 256 + lo..g * 256 + lo + count) {
+                Some(slots) => slots.contains(&dead16),
+                None => return false,
+            }
+        } else {
+            match self.long32.get(g * 256 + lo..g * 256 + lo + count) {
+                Some(slots) => slots.contains(&dead_slot),
+                None => return false,
+            }
+        };
+        if needs {
+            let Some(g) = self.cow_group(state, idx24, g, report) else {
+                return false;
+            };
+            let base = g * 256;
+            for b in lo..lo + count {
+                let addr = self.backfill_addr(idx24, b);
+                if compact {
+                    // analyze:allow(cast-truncation) as above: compact
+                    // slots hold handles below LONG16_SEED.
+                    let dead16 = dead_slot as u16;
+                    let Some(v) = self.long16.get(base + b).copied() else {
+                        return false;
+                    };
+                    if v != dead16 {
+                        continue;
+                    }
+                    let fill = match state.trie.longest_match_u32(addr) {
+                        Some((p, &h)) if p.len() > 24 => {
+                            debug_assert!(h + 1 < u32::from(LONG16_SEED));
+                            // analyze:allow(cast-truncation) live compact
+                            // handles were allocated below LONG16_SEED.
+                            (h + 1) as u16
+                        }
+                        _ => LONG16_SEED,
+                    };
+                    if let Some(e) = self.long16.get_mut(base + b) {
+                        *e = fill;
+                        report.long_writes += 1;
+                    }
+                } else {
+                    let Some(v) = self.long32.get(base + b).copied() else {
+                        return false;
+                    };
+                    if v != dead_slot {
+                        continue;
+                    }
+                    let fill = state
+                        .trie
+                        .longest_match_u32(addr)
+                        .map(|(_, &h)| h + 1)
+                        .unwrap_or(0);
+                    if let Some(e) = self.long32.get_mut(base + b) {
+                        *e = fill;
+                        report.long_writes += 1;
+                    }
+                }
+            }
+            self.try_collapse_group(state, idx24, g, report);
+        }
+        true
+    }
+
+    /// Address of byte `b` within block `idx24`.
+    fn backfill_addr(&self, idx24: usize, b: usize) -> u32 {
+        debug_assert!(idx24 < TBL24_LEN && b < 256);
+        // analyze:allow(cast-truncation) idx24 < 2^24 and b < 256 by the
+        // loop bounds.
+        ((idx24 as u32) << 8) | b as u32
+    }
+
+    /// Collapses group `g` back into a plain `tbl24` entry when no slot
+    /// carries a >/24 match any more, returning the group to the free
+    /// list.
+    fn try_collapse_group(
+        &mut self,
+        state: &mut PatchState,
+        idx24: usize,
+        g: usize,
+        report: &mut PatchReport,
+    ) {
+        let base = g * 256;
+        let plain = if self.long32.is_empty() {
+            match self.long16.get(base..base + 256) {
+                Some(slots) if slots.iter().all(|&v| v == LONG16_SEED) => {
+                    self.long_seed.get(g).copied()
+                }
+                _ => None,
+            }
+        } else {
+            match self
+                .long32
+                .get(base..base + 256)
+                .and_then(|s| s.split_first())
+            {
+                Some((&first, rest)) if rest.iter().all(|&v| v == first) => {
+                    // All-equal slots can only be the inlined seed (a >/24
+                    // prefix covers at most 128 bytes), so the value is a
+                    // plain encoding.
+                    Some(first)
+                }
+                _ => None,
+            }
+        };
+        let Some(plain) = plain else {
+            return;
+        };
+        if let Some(e) = self.tbl24.get_mut(idx24) {
+            *e = plain;
+        }
+        if let Some(r) = self.group_refs.get_mut(g) {
+            debug_assert_eq!(*r, 1, "collapse happens after copy-on-write");
+            *r = r.saturating_sub(1);
+            if *r == 0 {
+                debug_assert!(g < u32::MAX as usize);
+                // analyze:allow(cast-truncation) group ids stay far below
+                // u32::MAX (bounded by distinct 24-bit blocks).
+                state.free_groups.push(g as u32);
+                report.groups_freed += 1;
+            }
+        }
+    }
+
+    /// Ensures block `idx24` owns group `g` exclusively, copying a shared
+    /// group first (deduplicated groups can back several blocks). Returns
+    /// the group id to write into — `g` itself when unshared.
+    fn cow_group(
+        &mut self,
+        state: &mut PatchState,
+        idx24: usize,
+        g: usize,
+        report: &mut PatchReport,
+    ) -> Option<usize> {
+        let refs = self.group_refs.get(g).copied()?;
+        if refs <= 1 {
+            return Some(g);
+        }
+        let compact = self.long32.is_empty();
+        let slots16: Vec<u16> = if compact {
+            self.long16.get(g * 256..g * 256 + 256)?.to_vec()
+        } else {
+            Vec::new()
+        };
+        let seed = if compact {
+            self.long_seed.get(g).copied()?
+        } else {
+            0
+        };
+        let slots32: Vec<u32> = if compact {
+            Vec::new()
+        } else {
+            self.long32.get(g * 256..g * 256 + 256)?.to_vec()
+        };
+        let fresh = self.take_group_slot(state)?;
+        if compact {
+            let dst = self.long16.get_mut(fresh * 256..fresh * 256 + 256)?;
+            dst.copy_from_slice(&slots16);
+            *self.long_seed.get_mut(fresh)? = seed;
+        } else {
+            let dst = self.long32.get_mut(fresh * 256..fresh * 256 + 256)?;
+            dst.copy_from_slice(&slots32);
+        }
+        *self.group_refs.get_mut(g)? -= 1;
+        *self.group_refs.get_mut(fresh)? = 1;
+        debug_assert!(fresh < (1usize << 31), "group id fits 31 bits");
+        if let Some(e) = self.tbl24.get_mut(idx24) {
+            // analyze:allow(cast-truncation) group ids stay far below 2^31
+            // (bounded by distinct 24-bit blocks).
+            *e = EXT_FLAG | fresh as u32;
+        }
+        report.groups_rebuilt += 1;
+        Some(fresh)
+    }
+
+    /// Allocates a fresh overflow group seeded with `seed` (the block's
+    /// current plain `tbl24` entry), reusing a freed group when one
+    /// exists. The caller owns the single reference.
+    fn alloc_group(
+        &mut self,
+        state: &mut PatchState,
+        seed: u32,
+        report: &mut PatchReport,
+    ) -> Option<usize> {
+        let compact = self.long32.is_empty();
+        let g = if let Some(g) = state.free_groups.pop() {
+            let g = g as usize;
+            if compact {
+                self.long16
+                    .get_mut(g * 256..g * 256 + 256)?
+                    .fill(LONG16_SEED);
+                *self.long_seed.get_mut(g)? = seed;
+            } else {
+                self.long32.get_mut(g * 256..g * 256 + 256)?.fill(seed);
+            }
+            g
+        } else if compact {
+            let g = self.long_seed.len();
+            self.long_seed.push(seed);
+            self.long16.resize(self.long16.len() + 256, LONG16_SEED);
+            self.group_refs.push(0);
+            g
+        } else {
+            let g = self.long32.len() / 256;
+            self.long32.resize(self.long32.len() + 256, seed);
+            self.group_refs.push(0);
+            g
+        };
+        *self.group_refs.get_mut(g)? = 1;
+        report.groups_allocated += 1;
+        Some(g)
+    }
+
+    /// Reserves an uninitialized group slot for copy-on-write (freed group
+    /// or fresh append); the caller fills slots, seed and refcount.
+    fn take_group_slot(&mut self, state: &mut PatchState) -> Option<usize> {
+        if let Some(g) = state.free_groups.pop() {
+            return Some(g as usize);
+        }
+        if self.long32.is_empty() {
+            let g = self.long_seed.len();
+            self.long_seed.push(0);
+            self.long16.resize(self.long16.len() + 256, LONG16_SEED);
+            self.group_refs.push(0);
+            Some(g)
+        } else {
+            let g = self.long32.len() / 256;
+            self.long32.resize(self.long32.len() + 256, 0);
+            self.group_refs.push(0);
+            Some(g)
+        }
+    }
+
+    /// Allocates an arena slot for `net`, reusing tombstoned entries
+    /// first. Returns `None` when the compact layout's 16-bit handle
+    /// space cannot hold another >/24 prefix (recompile fallback).
+    fn alloc_handle(&mut self, state: &mut PatchState, net: Ipv4Net) -> Option<u32> {
+        let compact = self.long32.is_empty();
+        if net.len() > 24 {
+            if let Some(h) = state.free_long.pop() {
+                *self.prefixes.get_mut(h as usize)? = net;
+                return Some(h);
+            }
+            let h = u32::try_from(self.prefixes.len()).ok()?;
+            if h == u32::MAX || (compact && h + 1 >= u32::from(LONG16_SEED)) {
+                return None;
+            }
+            self.prefixes.push(net);
+            Some(h)
+        } else {
+            // In a compact table, long-capable tombstones (handle below
+            // LONG16_SEED) are the only slots a future >/24 announce can
+            // reuse without recompiling; a ≤/24 prefix has no encoding
+            // bound, so it takes a fresh arena slot instead of one.
+            let reuse =
+                state.free_short.pop().or_else(
+                    || {
+                        if compact {
+                            None
+                        } else {
+                            state.free_long.pop()
+                        }
+                    },
+                );
+            if let Some(h) = reuse {
+                *self.prefixes.get_mut(h as usize)? = net;
+                return Some(h);
+            }
+            let h = u32::try_from(self.prefixes.len()).ok()?;
+            if h == u32::MAX {
+                return None;
+            }
+            self.prefixes.push(net);
+            Some(h)
+        }
+    }
+}
+
+/// Files a dead arena handle under the free list matching where its value
+/// can be re-encoded: compact overflow slots only address handles below
+/// [`LONG16_SEED`].
+fn push_free(state: &mut PatchState, compact: bool, h: u32) {
+    if !compact || h + 1 < u32::from(LONG16_SEED) {
+        state.free_long.push(h);
+    } else {
+        state.free_short.push(h);
+    }
+}
+
+impl CompiledMerged {
+    /// Applies BGP deltas to the primary tier in place (the registry-dump
+    /// fallback tier is static). See [`CompiledTable::apply_delta`].
+    pub fn apply_delta(&mut self, deltas: &[TableDelta]) -> PatchReport {
+        self.bgp_tier_mut().apply_delta(deltas)
+    }
+
+    /// [`apply_delta`](Self::apply_delta) with an explicit [`PatchPolicy`].
+    pub fn apply_delta_with(&mut self, deltas: &[TableDelta], policy: &PatchPolicy) -> PatchReport {
+        self.bgp_tier_mut().apply_delta_with(deltas, policy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{net, nets};
+
+    fn a(s: &str) -> u32 {
+        s.parse::<std::net::Ipv4Addr>().unwrap().into()
+    }
+
+    /// Reference check: the patched table must agree with a from-scratch
+    /// compile of `expect` on every probe.
+    fn assert_equivalent(t: &CompiledTable, expect: &[Ipv4Net], probes: &[u32]) {
+        let fresh = CompiledTable::from_prefixes(expect.iter().copied());
+        for &p in probes {
+            assert_eq!(t.lookup(p), fresh.lookup(p), "probe {:#010x}", p);
+        }
+        let mut want: Vec<Ipv4Net> = expect.to_vec();
+        want.sort();
+        want.dedup();
+        assert_eq!(t.live_prefixes(), want);
+        assert_eq!(t.len(), want.len());
+    }
+
+    /// Dense probe set around the fixtures' address ranges.
+    fn probes() -> Vec<u32> {
+        let mut v = Vec::new();
+        for hi in [10u32, 12, 18, 24, 99] {
+            for mid in [0u32, 1, 48, 65, 128] {
+                for lo in 0..=255u32 {
+                    v.push((hi << 24) | (mid << 16) | (2 << 8) | lo);
+                }
+                v.push((hi << 24) | (mid << 16) | (147 << 8) | 94);
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn announce_short_patches_tbl24_run() {
+        let mut t = CompiledTable::from_prefixes(nets(&["12.0.0.0/8"]));
+        let r = t.apply_delta(&[TableDelta::announce(net("12.65.128.0/19"))]);
+        assert!(r.patched_in_place());
+        assert!(r.initialized);
+        assert_eq!(r.announced, 1);
+        assert_eq!(r.tbl24_writes, 1 << (24 - 19));
+        assert_equivalent(&t, &nets(&["12.0.0.0/8", "12.65.128.0/19"]), &probes());
+    }
+
+    #[test]
+    fn announce_does_not_clobber_longer_matches() {
+        let mut t = CompiledTable::from_prefixes(nets(&["12.65.128.0/19"]));
+        let r = t.apply_delta(&[TableDelta::announce(net("12.0.0.0/8"))]);
+        assert!(r.patched_in_place());
+        // The /19's run must survive inside the /8's run.
+        assert_equivalent(&t, &nets(&["12.0.0.0/8", "12.65.128.0/19"]), &probes());
+    }
+
+    #[test]
+    fn withdraw_short_backfills_from_remaining_set() {
+        let mut t =
+            CompiledTable::from_prefixes(nets(&["12.0.0.0/8", "12.65.0.0/16", "12.65.128.0/19"]));
+        let r = t.apply_delta(&[TableDelta::withdraw(net("12.65.0.0/16"))]);
+        assert!(r.patched_in_place());
+        assert_eq!(r.withdrawn, 1);
+        assert_equivalent(&t, &nets(&["12.0.0.0/8", "12.65.128.0/19"]), &probes());
+    }
+
+    #[test]
+    fn withdraw_does_not_touch_longer_owners() {
+        // Withdrawing the /16 must leave the /19's slots intact even
+        // though its range covers them.
+        let mut t = CompiledTable::from_prefixes(nets(&["12.65.0.0/16", "12.65.128.0/19"]));
+        t.apply_delta(&[TableDelta::withdraw(net("12.65.0.0/16"))]);
+        assert_equivalent(&t, &nets(&["12.65.128.0/19"]), &probes());
+    }
+
+    #[test]
+    fn announce_long_allocates_group_and_seeds_cover() {
+        let mut t = CompiledTable::from_prefixes(nets(&["24.48.2.0/24"]));
+        let r = t.apply_delta(&[TableDelta::announce(net("24.48.2.128/25"))]);
+        assert!(r.patched_in_place());
+        assert_eq!(r.groups_allocated, 1);
+        assert_eq!(t.long_groups(), 1);
+        assert_equivalent(&t, &nets(&["24.48.2.0/24", "24.48.2.128/25"]), &probes());
+    }
+
+    #[test]
+    fn withdraw_long_collapses_empty_group() {
+        let mut t = CompiledTable::from_prefixes(nets(&["24.48.2.0/24", "24.48.2.128/25"]));
+        let r = t.apply_delta(&[TableDelta::withdraw(net("24.48.2.128/25"))]);
+        assert!(r.patched_in_place());
+        assert_eq!(r.groups_freed, 1);
+        assert_equivalent(&t, &nets(&["24.48.2.0/24"]), &probes());
+        // The freed group is reused by the next long announce.
+        let r2 = t.apply_delta(&[TableDelta::announce(net("24.48.2.192/26"))]);
+        assert!(r2.patched_in_place());
+        assert_equivalent(&t, &nets(&["24.48.2.0/24", "24.48.2.192/26"]), &probes());
+    }
+
+    #[test]
+    fn group_patch_does_not_leak_into_sibling_blocks() {
+        // Two /24 blocks with structurally identical >/24 coverage (group
+        // dedup keys on handle content, so each block owns its group);
+        // patching one block must not leak into the other.
+        let mut t = CompiledTable::from_prefixes(nets(&["10.0.2.128/25", "10.1.2.128/25"]));
+        let r = t.apply_delta(&[TableDelta::withdraw(net("10.0.2.128/25"))]);
+        assert!(r.patched_in_place());
+        assert_equivalent(&t, &nets(&["10.1.2.128/25"]), &probes());
+    }
+
+    #[test]
+    fn seed_update_does_not_leak_into_sibling_blocks() {
+        // A ≤/24 announce over one block updates that block's group seed
+        // only; the structurally identical sibling block keeps missing.
+        let mut t = CompiledTable::from_prefixes(nets(&["10.0.2.128/25", "10.1.2.128/25"]));
+        let r = t.apply_delta(&[TableDelta::announce(net("10.0.2.0/24"))]);
+        assert!(r.patched_in_place());
+        assert_equivalent(
+            &t,
+            &nets(&["10.0.2.128/25", "10.1.2.128/25", "10.0.2.0/24"]),
+            &probes(),
+        );
+    }
+
+    #[test]
+    fn shared_group_copy_on_write_protects_siblings() {
+        // Compile dedup cannot actually share groups across blocks (slot
+        // contents embed per-prefix handles), but the patch layer defends
+        // against sharing anyway. Forge a shared group: duplicate arena
+        // entries for the same prefix leave a tombstone whose handle the
+        // sibling block's group can legally carry after a withdraw/
+        // re-announce cycle — exercised here via the refcount plumbing.
+        let mut t = CompiledTable::from_prefixes(nets(&["10.0.2.128/25", "10.1.2.128/25"]));
+        // Point both blocks at group 0 the way a (hypothetical) dedup
+        // would, fixing the slots so both blocks resolve to one prefix.
+        let g1_slots: Vec<u16> = t.long16[256..512].to_vec();
+        t.long16[..256].copy_from_slice(&g1_slots);
+        t.long_seed[0] = t.long_seed[1];
+        let idx_a = (net("10.0.2.0/24").addr_u32() >> 8) as usize;
+        t.tbl24[idx_a] = t.tbl24[(net("10.1.2.0/24").addr_u32() >> 8) as usize];
+        t.group_refs[0] = 0;
+        t.group_refs[1] = 2;
+        // Both blocks now match 10.1.2.128/25's handle; rebuild the shadow
+        // state to match (the live set is just that one prefix twice over).
+        assert_eq!(
+            t.lookup(a("10.0.2.129")),
+            Some(net("10.1.2.128/25")),
+            "forged sharing resolves through group 1"
+        );
+        // Withdrawing via block A must copy-on-write, leaving block B's
+        // lookups intact.
+        let r = t.apply_delta(&[TableDelta::withdraw(net("10.1.2.128/25"))]);
+        assert!(r.patched_in_place());
+        assert!(r.groups_rebuilt >= 1, "shared group was copied first");
+        assert!(t.lookup(a("10.1.2.129")).is_none());
+    }
+
+    #[test]
+    fn withdraw_to_empty_and_reannounce() {
+        let mut t = CompiledTable::from_prefixes(nets(&["12.0.0.0/8", "24.48.2.128/25"]));
+        let r = t.apply_delta(&[
+            TableDelta::withdraw(net("12.0.0.0/8")),
+            TableDelta::withdraw(net("24.48.2.128/25")),
+        ]);
+        assert!(r.patched_in_place());
+        assert!(t.is_empty());
+        assert!(t.lookup(a("12.1.1.1")).is_none());
+        assert!(t.lookup(a("24.48.2.129")).is_none());
+        let r2 = t.apply_delta(&[TableDelta::announce(net("24.48.2.128/25"))]);
+        assert!(r2.patched_in_place());
+        assert_equivalent(&t, &nets(&["24.48.2.128/25"]), &probes());
+    }
+
+    #[test]
+    fn duplicate_announce_and_absent_withdraw_are_noops() {
+        let mut t = CompiledTable::from_prefixes(nets(&["12.0.0.0/8"]));
+        let r = t.apply_delta(&[
+            TableDelta::announce(net("12.0.0.0/8")),
+            TableDelta::withdraw(net("99.0.0.0/8")),
+        ]);
+        assert!(r.patched_in_place());
+        assert_eq!(r.noops, 2);
+        assert_eq!(r.slot_writes(), 0);
+        assert_equivalent(&t, &nets(&["12.0.0.0/8"]), &probes());
+    }
+
+    #[test]
+    fn replace_of_live_prefix_counts_as_replaced() {
+        let mut t = CompiledTable::from_prefixes(nets(&["12.0.0.0/8"]));
+        let r = t.apply_delta(&[TableDelta::replace(net("12.0.0.0/8"))]);
+        assert_eq!(r.replaced, 1);
+        assert_eq!(r.noops, 0);
+        let r2 = t.apply_delta(&[TableDelta::replace(net("18.0.0.0/8"))]);
+        assert_eq!(r2.announced, 1, "replace of an absent prefix announces");
+        assert_equivalent(&t, &nets(&["12.0.0.0/8", "18.0.0.0/8"]), &probes());
+    }
+
+    #[test]
+    fn dense_batch_falls_back_to_recompile() {
+        let mut t = CompiledTable::from_prefixes(nets(&["12.0.0.0/8"]));
+        let deltas: Vec<TableDelta> = (0..128u32)
+            .map(|i| TableDelta::announce(Ipv4Net::new(i << 16, 16).unwrap()))
+            .collect();
+        let r = t.apply_delta(&deltas);
+        assert!(r.recompiled, "128 deltas cross the default threshold");
+        assert_eq!(r.announced, 128);
+        let mut expect = nets(&["12.0.0.0/8"]);
+        expect.extend((0..128u32).map(|i| Ipv4Net::new(i << 16, 16).unwrap()));
+        assert_equivalent(&t, &expect, &probes());
+        // The recompiled table keeps patching incrementally afterwards.
+        let r2 = t.apply_delta(&[TableDelta::withdraw(net("12.0.0.0/8"))]);
+        assert!(r2.patched_in_place());
+        assert!(!r2.initialized, "state survives the recompile");
+    }
+
+    #[test]
+    fn empty_compile_routes_through_recompile_then_patches() {
+        let mut t = CompiledTable::from_prefixes([]);
+        let r = t.apply_delta(&[TableDelta::announce(net("12.0.0.0/8"))]);
+        assert!(r.recompiled, "empty layout must materialize first");
+        assert_equivalent(&t, &nets(&["12.0.0.0/8"]), &probes());
+        let r2 = t.apply_delta(&[TableDelta::announce(net("18.0.0.0/8"))]);
+        assert!(r2.patched_in_place());
+        assert_equivalent(&t, &nets(&["12.0.0.0/8", "18.0.0.0/8"]), &probes());
+    }
+
+    #[test]
+    fn arena_tombstones_are_reused() {
+        let mut t = CompiledTable::from_prefixes(nets(&["12.0.0.0/8", "24.48.2.128/25"]));
+        let before = t.prefixes().len();
+        t.apply_delta(&[TableDelta::withdraw(net("24.48.2.128/25"))]);
+        t.apply_delta(&[TableDelta::announce(net("24.48.3.128/25"))]);
+        assert_eq!(t.prefixes().len(), before, "tombstone reused, no growth");
+        assert_equivalent(&t, &nets(&["12.0.0.0/8", "24.48.3.128/25"]), &probes());
+    }
+
+    #[test]
+    fn merged_delta_applies_to_bgp_tier() {
+        use crate::table::{MergedTable, RoutingTable, TableKind};
+        let bgp = RoutingTable::new("B", "d0", TableKind::Bgp, nets(&["12.0.0.0/8"]));
+        let dump = RoutingTable::new("N", "d0", TableKind::NetworkDump, nets(&["24.48.2.0/23"]));
+        let mut compiled = MergedTable::merge([&bgp, &dump]).compile();
+        let r = compiled.apply_delta(&[TableDelta::announce(net("24.48.0.0/16"))]);
+        assert!(r.patched_in_place());
+        // BGP tier now wins over the dump's longer /23.
+        assert_eq!(
+            compiled.net_for_u32(a("24.48.3.87")),
+            Some(net("24.48.0.0/16"))
+        );
+        assert_eq!(compiled.dump().len(), 1, "fallback tier untouched");
+    }
+
+    #[test]
+    fn patched_table_clone_is_independent() {
+        let mut t = CompiledTable::from_prefixes(nets(&["12.0.0.0/8"]));
+        t.apply_delta(&[TableDelta::announce(net("18.0.0.0/8"))]);
+        let mut copy = t.clone();
+        copy.apply_delta(&[TableDelta::withdraw(net("12.0.0.0/8"))]);
+        assert_eq!(t.lookup(a("12.1.1.1")), Some(net("12.0.0.0/8")));
+        assert!(copy.lookup(a("12.1.1.1")).is_none());
+    }
+
+    #[test]
+    fn report_merge_accumulates_and_is_sticky() {
+        let mut a = PatchReport {
+            announced: 1,
+            tbl24_writes: 4,
+            ..PatchReport::default()
+        };
+        let b = PatchReport {
+            withdrawn: 2,
+            recompiled: true,
+            ..PatchReport::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.announced, 1);
+        assert_eq!(a.withdrawn, 2);
+        assert!(a.recompiled);
+        assert_eq!(a.slot_writes(), 4);
+    }
+}

@@ -18,6 +18,7 @@ use netclust_prefix::Ipv4Net;
 type NodeIdx = u32;
 const NIL: NodeIdx = u32::MAX;
 
+#[derive(Clone)]
 struct Node<V> {
     children: [NodeIdx; 2],
     value: Option<V>,
@@ -51,6 +52,7 @@ impl<V> Node<V> {
 /// assert_eq!(net.to_string(), "12.0.0.0/8");
 /// assert_eq!(*v, "coarse");
 /// ```
+#[derive(Clone)]
 pub struct PrefixTrie<V> {
     nodes: Vec<Node<V>>,
     len: usize,
@@ -182,6 +184,29 @@ impl<V> PrefixTrie<V> {
     /// Longest-prefix match on an [`std::net::Ipv4Addr`].
     pub fn longest_match(&self, addr: std::net::Ipv4Addr) -> Option<(Ipv4Net, &V)> {
         self.longest_match_u32(u32::from(addr))
+    }
+
+    /// Longest-prefix match considering only prefixes of length at most
+    /// `max_len`. The DIR-24-8 patch layer uses this to recompute a
+    /// `tbl24` slot or overflow-group seed (best match at `/24` or
+    /// shorter) after a withdrawal vacates it.
+    pub fn longest_match_capped(&self, addr: u32, max_len: u8) -> Option<(Ipv4Net, &V)> {
+        let mut idx: NodeIdx = 0;
+        let mut best: Option<(u8, &V)> = None;
+        for depth in 0..=max_len.min(32) {
+            let node = &self.nodes[idx as usize];
+            if let Some(v) = node.value.as_ref() {
+                best = Some((depth, v));
+            }
+            if depth == 32 {
+                break;
+            }
+            idx = node.children[Self::bit(addr, depth)];
+            if idx == NIL {
+                break;
+            }
+        }
+        best.map(|(len, v)| (Ipv4Net::new(addr, len).expect("len <= 32"), v))
     }
 
     /// All stored prefixes that contain `addr`, shortest first (the full

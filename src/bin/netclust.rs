@@ -8,7 +8,7 @@
 //!                  [--top N] [--method aware|simple|classful]
 //!                  [--max-error-rate F] [--quarantine FILE]
 //!                  [--metrics FILE] [--trace] [--deterministic]
-//!                  [--threads N]
+//!                  [--threads N] [--bgp-feed SPEC]
 //!     Cluster the clients of a Common Log Format file against BGP
 //!     routing-table dumps and print the busiest clusters.
 //!
@@ -20,6 +20,14 @@
 //!                     identical runs are byte-identical
 //!     --threads N     ingest worker count for --method aware (default:
 //!                     all cores); the clustering is identical at any N
+//!     --bgp-feed SPEC replay a live BGP update feed against a streaming
+//!                     clustering of the same log after the batch run:
+//!                     `synth:SEED:TICKS` synthesizes a deterministic
+//!                     churn stream over the merged BGP tier; a file path
+//!                     replays `announce|withdraw|replace PREFIX` lines
+//!                     (blank line = batch boundary, `#` = comment).
+//!                     Prints per-feed patch accounting; batch latencies
+//!                     are wall-clock and omitted under --deterministic.
 //! ```
 //!
 //! Table files accept one prefix per line in any of the three §3.1.2
@@ -36,12 +44,15 @@ use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use netclust::bgpsim::{DeltaBatch, DeltaStream, DeltaStreamConfig};
 use netclust::core::{
     threshold_busy, Clustering, Distributions, ErrorCounts, IngestError, IngestPipeline,
+    StreamingClustering,
 };
 use netclust::netgen::{standard_collection, Universe, UniverseConfig};
 use netclust::obs::Obs;
-use netclust::rtable::{MergedTable, RoutingTable, TableKind};
+use netclust::prefix::Ipv4Net;
+use netclust::rtable::{MergedTable, RoutingTable, TableDelta, TableKind};
 use netclust::weblog::chunk::LogData;
 use netclust::weblog::{clf, clf_bytes, generate, LogSpec};
 
@@ -173,6 +184,148 @@ fn read_tables(list: &str, kind: TableKind) -> Result<Vec<RoutingTable>, CliErro
     Ok(tables)
 }
 
+/// Resolves a `--bgp-feed` spec into timestamped batches: `synth:SEED:TICKS`
+/// synthesizes a deterministic [`DeltaStream`] over the merged BGP tier;
+/// anything else is a feed file of `announce|withdraw|replace PREFIX` lines
+/// with blank-line batch boundaries and `#` comments.
+fn parse_bgp_feed(spec: &str, merged: &MergedTable) -> Result<Vec<DeltaBatch>, CliError> {
+    if let Some(rest) = spec.strip_prefix("synth:") {
+        let mut it = rest.splitn(2, ':');
+        let seed: u64 = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| CliError::Usage(format!("--bgp-feed synth:SEED:TICKS, got {spec:?}")))?;
+        let ticks: usize = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| CliError::Usage(format!("--bgp-feed synth:SEED:TICKS, got {spec:?}")))?;
+        let stream = DeltaStream::new(seed, merged.bgp_prefixes(), DeltaStreamConfig::default());
+        return Ok(stream.take(ticks).collect());
+    }
+    let text = fs::read_to_string(spec)
+        .map_err(|e| CliError::Input(format!("cluster: cannot read bgp feed {spec}: {e}")))?;
+    let mut batches: Vec<DeltaBatch> = Vec::new();
+    let mut current: Vec<TableDelta> = Vec::new();
+    let flush = |current: &mut Vec<TableDelta>, batches: &mut Vec<DeltaBatch>| {
+        if !current.is_empty() {
+            let tick = batches.len() as u64;
+            batches.push(DeltaBatch {
+                tick,
+                timestamp: tick,
+                deltas: std::mem::take(current),
+                session_reset: false,
+            });
+        }
+    };
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            flush(&mut current, &mut batches);
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let verb = parts.next().unwrap_or_default();
+        let net: Ipv4Net = parts.next().and_then(|p| p.parse().ok()).ok_or_else(|| {
+            CliError::Input(format!("{spec}:{}: bad prefix in {line:?}", lineno + 1))
+        })?;
+        current.push(match verb {
+            "announce" => TableDelta::announce(net),
+            "withdraw" => TableDelta::withdraw(net),
+            "replace" => TableDelta::replace(net),
+            other => {
+                return Err(CliError::Input(format!(
+                    "{spec}:{}: unknown update {other:?} (announce|withdraw|replace)",
+                    lineno + 1
+                )))
+            }
+        });
+    }
+    flush(&mut current, &mut batches);
+    Ok(batches)
+}
+
+/// Replays a BGP update feed against a streaming clustering of `data`:
+/// every batch is applied through the incremental patch path
+/// (`StreamingClustering::apply_deltas`) and the patch accounting is
+/// printed. Wall-clock batch latencies are measured only when
+/// `deterministic` is off, so `--deterministic` output stays byte-stable.
+fn run_bgp_feed(
+    spec: &str,
+    merged: MergedTable,
+    data: &[u8],
+    obs: &Obs,
+    deterministic: bool,
+) -> Result<(), CliError> {
+    let batches = parse_bgp_feed(spec, &merged)?;
+    let mut stream = StreamingClustering::builder(merged)
+        .obs(obs.clone())
+        .build();
+    let skipped = stream.push_clf(data).len();
+    if skipped > 0 {
+        eprintln!("note: bgp feed replay skipped {skipped} malformed log lines");
+    }
+    let coverage_start = stream.coverage();
+    let mut resets = 0usize;
+    let mut deltas_total = 0usize;
+    let mut reassigned = 0usize;
+    let mut latencies_ns: Vec<u128> = Vec::new();
+    for batch in &batches {
+        if batch.session_reset {
+            resets += 1;
+        }
+        deltas_total += batch.deltas.len();
+        // analyze:allow(determinism) measurement-only latency timing,
+        // disabled entirely under --deterministic.
+        let start = (!deterministic).then(std::time::Instant::now);
+        let report = stream.apply_deltas(&batch.deltas);
+        if let Some(start) = start {
+            latencies_ns.push(start.elapsed().as_nanos());
+        }
+        reassigned += report.reassigned_clients;
+    }
+    let stats = stream.patch_stats();
+    println!(
+        "\nbgp feed {spec}: {} batches ({} session resets), {} deltas",
+        batches.len(),
+        resets,
+        deltas_total
+    );
+    println!(
+        "  applied {}: accepted {}, rejected {}, final table version {}",
+        stats.batches,
+        stats.accepted,
+        stats.rejected,
+        stream.table_version()
+    );
+    if let Some(why) = stream.last_rejection() {
+        println!("  last rejection: {why:?}");
+    }
+    println!(
+        "  slot writes {}, group rebuilds {}, recompiles {}",
+        stats.slot_writes, stats.group_rebuilds, stats.recompiles
+    );
+    println!(
+        "  reassigned {} client assignments, coverage {:.2}% -> {:.2}%",
+        reassigned,
+        coverage_start * 100.0,
+        stream.coverage() * 100.0
+    );
+    if !latencies_ns.is_empty() {
+        latencies_ns.sort_unstable();
+        let at = |q: f64| latencies_ns[((latencies_ns.len() - 1) as f64 * q) as usize];
+        println!(
+            "  patch latency/batch: p50 {}ns, p90 {}ns, max {}ns",
+            at(0.5),
+            at(0.9),
+            latencies_ns[latencies_ns.len() - 1]
+        );
+    }
+    Ok(())
+}
+
 fn cmd_cluster(args: &[String]) -> Result<(), CliError> {
     let log_path = opt(args, "--log")
         .ok_or_else(|| CliError::Usage("cluster: --log FILE is required".to_string()))?;
@@ -218,6 +371,12 @@ fn cmd_cluster(args: &[String]) -> Result<(), CliError> {
             "cluster: --threads only applies to --method aware, not {method:?}"
         )));
     }
+    let bgp_feed = opt(args, "--bgp-feed");
+    if method != "aware" && bgp_feed.is_some() {
+        return Err(CliError::Usage(format!(
+            "cluster: --bgp-feed only applies to --method aware, not {method:?}"
+        )));
+    }
     // Observability is pay-for-what-you-ask: the registry only exists when
     // a metrics sink or span dump was requested.
     let obs = if metrics_path.is_some() || trace {
@@ -231,6 +390,8 @@ fn cmd_cluster(args: &[String]) -> Result<(), CliError> {
     let data = LogData::open(log_path)
         .map_err(|e| CliError::Input(format!("cluster: cannot read log {log_path}: {e}")))?;
 
+    // The merged table is kept when a feed replay follows the batch run.
+    let mut feed_table: Option<MergedTable> = None;
     let clustering = match method {
         "simple" | "classful" => {
             let (log, errors) = clf_bytes::from_clf_bytes(log_path, &data);
@@ -313,6 +474,9 @@ fn cmd_cluster(args: &[String]) -> Result<(), CliError> {
                     "cluster: no parsable requests in {log_path}"
                 )));
             }
+            if bgp_feed.is_some() {
+                feed_table = Some(merged);
+            }
             report.clustering
         }
         _ => unreachable!("method validated above"),
@@ -347,6 +511,14 @@ fn cmd_cluster(args: &[String]) -> Result<(), CliError> {
             c.requests,
             c.unique_urls
         );
+    }
+
+    // Live-update replay: re-cluster the same log through the streaming
+    // path, then patch the serving table batch by batch from the feed.
+    // Runs before the snapshot below so `stream.patch.*` counters land in
+    // `--metrics`/`--trace` output.
+    if let (Some(spec), Some(merged)) = (bgp_feed, feed_table) {
+        run_bgp_feed(spec, merged, &data, &obs, deterministic)?;
     }
 
     // Observability outputs, captured after the pipeline finished so the
