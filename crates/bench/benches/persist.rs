@@ -1,0 +1,230 @@
+//! Durability-layer costs at production scale: what a checkpoint of a
+//! ~110K-prefix streaming state costs, what one fsync'd journal append
+//! costs on the feed hot path, and how long a cold recovery (newest
+//! snapshot + full journal replay) takes. The headline numbers land in
+//! `BENCH_recovery.json`; the interesting ratio is journal-append vs
+//! snapshot-write — the write-ahead journal only earns its keep if
+//! appending is orders of magnitude cheaper than checkpointing.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use criterion::{host_threads, quick_mode, BenchmarkId, Criterion, Throughput};
+use netclust_bgpsim::{DeltaStream, DeltaStreamConfig};
+use netclust_core::persist::encode_state;
+use netclust_core::{
+    FeedProgress, FsyncPolicy, JournalBatch, PatchStats, StateStore, StreamState,
+    StreamingClustering, SwapPolicy, SwapStats,
+};
+use netclust_obs::{ErrorCounts, Obs};
+use netclust_prefix::Ipv4Net;
+use netclust_rtable::{MergedTable, RoutingTable, TableKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Synthesizes `n` unique prefixes with a BGP-like length mix (same model
+/// as the ingest and table-update benches).
+fn synth_prefixes(n: usize, seed: u64) -> Vec<Ipv4Net> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut set: std::collections::BTreeSet<Ipv4Net> = std::collections::BTreeSet::new();
+    while set.len() < n {
+        let roll: u32 = rng.gen_range(0..100);
+        let len: u8 = if roll < 55 {
+            24
+        } else if roll < 85 {
+            rng.gen_range(16..=23)
+        } else if roll < 95 {
+            rng.gen_range(25..=28)
+        } else {
+            rng.gen_range(8..=15)
+        };
+        set.insert(Ipv4Net::new(rng.gen::<u32>(), len).expect("len <= 32"));
+    }
+    set.into_iter().collect()
+}
+
+fn bench_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "netclust_persist_bench_{name}_{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn main() {
+    let mut c = Criterion::default().configure_from_args();
+    let (n_prefixes, n_clients, n_journal) = if quick_mode() {
+        (8_000usize, 2_000usize, 16usize)
+    } else {
+        (110_000, 20_000, 64)
+    };
+
+    // A consistent StreamState at scale: the stored totals must agree with
+    // what `restore` recomputes, so the unclustered tally is derived from
+    // the same compiled table the recovery path rebuilds.
+    let prefixes = synth_prefixes(n_prefixes, 0xD1CE);
+    let bgp = RoutingTable::new("bench-bgp", "bench", TableKind::Bgp, prefixes.clone());
+    let compiled = MergedTable::merge([&bgp]).compile();
+    let mut rng = StdRng::seed_from_u64(0xC11E);
+    let mut rows: BTreeMap<u32, (u64, u64)> = BTreeMap::new();
+    while rows.len() < n_clients {
+        rows.insert(rng.gen::<u32>(), (3, 900));
+    }
+    let per_client: Vec<(u32, u64, u64)> = rows.iter().map(|(&a, &(r, b))| (a, r, b)).collect();
+    let addrs: Vec<u32> = per_client.iter().map(|&(a, _, _)| a).collect();
+    let nets = compiled.net_for_batch(&addrs);
+    let unclustered_requests: u64 = per_client
+        .iter()
+        .zip(&nets)
+        .filter(|(_, net)| net.is_none())
+        .map(|(&(_, r, _), _)| r)
+        .sum();
+    let total_requests: u64 = per_client.iter().map(|&(_, r, _)| r).sum();
+    let state = StreamState {
+        table_version: 0,
+        feed_pos: 0,
+        bgp_prefixes: prefixes.clone(),
+        dump_prefixes: Vec::new(),
+        per_client,
+        total_requests,
+        unclustered_requests,
+        clf_counts: ErrorCounts::default(),
+        swap_stats: SwapStats::default(),
+        patch_stats: PatchStats::default(),
+        last_rejection: None,
+        correction: None,
+        feed: FeedProgress::default(),
+    };
+    let snapshot_bytes = encode_state(&state).len();
+    println!(
+        "state: {} prefixes, {} clients -> {} byte snapshot\n",
+        n_prefixes, n_clients, snapshot_bytes
+    );
+
+    // Journal material: realistic churn batches over the live prefix set.
+    let mut feed = DeltaStream::new(0xFEED, prefixes.clone(), DeltaStreamConfig::default());
+    let batches: Vec<JournalBatch> = (0..n_journal as u64)
+        .map(|i| {
+            let b = feed.next_batch();
+            JournalBatch {
+                feed_index: i,
+                session_reset: b.session_reset,
+                deltas: b.deltas,
+            }
+        })
+        .collect();
+    let append_batch = batches.first().expect("journal material").clone();
+
+    let mut group = c.benchmark_group("persist");
+    group.threads_used(1);
+
+    // Checkpoint: encode + temp write + fsync + rename + fresh journal.
+    let snap_dir = bench_dir("snapshot");
+    let mut snap_store =
+        StateStore::create(&snap_dir, FsyncPolicy::EveryBatch).expect("create snapshot store");
+    group.throughput(Throughput::Bytes(snapshot_bytes as u64));
+    group.bench_function(BenchmarkId::new("snapshot_write", n_prefixes), |b| {
+        b.iter(|| snap_store.checkpoint(&state).expect("checkpoint"))
+    });
+
+    // Journal append under both durability policies: `every_batch` pays an
+    // fsync per call (the default, what the feed loop does), `os` is the
+    // raw buffered-write cost.
+    let append_ns = |policy: FsyncPolicy, tag: &str, c: &mut criterion::BenchmarkGroup<'_>| {
+        let dir = bench_dir(tag);
+        let mut store = StateStore::create(&dir, policy).expect("create journal store");
+        store.checkpoint(&state).expect("base checkpoint");
+        c.throughput(Throughput::Elements(append_batch.deltas.len() as u64));
+        c.bench_function(BenchmarkId::new(tag, append_batch.deltas.len()), |b| {
+            b.iter(|| store.append_batch(&append_batch).expect("append"))
+        });
+        dir
+    };
+    let j1 = append_ns(FsyncPolicy::EveryBatch, "journal_append_fsync", &mut group);
+    let j2 = append_ns(FsyncPolicy::Os, "journal_append_os", &mut group);
+
+    // Cold recovery: newest snapshot + full journal replay into a serving
+    // stream, exactly the `--resume` path.
+    let rec_dir = bench_dir("recovery");
+    {
+        let mut store =
+            StateStore::create(&rec_dir, FsyncPolicy::EveryBatch).expect("create recovery store");
+        store.checkpoint(&state).expect("base checkpoint");
+        for b in &batches {
+            store.append_batch(b).expect("append");
+        }
+    }
+    group.throughput(Throughput::Elements(1));
+    group.bench_function(BenchmarkId::new("recovery", n_journal), |b| {
+        b.iter(|| {
+            let (_store, recovered, report) =
+                StateStore::recover(&rec_dir, FsyncPolicy::EveryBatch).expect("recover");
+            let mut stream =
+                StreamingClustering::restore(&recovered, SwapPolicy::default(), Obs::disabled())
+                    .expect("restore");
+            for b in &report.batches {
+                stream.apply_deltas(&b.deltas);
+            }
+            stream.table_version()
+        })
+    });
+    group.finish();
+
+    let results = c.take_results();
+    let ns_of = |needle: &str| {
+        results
+            .iter()
+            .find(|r| r.id.contains(needle))
+            .map(|r| r.ns_per_iter)
+            .unwrap_or(f64::NAN)
+    };
+    let snapshot_ns = ns_of("snapshot_write");
+    let append_fsync_ns = ns_of("journal_append_fsync");
+    let append_os_ns = ns_of("journal_append_os");
+    let recovery_ns = ns_of("recovery");
+
+    let mut json = String::from("{\n  \"benchmarks\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"id\": \"{}\", \"ns_per_iter\": {:.1}, \"threads_used\": {}}}{}\n",
+            r.id,
+            r.ns_per_iter,
+            r.threads_used,
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"host_threads\": {},\n", host_threads()));
+    json.push_str("  \"threads_used\": 1,\n");
+    json.push_str(&format!("  \"table_prefixes\": {n_prefixes},\n"));
+    json.push_str(&format!("  \"clients\": {n_clients},\n"));
+    json.push_str(&format!("  \"snapshot_bytes\": {snapshot_bytes},\n"));
+    json.push_str(&format!("  \"snapshot_write_ns\": {snapshot_ns:.1},\n"));
+    json.push_str(&format!(
+        "  \"journal_append_fsync_ns\": {append_fsync_ns:.1},\n"
+    ));
+    json.push_str(&format!("  \"journal_append_os_ns\": {append_os_ns:.1},\n"));
+    json.push_str(&format!("  \"recovery_journal_batches\": {n_journal},\n"));
+    json.push_str(&format!("  \"recovery_ns\": {recovery_ns:.1},\n"));
+    json.push_str(&format!("  \"quick\": {}\n", quick_mode()));
+    json.push_str("}\n");
+
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_recovery.json");
+    std::fs::write(out, &json).expect("write BENCH_recovery.json");
+    println!(
+        "\nsnapshot {:.2} ms ({} KiB), append {:.1} µs fsync'd / {:.2} µs buffered, \
+         recovery {:.2} ms ({} batches)",
+        snapshot_ns / 1e6,
+        snapshot_bytes / 1024,
+        append_fsync_ns / 1e3,
+        append_os_ns / 1e3,
+        recovery_ns / 1e6,
+        n_journal
+    );
+    println!("wrote {out}");
+
+    for dir in [snap_dir, j1, j2, rec_dir] {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -32,6 +32,31 @@ pub mod failpoints {
     /// failure, corrupt delta surviving validation); the half-patched
     /// candidate must be discarded with the old generation left serving.
     pub const TABLE_PATCH: &str = "table.patch";
+    /// A write-ahead journal append dies mid-write (disk full, process
+    /// kill between `write` calls): the frame is torn on disk and the
+    /// process must treat the append as failed. Recovery truncates the
+    /// torn tail and replays everything before it.
+    pub const PERSIST_JOURNAL_WRITE: &str = "persist.journal.write";
+    /// The atomic snapshot rename dies between writing the temp file and
+    /// publishing it: the previous snapshot generation must keep serving
+    /// recovery, with the orphaned temp file ignored.
+    pub const PERSIST_SNAPSHOT_RENAME: &str = "persist.snapshot.rename";
+    /// An `fsync` on the journal or snapshot fails (I/O error, yanked
+    /// volume): durability of recent appends is unknown and the process
+    /// must treat the store as wedged rather than acknowledge the batch.
+    pub const PERSIST_FSYNC: &str = "persist.fsync";
+
+    /// Every registered failpoint, in declaration order — the registry
+    /// surface fault sweeps iterate so new points cannot dodge the
+    /// standard harness.
+    pub const ALL: &[&str] = &[
+        SWAP_COMPILE,
+        INGEST_CHUNK_IO,
+        TABLE_PATCH,
+        PERSIST_JOURNAL_WRITE,
+        PERSIST_SNAPSHOT_RENAME,
+        PERSIST_FSYNC,
+    ];
 }
 
 /// FNV-1a over the failpoint name: folds the registry key into the seed

@@ -21,7 +21,9 @@
 //!   [`session_report`] — time-partitioned stability (§3.6).
 //!
 //! The Web-caching simulation the clusters feed (§4.1.5, Figures 11–12)
-//! lives in `netclust-cachesim`.
+//! lives in `netclust-cachesim`. Crash-safe persistence of the streaming
+//! state — checksummed snapshots plus a write-ahead delta journal — lives
+//! in [`persist`].
 
 #![warn(missing_docs)]
 
@@ -35,6 +37,7 @@ mod ingest;
 mod metrics;
 mod netcluster;
 mod ongoing;
+pub mod persist;
 mod selfcorrect;
 mod sessions;
 mod stream;
@@ -55,13 +58,17 @@ pub use netcluster::{network_clusters, NetworkCluster};
 pub use ongoing::{
     merge_by_name_suffix, selective_validate, MergeReport, SelectiveMode, SelectiveReport,
 };
+pub use persist::{
+    CorrectionState, FeedProgress, FsyncPolicy, JournalBatch, PersistError, RecoveryReport,
+    StateStore, StreamState,
+};
 pub use selfcorrect::{
     org_purity, self_correct, self_correct_with, CorrectionConfig, CorrectionReport,
 };
 pub use sessions::{session_report, SessionReport, SessionStats};
 pub use stream::{
-    PatchBatchReport, PatchStats, StreamHandle, StreamStats, StreamingBuilder, StreamingClustering,
-    SwapPolicy, SwapRejection, SwapReport, SwapStats,
+    PatchBatchReport, PatchStats, RestoreError, StreamHandle, StreamStats, StreamingBuilder,
+    StreamingClustering, SwapPolicy, SwapRejection, SwapReport, SwapStats,
 };
 // The shared error-accounting shape carried by `IngestReport`, consumed by
 // `StreamingClustering::try_swap`, and produced by rtable's `ParseReport`;

@@ -1,0 +1,490 @@
+//! Framed binary wire codec for the durability layer (DESIGN.md §16).
+//!
+//! Both persistence files — full snapshots and the write-ahead journal —
+//! share one self-describing layout: a 12-byte versioned file header
+//! followed by length-prefixed, CRC-checksummed frames. CRC32 (IEEE) is
+//! chosen over a cheap FNV fold because it *mathematically* detects every
+//! single-bit error, which is exactly the torn-write/bit-rot class the
+//! recovery scan must stop on; multi-bit corruption is caught with
+//! probability `1 - 2^-32` per frame.
+//!
+//! This module is on the journal append hot path and is manifest-listed
+//! panic-free: every read is bounds-checked through [`Reader`], every
+//! decode returns a typed [`FrameError`], and arbitrary input — flipped,
+//! truncated, or adversarial — can never panic or over-allocate (frame
+//! lengths are validated against the bytes actually present before any
+//! allocation).
+
+use std::fmt;
+
+/// File magic: "NCLP" (netclust persist).
+pub const MAGIC: [u8; 4] = *b"NCLP";
+
+/// Current format version; bumped on any incompatible layout change.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// File kind tag: a full-snapshot file (one [`REC_STATE`] frame).
+pub const FILE_SNAPSHOT: u8 = 1;
+
+/// File kind tag: an append-only write-ahead journal of [`REC_BATCH`]
+/// frames.
+pub const FILE_JOURNAL: u8 = 2;
+
+/// Record kind: a serialized `StreamState` snapshot.
+pub const REC_STATE: u8 = 1;
+
+/// Record kind: one journaled feed batch (feed index, flags, deltas).
+pub const REC_BATCH: u8 = 2;
+
+/// Bytes in the file header: magic, version `u16` LE, file kind, flags,
+/// CRC32 of the first 8 bytes.
+pub const HEADER_BYTES: usize = 12;
+
+/// Frame overhead around the payload: length `u32` LE, record kind `u8`,
+/// trailing CRC32 of kind-plus-payload.
+pub const FRAME_OVERHEAD: usize = 9;
+
+/// CRC32 (IEEE 802.3, reflected) lookup table, built at compile time.
+const CRC_TABLE: [u32; 256] = crc_table();
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        // analyze:allow(cast-truncation) i < 256 fits u32 losslessly.
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        // analyze:allow(panic-free-hot-path) i ranges over 0..256 == table.len().
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// CRC32 (IEEE) of `bytes` — detects all single-bit errors by
+/// construction.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = u32::MAX;
+    for &b in bytes {
+        // analyze:allow(cast-truncation) `b as u32` widens a u8; the usize cast takes a value masked to 8 bits.
+        let idx = ((crc ^ b as u32) & 0xFF) as usize;
+        // analyze:allow(panic-free-hot-path) idx is masked to 0..256 == CRC_TABLE.len().
+        crc = CRC_TABLE[idx] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// Why a header or frame failed to decode. Offsets are file-absolute so
+/// recovery reports point at the corrupt byte range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// The buffer ends before a full file header.
+    TruncatedHeader {
+        /// Bytes present.
+        have: usize,
+    },
+    /// The magic bytes are not `NCLP`.
+    BadMagic,
+    /// The format version is newer (or older) than this build reads.
+    BadVersion {
+        /// Version found in the header.
+        found: u16,
+    },
+    /// The file kind tag is not a known file type.
+    BadFileKind {
+        /// Tag found in the header.
+        found: u8,
+    },
+    /// The header checksum does not match its first 8 bytes.
+    HeaderChecksum,
+    /// A frame extends past the end of the buffer: the torn-tail signature
+    /// of a crash mid-append.
+    TornFrame {
+        /// File offset where the frame starts.
+        offset: u64,
+        /// Bytes the frame claims to need (including overhead).
+        need: u64,
+        /// Bytes actually remaining.
+        have: u64,
+    },
+    /// A complete frame whose CRC does not match its contents: bit rot or
+    /// an overwritten tail.
+    BadChecksum {
+        /// File offset where the frame starts.
+        offset: u64,
+    },
+    /// A checksummed frame carrying an unknown record kind.
+    BadRecordKind {
+        /// File offset where the frame starts.
+        offset: u64,
+        /// The unrecognized kind tag.
+        found: u8,
+    },
+    /// A checksummed frame whose payload failed structural decode.
+    Malformed {
+        /// File offset where the frame starts.
+        offset: u64,
+        /// Which field or structure was malformed.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::TruncatedHeader { have } => {
+                write!(f, "file header truncated: {have} of {HEADER_BYTES} bytes")
+            }
+            FrameError::BadMagic => write!(f, "bad magic (not a netclust persist file)"),
+            FrameError::BadVersion { found } => {
+                write!(
+                    f,
+                    "unsupported format version {found} (this build reads {FORMAT_VERSION})"
+                )
+            }
+            FrameError::BadFileKind { found } => write!(f, "unknown file kind tag {found:#04x}"),
+            FrameError::HeaderChecksum => write!(f, "file header checksum mismatch"),
+            FrameError::TornFrame { offset, need, have } => write!(
+                f,
+                "torn frame at offset {offset}: needs {need} bytes, {have} remain"
+            ),
+            FrameError::BadChecksum { offset } => {
+                write!(f, "frame checksum mismatch at offset {offset}")
+            }
+            FrameError::BadRecordKind { offset, found } => {
+                write!(f, "unknown record kind {found:#04x} at offset {offset}")
+            }
+            FrameError::Malformed { offset, what } => {
+                write!(f, "malformed {what} in frame at offset {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Encodes the 12-byte file header for a file of `kind`.
+pub fn encode_header(kind: u8) -> [u8; HEADER_BYTES] {
+    let mut h = [0u8; HEADER_BYTES];
+    let (magic, rest) = h.split_at_mut(4);
+    magic.copy_from_slice(&MAGIC);
+    let (ver, rest) = rest.split_at_mut(2);
+    ver.copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+    let (kf, _crc_dst) = rest.split_at_mut(2);
+    if let Some(k) = kf.first_mut() {
+        *k = kind;
+    }
+    let crc = crc32(h.get(..8).unwrap_or(&[]));
+    if let Some(dst) = h.get_mut(8..12) {
+        dst.copy_from_slice(&crc.to_le_bytes());
+    }
+    h
+}
+
+/// Validates a file header and returns its file-kind tag.
+pub fn decode_header(bytes: &[u8]) -> Result<u8, FrameError> {
+    let Some(h) = bytes.get(..HEADER_BYTES) else {
+        return Err(FrameError::TruncatedHeader { have: bytes.len() });
+    };
+    let mut r = Reader::new(h);
+    let magic = r.take(4).unwrap_or(&[]);
+    if magic != MAGIC {
+        return Err(FrameError::BadMagic);
+    }
+    let version = r.u16_le().unwrap_or(u16::MAX);
+    let kind = r.u8().unwrap_or(0);
+    let _flags = r.u8();
+    let stored = r.u32_le().unwrap_or(0);
+    if crc32(h.get(..8).unwrap_or(&[])) != stored {
+        return Err(FrameError::HeaderChecksum);
+    }
+    if version != FORMAT_VERSION {
+        return Err(FrameError::BadVersion { found: version });
+    }
+    if kind != FILE_SNAPSHOT && kind != FILE_JOURNAL {
+        return Err(FrameError::BadFileKind { found: kind });
+    }
+    Ok(kind)
+}
+
+/// Appends one frame — `[len u32][kind u8][payload][crc u32]` — to `out`.
+/// `len` counts payload bytes only; the CRC covers the kind byte and the
+/// payload, so neither can flip undetected.
+pub fn encode_frame(out: &mut Vec<u8>, kind: u8, payload: &[u8]) {
+    // analyze:allow(cast-truncation) payloads are single snapshot/batch records, far below u32::MAX; decode_frame re-validates the length against bytes present.
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    let body_start = out.len();
+    out.push(kind);
+    out.extend_from_slice(payload);
+    let crc = crc32(out.get(body_start..).unwrap_or(&[]));
+    out.extend_from_slice(&crc.to_le_bytes());
+}
+
+/// One decoded frame plus how many file bytes it spanned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Frame<'a> {
+    /// Record kind tag ([`REC_STATE`] / [`REC_BATCH`]).
+    pub kind: u8,
+    /// The checksummed payload.
+    pub payload: &'a [u8],
+    /// Total bytes consumed from the buffer (payload plus overhead).
+    pub span: usize,
+}
+
+/// Decodes the frame starting at `buf[offset..]`. `offset` is only used
+/// for error reporting; the caller advances by [`Frame::span`] on success.
+/// Returns `Ok(None)` exactly at a clean end of buffer.
+pub fn decode_frame(buf: &[u8], offset: u64) -> Result<Option<Frame<'_>>, FrameError> {
+    if buf.is_empty() {
+        return Ok(None);
+    }
+    let torn = |need: u64| FrameError::TornFrame {
+        offset,
+        need,
+        have: buf.len() as u64,
+    };
+    let Some(len_bytes) = buf.get(..4) else {
+        return Err(torn(FRAME_OVERHEAD as u64));
+    };
+    let mut len = [0u8; 4];
+    len.copy_from_slice(len_bytes);
+    let len = u32::from_le_bytes(len) as usize;
+    // Validate the claimed length against bytes actually present BEFORE
+    // touching payload ranges: a bit-flipped length field must read as a
+    // torn frame, never an allocation or a panic.
+    let need = (len as u64).saturating_add(FRAME_OVERHEAD as u64);
+    if need > buf.len() as u64 {
+        return Err(torn(need));
+    }
+    let Some(body) = buf.get(4..5 + len) else {
+        return Err(torn(need));
+    };
+    let Some(crc_bytes) = buf.get(5 + len..5 + len + 4) else {
+        return Err(torn(need));
+    };
+    let mut stored = [0u8; 4];
+    stored.copy_from_slice(crc_bytes);
+    if crc32(body) != u32::from_le_bytes(stored) {
+        return Err(FrameError::BadChecksum { offset });
+    }
+    let (&kind, payload) = body.split_first().ok_or(FrameError::Malformed {
+        offset,
+        what: "frame body",
+    })?;
+    if kind != REC_STATE && kind != REC_BATCH {
+        return Err(FrameError::BadRecordKind {
+            offset,
+            found: kind,
+        });
+    }
+    Ok(Some(Frame {
+        kind,
+        payload,
+        span: len + FRAME_OVERHEAD,
+    }))
+}
+
+/// Bounds-checked little-endian reader over a payload slice. Every
+/// accessor returns `None` past the end instead of panicking, so decoders
+/// built on it are total over arbitrary input.
+#[derive(Debug, Clone, Copy)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over `buf` starting at byte 0.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
+    }
+
+    /// `true` once every byte is consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Takes the next `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let slice = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(slice)
+    }
+
+    /// Next byte.
+    pub fn u8(&mut self) -> Option<u8> {
+        self.take(1).and_then(|s| s.first().copied())
+    }
+
+    /// Next `u16`, little endian.
+    pub fn u16_le(&mut self) -> Option<u16> {
+        let s = self.take(2)?;
+        let mut b = [0u8; 2];
+        b.copy_from_slice(s);
+        Some(u16::from_le_bytes(b))
+    }
+
+    /// Next `u32`, little endian.
+    pub fn u32_le(&mut self) -> Option<u32> {
+        let s = self.take(4)?;
+        let mut b = [0u8; 4];
+        b.copy_from_slice(s);
+        Some(u32::from_le_bytes(b))
+    }
+
+    /// Next `u64`, little endian.
+    pub fn u64_le(&mut self) -> Option<u64> {
+        let s = self.take(8)?;
+        let mut b = [0u8; 8];
+        b.copy_from_slice(s);
+        Some(u64::from_le_bytes(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_reference_vectors() {
+        // IEEE CRC32 check values ("check" = crc of "123456789").
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn crc32_detects_every_single_bit_flip() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let clean = crc32(data);
+        let mut buf = data.to_vec();
+        for byte in 0..buf.len() {
+            for bit in 0..8 {
+                buf[byte] ^= 1 << bit;
+                assert_ne!(crc32(&buf), clean, "flip at {byte}:{bit} undetected");
+                buf[byte] ^= 1 << bit;
+            }
+        }
+    }
+
+    #[test]
+    fn header_round_trip_and_rejections() {
+        let h = encode_header(FILE_JOURNAL);
+        assert_eq!(decode_header(&h), Ok(FILE_JOURNAL));
+        assert_eq!(
+            decode_header(&encode_header(FILE_SNAPSHOT)),
+            Ok(FILE_SNAPSHOT)
+        );
+        // Truncated.
+        assert_eq!(
+            decode_header(&h[..7]),
+            Err(FrameError::TruncatedHeader { have: 7 })
+        );
+        // Bad magic.
+        let mut bad = h;
+        bad[0] = b'X';
+        assert_eq!(decode_header(&bad), Err(FrameError::BadMagic));
+        // Every single-bit flip in the checksummed region is rejected.
+        for byte in 0..8 {
+            for bit in 0..8 {
+                let mut bad = h;
+                bad[byte] ^= 1 << bit;
+                assert!(
+                    decode_header(&bad).is_err(),
+                    "flip at {byte}:{bit} accepted"
+                );
+            }
+        }
+        // Future version.
+        let mut future = [0u8; HEADER_BYTES];
+        future[..4].copy_from_slice(&MAGIC);
+        future[4..6].copy_from_slice(&99u16.to_le_bytes());
+        future[6] = FILE_JOURNAL;
+        let crc = crc32(&future[..8]);
+        future[8..].copy_from_slice(&crc.to_le_bytes());
+        assert_eq!(
+            decode_header(&future),
+            Err(FrameError::BadVersion { found: 99 })
+        );
+    }
+
+    #[test]
+    fn frame_round_trip() {
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, REC_BATCH, b"hello");
+        encode_frame(&mut buf, REC_STATE, b"");
+        let f1 = decode_frame(&buf, 0).unwrap().unwrap();
+        assert_eq!((f1.kind, f1.payload), (REC_BATCH, &b"hello"[..]));
+        let f2 = decode_frame(&buf[f1.span..], f1.span as u64)
+            .unwrap()
+            .unwrap();
+        assert_eq!((f2.kind, f2.payload.len()), (REC_STATE, 0));
+        assert_eq!(f1.span + f2.span, buf.len());
+        assert_eq!(decode_frame(&buf[buf.len()..], buf.len() as u64), Ok(None));
+    }
+
+    #[test]
+    fn frame_rejects_torn_and_corrupt_input() {
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, REC_BATCH, b"payload-bytes");
+        // Every truncation point is a typed error, never a panic.
+        for cut in 1..buf.len() {
+            match decode_frame(&buf[..cut], 0) {
+                Err(FrameError::TornFrame { .. }) | Err(FrameError::BadChecksum { .. }) => {}
+                other => panic!("cut at {cut}: unexpected {other:?}"),
+            }
+        }
+        // Every single-bit flip is rejected.
+        let mut bad = buf.clone();
+        for byte in 0..bad.len() {
+            for bit in 0..8 {
+                bad[byte] ^= 1 << bit;
+                assert!(
+                    decode_frame(&bad, 0).is_err(),
+                    "flip at {byte}:{bit} accepted"
+                );
+                bad[byte] ^= 1 << bit;
+            }
+        }
+        // A length field inflated to absurdity reads as torn, without
+        // allocating.
+        let mut huge = buf;
+        huge[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_frame(&huge, 0),
+            Err(FrameError::TornFrame { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_record_kind_is_rejected_after_checksum() {
+        // Build a frame with kind 7 and a VALID checksum: the kind gate,
+        // not the checksum, must reject it.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&3u32.to_le_bytes());
+        let body = [7u8, b'a', b'b', b'c'];
+        buf.extend_from_slice(&body);
+        buf.extend_from_slice(&crc32(&body).to_le_bytes());
+        assert_eq!(
+            decode_frame(&buf, 40),
+            Err(FrameError::BadRecordKind {
+                offset: 40,
+                found: 7
+            })
+        );
+    }
+}

@@ -37,6 +37,7 @@ use netclust_weblog::Log;
 use rand::seq::SliceRandom;
 
 use crate::cluster::Clustering;
+use crate::persist::CorrectionState;
 
 /// Self-correction parameters.
 #[derive(Debug, Clone, Copy)]
@@ -78,16 +79,37 @@ pub struct CorrectionReport {
     pub new_from_unclustered: usize,
     /// Clusters that disappeared by merging into another.
     pub merged_away: usize,
+    /// Clusters that passed the homogeneity quorum intact.
+    pub homogeneous: usize,
     /// Clusters partitioned because their members disagreed.
     pub split: usize,
+    /// Clusters kept intact because probing yielded no signal at all.
+    pub no_signal: usize,
     /// Traces that produced no usable signature (all hops unresponsive);
     /// the affected clients stayed with their original cluster.
     pub unknown_signatures: usize,
+    /// Clients *parked* under a synthetic `?cluster:`/`?addr:` key because
+    /// probing told us nothing, with that key — the set a later correction
+    /// pass must re-probe first. Sorted by key then address.
+    pub parked: Vec<(Ipv4Addr, String)>,
     /// Probes spent — including `retries`, `timeouts`, and `gave_up`
     /// counters when a fault model is armed.
     pub probe_stats: netclust_probe::ProbeStats,
     /// The corrected clustering.
     pub clustering: Clustering,
+}
+
+impl CorrectionReport {
+    /// The durable residue of this pass, in the shape the persistence
+    /// layer snapshots (`StreamingClustering::set_correction`).
+    pub fn to_state(&self) -> CorrectionState {
+        CorrectionState {
+            homogeneous: self.homogeneous as u64,
+            split: self.split as u64,
+            no_signal: self.no_signal as u64,
+            parked: self.parked.clone(),
+        }
+    }
 }
 
 /// Fraction of clusters all of whose members belong to one administrative
@@ -315,6 +337,15 @@ pub fn self_correct_with(
         .map(|(_, prefixes)| prefixes.len().saturating_sub(1))
         .sum();
 
+    // Parked clients: everyone sitting under a synthetic `?` key
+    // (collected before `groups` is consumed; `BTreeMap` order keeps the
+    // list deterministic and canonical for persistence).
+    let parked: Vec<(Ipv4Addr, String)> = groups
+        .iter()
+        .filter(|(key, _)| key.starts_with('?'))
+        .flat_map(|(key, (members, _))| members.iter().map(|&addr| (addr, key.clone())))
+        .collect();
+
     // Identifying prefix per group: the common supernet of the original
     // prefixes when any exist, else of the member host routes.
     let mut assign: HashMap<u32, Ipv4Net> = HashMap::new();
@@ -370,8 +401,11 @@ pub fn self_correct_with(
         absorbed,
         new_from_unclustered: new_groups,
         merged_away,
+        homogeneous,
         split,
+        no_signal,
         unknown_signatures: unknown,
+        parked,
         probe_stats,
         clustering: corrected,
     }

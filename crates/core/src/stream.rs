@@ -29,17 +29,21 @@
 //! would.
 
 use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::fmt;
 use std::net::Ipv4Addr;
 
 use netclust_obs::{Counter, ErrorCounts, Gauge, Histogram, Obs};
 use netclust_prefix::Ipv4Net;
-use netclust_rtable::{CompiledMerged, DeltaKind, MergedTable, PatchReport, TableDelta};
+use netclust_rtable::{
+    CompiledMerged, DeltaKind, MergedTable, PatchReport, RoutingTable, TableDelta, TableKind,
+};
 use netclust_weblog::clf::ClfError;
 use netclust_weblog::clf_bytes;
 use netclust_weblog::Request;
 
 use crate::epoch::{EpochReader, EpochTable};
 use crate::faults::{failpoints, FaultInjector};
+use crate::persist::{CorrectionState, FeedProgress, StreamState};
 
 /// Patch-journal depth: a retired generation older than this many batches
 /// behind the serving one is cloned over instead of replayed.
@@ -353,12 +357,39 @@ impl StreamingBuilder {
             swap_stats: SwapStats::default(),
             patch_stats: PatchStats::default(),
             last_rejection: None,
+            correction: None,
             policy: self.policy,
             obs: self.obs,
             metrics,
         }
     }
 }
+
+/// A recovered [`StreamState`] decoded cleanly but its integrity
+/// invariants do not hold: a stored total disagrees with the value
+/// recomputed from the per-client rows, so the snapshot was written by a
+/// buggy or hostile producer and must not be served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RestoreError {
+    /// Which invariant failed.
+    pub what: &'static str,
+    /// The value the snapshot claims.
+    pub stored: u64,
+    /// The value recomputed from the snapshot's own rows.
+    pub recomputed: u64,
+}
+
+impl fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "restored state mismatch: {} stored {} but recomputed {}",
+            self.what, self.stored, self.recomputed
+        )
+    }
+}
+
+impl std::error::Error for RestoreError {}
 
 /// An incrementally-maintained clustering over a request stream.
 ///
@@ -403,6 +434,9 @@ pub struct StreamingClustering {
     patch_stats: PatchStats,
     /// The most recent rejection, for operators polling stats.
     last_rejection: Option<SwapRejection>,
+    /// Durable residue of the last self-correction pass, carried so
+    /// snapshots preserve it across restarts.
+    correction: Option<CorrectionState>,
     /// Thresholds applied by [`try_swap`](Self::try_swap).
     policy: SwapPolicy,
     /// Registry swapped-in tables resolve their LPM counters against.
@@ -911,6 +945,152 @@ impl StreamingClustering {
             coverage_before,
             coverage_after: self.coverage(),
         }
+    }
+
+    /// Records the durable residue of a self-correction pass so snapshots
+    /// ([`export_state`](Self::export_state)) preserve it across restarts.
+    pub fn set_correction(&mut self, correction: CorrectionState) {
+        self.correction = Some(correction);
+    }
+
+    /// The recorded self-correction residue, if a pass has run.
+    pub fn correction(&self) -> Option<&CorrectionState> {
+        self.correction.as_ref()
+    }
+
+    /// Exports everything the durability layer persists: the serving
+    /// table's live prefix sets, the retained per-client totals, and every
+    /// cumulative counter. `feed_pos` and `feed` are left zeroed for the
+    /// feed driver to fill in. [`restore`](Self::restore) is the inverse.
+    pub fn export_state(&self) -> StreamState {
+        let (bgp_prefixes, dump_prefixes) = self.reader.with(|live| {
+            (
+                live.table.bgp().live_prefixes(),
+                live.table.dump().live_prefixes(),
+            )
+        });
+        // analyze:allow(determinism) collected then sorted by client below.
+        let mut per_client: Vec<(u32, u64, u64)> = self
+            .per_client
+            .iter()
+            .map(|(&client, &(requests, bytes))| (client, requests, bytes))
+            .collect();
+        per_client.sort_unstable_by_key(|&(client, _, _)| client);
+        StreamState {
+            table_version: self.version,
+            feed_pos: 0,
+            bgp_prefixes,
+            dump_prefixes,
+            per_client,
+            total_requests: self.total_requests,
+            unclustered_requests: self.unclustered_requests,
+            clf_counts: self.clf_counts,
+            swap_stats: self.swap_stats,
+            patch_stats: self.patch_stats,
+            last_rejection: self.last_rejection,
+            correction: self.correction.clone(),
+            feed: FeedProgress::default(),
+        }
+    }
+
+    /// Rebuilds a stream from a persisted [`StreamState`]: recompiles the
+    /// two routing tiers from their live prefix sets (bit-identical to the
+    /// compile the snapshot's table came from, since `live_prefixes` is
+    /// canonical), re-resolves every retained client with one batch LPM
+    /// sweep, and cross-checks the snapshot's stored totals against the
+    /// recomputed ones — a disagreement means a corrupt-but-checksummed
+    /// snapshot and is a typed [`RestoreError`], never a panic.
+    ///
+    /// The journal's delta batches are *not* applied here; replay them
+    /// through [`apply_deltas`](Self::apply_deltas) afterwards, which also
+    /// reproduces the patch accounting the crashed process accumulated
+    /// after its last snapshot.
+    pub fn restore(
+        state: &StreamState,
+        policy: SwapPolicy,
+        obs: Obs,
+    ) -> Result<Self, RestoreError> {
+        let bgp = RoutingTable::new(
+            "recovered-bgp",
+            "recovered",
+            TableKind::Bgp,
+            state.bgp_prefixes.clone(),
+        );
+        let dump = RoutingTable::new(
+            "recovered-dump",
+            "recovered",
+            TableKind::NetworkDump,
+            state.dump_prefixes.clone(),
+        );
+        let mut compiled = MergedTable::merge([&bgp, &dump]).compile();
+        compiled.attach_obs(&obs);
+        let metrics = StreamObs::resolve(&obs);
+
+        // One batch LPM sweep re-derives the assignments and cluster
+        // aggregates — the same cost as `install()` pays on a table swap.
+        // analyze:allow(determinism) `state.per_client` is the snapshot's sorted Vec of rows, not a map.
+        let clients: Vec<u32> = state.per_client.iter().map(|&(c, _, _)| c).collect();
+        let nets = compiled.net_for_batch(&clients);
+        let mut clusters: HashMap<Ipv4Net, StreamStats> = HashMap::new();
+        let mut per_client = HashMap::with_capacity(state.per_client.len());
+        let mut assignment = HashMap::with_capacity(state.per_client.len());
+        let mut total_requests = 0u64;
+        let mut unclustered_requests = 0u64;
+        // analyze:allow(determinism) `state.per_client` is the snapshot's sorted Vec of rows, not a map.
+        for (&(client, requests, bytes), &net) in state.per_client.iter().zip(&nets) {
+            total_requests += requests;
+            per_client.insert(client, (requests, bytes));
+            assignment.insert(client, net);
+            match net {
+                Some(prefix) => {
+                    let stats = clusters.entry(prefix).or_default();
+                    stats.clients += 1;
+                    stats.requests += requests;
+                    stats.bytes += bytes;
+                }
+                None => unclustered_requests += requests,
+            }
+        }
+        if total_requests != state.total_requests {
+            return Err(RestoreError {
+                what: "total_requests",
+                stored: state.total_requests,
+                recomputed: total_requests,
+            });
+        }
+        if unclustered_requests != state.unclustered_requests {
+            return Err(RestoreError {
+                what: "unclustered_requests",
+                stored: state.unclustered_requests,
+                recomputed: unclustered_requests,
+            });
+        }
+
+        let table = EpochTable::new(LiveTable {
+            table: compiled,
+            version: state.table_version,
+        });
+        let reader = table.reader();
+        Ok(StreamingClustering {
+            table,
+            reader,
+            version: state.table_version,
+            journal: VecDeque::new(),
+            journal_base: state.table_version,
+            clusters,
+            per_client,
+            assignment,
+            unclustered_requests,
+            total_requests,
+            clf_counts: state.clf_counts,
+            swap_stats: state.swap_stats,
+            patch_stats: state.patch_stats,
+            last_rejection: state.last_rejection,
+            correction: state.correction.clone(),
+            policy,
+            obs,
+            metrics,
+        })
     }
 
     /// Installs an already-compiled table, rebuilding cluster aggregates

@@ -478,10 +478,10 @@ impl CompiledTable {
     }
 
     /// The dense prefix arena; [`Handle`]s index into this slice. On a
-    /// table that has been patched in place ([`apply_delta`]
-    /// (Self::apply_delta)) the arena may contain dead entries no slot
-    /// references any more; use [`live_prefixes`](Self::live_prefixes)
-    /// for the current prefix set.
+    /// table patched in place ([`apply_delta`](Self::apply_delta)) the
+    /// arena may contain dead entries no slot references any more; use
+    /// [`live_prefixes`](Self::live_prefixes) for the current prefix
+    /// set.
     pub fn prefixes(&self) -> &[Ipv4Net] {
         &self.prefixes
     }

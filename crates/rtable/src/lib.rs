@@ -26,7 +26,10 @@ mod table;
 mod testutil;
 mod trie;
 
-pub use diff::{dynamic_prefix_set, effect_on, maximum_effect, SnapshotDiff};
+pub use diff::{
+    decode_deltas, dynamic_prefix_set, effect_on, encode_deltas, maximum_effect, DeltaCodecError,
+    SnapshotDiff, DELTA_WIRE_BYTES,
+};
 pub use flat::{CompiledMerged, CompiledTable, Handle, DEFAULT_PREFETCH_DISTANCE};
 pub use patch::{DeltaKind, PatchPolicy, PatchReport, TableDelta};
 // The shared error-accounting shape (`ParseReport::counts()` returns it);

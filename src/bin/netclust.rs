@@ -28,6 +28,18 @@
 //!                     (blank line = batch boundary, `#` = comment).
 //!                     Prints per-feed patch accounting; batch latencies
 //!                     are wall-clock and omitted under --deterministic.
+//!     --state-dir DIR persist the streaming state across the feed:
+//!                     checksummed snapshots + a write-ahead delta journal
+//!                     (requires --bgp-feed). A fresh run WIPES previous
+//!                     persisted state in DIR.
+//!     --resume        recover from the newest valid snapshot in
+//!                     --state-dir and replay the journal instead of
+//!                     starting the feed over
+//!     --fsync P       journal durability: every_batch (default),
+//!                     every_n:<N>, or os
+//!     --crash-after-batch N
+//!                     abort() the process right after the Nth journal
+//!                     append of this run (crash-recovery testing)
 //! ```
 //!
 //! Table files accept one prefix per line in any of the three §3.1.2
@@ -37,7 +49,9 @@
 //!
 //! Exit codes: 0 success, 1 input/runtime failure (the offending file is
 //! named on stderr), 2 usage error, 3 malformed-line budget exceeded
-//! (`--max-error-rate`).
+//! (`--max-error-rate`), 4 persisted state unrecoverable (no generation in
+//! --state-dir has a valid snapshot, or a snapshot failed its integrity
+//! cross-check).
 
 use std::fmt;
 use std::fs;
@@ -46,8 +60,8 @@ use std::process::ExitCode;
 
 use netclust::bgpsim::{DeltaBatch, DeltaStream, DeltaStreamConfig};
 use netclust::core::{
-    threshold_busy, Clustering, Distributions, ErrorCounts, IngestError, IngestPipeline,
-    StreamingClustering,
+    threshold_busy, Clustering, Distributions, ErrorCounts, FeedProgress, FsyncPolicy, IngestError,
+    IngestPipeline, JournalBatch, PersistError, StateStore, StreamingClustering, SwapPolicy,
 };
 use netclust::netgen::{standard_collection, Universe, UniverseConfig};
 use netclust::obs::Obs;
@@ -67,6 +81,10 @@ enum CliError {
     Input(String),
     /// The `--max-error-rate` budget was exceeded.
     Budget(String),
+    /// Persisted state could not be reconstructed: no generation in the
+    /// state directory has a valid snapshot, or a snapshot failed its
+    /// integrity cross-check on restore.
+    Unrecoverable(String),
 }
 
 impl CliError {
@@ -75,6 +93,7 @@ impl CliError {
             CliError::Input(_) => ExitCode::from(1),
             CliError::Usage(_) => ExitCode::from(2),
             CliError::Budget(_) => ExitCode::from(3),
+            CliError::Unrecoverable(_) => ExitCode::from(4),
         }
     }
 }
@@ -85,7 +104,29 @@ impl fmt::Display for CliError {
             CliError::Usage(m) => write!(f, "usage: {m}"),
             CliError::Input(m) => write!(f, "{m}"),
             CliError::Budget(m) => write!(f, "{m}"),
+            CliError::Unrecoverable(m) => write!(f, "{m}"),
         }
+    }
+}
+
+/// Maps a persistence-layer failure to its exit-code class: state that
+/// cannot be reconstructed is the dedicated exit 4, everything else
+/// (filesystem errors, poisoned journal) is an input/runtime failure.
+/// Persistence options for `run_bgp_feed`, parsed from `--state-dir`,
+/// `--resume`, `--fsync`, and `--crash-after-batch`.
+struct PersistOpts {
+    dir: String,
+    resume: bool,
+    fsync: FsyncPolicy,
+    crash_after: Option<u64>,
+}
+
+fn persist_err(e: PersistError) -> CliError {
+    match e {
+        PersistError::Unrecoverable { .. } | PersistError::StateMismatch(_) => {
+            CliError::Unrecoverable(format!("cluster: {e}"))
+        }
+        other => CliError::Input(format!("cluster: {other}")),
     }
 }
 
@@ -258,21 +299,108 @@ fn run_bgp_feed(
     data: &[u8],
     obs: &Obs,
     deterministic: bool,
+    persist: Option<PersistOpts>,
 ) -> Result<(), CliError> {
     let batches = parse_bgp_feed(spec, &merged)?;
-    let mut stream = StreamingClustering::builder(merged)
-        .obs(obs.clone())
-        .build();
-    let skipped = stream.push_clf(data).len();
-    if skipped > 0 {
-        eprintln!("note: bgp feed replay skipped {skipped} malformed log lines");
-    }
-    let coverage_start = stream.coverage();
+
+    // Durability bootstrap. A fresh run snapshots a base generation BEFORE
+    // the first batch so recovery always has a floor to replay from;
+    // `--resume` instead reloads the newest valid snapshot, replays the
+    // journaled batches, and re-enters the feed loop where the crashed
+    // process left off. All recovery chatter goes to stderr so a resumed
+    // run's stdout stays byte-identical to an uninterrupted one.
     let mut resets = 0usize;
     let mut deltas_total = 0usize;
     let mut reassigned = 0usize;
+    let mut feed_pos = 0usize;
+    let coverage_start;
+    let mut store: Option<StateStore> = None;
+    let mut stream = match &persist {
+        Some(p) if p.resume => {
+            let (s, state, report) = StateStore::recover(&p.dir, p.fsync).map_err(persist_err)?;
+            match &report.tail {
+                Some(t) => eprintln!(
+                    "resumed {} generation {}: {} journaled batches, torn tail truncated ({t})",
+                    p.dir,
+                    report.generation,
+                    report.batches.len()
+                ),
+                None => eprintln!(
+                    "resumed {} generation {}: {} journaled batches",
+                    p.dir,
+                    report.generation,
+                    report.batches.len()
+                ),
+            }
+            let mut stream =
+                StreamingClustering::restore(&state, SwapPolicy::default(), obs.clone())
+                    .map_err(|e| persist_err(PersistError::from(e)))?;
+            coverage_start = f64::from_bits(state.feed.coverage_start_bits);
+            resets = state.feed.resets as usize;
+            deltas_total = state.feed.deltas_total as usize;
+            reassigned = state.feed.reassigned as usize;
+            feed_pos = state.feed_pos as usize;
+            for b in &report.batches {
+                if b.session_reset {
+                    resets += 1;
+                }
+                deltas_total += b.deltas.len();
+                let r = stream.apply_deltas(&b.deltas);
+                reassigned += r.reassigned_clients;
+                feed_pos = (b.feed_index + 1) as usize;
+            }
+            store = Some(s.obs(obs));
+            stream
+        }
+        _ => {
+            let mut stream = StreamingClustering::builder(merged)
+                .obs(obs.clone())
+                .build();
+            let skipped = stream.push_clf(data).len();
+            if skipped > 0 {
+                eprintln!("note: bgp feed replay skipped {skipped} malformed log lines");
+            }
+            coverage_start = stream.coverage();
+            if let Some(p) = &persist {
+                let mut s = StateStore::create(&p.dir, p.fsync)
+                    .map_err(persist_err)?
+                    .obs(obs);
+                let mut state = stream.export_state();
+                state.feed.coverage_start_bits = coverage_start.to_bits();
+                s.checkpoint(&state).map_err(persist_err)?;
+                store = Some(s);
+            }
+            stream
+        }
+    };
+
+    let feed_progress = |resets: usize, deltas_total: usize, reassigned: usize| FeedProgress {
+        coverage_start_bits: coverage_start.to_bits(),
+        resets: resets as u64,
+        deltas_total: deltas_total as u64,
+        reassigned: reassigned as u64,
+    };
+    let crash_after = persist.as_ref().and_then(|p| p.crash_after);
+    let mut appended_this_run = 0u64;
     let mut latencies_ns: Vec<u128> = Vec::new();
-    for batch in &batches {
+    for (index, batch) in batches.iter().enumerate().skip(feed_pos) {
+        // Append-then-apply: the journal frame hits the disk (per the fsync
+        // policy) before the in-memory table moves, so the journal is always
+        // a superset of the applied work and a crash anywhere in between
+        // replays cleanly.
+        if let Some(s) = store.as_mut() {
+            s.append_batch(&JournalBatch {
+                feed_index: index as u64,
+                session_reset: batch.session_reset,
+                deltas: batch.deltas.clone(),
+            })
+            .map_err(persist_err)?;
+            appended_this_run += 1;
+            if crash_after == Some(appended_this_run) {
+                eprintln!("crash injection: aborting after journal append of batch {index}");
+                std::process::abort();
+            }
+        }
         if batch.session_reset {
             resets += 1;
         }
@@ -285,6 +413,27 @@ fn run_bgp_feed(
             latencies_ns.push(start.elapsed().as_nanos());
         }
         reassigned += report.reassigned_clients;
+        if let Some(s) = store.as_mut() {
+            if s.wants_compaction() {
+                let mut state = stream.export_state();
+                state.feed_pos = (index + 1) as u64;
+                state.feed = feed_progress(resets, deltas_total, reassigned);
+                s.checkpoint(&state).map_err(persist_err)?;
+            }
+        }
+    }
+    if let Some(s) = store.as_mut() {
+        // Final checkpoint: the completed feed collapses to one snapshot
+        // with an empty journal, so a later `--resume` is a pure reload.
+        let mut state = stream.export_state();
+        state.feed_pos = batches.len() as u64;
+        state.feed = feed_progress(resets, deltas_total, reassigned);
+        s.checkpoint(&state).map_err(persist_err)?;
+        eprintln!(
+            "state saved -> {} (generation {})",
+            s.dir().display(),
+            s.generation()
+        );
     }
     let stats = stream.patch_stats();
     println!(
@@ -377,6 +526,45 @@ fn cmd_cluster(args: &[String]) -> Result<(), CliError> {
             "cluster: --bgp-feed only applies to --method aware, not {method:?}"
         )));
     }
+    let state_dir = opt(args, "--state-dir");
+    let resume = args.iter().any(|a| a == "--resume");
+    let fsync_opt = opt(args, "--fsync");
+    let crash_after_opt = opt(args, "--crash-after-batch");
+    if state_dir.is_some() && bgp_feed.is_none() {
+        return Err(CliError::Usage(
+            "cluster: --state-dir requires --bgp-feed".to_string(),
+        ));
+    }
+    if state_dir.is_none() && (resume || fsync_opt.is_some() || crash_after_opt.is_some()) {
+        return Err(CliError::Usage(
+            "cluster: --resume/--fsync/--crash-after-batch require --state-dir".to_string(),
+        ));
+    }
+    let persist = match state_dir {
+        Some(dir) => {
+            let fsync = match fsync_opt {
+                Some(s) => s
+                    .parse::<FsyncPolicy>()
+                    .map_err(|e| CliError::Usage(format!("cluster: {e}")))?,
+                None => FsyncPolicy::EveryBatch,
+            };
+            let crash_after = match crash_after_opt {
+                Some(s) => Some(s.parse::<u64>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                    CliError::Usage(format!(
+                        "cluster: --crash-after-batch wants a count >= 1, got {s:?}"
+                    ))
+                })?),
+                None => None,
+            };
+            Some(PersistOpts {
+                dir: dir.to_string(),
+                resume,
+                fsync,
+                crash_after,
+            })
+        }
+        None => None,
+    };
     // Observability is pay-for-what-you-ask: the registry only exists when
     // a metrics sink or span dump was requested.
     let obs = if metrics_path.is_some() || trace {
@@ -518,7 +706,7 @@ fn cmd_cluster(args: &[String]) -> Result<(), CliError> {
     // Runs before the snapshot below so `stream.patch.*` counters land in
     // `--metrics`/`--trace` output.
     if let (Some(spec), Some(merged)) = (bgp_feed, feed_table) {
-        run_bgp_feed(spec, merged, &data, &obs, deterministic)?;
+        run_bgp_feed(spec, merged, &data, &obs, deterministic, persist)?;
     }
 
     // Observability outputs, captured after the pipeline finished so the

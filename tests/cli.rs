@@ -285,3 +285,96 @@ fn error_budget_and_quarantine() {
     assert_eq!(quarantined, "utter garbage line\nmore garbage\n");
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn persistence_flags_validate_before_any_io() {
+    // --state-dir needs a feed to persist.
+    let out = Command::new(bin())
+        .args(["cluster", "--log", "x", "--table", "t", "--state-dir", "s"])
+        .output()
+        .expect("state-dir without feed");
+    assert_eq!(out.status.code(), Some(2), "{:?}", out);
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--bgp-feed"));
+
+    // The companion flags need --state-dir.
+    for extra in [
+        &["--resume"][..],
+        &["--fsync", "os"][..],
+        &["--crash-after-batch", "3"][..],
+    ] {
+        let out = Command::new(bin())
+            .args(["cluster", "--log", "x", "--table", "t"])
+            .args(extra)
+            .output()
+            .expect("companion flag without state-dir");
+        assert_eq!(out.status.code(), Some(2), "{extra:?}: {out:?}");
+        assert!(String::from_utf8_lossy(&out.stderr).contains("--state-dir"));
+    }
+
+    // Malformed policy / count values.
+    let base = [
+        "cluster",
+        "--log",
+        "x",
+        "--table",
+        "t",
+        "--bgp-feed",
+        "synth:1:1",
+        "--state-dir",
+        "s",
+    ];
+    let out = Command::new(bin())
+        .args(base)
+        .args(["--fsync", "sometimes"])
+        .output()
+        .expect("bad fsync policy");
+    assert_eq!(out.status.code(), Some(2), "{:?}", out);
+    assert!(String::from_utf8_lossy(&out.stderr).contains("sometimes"));
+    let out = Command::new(bin())
+        .args(base)
+        .args(["--crash-after-batch", "0"])
+        .output()
+        .expect("bad crash count");
+    assert_eq!(out.status.code(), Some(2), "{:?}", out);
+}
+
+#[test]
+fn resume_without_valid_snapshot_exits_four() {
+    let dir = tmpdir("exit-four");
+    let out = Command::new(bin())
+        .args(["synth", "--out"])
+        .arg(&dir)
+        .args(["--seed", "3", "--requests", "2000", "--clients", "80"])
+        .output()
+        .expect("run synth");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let table = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|x| x == "bgp"))
+        .expect("a bgp table");
+    // A state directory whose only snapshot is garbage: recovery scans it,
+    // rejects it, and the process exits with the dedicated code 4.
+    let state = dir.join("state");
+    std::fs::create_dir_all(&state).unwrap();
+    std::fs::write(state.join("snapshot-000001.snap"), b"not a snapshot").unwrap();
+    let out = Command::new(bin())
+        .args(["cluster", "--log"])
+        .arg(dir.join("access.log"))
+        .arg("--table")
+        .arg(&table)
+        .args(["--bgp-feed", "synth:1:3", "--state-dir"])
+        .arg(&state)
+        .arg("--resume")
+        .output()
+        .expect("resume from garbage");
+    assert_eq!(out.status.code(), Some(4), "{:?}", out);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unrecoverable"), "{stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,161 @@
+//! Property-based tests on the durable frame codec: arbitrary payloads
+//! round-trip, and *every* single-bit flip or truncation of the encoded
+//! bytes is rejected with a typed error — never a panic, never silently
+//! wrong data. The unit tests in `persist::codec` pin reference vectors;
+//! these properties sweep the input space.
+
+use netclust::core::persist::codec::{
+    decode_frame, decode_header, encode_frame, encode_header, FILE_JOURNAL, FILE_SNAPSHOT,
+    HEADER_BYTES, REC_BATCH, REC_STATE,
+};
+use netclust::core::persist::{decode_batch, encode_batch, JournalBatch};
+use netclust::prefix::Ipv4Net;
+use netclust::rtable::TableDelta;
+use proptest::prelude::*;
+
+fn arb_payload() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 0..200)
+}
+
+fn arb_kind() -> impl Strategy<Value = u8> {
+    REC_STATE..=REC_BATCH
+}
+
+/// Arbitrary journal batches: the prefix is canonicalised by `Ipv4Net::new`
+/// (host bits masked off), matching what the feed loop journals.
+fn arb_batch() -> impl Strategy<Value = JournalBatch> {
+    (
+        any::<u64>(),
+        any::<bool>(),
+        proptest::collection::vec((any::<u32>(), 0u8..=32, 0u8..=2), 0..40),
+    )
+        .prop_map(|(feed_index, session_reset, raw)| JournalBatch {
+            feed_index,
+            session_reset,
+            deltas: raw
+                .into_iter()
+                .map(|(addr, len, kind)| {
+                    let prefix = Ipv4Net::new(addr, len).expect("canonicalised");
+                    match kind {
+                        0 => TableDelta::announce(prefix),
+                        1 => TableDelta::withdraw(prefix),
+                        _ => TableDelta::replace(prefix),
+                    }
+                })
+                .collect(),
+        })
+}
+
+proptest! {
+    /// Any payload of any record kind comes back bit-for-bit.
+    #[test]
+    fn frame_round_trips(payload in arb_payload(), kind in arb_kind()) {
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, kind, &payload);
+        let frame = decode_frame(&buf, 0)
+            .expect("decode")
+            .expect("one frame present");
+        prop_assert_eq!(frame.kind, kind);
+        prop_assert_eq!(frame.payload, &payload[..]);
+        prop_assert_eq!(frame.span, buf.len());
+        // The frame consumes the whole buffer: the next decode is clean EOF.
+        prop_assert!(decode_frame(&buf[frame.span..], frame.span as u64)
+            .expect("eof")
+            .is_none());
+    }
+
+    /// Every single-bit flip anywhere in the encoded frame — length field,
+    /// kind byte, payload, or trailing CRC — is detected. CRC32 detects all
+    /// single-bit errors outright; flips in the length field re-frame the
+    /// record so the checksum is read from the wrong offset and mismatches.
+    #[test]
+    fn every_bit_flip_is_rejected(payload in arb_payload(), kind in arb_kind()) {
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, kind, &payload);
+        for bit in 0..buf.len() * 8 {
+            let mut bad = buf.clone();
+            bad[bit / 8] ^= 1 << (bit % 8);
+            prop_assert!(
+                decode_frame(&bad, 0).is_err(),
+                "flip of bit {} went undetected",
+                bit
+            );
+        }
+    }
+
+    /// Every strict prefix of an encoded frame is a torn frame (or a bad
+    /// checksum when the cut lands inside the CRC), never a panic and never
+    /// a shorter "valid" record. An empty buffer is clean EOF.
+    #[test]
+    fn every_truncation_is_rejected(payload in arb_payload(), kind in arb_kind()) {
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, kind, &payload);
+        prop_assert!(decode_frame(&[], 0).expect("empty is eof").is_none());
+        for cut in 1..buf.len() {
+            prop_assert!(
+                decode_frame(&buf[..cut], 0).is_err(),
+                "truncation to {} of {} bytes went undetected",
+                cut,
+                buf.len()
+            );
+        }
+    }
+
+    /// A frame decoded at a non-zero offset (after an earlier frame) sees
+    /// the same torn/corrupt guarantees as one at the start of the file.
+    #[test]
+    fn second_frame_truncation_is_rejected(
+        first in arb_payload(),
+        second in arb_payload(),
+        kind in arb_kind(),
+    ) {
+        let mut buf = Vec::new();
+        encode_frame(&mut buf, kind, &first);
+        let boundary = buf.len();
+        encode_frame(&mut buf, kind, &second);
+        for cut in boundary + 1..buf.len() {
+            let head = decode_frame(&buf[..cut], 0)
+                .expect("first frame intact")
+                .expect("first frame present");
+            prop_assert_eq!(head.payload, &first[..]);
+            prop_assert!(
+                decode_frame(&buf[boundary..cut], boundary as u64).is_err(),
+                "tail truncation to {} went undetected",
+                cut
+            );
+        }
+    }
+
+    /// File headers round-trip and reject every single-bit flip (magic,
+    /// version, kind, flags, or header CRC).
+    #[test]
+    fn header_bit_flips_are_rejected(kind in prop_oneof![Just(FILE_SNAPSHOT), Just(FILE_JOURNAL)]) {
+        let header = encode_header(kind);
+        prop_assert_eq!(decode_header(&header).expect("intact header"), kind);
+        for bit in 0..HEADER_BYTES * 8 {
+            let mut bad = header;
+            bad[bit / 8] ^= 1 << (bit % 8);
+            prop_assert!(
+                decode_header(&bad).is_err(),
+                "header flip of bit {} went undetected",
+                bit
+            );
+        }
+    }
+
+    /// Journal batch payloads round-trip through the wire codec, and every
+    /// truncation of the payload is rejected without panicking.
+    #[test]
+    fn journal_batch_round_trips(batch in arb_batch()) {
+        let bytes = encode_batch(&batch);
+        prop_assert_eq!(decode_batch(&bytes).expect("round trip"), batch);
+        for cut in 0..bytes.len() {
+            prop_assert!(
+                decode_batch(&bytes[..cut]).is_err(),
+                "batch truncation to {} of {} bytes went undetected",
+                cut,
+                bytes.len()
+            );
+        }
+    }
+}

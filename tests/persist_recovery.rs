@@ -1,0 +1,458 @@
+//! Crash-recovery sweep over the durability layer: every `persist.*`
+//! crash point, fired repeatedly across the fixed seed set, must leave
+//! state that recovers to *exactly* what an uncrashed process computes —
+//! and torn or bit-flipped journal tails must truncate cleanly, never
+//! panic, never replay garbage.
+//!
+//! Two levels are exercised:
+//!
+//! 1. **Library**: a simulated process loop around [`StateStore`] where an
+//!    injected fault means "the process died at that syscall"; the injector
+//!    is carried across restarts so the fault schedule is one deterministic
+//!    sequence per seed.
+//! 2. **Process**: the real `netclust` binary killed mid-journal via
+//!    `--crash-after-batch`, restarted with `--resume`, compared
+//!    byte-for-byte against an uninterrupted run.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use netclust::bgpsim::{DeltaBatch, DeltaStream, DeltaStreamConfig};
+use netclust::core::persist::codec::HEADER_BYTES;
+use netclust::core::{
+    failpoints, FaultInjector, FaultPlan, FsyncPolicy, JournalBatch, PersistError, StateStore,
+    StreamState, StreamingClustering, SwapPolicy,
+};
+use netclust::netgen::{standard_merged, Universe, UniverseConfig};
+use netclust::obs::Obs;
+use netclust::weblog::{clf, generate, LogSpec};
+
+/// The fixed seed sweep shared with `tests/faults.rs` and CI.
+const SEEDS: [u64; 8] = [1, 2, 3, 5, 8, 13, 0xBEEF, 0xFA17];
+
+/// Small compaction threshold so mid-feed checkpoints (and with them the
+/// `persist.snapshot.rename` seam) actually fire during a 30-batch feed.
+const COMPACT: u64 = 1024;
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "netclust-persist-test-{name}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn setup() -> (Universe, Vec<u8>, Vec<DeltaBatch>) {
+    let u = Universe::generate(UniverseConfig::small(7));
+    let mut spec = LogSpec::tiny("persist", 23);
+    spec.total_requests = 5_000;
+    spec.target_clients = 200;
+    let log = generate(&u, &spec);
+    let clf = clf::to_clf(&log).into_bytes();
+    let merged = standard_merged(&u, 0);
+    let stream = DeltaStream::new(42, merged.bgp_prefixes(), DeltaStreamConfig::default());
+    let batches: Vec<DeltaBatch> = stream.take(30).collect();
+    (u, clf, batches)
+}
+
+/// The uncrashed process: fresh stream, full feed, no persistence at all.
+fn reference_run(u: &Universe, clf: &[u8], batches: &[DeltaBatch]) -> StreamState {
+    let mut stream = StreamingClustering::builder(standard_merged(u, 0)).build();
+    stream.push_clf(clf);
+    for b in batches {
+        stream.apply_deltas(&b.deltas);
+    }
+    stream.export_state()
+}
+
+/// The simulated process died mid-syscall; restart it.
+struct Crashed;
+
+/// One simulated process lifetime: create-or-recover, journal + apply the
+/// remaining feed, checkpoint at the compaction threshold and at the end.
+/// Any injected persistence fault is a crash — the injector is handed back
+/// through `faults` so the next lifetime continues the same schedule.
+fn run_once(
+    dir: &Path,
+    fresh: bool,
+    faults: &mut Option<FaultInjector>,
+    u: &Universe,
+    clf: &[u8],
+    batches: &[DeltaBatch],
+) -> Result<StreamState, Crashed> {
+    let (mut store, mut stream, pos) = if fresh {
+        // The base generation is written before faults arm: a real
+        // deployment that cannot even write its first snapshot has nothing
+        // to recover and simply starts over.
+        let mut store = StateStore::create(dir, FsyncPolicy::EveryBatch)
+            .expect("create store")
+            .compact_threshold(COMPACT);
+        let mut stream = StreamingClustering::builder(standard_merged(u, 0)).build();
+        stream.push_clf(clf);
+        store
+            .checkpoint(&stream.export_state())
+            .expect("base checkpoint");
+        store = store.with_faults(faults.take().expect("injector available"));
+        (store, stream, 0usize)
+    } else {
+        let (store, state, report) =
+            StateStore::recover(dir, FsyncPolicy::EveryBatch).expect("recover after crash");
+        let store = store
+            .compact_threshold(COMPACT)
+            .with_faults(faults.take().expect("injector available"));
+        let mut stream =
+            StreamingClustering::restore(&state, SwapPolicy::default(), Obs::disabled())
+                .expect("restore recovered state");
+        let mut pos = state.feed_pos as usize;
+        for b in &report.batches {
+            stream.apply_deltas(&b.deltas);
+            pos = (b.feed_index + 1) as usize;
+        }
+        (store, stream, pos)
+    };
+    for (i, b) in batches.iter().enumerate().skip(pos) {
+        if store
+            .append_batch(&JournalBatch {
+                feed_index: i as u64,
+                session_reset: b.session_reset,
+                deltas: b.deltas.clone(),
+            })
+            .is_err()
+        {
+            *faults = Some(store.take_faults());
+            return Err(Crashed);
+        }
+        stream.apply_deltas(&b.deltas);
+        if store.wants_compaction() {
+            let mut state = stream.export_state();
+            state.feed_pos = (i + 1) as u64;
+            if store.checkpoint(&state).is_err() {
+                *faults = Some(store.take_faults());
+                return Err(Crashed);
+            }
+        }
+    }
+    let mut state = stream.export_state();
+    state.feed_pos = batches.len() as u64;
+    if store.checkpoint(&state).is_err() {
+        *faults = Some(store.take_faults());
+        return Err(Crashed);
+    }
+    *faults = Some(store.take_faults());
+    Ok(stream.export_state())
+}
+
+#[test]
+fn crash_point_sweep_recovers_to_reference() {
+    let (u, clf, batches) = setup();
+    let reference = reference_run(&u, &clf, &batches);
+    let points = [
+        failpoints::PERSIST_JOURNAL_WRITE,
+        failpoints::PERSIST_SNAPSHOT_RENAME,
+        failpoints::PERSIST_FSYNC,
+    ];
+    for point in points {
+        for &seed in &SEEDS {
+            let dir = tmpdir(&format!("sweep-{}-{seed}", point.replace('.', "-")));
+            let mut faults = Some(FaultPlan::new(seed).with(point, 0.25).injector());
+            let mut restarts = 0u32;
+            let final_state = loop {
+                match run_once(&dir, restarts == 0, &mut faults, &u, &clf, &batches) {
+                    Ok(state) => break state,
+                    Err(Crashed) => {
+                        restarts += 1;
+                        assert!(restarts < 200, "point={point} seed={seed}: livelock");
+                    }
+                }
+            };
+            assert_eq!(
+                final_state, reference,
+                "point={point} seed={seed} restarts={restarts}: \
+                 recovered state diverged from the uncrashed process"
+            );
+            // The persisted copy agrees too: one more recovery sees the
+            // final snapshot, an empty journal, and the same state.
+            let (_store, persisted, report) =
+                StateStore::recover(&dir, FsyncPolicy::EveryBatch).expect("final recover");
+            assert!(report.batches.is_empty(), "point={point} seed={seed}");
+            assert_eq!(persisted.feed_pos, batches.len() as u64);
+            let mut norm = persisted.clone();
+            norm.feed_pos = 0;
+            assert_eq!(norm, reference, "point={point} seed={seed}");
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+/// Builds a store with a base snapshot and five journaled batches, then
+/// returns the journal path and its pristine bytes.
+fn journal_fixture(
+    dir: &Path,
+    u: &Universe,
+    clf: &[u8],
+    batches: &[DeltaBatch],
+) -> (PathBuf, Vec<u8>) {
+    let mut store = StateStore::create(dir, FsyncPolicy::EveryBatch).expect("create");
+    let mut stream = StreamingClustering::builder(standard_merged(u, 0)).build();
+    stream.push_clf(clf);
+    store.checkpoint(&stream.export_state()).expect("base");
+    for (i, b) in batches.iter().take(5).enumerate() {
+        store
+            .append_batch(&JournalBatch {
+                feed_index: i as u64,
+                session_reset: b.session_reset,
+                deltas: b.deltas.clone(),
+            })
+            .expect("append");
+    }
+    let path = store.journal_path(store.generation());
+    let bytes = std::fs::read(&path).expect("read journal");
+    (path, bytes)
+}
+
+#[test]
+fn torn_journal_tail_truncates_to_valid_prefix() {
+    let (u, clf, batches) = setup();
+    let dir = tmpdir("torn-tail");
+    let (path, pristine) = journal_fixture(&dir, &u, &clf, &batches);
+    assert!(pristine.len() > HEADER_BYTES);
+    for cut in 0..pristine.len() {
+        std::fs::write(&path, &pristine[..cut]).expect("write truncated journal");
+        let (_store, _state, report) =
+            StateStore::recover(&dir, FsyncPolicy::EveryBatch).expect("recover");
+        // Whatever survived must be a strict prefix of what was journaled,
+        // in order, with nothing invented.
+        for (i, b) in report.batches.iter().enumerate() {
+            assert_eq!(b.feed_index, i as u64, "cut={cut}");
+            assert_eq!(b.deltas, batches[i].deltas, "cut={cut}");
+        }
+        // Every cut loses at least one byte of the last frame, so all five
+        // batches can never be claimed from a truncated file.
+        assert!(report.batches.len() < 5, "cut={cut}");
+        // The recovery truncated the file back to the last whole frame:
+        // recovering again reports the same batches and no further tail.
+        let (_s2, _st2, again) =
+            StateStore::recover(&dir, FsyncPolicy::EveryBatch).expect("recover twice");
+        assert_eq!(again.batches.len(), report.batches.len(), "cut={cut}");
+        assert!(again.tail.is_none(), "cut={cut}: tail survived truncation");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bit_flipped_journal_replays_only_the_valid_prefix() {
+    let (u, clf, batches) = setup();
+    let dir = tmpdir("bit-flip");
+    let (path, pristine) = journal_fixture(&dir, &u, &clf, &batches);
+    for byte in 0..pristine.len() {
+        let mut bad = pristine.clone();
+        bad[byte] ^= 1 << (byte % 8);
+        std::fs::write(&path, &bad).expect("write corrupt journal");
+        let (_store, _state, report) =
+            StateStore::recover(&dir, FsyncPolicy::EveryBatch).expect("recover");
+        // A flip inside the file header drops the whole journal; a flip in
+        // frame i stops replay before frame i. Every replayed batch must
+        // be bit-exact — corruption is never partially applied.
+        for (i, b) in report.batches.iter().enumerate() {
+            assert_eq!(b.feed_index, i as u64, "byte={byte}");
+            assert_eq!(b.deltas, batches[i].deltas, "byte={byte}");
+            assert_eq!(b.session_reset, batches[i].session_reset, "byte={byte}");
+        }
+        assert!(
+            report.batches.len() < 5,
+            "byte={byte}: flip went undetected"
+        );
+        // Restore the pristine bytes for the next position (recovery may
+        // have truncated the file).
+        std::fs::write(&path, &pristine).expect("restore journal");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_newest_snapshot_falls_back_one_generation() {
+    let (u, clf, batches) = setup();
+    let dir = tmpdir("snap-fallback");
+    let mut store = StateStore::create(&dir, FsyncPolicy::EveryBatch).expect("create");
+    let mut stream = StreamingClustering::builder(standard_merged(&u, 0)).build();
+    stream.push_clf(&clf);
+    store
+        .checkpoint(&stream.export_state())
+        .expect("generation 1");
+    for (i, b) in batches.iter().take(3).enumerate() {
+        store
+            .append_batch(&JournalBatch {
+                feed_index: i as u64,
+                session_reset: b.session_reset,
+                deltas: b.deltas.clone(),
+            })
+            .expect("append");
+        stream.apply_deltas(&b.deltas);
+    }
+    let mut mid = stream.export_state();
+    mid.feed_pos = 3;
+    store.checkpoint(&mid).expect("generation 2");
+    let newest = store.snapshot_path(store.generation());
+    drop(store);
+
+    // Flip one payload bit in the newest snapshot: recovery must skip it
+    // and land on generation 1 plus its three journaled batches — which
+    // replay to exactly the generation-2 state.
+    let mut bytes = std::fs::read(&newest).expect("read snapshot");
+    let at = bytes.len() - 1;
+    bytes[at] ^= 0x10;
+    std::fs::write(&newest, &bytes).expect("corrupt snapshot");
+    let (_store, state, report) =
+        StateStore::recover(&dir, FsyncPolicy::EveryBatch).expect("fall back");
+    assert_eq!(report.generations_skipped, 1);
+    assert_eq!(state.feed_pos, 0, "fell back to the base snapshot");
+    assert_eq!(report.batches.len(), 3);
+    let mut replayed = StreamingClustering::restore(&state, SwapPolicy::default(), Obs::disabled())
+        .expect("restore generation 1");
+    for b in &report.batches {
+        replayed.apply_deltas(&b.deltas);
+    }
+    let mut got = replayed.export_state();
+    got.feed_pos = 3;
+    assert_eq!(got, mid, "replayed fallback diverged from generation 2");
+
+    // With every snapshot corrupt the state is unrecoverable — a typed
+    // error naming the directory, not a panic.
+    let base = {
+        let names: Vec<_> = std::fs::read_dir(&dir)
+            .expect("list dir")
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "snap"))
+            .collect();
+        names
+    };
+    for snap in &base {
+        let mut bytes = std::fs::read(snap).expect("read snapshot");
+        // A different bit than above, so the already-corrupt newest
+        // snapshot is not accidentally repaired.
+        let at = bytes.len() - 1;
+        bytes[at] ^= 0x01;
+        std::fs::write(snap, &bytes).expect("corrupt snapshot");
+    }
+    match StateStore::recover(&dir, FsyncPolicy::EveryBatch) {
+        Err(PersistError::Unrecoverable { .. }) => {}
+        other => panic!("expected Unrecoverable, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// Process level: the real binary, really killed.
+// ---------------------------------------------------------------------------
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_netclust")
+}
+
+#[test]
+fn process_kill_and_restart_matches_uninterrupted_run() {
+    let dir = tmpdir("process");
+    let out = Command::new(bin())
+        .args(["synth", "--out"])
+        .arg(&dir)
+        .args(["--seed", "11", "--requests", "8000", "--clients", "300"])
+        .output()
+        .expect("run synth");
+    assert!(
+        out.status.success(),
+        "synth: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let tables: Vec<String> = std::fs::read_dir(&dir)
+        .expect("list dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path().to_string_lossy().into_owned())
+        .filter(|n| n.ends_with(".bgp"))
+        .collect();
+    let table_list = tables.join(",");
+    let log = dir.join("access.log");
+    let base_args = |state: &Path| {
+        let mut v: Vec<String> = vec![
+            "cluster".into(),
+            "--log".into(),
+            log.to_string_lossy().into_owned(),
+            "--table".into(),
+            table_list.clone(),
+            "--top".into(),
+            "3".into(),
+            "--deterministic".into(),
+            "--bgp-feed".into(),
+            "synth:42:25".into(),
+            "--state-dir".into(),
+            state.to_string_lossy().into_owned(),
+        ];
+        v.push("--fsync".into());
+        v.push("every_batch".into());
+        v
+    };
+
+    // Uninterrupted reference.
+    let ref_state = dir.join("state-ref");
+    let reference = Command::new(bin())
+        .args(base_args(&ref_state))
+        .output()
+        .expect("reference run");
+    assert!(
+        reference.status.success(),
+        "reference: {}",
+        String::from_utf8_lossy(&reference.stderr)
+    );
+
+    // Crash twice — once at batch 7 of the fresh run, once at batch 5 of
+    // the first resume — then let the third process finish the feed.
+    let crash_state = dir.join("state-crash");
+    let first = Command::new(bin())
+        .args(base_args(&crash_state))
+        .args(["--crash-after-batch", "7"])
+        .output()
+        .expect("crashing run");
+    assert!(!first.status.success(), "first run should have died");
+    let second = Command::new(bin())
+        .args(base_args(&crash_state))
+        .args(["--resume", "--crash-after-batch", "5"])
+        .output()
+        .expect("second crashing run");
+    assert!(!second.status.success(), "second run should have died");
+    let last = Command::new(bin())
+        .args(base_args(&crash_state))
+        .arg("--resume")
+        .output()
+        .expect("final resume");
+    assert!(
+        last.status.success(),
+        "final resume: {}",
+        String::from_utf8_lossy(&last.stderr)
+    );
+
+    // stdout byte-for-byte: the twice-crashed pipeline reports exactly what
+    // the uninterrupted one did.
+    assert_eq!(
+        String::from_utf8_lossy(&reference.stdout),
+        String::from_utf8_lossy(&last.stdout),
+        "resumed stdout diverged from the uninterrupted run"
+    );
+
+    // And the final snapshots are byte-identical.
+    let newest = |state: &Path| {
+        let mut snaps: Vec<PathBuf> = std::fs::read_dir(state)
+            .expect("list state dir")
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "snap"))
+            .collect();
+        snaps.sort();
+        snaps.pop().expect("snapshot present")
+    };
+    let want = std::fs::read(newest(&ref_state)).expect("read reference snapshot");
+    let got = std::fs::read(newest(&crash_state)).expect("read recovered snapshot");
+    assert_eq!(want, got, "final snapshot bytes diverged");
+    let _ = std::fs::remove_dir_all(&dir);
+}
