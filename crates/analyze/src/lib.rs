@@ -1,24 +1,32 @@
 //! `netclust-analyze`: the workspace's static-analysis gate.
 //!
-//! A vendored, dependency-free Rust source scanner enforcing the five
-//! machine-checked contracts the hot paths grew in PRs 1–3 rest on:
-//! SAFETY-commented `unsafe`, panic-free hot modules, audited narrowing
-//! casts, determinism (no wall-clock values, no hash-map iteration
-//! feeding deterministic outputs), and typed public error APIs. See
-//! [`rules`] for the catalog and `DESIGN.md` §12 for the contract
-//! rationale.
+//! A vendored, dependency-free, two-phase Rust source analyzer. Phase 1
+//! lexes every file ([`lex`]) and builds a workspace symbol index and
+//! call graph ([`graph`], [`resolve`]): item boundaries, `use`-aware
+//! name resolution good enough for in-workspace paths, call edges.
+//! Phase 2 runs the contract rules ([`rules`]) — per-file token checks
+//! (SAFETY-commented `unsafe`, panic-free hot modules, audited
+//! narrowing casts, determinism, typed public errors, justified atomic
+//! orderings) plus cross-file graph checks (transitive hot-path
+//! panic-freedom, epoch pin/deref pairing, WAL append-before-apply and
+//! fsync-before-rename, failpoint registry coverage). See `DESIGN.md`
+//! §12 for the contract rationale.
 //!
-//! The scanner is a *lint with receipts*, not a prover: heuristic rules
-//! over a real token stream ([`lex`]), with per-line and per-file allow
-//! markers recording the human justification wherever a site is sound
-//! for reasons the heuristic cannot see. CI runs
-//! `netclust-analyze --deny-all --json ANALYZE.json` as a hard gate.
+//! The analyzer is a *lint with receipts*, not a prover: heuristic
+//! rules over a real token stream and a may-analysis call graph, with
+//! per-line and per-file allow markers recording the human
+//! justification wherever a site is sound for reasons the heuristics
+//! cannot see. CI runs `netclust-analyze --deny-all --json ANALYZE.json
+//! --sarif ANALYZE.sarif` as a hard gate; both reports are
+//! deterministic and byte-stable for a given tree.
 
 #![warn(missing_docs)]
 
+pub mod graph;
 pub mod lex;
 pub mod manifest;
 pub mod report;
+pub mod resolve;
 pub mod rules;
 
 use std::fmt;
@@ -75,6 +83,8 @@ fn is_test_target(rel: &str) -> bool {
 
 /// Collects every `.rs` file under `path` (or `path` itself when it is a
 /// file), sorted, as paths relative to `root` with forward slashes.
+/// Test-target files are collected too — they feed the symbol graph and
+/// get marker hygiene — and are told apart later via [`is_test_target`].
 fn collect_rs_files(
     root: &Path,
     path: &Path,
@@ -89,7 +99,7 @@ fn collect_rs_files(
     if meta.is_file() {
         if path.extension().is_some_and(|e| e == "rs") {
             if let Some(rel) = relative_slash(root, path) {
-                if !manifest.is_excluded(&rel) && !is_test_target(&rel) {
+                if !manifest.is_excluded(&rel) {
                     out.push(rel);
                 }
             }
@@ -118,7 +128,7 @@ fn collect_rs_files(
             collect_rs_files(root, &entry, manifest, out)?;
         } else if name.ends_with(".rs") {
             if let Some(rel) = relative_slash(root, &entry) {
-                if !manifest.is_excluded(&rel) && !is_test_target(&rel) {
+                if !manifest.is_excluded(&rel) {
                     out.push(rel);
                 }
             }
@@ -143,6 +153,13 @@ fn relative_slash(root: &Path, path: &Path) -> Option<String> {
 
 /// Scans `paths` (files or directories, relative to `root`) under the
 /// given manifest, returning the normalized report.
+///
+/// Two phases: every collected file (contract *and* test-target) is
+/// read and lexed once, and the token streams feed the workspace
+/// [`graph::SymbolGraph`]; then the per-file rules run over contract
+/// files (test targets get marker hygiene only), the cross-file rules
+/// run over the graph, and manifest entries are checked against disk
+/// (`manifest-stale-path`).
 pub fn scan(root: &Path, paths: &[PathBuf], manifest: &Manifest) -> Result<Report, AnalyzeError> {
     let mut files = Vec::new();
     if paths.is_empty() {
@@ -160,20 +177,80 @@ pub fn scan(root: &Path, paths: &[PathBuf], manifest: &Manifest) -> Result<Repor
     files.sort();
     files.dedup();
 
-    let mut report = Report::default();
+    // Phase 1: read + lex everything, build the symbol graph.
+    let metas: Vec<(String, bool)> = files
+        .iter()
+        .map(|rel| (rel.clone(), is_test_target(rel)))
+        .collect();
+    let mut srcs: Vec<String> = Vec::with_capacity(files.len());
     for rel in &files {
         let abs = root.join(rel);
         let src = std::fs::read_to_string(&abs).map_err(|e| AnalyzeError::Io {
             path: abs.display().to_string(),
             source: e,
         })?;
-        let mut file_findings = rules::scan_source(rel, &src, manifest);
+        srcs.push(src);
+    }
+    let toks: Vec<Vec<lex::Tok<'_>>> = srcs.iter().map(|s| lex::lex(s)).collect();
+    let masks: Vec<Vec<bool>> = metas
+        .iter()
+        .zip(&toks)
+        .map(|((_, is_test), t)| {
+            if *is_test {
+                vec![true; t.len()]
+            } else {
+                rules::test_mask_of(t)
+            }
+        })
+        .collect();
+    let graph = graph::SymbolGraph::build(&metas, &toks, &masks);
+
+    // Phase 2a: per-file rules (contract files) / marker hygiene (test
+    // targets).
+    let mut report = Report::default();
+    for (i, (rel, is_test)) in metas.iter().enumerate() {
+        let mut file_findings = if *is_test {
+            rules::scan_markers(&toks[i])
+        } else {
+            rules::scan_tokens(rel, &toks[i], manifest)
+        };
         for f in &mut file_findings {
             f.path = rel.clone();
         }
         report.findings.append(&mut file_findings);
-        report.files_scanned += 1;
+        if *is_test {
+            report.test_files_indexed += 1;
+        } else {
+            report.files_scanned += 1;
+        }
     }
+
+    // Phase 2b: cross-file rules over the graph, suppressed by the
+    // target file's own allow markers.
+    for (fid, finding) in rules::scan_graph(&graph, &toks, &masks, manifest) {
+        let mut kept = rules::suppress(&toks[fid], vec![finding]);
+        for f in &mut kept {
+            f.path = metas[fid].0.clone();
+        }
+        report.findings.append(&mut kept);
+    }
+
+    // Manifest entries that match nothing on disk are reported, not
+    // silently inert.
+    for (entry, line) in &manifest.entries {
+        if !root.join(entry).exists() {
+            report.findings.push(Finding {
+                rule: "manifest-stale-path",
+                path: manifest.source.clone(),
+                line: u32::try_from(*line).unwrap_or(u32::MAX),
+                message: format!(
+                    "manifest entry `{entry}` matches nothing on disk: remove it or fix \
+                     the path (a stale exclude can silently unscan a real module)"
+                ),
+            });
+        }
+    }
+
     report.normalize();
     Ok(report)
 }

@@ -6,7 +6,8 @@
 //! * `3` — I/O or manifest error
 //!
 //! ```text
-//! netclust-analyze [--deny-all] [--json PATH] [--manifest PATH] [paths…]
+//! netclust-analyze [--deny-all] [--json PATH] [--sarif PATH]
+//!                  [--manifest PATH] [paths…]
 //! ```
 //!
 //! With no paths, scans the current directory. The manifest defaults to
@@ -17,12 +18,36 @@ use std::process::ExitCode;
 
 use netclust_analyze::{scan, Manifest};
 
-const USAGE: &str =
-    "usage: netclust-analyze [--deny-all] [--json PATH] [--manifest PATH] [paths...]";
+const USAGE: &str = "usage: netclust-analyze [--deny-all] [--json PATH] [--sarif PATH] \
+     [--manifest PATH] [paths...]";
+
+const HELP: &str = "netclust-analyze: the workspace's two-phase static-analysis gate
+
+usage: netclust-analyze [options] [paths...]
+
+Scans Rust sources (the current directory when no paths are given),
+builds a workspace symbol graph, and checks the contract rules from
+DESIGN.md \u{a7}12. Exit codes: 0 clean (or findings without --deny-all),
+1 findings under --deny-all, 2 usage error, 3 I/O or manifest error.
+
+options:
+  --deny-all         exit 1 if any finding is reported (the CI gate mode)
+  --json PATH        write the deterministic ANALYZE.json report to PATH
+  --sarif PATH       write a SARIF 2.1.0 report to PATH (same findings,
+                     same byte-stability; uploadable to code-scanning UIs)
+  --manifest PATH    read path classifications ([exclude], [hot-path],
+                     [deterministic]) from PATH instead of the default
+                     ./analyze.manifest
+  -h, --help         print this help
+
+Suppressions use `// analyze:allow(<rule>) <reason>` markers (or
+`analyze:allow-file` for a whole file); a marker without a reason, or
+naming an unknown rule, is itself a finding.";
 
 struct Options {
     deny_all: bool,
     json: Option<PathBuf>,
+    sarif: Option<PathBuf>,
     manifest: Option<PathBuf>,
     paths: Vec<PathBuf>,
 }
@@ -32,6 +57,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         deny_all: false,
         json: None,
+        sarif: None,
         manifest: None,
         paths: Vec::new(),
     };
@@ -42,6 +68,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--json" => {
                 let path = it.next().ok_or("--json requires a path argument")?;
                 opts.json = Some(PathBuf::from(path));
+            }
+            "--sarif" => {
+                let path = it.next().ok_or("--sarif requires a path argument")?;
+                opts.sarif = Some(PathBuf::from(path));
             }
             "--manifest" => {
                 let path = it.next().ok_or("--manifest requires a path argument")?;
@@ -61,7 +91,7 @@ fn main() -> ExitCode {
         Ok(o) => o,
         Err(msg) => {
             if msg.is_empty() {
-                println!("{USAGE}");
+                println!("{HELP}");
                 return ExitCode::SUCCESS;
             }
             eprintln!("netclust-analyze: {msg}\n{USAGE}");
@@ -106,14 +136,21 @@ fn main() -> ExitCode {
         println!("{}:{}: [{}] {}", f.path, f.line, f.rule, f.message);
     }
     println!(
-        "netclust-analyze: {} finding(s) across {} file(s)",
+        "netclust-analyze: {} finding(s) across {} file(s); {} test-target file(s) indexed",
         report.findings.len(),
-        report.files_scanned
+        report.files_scanned,
+        report.test_files_indexed
     );
 
     if let Some(json_path) = &opts.json {
         if let Err(e) = std::fs::write(json_path, report.to_json()) {
             eprintln!("netclust-analyze: {}: {e}", json_path.display());
+            return ExitCode::from(3);
+        }
+    }
+    if let Some(sarif_path) = &opts.sarif {
+        if let Err(e) = std::fs::write(sarif_path, report.to_sarif()) {
+            eprintln!("netclust-analyze: {}: {e}", sarif_path.display());
             return ExitCode::from(3);
         }
     }

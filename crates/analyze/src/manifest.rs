@@ -30,6 +30,14 @@ pub struct Manifest {
     pub hot_paths: Vec<String>,
     /// Files where the HashMap-iteration determinism check applies.
     pub deterministic: Vec<String>,
+    /// Every entry across all sections with its 1-based manifest line,
+    /// in file order — the scanner checks these against disk and
+    /// reports `manifest-stale-path` findings for entries matching
+    /// nothing.
+    pub entries: Vec<(String, usize)>,
+    /// Display name of the manifest file the entries came from
+    /// (findings are attributed to it).
+    pub source: String,
 }
 
 /// A malformed manifest line.
@@ -61,8 +69,16 @@ fn matches_prefix(path: &str, prefix: &str) -> bool {
 impl Manifest {
     /// Parses manifest text.
     pub fn parse(text: &str) -> Result<Manifest, ManifestError> {
-        let mut m = Manifest::default();
-        let mut section: Option<&mut Vec<String>> = None;
+        enum Section {
+            Exclude,
+            HotPath,
+            Deterministic,
+        }
+        let mut m = Manifest {
+            source: "analyze.manifest".to_string(),
+            ..Manifest::default()
+        };
+        let mut section: Option<Section> = None;
         for (i, raw) in text.lines().enumerate() {
             let line = match raw.find('#') {
                 Some(h) => &raw[..h],
@@ -74,9 +90,9 @@ impl Manifest {
             }
             if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
                 section = Some(match name {
-                    "exclude" => &mut m.exclude,
-                    "hot-path" => &mut m.hot_paths,
-                    "deterministic" => &mut m.deterministic,
+                    "exclude" => Section::Exclude,
+                    "hot-path" => Section::HotPath,
+                    "deterministic" => Section::Deterministic,
                     other => {
                         return Err(ManifestError {
                             line: i + 1,
@@ -85,15 +101,29 @@ impl Manifest {
                     }
                 });
             } else {
-                let entry = line.trim_end_matches('/').to_string();
-                match section {
-                    Some(ref mut list) => list.push(entry),
+                // Normalize: drop a leading `./` and any trailing `/` so
+                // equivalent spellings match (and deduplicate cleanly).
+                let entry = line
+                    .strip_prefix("./")
+                    .unwrap_or(line)
+                    .trim_end_matches('/')
+                    .to_string();
+                let list = match section {
+                    Some(Section::Exclude) => &mut m.exclude,
+                    Some(Section::HotPath) => &mut m.hot_paths,
+                    Some(Section::Deterministic) => &mut m.deterministic,
                     None => {
                         return Err(ManifestError {
                             line: i + 1,
                             message: format!("entry {line:?} before any [section] header"),
                         })
                     }
+                };
+                if !list.contains(&entry) {
+                    list.push(entry.clone());
+                }
+                if !m.entries.iter().any(|(e, _)| e == &entry) {
+                    m.entries.push((entry, i + 1));
                 }
             }
         }
@@ -106,7 +136,13 @@ impl Manifest {
             path: path.display().to_string(),
             source,
         })?;
-        Manifest::parse(&text).map_err(super::AnalyzeError::Manifest)
+        let mut m = Manifest::parse(&text).map_err(super::AnalyzeError::Manifest)?;
+        m.source = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("analyze.manifest")
+            .to_string();
+        Ok(m)
     }
 
     /// `true` when `rel` is excluded from scanning.
@@ -150,5 +186,41 @@ mod tests {
         assert!(Manifest::parse("stray-entry\n").is_err());
         let err = Manifest::parse("[nope]\n").expect_err("unknown section");
         assert_eq!(err.line, 1);
+        let err = Manifest::parse("[exclude]\na\n[bogus-section]\n").expect_err("late section");
+        assert_eq!(err.line, 3);
+    }
+
+    #[test]
+    fn duplicate_entries_deduplicate_to_first() {
+        let m = Manifest::parse("[exclude]\ncrates/rand\ncrates/rand\ncrates/rand/\n")
+            .expect("valid manifest");
+        assert_eq!(m.exclude, vec!["crates/rand"]);
+        // The entry list (what stale-path checking walks) is deduped too,
+        // keeping the first occurrence's line number.
+        assert_eq!(m.entries, vec![("crates/rand".to_string(), 2)]);
+    }
+
+    #[test]
+    fn dot_slash_and_trailing_slash_normalize() {
+        let m = Manifest::parse("[hot-path]\n./a/b.rs\n[exclude]\n./c/d/\n").expect("valid");
+        assert_eq!(m.hot_paths, vec!["a/b.rs"]);
+        assert_eq!(m.exclude, vec!["c/d"]);
+        assert!(m.is_hot_path("a/b.rs"));
+        assert!(m.is_excluded("c/d/e.rs"));
+        // Both spellings land in the entry list normalized.
+        assert_eq!(
+            m.entries,
+            vec![("a/b.rs".to_string(), 2), ("c/d".to_string(), 4)]
+        );
+    }
+
+    #[test]
+    fn entries_record_all_sections_with_lines() {
+        let m = Manifest::parse("[exclude]\nx\n\n[deterministic]\ny/z.rs\n").expect("valid");
+        assert_eq!(
+            m.entries,
+            vec![("x".to_string(), 2), ("y/z.rs".to_string(), 5)]
+        );
+        assert_eq!(m.source, "analyze.manifest");
     }
 }

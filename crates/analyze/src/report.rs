@@ -8,7 +8,7 @@
 
 use std::fmt::Write as _;
 
-use crate::rules::RULES;
+use crate::rules::{RULES, RULE_HELP};
 
 /// One rule violation at a source location.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,8 +40,11 @@ impl Finding {
 pub struct Report {
     /// All findings, sorted by `(path, line, rule, message)`.
     pub findings: Vec<Finding>,
-    /// Number of `.rs` files scanned.
+    /// Number of `.rs` contract files scanned (per-file rules applied).
     pub files_scanned: usize,
+    /// Number of test-target files (`tests/`, `benches/`) indexed for
+    /// the symbol graph and marker hygiene but exempt from contracts.
+    pub test_files_indexed: usize,
 }
 
 impl Report {
@@ -61,8 +64,13 @@ impl Report {
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n");
-        let _ = writeln!(out, "  \"version\": 1,");
+        let _ = writeln!(out, "  \"version\": 2,");
         let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
+        let _ = writeln!(
+            out,
+            "  \"test_files_indexed\": {},",
+            self.test_files_indexed
+        );
         out.push_str("  \"counts\": {");
         for (i, rule) in RULES.iter().enumerate() {
             let sep = if i == 0 { "" } else { "," };
@@ -86,6 +94,57 @@ impl Report {
         } else {
             out.push_str("\n  ]\n}\n");
         }
+        out
+    }
+
+    /// Renders the report as SARIF 2.1.0 (hand-rolled, same determinism
+    /// contract as [`Report::to_json`]: findings pre-sorted, rules in
+    /// catalog order, byte-stable for a given tree). Uploaded from CI so
+    /// findings annotate pull requests.
+    pub fn to_sarif(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(
+            "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/\
+             Schemata/sarif-schema-2.1.0.json\",\n",
+        );
+        out.push_str("  \"version\": \"2.1.0\",\n");
+        out.push_str("  \"runs\": [\n    {\n");
+        out.push_str("      \"tool\": {\n        \"driver\": {\n");
+        out.push_str("          \"name\": \"netclust-analyze\",\n");
+        out.push_str("          \"rules\": [");
+        for (i, rule) in RULES.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n            {{\"id\": {}, \"shortDescription\": {{\"text\": {}}}}}",
+                json_str(rule),
+                json_str(RULE_HELP[i])
+            );
+        }
+        out.push_str("\n          ]\n        }\n      },\n");
+        out.push_str("      \"results\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let rule_index = RULES.iter().position(|r| *r == f.rule).unwrap_or(0);
+            let _ = write!(
+                out,
+                "{sep}\n        {{\"ruleId\": {}, \"ruleIndex\": {rule_index}, \
+                 \"level\": \"warning\", \"message\": {{\"text\": {}}}, \
+                 \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": \
+                 {{\"uri\": {}}}, \"region\": {{\"startLine\": {}}}}}}}]}}",
+                json_str(f.rule),
+                json_str(&f.message),
+                json_str(&f.path),
+                f.line.max(1)
+            );
+        }
+        if self.findings.is_empty() {
+            out.push_str("]\n");
+        } else {
+            out.push_str("\n      ]\n");
+        }
+        out.push_str("    }\n  ]\n}\n");
         out
     }
 }
@@ -133,11 +192,14 @@ mod tests {
                 },
             ],
             files_scanned: 2,
+            test_files_indexed: 1,
         };
         r.normalize();
         assert_eq!(r.findings[0].path, "a.rs");
         let json = r.to_json();
+        assert!(json.contains("\"version\": 2"));
         assert!(json.contains("\"files_scanned\": 2"));
+        assert!(json.contains("\"test_files_indexed\": 1"));
         assert!(json.contains("\\\" and\\nnewline"));
         assert!(json.contains("\"cast-truncation\": 1"));
         // Stable under repeated rendering.
@@ -149,5 +211,36 @@ mod tests {
         let r = Report::default();
         let json = r.to_json();
         assert!(json.contains("\"findings\": []"));
+        let sarif = r.to_sarif();
+        assert!(sarif.contains("\"results\": []"));
+    }
+
+    #[test]
+    fn sarif_lists_rules_and_locates_findings() {
+        let mut r = Report {
+            findings: vec![Finding {
+                rule: "wal-ordering",
+                path: "crates/core/src/persist/mod.rs".to_string(),
+                line: 42,
+                message: "out of order".to_string(),
+            }],
+            files_scanned: 1,
+            test_files_indexed: 0,
+        };
+        r.normalize();
+        let sarif = r.to_sarif();
+        assert!(sarif.contains("\"version\": \"2.1.0\""));
+        assert!(sarif.contains("\"name\": \"netclust-analyze\""));
+        // Every catalog rule is declared, and the result points at its
+        // rule by index.
+        for rule in RULES {
+            assert!(sarif.contains(&format!("\"id\": \"{rule}\"")));
+        }
+        let wal_index = RULES.iter().position(|r| *r == "wal-ordering").unwrap();
+        assert!(sarif.contains(&format!("\"ruleIndex\": {wal_index}")));
+        assert!(sarif.contains("\"startLine\": 42"));
+        assert!(sarif.contains("crates/core/src/persist/mod.rs"));
+        // Stable under repeated rendering.
+        assert_eq!(sarif, r.to_sarif());
     }
 }

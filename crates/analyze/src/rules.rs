@@ -1,15 +1,17 @@
-//! The rule engine: five workspace contracts checked over token streams.
+//! The rule engine: workspace contracts checked per file and across the
+//! symbol graph.
 //!
-//! Every rule works on the output of [`crate::lex`] — no AST, no type
-//! information. That keeps the scanner dependency-free and fast, at the
-//! cost of being a *lint*, not a proof: each rule documents its
-//! approximation, and per-line / per-file allow markers
-//! (`// analyze:allow(<rule>) <reason>`) record the human judgement for
-//! sites the heuristic cannot clear on its own. A marker without a
-//! reason, or naming an unknown rule, is itself reported (as
+//! Per-file rules work directly on the output of [`crate::lex`] — no
+//! AST, no type information. Cross-file rules additionally consume the
+//! phase-1 [`crate::graph::SymbolGraph`] (item boundaries, call edges,
+//! path references). Either way this is a *lint*, not a proof: each
+//! rule documents its approximation, and per-line / per-file allow
+//! markers (`// analyze:allow(<rule>) <reason>`) record the human
+//! judgement for sites the heuristic cannot clear on its own. A marker
+//! without a reason, or naming an unknown rule, is itself reported (as
 //! `allow-marker`) so suppressions stay auditable.
 //!
-//! Rules:
+//! Per-file rules ([`scan_source`]):
 //!
 //! * `unsafe-safety-comment` — every `unsafe` token outside test code
 //!   must have a comment containing `SAFETY:` on its own line or within
@@ -30,22 +32,76 @@
 //!   feeding reports, merges, and BENCH JSON).
 //! * `typed-errors` — `pub fn … -> Result<_, E>` must not use `String`,
 //!   `&str`, or `Box<dyn …>` as `E`.
+//! * `atomic-ordering-audit` — every `Relaxed`/`Acquire`/`Release`/
+//!   `AcqRel`/`SeqCst` memory-ordering site needs an adjacent
+//!   `// ordering:` justification, and `Relaxed` is denied outright
+//!   inside `.store(`/`.swap(`/`.compare_exchange(` argument lists
+//!   (publishing stores must synchronize; only an allow marker clears
+//!   them).
 //!
-//! Test code — items under `#[test]` / `#[cfg(test)]` (without `not`) —
-//! is skipped by every rule: panics and unwraps are the test idiom.
+//! Cross-file rules ([`scan_graph`]):
+//!
+//! * `hot-path-transitive` — the `panic-free-hot-path` contract
+//!   propagated one call edge deep: helpers a hot function calls into
+//!   (in non-hot files) are scanned with the same panic checks.
+//! * `epoch-pin-pairing` — in epoch/stream files, a generation-pointer
+//!   deref (`current.load/swap`, `Box::from_raw`) must be dominated by
+//!   pin/lock evidence in the same function, an exclusive `&mut self`
+//!   receiver, or evidence in every resolved caller.
+//! * `wal-ordering` — a function that both appends to the journal and
+//!   applies state must append first; in persist code, `rename` must be
+//!   preceded by an fsync-family call in the same function.
+//! * `failpoint-coverage` — every const in a `mod failpoints` registry
+//!   must be listed in `ALL`, evaluated somewhere in non-test code, and
+//!   armed in at least one test.
+//!
+//! Driver-level (reported by [`crate::scan`]):
+//!
+//! * `manifest-stale-path` — a manifest entry that matches nothing on
+//!   disk.
+//!
+//! Test code — items under `#[test]` / `#[cfg(test)]` (without `not`),
+//! and whole files under `tests/` / `benches/` — is exempt from the
+//! contracts; test-target files still get allow-marker hygiene checks,
+//! and their tokens feed the graph as arming evidence.
 
+use crate::graph::{RawCall, Symbol, SymbolGraph, SymbolKind};
 use crate::lex::{lex, Tok, TokKind};
 use crate::manifest::Manifest;
 use crate::report::Finding;
 
-/// The five contract rules plus the marker-hygiene meta rule.
-pub const RULES: [&str; 6] = [
+/// The contract rules (per-file, cross-file, manifest) plus the
+/// marker-hygiene meta rule, in report order.
+pub const RULES: [&str; 12] = [
     "unsafe-safety-comment",
     "panic-free-hot-path",
+    "hot-path-transitive",
     "cast-truncation",
     "determinism",
     "typed-errors",
+    "atomic-ordering-audit",
+    "epoch-pin-pairing",
+    "wal-ordering",
+    "failpoint-coverage",
+    "manifest-stale-path",
     "allow-marker",
+];
+
+/// One-line description per rule, aligned with [`RULES`] (feeds the
+/// SARIF rule metadata).
+pub const RULE_HELP: [&str; 12] = [
+    "`unsafe` requires an adjacent `// SAFETY:` rationale",
+    "hot-path files must be panic-free (no unwrap/expect/panic!/indexing)",
+    "helpers called from hot-path files must be panic-free (one edge deep)",
+    "narrowing `as` casts must be audited or replaced with try_into",
+    "no wall-clock values; no hash-map iteration feeding deterministic output",
+    "public Result APIs must use typed errors, not String/&str/Box<dyn>",
+    "atomic memory orderings need `// ordering:` justifications; Relaxed denied on publishing stores",
+    "EpochTable generation derefs must be dominated by a reader pin or writer lock",
+    "journal append must precede state apply; fsync must precede rename",
+    "every registered failpoint must be in ALL, evaluated live, and armed in a test",
+    "analysis manifest entries must exist on disk",
+    "allow markers must name a known rule and state a reason",
 ];
 
 /// `true` when `name` is a known rule.
@@ -214,6 +270,11 @@ fn test_mask(toks: &[Tok<'_>]) -> Vec<bool> {
     mask
 }
 
+/// Public view of the test mask, for phase-1 indexing ([`crate::graph`]).
+pub fn test_mask_of(toks: &[Tok<'_>]) -> Vec<bool> {
+    test_mask(toks)
+}
+
 /// Indices of non-comment tokens, the stream most rules pattern-match on.
 fn code_indices(toks: &[Tok<'_>]) -> Vec<usize> {
     (0..toks.len()).filter(|&i| !toks[i].is_comment()).collect()
@@ -240,8 +301,17 @@ fn rule_unsafe(toks: &[Tok<'_>], skip: &[bool], findings: &mut Vec<Finding>) {
     }
 }
 
-/// Rule `panic-free-hot-path` (only called for manifest hot files).
-fn rule_panic_free(toks: &[Tok<'_>], code: &[usize], skip: &[bool], findings: &mut Vec<Finding>) {
+/// Shared panic scanner behind `panic-free-hot-path` (suffix empty) and
+/// `hot-path-transitive` (suffix names the hot caller). Scans the code
+/// indices it is given, which may be a whole file or one fn body.
+fn rule_panic_free(
+    rule: &'static str,
+    toks: &[Tok<'_>],
+    code: &[usize],
+    skip: &[bool],
+    suffix: &str,
+    findings: &mut Vec<Finding>,
+) {
     const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
     for (c, &i) in code.iter().enumerate() {
         if skip[i] {
@@ -254,11 +324,11 @@ fn rule_panic_free(toks: &[Tok<'_>], code: &[usize], skip: &[bool], findings: &m
             let paren = &toks[code[c + 2]];
             if (name.is_ident("unwrap") || name.is_ident("expect")) && paren.is_punct("(") {
                 findings.push(Finding::new(
-                    "panic-free-hot-path",
+                    rule,
                     name.line,
                     format!(
                         "`.{}()` can panic on a designated hot path; restructure with \
-                         pattern matching / `get`, or allow-mark with the guarding bound",
+                         pattern matching / `get`, or allow-mark with the guarding bound{suffix}",
                         name.text
                     ),
                 ));
@@ -271,9 +341,9 @@ fn rule_panic_free(toks: &[Tok<'_>], code: &[usize], skip: &[bool], findings: &m
             && toks[code[c + 1]].is_punct("!")
         {
             findings.push(Finding::new(
-                "panic-free-hot-path",
+                rule,
                 t.line,
-                format!("`{}!` on a designated hot path", t.text),
+                format!("`{}!` on a designated hot path{suffix}", t.text),
             ));
         }
         // Non-range indexing `expr[i]`: a `[` in expression position
@@ -286,11 +356,12 @@ fn rule_panic_free(toks: &[Tok<'_>], code: &[usize], skip: &[bool], findings: &m
                 || prev.is_punct("]");
             if expr_pos && !bracket_has_top_level_range(toks, code, c) {
                 findings.push(Finding::new(
-                    "panic-free-hot-path",
+                    rule,
                     t.line,
-                    "`[index]` can panic on a designated hot path; use `get`/patterns, \
-                     or allow-mark with the bound that guards it"
-                        .to_string(),
+                    format!(
+                        "`[index]` can panic on a designated hot path; use `get`/patterns, \
+                         or allow-mark with the bound that guards it{suffix}"
+                    ),
                 ));
             }
         }
@@ -335,6 +406,102 @@ fn bracket_has_top_level_range(toks: &[Tok<'_>], code: &[usize], c: usize) -> bo
         }
     }
     false
+}
+
+/// The five atomic memory-ordering names.
+const ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+/// Atomic methods whose stored value another thread may load: `Relaxed`
+/// is denied inside their argument lists.
+const PUBLISH_METHODS: [&str; 4] = ["store", "swap", "compare_exchange", "compare_exchange_weak"];
+
+/// Rule `atomic-ordering-audit`: every memory-ordering site must carry
+/// an adjacent `// ordering:` justification (same line or the three
+/// lines above, mirroring the SAFETY rule), and `Relaxed` is denied
+/// inside publishing-method argument lists regardless of comments — a
+/// relaxed publish is a correctness bug unless an allow marker records
+/// why no other thread reads the value.
+///
+/// Approximation: any `Relaxed`/`Acquire`/`Release`/`AcqRel`/`SeqCst`
+/// identifier outside `use` declarations is treated as an ordering site
+/// (`std::cmp::Ordering`'s variants don't collide). "Inside a publish
+/// call" means lexically inside the parens of `.store(` / `.swap(` /
+/// `.compare_exchange[_weak](`.
+fn rule_atomic(toks: &[Tok<'_>], code: &[usize], skip: &[bool], findings: &mut Vec<Finding>) {
+    // Token spans of publishing-method argument lists.
+    let mut publish_spans: Vec<(usize, usize)> = Vec::new();
+    for (c, &i) in code.iter().enumerate() {
+        if !toks[i].is_punct(".") || c + 2 >= code.len() {
+            continue;
+        }
+        let name = &toks[code[c + 1]];
+        if !(name.kind == TokKind::Ident && PUBLISH_METHODS.contains(&name.text)) {
+            continue;
+        }
+        if !toks[code[c + 2]].is_punct("(") {
+            continue;
+        }
+        let mut depth = 0i32;
+        let mut c2 = c + 2;
+        while c2 < code.len() {
+            let t = &toks[code[c2]];
+            if t.is_punct("(") {
+                depth += 1;
+            } else if t.is_punct(")") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            c2 += 1;
+        }
+        if c2 < code.len() {
+            publish_spans.push((code[c + 2], code[c2]));
+        }
+    }
+
+    let mut in_use = false;
+    for &i in code {
+        let t = &toks[i];
+        if t.is_ident("use") {
+            in_use = true;
+        } else if in_use {
+            if t.is_punct(";") {
+                in_use = false;
+            }
+            continue;
+        }
+        if skip[i] || t.kind != TokKind::Ident || !ORDERINGS.contains(&t.text) {
+            continue;
+        }
+        let justified = toks.iter().any(|c| {
+            c.is_comment()
+                && c.text.contains("ordering:")
+                && c.line <= t.line
+                && c.line + 3 >= t.line
+        });
+        if !justified {
+            findings.push(Finding::new(
+                "atomic-ordering-audit",
+                t.line,
+                format!(
+                    "atomic ordering `{}` without an adjacent `// ordering:` justification \
+                     (same line or the three lines above): state what this ordering \
+                     synchronizes with, or why it doesn't need to",
+                    t.text
+                ),
+            ));
+        }
+        if t.is_ident("Relaxed") && publish_spans.iter().any(|&(a, b)| a <= i && i <= b) {
+            findings.push(Finding::new(
+                "atomic-ordering-audit",
+                t.line,
+                "`Relaxed` on a publishing store/swap/compare_exchange: another thread \
+                 loading this value gets no happens-before edge; use `Release` (or \
+                 stronger), or allow-mark with why the value is never read cross-thread"
+                    .to_string(),
+            ));
+        }
+    }
 }
 
 /// Rule `cast-truncation`.
@@ -600,37 +767,70 @@ fn stringly_result_error(toks: &[Tok<'_>], ret: &[usize]) -> Option<&'static str
     None
 }
 
-/// Runs every rule over one file's source, honouring allow markers.
-/// `rel` is the root-relative path (forward slashes) used for manifest
-/// classification; the returned findings carry no path (the caller
-/// attaches it).
+/// Lexes and runs the per-file rules over one file's source — the
+/// standalone/unit-test entry point. The scanner driver pre-lexes once
+/// (the tokens also feed phase 1) and calls [`scan_tokens`].
 pub fn scan_source(rel: &str, src: &str, manifest: &Manifest) -> Vec<Finding> {
-    let toks = lex(src);
-    let code = code_indices(&toks);
-    let skip = test_mask(&toks);
-    let mut findings = Vec::new();
-    let allows = collect_allows(&toks, &mut findings);
+    scan_tokens(rel, &lex(src), manifest)
+}
 
-    rule_unsafe(&toks, &skip, &mut findings);
+/// Runs every per-file rule over one file's token stream, honouring
+/// allow markers. `rel` is the root-relative path (forward slashes)
+/// used for manifest classification; the returned findings carry no
+/// path (the caller attaches it).
+pub fn scan_tokens(rel: &str, toks: &[Tok<'_>], manifest: &Manifest) -> Vec<Finding> {
+    let code = code_indices(toks);
+    let skip = test_mask(toks);
+    let mut findings = Vec::new();
+    let allows = collect_allows(toks, &mut findings);
+
+    rule_unsafe(toks, &skip, &mut findings);
     if manifest.is_hot_path(rel) {
-        rule_panic_free(&toks, &code, &skip, &mut findings);
+        rule_panic_free("panic-free-hot-path", toks, &code, &skip, "", &mut findings);
     }
-    rule_casts(&toks, &code, &skip, &mut findings);
+    rule_casts(toks, &code, &skip, &mut findings);
     rule_determinism(
-        &toks,
+        toks,
         &code,
         &skip,
         manifest.is_deterministic(rel),
         &mut findings,
     );
-    rule_typed_errors(&toks, &code, &skip, &mut findings);
+    rule_typed_errors(toks, &code, &skip, &mut findings);
+    rule_atomic(toks, &code, &skip, &mut findings);
 
-    // Apply suppressions: a marker covers its own line plus the whole
-    // statement that starts on the next code line — through the first
-    // `;`, `{`, or `}` after the marker — so multi-line statements stay
-    // coverable without the marker reaching past them.
+    apply_allows(toks, &code, &allows, &mut findings);
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    findings
+}
+
+/// Marker hygiene for test-target files (`tests/`, `benches/`): the
+/// contracts don't apply there, but a malformed or unknown-rule allow
+/// marker is still reported so suppressions stay auditable everywhere.
+pub fn scan_markers(toks: &[Tok<'_>]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let _ = collect_allows(toks, &mut findings);
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    findings
+}
+
+/// Applies a file's allow markers to findings produced elsewhere (the
+/// cross-file rules attribute findings to a target file; that file's
+/// markers must still be able to waive them).
+pub fn suppress(toks: &[Tok<'_>], mut findings: Vec<Finding>) -> Vec<Finding> {
+    let code = code_indices(toks);
+    let allows = collect_allows(toks, &mut Vec::new());
+    apply_allows(toks, &code, &allows, &mut findings);
+    findings
+}
+
+/// Drops findings covered by allow markers: a marker covers its own
+/// line plus the whole statement that starts on the next code line —
+/// through the first `;`, `{`, or `}` after the marker — so multi-line
+/// statements stay coverable without the marker reaching past them.
+fn apply_allows(toks: &[Tok<'_>], code: &[usize], allows: &[Allow], findings: &mut Vec<Finding>) {
     let stmt_end_line = |line: u32| -> u32 {
-        for &i in &code {
+        for &i in code {
             let t = &toks[i];
             if t.line <= line {
                 continue;
@@ -649,8 +849,389 @@ pub fn scan_source(rel: &str, src: &str, manifest: &Manifest) -> Vec<Finding> {
                     || (f.line > a.line && f.line <= stmt_end_line(a.line)))
         })
     });
-    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
-    findings
+}
+
+/// Runs the cross-file rules over the phase-1 graph. Returns findings
+/// tagged with the index of the file they belong to; the driver
+/// attaches paths and applies that file's allow markers via
+/// [`suppress`].
+pub fn scan_graph(
+    g: &SymbolGraph,
+    toks_all: &[Vec<Tok<'_>>],
+    masks: &[Vec<bool>],
+    manifest: &Manifest,
+) -> Vec<(usize, Finding)> {
+    let mut out = Vec::new();
+    rule_hot_transitive(g, toks_all, masks, manifest, &mut out);
+    rule_epoch_pin(g, toks_all, &mut out);
+    rule_wal(g, &mut out);
+    rule_failpoints(g, &mut out);
+    out
+}
+
+/// Rule `hot-path-transitive`: the panic-free contract propagated one
+/// call edge deep. Every resolved callee of a hot-path function that
+/// lives in a non-hot, non-test file gets its body scanned with the
+/// same panic checks; the finding names the hot caller so the reader
+/// knows which loop reaches it.
+fn rule_hot_transitive(
+    g: &SymbolGraph,
+    toks_all: &[Vec<Tok<'_>>],
+    masks: &[Vec<bool>],
+    manifest: &Manifest,
+    out: &mut Vec<(usize, Finding)>,
+) {
+    let mut hot_callers: std::collections::BTreeMap<usize, Vec<usize>> =
+        std::collections::BTreeMap::new();
+    for e in &g.edges {
+        let cs = &g.symbols[e.caller];
+        let ce = &g.symbols[e.callee];
+        if cs.in_test || ce.in_test || ce.body.is_none() || g.files[ce.file].is_test {
+            continue;
+        }
+        if !manifest.is_hot_path(&g.files[cs.file].path) {
+            continue;
+        }
+        if manifest.is_hot_path(&g.files[ce.file].path) {
+            continue; // already under the direct rule
+        }
+        hot_callers.entry(e.callee).or_default().push(e.caller);
+    }
+    for (callee, callers) in hot_callers {
+        let s = &g.symbols[callee];
+        let Some((b0, b1)) = s.body else { continue };
+        let mut names: Vec<String> = callers
+            .iter()
+            .map(|&c| format!("{}::{}", g.symbols[c].module, g.symbols[c].name))
+            .collect();
+        names.sort();
+        names.dedup();
+        let suffix = format!(
+            " [called from hot path `{}`]",
+            names.first().map_or("", |s| s)
+        );
+        let toks = &toks_all[s.file];
+        let body: Vec<usize> = code_indices(toks)
+            .into_iter()
+            .filter(|&i| i >= b0 && i <= b1)
+            .collect();
+        let mut findings = Vec::new();
+        rule_panic_free(
+            "hot-path-transitive",
+            toks,
+            &body,
+            &masks[s.file],
+            &suffix,
+            &mut findings,
+        );
+        for f in findings {
+            out.push((s.file, f));
+        }
+    }
+}
+
+/// Idents whose presence in a function (or its signature) counts as
+/// pin/lock evidence for `epoch-pin-pairing`.
+const PIN_EVIDENCE: [&str; 4] = ["lock_writer", "min_pinned", "get_mut", "pin"];
+
+/// `true` when the function spanning tokens `decl..=b1` (body starting
+/// at `b0`) carries pin/lock evidence: a pin-family ident, a slot
+/// `.store(` (the pin protocol itself), or an exclusive `&mut self`
+/// receiver in the signature (writer methods cannot race readers).
+fn fn_has_pin_evidence(toks: &[Tok<'_>], decl: usize, b0: usize, b1: usize) -> bool {
+    let code: Vec<usize> = (decl..=b1.min(toks.len().saturating_sub(1)))
+        .filter(|&i| !toks[i].is_comment())
+        .collect();
+    for (c, &i) in code.iter().enumerate() {
+        let t = &toks[i];
+        if t.kind == TokKind::Ident && PIN_EVIDENCE.contains(&t.text) {
+            return true;
+        }
+        if t.is_punct(".") && c + 1 < code.len() && toks[code[c + 1]].is_ident("store") {
+            return true;
+        }
+        if i < b0 && t.is_ident("mut") && c + 1 < code.len() && toks[code[c + 1]].is_ident("self") {
+            return true;
+        }
+    }
+    false
+}
+
+/// Rule `epoch-pin-pairing`: in epoch/stream files, dereferencing the
+/// live generation (a `.load(`/`.swap(` on an `AtomicPtr`-typed binding
+/// declared in the file, or `Box::from_raw`) must be dominated by pin
+/// or writer-lock evidence — in the same function, or in *every*
+/// resolved caller one edge up. Without that, a concurrent reclaim can
+/// free the generation out from under the deref.
+fn rule_epoch_pin(g: &SymbolGraph, toks_all: &[Vec<Tok<'_>>], out: &mut Vec<(usize, Finding)>) {
+    for (fid, fm) in g.files.iter().enumerate() {
+        if fm.is_test {
+            continue;
+        }
+        if !(fm.path.contains("epoch") || fm.path.ends_with("stream.rs")) {
+            continue;
+        }
+        let toks = &toks_all[fid];
+        let code = code_indices(toks);
+        // Bindings declared with an `AtomicPtr` type (or initializer).
+        let mut ptr_idents: Vec<&str> = Vec::new();
+        for (c, &i) in code.iter().enumerate() {
+            if toks[i].is_ident("AtomicPtr") && c >= 2 {
+                let sep = &toks[code[c - 1]];
+                let name = &toks[code[c - 2]];
+                if (sep.is_punct(":") || sep.is_punct("=")) && name.kind == TokKind::Ident {
+                    ptr_idents.push(name.text);
+                }
+            }
+        }
+        for (sid, s) in g.symbols.iter().enumerate() {
+            if s.file != fid || s.kind != SymbolKind::Fn || s.in_test {
+                continue;
+            }
+            let Some((b0, b1)) = s.body else { continue };
+            let body: Vec<usize> = code
+                .iter()
+                .copied()
+                .filter(|&i| i >= b0 && i <= b1)
+                .collect();
+            let mut sites: Vec<(u32, String)> = Vec::new();
+            for (c, &i) in body.iter().enumerate() {
+                let t = &toks[i];
+                if t.kind == TokKind::Ident
+                    && ptr_idents.contains(&t.text)
+                    && c + 3 < body.len()
+                    && toks[body[c + 1]].is_punct(".")
+                    && (toks[body[c + 2]].is_ident("load") || toks[body[c + 2]].is_ident("swap"))
+                    && toks[body[c + 3]].is_punct("(")
+                {
+                    sites.push((
+                        toks[body[c + 2]].line,
+                        format!("{}.{}", t.text, toks[body[c + 2]].text),
+                    ));
+                }
+                if t.is_ident("Box")
+                    && c + 2 < body.len()
+                    && toks[body[c + 1]].is_punct("::")
+                    && toks[body[c + 2]].is_ident("from_raw")
+                {
+                    sites.push((toks[body[c + 2]].line, "Box::from_raw".to_string()));
+                }
+            }
+            if sites.is_empty() || fn_has_pin_evidence(toks, s.decl_tok, b0, b1) {
+                continue;
+            }
+            let callers = g.callers_of(sid);
+            let covered_by_callers = !callers.is_empty()
+                && callers.iter().all(|&cid| {
+                    let cs = &g.symbols[cid];
+                    cs.body.is_some_and(|(cb0, cb1)| {
+                        fn_has_pin_evidence(&toks_all[cs.file], cs.decl_tok, cb0, cb1)
+                    })
+                });
+            if covered_by_callers {
+                continue;
+            }
+            for (line, what) in sites {
+                out.push((
+                    fid,
+                    Finding::new(
+                        "epoch-pin-pairing",
+                        line,
+                        format!(
+                            "generation deref `{what}` in `{}` without a dominating reader \
+                             pin: no pin/lock evidence in this function or in every resolved \
+                             caller, so a concurrent reclaim can free the generation mid-read",
+                            s.name
+                        ),
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// State-apply entry points paired against journal `append_batch`.
+const APPLY_FNS: [&str; 3] = ["apply_deltas", "apply_deltas_with", "apply_batch"];
+/// Durability calls that must precede `rename` in checkpoint code.
+const SYNC_FNS: [&str; 4] = ["sync_all", "sync_data", "fsync_file", "fsync"];
+
+/// Rule `wal-ordering`: (a) any function that both journals
+/// (`append_batch`) and applies state (`apply_deltas*`) must journal
+/// first — token order approximates path order, which is exact for the
+/// straight-line feed loops this protects; (b) in persist files,
+/// `rename` must be preceded by an fsync-family call in the same
+/// function (write-temp → fsync → rename).
+fn rule_wal(g: &SymbolGraph, out: &mut Vec<(usize, Finding)>) {
+    let mut per_fn: std::collections::BTreeMap<usize, Vec<&RawCall>> =
+        std::collections::BTreeMap::new();
+    for call in &g.calls {
+        if call.in_test || g.symbols[call.caller].in_test {
+            continue;
+        }
+        per_fn.entry(call.caller).or_default().push(call);
+    }
+    for (sid, calls) in per_fn {
+        let s = &g.symbols[sid];
+        if let Some(first_append) = calls
+            .iter()
+            .filter(|c| c.name == "append_batch")
+            .map(|c| c.tok)
+            .min()
+        {
+            for c in &calls {
+                if APPLY_FNS.contains(&c.name.as_str()) && c.tok < first_append {
+                    out.push((
+                        s.file,
+                        Finding::new(
+                            "wal-ordering",
+                            c.line,
+                            format!(
+                                "`{}` applies state before the first journal `append_batch` \
+                                 in `{}`: the WAL contract is append-before-apply on every \
+                                 path (a crash here loses a batch the journal never saw)",
+                                c.name, s.name
+                            ),
+                        ),
+                    ));
+                }
+            }
+        }
+        if g.files[s.file].path.contains("persist") {
+            for c in &calls {
+                if c.name != "rename" {
+                    continue;
+                }
+                let synced = calls
+                    .iter()
+                    .any(|c2| SYNC_FNS.contains(&c2.name.as_str()) && c2.tok < c.tok);
+                if !synced {
+                    out.push((
+                        s.file,
+                        Finding::new(
+                            "wal-ordering",
+                            c.line,
+                            format!(
+                                "`rename` in `{}` without a preceding fsync-family call: \
+                                 checkpoint durability requires the temp file synced before \
+                                 it is atomically renamed into place",
+                                s.name
+                            ),
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Rule `failpoint-coverage`: for every `mod failpoints` registry —
+/// string consts plus an `ALL` slice — require (a) every const listed
+/// in `ALL` and vice versa, (b) a non-test `failpoints::NAME` reference
+/// (the seam is actually evaluated), and (c) a test reference or a test
+/// string literal matching the failpoint's wire name (the seam is armed
+/// by at least one fault-injection test).
+fn rule_failpoints(g: &SymbolGraph, out: &mut Vec<(usize, Finding)>) {
+    for m in &g.symbols {
+        if m.kind != SymbolKind::Mod || m.name != "failpoints" || m.in_test {
+            continue;
+        }
+        let regmod = if m.module.is_empty() {
+            "failpoints".to_string()
+        } else {
+            format!("{}::failpoints", m.module)
+        };
+        let consts: Vec<&Symbol> = g
+            .symbols
+            .iter()
+            .filter(|s| {
+                s.kind == SymbolKind::Const
+                    && s.module == regmod
+                    && s.str_value.is_some()
+                    && s.name != "ALL"
+            })
+            .collect();
+        if consts.is_empty() {
+            continue;
+        }
+        let all = g
+            .symbols
+            .iter()
+            .find(|s| s.kind == SymbolKind::Const && s.module == regmod && s.name == "ALL");
+        let referenced = |name: &str, want_test: bool| {
+            g.refs.iter().any(|r| {
+                r.in_test == want_test
+                    && r.path.len() >= 2
+                    && r.path[r.path.len() - 1] == name
+                    && r.path[r.path.len() - 2] == "failpoints"
+            })
+        };
+        for c in &consts {
+            if let Some(all) = all {
+                if !all.init_idents.iter().any(|n| n == &c.name) {
+                    out.push((
+                        c.file,
+                        Finding::new(
+                            "failpoint-coverage",
+                            c.line,
+                            format!(
+                                "failpoint `{}` is not listed in `{regmod}::ALL`: registry \
+                                 drift — `all()` consumers will never see it",
+                                c.name
+                            ),
+                        ),
+                    ));
+                }
+            }
+            let value = c.str_value.as_deref().unwrap_or("");
+            if !referenced(&c.name, false) {
+                out.push((
+                    c.file,
+                    Finding::new(
+                        "failpoint-coverage",
+                        c.line,
+                        format!(
+                            "failpoint `{}` (\"{value}\") is never evaluated in non-test \
+                             code: the seam it guards is gone or was never wired",
+                            c.name
+                        ),
+                    ),
+                ));
+            }
+            let armed =
+                referenced(&c.name, true) || g.strs.iter().any(|s| s.in_test && s.value == value);
+            if !armed {
+                out.push((
+                    c.file,
+                    Finding::new(
+                        "failpoint-coverage",
+                        c.line,
+                        format!(
+                            "failpoint `{}` is never armed in any test: every registered \
+                             seam needs at least one fault-injection test",
+                            c.name
+                        ),
+                    ),
+                ));
+            }
+        }
+        if let Some(all) = all {
+            for ident in &all.init_idents {
+                if !consts.iter().any(|c| &c.name == ident) {
+                    out.push((
+                        all.file,
+                        Finding::new(
+                            "failpoint-coverage",
+                            all.line,
+                            format!(
+                                "`{regmod}::ALL` lists `{ident}`, which is not a string \
+                                 const registered in the module"
+                            ),
+                        ),
+                    ));
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,24 @@
+//! Seeded `atomic-ordering-audit` violations: an ordering with no
+//! justification comment and a `Relaxed` publishing store, next to
+//! justified and allow-marked sites.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+pub fn unjustified(c: &AtomicU64) -> u64 {
+    c.fetch_add(1, Ordering::Relaxed) // finding: no justification comment
+}
+
+pub fn relaxed_publish(flag: &AtomicBool) {
+    // ordering: justified in words, but the store still publishes.
+    flag.store(true, Ordering::Relaxed); // finding: Relaxed publishing store
+}
+
+pub fn justified(c: &AtomicU64) -> u64 {
+    // ordering: monotonic telemetry counter; readers tolerate staleness.
+    c.load(Ordering::Relaxed)
+}
+
+pub fn waived_publish(flag: &AtomicBool) {
+    // analyze:allow(atomic-ordering-audit) flag is re-checked under the lock.
+    flag.store(true, Ordering::Relaxed);
+}

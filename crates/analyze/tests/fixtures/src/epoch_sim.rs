@@ -1,0 +1,30 @@
+//! Seeded `epoch-pin-pairing` violation: a generation-pointer deref
+//! with no pin in sight, next to pinned and writer-exclusive derefs.
+
+use std::sync::atomic::{AtomicPtr, Ordering};
+
+pub struct Table {
+    current: AtomicPtr<u64>,
+}
+
+impl Table {
+    pub fn unpinned_peek(&self) -> *mut u64 {
+        // ordering: acquire pairs with the publisher's release store.
+        self.current.load(Ordering::Acquire) // finding: no pin dominates this
+    }
+
+    pub fn pinned_peek(&self) -> *mut u64 {
+        let _epoch = self.pin();
+        // ordering: acquire pairs with the publisher's release store.
+        self.current.load(Ordering::Acquire) // no finding: pin in scope
+    }
+
+    pub fn pin(&self) -> u64 {
+        0
+    }
+
+    pub fn writer_swap(&mut self, next: *mut u64) -> *mut u64 {
+        // ordering: total order against concurrent readers' pin loads.
+        self.current.swap(next, Ordering::SeqCst) // no finding: &mut self
+    }
+}

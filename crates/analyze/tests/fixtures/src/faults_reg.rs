@@ -1,0 +1,23 @@
+//! Seeded `failpoint-coverage` violations: registry drift in every
+//! direction the rule tracks. (The fixture tree is scan input, not
+//! compiled code — `GHOST` is deliberately undeclared.)
+
+pub mod failpoints {
+    /// Wired end to end: evaluated in `poll`, armed in `tests/arm.rs`.
+    pub const WIRED: &str = "fixture.wired";
+    /// finding: missing from `ALL`.
+    pub const UNLISTED: &str = "fixture.unlisted";
+    /// finding: never evaluated outside test code.
+    pub const NEVER_EVALUATED: &str = "fixture.never-evaluated";
+    /// finding: never armed by any test.
+    pub const NEVER_ARMED: &str = "fixture.never-armed";
+
+    /// finding: lists `GHOST`, which is not a registered failpoint.
+    pub const ALL: &[&str] = &[WIRED, NEVER_EVALUATED, NEVER_ARMED, GHOST];
+}
+
+pub fn poll(name: &str) -> bool {
+    name == failpoints::WIRED
+        || name == failpoints::NEVER_ARMED
+        || name == failpoints::UNLISTED
+}

@@ -1,0 +1,11 @@
+//! Seeded `hot-path-transitive` violation: this file is *not* under
+//! `[hot-path]`, but `risky` is called from `src/hot.rs`, so the
+//! panic-free contract reaches it one call edge deep.
+
+pub fn risky(v: &[u32]) -> u32 {
+    *v.first().unwrap() // finding: unwrap one edge from the hot path
+}
+
+pub fn safe(v: &[u32]) -> u32 {
+    v.first().copied().unwrap_or(0)
+}

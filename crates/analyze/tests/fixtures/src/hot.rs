@@ -10,6 +10,12 @@ pub fn panicky(v: &[u32], m: Option<u32>) -> u32 {
     a + b + v[0] // finding: non-range indexing on a hot path
 }
 
+pub fn delegates(v: &[u32]) -> u32 {
+    // No finding here — but `helper::risky` inherits the contract
+    // transitively and is flagged in its own file.
+    crate::helper::risky(v)
+}
+
 pub fn tolerated(v: &[u32]) -> u32 {
     // analyze:allow(panic-free-hot-path) v.len() checked by the caller.
     let head = v[0];

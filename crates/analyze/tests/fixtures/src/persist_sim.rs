@@ -1,0 +1,33 @@
+//! Seeded `wal-ordering` violations: state applied before the journal
+//! append, and a checkpoint `rename` with no fsync before it — next to
+//! the compliant orderings of both.
+
+pub struct Store;
+
+impl Store {
+    pub fn append_batch(&mut self, _batch: &[u8]) {}
+    pub fn apply_deltas(&mut self, _batch: &[u8]) {}
+}
+
+pub fn backwards(s: &mut Store, batch: &[u8]) {
+    s.apply_deltas(batch); // finding: apply before the journal append
+    s.append_batch(batch);
+}
+
+pub fn forwards(s: &mut Store, batch: &[u8]) {
+    s.append_batch(batch); // no finding: journal first, then apply
+    s.apply_deltas(batch);
+}
+
+pub fn unsynced_checkpoint(dir: &std::path::Path) -> std::io::Result<()> {
+    let tmp = dir.join("snap.tmp");
+    std::fs::write(&tmp, b"state")?;
+    std::fs::rename(&tmp, dir.join("snap.fin")) // finding: no fsync first
+}
+
+pub fn synced_checkpoint(dir: &std::path::Path) -> std::io::Result<()> {
+    let tmp = dir.join("snap.tmp");
+    let file = std::fs::File::create(&tmp)?;
+    file.sync_all()?;
+    std::fs::rename(&tmp, dir.join("snap.fin")) // no finding: synced above
+}

@@ -39,10 +39,16 @@ fn every_rule_fires_on_the_fixtures() {
     let expected = [
         ("unsafe-safety-comment", 2),
         ("panic-free-hot-path", 4),
+        ("hot-path-transitive", 1),
         ("cast-truncation", 4),
         ("determinism", 2),
         ("typed-errors", 2),
-        ("allow-marker", 2),
+        ("atomic-ordering-audit", 2),
+        ("epoch-pin-pairing", 1),
+        ("wal-ordering", 2),
+        ("failpoint-coverage", 4),
+        ("manifest-stale-path", 1),
+        ("allow-marker", 3),
     ];
     for (rule, count) in expected {
         assert_eq!(
@@ -58,7 +64,10 @@ fn every_rule_fires_on_the_fixtures() {
         report.findings.iter().all(|f| !f.path.contains("excluded")),
         "manifest-excluded file leaked into the report"
     );
-    assert_eq!(report.files_scanned, 5);
+    assert_eq!(report.files_scanned, 10);
+    // tests/arm.rs is indexed for the graph (failpoint arming evidence)
+    // and marker hygiene, but is not a contract-scanned file.
+    assert_eq!(report.test_files_indexed, 1);
 }
 
 #[test]
@@ -97,6 +106,25 @@ fn deny_all_fails_on_fixtures_and_writes_the_report() {
         stdout.contains("[cast-truncation]") && stdout.contains("[determinism]"),
         "human-readable findings should be printed: {stdout}"
     );
+}
+
+#[test]
+fn sarif_report_is_written_and_byte_stable() {
+    let a = Path::new(env!("CARGO_TARGET_TMPDIR")).join("fixtures-a.sarif");
+    let b = Path::new(env!("CARGO_TARGET_TMPDIR")).join("fixtures-b.sarif");
+    for p in [&a, &b] {
+        let out = run_bin(
+            &fixtures_dir(),
+            &["--sarif", p.to_str().expect("utf-8 tmp path")],
+        );
+        assert_eq!(out.status.code(), Some(0));
+    }
+    let first = std::fs::read_to_string(&a).expect("--sarif wrote the report");
+    let second = std::fs::read_to_string(&b).expect("--sarif wrote the report");
+    assert_eq!(first, second, "SARIF output must be byte-stable");
+    assert!(first.contains("\"version\": \"2.1.0\""));
+    assert!(first.contains("\"ruleId\": \"wal-ordering\""));
+    assert!(first.contains("\"uri\": \"src/epoch_sim.rs\""));
 }
 
 #[test]

@@ -241,6 +241,8 @@ impl Clustering {
         let mut clusters = Vec::with_capacity(prefixes.len());
         let mut index = FxHashMap::with_capacity_and_hasher(clients.len(), Default::default());
         for prefix in prefixes {
+            // analyze:allow(hot-path-transitive) `prefix` was drawn from
+            // `by_prefix.keys()` just above, so the entry must exist.
             let clients = by_prefix.remove(&prefix).expect("key exists");
             let requests = clients.iter().map(|c| c.requests).sum();
             let bytes = clients.iter().map(|c| c.bytes).sum();

@@ -75,6 +75,9 @@ impl<T> Shared<T> {
     fn min_pinned(&self) -> u64 {
         self.slots
             .iter()
+            // ordering: must observe every pin store that precedes a
+            // publish in the SeqCst total order; Acquire alone could miss
+            // a pin racing the writer's reclaim scan.
             .map(|s| s.load(SeqCst))
             .filter(|&v| v < SLOT_IDLE)
             .min()
@@ -175,6 +178,9 @@ impl<T> EpochTable<T> {
     pub fn reader(&self) -> EpochReader<T> {
         for (i, slot) in self.shared.slots.iter().enumerate() {
             if slot
+                // ordering: claim must be totally ordered against other
+                // claimants and the writer's slot scan (both success and
+                // failure sides participate in reclaim decisions).
                 .compare_exchange(SLOT_FREE, SLOT_IDLE, SeqCst, SeqCst)
                 .is_ok()
             {
@@ -195,6 +201,8 @@ impl<T> EpochTable<T> {
     pub fn publish(&self, value: T) -> u64 {
         let mut retired = self.shared.lock_writer();
         let fresh = Box::into_raw(Box::new(Generation { value }));
+        // ordering: the pointer swap and epoch bump must be totally
+        // ordered against readers' pin-then-load sequence; see `with`.
         let old = self.shared.current.swap(fresh, SeqCst);
         let e = self.shared.epoch.fetch_add(1, SeqCst) + 1;
         retired.list.push((e, old));
@@ -227,6 +235,8 @@ impl<T> EpochTable<T> {
 
     /// The current global epoch (number of publishes so far).
     pub fn epoch(&self) -> u64 {
+        // ordering: observability read; SeqCst keeps it coherent with the
+        // publish counter without reasoning about weaker pairings.
         self.shared.epoch.load(SeqCst)
     }
 
@@ -256,6 +266,9 @@ struct Unpin<'a> {
 
 impl Drop for Unpin<'_> {
     fn drop(&mut self) {
+        // ordering: the unpin must not be reordered before the guarded
+        // read completes; SeqCst keeps it after in the total order the
+        // writer's reclaim scan observes.
         self.slot.store(SLOT_IDLE, SeqCst);
     }
 }
@@ -275,8 +288,13 @@ impl<T> EpochReader<T> {
         // Pin first, then load: a writer that retires the loaded pointer
         // afterwards must observe our pin (its retire epoch exceeds our
         // pinned value) and will not free it until we unpin.
+        //
+        // ordering: pin store + epoch read sit in one SeqCst total order
+        // with the writer's swap/fetch_add in `publish`.
         slot.store(self.shared.epoch.load(SeqCst), SeqCst);
         let unpin = Unpin { slot };
+        // ordering: the pointer load must come after the pin store in
+        // the same total order, or the writer could miss the pin.
         let ptr = self.shared.current.load(SeqCst);
         // SAFETY: `ptr` was `current` after our pin store; it cannot be
         // freed while our slot holds an epoch below its retire epoch.
@@ -299,6 +317,9 @@ impl<T> EpochReader<T> {
 
 impl<T> Drop for EpochReader<T> {
     fn drop(&mut self) {
+        // ordering: releasing the slot must follow any still-visible pin
+        // epoch in the writer-observed total order; SLOT_FREE makes the
+        // slot claimable again.
         self.shared.slots[self.slot].store(SLOT_FREE, SeqCst);
     }
 }

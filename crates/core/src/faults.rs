@@ -57,6 +57,12 @@ pub mod failpoints {
         PERSIST_SNAPSHOT_RENAME,
         PERSIST_FSYNC,
     ];
+
+    /// The registry as a function, for callers that iterate rather than
+    /// index (fault sweeps, the static-analysis coverage rule).
+    pub fn all() -> &'static [&'static str] {
+        ALL
+    }
 }
 
 /// FNV-1a over the failpoint name: folds the registry key into the seed
@@ -353,5 +359,25 @@ mod tests {
         assert!(inj.should_fire("always"));
         assert!(inj.should_fire("over"));
         assert_eq!(plan.probability("over"), 1.0);
+    }
+
+    #[test]
+    fn failpoint_registry_is_exactly_the_wired_set() {
+        // The documented registry, in declaration order. Growing the set
+        // is fine — update this table alongside the consts and `ALL`.
+        let expected = [
+            "swap.compile",
+            "ingest.chunk_io",
+            "table.patch",
+            "persist.journal.write",
+            "persist.snapshot.rename",
+            "persist.fsync",
+        ];
+        assert_eq!(failpoints::all(), &expected);
+        assert_eq!(failpoints::all(), failpoints::ALL);
+        let mut dedup: Vec<&str> = failpoints::all().to_vec();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), failpoints::all().len(), "duplicate names");
     }
 }

@@ -578,6 +578,8 @@ impl<'t> IngestPipeline<'t> {
                     cursor += workers;
                     i
                 } else {
+                    // ordering: pure work-stealing ticket counter; only
+                    // atomicity matters, no data is published through it.
                     next.fetch_add(1, Ordering::Relaxed)
                 };
                 if i >= chunks.len() {
@@ -604,16 +606,22 @@ impl<'t> IngestPipeline<'t> {
                         attempt += 1;
                     };
                     if exhausted {
+                        // ordering: monotone min over chunk indices; the
+                        // join below is the synchronization point.
                         abort_chunk.fetch_min(i, Ordering::Relaxed);
                         continue;
                     }
                     // An abort is pending: keep draining chunks for their
                     // fault draws (the minimum must be exact) but skip
                     // scans — the output is about to be discarded.
+                    // ordering: advisory fast-path skip; a stale read only
+                    // delays the skip by one chunk, never changes the result.
                     if abort_chunk.load(Ordering::Relaxed) != usize::MAX {
                         continue;
                     }
                 }
+                // ordering: advisory early-exit flag; serial replay after
+                // the join recomputes the authoritative outcome.
                 if budget_stop.load(Ordering::Relaxed) {
                     break;
                 }
@@ -627,12 +635,18 @@ impl<'t> IngestPipeline<'t> {
                 }
                 if let Some((max_ratio, lines)) = budget {
                     if chunk_errors > 0 {
+                        // ordering: shared error tally; atomic add is all
+                        // the trip check needs, no publication involved.
                         let total = malformed.fetch_add(chunk_errors as u64, Ordering::Relaxed)
                             + chunk_errors as u64;
                         // Monotone in `total`, so tripping early ⇔ the
                         // final ratio would trip: same outcome as the
                         // end-of-run check, minus the wasted scans.
                         if ErrorCounts::new(lines as u64, total).ratio() > max_ratio {
+                            // analyze:allow(atomic-ordering-audit) Relaxed
+                            // store is a stop hint other workers may see
+                            // late; the thread join publishes the real
+                            // outcome, so no happens-before edge is needed.
                             budget_stop.store(true, Ordering::Relaxed);
                             break;
                         }
@@ -663,6 +677,8 @@ impl<'t> IngestPipeline<'t> {
             io_faults += f;
             chunks_retried += r;
         }
+        // ordering: reads after every worker has been joined, which
+        // already established the happens-before edges.
         let aborted = abort_chunk.load(Ordering::Relaxed);
         if aborted != usize::MAX {
             ScanOutcome::ChunkIo {
@@ -670,6 +686,7 @@ impl<'t> IngestPipeline<'t> {
                 io_faults,
                 chunks_retried,
             }
+        // ordering: post-join read, same as `aborted` above.
         } else if budget_stop.load(Ordering::Relaxed) {
             ScanOutcome::Budget
         } else {

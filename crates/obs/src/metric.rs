@@ -33,6 +33,8 @@ fn shard_index() -> usize {
         if v != usize::MAX {
             v
         } else {
+            // ordering: round-robin shard assignment; only uniqueness of
+            // the ticket matters, nothing is published through it.
             let v = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % SHARDS;
             s.set(v);
             v
@@ -54,6 +56,8 @@ impl CounterCell {
 
     fn add(&self, n: u64) {
         if let Some(shard) = self.shards.get(shard_index()) {
+            // ordering: statistical counter; snapshot readers tolerate a
+            // momentarily stale shard, losing no increment.
             shard.0.fetch_add(n, Ordering::Relaxed);
         }
     }
@@ -61,6 +65,8 @@ impl CounterCell {
     pub(crate) fn sum(&self) -> u64 {
         self.shards
             .iter()
+            // ordering: observability snapshot; per-shard staleness is
+            // acceptable and each shard value is independently atomic.
             .map(|s| s.0.load(Ordering::Relaxed))
             .fold(0u64, u64::saturating_add)
     }
@@ -117,12 +123,16 @@ impl Gauge {
     #[inline]
     pub fn set(&self, v: u64) {
         if let Some(cell) = &self.cell {
+            // analyze:allow(atomic-ordering-audit) gauge value is pure
+            // telemetry read by snapshots; no reader derives a
+            // happens-before edge from it, staleness is acceptable.
             cell.store(v, Ordering::Relaxed);
         }
     }
 
     /// Current value (0 when disabled).
     pub fn get(&self) -> u64 {
+        // ordering: telemetry read; staleness is acceptable.
         self.cell.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
     }
 }
@@ -169,9 +179,12 @@ impl HistogramCell {
     }
 
     fn record(&self, v: u64) {
+        // ordering: histogram cells are statistical; bucket, count and
+        // sum need not be mutually consistent at read time.
         if let Some(b) = self.buckets.get(bucket_index(v)) {
             b.fetch_add(1, Ordering::Relaxed);
         }
+        // ordering: same statistical semantics for count and sum.
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
     }
@@ -180,9 +193,11 @@ impl HistogramCell {
         let buckets = self
             .buckets
             .iter()
+            // ordering: snapshot read of statistical cells; see `record`.
             .map(|b| b.load(Ordering::Relaxed))
             .collect();
         (
+            // ordering: same snapshot semantics as the bucket reads.
             self.count.load(Ordering::Relaxed),
             self.sum.load(Ordering::Relaxed),
             buckets,

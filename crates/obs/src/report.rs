@@ -69,6 +69,7 @@ impl Snapshot {
         for (name, cell) in locked(&reg.gauges).iter() {
             snap.gauges.insert(
                 name.clone(),
+                // ordering: telemetry snapshot; gauge staleness is fine.
                 cell.load(std::sync::atomic::Ordering::Relaxed),
             );
         }
