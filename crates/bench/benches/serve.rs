@@ -1,0 +1,286 @@
+//! Query-plane costs of the `netclustd` daemon: what one routed request
+//! costs in-process (the router hot path alone), what a full HTTP round
+//! trip costs over a loopback keep-alive socket, and — the headline —
+//! sustained aggregate throughput with several concurrent keep-alive
+//! clients hammering `/v1/cluster`. Lands in `BENCH_serve.json`; the
+//! acceptance floor is 100k queries/s sustained.
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use criterion::{black_box, host_threads, quick_mode, BenchmarkId, Criterion, Throughput};
+use netclust_netgen::{standard_collection, Universe, UniverseConfig};
+use netclust_rtable::TableKind;
+use netclust_serve::http::{parse_request, Method, Parse};
+use netclust_serve::router;
+use netclust_serve::{Daemon, ServeConfig};
+use netclust_weblog::{clf, generate, LogSpec};
+
+fn bench_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "netclust_serve_bench_{name}_{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create bench dir");
+    dir
+}
+
+/// One blocking keep-alive client: send the pre-rendered request, read
+/// exactly one response (Content-Length framed).
+struct KeepAlive {
+    conn: TcpStream,
+    buf: Vec<u8>,
+    scratch: Vec<u8>,
+}
+
+impl KeepAlive {
+    fn connect(addr: SocketAddr) -> KeepAlive {
+        let conn = TcpStream::connect(addr).expect("connect");
+        conn.set_nodelay(true).expect("nodelay");
+        KeepAlive {
+            conn,
+            buf: Vec::with_capacity(4096),
+            scratch: vec![0u8; 16 * 1024],
+        }
+    }
+
+    /// Writes `depth` pipelined copies of the request cycle in one burst,
+    /// then drains the matching responses. Returns bytes received.
+    fn pipelined(&mut self, batch: &[u8], depth: usize) -> usize {
+        self.conn.write_all(batch).expect("send batch");
+        (0..depth).map(|_| self.read_one()).sum()
+    }
+
+    fn round_trip(&mut self, wire: &[u8]) -> usize {
+        self.conn.write_all(wire).expect("send");
+        self.read_one()
+    }
+
+    fn read_one(&mut self) -> usize {
+        loop {
+            if let Some(head_end) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                let head = std::str::from_utf8(&self.buf[..head_end]).expect("ascii head");
+                let content_length: usize = head
+                    .lines()
+                    .find_map(|l| {
+                        l.to_ascii_lowercase()
+                            .strip_prefix("content-length:")
+                            .map(|v| v.trim().parse().expect("content-length"))
+                    })
+                    .expect("content-length header");
+                let total = head_end + 4 + content_length;
+                while self.buf.len() < total {
+                    let n = self.conn.read(&mut self.scratch).expect("read body");
+                    assert!(n > 0, "server closed mid-body");
+                    self.buf.extend_from_slice(&self.scratch[..n]);
+                }
+                self.buf.drain(..total);
+                return total;
+            }
+            let n = self.conn.read(&mut self.scratch).expect("read head");
+            assert!(n > 0, "server closed before head");
+            self.buf.extend_from_slice(&self.scratch[..n]);
+        }
+    }
+}
+
+fn main() {
+    let mut c = Criterion::default().configure_from_args();
+    let (requests, sustain_for, clients) = if quick_mode() {
+        (20_000u64, Duration::from_millis(300), 2usize)
+    } else {
+        (
+            200_000,
+            Duration::from_secs(2),
+            host_threads().clamp(2, 8) / 2 * 2,
+        )
+    };
+    let clients = clients.max(2);
+
+    // Corpus on disk, exactly what a production boot reads: routing-table
+    // files plus a CLF access log.
+    let dir = bench_dir("corpus");
+    let universe = Universe::generate(UniverseConfig::small(0x5E21));
+    let mut tables = Vec::new();
+    let mut dumps = Vec::new();
+    for table in standard_collection(&universe, 0, 0) {
+        let ext = match table.kind {
+            TableKind::Bgp => "bgp",
+            TableKind::NetworkDump => "dump",
+        };
+        let path = dir.join(format!(
+            "{}.{ext}",
+            table.name.to_lowercase().replace(['&', '-', ' '], "_")
+        ));
+        let body: String = table.prefixes().iter().map(|p| format!("{p}\n")).collect();
+        std::fs::write(&path, body).expect("write table");
+        match table.kind {
+            TableKind::Bgp => tables.push(path),
+            TableKind::NetworkDump => dumps.push(path),
+        }
+    }
+    let mut spec = LogSpec::tiny("serve-bench", 0x5E21);
+    spec.total_requests = requests;
+    let log = generate(&universe, &spec);
+    let log_path = dir.join("access.log");
+    std::fs::write(&log_path, clf::to_clf(&log)).expect("write log");
+    let sample_ips: Vec<String> = log
+        .unique_clients()
+        .iter()
+        .step_by(7)
+        .take(64)
+        .map(|a| a.to_string())
+        .collect();
+
+    let daemon = Daemon::start(
+        ServeConfig::new()
+            .tables(tables)
+            .dumps(dumps)
+            .log(&log_path)
+            .http_threads(clients.max(4))
+            .poll_interval(Duration::from_millis(5)),
+    )
+    .expect("boot daemon");
+    let addr = daemon.local_addr();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let total = daemon
+            .state()
+            .stream
+            .read()
+            .expect("stream lock")
+            .total_requests();
+        if total >= requests {
+            break;
+        }
+        assert!(Instant::now() < deadline, "log never finished ingesting");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    println!(
+        "daemon: {} requests ingested, {} clients sampled, {clients} bench connections\n",
+        requests,
+        sample_ips.len()
+    );
+
+    // Pre-rendered wire requests, cycling through the sampled addresses.
+    let wires: Vec<Vec<u8>> = sample_ips
+        .iter()
+        .map(|ip| format!("GET /v1/cluster?ip={ip} HTTP/1.1\r\nHost: b\r\n\r\n").into_bytes())
+        .collect();
+
+    let mut group = c.benchmark_group("serve");
+    group.threads_used(1);
+
+    // The router alone: parsed request in, JSON response out. This is the
+    // [hot-path] cost with the socket stripped away.
+    let state = Arc::clone(daemon.state());
+    let parsed = match parse_request(&wires[0]) {
+        Parse::Complete { request, .. } => request,
+        other => panic!("bench request must parse: {other:?}"),
+    };
+    assert_eq!(parsed.method, Method::Get);
+    group.throughput(Throughput::Elements(1));
+    group.bench_function(BenchmarkId::new("router_handle", "cluster"), |b| {
+        b.iter(|| black_box(router::handle(&state, &parsed)))
+    });
+
+    // Full loopback round trip on one keep-alive connection.
+    let mut one = KeepAlive::connect(addr);
+    let mut i = 0usize;
+    group.throughput(Throughput::Elements(1));
+    group.bench_function(BenchmarkId::new("http_round_trip", "cluster"), |b| {
+        b.iter(|| {
+            i = (i + 1) % wires.len();
+            black_box(one.round_trip(&wires[i]))
+        })
+    });
+    group.finish();
+
+    // Sustained aggregate load: N keep-alive clients, each sending
+    // pipelined bursts (the parser drains every buffered request before
+    // the next read, so this measures server capacity rather than
+    // per-request syscall latency).
+    const PIPELINE_DEPTH: usize = 16;
+    let stop = Arc::new(AtomicBool::new(false));
+    let workers: Vec<_> = (0..clients)
+        .map(|w| {
+            let stop = Arc::clone(&stop);
+            let wires = wires.clone();
+            std::thread::spawn(move || {
+                let mut conn = KeepAlive::connect(addr);
+                let mut done = 0u64;
+                // Stagger each client's burst through the address cycle.
+                let batch: Vec<u8> = (0..PIPELINE_DEPTH)
+                    .flat_map(|j| wires[(w + j) % wires.len()].clone())
+                    .collect();
+                while !stop.load(Ordering::Relaxed) {
+                    conn.pipelined(&batch, PIPELINE_DEPTH);
+                    done += PIPELINE_DEPTH as u64;
+                }
+                done
+            })
+        })
+        .collect();
+    let started = Instant::now();
+    std::thread::sleep(sustain_for);
+    stop.store(true, Ordering::Relaxed);
+    let total: u64 = workers
+        .into_iter()
+        .map(|w| w.join().expect("client thread"))
+        .sum();
+    let elapsed = started.elapsed().as_secs_f64();
+    let sustained_qps = total as f64 / elapsed;
+
+    let results = c.take_results();
+    let ns_of = |needle: &str| {
+        results
+            .iter()
+            .find(|r| r.id.contains(needle))
+            .map(|r| r.ns_per_iter)
+            .unwrap_or(f64::NAN)
+    };
+    let router_ns = ns_of("router_handle");
+    let round_trip_ns = ns_of("http_round_trip");
+
+    let mut json = String::from("{\n  \"benchmarks\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"id\": \"{}\", \"ns_per_iter\": {:.1}, \"threads_used\": {}}}{}\n",
+            r.id,
+            r.ns_per_iter,
+            r.threads_used,
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"host_threads\": {},\n", host_threads()));
+    json.push_str(&format!("  \"ingested_requests\": {requests},\n"));
+    json.push_str(&format!("  \"router_handle_ns\": {router_ns:.1},\n"));
+    json.push_str(&format!("  \"http_round_trip_ns\": {round_trip_ns:.1},\n"));
+    json.push_str(&format!("  \"sustained_clients\": {clients},\n"));
+    json.push_str(&format!("  \"sustained_seconds\": {elapsed:.3},\n"));
+    json.push_str(&format!("  \"sustained_queries\": {total},\n"));
+    json.push_str(&format!("  \"sustained_qps\": {sustained_qps:.0},\n"));
+    json.push_str(&format!("  \"quick\": {}\n", quick_mode()));
+    json.push_str("}\n");
+
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    std::fs::write(out, &json).expect("write BENCH_serve.json");
+    println!(
+        "\nrouter {:.2} µs, round trip {:.2} µs, sustained {:.0} q/s \
+         ({clients} clients, {:.2}s)",
+        router_ns / 1e3,
+        round_trip_ns / 1e3,
+        sustained_qps,
+        elapsed
+    );
+    println!("wrote {out}");
+
+    drop(daemon);
+    let _ = std::fs::remove_dir_all(dir);
+}

@@ -1,0 +1,198 @@
+//! Shared run configuration: one typed struct both the one-shot CLI and
+//! the `netclustd` daemon parse their flags into.
+//!
+//! Before this existed, every knob (thread count, determinism, error
+//! budget, swap policy, fsync cadence, observability) was threaded through
+//! free-floating builder calls at each call site, and the daemon would
+//! have grown a second, drifting copy. [`RunConfig`] is the single source
+//! of truth: flags parse into it, and it *constructs* the correctly-wired
+//! [`IngestPipeline`] and [`StreamingClustering`] so a knob added here
+//! reaches every consumer at once.
+
+use crate::ingest::IngestPipeline;
+use crate::persist::FsyncPolicy;
+use crate::stream::{StreamingClustering, SwapPolicy};
+use netclust_obs::Obs;
+use netclust_rtable::{CompiledMerged, MergedTable};
+
+/// The execution knobs shared by every clustering run — batch or
+/// streaming, one-shot or daemon. Construct with [`RunConfig::new`], set
+/// what differs from the defaults, then mint pipelines and streaming
+/// views from it.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    threads: Option<usize>,
+    deterministic: bool,
+    max_error_rate: Option<f64>,
+    url_stats: bool,
+    swap_policy: SwapPolicy,
+    fsync: FsyncPolicy,
+    obs: Obs,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            threads: None,
+            deterministic: false,
+            max_error_rate: None,
+            url_stats: true,
+            swap_policy: SwapPolicy::default(),
+            fsync: FsyncPolicy::EveryBatch,
+            obs: Obs::disabled(),
+        }
+    }
+}
+
+impl RunConfig {
+    /// The defaults: auto thread count, non-deterministic, no error
+    /// budget, URL stats on, default swap policy, fsync every batch,
+    /// observability off.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Caps ingest worker threads (`None`/unset = one per core).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Forces byte-identical output regardless of thread schedule.
+    pub fn deterministic(mut self, on: bool) -> Self {
+        self.deterministic = on;
+        self
+    }
+
+    /// Aborts ingest when the malformed-line ratio exceeds `ratio`.
+    pub fn max_error_rate(mut self, ratio: f64) -> Self {
+        self.max_error_rate = Some(ratio.clamp(0.0, 1.0));
+        self
+    }
+
+    /// Tracks per-cluster distinct-URL counts during batch ingest (on by
+    /// default; the streaming path never tracks URLs).
+    pub fn url_stats(mut self, on: bool) -> Self {
+        self.url_stats = on;
+        self
+    }
+
+    /// Validation gate for live table swaps.
+    pub fn swap_policy(mut self, policy: SwapPolicy) -> Self {
+        self.swap_policy = policy;
+        self
+    }
+
+    /// Durability cadence for the write-ahead journal.
+    pub fn fsync(mut self, policy: FsyncPolicy) -> Self {
+        self.fsync = policy;
+        self
+    }
+
+    /// Observability handle every constructed component reports into.
+    pub fn obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// The configured thread cap, if any.
+    pub fn threads_opt(&self) -> Option<usize> {
+        self.threads
+    }
+
+    /// Whether deterministic output is forced.
+    pub fn is_deterministic(&self) -> bool {
+        self.deterministic
+    }
+
+    /// The configured error budget, if any.
+    pub fn max_error_rate_opt(&self) -> Option<f64> {
+        self.max_error_rate
+    }
+
+    /// The swap-validation policy.
+    pub fn swap_policy_ref(&self) -> &SwapPolicy {
+        &self.swap_policy
+    }
+
+    /// The journal durability cadence.
+    pub fn fsync_policy(&self) -> FsyncPolicy {
+        self.fsync
+    }
+
+    /// The observability handle.
+    pub fn obs_handle(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Builds a batch ingest pipeline over `table` with every knob
+    /// applied. Callers may still chain pipeline-specific settings
+    /// (chunk size, fault plans) on the result.
+    pub fn pipeline<'t>(&self, table: &'t CompiledMerged) -> IngestPipeline<'t> {
+        let mut p = IngestPipeline::new(table)
+            .obs(self.obs.clone())
+            .url_stats(self.url_stats)
+            .deterministic(self.deterministic);
+        if let Some(threads) = self.threads {
+            p = p.threads(threads);
+        }
+        if let Some(ratio) = self.max_error_rate {
+            p = p.max_error_rate(ratio);
+        }
+        p
+    }
+
+    /// Builds a streaming clustering view over `table` with the swap
+    /// policy and observability applied.
+    pub fn streaming(&self, table: MergedTable) -> StreamingClustering {
+        StreamingClustering::builder(table)
+            .swap_policy(self.swap_policy)
+            .obs(self.obs.clone())
+            .build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netclust_netgen::{standard_merged, Universe, UniverseConfig};
+    use netclust_weblog::{generate, LogSpec};
+
+    #[test]
+    fn config_constructs_equivalent_batch_and_stream_views() {
+        let u = Universe::generate(UniverseConfig::small(3));
+        let mut spec = LogSpec::tiny("cfg", 5);
+        spec.total_requests = 2_000;
+        let log = generate(&u, &spec);
+        let clf = netclust_weblog::clf::to_clf(&log);
+
+        let cfg = RunConfig::new()
+            .threads(2)
+            .deterministic(true)
+            .max_error_rate(0.5);
+        assert_eq!(cfg.threads_opt(), Some(2));
+        assert!(cfg.is_deterministic());
+
+        let merged = standard_merged(&u, 0);
+        let compiled = merged.compile();
+        let report = cfg
+            .pipeline(&compiled)
+            .try_run(clf.as_bytes())
+            .expect("within budget");
+
+        let mut stream = cfg.streaming(standard_merged(&u, 0));
+        let errors = stream.push_clf(clf.as_bytes());
+        assert!(errors.is_empty());
+        assert_eq!(
+            report.clustering.total_requests,
+            stream.total_requests(),
+            "same knobs, same corpus, same totals"
+        );
+    }
+
+    #[test]
+    fn threads_zero_clamps_to_one() {
+        let cfg = RunConfig::new().threads(0);
+        assert_eq!(cfg.threads_opt(), Some(1));
+    }
+}

@@ -45,6 +45,14 @@ pub mod failpoints {
     /// volume): durability of recent appends is unknown and the process
     /// must treat the store as wedged rather than acknowledge the batch.
     pub const PERSIST_FSYNC: &str = "persist.fsync";
+    /// Accepting a daemon connection dies (`accept` returns EMFILE /
+    /// ECONNABORTED under pressure): the serve loop must log, shed the
+    /// connection, and keep accepting — never exit.
+    pub const SERVE_ACCEPT: &str = "serve.accept";
+    /// Reading an HTTP request off an accepted connection dies mid-parse
+    /// (client reset, torn read): the worker must answer 400 or close,
+    /// recycle the connection, and keep the pool healthy.
+    pub const SERVE_REQUEST_PARSE: &str = "serve.request.parse";
 
     /// Every registered failpoint, in declaration order — the registry
     /// surface fault sweeps iterate so new points cannot dodge the
@@ -56,6 +64,8 @@ pub mod failpoints {
         PERSIST_JOURNAL_WRITE,
         PERSIST_SNAPSHOT_RENAME,
         PERSIST_FSYNC,
+        SERVE_ACCEPT,
+        SERVE_REQUEST_PARSE,
     ];
 
     /// The registry as a function, for callers that iterate rather than
@@ -372,6 +382,8 @@ mod tests {
             "persist.journal.write",
             "persist.snapshot.rename",
             "persist.fsync",
+            "serve.accept",
+            "serve.request.parse",
         ];
         assert_eq!(failpoints::all(), &expected);
         assert_eq!(failpoints::all(), failpoints::ALL);

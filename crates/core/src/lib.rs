@@ -29,6 +29,7 @@
 
 mod anomaly;
 mod cluster;
+mod config;
 mod dynamics;
 mod epoch;
 mod faults;
@@ -38,6 +39,7 @@ mod metrics;
 mod netcluster;
 mod ongoing;
 pub mod persist;
+pub mod query;
 mod selfcorrect;
 mod sessions;
 mod stream;
@@ -49,6 +51,7 @@ pub use anomaly::{
     AnomalyConfig, ClientClass, Detection,
 };
 pub use cluster::{ClientStats, Cluster, Clustering};
+pub use config::RunConfig;
 pub use dynamics::{dynamics_analysis, DynamicsRow, LogDynamics, LogUnderStudy};
 pub use epoch::{EpochReader, EpochTable, MAX_READERS};
 pub use faults::{failpoints, FaultInjector, FaultPlan};
@@ -61,6 +64,9 @@ pub use ongoing::{
 pub use persist::{
     CorrectionState, FeedProgress, FsyncPolicy, JournalBatch, PersistError, RecoveryReport,
     StateStore, StreamState,
+};
+pub use query::{
+    ClusterAnswer, ClusterQuery, ClusterRow, QuerySummary, VerdictAnswer, VerdictPolicy,
 };
 pub use selfcorrect::{
     org_purity, self_correct, self_correct_with, CorrectionConfig, CorrectionReport,

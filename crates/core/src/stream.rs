@@ -545,6 +545,41 @@ impl StreamingClustering {
         self.assignment.get(&u32::from(addr)).copied().flatten()
     }
 
+    /// The cluster `addr` maps to under the serving table, whether or not
+    /// the client has been seen: a seen client answers from its memoized
+    /// assignment (kept consistent across swaps and patches), an unseen
+    /// address is resolved by a longest-prefix match against the current
+    /// generation. This is the daemon's `/v1/cluster` primitive.
+    pub fn lookup_net(&self, addr: Ipv4Addr) -> Option<Ipv4Net> {
+        let client = u32::from(addr);
+        match self.assignment.get(&client) {
+            Some(&memo) => memo,
+            None => self.reader.with(|live| live.table.net_for_u32(client)),
+        }
+    }
+
+    /// Cumulative `(requests, bytes)` for one client address, `None` when
+    /// the address has never been seen.
+    pub fn client_totals(&self, addr: Ipv4Addr) -> Option<(u64, u64)> {
+        self.per_client.get(&u32::from(addr)).copied()
+    }
+
+    /// Distinct client addresses seen.
+    pub fn client_count(&self) -> usize {
+        self.per_client.len()
+    }
+
+    /// Requests from clients that matched no table entry at the time they
+    /// arrived.
+    pub fn unclustered_requests(&self) -> u64 {
+        self.unclustered_requests
+    }
+
+    #[cfg(test)]
+    pub(crate) fn push_raw_for_tests(&mut self, client: u32, bytes: u64) {
+        self.push_raw(client, bytes);
+    }
+
     /// Fraction of *parsed* requests that were clusterable. Lines
     /// quarantined by [`push_clf`](Self::push_clf) never became requests
     /// and are excluded from the denominator — they are accounted in

@@ -1,0 +1,444 @@
+//! The `netclustd` daemon: boot, accept loop, log follower, shutdown.
+//!
+//! [`Daemon::start`] assembles the whole service from a [`ServeConfig`]:
+//! it loads (or recovers) the clustering state, binds the listener,
+//! spawns the HTTP worker pool and the log-follower thread, and returns a
+//! handle the caller polls until a stop is requested. Everything is
+//! `std`-only — the accept loop is a non-blocking listener with a short
+//! sleep, concurrency is the fixed `pool::ThreadPool`, and the
+//! follower is one thread polling the tailed log on a configured
+//! interval.
+//!
+//! Shutdown is graceful by construction: the accept thread owns the
+//! worker pool, so when the stop flag flips it stops accepting, drops the
+//! pool (which drains in-flight requests and joins every worker), and
+//! only then does [`Daemon::shutdown`] write the final checkpoint — the
+//! snapshot a `--resume` boot continues from.
+
+use std::fmt;
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use netclust_core::{failpoints, FaultPlan, StateStore, StreamingClustering};
+use netclust_obs::{ErrorCounts, Obs};
+use netclust_rtable::{MergedTable, TableKind};
+use netclust_weblog::follow::LogFollower;
+
+use crate::config::ServeConfig;
+use crate::http::{self, HttpResponse, Parse};
+use crate::json;
+use crate::pool::{Handler, ThreadPool};
+use crate::router::{self, AppState, ServeObs};
+
+/// Why the daemon failed to boot or shut down cleanly.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A configuration-level problem: unreadable table, bad listen
+    /// address, missing log.
+    Config(String),
+    /// A socket- or filesystem-level failure.
+    Io(std::io::Error),
+    /// The persistence layer refused (corrupt state dir, failed
+    /// checkpoint).
+    Persist(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Config(msg) => write!(f, "config: {msg}"),
+            ServeError::Io(e) => write!(f, "io: {e}"),
+            ServeError::Persist(msg) => write!(f, "persist: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+/// A running `netclustd` instance. Dropping it (or calling
+/// [`Daemon::shutdown`]) stops the accept loop, drains the worker pool,
+/// joins the follower, and writes the final checkpoint.
+pub struct Daemon {
+    addr: SocketAddr,
+    state: Arc<AppState>,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    follower: Option<JoinHandle<()>>,
+}
+
+impl fmt::Debug for Daemon {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Daemon").field("addr", &self.addr).finish()
+    }
+}
+
+impl Daemon {
+    /// Boots the daemon: loads or recovers state, binds the listener,
+    /// spawns the HTTP pool and (when a log is configured) the follower.
+    /// Returns once the service is answering requests.
+    pub fn start(config: ServeConfig) -> Result<Daemon, ServeError> {
+        // The daemon always records metrics — `/metrics` is an endpoint,
+        // not an opt-in — so a disabled RunConfig obs is upgraded here.
+        let obs = if config.run_config().obs_handle().is_enabled() {
+            config.run_config().obs_handle().clone()
+        } else {
+            Obs::enabled()
+        };
+        let state = Arc::new(build_state(&config, &obs)?);
+
+        let listener = TcpListener::bind(config.listen_addr())
+            .map_err(|e| ServeError::Config(format!("bind {}: {e}", config.listen_addr())))?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        if let Some(path) = config.port_file_path() {
+            std::fs::write(path, format!("{addr}\n"))?;
+        }
+
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let plan = config.fault_plan().clone();
+        let handler_state = Arc::clone(&state);
+        let handler_stop = Arc::clone(&stop);
+        let handler: Handler = Arc::new(move |conn| {
+            serve_connection(&handler_state, conn, &plan, &handler_stop);
+        });
+        let pool = ThreadPool::new(config.http_threads_n(), handler);
+
+        let accept_plan = config.fault_plan().clone();
+        let accept_state = Arc::clone(&state);
+        let accept_stop = Arc::clone(&stop);
+        let accept = std::thread::Builder::new()
+            .name("netclustd-accept".to_string())
+            .spawn(move || accept_loop(listener, pool, accept_state, accept_stop, accept_plan))?;
+
+        let follower = match config.log_path() {
+            None => None,
+            Some(path) => {
+                // ordering: boot is single-threaded here — the value was
+                // just written by build_state; Acquire for symmetry with
+                // the follower/checkpoint pairing.
+                let offset = state.log_offset.load(Ordering::Acquire);
+                let follower = if offset > 0 {
+                    LogFollower::resume_at(path, offset)
+                } else {
+                    LogFollower::new(path)
+                };
+                let follow_state = Arc::clone(&state);
+                let follow_stop = Arc::clone(&stop);
+                let interval = config.poll_interval_d();
+                let threshold = config.checkpoint_bytes_n();
+                Some(
+                    std::thread::Builder::new()
+                        .name("netclustd-follow".to_string())
+                        .spawn(move || {
+                            follower_loop(follow_state, follower, interval, threshold, follow_stop)
+                        })?,
+                )
+            }
+        };
+
+        Ok(Daemon {
+            addr,
+            state,
+            stop,
+            accept: Some(accept),
+            follower: Some(follower).flatten(),
+        })
+    }
+
+    /// The bound listen address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared application state (for in-process inspection in tests).
+    pub fn state(&self) -> &Arc<AppState> {
+        &self.state
+    }
+
+    /// Flags the accept loop and follower to wind down without blocking.
+    pub fn request_stop(&self) {
+        // ordering: single stop flag, no data published through it;
+        // SeqCst keeps the shutdown handshake trivially correct.
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Stops accepting, drains in-flight requests, joins the follower,
+    /// and writes the final checkpoint.
+    pub fn shutdown(mut self) -> Result<(), ServeError> {
+        self.wind_down();
+        router::checkpoint_now(&self.state).map_err(ServeError::Persist)?;
+        let mut guard = self
+            .state
+            .store
+            .lock()
+            .map_err(|_| ServeError::Persist("store lock poisoned".to_string()))?;
+        if let Some(store) = guard.as_mut() {
+            store
+                .sync()
+                .map_err(|e| ServeError::Persist(format!("final sync: {e}")))?;
+        }
+        Ok(())
+    }
+
+    fn wind_down(&mut self) {
+        // ordering: single stop flag, no data published through it;
+        // SeqCst keeps the shutdown handshake trivially correct.
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.follower.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        self.wind_down();
+        let _ = router::checkpoint_now(&self.state);
+    }
+}
+
+/// Loads the serving table and builds (or recovers) the shared state.
+fn build_state(config: &ServeConfig, obs: &Obs) -> Result<AppState, ServeError> {
+    let run = config.run_config().clone().obs(obs.clone());
+
+    let mut tables = Vec::new();
+    let mut noise = ErrorCounts::default();
+    for (paths, kind) in [
+        (config.table_paths(), TableKind::Bgp),
+        (config.dump_paths(), TableKind::NetworkDump),
+    ] {
+        for path in paths {
+            let (table, counts) =
+                router::load_table(&path.to_string_lossy(), kind).map_err(ServeError::Config)?;
+            noise.merge(counts);
+            tables.push(table);
+        }
+    }
+
+    let mut store = None;
+    let mut log_offset = 0u64;
+    let mut feed_index = 0u64;
+    let stream: StreamingClustering = match config.state_dir_path() {
+        Some(dir) if config.is_resume() => {
+            let (mut recovered_store, snapshot, report) =
+                StateStore::recover(dir, run.fsync_policy())
+                    .map_err(|e| ServeError::Persist(format!("recover {}: {e}", dir.display())))?;
+            recovered_store = recovered_store.obs(obs);
+            let mut stream =
+                StreamingClustering::restore(&snapshot, *run.swap_policy_ref(), obs.clone())
+                    .map_err(|e| ServeError::Persist(format!("restore: {e}")))?;
+            // Replay the journaled delta batches the crashed (or stopped)
+            // process applied after its last snapshot.
+            for batch in &report.batches {
+                let _ = stream.apply_deltas(&batch.deltas);
+                feed_index = feed_index.max(batch.feed_index + 1);
+            }
+            log_offset = snapshot.feed_pos;
+            store = Some(recovered_store);
+            stream
+        }
+        maybe_dir => {
+            if let Some(dir) = maybe_dir {
+                let fresh = StateStore::create(dir, run.fsync_policy())
+                    .map_err(|e| ServeError::Persist(format!("create {}: {e}", dir.display())))?
+                    .obs(obs);
+                store = Some(fresh);
+            }
+            if tables.is_empty() {
+                return Err(ServeError::Config(
+                    "no serving table: give --table or --dump".to_string(),
+                ));
+            }
+            run.streaming(MergedTable::merge(tables.iter()))
+        }
+    };
+
+    Ok(AppState {
+        stream: RwLock::new(stream),
+        store: Mutex::new(store),
+        obs: obs.clone(),
+        metrics: ServeObs::resolve(obs),
+        deterministic: run.is_deterministic(),
+        top_default: config.top_default_n(),
+        verdict: config.verdict_policy(),
+        feed_index: AtomicU64::new(feed_index),
+        log_offset: AtomicU64::new(log_offset),
+    })
+}
+
+/// Accepts connections until the stop flag flips, dispatching each to the
+/// pool. Owns the pool so dropping it on exit drains in-flight requests.
+fn accept_loop(
+    listener: TcpListener,
+    pool: ThreadPool,
+    state: Arc<AppState>,
+    stop: Arc<AtomicBool>,
+    plan: FaultPlan,
+) {
+    let mut injector = plan.injector();
+    // ordering: stop flag only — no data rides on it; SeqCst matches the
+    // store side.
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((conn, _)) => {
+                if injector.should_fire(failpoints::SERVE_ACCEPT) {
+                    // Injected overload: shed the connection before it
+                    // reaches a worker. The client sees a closed socket,
+                    // exactly like a listen-backlog drop.
+                    state.metrics.accept_shed.inc();
+                    drop(conn);
+                    continue;
+                }
+                let _ = conn.set_nodelay(true);
+                if !pool.execute(conn) {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => {
+                state.metrics.accept_shed.inc();
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+    }
+    drop(pool);
+}
+
+/// How long a worker waits in one `read` before re-checking the stop
+/// flag. Bounds graceful-shutdown latency for idle keep-alive
+/// connections.
+const READ_SLICE: Duration = Duration::from_millis(250);
+
+/// Idle keep-alive connections are closed after this long.
+const KEEP_ALIVE_IDLE: Duration = Duration::from_secs(30);
+
+/// One connection's request loop: incremental parse, route, respond,
+/// keep-alive until close. Runs on a pool worker; never panics, never
+/// propagates.
+fn serve_connection(state: &AppState, mut conn: TcpStream, plan: &FaultPlan, stop: &AtomicBool) {
+    let mut injector = plan.injector();
+    let _ = conn.set_read_timeout(Some(READ_SLICE));
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut scratch = [0u8; 16 * 1024];
+    let mut idle = Duration::ZERO;
+    loop {
+        // Drain every complete pipelined request already buffered.
+        loop {
+            match http::parse_request(&buf) {
+                Parse::Complete { request, consumed } => {
+                    buf.drain(..consumed);
+                    if injector.should_fire(failpoints::SERVE_REQUEST_PARSE) {
+                        // Injected wire corruption: treat the request as
+                        // torn — 400 and close, like a real parse failure.
+                        state.metrics.parse_errors.inc();
+                        let resp = HttpResponse::json(
+                            400,
+                            json::error_body("request torn (injected parse fault)"),
+                        );
+                        let _ = conn.write_all(&http::encode_response(&resp, false));
+                        return;
+                    }
+                    let keep = request.keep_alive;
+                    let resp = router::handle(state, &request);
+                    if conn.write_all(&http::encode_response(&resp, keep)).is_err() {
+                        return;
+                    }
+                    if !keep {
+                        return;
+                    }
+                }
+                Parse::Partial => break,
+                Parse::Invalid(msg) => {
+                    state.metrics.parse_errors.inc();
+                    let resp = HttpResponse::json(400, json::error_body(msg));
+                    let _ = conn.write_all(&http::encode_response(&resp, false));
+                    return;
+                }
+            }
+        }
+        match conn.read(&mut scratch) {
+            Ok(0) => return,
+            Ok(n) => {
+                idle = Duration::ZERO;
+                buf.extend_from_slice(scratch.get(..n).unwrap_or_default());
+            }
+            // A read timeout surfaces as WouldBlock or TimedOut depending
+            // on the platform; either way it is the stop-flag checkpoint.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                idle += READ_SLICE;
+                // ordering: stop flag only — no data rides on it; SeqCst
+                // matches the store side.
+                if stop.load(Ordering::SeqCst) || idle >= KEEP_ALIVE_IDLE {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Tails the access log: new bytes go through the CLF parser into the
+/// live stream; checkpoints fire on the byte threshold and when the log
+/// goes idle while unsnapshotted bytes are pending.
+fn follower_loop(
+    state: Arc<AppState>,
+    mut follower: LogFollower,
+    interval: Duration,
+    checkpoint_bytes: u64,
+    stop: Arc<AtomicBool>,
+) {
+    let mut dirty = 0u64;
+    // ordering: stop flag only — no data rides on it; SeqCst matches the
+    // store side.
+    while !stop.load(Ordering::SeqCst) {
+        match follower.poll() {
+            Ok(Some(chunk)) => {
+                if let Ok(mut stream) = state.stream.write() {
+                    let _ = stream.push_clf(&chunk);
+                } else {
+                    return;
+                }
+                // ordering: Release pairs with checkpoint_now's Acquire
+                // load — the cursor publishes only after the chunk's
+                // lines are applied under the stream write lock above.
+                state.log_offset.store(follower.offset(), Ordering::Release);
+                state.metrics.follow_chunks.inc();
+                state.metrics.follow_bytes.add(chunk.len() as u64);
+                dirty += chunk.len() as u64;
+                if dirty >= checkpoint_bytes && router::checkpoint_now(&state).is_ok() {
+                    dirty = 0;
+                }
+            }
+            Ok(None) => {
+                // Idle. Snapshot pending bytes so a crash right now loses
+                // nothing, then wait out the poll interval.
+                if dirty > 0 && router::checkpoint_now(&state).is_ok() {
+                    dirty = 0;
+                }
+                std::thread::sleep(interval);
+            }
+            Err(_) => std::thread::sleep(interval),
+        }
+    }
+}

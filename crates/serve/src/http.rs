@@ -1,0 +1,451 @@
+//! Hand-rolled HTTP/1.1 request parsing and response framing.
+//!
+//! Deliberately minimal: the daemon speaks exactly the subset its API
+//! needs — `GET`/`POST`, `Content-Length` bodies, keep-alive — and rejects
+//! everything else with a clean `400`/`405` instead of guessing. The
+//! parser is incremental over a growing byte buffer so a connection loop
+//! can feed it torn reads and pipelined batches alike: it either consumes
+//! one complete request (returning how many bytes it ate), asks for more
+//! bytes, or declares the prefix unsalvageable.
+//!
+//! Nothing here panics: every malformed input is a typed
+//! [`Parse::Invalid`], all slicing is range-based, and header sizes are
+//! bounded ([`MAX_HEAD_BYTES`], [`MAX_BODY_BYTES`]) so a hostile peer
+//! cannot balloon memory.
+
+/// Upper bound on the request head (request line + headers + CRLFCRLF).
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// Upper bound on a request body (`/v1/reload` delta feeds are the only
+/// bodies the API accepts).
+pub const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// Request methods the daemon distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// `GET` — every query endpoint.
+    Get,
+    /// `POST` — `/v1/reload`.
+    Post,
+    /// Anything else; the router answers `405`.
+    Other,
+}
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// The method.
+    pub method: Method,
+    /// Path component of the target, without the query string.
+    pub path: String,
+    /// Decoded `key=value` query parameters, in wire order.
+    pub query: Vec<(String, String)>,
+    /// Whether the connection should stay open after the response
+    /// (HTTP/1.1 default yes, HTTP/1.0 default no, `Connection` header
+    /// overrides either way).
+    pub keep_alive: bool,
+    /// The request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// First value of query parameter `key`, if present.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Outcome of trying to parse one request off the front of a buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Parse {
+    /// One complete request; `consumed` bytes belong to it and should be
+    /// drained before parsing the next pipelined request.
+    Complete {
+        /// The parsed request.
+        request: HttpRequest,
+        /// Bytes of the buffer this request occupied.
+        consumed: usize,
+    },
+    /// The buffer holds a valid-so-far prefix; read more bytes.
+    Partial,
+    /// The prefix can never become a valid request; answer `400` and
+    /// close.
+    Invalid(&'static str),
+}
+
+/// Incremental request parser; see [`Parse`].
+pub fn parse_request(buf: &[u8]) -> Parse {
+    let Some((head_len, body_start)) = find_head_end(buf) else {
+        return if buf.len() > MAX_HEAD_BYTES {
+            Parse::Invalid("request head exceeds 8 KiB")
+        } else {
+            Parse::Partial
+        };
+    };
+    if head_len > MAX_HEAD_BYTES {
+        return Parse::Invalid("request head exceeds 8 KiB");
+    }
+    let head = buf.get(..head_len).unwrap_or_default();
+    let mut lines = head.split(|&b| b == b'\n').map(strip_cr);
+    let Some(request_line) = lines.next() else {
+        return Parse::Invalid("empty request head");
+    };
+    let Ok(request_line) = std::str::from_utf8(request_line) else {
+        return Parse::Invalid("request line is not UTF-8");
+    };
+    let mut parts = request_line.split(' ').filter(|p| !p.is_empty());
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Parse::Invalid("malformed request line");
+    };
+    if parts.next().is_some() {
+        return Parse::Invalid("malformed request line");
+    }
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        _ => return Parse::Invalid("unsupported HTTP version"),
+    };
+    let method = match method {
+        "GET" => Method::Get,
+        "POST" => Method::Post,
+        _ => Method::Other,
+    };
+
+    let mut content_length = 0usize;
+    let mut keep_alive = http11;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Ok(line) = std::str::from_utf8(line) else {
+            return Parse::Invalid("header is not UTF-8");
+        };
+        let Some((name, value)) = line.split_once(':') else {
+            return Parse::Invalid("header without a colon");
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            let Ok(n) = value.parse::<usize>() else {
+                return Parse::Invalid("unparsable content-length");
+            };
+            content_length = n;
+        } else if name.eq_ignore_ascii_case("connection") {
+            if value.eq_ignore_ascii_case("close") {
+                keep_alive = false;
+            } else if value.eq_ignore_ascii_case("keep-alive") {
+                keep_alive = true;
+            }
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            // Chunked bodies are outside the daemon's subset.
+            return Parse::Invalid("transfer-encoding is not supported");
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Parse::Invalid("body exceeds 1 MiB");
+    }
+
+    let body_end = body_start + content_length;
+    if buf.len() < body_end {
+        return Parse::Partial;
+    }
+    let body = buf.get(body_start..body_end).unwrap_or_default().to_vec();
+
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let query = parse_query(query);
+
+    Parse::Complete {
+        request: HttpRequest {
+            method,
+            path: percent_decode(path),
+            query,
+            keep_alive,
+            body,
+        },
+        consumed: body_end,
+    }
+}
+
+/// Locates the head terminator (a blank line: `\r\n\r\n`, `\n\n`, or a
+/// mixed-ending equivalent). Returns `(head_len, body_start)`: the head
+/// excluding its final line break, and the index just past the
+/// terminator.
+fn find_head_end(buf: &[u8]) -> Option<(usize, usize)> {
+    let mut i = 0;
+    while let Some(&b) = buf.get(i) {
+        if b == b'\n' {
+            // The head's final newline is at `i`; a blank line follows if
+            // the next line break comes immediately.
+            let after = match buf.get(i + 1) {
+                Some(b'\n') => Some(i + 2),
+                Some(b'\r') if buf.get(i + 2) == Some(&b'\n') => Some(i + 3),
+                _ => None,
+            };
+            if let Some(body_start) = after {
+                let head_len = if i > 0 && buf.get(i - 1) == Some(&b'\r') {
+                    i - 1
+                } else {
+                    i
+                };
+                return Some((head_len, body_start));
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+fn strip_cr(line: &[u8]) -> &[u8] {
+    match line.split_last() {
+        Some((b'\r', rest)) => rest,
+        _ => line,
+    }
+}
+
+fn parse_query(query: &str) -> Vec<(String, String)> {
+    query
+        .split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(kv), String::new()),
+        })
+        .collect()
+}
+
+/// Decodes `%xx` escapes and `+`-as-space; malformed escapes pass through
+/// literally (the router's own validation rejects them downstream).
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while let Some(&b) = bytes.get(i) {
+        match b {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => {
+                let pair = bytes.get(i + 1).zip(bytes.get(i + 2));
+                match pair.and_then(|(&hi, &lo)| Some((hex(hi)?, hex(lo)?))) {
+                    Some((hi, lo)) => {
+                        out.push(hi * 16 + lo);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            _ => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn hex(b: u8) -> Option<u8> {
+    match b {
+        b'0'..=b'9' => Some(b - b'0'),
+        b'a'..=b'f' => Some(b - b'a' + 10),
+        b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
+    }
+}
+
+/// A response the router hands back; [`encode_response`] frames it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Self {
+        HttpResponse {
+            status,
+            content_type: "application/json",
+            body: body.into_bytes(),
+        }
+    }
+}
+
+/// Reason phrase for the status codes the daemon emits.
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Frames a response as HTTP/1.1 wire bytes with an explicit
+/// `Content-Length` and `Connection` header.
+pub fn encode_response(resp: &HttpResponse, keep_alive: bool) -> Vec<u8> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        resp.status,
+        status_text(resp.status),
+        resp.content_type,
+        resp.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    let mut out = Vec::with_capacity(head.len() + resp.body.len());
+    out.extend_from_slice(head.as_bytes());
+    out.extend_from_slice(&resp.body);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complete(buf: &[u8]) -> (HttpRequest, usize) {
+        match parse_request(buf) {
+            Parse::Complete { request, consumed } => (request, consumed),
+            other => panic!("expected Complete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_a_simple_get() {
+        let wire = b"GET /v1/cluster?ip=10.2.3.4 HTTP/1.1\r\nHost: x\r\n\r\n";
+        let (req, consumed) = complete(wire);
+        assert_eq!(req.method, Method::Get);
+        assert_eq!(req.path, "/v1/cluster");
+        assert_eq!(req.query_param("ip"), Some("10.2.3.4"));
+        assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
+        assert!(req.body.is_empty());
+        assert_eq!(consumed, wire.len());
+    }
+
+    #[test]
+    fn torn_headers_ask_for_more_bytes() {
+        let wire = b"GET /healthz HTTP/1.1\r\nHost: example\r\n\r\n";
+        for cut in 1..wire.len() {
+            let head = wire.get(..cut).expect("in range");
+            assert_eq!(
+                parse_request(head),
+                Parse::Partial,
+                "cut at {cut} must be Partial"
+            );
+        }
+        assert!(matches!(parse_request(wire), Parse::Complete { .. }));
+    }
+
+    #[test]
+    fn torn_body_asks_for_more_bytes() {
+        let wire = b"POST /v1/reload HTTP/1.1\r\nContent-Length: 10\r\n\r\n12345";
+        assert_eq!(parse_request(wire), Parse::Partial);
+        let mut full = wire.to_vec();
+        full.extend_from_slice(b"67890");
+        let (req, consumed) = complete(&full);
+        assert_eq!(req.body, b"1234567890");
+        assert_eq!(consumed, full.len());
+    }
+
+    #[test]
+    fn oversized_head_is_rejected_not_buffered_forever() {
+        let mut wire = b"GET /".to_vec();
+        wire.extend(std::iter::repeat_n(b'a', MAX_HEAD_BYTES + 10));
+        assert!(matches!(parse_request(&wire), Parse::Invalid(_)));
+    }
+
+    #[test]
+    fn oversized_body_is_rejected() {
+        let wire = format!(
+            "POST /v1/reload HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(parse_request(wire.as_bytes()), Parse::Invalid(_)));
+    }
+
+    #[test]
+    fn pipelined_keep_alive_requests_parse_in_sequence() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(b"GET /healthz HTTP/1.1\r\n\r\n");
+        wire.extend_from_slice(b"GET /v1/clusters/top?n=3 HTTP/1.1\r\n\r\n");
+        wire.extend_from_slice(b"GET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n");
+
+        let (r1, c1) = complete(&wire);
+        assert_eq!(r1.path, "/healthz");
+        assert!(r1.keep_alive);
+        wire.drain(..c1);
+
+        let (r2, c2) = complete(&wire);
+        assert_eq!(r2.path, "/v1/clusters/top");
+        assert_eq!(r2.query_param("n"), Some("3"));
+        wire.drain(..c2);
+
+        let (r3, c3) = complete(&wire);
+        assert_eq!(r3.path, "/metrics");
+        assert!(!r3.keep_alive, "Connection: close overrides 1.1 default");
+        wire.drain(..c3);
+        assert!(wire.is_empty());
+    }
+
+    #[test]
+    fn bare_lf_heads_and_http10_defaults() {
+        let (req, _) = complete(b"GET /healthz HTTP/1.0\nHost: x\n\n");
+        assert_eq!(req.path, "/healthz");
+        assert!(!req.keep_alive, "HTTP/1.0 defaults to close");
+    }
+
+    #[test]
+    fn malformed_inputs_are_invalid_not_panics() {
+        for case in [
+            &b"BOGUS\r\n\r\n"[..],
+            b"GET /x HTTP/2.0\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nbroken header line\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nContent-Length: banana\r\n\r\n",
+            b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+            b"\xff\xfe\r\n\r\n",
+        ] {
+            assert!(
+                matches!(parse_request(case), Parse::Invalid(_)),
+                "case {case:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn percent_decoding_covers_the_api_characters() {
+        assert_eq!(percent_decode("10.0.0.1"), "10.0.0.1");
+        assert_eq!(percent_decode("a%2Fb+c"), "a/b c");
+        assert_eq!(
+            percent_decode("bad%zz"),
+            "bad%zz",
+            "malformed passes through"
+        );
+    }
+
+    #[test]
+    fn response_framing_is_exact() {
+        let resp = HttpResponse::json(200, "{\"ok\": true}".to_string());
+        let wire = encode_response(&resp, true);
+        let text = String::from_utf8(wire).expect("ascii");
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 12\r\n"), "{text}");
+        assert!(text.contains("Connection: keep-alive\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{\"ok\": true}"), "{text}");
+    }
+}

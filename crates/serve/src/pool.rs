@@ -1,0 +1,74 @@
+//! A fixed thread pool for connection handling.
+//!
+//! The workspace's zero-dependency discipline rules out an async runtime,
+//! and the query API is all sub-millisecond in-memory work, so the classic
+//! shape fits: N worker threads pull accepted connections off one
+//! `mpsc` channel behind a mutex. Dropping the pool closes the channel and
+//! joins every worker — the daemon's graceful-shutdown path.
+
+use std::net::TcpStream;
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// The connection handler workers run; returns when the connection is
+/// done (closed or errored — workers never propagate).
+pub(crate) type Handler = Arc<dyn Fn(TcpStream) + Send + Sync>;
+
+pub(crate) struct ThreadPool {
+    sender: Option<Sender<TcpStream>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawns `threads` workers running `handler` on dispatched
+    /// connections.
+    pub(crate) fn new(threads: usize, handler: Handler) -> ThreadPool {
+        let threads = threads.max(1);
+        let (sender, receiver) = mpsc::channel::<TcpStream>();
+        let receiver: Arc<Mutex<Receiver<TcpStream>>> = Arc::new(Mutex::new(receiver));
+        let workers = (0..threads)
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                let handler = Arc::clone(&handler);
+                std::thread::Builder::new()
+                    .name(format!("netclustd-http-{i}"))
+                    .spawn(move || loop {
+                        let conn = {
+                            let Ok(guard) = receiver.lock() else { return };
+                            guard.recv()
+                        };
+                        match conn {
+                            Ok(stream) => handler(stream),
+                            // Channel closed: the pool is shutting down.
+                            Err(_) => return,
+                        }
+                    })
+                    .expect("spawning an OS thread")
+            })
+            .collect();
+        ThreadPool {
+            sender: Some(sender),
+            workers,
+        }
+    }
+
+    /// Dispatches one connection; `false` if the pool is shutting down.
+    pub(crate) fn execute(&self, stream: TcpStream) -> bool {
+        match &self.sender {
+            Some(tx) => tx.send(stream).is_ok(),
+            None => false,
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Close the channel so idle workers wake with RecvError; workers
+        // mid-connection finish their request loop first.
+        drop(self.sender.take());
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}

@@ -1,0 +1,390 @@
+//! Request routing: parsed [`HttpRequest`] in, [`HttpResponse`] out.
+//!
+//! This is the daemon's hot path — every query a client sends flows
+//! through [`handle`] — so it follows the workspace's panic-free
+//! contract: no `unwrap`/`expect`, no scalar indexing, every lock
+//! acquisition and parse failure mapped to a typed HTTP error. A poisoned
+//! lock answers `500`, a malformed parameter answers `400`, and nothing
+//! can take the serving loop down.
+//!
+//! The query endpoints are thin adapters over the unified
+//! [`ClusterQuery`] trait — the same surface the one-shot CLI renders its
+//! report from — so the daemon and the CLI cannot drift apart on
+//! semantics.
+
+use std::net::Ipv4Addr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, RwLock};
+
+use netclust_core::query::top_to_json;
+use netclust_core::{ClusterQuery, JournalBatch, StateStore, StreamingClustering, VerdictPolicy};
+use netclust_obs::{Counter, ErrorCounts, Obs};
+use netclust_prefix::Ipv4Net;
+use netclust_rtable::{MergedTable, RoutingTable, TableDelta, TableKind};
+
+use crate::http::{HttpRequest, HttpResponse, Method};
+use crate::json;
+
+/// Pre-resolved `serve.*` observability handles (inert when the daemon's
+/// [`Obs`] is disabled).
+#[derive(Debug, Clone, Default)]
+pub struct ServeObs {
+    /// Requests routed.
+    pub requests: Counter,
+    /// Responses with status >= 400.
+    pub errors: Counter,
+    /// Connections shed by the [`serve.accept`
+    /// failpoint](netclust_core::failpoints::SERVE_ACCEPT) or accept
+    /// errors.
+    pub accept_shed: Counter,
+    /// Requests torn by the [`serve.request.parse`
+    /// failpoint](netclust_core::failpoints::SERVE_REQUEST_PARSE) or
+    /// malformed wire bytes.
+    pub parse_errors: Counter,
+    /// Full-table reload swaps attempted.
+    pub reload_swaps: Counter,
+    /// Delta-batch reloads attempted.
+    pub reload_deltas: Counter,
+    /// Log chunks ingested by the follower.
+    pub follow_chunks: Counter,
+    /// Log bytes ingested by the follower.
+    pub follow_bytes: Counter,
+    /// Checkpoints written.
+    pub checkpoints: Counter,
+}
+
+impl ServeObs {
+    /// Resolves every handle against `obs`.
+    pub fn resolve(obs: &Obs) -> Self {
+        ServeObs {
+            requests: obs.counter("serve.http.requests"),
+            errors: obs.counter("serve.http.errors"),
+            accept_shed: obs.counter("serve.accept.shed"),
+            parse_errors: obs.counter("serve.request.parse_errors"),
+            reload_swaps: obs.counter("serve.reload.swaps"),
+            reload_deltas: obs.counter("serve.reload.deltas"),
+            follow_chunks: obs.counter("serve.follow.chunks"),
+            follow_bytes: obs.counter("serve.follow.bytes"),
+            checkpoints: obs.counter("serve.checkpoints"),
+        }
+    }
+}
+
+/// Everything the HTTP workers, the log follower, and the reload path
+/// share. One instance per daemon, behind an `Arc`.
+pub struct AppState {
+    /// The live clustering view. Queries take the read half; the
+    /// follower, reloads, and restores take the write half.
+    pub stream: RwLock<StreamingClustering>,
+    /// Crash-safe persistence, when `--state-dir` is set. The mutex
+    /// serializes journal appends and checkpoints between the follower
+    /// and the reload path.
+    pub store: Mutex<Option<StateStore>>,
+    /// The daemon-wide observability registry (`/metrics` snapshots it).
+    pub obs: Obs,
+    /// Pre-resolved `serve.*` handles.
+    pub metrics: ServeObs,
+    /// Whether `/metrics` snapshots deterministically (no wall-clock
+    /// spans), for byte-stable output under `--deterministic`.
+    pub deterministic: bool,
+    /// Default `n` for `/v1/clusters/top`.
+    pub top_default: usize,
+    /// Thresholds for `/v1/verdict`.
+    pub verdict: VerdictPolicy,
+    /// Monotonic index for journaled reload batches.
+    pub feed_index: AtomicU64,
+    /// Byte offset of the last complete log line ingested — the
+    /// checkpoint cursor ([`netclust_core::StreamState::feed_pos`]).
+    pub log_offset: AtomicU64,
+}
+
+/// Routes one request. Infallible: every failure mode is an HTTP error
+/// response, never a panic.
+pub fn handle(state: &AppState, req: &HttpRequest) -> HttpResponse {
+    state.metrics.requests.inc();
+    let resp = route(state, req);
+    if resp.status >= 400 {
+        state.metrics.errors.inc();
+    }
+    resp
+}
+
+const KNOWN_PATHS: &[&str] = &[
+    "/healthz",
+    "/metrics",
+    "/v1/cluster",
+    "/v1/clusters/top",
+    "/v1/verdict",
+    "/v1/reload",
+];
+
+fn route(state: &AppState, req: &HttpRequest) -> HttpResponse {
+    match (req.method, req.path.as_str()) {
+        (Method::Get, "/healthz") => health(state),
+        (Method::Get, "/metrics") => metrics(state),
+        (Method::Get, "/v1/cluster") => cluster(state, req),
+        (Method::Get, "/v1/clusters/top") => top(state, req),
+        (Method::Get, "/v1/verdict") => verdict(state, req),
+        (Method::Post, "/v1/reload") => reload(state, req),
+        (_, path) if KNOWN_PATHS.contains(&path) => HttpResponse::json(
+            405,
+            json::error_body("method not allowed for this endpoint"),
+        ),
+        _ => HttpResponse::json(404, json::error_body("no such endpoint")),
+    }
+}
+
+/// Read-locks the stream or produces the 500 every endpoint shares.
+macro_rules! read_stream {
+    ($state:expr) => {
+        match $state.stream.read() {
+            Ok(guard) => guard,
+            Err(_) => return HttpResponse::json(500, json::error_body("state lock poisoned")),
+        }
+    };
+}
+
+fn health(state: &AppState) -> HttpResponse {
+    let stream = read_stream!(state);
+    HttpResponse::json(
+        200,
+        json::health_body(
+            stream.table_version(),
+            stream.total_requests(),
+            stream.len() as u64,
+        ),
+    )
+}
+
+fn metrics(state: &AppState) -> HttpResponse {
+    HttpResponse::json(200, state.obs.snapshot(state.deterministic).to_json())
+}
+
+fn ip_param(req: &HttpRequest) -> Result<Ipv4Addr, HttpResponse> {
+    let Some(raw) = req.query_param("ip") else {
+        return Err(HttpResponse::json(
+            400,
+            json::error_body("query parameter ip is required"),
+        ));
+    };
+    raw.parse()
+        .map_err(|_| HttpResponse::json(400, json::error_body("ip is not a valid IPv4 address")))
+}
+
+fn cluster(state: &AppState, req: &HttpRequest) -> HttpResponse {
+    let ip = match ip_param(req) {
+        Ok(ip) => ip,
+        Err(resp) => return resp,
+    };
+    let stream = read_stream!(state);
+    HttpResponse::json(200, stream.lookup(ip).to_json())
+}
+
+fn verdict(state: &AppState, req: &HttpRequest) -> HttpResponse {
+    let ip = match ip_param(req) {
+        Ok(ip) => ip,
+        Err(resp) => return resp,
+    };
+    let stream = read_stream!(state);
+    HttpResponse::json(200, stream.verdict(ip, &state.verdict).to_json())
+}
+
+fn top(state: &AppState, req: &HttpRequest) -> HttpResponse {
+    let n = match req.query_param("n") {
+        None => state.top_default,
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(n) => n.min(10_000),
+            Err(_) => {
+                return HttpResponse::json(400, json::error_body("n is not a non-negative integer"))
+            }
+        },
+    };
+    let stream = read_stream!(state);
+    HttpResponse::json(200, top_to_json(&stream.top(n)))
+}
+
+/// `POST /v1/reload`: `?table=a,b&dump=c` re-reads those files and drives
+/// the validated [`StreamingClustering::try_swap`] gate; otherwise the
+/// body is an `announce|withdraw|replace PREFIX` feed driven through
+/// [`StreamingClustering::apply_deltas`]. Either way the old generation
+/// keeps serving on rejection, and concurrent queries never block on the
+/// table build — only on the final publish.
+fn reload(state: &AppState, req: &HttpRequest) -> HttpResponse {
+    let table_param = req.query_param("table");
+    let dump_param = req.query_param("dump");
+    if table_param.is_some() || dump_param.is_some() {
+        state.metrics.reload_swaps.inc();
+        reload_swap(state, table_param, dump_param)
+    } else if !req.body.is_empty() {
+        state.metrics.reload_deltas.inc();
+        reload_deltas(state, &req.body)
+    } else {
+        HttpResponse::json(
+            400,
+            json::error_body("reload wants ?table=/?dump= paths or a delta body"),
+        )
+    }
+}
+
+fn reload_swap(
+    state: &AppState,
+    table_param: Option<&str>,
+    dump_param: Option<&str>,
+) -> HttpResponse {
+    let mut tables = Vec::new();
+    let mut noise = ErrorCounts::default();
+    for (param, kind) in [
+        (table_param, TableKind::Bgp),
+        (dump_param, TableKind::NetworkDump),
+    ] {
+        let Some(list) = param else { continue };
+        for path in list.split(',').filter(|p| !p.is_empty()) {
+            match load_table(path, kind) {
+                Ok((table, counts)) => {
+                    noise.merge(counts);
+                    tables.push(table);
+                }
+                Err(msg) => return HttpResponse::json(400, json::error_body(&msg)),
+            }
+        }
+    }
+    if tables.is_empty() {
+        return HttpResponse::json(400, json::error_body("no readable tables in reload"));
+    }
+    let merged = MergedTable::merge(tables.iter());
+
+    let mut stream = match state.stream.write() {
+        Ok(guard) => guard,
+        Err(_) => return HttpResponse::json(500, json::error_body("state lock poisoned")),
+    };
+    let report = stream.try_swap(merged, noise);
+    drop(stream);
+    if report.accepted {
+        // A swap changes the serving table wholesale; snapshot now so a
+        // crash cannot resurrect the old table.
+        if let Err(msg) = checkpoint_now(state) {
+            return HttpResponse::json(500, json::error_body(&msg));
+        }
+    }
+    HttpResponse::json(
+        if report.accepted { 200 } else { 409 },
+        json::swap_report_body(&report),
+    )
+}
+
+fn reload_deltas(state: &AppState, body: &[u8]) -> HttpResponse {
+    let deltas = match parse_delta_lines(body) {
+        Ok(deltas) => deltas,
+        Err(msg) => return HttpResponse::json(400, json::error_body(&msg)),
+    };
+    if deltas.is_empty() {
+        return HttpResponse::json(400, json::error_body("delta body held no updates"));
+    }
+
+    // WAL ordering: the batch is journaled before it is applied, so a
+    // crash between the two replays it on recovery instead of losing it.
+    let mut store_guard = match state.store.lock() {
+        Ok(guard) => guard,
+        Err(_) => return HttpResponse::json(500, json::error_body("store lock poisoned")),
+    };
+    if let Some(store) = store_guard.as_mut() {
+        let batch = JournalBatch {
+            // ordering: monotone batch counter; the store mutex held
+            // across append+apply already orders journal writes.
+            feed_index: state.feed_index.fetch_add(1, Ordering::Relaxed),
+            session_reset: false,
+            deltas: deltas.clone(),
+        };
+        if let Err(e) = store.append_batch(&batch) {
+            return HttpResponse::json(
+                503,
+                json::error_body(&format!("journal append failed: {e}")),
+            );
+        }
+    }
+    let mut stream = match state.stream.write() {
+        Ok(guard) => guard,
+        Err(_) => return HttpResponse::json(500, json::error_body("state lock poisoned")),
+    };
+    let report = stream.apply_deltas(&deltas);
+    drop(stream);
+    drop(store_guard);
+    HttpResponse::json(
+        if report.accepted { 200 } else { 409 },
+        json::patch_report_body(&report),
+    )
+}
+
+/// Parses one `announce|withdraw|replace PREFIX` feed (blank lines and
+/// `#` comments ignored) — the same wire grammar as the CLI's
+/// `--bgp-feed` files.
+// analyze:allow(typed-errors) parse failures flow verbatim into the 400 JSON error body; no caller matches on them.
+pub fn parse_delta_lines(body: &[u8]) -> Result<Vec<TableDelta>, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "delta body is not UTF-8".to_string())?;
+    let mut deltas = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let verb = parts.next().unwrap_or_default();
+        let net: Ipv4Net = match parts.next().map(str::parse) {
+            Some(Ok(net)) => net,
+            _ => return Err(format!("line {}: bad prefix in {line:?}", lineno + 1)),
+        };
+        deltas.push(match verb {
+            "announce" => TableDelta::announce(net),
+            "withdraw" => TableDelta::withdraw(net),
+            "replace" => TableDelta::replace(net),
+            other => {
+                return Err(format!(
+                    "line {}: unknown update {other:?} (announce|withdraw|replace)",
+                    lineno + 1
+                ))
+            }
+        });
+    }
+    Ok(deltas)
+}
+
+/// Reads and parses one routing-table file, reporting parse noise as the
+/// [`ErrorCounts`] the swap gate budgets against.
+pub(crate) fn load_table(
+    path: &str,
+    kind: TableKind,
+) -> Result<(RoutingTable, ErrorCounts), String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read table {path}: {e}"))?;
+    let lines = text.lines().count() as u64;
+    let (table, bad) = RoutingTable::parse(path, "file", kind, &text);
+    Ok((table, ErrorCounts::new(lines, bad as u64)))
+}
+
+/// Snapshots the current stream state (with the follower's committed log
+/// offset as the resume cursor) into the state store, if one is
+/// configured. Called on the byte threshold, on idle-while-dirty, after
+/// accepted swaps, and at shutdown.
+pub(crate) fn checkpoint_now(state: &AppState) -> Result<(), String> {
+    let mut store_guard = state
+        .store
+        .lock()
+        .map_err(|_| "store lock poisoned".to_string())?;
+    let Some(store) = store_guard.as_mut() else {
+        return Ok(());
+    };
+    let stream = state
+        .stream
+        .read()
+        .map_err(|_| "state lock poisoned".to_string())?;
+    let mut snapshot = stream.export_state();
+    drop(stream);
+    // ordering: Acquire pairs with the follower's Release store, so the
+    // resume cursor never runs ahead of the bytes actually applied.
+    snapshot.feed_pos = state.log_offset.load(Ordering::Acquire);
+    store
+        .checkpoint(&snapshot)
+        .map_err(|e| format!("checkpoint failed: {e}"))?;
+    state.metrics.checkpoints.inc();
+    Ok(())
+}

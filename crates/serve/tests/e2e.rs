@@ -1,0 +1,474 @@
+//! End-to-end tests for `netclustd`: the full service loop — boot from
+//! table files, tail a growing access log, answer the query API over
+//! real sockets, reload live, survive SIGKILL and resume from the
+//! persisted state, shut down gracefully on SIGTERM.
+//!
+//! In-process tests drive [`netclust_serve::Daemon`] directly (fast, and
+//! the fault-injection tests need the in-process metrics handles); the
+//! crash/resume test runs the real `netclustd` binary via
+//! `CARGO_BIN_EXE_netclustd`.
+
+use std::io::{Read as _, Write as _};
+use std::net::{Ipv4Addr, SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command};
+use std::time::{Duration, Instant};
+
+use netclust_core::{failpoints, FaultPlan};
+use netclust_netgen::{standard_collection, Universe, UniverseConfig};
+use netclust_rtable::TableKind;
+use netclust_serve::{Daemon, ServeConfig};
+use netclust_weblog::{clf, generate, LogSpec};
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("netclustd-e2e-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// Synthesizes a corpus on disk: routing-table files, a CLF access log,
+/// and the facts the assertions need.
+struct Fixture {
+    dir: PathBuf,
+    tables: Vec<PathBuf>,
+    dumps: Vec<PathBuf>,
+    log: PathBuf,
+    clf: String,
+    total_requests: u64,
+    a_client: Ipv4Addr,
+}
+
+fn fixture(name: &str, seed: u64) -> Fixture {
+    let dir = tmpdir(name);
+    let universe = Universe::generate(UniverseConfig::small(seed));
+    let mut tables = Vec::new();
+    let mut dumps = Vec::new();
+    for table in standard_collection(&universe, 0, 0) {
+        let ext = match table.kind {
+            TableKind::Bgp => "bgp",
+            TableKind::NetworkDump => "dump",
+        };
+        let path = dir.join(format!(
+            "{}.{ext}",
+            table.name.to_lowercase().replace(['&', '-', ' '], "_")
+        ));
+        let body: String = table.prefixes().iter().map(|p| format!("{p}\n")).collect();
+        std::fs::write(&path, body).expect("write table");
+        match table.kind {
+            TableKind::Bgp => tables.push(path),
+            TableKind::NetworkDump => dumps.push(path),
+        }
+    }
+    let mut spec = LogSpec::tiny(name, seed);
+    spec.total_requests = 3_000;
+    let log = generate(&universe, &spec);
+    let text = clf::to_clf(&log);
+    let a_client = log.requests.first().expect("nonempty log").client_addr();
+    let log_path = dir.join("access.log");
+    Fixture {
+        dir,
+        tables,
+        dumps,
+        log: log_path,
+        clf: text,
+        total_requests: log.requests.len() as u64,
+        a_client,
+    }
+}
+
+fn path_list(paths: &[PathBuf]) -> String {
+    paths
+        .iter()
+        .map(|p| p.to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// One keep-alive HTTP/1.1 connection with exact Content-Length framing,
+/// so several requests can flow over the same socket.
+struct Client {
+    conn: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let conn = TcpStream::connect(addr).expect("connect");
+        conn.set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("read timeout");
+        Client {
+            conn,
+            buf: Vec::new(),
+        }
+    }
+
+    fn send(&mut self, method: &str, target: &str, body: Option<&str>) -> (u16, String) {
+        let mut req = format!("{method} {target} HTTP/1.1\r\nHost: t\r\n");
+        if let Some(body) = body {
+            req.push_str(&format!("Content-Length: {}\r\n", body.len()));
+        }
+        req.push_str("\r\n");
+        if let Some(body) = body {
+            req.push_str(body);
+        }
+        self.conn.write_all(req.as_bytes()).expect("send request");
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> (u16, String) {
+        let mut scratch = [0u8; 8192];
+        loop {
+            if let Some(head_end) = find(&self.buf, b"\r\n\r\n") {
+                let head = String::from_utf8_lossy(&self.buf[..head_end]).into_owned();
+                let status: u16 = head
+                    .split_whitespace()
+                    .nth(1)
+                    .and_then(|s| s.parse().ok())
+                    .expect("status code");
+                let content_length: usize = head
+                    .lines()
+                    .find_map(|l| {
+                        l.to_ascii_lowercase()
+                            .strip_prefix("content-length:")
+                            .map(|v| v.trim().parse().expect("content-length"))
+                    })
+                    .expect("content-length header");
+                let body_start = head_end + 4;
+                while self.buf.len() < body_start + content_length {
+                    let n = self.conn.read(&mut scratch).expect("read body");
+                    assert!(n > 0, "connection closed mid-body");
+                    self.buf.extend_from_slice(&scratch[..n]);
+                }
+                let body =
+                    String::from_utf8_lossy(&self.buf[body_start..body_start + content_length])
+                        .into_owned();
+                self.buf.drain(..body_start + content_length);
+                return (status, body);
+            }
+            let n = self.conn.read(&mut scratch).expect("read head");
+            assert!(n > 0, "connection closed before response head");
+            self.buf.extend_from_slice(&scratch[..n]);
+        }
+    }
+}
+
+fn find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+fn get(addr: SocketAddr, target: &str) -> (u16, String) {
+    Client::connect(addr).send("GET", target, None)
+}
+
+/// Polls `probe` until it returns true or the deadline passes.
+fn wait_for(what: &str, mut probe: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while Instant::now() < deadline {
+        if probe() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    panic!("timed out waiting for {what}");
+}
+
+fn base_config(fx: &Fixture) -> ServeConfig {
+    ServeConfig::new()
+        .tables(fx.tables.clone())
+        .dumps(fx.dumps.clone())
+        .poll_interval(Duration::from_millis(20))
+}
+
+#[test]
+fn the_full_api_answers_over_one_keep_alive_connection() {
+    let fx = fixture("api", 11);
+    std::fs::write(&fx.log, &fx.clf).expect("write log");
+    let daemon = Daemon::start(base_config(&fx).log(&fx.log)).expect("boot");
+    let addr = daemon.local_addr();
+    let want = fx.total_requests;
+    wait_for("log ingested", || {
+        get(addr, "/healthz")
+            .1
+            .contains(&format!("\"total_requests\": {want}"))
+    });
+
+    // Every endpoint, pipelined over one socket.
+    let mut c = Client::connect(addr);
+    let (status, body) = c.send("GET", "/healthz", None);
+    assert_eq!(status, 200);
+    assert!(body.contains("\"status\": \"ok\""), "{body}");
+
+    let (status, body) = c.send("GET", &format!("/v1/cluster?ip={}", fx.a_client), None);
+    assert_eq!(status, 200);
+    assert!(
+        body.contains(&format!("\"ip\": \"{}\"", fx.a_client)),
+        "{body}"
+    );
+    assert!(body.contains("\"cluster\""), "{body}");
+
+    let (status, body) = c.send("GET", "/v1/clusters/top?n=5", None);
+    assert_eq!(status, 200);
+    assert!(body.starts_with("{\"clusters\": ["), "{body}");
+
+    let (status, body) = c.send("GET", &format!("/v1/verdict?ip={}", fx.a_client), None);
+    assert_eq!(status, 200);
+    assert!(body.contains("\"class\""), "{body}");
+
+    let (status, body) = c.send("GET", "/metrics", None);
+    assert_eq!(status, 200);
+    assert!(body.contains("serve.http.requests"), "{body}");
+    assert!(body.contains("serve.follow.chunks"), "{body}");
+
+    // Error surface, still on the same socket.
+    let (status, _) = c.send("GET", "/v1/cluster", None);
+    assert_eq!(status, 400, "missing ip");
+    let (status, _) = c.send("GET", "/v1/cluster?ip=not-an-ip", None);
+    assert_eq!(status, 400, "bad ip");
+    let (status, _) = c.send("GET", "/nope", None);
+    assert_eq!(status, 404);
+    let (status, _) = c.send("GET", "/v1/reload", None);
+    assert_eq!(status, 405, "reload is POST-only");
+
+    daemon.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn the_follower_feeds_appended_lines_into_the_live_view() {
+    let fx = fixture("follow", 13);
+    std::fs::write(&fx.log, "").expect("create empty log");
+    let daemon = Daemon::start(base_config(&fx).log(&fx.log)).expect("boot");
+    let addr = daemon.local_addr();
+
+    let (status, body) = get(addr, "/healthz");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"total_requests\": 0"), "{body}");
+
+    // Append the corpus in two pieces, torn mid-line at the seam: the
+    // follower must hold the torn tail until the rest arrives.
+    let bytes = fx.clf.as_bytes();
+    let cut = bytes.len() / 2;
+    let cut = cut + bytes[cut..].iter().position(|&b| b == b'\n').unwrap_or(0) / 2;
+    {
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&fx.log)
+            .expect("open log");
+        f.write_all(&bytes[..cut]).expect("first half");
+        f.sync_all().expect("sync");
+        std::thread::sleep(Duration::from_millis(120));
+        f.write_all(&bytes[cut..]).expect("second half");
+    }
+    let want = fx.total_requests;
+    wait_for("all appended lines ingested", || {
+        get(addr, "/healthz")
+            .1
+            .contains(&format!("\"total_requests\": {want}"))
+    });
+    daemon.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn reload_applies_deltas_and_swaps_tables() {
+    let fx = fixture("reload", 17);
+    std::fs::write(&fx.log, &fx.clf).expect("write log");
+    let daemon = Daemon::start(base_config(&fx).log(&fx.log)).expect("boot");
+    let addr = daemon.local_addr();
+    let want = fx.total_requests;
+    wait_for("log ingested", || {
+        get(addr, "/healthz")
+            .1
+            .contains(&format!("\"total_requests\": {want}"))
+    });
+
+    // Delta reload: announcing a fresh prefix is always coverage-safe.
+    let mut c = Client::connect(addr);
+    let (status, body) = c.send(
+        "POST",
+        "/v1/reload",
+        Some("# live feed\nannounce 10.99.0.0/16\n"),
+    );
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"mode\": \"deltas\""), "{body}");
+    assert!(body.contains("\"accepted\": true"), "{body}");
+
+    // Full-table swap back to the same files: a no-op candidate passes
+    // every validation gate.
+    let target = format!(
+        "/v1/reload?table={}&dump={}",
+        path_list(&fx.tables),
+        path_list(&fx.dumps)
+    );
+    let (status, body) = c.send("POST", &target, None);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"mode\": \"swap\""), "{body}");
+    assert!(body.contains("\"accepted\": true"), "{body}");
+
+    // Bad inputs answer 400, not a wedged daemon.
+    let (status, _) = c.send("POST", "/v1/reload?table=/nonexistent.bgp", None);
+    assert_eq!(status, 400);
+    let (status, _) = c.send("POST", "/v1/reload", Some("frobnicate 1.2.3.0/24\n"));
+    assert_eq!(status, 400);
+
+    daemon.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn the_accept_failpoint_sheds_connections() {
+    let fx = fixture("shed", 19);
+    let plan = FaultPlan::new(7).with(failpoints::SERVE_ACCEPT, 1.0);
+    let daemon = Daemon::start(base_config(&fx).faults(plan)).expect("boot");
+    let addr = daemon.local_addr();
+
+    // Every connection is shed before a worker sees it: the socket opens
+    // (kernel backlog) and then closes without a byte of response.
+    for _ in 0..3 {
+        let mut conn = TcpStream::connect(addr).expect("connect");
+        conn.set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("read timeout");
+        conn.write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+            .expect("send");
+        let mut out = Vec::new();
+        let _ = conn.read_to_end(&mut out);
+        assert!(out.is_empty(), "shed connection answered: {out:?}");
+    }
+    wait_for("shed connections counted", || {
+        daemon.state().metrics.accept_shed.get() >= 3
+    });
+    drop(daemon);
+}
+
+#[test]
+fn the_parse_failpoint_tears_requests_into_400s() {
+    let fx = fixture("torn", 23);
+    let plan = FaultPlan::new(7).with(failpoints::SERVE_REQUEST_PARSE, 1.0);
+    let daemon = Daemon::start(base_config(&fx).faults(plan)).expect("boot");
+    let addr = daemon.local_addr();
+
+    let (status, body) = get(addr, "/healthz");
+    assert_eq!(status, 400, "injected parse fault must answer 400: {body}");
+    assert!(body.contains("torn"), "{body}");
+    assert!(daemon.state().metrics.parse_errors.get() >= 1);
+    drop(daemon);
+}
+
+#[test]
+fn equal_corpora_render_byte_identical_json() {
+    let fx = fixture("determinism", 29);
+    std::fs::write(&fx.log, &fx.clf).expect("write log");
+    let mk = || {
+        let daemon = Daemon::start(base_config(&fx).log(&fx.log)).expect("boot");
+        let addr = daemon.local_addr();
+        let want = fx.total_requests;
+        wait_for("log ingested", || {
+            get(addr, "/healthz")
+                .1
+                .contains(&format!("\"total_requests\": {want}"))
+        });
+        let cluster = get(addr, &format!("/v1/cluster?ip={}", fx.a_client)).1;
+        let top = get(addr, "/v1/clusters/top?n=20").1;
+        let verdict = get(addr, &format!("/v1/verdict?ip={}", fx.a_client)).1;
+        daemon.shutdown().expect("clean shutdown");
+        (cluster, top, verdict)
+    };
+    let a = mk();
+    let b = mk();
+    assert_eq!(
+        a, b,
+        "two daemons over the same corpus must agree byte-for-byte"
+    );
+}
+
+/// The real binary: boot with persistence, ingest, SIGKILL mid-flight,
+/// resume from the state dir, verify the view survived, then stop
+/// gracefully on SIGTERM.
+#[test]
+fn netclustd_survives_kill_and_resumes_from_its_checkpoint() {
+    let fx = fixture("resume", 31);
+    std::fs::write(&fx.log, &fx.clf).expect("write log");
+    let state_dir = fx.dir.join("state");
+    let spawn = |resume: bool, port_file: &Path| -> Child {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_netclustd"));
+        cmd.arg("--table")
+            .arg(path_list(&fx.tables))
+            .arg("--dump")
+            .arg(path_list(&fx.dumps))
+            .arg("--log")
+            .arg(&fx.log)
+            .arg("--state-dir")
+            .arg(&state_dir)
+            .arg("--port-file")
+            .arg(port_file)
+            .args([
+                "--poll-ms",
+                "20",
+                "--checkpoint-bytes",
+                "1",
+                "--deterministic",
+            ]);
+        if resume {
+            cmd.arg("--resume");
+        }
+        cmd.spawn().expect("spawn netclustd")
+    };
+    let read_addr = |port_file: &Path| -> SocketAddr {
+        let mut addr = None;
+        wait_for("port file", || {
+            addr = std::fs::read_to_string(port_file)
+                .ok()
+                .and_then(|s| s.trim().parse().ok());
+            addr.is_some()
+        });
+        addr.expect("bound address")
+    };
+
+    let port_a = fx.dir.join("port-a");
+    let mut first = spawn(false, &port_a);
+    let addr = read_addr(&port_a);
+    let want = fx.total_requests;
+    wait_for("log ingested", || {
+        get(addr, "/healthz")
+            .1
+            .contains(&format!("\"total_requests\": {want}"))
+    });
+    // The ingest chunk checkpoints right after applying (threshold is one
+    // byte); wait until the snapshot has actually hit the disk.
+    wait_for("checkpoint written", || {
+        get(addr, "/metrics").1.contains("serve.checkpoints")
+            && !get(addr, "/metrics").1.contains("\"serve.checkpoints\": 0")
+    });
+    let top_before = get(addr, "/v1/clusters/top?n=20").1;
+
+    // SIGKILL: no graceful path, no final checkpoint.
+    first.kill().expect("kill");
+    let _ = first.wait();
+
+    let port_b = fx.dir.join("port-b");
+    let mut second = spawn(true, &port_b);
+    let addr = read_addr(&port_b);
+    wait_for("resumed view restored", || {
+        get(addr, "/healthz")
+            .1
+            .contains(&format!("\"total_requests\": {want}"))
+    });
+    let top_after = get(addr, "/v1/clusters/top?n=20").1;
+    assert_eq!(
+        top_before, top_after,
+        "the resumed daemon must serve the same clusters byte-for-byte"
+    );
+
+    // Graceful SIGTERM: exits 0 after its final checkpoint.
+    let pid = second.id().to_string();
+    let status = Command::new("kill")
+        .args(["-TERM", &pid])
+        .status()
+        .expect("send SIGTERM");
+    assert!(status.success(), "kill -TERM failed");
+    wait_for("graceful exit", || matches!(second.try_wait(), Ok(Some(_))));
+    let exit = second.wait().expect("wait");
+    assert!(
+        exit.success(),
+        "graceful shutdown must exit 0, got {exit:?}"
+    );
+}

@@ -20,6 +20,7 @@
 pub mod chunk;
 pub mod clf;
 pub mod clf_bytes;
+pub mod follow;
 mod gen;
 mod record;
 mod spec;

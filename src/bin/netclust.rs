@@ -9,8 +9,14 @@
 //!                  [--max-error-rate F] [--quarantine FILE]
 //!                  [--metrics FILE] [--trace] [--deterministic]
 //!                  [--threads N] [--bgp-feed SPEC]
+//!                  [--lookup IP[,IP..]] [--verdict IP[,IP..]]
 //!     Cluster the clients of a Common Log Format file against BGP
 //!     routing-table dumps and print the busiest clusters.
+//!
+//!     --lookup IP[,..]  print the ClusterQuery JSON answer for each
+//!                       address (same body as netclustd /v1/cluster)
+//!     --verdict IP[,..] print the structural spider/proxy verdict for
+//!                       each address (same body as netclustd /v1/verdict)
 //!
 //!     --metrics FILE  write an OBS.json observability snapshot (stage
 //!                     spans, LPM hit/miss counters, per-chunk histograms)
@@ -59,9 +65,11 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use netclust::bgpsim::{DeltaBatch, DeltaStream, DeltaStreamConfig};
+use netclust::core::query::render_top_table;
 use netclust::core::{
-    threshold_busy, Clustering, Distributions, ErrorCounts, FeedProgress, FsyncPolicy, IngestError,
-    IngestPipeline, JournalBatch, PersistError, StateStore, StreamingClustering, SwapPolicy,
+    threshold_busy, ClusterQuery, Clustering, ErrorCounts, FeedProgress, FsyncPolicy, IngestError,
+    JournalBatch, PersistError, RunConfig, StateStore, StreamingClustering, SwapPolicy,
+    VerdictPolicy,
 };
 use netclust::netgen::{standard_collection, Universe, UniverseConfig};
 use netclust::obs::Obs;
@@ -629,22 +637,27 @@ fn cmd_cluster(args: &[String]) -> Result<(), CliError> {
             // `--deterministic` also pins the static strided chunk
             // schedule: per-shard worker counters must not depend on the
             // work-stealing race when two runs are being compared
-            // byte for byte.
-            let mut pipeline = IngestPipeline::new(&compiled)
-                .obs(obs.clone())
-                .deterministic(deterministic);
+            // byte for byte. All the shared knobs flow through one
+            // RunConfig — the same struct `netclustd` parses its flags
+            // into — so the CLI and the daemon cannot drift.
+            let mut run = RunConfig::new()
+                .deterministic(deterministic)
+                .obs(obs.clone());
             if let Some(t) = threads {
-                pipeline = pipeline.threads(t);
+                run = run.threads(t);
             }
             if let Some(rate) = max_error_rate {
-                pipeline = pipeline.max_error_rate(rate);
+                run = run.max_error_rate(rate);
             }
-            let report = pipeline.try_run(&data).map_err(|e| match e {
-                IngestError::ErrorBudget { .. } => {
-                    CliError::Budget(format!("cluster: {log_path}: {e}"))
-                }
-                other => CliError::Input(format!("cluster: {log_path}: {other}")),
-            })?;
+            let report = run
+                .pipeline(&compiled)
+                .try_run(&data)
+                .map_err(|e| match e {
+                    IngestError::ErrorBudget { .. } => {
+                        CliError::Budget(format!("cluster: {log_path}: {e}"))
+                    }
+                    other => CliError::Input(format!("cluster: {log_path}: {other}")),
+                })?;
             if !report.counts.is_clean() {
                 eprintln!("note: {}", report.counts);
             }
@@ -688,20 +701,32 @@ fn cmd_cluster(args: &[String]) -> Result<(), CliError> {
         busy.busy.len(),
         busy.threshold
     );
-    let d = Distributions::of(&clustering);
-    println!(
-        "\n{:>20} {:>8} {:>10} {:>8}",
-        "cluster", "clients", "requests", "URLs"
-    );
-    for &idx in d.by_requests.iter().take(top) {
-        let c = &clustering.clusters[idx];
-        println!(
-            "{:>20} {:>8} {:>10} {:>8}",
-            c.prefix.to_string(),
-            c.client_count(),
-            c.requests,
-            c.unique_urls
-        );
+    // Top-N, point lookups, and verdicts all go through the unified
+    // ClusterQuery trait — the same surface `netclustd` serves over HTTP
+    // — so the CLI report and the daemon's JSON cannot disagree.
+    println!();
+    print!("{}", render_top_table(&clustering.top(top)));
+
+    if let Some(list) = opt(args, "--lookup") {
+        for raw in list.split(',').filter(|s| !s.is_empty()) {
+            let addr: std::net::Ipv4Addr = raw.parse().map_err(|_| {
+                CliError::Usage(format!(
+                    "cluster: --lookup wants IPv4 addresses, got {raw:?}"
+                ))
+            })?;
+            println!("{}", clustering.lookup(addr).to_json());
+        }
+    }
+    if let Some(list) = opt(args, "--verdict") {
+        let policy = VerdictPolicy::default();
+        for raw in list.split(',').filter(|s| !s.is_empty()) {
+            let addr: std::net::Ipv4Addr = raw.parse().map_err(|_| {
+                CliError::Usage(format!(
+                    "cluster: --verdict wants IPv4 addresses, got {raw:?}"
+                ))
+            })?;
+            println!("{}", clustering.verdict(addr, &policy).to_json());
+        }
     }
 
     // Live-update replay: re-cluster the same log through the streaming

@@ -13,4 +13,5 @@ pub use netclust_obs as obs;
 pub use netclust_prefix as prefix;
 pub use netclust_probe as probe;
 pub use netclust_rtable as rtable;
+pub use netclust_serve as serve;
 pub use netclust_weblog as weblog;

@@ -49,10 +49,12 @@ fn failpoint_registry_covers_every_hardened_seam() {
         failpoints::PERSIST_JOURNAL_WRITE,
         failpoints::PERSIST_SNAPSHOT_RENAME,
         failpoints::PERSIST_FSYNC,
+        failpoints::SERVE_ACCEPT,
+        failpoints::SERVE_REQUEST_PARSE,
     ] {
         assert!(failpoints::ALL.contains(&point), "unregistered: {point}");
     }
-    assert_eq!(failpoints::ALL.len(), 6);
+    assert_eq!(failpoints::ALL.len(), 8);
 }
 
 #[test]
